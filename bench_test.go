@@ -1,0 +1,134 @@
+package modellake
+
+// One testing.B benchmark per reproduction experiment (DESIGN.md §3). Each
+// iteration regenerates the experiment's workload and recomputes its table,
+// so `go test -bench=. -benchmem` both times the harness and re-validates
+// the result shapes. cmd/lakebench prints the same tables with full detail.
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"modellake/internal/experiments"
+	"modellake/internal/version"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	var run func(uint64) (*experiments.Table, error)
+	for _, ex := range experiments.All() {
+		if ex.ID == id {
+			run = ex.Run
+		}
+	}
+	if run == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := run(42)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkE1SearchVsCompleteness(b *testing.B) { benchExperiment(b, "E1") }
+func BenchmarkE2VersionGraph(b *testing.B)         { benchExperiment(b, "E2") }
+func BenchmarkE3Attribution(b *testing.B)          { benchExperiment(b, "E3") }
+func BenchmarkE4Indexer(b *testing.B)              { benchExperiment(b, "E4") }
+func BenchmarkE5Membership(b *testing.B)           { benchExperiment(b, "E5") }
+func BenchmarkE6DocGen(b *testing.B)               { benchExperiment(b, "E6") }
+func BenchmarkE7Citation(b *testing.B)             { benchExperiment(b, "E7") }
+func BenchmarkE8WeightSpace(b *testing.B)          { benchExperiment(b, "E8") }
+func BenchmarkE9Queries(b *testing.B)              { benchExperiment(b, "E9") }
+func BenchmarkE10Audit(b *testing.B)               { benchExperiment(b, "E10") }
+func BenchmarkF1Viewpoints(b *testing.B)           { benchExperiment(b, "F1") }
+
+// BenchmarkLakeIngest measures end-to-end ingest throughput (register +
+// card index + two content embeddings + provenance journal).
+func BenchmarkLakeIngest(b *testing.B) {
+	pop, err := GenerateLake(DefaultLakeSpec(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		lk, err := Open(Config{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for j, m := range pop.Members {
+			clone := *m.Model
+			clone.ID = ""
+			if _, err := lk.Ingest(&clone, m.Card, RegisterOptions{
+				Name: m.Truth.Name, Version: strconv.Itoa(i) + "-" + strconv.Itoa(j),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		lk.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkLakeQuery measures MLQL query latency on a ~50-model lake.
+func BenchmarkLakeQuery(b *testing.B) {
+	spec := DefaultLakeSpec(2)
+	spec.NumBases = 5
+	spec.ChildrenPerBase = 9
+	pop, err := GenerateLake(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lk, err := Open(Config{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer lk.Close()
+	for _, ds := range pop.Datasets {
+		lk.RegisterDataset(ds)
+	}
+	for _, m := range pop.Members {
+		if _, err := lk.Ingest(m.Model, m.Card, RegisterOptions{Name: m.Truth.Name}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lk.Query("FIND MODELS WHERE DOMAIN = 'legal' LIMIT 10"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVersionGraphReconstruction measures whole-lake (50-model) graph
+// recovery, bypassing the lake's graph cache so every iteration pays the
+// full reconstruction.
+func BenchmarkVersionGraphReconstruction(b *testing.B) {
+	spec := DefaultLakeSpec(3)
+	spec.NumBases = 5
+	spec.ChildrenPerBase = 9
+	pop, err := GenerateLake(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]version.Node, len(pop.Members))
+	for i, m := range pop.Members {
+		nodes[i] = version.Node{ID: fmt.Sprintf("n%d", i), Net: m.Model.Net}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := version.Reconstruct(nodes, version.Config{ClassifyEdges: true, Seed: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE11Lifelong(b *testing.B) { benchExperiment(b, "E11") }

@@ -1,0 +1,45 @@
+// Command lakebench runs the reproduction experiments (DESIGN.md §3) and
+// prints one result table per experiment. Use -only to run a subset and
+// -seed to change the workload seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"modellake/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E4)")
+	seed := flag.Uint64("seed", 42, "workload seed")
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+	failed := 0
+	for _, ex := range experiments.All() {
+		if len(want) > 0 && !want[ex.ID] {
+			continue
+		}
+		start := time.Now()
+		t, err := ex.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", ex.ID, err)
+			failed++
+			continue
+		}
+		t.Render(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n\n", ex.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

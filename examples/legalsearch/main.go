@@ -1,0 +1,101 @@
+// Legalsearch reproduces the paper's Example 1.1: a user wants a model for
+// legal documents, but the lake's documentation is incomplete — many cards
+// have lost their domain and description fields, so keyword search misses
+// relevant models. Content-based search over the models' observable
+// behaviour keeps finding them, and hybrid search combines both.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"modellake"
+)
+
+func main() {
+	lk, err := modellake.Open(modellake.Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lk.Close()
+
+	// Generate a benchmark lake where 90% of card fields are missing —
+	// the documentation reality Liang et al. measured.
+	spec := modellake.DefaultLakeSpec(42)
+	spec.NumBases = 4
+	spec.ChildrenPerBase = 5
+	spec.CardDropProb = 0.9
+	spec.AnonymousNames = true
+	pop, err := modellake.GenerateLake(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	legalIDs := map[string]bool{}
+	var queryModelID string
+	for _, m := range pop.Members {
+		rec, err := lk.Ingest(m.Model, m.Card, modellake.RegisterOptions{Name: m.Truth.Name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasPrefix(m.Truth.Domain, "legal") {
+			legalIDs[rec.ID] = true
+			if m.Truth.Depth == 0 {
+				queryModelID = rec.ID
+			}
+		}
+	}
+	fmt.Printf("lake holds %d models; %d are truly legal-domain\n\n", lk.Count(), len(legalIDs))
+
+	show := func(title string, hits []modellake.Hit) {
+		relevant := 0
+		fmt.Printf("%s\n", title)
+		for _, h := range hits {
+			mark := " "
+			if legalIDs[h.ID] {
+				mark = "*"
+				relevant++
+			}
+			rec, _ := lk.Record(h.ID)
+			fmt.Printf("  %s %-10s %-22s score=%.3f\n", mark, h.ID, rec.Name, h.Score)
+		}
+		fmt.Printf("  → %d/%d truly legal (* = relevant)\n\n", relevant, len(hits))
+	}
+
+	// Status quo: keyword search over (incomplete) cards.
+	show("keyword search: 'legal statute court summarization'",
+		lk.SearchKeyword("legal statute court summarization", 5))
+
+	// The paper's vision: content-based model-as-query search.
+	hits, err := lk.SearchByModel(queryModelID, "behavior", 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show(fmt.Sprintf("content-based search: models behaving like %s", queryModelID), hits)
+
+	// Hybrid: reciprocal-rank fusion of both.
+	hybrid, err := lk.SearchHybrid("legal statute court", queryModelID, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("hybrid search (RRF of keyword + behaviour)", hybrid)
+
+	// Task search: "I have a handful of labeled legal examples."
+	var legalDS *modellake.Dataset
+	for _, m := range pop.Members {
+		if m.Truth.Depth == 0 && strings.HasPrefix(m.Truth.Domain, "legal") {
+			legalDS = pop.Datasets[m.Truth.DatasetID]
+		}
+	}
+	examples := make([]modellake.TaskExample, 0, 16)
+	for i := 0; i < 16; i++ {
+		x, y := legalDS.Example(i)
+		examples = append(examples, modellake.TaskExample{X: x.Clone(), Y: y})
+	}
+	taskHits, err := lk.SearchTask(examples, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	show("task search: 16 labeled legal examples", taskHits)
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a small model lake, ingest a few trained models with
+// cards, and exercise search, querying, and citation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"modellake"
+)
+
+func main() {
+	lk, err := modellake.Open(modellake.Config{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer lk.Close()
+
+	// Train three small classifiers on different synthetic domains.
+	for i, domainName := range []string{"legal", "medical", "finance"} {
+		dom := modellake.NewDomain(domainName, 8, 3, uint64(100+i))
+		ds := dom.Sample(domainName+"/v1", 200, 0.4, modellake.NewRNG(uint64(i)))
+		lk.RegisterDataset(ds)
+
+		net := modellake.NewMLP([]int{8, 16, 3}, uint64(i))
+		if _, err := modellake.Train(net, ds, modellake.DefaultTrainConfig()); err != nil {
+			log.Fatal(err)
+		}
+		m := &modellake.Model{
+			Name: domainName + "-classifier",
+			Net:  net,
+			Hist: &modellake.History{
+				DatasetID:      ds.ID,
+				DatasetDomain:  domainName,
+				Transformation: "pretrain",
+			},
+		}
+		c := &modellake.Card{
+			Name:         m.Name,
+			Domain:       domainName,
+			Task:         "classification",
+			TrainingData: ds.ID,
+			Description:  fmt.Sprintf("A %s document classifier.", domainName),
+			License:      "apache-2.0",
+		}
+		rec, err := lk.Ingest(m, c, modellake.RegisterOptions{Name: m.Name})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("ingested %s as %s\n", m.Name, rec.ID)
+	}
+
+	// Keyword search.
+	fmt.Println("\nkeyword search 'legal':")
+	for _, h := range lk.SearchKeyword("legal", 3) {
+		fmt.Printf("  %-12s score=%.3f\n", h.ID, h.Score)
+	}
+
+	// Declarative query.
+	res, err := lk.Query("FIND MODELS WHERE TRAINED ON DATASET 'medical/v1'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nFIND MODELS WHERE TRAINED ON DATASET 'medical/v1':")
+	for _, h := range res.Hits {
+		rec, _ := lk.Record(h.ID)
+		fmt.Printf("  %s (%s)\n", h.ID, rec.Name)
+	}
+
+	// Citation.
+	id, err := lk.Resolve("legal-classifier", "1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cite, err := lk.Cite(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncite: %s\n", cite)
+
+	// Card rendering.
+	c, err := lk.Card(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s", c.Markdown())
+}

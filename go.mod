@@ -1,0 +1,3 @@
+module modellake
+
+go 1.22

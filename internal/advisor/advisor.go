@@ -1,0 +1,170 @@
+// Package advisor realizes §5's "model inference" component: helping a user
+// who has a task — but not the expertise to pick benchmarks and models — get
+// a vetted recommendation. Given labeled examples of the task, the advisor
+// selects candidate models by observable behaviour, measures them on the
+// user's own examples, inspects their documentation, and returns ranked
+// recommendations with explicit caveats ("a classifier's behavior may be
+// misinterpreted if a user does not understand the type of data it was
+// trained on" — the advisor surfaces exactly that context).
+package advisor
+
+import (
+	"fmt"
+	"strings"
+
+	"modellake/internal/benchmark"
+	"modellake/internal/lake"
+	"modellake/internal/search"
+	"modellake/internal/tensor"
+)
+
+// Recommendation is one advised model with its measured fit and caveats.
+type Recommendation struct {
+	ModelID  string
+	Name     string
+	Fit      float64 // mean correct-label probability on the user's examples
+	Accuracy float64 // argmax accuracy on the user's examples
+	Domain   string  // documented or lake-inferred domain
+	Caveats  []string
+}
+
+// Advice is the advisor's answer.
+type Advice struct {
+	Examples        int
+	Recommendations []Recommendation
+}
+
+// Markdown renders the advice for a human.
+func (a *Advice) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Model recommendation (%d task examples)\n\n", a.Examples)
+	if len(a.Recommendations) == 0 {
+		sb.WriteString("No lake model can run this task.\n")
+		return sb.String()
+	}
+	for i, r := range a.Recommendations {
+		fmt.Fprintf(&sb, "%d. **%s** (%s) — fit %.3f, accuracy %.0f%%", i+1, r.Name, r.ModelID,
+			r.Fit, r.Accuracy*100)
+		if r.Domain != "" {
+			fmt.Fprintf(&sb, ", domain %s", r.Domain)
+		}
+		sb.WriteString("\n")
+		for _, c := range r.Caveats {
+			fmt.Fprintf(&sb, "   - caveat: %s\n", c)
+		}
+	}
+	return sb.String()
+}
+
+// SuggestBenchmark picks the registered benchmark whose dataset most
+// resembles the user's task examples — §5's "dynamic selection of benchmarks
+// for performance measurement". Resemblance is the Fréchet distance between
+// diagonal Gaussians fitted to the raw feature distributions. It returns the
+// benchmark ID and the distance, or an error when no benchmark is
+// comparable.
+func SuggestBenchmark(lk *lake.Lake, examples []search.TaskExample) (string, float64, error) {
+	if len(examples) == 0 {
+		return "", 0, fmt.Errorf("advisor: need at least one task example")
+	}
+	dim := len(examples[0].X)
+	exMu, exVar := featureGaussian(func(i int) tensor.Vector { return examples[i].X }, len(examples), dim)
+
+	bestID, bestDist := "", 0.0
+	found := false
+	for _, b := range lk.Benchmarks() {
+		if b.DS == nil || b.DS.Len() == 0 || b.DS.Dim() != dim {
+			continue
+		}
+		bMu, bVar := featureGaussian(func(i int) tensor.Vector { return b.DS.X.Row(i) }, b.DS.Len(), dim)
+		d, err := benchmark.FrechetGaussian(exMu, exVar, bMu, bVar)
+		if err != nil {
+			continue
+		}
+		if !found || d < bestDist {
+			bestID, bestDist, found = b.ID, d, true
+		}
+	}
+	if !found {
+		return "", 0, fmt.Errorf("advisor: no registered benchmark matches the task's feature shape")
+	}
+	return bestID, bestDist, nil
+}
+
+func featureGaussian(row func(i int) tensor.Vector, n, dim int) (mu, variance tensor.Vector) {
+	mu = tensor.NewVector(dim)
+	variance = tensor.NewVector(dim)
+	for i := 0; i < n; i++ {
+		r := row(i)
+		for j := 0; j < dim; j++ {
+			mu[j] += r[j]
+			variance[j] += r[j] * r[j]
+		}
+	}
+	for j := 0; j < dim; j++ {
+		mu[j] /= float64(n)
+		variance[j] = variance[j]/float64(n) - mu[j]*mu[j]
+	}
+	return mu, variance
+}
+
+// Advise ranks up to k lake models for the task the examples describe.
+func Advise(lk *lake.Lake, examples []search.TaskExample, k int) (*Advice, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("advisor: need at least one task example")
+	}
+	if k <= 0 {
+		k = 5
+	}
+	hits, err := lk.SearchTask(examples, k)
+	if err != nil {
+		return nil, err
+	}
+	advice := &Advice{Examples: len(examples)}
+	for _, hit := range hits {
+		rec := Recommendation{ModelID: hit.ID, Fit: hit.Score}
+		if r, err := lk.Record(hit.ID); err == nil {
+			rec.Name = r.Name
+		}
+		// Measure argmax accuracy on the user's examples.
+		if h, err := lk.Model(hit.ID); err == nil {
+			correct, total := 0, 0
+			for _, ex := range examples {
+				pred, err := h.Predict(ex.X)
+				if err != nil {
+					continue
+				}
+				total++
+				if pred == ex.Y {
+					correct++
+				}
+			}
+			if total > 0 {
+				rec.Accuracy = float64(correct) / float64(total)
+			}
+		}
+		// Documentation context and caveats.
+		c, err := lk.Card(hit.ID)
+		switch {
+		case err != nil:
+			rec.Caveats = append(rec.Caveats, "model has no documentation at all")
+		default:
+			rec.Domain = c.Domain
+			if comp := c.Completeness(); comp < 0.5 {
+				rec.Caveats = append(rec.Caveats,
+					fmt.Sprintf("documentation is %.0f%% complete; provenance unclear", comp*100))
+			}
+			if c.Domain == "" {
+				rec.Caveats = append(rec.Caveats, "training domain undocumented")
+			}
+			if c.License == "" {
+				rec.Caveats = append(rec.Caveats, "no license declared")
+			}
+		}
+		if rec.Accuracy > 0 && rec.Accuracy < 0.7 {
+			rec.Caveats = append(rec.Caveats,
+				fmt.Sprintf("only %.0f%% accurate on your examples; consider fine-tuning", rec.Accuracy*100))
+		}
+		advice.Recommendations = append(advice.Recommendations, rec)
+	}
+	return advice, nil
+}

@@ -1,0 +1,154 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"modellake/internal/benchmark"
+	"modellake/internal/lake"
+	"modellake/internal/lakegen"
+	"modellake/internal/registry"
+	"modellake/internal/search"
+)
+
+func buildLake(t *testing.T, seed uint64, drop float64) (*lake.Lake, *lakegen.Population, map[int]string) {
+	t.Helper()
+	l, err := lake.Open(lake.Config{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	spec := lakegen.DefaultSpec(seed)
+	spec.NumBases = 3
+	spec.ChildrenPerBase = 4
+	spec.CardDropProb = drop
+	pop, err := lakegen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int]string{}
+	for i, m := range pop.Members {
+		rec, err := l.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = rec.ID
+	}
+	return l, pop, ids
+}
+
+func legalExamples(t *testing.T, pop *lakegen.Population, n int) []search.TaskExample {
+	t.Helper()
+	for _, m := range pop.Members {
+		if m.Truth.Depth == 0 && m.Truth.Domain == "legal" {
+			return search.DatasetAsTask(pop.Datasets[m.Truth.DatasetID], n)
+		}
+	}
+	t.Fatal("no legal base")
+	return nil
+}
+
+func TestAdviseRecommendsDomainExperts(t *testing.T) {
+	l, pop, ids := buildLake(t, 601, 0.0)
+	advice, err := Advise(l, legalExamples(t, pop, 24), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.Recommendations) != 3 {
+		t.Fatalf("got %d recommendations", len(advice.Recommendations))
+	}
+	// The top recommendation must be a legal-family model with high fit.
+	top := advice.Recommendations[0]
+	var topIdx int
+	for i, id := range ids {
+		if id == top.ModelID {
+			topIdx = i
+		}
+	}
+	if base := pop.Members[topIdx].Truth; !strings.HasPrefix(base.Domain, "legal") {
+		t.Fatalf("top recommendation domain = %s", base.Domain)
+	}
+	if top.Fit < 0.8 || top.Accuracy < 0.8 {
+		t.Fatalf("top fit/accuracy = %v/%v", top.Fit, top.Accuracy)
+	}
+	// Recommendations are sorted by fit.
+	for i := 1; i < len(advice.Recommendations); i++ {
+		if advice.Recommendations[i].Fit > advice.Recommendations[i-1].Fit {
+			t.Fatal("recommendations not sorted by fit")
+		}
+	}
+}
+
+func TestAdviseCaveatsOnPoorDocumentation(t *testing.T) {
+	l, pop, _ := buildLake(t, 602, 1.0) // all documentation gone
+	advice, err := Advise(l, legalExamples(t, pop, 16), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.Recommendations) == 0 {
+		t.Fatal("no recommendations")
+	}
+	for _, rec := range advice.Recommendations {
+		if len(rec.Caveats) == 0 {
+			t.Fatalf("undocumented model %s recommended without caveats", rec.ModelID)
+		}
+	}
+	md := advice.Markdown()
+	if !strings.Contains(md, "caveat:") {
+		t.Fatalf("markdown missing caveats:\n%s", md)
+	}
+}
+
+func TestAdviseValidation(t *testing.T) {
+	l, _, _ := buildLake(t, 603, 0.0)
+	if _, err := Advise(l, nil, 3); err == nil {
+		t.Fatal("empty examples accepted")
+	}
+}
+
+func TestAdviseMarkdownEmptyLake(t *testing.T) {
+	l, err := lake.Open(lake.Config{Seed: 604})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	examples := []search.TaskExample{{X: make([]float64, 8), Y: 0}}
+	advice, err := Advise(l, examples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(advice.Markdown(), "No lake model") {
+		t.Fatal("empty-lake advice should say so")
+	}
+}
+
+func TestSuggestBenchmarkPicksMatchingDomain(t *testing.T) {
+	l, pop, _ := buildLake(t, 605, 0.0)
+	// Register one benchmark per base domain.
+	for _, m := range pop.Members {
+		if m.Truth.Depth == 0 {
+			l.RegisterBenchmark(&benchmark.Benchmark{
+				ID: "bench-" + m.Truth.Domain, DS: pop.Datasets[m.Truth.DatasetID],
+				Metric: benchmark.MetricAccuracy,
+			})
+		}
+	}
+	id, dist, err := SuggestBenchmark(l, legalExamples(t, pop, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "bench-legal" {
+		t.Fatalf("suggested %q (dist %v), want bench-legal", id, dist)
+	}
+}
+
+func TestSuggestBenchmarkErrors(t *testing.T) {
+	l, pop, _ := buildLake(t, 606, 0.0)
+	if _, _, err := SuggestBenchmark(l, nil); err == nil {
+		t.Fatal("empty examples accepted")
+	}
+	// No benchmarks registered → error.
+	if _, _, err := SuggestBenchmark(l, legalExamples(t, pop, 8)); err == nil {
+		t.Fatal("no-benchmark lake produced a suggestion")
+	}
+}

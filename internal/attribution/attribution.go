@@ -1,0 +1,164 @@
+// Package attribution implements the model-attribution task of §3: tracing
+// model behaviour back to training data and to model internals, with the
+// paper's three lenses:
+//
+//   - History: training-data attribution. GradientInfluence is the tractable
+//     estimator (TracIn-style gradient dot products); LeaveOneOut retrains
+//     without each example and is the exact-but-costly ground truth that is
+//     only feasible because lake models are small.
+//   - Extrinsics: sensitivity analysis (input-gradient saliency, occlusion)
+//     and membership inference ("was d in D?") which observes only losses.
+//   - Intrinsics: representation analysis via linear probes on hidden
+//     activations.
+package attribution
+
+import (
+	"fmt"
+	"sort"
+
+	"modellake/internal/data"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// GradientInfluence estimates the influence of every training example on the
+// model's loss at the test point: influence_i = ∇_θ L(x_i, y_i) · ∇_θ L(x, y).
+// Positive influence means the example pushed the model toward the test
+// prediction. This is the single-checkpoint TracIn estimator.
+func GradientInfluence(m *nn.MLP, train *data.Dataset, x tensor.Vector, y int) ([]float64, error) {
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("attribution: empty training set")
+	}
+	if len(x) != m.InputDim() {
+		return nil, fmt.Errorf("attribution: test input dim %d != model %d", len(x), m.InputDim())
+	}
+	testGrad := m.GradVector(x, y)
+	out := make([]float64, train.Len())
+	for i := 0; i < train.Len(); i++ {
+		xi, yi := train.Example(i)
+		out[i] = m.GradVector(xi, yi).Dot(testGrad)
+	}
+	return out, nil
+}
+
+// LOOConfig configures exact leave-one-out retraining.
+type LOOConfig struct {
+	Arch  []int
+	Act   nn.Activation
+	Train nn.TrainConfig
+	// InitSeed seeds the weight initialization; all retrained models share
+	// it so the only varying factor is the removed example.
+	InitSeed uint64
+}
+
+// LeaveOneOut computes exact influence ground truth: for each training
+// example i, retrain the model without it and report
+// loss_without_i(x, y) − loss_full(x, y). Positive values mean the example
+// helped the prediction (removing it hurts). This is the quantity the
+// paper's training-data-attribution question asks for directly — "which d,
+// if they were not present, would cause the decision to change the most?" —
+// and it costs a full retraining per example.
+func LeaveOneOut(cfg LOOConfig, train *data.Dataset, x tensor.Vector, y int) ([]float64, error) {
+	if train.Len() == 0 {
+		return nil, fmt.Errorf("attribution: empty training set")
+	}
+	full, err := retrain(cfg, train)
+	if err != nil {
+		return nil, err
+	}
+	baseLoss := full.ExampleLoss(x, y)
+	out := make([]float64, train.Len())
+	for i := 0; i < train.Len(); i++ {
+		reduced := train.WithoutIndex(i)
+		m, err := retrain(cfg, reduced)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m.ExampleLoss(x, y) - baseLoss
+	}
+	return out, nil
+}
+
+func retrain(cfg LOOConfig, ds *data.Dataset) (*nn.MLP, error) {
+	m := nn.NewMLP(cfg.Arch, cfg.Act, xrand.New(cfg.InitSeed))
+	if _, err := nn.Train(m, ds, cfg.Train); err != nil {
+		return nil, fmt.Errorf("attribution: retrain: %w", err)
+	}
+	return m, nil
+}
+
+// TopK returns the indices of the k largest values, descending.
+func TopK(values []float64, k int) []int {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if values[idx[a]] != values[idx[b]] {
+			return values[idx[a]] > values[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	if k > len(idx) {
+		k = len(idx)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return idx[:k]
+}
+
+// OverlapAtK returns |TopK(a) ∩ TopK(b)| / k — how well an influence
+// estimator recovers the ground truth's most influential examples.
+func OverlapAtK(a, b []float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	sa := TopK(a, k)
+	sb := TopK(b, k)
+	inB := map[int]bool{}
+	for _, i := range sb {
+		inB[i] = true
+	}
+	hits := 0
+	for _, i := range sa {
+		if inB[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// Saliency returns the absolute input gradient |∂L/∂x| at (x, y): which
+// input features the prediction is most sensitive to (local explanation).
+func Saliency(m *nn.MLP, x tensor.Vector, y int) (tensor.Vector, error) {
+	if len(x) != m.InputDim() {
+		return nil, fmt.Errorf("attribution: input dim %d != model %d", len(x), m.InputDim())
+	}
+	g := m.InputGradient(x, y)
+	for i, v := range g {
+		if v < 0 {
+			g[i] = -v
+		}
+	}
+	return g, nil
+}
+
+// Occlusion measures, for each input feature, the loss increase when that
+// feature is zeroed — a mask-based local explanation.
+func Occlusion(m *nn.MLP, x tensor.Vector, y int) (tensor.Vector, error) {
+	if len(x) != m.InputDim() {
+		return nil, fmt.Errorf("attribution: input dim %d != model %d", len(x), m.InputDim())
+	}
+	base := m.ExampleLoss(x, y)
+	out := tensor.NewVector(len(x))
+	work := x.Clone()
+	for i := range x {
+		orig := work[i]
+		work[i] = 0
+		out[i] = m.ExampleLoss(work, y) - base
+		work[i] = orig
+	}
+	return out, nil
+}

@@ -1,0 +1,329 @@
+package attribution
+
+import (
+	"math"
+	"testing"
+
+	"modellake/internal/data"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func smallSetup(t *testing.T, n int, seed uint64) (*nn.MLP, *data.Dataset, nn.TrainConfig) {
+	t.Helper()
+	dom := data.NewDomain("attr", 6, 2, seed)
+	ds := dom.Sample("attr/v1", n, 0.5, xrand.New(seed+1))
+	cfg := nn.TrainConfig{Epochs: 40, BatchSize: 8, LR: 0.1, Seed: seed}
+	m := nn.NewMLP([]int{6, 8, 2}, nn.ReLU, xrand.New(seed+2))
+	if _, err := nn.Train(m, ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return m, ds, cfg
+}
+
+func TestGradientInfluenceCorrelatesWithLOO(t *testing.T) {
+	// The E3 claim in miniature: the cheap gradient estimator must rank
+	// training examples similarly to exact leave-one-out retraining.
+	const n = 24
+	dom := data.NewDomain("loo", 6, 2, 31)
+	ds := dom.Sample("loo/v1", n, 0.6, xrand.New(32))
+	cfg := LOOConfig{
+		Arch:     []int{6, 8, 2},
+		Act:      nn.ReLU,
+		Train:    nn.TrainConfig{Epochs: 30, BatchSize: 8, LR: 0.1, Seed: 7},
+		InitSeed: 9,
+	}
+	full, err := retrain(cfg, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Test point near class 0's mean.
+	x := dom.Mean(0).Clone()
+	y := 0
+
+	loo, err := LeaveOneOut(cfg, ds, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := GradientInfluence(full, ds, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := tensor.SpearmanCorrelation(inf, loo)
+	if rho < 0.3 {
+		t.Fatalf("influence-vs-LOO Spearman = %.3f, want >= 0.3", rho)
+	}
+	// And both should beat a random ordering on top-k overlap.
+	if ov := OverlapAtK(inf, loo, 5); ov < 0.4 {
+		t.Fatalf("top-5 overlap = %v, want >= 0.4", ov)
+	}
+}
+
+func TestGradientInfluenceSignMakesSense(t *testing.T) {
+	// Same-class nearby examples should on average have higher influence on
+	// a test point than opposite-class examples.
+	m, ds, _ := smallSetup(t, 100, 41)
+	dom := data.NewDomain("attr", 6, 2, 41)
+	x := dom.Mean(1).Clone()
+	inf, err := GradientInfluence(m, ds, x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var same, other float64
+	var nSame, nOther int
+	for i := 0; i < ds.Len(); i++ {
+		if ds.Y[i] == 1 {
+			same += inf[i]
+			nSame++
+		} else {
+			other += inf[i]
+			nOther++
+		}
+	}
+	if same/float64(nSame) <= other/float64(nOther) {
+		t.Fatalf("same-class mean influence %v <= other-class %v",
+			same/float64(nSame), other/float64(nOther))
+	}
+}
+
+func TestGradientInfluenceValidation(t *testing.T) {
+	m, ds, _ := smallSetup(t, 20, 43)
+	if _, err := GradientInfluence(m, ds, tensor.Vector{1}, 0); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	empty := &data.Dataset{X: tensor.NewMatrix(0, 6), NumClasses: 2}
+	x := make(tensor.Vector, 6)
+	if _, err := GradientInfluence(m, empty, x, 0); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestTopKAndOverlap(t *testing.T) {
+	vals := []float64{0.1, 0.9, 0.5, 0.7}
+	top := TopK(vals, 2)
+	if top[0] != 1 || top[1] != 3 {
+		t.Fatalf("TopK = %v", top)
+	}
+	if got := OverlapAtK(vals, vals, 3); got != 1 {
+		t.Fatalf("self overlap = %v", got)
+	}
+	if got := OverlapAtK(vals, []float64{0.9, 0.1, 0.7, 0.5}, 1); got != 0 {
+		t.Fatalf("disjoint top-1 overlap = %v", got)
+	}
+	if OverlapAtK(vals, vals, 0) != 0 {
+		t.Fatal("k=0 overlap should be 0")
+	}
+	if len(TopK(vals, 100)) != 4 {
+		t.Fatal("TopK should clamp k")
+	}
+}
+
+func TestSaliencyHighlightsInformativeFeatures(t *testing.T) {
+	// Build a dataset where only feature 0 matters; saliency must rank it
+	// first.
+	rng := xrand.New(51)
+	n := 200
+	ds := &data.Dataset{ID: "sal", X: tensor.NewMatrix(n, 4), Y: make([]int, n), NumClasses: 2}
+	for i := 0; i < n; i++ {
+		y := i % 2
+		ds.Y[i] = y
+		row := ds.X.Row(i)
+		row[0] = float64(2*y-1)*2 + 0.2*rng.NormFloat64()
+		for j := 1; j < 4; j++ {
+			row[j] = rng.NormFloat64()
+		}
+	}
+	m := nn.NewMLP([]int{4, 8, 2}, nn.Tanh, xrand.New(52))
+	if _, err := nn.Train(m, ds, nn.TrainConfig{Epochs: 30, BatchSize: 8, LR: 0.1, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	x, y := ds.Example(0)
+	sal, err := Saliency(m, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sal.ArgMax() != 0 {
+		t.Fatalf("saliency = %v, want feature 0 dominant", sal)
+	}
+	occ, err := Occlusion(m, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if occ.ArgMax() != 0 {
+		t.Fatalf("occlusion = %v, want feature 0 dominant", occ)
+	}
+}
+
+func TestSaliencyValidation(t *testing.T) {
+	m, _, _ := smallSetup(t, 20, 61)
+	if _, err := Saliency(m, tensor.Vector{1}, 0); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+	if _, err := Occlusion(m, tensor.Vector{1}, 0); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestAUCPerfectAndRandom(t *testing.T) {
+	perfect := AUC([]float64{1, 2, 3, 4}, []bool{false, false, true, true})
+	if perfect != 1 {
+		t.Fatalf("perfect AUC = %v", perfect)
+	}
+	inverted := AUC([]float64{4, 3, 2, 1}, []bool{false, false, true, true})
+	if inverted != 0 {
+		t.Fatalf("inverted AUC = %v", inverted)
+	}
+	ties := AUC([]float64{1, 1, 1, 1}, []bool{true, false, true, false})
+	if math.Abs(ties-0.5) > 1e-12 {
+		t.Fatalf("all-ties AUC = %v, want 0.5", ties)
+	}
+	if AUC([]float64{1}, []bool{true}) != 0 {
+		t.Fatal("single-class AUC should be 0")
+	}
+}
+
+func TestMembershipAUCGrowsWithOverfitting(t *testing.T) {
+	// A hard, noisy task: overlapping classes plus 25% label noise means a
+	// long-trained model memorizes its training set, opening a loss gap the
+	// attack exploits.
+	dom := data.NewDomain("mem", 8, 2, 71)
+	train := dom.Sample("mem/train", 40, 3.0, xrand.New(72))
+	held := dom.Sample("mem/held", 40, 3.0, xrand.New(73))
+	rng := xrand.New(99)
+	for i := range train.Y {
+		if rng.Float64() < 0.25 {
+			train.Y[i] = 1 - train.Y[i]
+		}
+	}
+
+	auc := func(epochs int) float64 {
+		m := nn.NewMLP([]int{8, 64, 2}, nn.ReLU, xrand.New(74))
+		cfg := nn.TrainConfig{Epochs: epochs, BatchSize: 8, LR: 0.1, Seed: 75}
+		if _, err := nn.Train(m, train, cfg); err != nil {
+			t.Fatal(err)
+		}
+		a, err := MembershipAUC(m, train, held)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	under := auc(2)
+	over := auc(300)
+	if over <= under+0.1 {
+		t.Fatalf("membership AUC did not grow with overfitting: %v -> %v", under, over)
+	}
+	if over < 0.65 {
+		t.Fatalf("overfit AUC = %v, want >= 0.65", over)
+	}
+}
+
+func TestMembershipValidation(t *testing.T) {
+	m, ds, _ := smallSetup(t, 20, 81)
+	empty := &data.Dataset{X: tensor.NewMatrix(0, 6), NumClasses: 2}
+	if _, err := MembershipAUC(m, empty, ds); err == nil {
+		t.Fatal("empty members accepted")
+	}
+	if _, err := MembershipAUC(m, ds, empty); err == nil {
+		t.Fatal("empty non-members accepted")
+	}
+}
+
+func TestLinearProbeFindsDomainConcept(t *testing.T) {
+	m, ds, _ := smallSetup(t, 200, 91)
+	probe, trainAcc, err := TrainProbe(m, ds, ProbeConfig{Layer: 0, Seed: 92})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trainAcc < 0.9 {
+		t.Fatalf("probe training accuracy = %v, want >= 0.9 (class is linearly decodable)", trainAcc)
+	}
+	fresh := data.NewDomain("attr", 6, 2, 91).Sample("attr/fresh", 100, 0.5, xrand.New(93))
+	acc, err := probe.Accuracy(m, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Fatalf("probe held-out accuracy = %v, want >= 0.85", acc)
+	}
+}
+
+func TestProbeValidation(t *testing.T) {
+	m, ds, _ := smallSetup(t, 20, 95)
+	if _, _, err := TrainProbe(m, ds, ProbeConfig{Layer: 5}); err == nil {
+		t.Fatal("bad layer accepted")
+	}
+	shallow := nn.NewMLP([]int{6, 2}, nn.ReLU, xrand.New(1))
+	if _, _, err := TrainProbe(shallow, ds, ProbeConfig{}); err == nil {
+		t.Fatal("layerless model accepted")
+	}
+	probe, _, err := TrainProbe(m, ds, ProbeConfig{Layer: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := &data.Dataset{X: tensor.NewMatrix(0, 6), NumClasses: 2}
+	if _, err := probe.Accuracy(m, empty); err == nil {
+		t.Fatal("empty probe dataset accepted")
+	}
+}
+
+func BenchmarkGradientInfluence(b *testing.B) {
+	dom := data.NewDomain("bench", 8, 2, 1)
+	ds := dom.Sample("bench/v1", 100, 0.5, xrand.New(2))
+	m := nn.NewMLP([]int{8, 16, 2}, nn.ReLU, xrand.New(3))
+	x, y := ds.Example(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GradientInfluence(m, ds, x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestInvertSynthesizesTargetClassInput(t *testing.T) {
+	m, ds, _ := smallSetup(t, 200, 151)
+	_ = ds
+	for target := 0; target < 2; target++ {
+		x, conf, err := Invert(m, target, InvertConfig{Seed: uint64(target) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Predict(x) != target {
+			t.Fatalf("inverted input classified as %d, want %d", m.Predict(x), target)
+		}
+		if conf < 0.9 {
+			t.Fatalf("inversion confidence = %v, want >= 0.9", conf)
+		}
+	}
+}
+
+func TestInvertedInputResemblesClassRegion(t *testing.T) {
+	// The synthesized input should sit closer to its class mean than to the
+	// other class mean — inversion recovers the learned concept, not noise.
+	dom := data.NewDomain("attr", 6, 2, 151) // matches smallSetup's domain seed
+	m, _, _ := smallSetup(t, 200, 151)
+	for target := 0; target < 2; target++ {
+		x, _, err := Invert(m, target, InvertConfig{Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Compare direction (inversion magnitude is unconstrained).
+		xn := x.Clone()
+		xn.Normalize()
+		own := dom.Mean(target).Clone()
+		own.Normalize()
+		other := dom.Mean(1 - target).Clone()
+		other.Normalize()
+		if tensor.L2Distance(xn, own) >= tensor.L2Distance(xn, other) {
+			t.Fatalf("inverted class-%d input points toward the wrong class mean", target)
+		}
+	}
+}
+
+func TestInvertValidation(t *testing.T) {
+	m, _, _ := smallSetup(t, 20, 153)
+	if _, _, err := Invert(m, 99, InvertConfig{}); err == nil {
+		t.Fatal("bad target accepted")
+	}
+}

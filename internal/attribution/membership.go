@@ -1,0 +1,79 @@
+package attribution
+
+import (
+	"fmt"
+	"sort"
+
+	"modellake/internal/data"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+)
+
+// MembershipScore returns the membership-inference score for a single point:
+// the negated loss. Members (points the model trained on) tend to have lower
+// loss, hence higher score. This is the standard loss-threshold attack.
+func MembershipScore(m *nn.MLP, x tensor.Vector, y int) float64 {
+	return -m.ExampleLoss(x, y)
+}
+
+// MembershipAUC runs the loss-threshold attack against a model: members is
+// (a sample of) the true training data, nonMembers is held-out data from the
+// same distribution. It returns the ROC-AUC of distinguishing the two — 0.5
+// means the attack learns nothing, 1.0 means training data is fully exposed.
+func MembershipAUC(m *nn.MLP, members, nonMembers *data.Dataset) (float64, error) {
+	if members.Len() == 0 || nonMembers.Len() == 0 {
+		return 0, fmt.Errorf("attribution: membership needs both member and non-member samples")
+	}
+	scores := make([]float64, 0, members.Len()+nonMembers.Len())
+	labels := make([]bool, 0, members.Len()+nonMembers.Len())
+	for i := 0; i < members.Len(); i++ {
+		x, y := members.Example(i)
+		scores = append(scores, MembershipScore(m, x, y))
+		labels = append(labels, true)
+	}
+	for i := 0; i < nonMembers.Len(); i++ {
+		x, y := nonMembers.Example(i)
+		scores = append(scores, MembershipScore(m, x, y))
+		labels = append(labels, false)
+	}
+	return AUC(scores, labels), nil
+}
+
+// AUC computes the area under the ROC curve for scores with binary labels
+// (true = positive). Ties are handled by the rank-sum (Mann-Whitney)
+// formulation.
+func AUC(scores []float64, labels []bool) float64 {
+	n := len(scores)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	// Fractional ranks with tie averaging.
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && scores[idx[j+1]] == scores[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	var posRankSum float64
+	var nPos, nNeg int
+	for i, lab := range labels {
+		if lab {
+			posRankSum += ranks[i]
+			nPos++
+		} else {
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return 0
+	}
+	return (posRankSum - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}

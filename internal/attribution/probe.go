@@ -1,0 +1,93 @@
+package attribution
+
+import (
+	"fmt"
+
+	"modellake/internal/data"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// LinearProbe is a linear classifier trained on a model's hidden activations
+// to test whether a concept is linearly represented there — the probing-
+// classifiers family of global explanations.
+type LinearProbe struct {
+	Layer int // which hidden layer's activations are probed
+	net   *nn.MLP
+}
+
+// ProbeConfig configures probe training.
+type ProbeConfig struct {
+	Layer  int
+	Epochs int
+	LR     float64
+	Seed   uint64
+}
+
+// TrainProbe fits a linear probe on the activations of model m at the given
+// hidden layer, predicting the labels of ds. It returns the probe and its
+// training accuracy (the usual probing statistic).
+func TrainProbe(m *nn.MLP, ds *data.Dataset, cfg ProbeConfig) (*LinearProbe, float64, error) {
+	if m.LayerCount() < 2 {
+		return nil, 0, fmt.Errorf("attribution: model has no hidden layers to probe")
+	}
+	if cfg.Layer < 0 || cfg.Layer >= m.LayerCount()-1 {
+		return nil, 0, fmt.Errorf("attribution: probe layer %d out of range [0,%d)", cfg.Layer, m.LayerCount()-1)
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 30
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.1
+	}
+	// Extract activations once.
+	hiddenDim := m.Sizes[cfg.Layer+1]
+	acts := &data.Dataset{
+		ID:         ds.ID + "#probe",
+		Domain:     ds.Domain,
+		X:          tensor.NewMatrix(ds.Len(), hiddenDim),
+		Y:          append([]int(nil), ds.Y...),
+		NumClasses: ds.NumClasses,
+	}
+	for i := 0; i < ds.Len(); i++ {
+		x, _ := ds.Example(i)
+		h := m.HiddenActivations(x)[cfg.Layer]
+		copy(acts.X.Row(i), h)
+	}
+	probeNet := nn.NewMLP([]int{hiddenDim, ds.NumClasses}, nn.ReLU, xrand.New(cfg.Seed))
+	tc := nn.TrainConfig{Epochs: cfg.Epochs, BatchSize: 16, LR: cfg.LR, Seed: cfg.Seed}
+	if _, err := nn.Train(probeNet, acts, tc); err != nil {
+		return nil, 0, err
+	}
+	probe := &LinearProbe{Layer: cfg.Layer, net: probeNet}
+	return probe, probeNet.Accuracy(acts), nil
+}
+
+// Predict classifies the concept from model m's activations for input x.
+func (p *LinearProbe) Predict(m *nn.MLP, x tensor.Vector) (int, error) {
+	hs := m.HiddenActivations(x)
+	if p.Layer >= len(hs) {
+		return 0, fmt.Errorf("attribution: probe layer %d missing on this model", p.Layer)
+	}
+	return p.net.Predict(hs[p.Layer]), nil
+}
+
+// Accuracy evaluates the probe on a fresh dataset through model m.
+func (p *LinearProbe) Accuracy(m *nn.MLP, ds *data.Dataset) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, fmt.Errorf("attribution: empty probe dataset")
+	}
+	correct := 0
+	for i := 0; i < ds.Len(); i++ {
+		x, y := ds.Example(i)
+		pred, err := p.Predict(m, x)
+		if err != nil {
+			return 0, err
+		}
+		if pred == y {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len()), nil
+}

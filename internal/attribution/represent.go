@@ -1,0 +1,99 @@
+package attribution
+
+import (
+	"fmt"
+
+	"modellake/internal/data"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+)
+
+// ConceptDirection extracts a linear concept direction at a hidden layer in
+// the style of representation engineering (§4 Privacy and Safety, citing Zou
+// et al.): the difference between the mean activations of examples carrying
+// the concept (label == concept) and those not carrying it, normalized to
+// unit length. Steering along this direction pushes the model toward the
+// concept class; probing along it reads the concept out.
+func ConceptDirection(m *nn.MLP, ds *data.Dataset, layer, concept int) (tensor.Vector, error) {
+	if m.LayerCount() < 2 {
+		return nil, fmt.Errorf("attribution: model has no hidden layers")
+	}
+	if layer < 0 || layer >= m.LayerCount()-1 {
+		return nil, fmt.Errorf("attribution: layer %d out of range [0,%d)", layer, m.LayerCount()-1)
+	}
+	if concept < 0 || concept >= ds.NumClasses {
+		return nil, fmt.Errorf("attribution: concept %d out of range [0,%d)", concept, ds.NumClasses)
+	}
+	if ds.Len() == 0 {
+		return nil, fmt.Errorf("attribution: empty dataset")
+	}
+	width := m.Sizes[layer+1]
+	pos := tensor.NewVector(width)
+	neg := tensor.NewVector(width)
+	var nPos, nNeg int
+	for i := 0; i < ds.Len(); i++ {
+		x, y := ds.Example(i)
+		h := m.HiddenActivations(x)[layer]
+		if y == concept {
+			pos.AddScaled(1, h)
+			nPos++
+		} else {
+			neg.AddScaled(1, h)
+			nNeg++
+		}
+	}
+	if nPos == 0 || nNeg == 0 {
+		return nil, fmt.Errorf("attribution: concept %d needs both positive and negative examples", concept)
+	}
+	pos.Scale(1 / float64(nPos))
+	neg.Scale(1 / float64(nNeg))
+	dir := pos.Clone()
+	dir.AddScaled(-1, neg)
+	if dir.Normalize() == 0 {
+		return nil, fmt.Errorf("attribution: degenerate concept direction")
+	}
+	return dir, nil
+}
+
+// Steer runs x through the model with its layer-`layer` activation shifted
+// by alpha·direction, returning the resulting class probabilities — the
+// representation-engineering intervention: positive alpha pushes the model
+// toward the concept the direction encodes.
+func Steer(m *nn.MLP, x tensor.Vector, layer int, direction tensor.Vector, alpha float64) (tensor.Vector, error) {
+	if len(x) != m.InputDim() {
+		return nil, fmt.Errorf("attribution: input dim %d != model %d", len(x), m.InputDim())
+	}
+	hs := m.HiddenActivations(x)
+	if layer < 0 || layer >= len(hs) {
+		return nil, fmt.Errorf("attribution: layer %d out of range [0,%d)", layer, len(hs))
+	}
+	h := hs[layer].Clone()
+	if len(direction) != len(h) {
+		return nil, fmt.Errorf("attribution: direction length %d != layer width %d", len(direction), len(h))
+	}
+	h.AddScaled(alpha, direction)
+	logits, err := m.ForwardFromHidden(layer, h)
+	if err != nil {
+		return nil, err
+	}
+	probs := logits.Clone()
+	nn.Softmax(probs)
+	return probs, nil
+}
+
+// ConceptScore reads the concept out of a single input: the projection of
+// its layer activation onto the concept direction. Higher means the model
+// represents the input as carrying the concept.
+func ConceptScore(m *nn.MLP, x tensor.Vector, layer int, direction tensor.Vector) (float64, error) {
+	if len(x) != m.InputDim() {
+		return 0, fmt.Errorf("attribution: input dim %d != model %d", len(x), m.InputDim())
+	}
+	hs := m.HiddenActivations(x)
+	if layer < 0 || layer >= len(hs) {
+		return 0, fmt.Errorf("attribution: layer %d out of range [0,%d)", layer, len(hs))
+	}
+	if len(direction) != len(hs[layer]) {
+		return 0, fmt.Errorf("attribution: direction length mismatch")
+	}
+	return hs[layer].Dot(direction), nil
+}

@@ -1,0 +1,146 @@
+package attribution
+
+import (
+	"testing"
+
+	"modellake/internal/data"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func TestConceptDirectionSeparatesClasses(t *testing.T) {
+	m, ds, _ := smallSetup(t, 200, 161)
+	dir, err := ConceptDirection(m, ds, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := dir.Norm(); d < 0.999 || d > 1.001 {
+		t.Fatalf("direction norm = %v, want 1", d)
+	}
+	// Concept scores of class-1 examples exceed class-0 examples on average
+	// and separate almost perfectly.
+	var s1, s0 float64
+	var n1, n0, ordered, pairs int
+	scores := make([]float64, ds.Len())
+	for i := 0; i < ds.Len(); i++ {
+		x, _ := ds.Example(i)
+		s, err := ConceptScore(m, x, 0, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scores[i] = s
+		if ds.Y[i] == 1 {
+			s1 += s
+			n1++
+		} else {
+			s0 += s
+			n0++
+		}
+	}
+	if s1/float64(n1) <= s0/float64(n0) {
+		t.Fatalf("concept score means not ordered: %v vs %v", s1/float64(n1), s0/float64(n0))
+	}
+	for i := 0; i < ds.Len(); i++ {
+		for j := 0; j < ds.Len(); j++ {
+			if ds.Y[i] == 1 && ds.Y[j] == 0 {
+				pairs++
+				if scores[i] > scores[j] {
+					ordered++
+				}
+			}
+		}
+	}
+	if auc := float64(ordered) / float64(pairs); auc < 0.95 {
+		t.Fatalf("concept readout AUC = %v, want >= 0.95", auc)
+	}
+}
+
+func TestSteeringFlipsPredictions(t *testing.T) {
+	m, ds, _ := smallSetup(t, 200, 163)
+	dir, err := ConceptDirection(m, ds, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Take class-0 inputs and steer them toward concept 1.
+	flipped, total := 0, 0
+	for i := 0; i < ds.Len() && total < 30; i++ {
+		x, y := ds.Example(i)
+		if y != 0 || m.Predict(x) != 0 {
+			continue
+		}
+		total++
+		probs, err := Steer(m, x, 0, dir, 8.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if probs.ArgMax() == 1 {
+			flipped++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no class-0 inputs to steer")
+	}
+	if frac := float64(flipped) / float64(total); frac < 0.8 {
+		t.Fatalf("steering flipped only %.0f%% of inputs", frac*100)
+	}
+	// Zero-strength steering is a no-op on the prediction.
+	x, _ := ds.Example(0)
+	probs, err := Steer(m, x, 0, dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probs.ArgMax() != m.Predict(x) {
+		t.Fatal("alpha=0 steering changed the prediction")
+	}
+}
+
+func TestConceptValidation(t *testing.T) {
+	m, ds, _ := smallSetup(t, 40, 165)
+	if _, err := ConceptDirection(m, ds, 9, 0); err == nil {
+		t.Fatal("bad layer accepted")
+	}
+	if _, err := ConceptDirection(m, ds, 0, 9); err == nil {
+		t.Fatal("bad concept accepted")
+	}
+	empty := &data.Dataset{X: tensor.NewMatrix(0, 6), NumClasses: 2}
+	if _, err := ConceptDirection(m, empty, 0, 0); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	shallow := nn.NewMLP([]int{6, 2}, nn.ReLU, xrand.New(1))
+	if _, err := ConceptDirection(shallow, ds, 0, 0); err == nil {
+		t.Fatal("layerless model accepted")
+	}
+	dir := make(tensor.Vector, 8)
+	if _, err := Steer(m, tensor.Vector{1}, 0, dir, 1); err == nil {
+		t.Fatal("bad input dim accepted")
+	}
+	if _, err := Steer(m, make(tensor.Vector, 6), 0, make(tensor.Vector, 3), 1); err == nil {
+		t.Fatal("bad direction length accepted")
+	}
+	if _, err := ConceptScore(m, make(tensor.Vector, 6), 5, dir); err == nil {
+		t.Fatal("bad layer accepted in ConceptScore")
+	}
+}
+
+func TestForwardFromHiddenConsistent(t *testing.T) {
+	// Resuming from the unmodified activation must reproduce the normal
+	// forward pass exactly.
+	m, ds, _ := smallSetup(t, 20, 167)
+	x, _ := ds.Example(0)
+	want := m.Logits(x)
+	h := m.HiddenActivations(x)[0]
+	got, err := m.ForwardFromHidden(0, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.L2Distance(want, got) > 1e-12 {
+		t.Fatalf("ForwardFromHidden diverges from Logits: %v vs %v", got, want)
+	}
+	if _, err := m.ForwardFromHidden(9, h); err == nil {
+		t.Fatal("bad layer accepted")
+	}
+	if _, err := m.ForwardFromHidden(0, h[:2]); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}

@@ -1,0 +1,263 @@
+// Package audit implements the auditing application of §6: a template
+// questionnaire (in the spirit of AI-Act-style machine-readable risk
+// documentation) whose answers are drafted automatically from lake analyses,
+// plus the upstream-risk propagation of Wang et al. — when a base model is
+// flagged, every downstream version inherits the warning through the
+// (recovered) version graph.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"modellake/internal/card"
+	"modellake/internal/version"
+)
+
+// Severity grades findings.
+type Severity string
+
+// Severity levels.
+const (
+	SeverityInfo     Severity = "info"
+	SeverityWarning  Severity = "warning"
+	SeverityCritical Severity = "critical"
+)
+
+// Finding is one audit observation.
+type Finding struct {
+	ID       string
+	Severity Severity
+	Title    string
+	Detail   string
+}
+
+// QA is one answered questionnaire item.
+type QA struct {
+	ID       string
+	Question string
+	Answer   string
+}
+
+// Report is a completed audit.
+type Report struct {
+	ModelID  string
+	Findings []Finding
+	Answers  []QA
+}
+
+// HasCritical reports whether the audit found any critical issue.
+func (r *Report) HasCritical() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SeverityCritical {
+			return true
+		}
+	}
+	return false
+}
+
+// Markdown renders the report.
+func (r *Report) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Audit Report: %s\n\n", r.ModelID)
+	if len(r.Findings) == 0 {
+		sb.WriteString("No findings.\n\n")
+	} else {
+		sb.WriteString("## Findings\n\n")
+		for _, f := range r.Findings {
+			fmt.Fprintf(&sb, "- **[%s] %s** (%s): %s\n", f.Severity, f.Title, f.ID, f.Detail)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("## Questionnaire\n\n")
+	for _, qa := range r.Answers {
+		fmt.Fprintf(&sb, "**%s. %s**\n\n%s\n\n", qa.ID, qa.Question, qa.Answer)
+	}
+	return sb.String()
+}
+
+// Input carries everything the auditor consults.
+type Input struct {
+	ModelID string
+	Card    *card.Card // may be nil (itself a finding)
+	// Graph is the version graph used for risk propagation — ideally the
+	// recovered graph, since declared lineage may be missing or false.
+	Graph *version.Graph
+	// Flagged maps model IDs to risk descriptions (e.g. a known-poisoned
+	// base model).
+	Flagged map[string]string
+	// MembershipAUC, when >= 0, is the measured membership-inference
+	// exposure of the model (0.5 = none). Pass a negative value when not
+	// measured.
+	MembershipAUC float64
+	// DocFlags are misinformation flags raised by docgen cross-checks.
+	DocFlags []string
+	// TrainingClaim carries the behavioural verification of the card's
+	// "trained on X" claim (empty when not checked).
+	TrainingClaim ClaimCheck
+}
+
+// ClaimCheck records the verification of one documentation claim.
+type ClaimCheck struct {
+	Claim    string  // e.g. the claimed dataset ID
+	Verdict  string  // "supported", "refuted", "inconclusive", or "" (unchecked)
+	Evidence float64 // measured accuracy backing the verdict
+}
+
+// Thresholds (exported for the experiments to reference).
+const (
+	// CompletenessFloor is the minimum card completeness that passes audit.
+	CompletenessFloor = 0.5
+	// MembershipAUCCeiling is the maximum tolerated membership exposure.
+	MembershipAUCCeiling = 0.65
+)
+
+// Run performs the audit.
+func Run(in Input) *Report {
+	r := &Report{ModelID: in.ModelID}
+
+	// A1: documentation.
+	completeness := 0.0
+	if in.Card != nil {
+		completeness = in.Card.Completeness()
+	}
+	if in.Card == nil {
+		r.Findings = append(r.Findings, Finding{
+			ID: "A1", Severity: SeverityCritical, Title: "No model card",
+			Detail: "The model has no documentation at all.",
+		})
+	} else if completeness < CompletenessFloor {
+		r.Findings = append(r.Findings, Finding{
+			ID: "A1", Severity: SeverityWarning, Title: "Incomplete documentation",
+			Detail: fmt.Sprintf("Card completeness %.0f%% is below the %.0f%% floor.",
+				completeness*100, CompletenessFloor*100),
+		})
+	}
+	r.Answers = append(r.Answers, QA{
+		ID:       "A1",
+		Question: "Is the model documented, and how complete is its card?",
+		Answer:   fmt.Sprintf("Card completeness: %.0f%%.", completeness*100),
+	})
+
+	// A2: upstream risk propagation over the version graph.
+	var inheritedRisks []string
+	if in.Graph != nil && len(in.Flagged) > 0 {
+		if reason, ok := in.Flagged[in.ModelID]; ok {
+			inheritedRisks = append(inheritedRisks, fmt.Sprintf("directly flagged: %s", reason))
+		}
+		for _, anc := range in.Graph.Ancestors(in.ModelID) {
+			if reason, ok := in.Flagged[anc]; ok {
+				inheritedRisks = append(inheritedRisks,
+					fmt.Sprintf("derived from flagged model %s: %s", anc, reason))
+			}
+		}
+	}
+	sort.Strings(inheritedRisks)
+	if len(inheritedRisks) > 0 {
+		r.Findings = append(r.Findings, Finding{
+			ID: "A2", Severity: SeverityCritical, Title: "Upstream model risk",
+			Detail: strings.Join(inheritedRisks, "; "),
+		})
+	}
+	answer := "No known upstream risks."
+	if len(inheritedRisks) > 0 {
+		answer = strings.Join(inheritedRisks, "; ")
+	}
+	r.Answers = append(r.Answers, QA{
+		ID:       "A2",
+		Question: "Does the model inherit risks from upstream models it was derived from?",
+		Answer:   answer,
+	})
+
+	// A3: privacy exposure.
+	switch {
+	case in.MembershipAUC < 0:
+		r.Answers = append(r.Answers, QA{
+			ID: "A3", Question: "Is training data exposed to membership inference?",
+			Answer: "Not measured.",
+		})
+	default:
+		if in.MembershipAUC > MembershipAUCCeiling {
+			r.Findings = append(r.Findings, Finding{
+				ID: "A3", Severity: SeverityWarning, Title: "Training-data exposure",
+				Detail: fmt.Sprintf("Membership-inference AUC %.2f exceeds the %.2f ceiling.",
+					in.MembershipAUC, MembershipAUCCeiling),
+			})
+		}
+		r.Answers = append(r.Answers, QA{
+			ID: "A3", Question: "Is training data exposed to membership inference?",
+			Answer: fmt.Sprintf("Measured membership-inference AUC: %.2f (0.5 = no exposure).",
+				in.MembershipAUC),
+		})
+	}
+
+	// A4: documentation integrity (docgen cross-checks).
+	if len(in.DocFlags) > 0 {
+		r.Findings = append(r.Findings, Finding{
+			ID: "A4", Severity: SeverityCritical, Title: "Documentation contradicts analysis",
+			Detail: strings.Join(in.DocFlags, "; "),
+		})
+	}
+	answer = "Documentation is consistent with lake analyses."
+	if len(in.DocFlags) > 0 {
+		answer = strings.Join(in.DocFlags, "; ")
+	}
+	r.Answers = append(r.Answers, QA{
+		ID:       "A4",
+		Question: "Do content-based analyses corroborate the documentation?",
+		Answer:   answer,
+	})
+
+	// A6: training-claim verification.
+	if in.TrainingClaim.Verdict != "" {
+		if in.TrainingClaim.Verdict == "refuted" {
+			r.Findings = append(r.Findings, Finding{
+				ID: "A6", Severity: SeverityCritical, Title: "Training-data claim refuted",
+				Detail: fmt.Sprintf("The card claims training on %q but the model performs at %.0f%% "+
+					"(near chance) on it.", in.TrainingClaim.Claim, in.TrainingClaim.Evidence*100),
+			})
+		}
+		r.Answers = append(r.Answers, QA{
+			ID:       "A6",
+			Question: "Does behavioural evidence support the declared training data?",
+			Answer: fmt.Sprintf("Claim %q: %s (accuracy %.0f%%).",
+				in.TrainingClaim.Claim, in.TrainingClaim.Verdict, in.TrainingClaim.Evidence*100),
+		})
+	}
+
+	// A5: licensing.
+	if in.Card != nil && in.Card.License == "" {
+		r.Findings = append(r.Findings, Finding{
+			ID: "A5", Severity: SeverityWarning, Title: "No license",
+			Detail: "The card declares no license; downstream use terms are unknown.",
+		})
+	}
+	lic := "none declared"
+	if in.Card != nil && in.Card.License != "" {
+		lic = in.Card.License
+	}
+	r.Answers = append(r.Answers, QA{
+		ID:       "A5",
+		Question: "Under what license may the model be used?",
+		Answer:   lic,
+	})
+	return r
+}
+
+// PropagateRisk computes, for every model in the graph, the flagged
+// ancestors whose risk it inherits. The result maps model ID → sorted list
+// of flagged ancestor IDs (directly flagged models map to themselves too).
+func PropagateRisk(g *version.Graph, flagged map[string]string) map[string][]string {
+	out := map[string][]string{}
+	for id := range flagged {
+		out[id] = append(out[id], id)
+		for _, d := range g.Descendants(id) {
+			out[d] = append(out[d], id)
+		}
+	}
+	for id := range out {
+		sort.Strings(out[id])
+	}
+	return out
+}

@@ -1,0 +1,212 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"modellake/internal/card"
+	"modellake/internal/version"
+)
+
+func chainGraph() *version.Graph {
+	return &version.Graph{
+		Nodes: []string{"base", "mid", "leaf", "island"},
+		Edges: []version.Edge{
+			{Parent: "base", Child: "mid"},
+			{Parent: "mid", Child: "leaf"},
+		},
+	}
+}
+
+func fullCard() *card.Card {
+	return &card.Card{
+		ModelID: "leaf", Name: "leaf", Description: "d", Task: "t", Domain: "legal",
+		Architecture: "mlp", TrainingData: "legal/v1", BaseModel: "mid", Transform: "finetune",
+		Metrics: map[string]float64{"acc": 0.9}, IntendedUse: "u", Limitations: "l",
+		License: "apache-2.0", Contact: "c",
+	}
+}
+
+func TestCleanModelPasses(t *testing.T) {
+	r := Run(Input{ModelID: "leaf", Card: fullCard(), Graph: chainGraph(), MembershipAUC: 0.52})
+	if len(r.Findings) != 0 {
+		t.Fatalf("clean model has findings: %+v", r.Findings)
+	}
+	if r.HasCritical() {
+		t.Fatal("clean model flagged critical")
+	}
+	if len(r.Answers) != 5 {
+		t.Fatalf("questionnaire has %d answers, want 5", len(r.Answers))
+	}
+}
+
+func TestMissingCardIsCritical(t *testing.T) {
+	r := Run(Input{ModelID: "leaf", MembershipAUC: -1})
+	if !r.HasCritical() {
+		t.Fatal("missing card not critical")
+	}
+}
+
+func TestIncompleteCardWarned(t *testing.T) {
+	c := &card.Card{ModelID: "leaf", Name: "leaf", Domain: "legal"}
+	r := Run(Input{ModelID: "leaf", Card: c, MembershipAUC: -1})
+	found := false
+	for _, f := range r.Findings {
+		if f.ID == "A1" && f.Severity == SeverityWarning {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("incomplete card not warned: %+v", r.Findings)
+	}
+}
+
+func TestUpstreamRiskPropagates(t *testing.T) {
+	flagged := map[string]string{"base": "poisoned training data"}
+	r := Run(Input{
+		ModelID: "leaf", Card: fullCard(), Graph: chainGraph(),
+		Flagged: flagged, MembershipAUC: -1,
+	})
+	if !r.HasCritical() {
+		t.Fatal("descendant of flagged base not critical")
+	}
+	var detail string
+	for _, f := range r.Findings {
+		if f.ID == "A2" {
+			detail = f.Detail
+		}
+	}
+	if !strings.Contains(detail, "base") || !strings.Contains(detail, "poisoned") {
+		t.Fatalf("risk detail missing provenance: %q", detail)
+	}
+
+	// A model outside the flagged lineage is unaffected.
+	rIsland := Run(Input{
+		ModelID: "island", Card: fullCard(), Graph: chainGraph(),
+		Flagged: flagged, MembershipAUC: -1,
+	})
+	for _, f := range rIsland.Findings {
+		if f.ID == "A2" {
+			t.Fatal("island inherited risk it should not")
+		}
+	}
+}
+
+func TestDirectFlagReported(t *testing.T) {
+	r := Run(Input{
+		ModelID: "mid", Card: fullCard(), Graph: chainGraph(),
+		Flagged: map[string]string{"mid": "backdoor"}, MembershipAUC: -1,
+	})
+	if !r.HasCritical() {
+		t.Fatal("directly flagged model not critical")
+	}
+}
+
+func TestMembershipExposure(t *testing.T) {
+	r := Run(Input{ModelID: "leaf", Card: fullCard(), MembershipAUC: 0.9})
+	found := false
+	for _, f := range r.Findings {
+		if f.ID == "A3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("high membership AUC not flagged")
+	}
+	rOK := Run(Input{ModelID: "leaf", Card: fullCard(), MembershipAUC: 0.55})
+	for _, f := range rOK.Findings {
+		if f.ID == "A3" {
+			t.Fatal("acceptable AUC flagged")
+		}
+	}
+}
+
+func TestDocFlagsSurface(t *testing.T) {
+	r := Run(Input{
+		ModelID: "leaf", Card: fullCard(), MembershipAUC: -1,
+		DocFlags: []string{`declared domain "medical" contradicts lake analysis "legal"`},
+	})
+	if !r.HasCritical() {
+		t.Fatal("doc contradiction not critical")
+	}
+}
+
+func TestNoLicenseWarned(t *testing.T) {
+	c := fullCard()
+	c.License = ""
+	r := Run(Input{ModelID: "leaf", Card: c, MembershipAUC: -1})
+	found := false
+	for _, f := range r.Findings {
+		if f.ID == "A5" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("missing license not warned")
+	}
+}
+
+func TestPropagateRisk(t *testing.T) {
+	g := chainGraph()
+	out := PropagateRisk(g, map[string]string{"base": "poison"})
+	if len(out["leaf"]) != 1 || out["leaf"][0] != "base" {
+		t.Fatalf("leaf risks = %v", out["leaf"])
+	}
+	if len(out["base"]) != 1 || out["base"][0] != "base" {
+		t.Fatalf("base risks = %v", out["base"])
+	}
+	if _, ok := out["island"]; ok {
+		t.Fatal("island acquired risk")
+	}
+}
+
+func TestReportMarkdown(t *testing.T) {
+	r := Run(Input{ModelID: "leaf", Card: fullCard(), Graph: chainGraph(),
+		Flagged: map[string]string{"base": "poison"}, MembershipAUC: 0.9})
+	md := r.Markdown()
+	for _, want := range []string{"# Audit Report: leaf", "## Findings", "## Questionnaire", "critical"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	clean := Run(Input{ModelID: "x", Card: fullCard(), MembershipAUC: -1})
+	if !strings.Contains(clean.Markdown(), "No findings.") {
+		t.Fatal("clean report should say so")
+	}
+}
+
+func TestTrainingClaimVerification(t *testing.T) {
+	refuted := Run(Input{
+		ModelID: "leaf", Card: fullCard(), MembershipAUC: -1,
+		TrainingClaim: ClaimCheck{Claim: "legal/v1", Verdict: "refuted", Evidence: 0.34},
+	})
+	if !refuted.HasCritical() {
+		t.Fatal("refuted training claim not critical")
+	}
+	foundQA := false
+	for _, qa := range refuted.Answers {
+		if qa.ID == "A6" {
+			foundQA = true
+		}
+	}
+	if !foundQA {
+		t.Fatal("A6 answer missing")
+	}
+
+	supported := Run(Input{
+		ModelID: "leaf", Card: fullCard(), MembershipAUC: -1,
+		TrainingClaim: ClaimCheck{Claim: "legal/v1", Verdict: "supported", Evidence: 0.97},
+	})
+	for _, f := range supported.Findings {
+		if f.ID == "A6" {
+			t.Fatal("supported claim produced a finding")
+		}
+	}
+
+	unchecked := Run(Input{ModelID: "leaf", Card: fullCard(), MembershipAUC: -1})
+	for _, qa := range unchecked.Answers {
+		if qa.ID == "A6" {
+			t.Fatal("A6 answered without a check")
+		}
+	}
+}

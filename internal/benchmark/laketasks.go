@@ -1,0 +1,94 @@
+package benchmark
+
+import (
+	"math"
+)
+
+// This file contains the *model-lake benchmark* evaluators: they score lake
+// task solutions (rankings, graphs) against verified ground truth, the new
+// benchmark type §3 calls for.
+
+// PrecisionAtK returns |top-k(ranking) ∩ relevant| / k. The denominator is
+// always k: a searcher that returns fewer than k results is penalized for
+// the positions it could not fill (the standard definition, and the one that
+// exposes metadata search failing to see undocumented models).
+func PrecisionAtK(ranking []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	n := k
+	if n > len(ranking) {
+		n = len(ranking)
+	}
+	hits := 0
+	for _, id := range ranking[:n] {
+		if relevant[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// RecallAtK returns |top-k(ranking) ∩ relevant| / |relevant|.
+func RecallAtK(ranking []string, relevant map[string]bool, k int) float64 {
+	if len(relevant) == 0 || k <= 0 {
+		return 0
+	}
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	hits := 0
+	for _, id := range ranking[:k] {
+		if relevant[id] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// NDCGAtK computes normalized discounted cumulative gain with binary
+// relevance.
+func NDCGAtK(ranking []string, relevant map[string]bool, k int) float64 {
+	if k <= 0 || len(relevant) == 0 {
+		return 0
+	}
+	if k > len(ranking) {
+		k = len(ranking)
+	}
+	dcg := 0.0
+	for i := 0; i < k; i++ {
+		if relevant[ranking[i]] {
+			dcg += 1 / math.Log2(float64(i)+2)
+		}
+	}
+	ideal := 0.0
+	n := len(relevant)
+	if n > k {
+		n = k
+	}
+	for i := 0; i < n; i++ {
+		ideal += 1 / math.Log2(float64(i)+2)
+	}
+	if ideal == 0 {
+		return 0
+	}
+	return dcg / ideal
+}
+
+// MeanReciprocalRank returns the MRR of the first relevant item over a set
+// of rankings.
+func MeanReciprocalRank(rankings [][]string, relevants []map[string]bool) float64 {
+	if len(rankings) == 0 || len(rankings) != len(relevants) {
+		return 0
+	}
+	total := 0.0
+	for qi, ranking := range rankings {
+		for i, id := range ranking {
+			if relevants[qi][id] {
+				total += 1 / float64(i+1)
+				break
+			}
+		}
+	}
+	return total / float64(len(rankings))
+}

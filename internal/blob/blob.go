@@ -1,0 +1,228 @@
+// Package blob implements the content-addressed object store holding model
+// weights (and any other large artifacts) in the lake. Objects are addressed
+// by the lowercase hex SHA-256 of their contents, which gives deduplication
+// for free and lets the registry detect tampered weights on read.
+//
+// Two backends satisfy the Store interface: an in-memory map for tests and
+// ephemeral lakes, and a filesystem store that shards objects into two-level
+// directories and writes atomically via temp-file + rename.
+package blob
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	ErrNotFound = errors.New("blob: not found")
+	ErrChecksum = errors.New("blob: checksum mismatch")
+)
+
+// ID is a content address: the hex SHA-256 of the blob.
+type ID string
+
+// Sum returns the content address of data.
+func Sum(data []byte) ID {
+	h := sha256.Sum256(data)
+	return ID(hex.EncodeToString(h[:]))
+}
+
+// Store is a content-addressed blob store.
+type Store interface {
+	// Put stores data and returns its content address. Storing the same
+	// bytes twice is idempotent.
+	Put(data []byte) (ID, error)
+	// Get returns the blob with the given address, verifying its checksum.
+	Get(id ID) ([]byte, error)
+	// Has reports whether the blob exists.
+	Has(id ID) bool
+	// Delete removes the blob. Deleting an absent blob is a no-op.
+	Delete(id ID) error
+	// Len returns the number of stored blobs.
+	Len() int
+}
+
+// MemStore is an in-memory Store.
+type MemStore struct {
+	mu   sync.RWMutex
+	data map[ID][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{data: make(map[ID][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(data []byte) (ID, error) {
+	id := Sum(data)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.mu.Lock()
+	s.data[id] = cp
+	s.mu.Unlock()
+	return id, nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(id ID) ([]byte, error) {
+	s.mu.RLock()
+	v, ok := s.data[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	if Sum(cp) != id {
+		return nil, fmt.Errorf("%w: %s", ErrChecksum, id)
+	}
+	return cp, nil
+}
+
+// Has implements Store.
+func (s *MemStore) Has(id ID) bool {
+	s.mu.RLock()
+	_, ok := s.data[id]
+	s.mu.RUnlock()
+	return ok
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id ID) error {
+	s.mu.Lock()
+	delete(s.data, id)
+	s.mu.Unlock()
+	return nil
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// FileStore is a filesystem-backed Store rooted at a directory. Blobs live at
+// root/ab/cdef... (two-character shard). Writes are atomic: data is written
+// to a temp file in the same directory and renamed into place.
+type FileStore struct {
+	root string
+	mu   sync.Mutex // serializes writes; reads are lock-free
+}
+
+// NewFileStore creates (if needed) and opens a file store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("blob: create root: %w", err)
+	}
+	return &FileStore{root: dir}, nil
+}
+
+func (s *FileStore) pathFor(id ID) string {
+	return filepath.Join(s.root, string(id[:2]), string(id[2:]))
+}
+
+// Put implements Store.
+func (s *FileStore) Put(data []byte) (ID, error) {
+	id := Sum(data)
+	path := s.pathFor(id)
+	if _, err := os.Stat(path); err == nil {
+		return id, nil // already stored; content-addressing makes this safe
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("blob: shard dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return "", fmt.Errorf("blob: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", fmt.Errorf("blob: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return "", fmt.Errorf("blob: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("blob: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return "", fmt.Errorf("blob: rename: %w", err)
+	}
+	return id, nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(id ID) ([]byte, error) {
+	if len(id) < 3 {
+		return nil, fmt.Errorf("%w: malformed id %q", ErrNotFound, id)
+	}
+	data, err := os.ReadFile(s.pathFor(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, fmt.Errorf("blob: read %s: %w", id, err)
+	}
+	if Sum(data) != id {
+		return nil, fmt.Errorf("%w: %s", ErrChecksum, id)
+	}
+	return data, nil
+}
+
+// Has implements Store.
+func (s *FileStore) Has(id ID) bool {
+	if len(id) < 3 {
+		return false
+	}
+	_, err := os.Stat(s.pathFor(id))
+	return err == nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(id ID) error {
+	if len(id) < 3 {
+		return nil
+	}
+	err := os.Remove(s.pathFor(id))
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("blob: delete %s: %w", id, err)
+	}
+	return nil
+}
+
+// Len implements Store.
+func (s *FileStore) Len() int {
+	n := 0
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub, err := os.ReadDir(filepath.Join(s.root, e.Name()))
+		if err != nil {
+			continue
+		}
+		n += len(sub)
+	}
+	return n
+}

@@ -1,0 +1,199 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"testing"
+	"testing/quick"
+)
+
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMemStore(), "file": fs}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("model weights go here")
+			id, err := s.Put(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id != Sum(data) {
+				t.Fatalf("id = %s, want content hash", id)
+			}
+			got, err := s.Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("round trip changed data")
+			}
+		})
+	}
+}
+
+func TestPutIdempotent(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("dup")
+			id1, err := s.Put(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id2, err := s.Put(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if id1 != id2 {
+				t.Fatal("same content produced different ids")
+			}
+			if s.Len() != 1 {
+				t.Fatalf("Len = %d, want 1", s.Len())
+			}
+		})
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := s.Get(Sum([]byte("never stored"))); !errors.Is(err, ErrNotFound) {
+				t.Fatalf("expected ErrNotFound, got %v", err)
+			}
+			if s.Has(Sum([]byte("never stored"))) {
+				t.Fatal("Has reported a missing blob")
+			}
+		})
+	}
+}
+
+func TestDelete(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			id, _ := s.Put([]byte("bye"))
+			if err := s.Delete(id); err != nil {
+				t.Fatal(err)
+			}
+			if s.Has(id) {
+				t.Fatal("blob survives Delete")
+			}
+			if err := s.Delete(id); err != nil {
+				t.Fatalf("double delete should be a no-op: %v", err)
+			}
+		})
+	}
+}
+
+func TestGetReturnsCopyMem(t *testing.T) {
+	s := NewMemStore()
+	id, _ := s.Put([]byte("abc"))
+	v, _ := s.Get(id)
+	v[0] = 'z'
+	v2, _ := s.Get(id)
+	if string(v2) != "abc" {
+		t.Fatal("MemStore.Get exposed internal storage")
+	}
+}
+
+func TestFileStoreDetectsTampering(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s.Put([]byte("authentic weights"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the stored file directly (PoisonGPT-style swap).
+	path := s.pathFor(id)
+	if err := os.WriteFile(path, []byte("poisoned weights!!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(id); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("expected ErrChecksum, got %v", err)
+	}
+}
+
+func TestFileStorePersistsAcrossOpens(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := s1.Put([]byte("persist me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(id)
+	if err != nil || string(got) != "persist me" {
+		t.Fatalf("blob not persisted: %q %v", got, err)
+	}
+}
+
+func TestMalformedIDs(t *testing.T) {
+	s, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("ab"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("short id Get: %v", err)
+	}
+	if s.Has("ab") {
+		t.Fatal("short id Has should be false")
+	}
+	if err := s.Delete("ab"); err != nil {
+		t.Fatalf("short id Delete: %v", err)
+	}
+}
+
+// Property: any byte content round-trips through both stores.
+func TestRoundTripProperty(t *testing.T) {
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemStore()
+	f := func(data []byte) bool {
+		for _, s := range []Store{mem, fs} {
+			id, err := s.Put(data)
+			if err != nil {
+				return false
+			}
+			got, err := s.Get(id)
+			if err != nil || !bytes.Equal(got, data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFileStorePut(b *testing.B) {
+	s, err := NewFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := bytes.Repeat([]byte("w"), 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data[0] = byte(i)
+		if _, err := s.Put(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package card implements structured model cards (Mitchell et al.), the
+// semi-structured documentation format the Model Lakes paper identifies as
+// the status quo for model discovery — and whose incompleteness (Liang et
+// al.) and potential for deliberate misinformation (PoisonGPT) motivate
+// content-based lake tasks.
+//
+// Cards serialize to JSON for the registry and render to markdown for
+// humans. Completeness scoring and the corruption operators (field dropout,
+// misinformation injection) drive experiments E1 and E6.
+package card
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"modellake/internal/xrand"
+)
+
+// Card is a structured model card. Empty strings mean "undocumented".
+type Card struct {
+	ModelID      string             `json:"model_id"`
+	Name         string             `json:"name"`
+	Description  string             `json:"description,omitempty"`
+	Task         string             `json:"task,omitempty"`   // e.g. "classification"
+	Domain       string             `json:"domain,omitempty"` // e.g. "legal"
+	Architecture string             `json:"architecture,omitempty"`
+	TrainingData string             `json:"training_data,omitempty"` // dataset ID
+	BaseModel    string             `json:"base_model,omitempty"`    // declared parent model ID
+	Transform    string             `json:"transform,omitempty"`     // how it was derived from BaseModel
+	Metrics      map[string]float64 `json:"metrics,omitempty"`
+	IntendedUse  string             `json:"intended_use,omitempty"`
+	Limitations  string             `json:"limitations,omitempty"`
+	License      string             `json:"license,omitempty"`
+	Contact      string             `json:"contact,omitempty"`
+}
+
+// DocumentedFields lists the card fields counted by Completeness, in a fixed
+// order used by the corruption operators.
+var DocumentedFields = []string{
+	"description", "task", "domain", "architecture", "training_data",
+	"base_model", "transform", "metrics", "intended_use", "limitations",
+	"license", "contact",
+}
+
+// fieldFilled reports whether the named field carries information.
+func (c *Card) fieldFilled(field string) bool {
+	switch field {
+	case "description":
+		return c.Description != ""
+	case "task":
+		return c.Task != ""
+	case "domain":
+		return c.Domain != ""
+	case "architecture":
+		return c.Architecture != ""
+	case "training_data":
+		return c.TrainingData != ""
+	case "base_model":
+		return c.BaseModel != ""
+	case "transform":
+		return c.Transform != ""
+	case "metrics":
+		return len(c.Metrics) > 0
+	case "intended_use":
+		return c.IntendedUse != ""
+	case "limitations":
+		return c.Limitations != ""
+	case "license":
+		return c.License != ""
+	case "contact":
+		return c.Contact != ""
+	}
+	return false
+}
+
+// clearField empties the named field.
+func (c *Card) clearField(field string) {
+	switch field {
+	case "description":
+		c.Description = ""
+	case "task":
+		c.Task = ""
+	case "domain":
+		c.Domain = ""
+	case "architecture":
+		c.Architecture = ""
+	case "training_data":
+		c.TrainingData = ""
+	case "base_model":
+		c.BaseModel = ""
+	case "transform":
+		c.Transform = ""
+	case "metrics":
+		c.Metrics = nil
+	case "intended_use":
+		c.IntendedUse = ""
+	case "limitations":
+		c.Limitations = ""
+	case "license":
+		c.License = ""
+	case "contact":
+		c.Contact = ""
+	}
+}
+
+// Completeness returns the fraction of documented fields that are filled,
+// in [0, 1] — the statistic Liang et al. computed over 32K Hugging Face
+// cards.
+func (c *Card) Completeness() float64 {
+	filled := 0
+	for _, f := range DocumentedFields {
+		if c.fieldFilled(f) {
+			filled++
+		}
+	}
+	return float64(filled) / float64(len(DocumentedFields))
+}
+
+// Clone returns a deep copy of the card.
+func (c *Card) Clone() *Card {
+	out := *c
+	if c.Metrics != nil {
+		out.Metrics = make(map[string]float64, len(c.Metrics))
+		for k, v := range c.Metrics {
+			out.Metrics[k] = v
+		}
+	}
+	return &out
+}
+
+// Text returns the card's searchable free text: every textual field joined.
+// Keyword search over cards indexes exactly this string, so whatever is
+// undocumented is invisible to metadata search — the failure mode the paper
+// highlights.
+func (c *Card) Text() string {
+	parts := []string{c.Name, c.Description, c.Task, c.Domain, c.Architecture,
+		c.TrainingData, c.BaseModel, c.Transform, c.IntendedUse, c.Limitations}
+	var sb strings.Builder
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		sb.WriteString(p)
+		sb.WriteByte(' ')
+	}
+	return strings.TrimSpace(sb.String())
+}
+
+// Marshal serializes the card to JSON.
+func (c *Card) Marshal() ([]byte, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, fmt.Errorf("card: marshal: %w", err)
+	}
+	return b, nil
+}
+
+// Unmarshal parses a card from JSON.
+func Unmarshal(b []byte) (*Card, error) {
+	var c Card
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("card: unmarshal: %w", err)
+	}
+	return &c, nil
+}
+
+// Markdown renders the card as a human-readable model card document.
+func (c *Card) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# Model Card: %s\n\n", c.Name)
+	section := func(title, body string) {
+		if body == "" {
+			return
+		}
+		fmt.Fprintf(&sb, "## %s\n\n%s\n\n", title, body)
+	}
+	section("Description", c.Description)
+	section("Task", c.Task)
+	section("Domain", c.Domain)
+	section("Architecture", c.Architecture)
+	section("Training Data", c.TrainingData)
+	if c.BaseModel != "" {
+		section("Lineage", fmt.Sprintf("Derived from `%s` via %s.", c.BaseModel, c.Transform))
+	}
+	if len(c.Metrics) > 0 {
+		sb.WriteString("## Metrics\n\n")
+		// Sorted for stable output.
+		keys := make([]string, 0, len(c.Metrics))
+		for k := range c.Metrics {
+			keys = append(keys, k)
+		}
+		sortStrings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "- %s: %.4f\n", k, c.Metrics[k])
+		}
+		sb.WriteString("\n")
+	}
+	section("Intended Use", c.IntendedUse)
+	section("Limitations", c.Limitations)
+	section("License", c.License)
+	section("Contact", c.Contact)
+	return sb.String()
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// Corrupt returns a copy of the card with each documented field
+// independently dropped with probability dropProb — the knob that sweeps
+// documentation completeness in experiment E1. The model ID and name are
+// never dropped (models on real hubs always have at least a name).
+func Corrupt(c *Card, dropProb float64, rng *xrand.RNG) *Card {
+	out := c.Clone()
+	for _, f := range DocumentedFields {
+		if rng.Float64() < dropProb {
+			out.clearField(f)
+		}
+	}
+	return out
+}
+
+// InjectMisinformation returns a copy of the card whose domain, task and
+// training-data claims are replaced with the given false domain — the
+// PoisonGPT scenario of §4: documentation that actively lies about the
+// model. The description is rewritten to advertise the false domain.
+func InjectMisinformation(c *Card, falseDomain, falseDataset string) *Card {
+	out := c.Clone()
+	out.Domain = falseDomain
+	out.TrainingData = falseDataset
+	out.Description = fmt.Sprintf("A high quality %s model for %s tasks.", falseDomain, falseDomain)
+	out.IntendedUse = fmt.Sprintf("Use for %s applications.", falseDomain)
+	return out
+}

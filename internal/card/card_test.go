@@ -1,0 +1,160 @@
+package card
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"modellake/internal/xrand"
+)
+
+func fullCard() *Card {
+	return &Card{
+		ModelID:      "m-1",
+		Name:         "legal-summarizer-v2",
+		Description:  "Summarizes legal contracts into plain language.",
+		Task:         "classification",
+		Domain:       "legal",
+		Architecture: "mlp:16-32-4:relu",
+		TrainingData: "legal/v1",
+		BaseModel:    "m-0",
+		Transform:    "finetune",
+		Metrics:      map[string]float64{"accuracy": 0.97},
+		IntendedUse:  "Contract triage for non-lawyers.",
+		Limitations:  "Not for jurisdiction-specific advice.",
+		License:      "apache-2.0",
+		Contact:      "lake@example.org",
+	}
+}
+
+func TestCompletenessFullAndEmpty(t *testing.T) {
+	if got := fullCard().Completeness(); got != 1 {
+		t.Fatalf("full card completeness = %v, want 1", got)
+	}
+	empty := &Card{ModelID: "m-2", Name: "anon"}
+	if got := empty.Completeness(); got != 0 {
+		t.Fatalf("empty card completeness = %v, want 0", got)
+	}
+}
+
+func TestCompletenessPartial(t *testing.T) {
+	c := &Card{ModelID: "m", Name: "n", Domain: "legal", Task: "classification"}
+	want := 2.0 / float64(len(DocumentedFields))
+	if got := c.Completeness(); got != want {
+		t.Fatalf("completeness = %v, want %v", got, want)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	c := fullCard()
+	b, err := c.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Domain != c.Domain || got.Metrics["accuracy"] != 0.97 || got.Name != c.Name {
+		t.Fatalf("round trip lost fields: %+v", got)
+	}
+}
+
+func TestUnmarshalBadJSON(t *testing.T) {
+	if _, err := Unmarshal([]byte("{not json")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestTextIncludesSearchableFields(t *testing.T) {
+	text := fullCard().Text()
+	for _, want := range []string{"legal", "contract", "finetune", "legal/v1"} {
+		if !strings.Contains(strings.ToLower(text), want) {
+			t.Fatalf("card text missing %q: %s", want, text)
+		}
+	}
+}
+
+func TestTextOmitsEmptyFields(t *testing.T) {
+	c := &Card{ModelID: "m", Name: "bare"}
+	if got := c.Text(); got != "bare" {
+		t.Fatalf("Text of bare card = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := fullCard()
+	cl := c.Clone()
+	cl.Domain = "medical"
+	cl.Metrics["accuracy"] = 0
+	if c.Domain != "legal" || c.Metrics["accuracy"] != 0.97 {
+		t.Fatal("Clone shares state")
+	}
+}
+
+func TestCorruptDropsFields(t *testing.T) {
+	c := fullCard()
+	dropped := Corrupt(c, 1.0, xrand.New(1))
+	if got := dropped.Completeness(); got != 0 {
+		t.Fatalf("fully corrupted card completeness = %v, want 0", got)
+	}
+	if dropped.Name != c.Name || dropped.ModelID != c.ModelID {
+		t.Fatal("corruption must preserve identity fields")
+	}
+	kept := Corrupt(c, 0.0, xrand.New(1))
+	if kept.Completeness() != 1 {
+		t.Fatal("zero-probability corruption changed the card")
+	}
+	if c.Completeness() != 1 {
+		t.Fatal("Corrupt mutated its input")
+	}
+}
+
+// Property: completeness is monotone non-increasing in the drop probability
+// (in expectation; we check the deterministic endpoints plus sampled interior
+// ordering with a common seed stream).
+func TestCorruptMonotoneProperty(t *testing.T) {
+	c := fullCard()
+	f := func(seed uint64) bool {
+		lo := Corrupt(c, 0.3, xrand.New(seed))
+		hi := Corrupt(c, 0.3, xrand.New(seed))
+		// Same seed, same probability: deterministic equality.
+		return lo.Completeness() == hi.Completeness()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectMisinformation(t *testing.T) {
+	c := fullCard()
+	lying := InjectMisinformation(c, "medical", "mimic/v1")
+	if lying.Domain != "medical" || lying.TrainingData != "mimic/v1" {
+		t.Fatalf("misinformation not injected: %+v", lying)
+	}
+	if !strings.Contains(lying.Description, "medical") {
+		t.Fatal("description should advertise the false domain")
+	}
+	if c.Domain != "legal" {
+		t.Fatal("InjectMisinformation mutated its input")
+	}
+	// The lie keeps the card complete — that is the point: completeness
+	// scoring cannot detect misinformation.
+	if lying.Completeness() != 1 {
+		t.Fatalf("lying card completeness = %v, want 1", lying.Completeness())
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	md := fullCard().Markdown()
+	for _, want := range []string{"# Model Card: legal-summarizer-v2", "## Domain", "legal",
+		"## Metrics", "accuracy: 0.9700", "## Lineage", "`m-0`"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	bare := (&Card{ModelID: "m", Name: "bare"}).Markdown()
+	if strings.Contains(bare, "## Domain") {
+		t.Fatal("markdown should omit empty sections")
+	}
+}

@@ -1,0 +1,194 @@
+// Package data generates the synthetic training data that stands in for the
+// real-world corpora (legal, medical, ...) referenced by the Model Lakes
+// paper. Two kinds of artifacts are produced:
+//
+//   - Feature datasets: Gaussian-mixture classification problems drawn from a
+//     Domain. Each Domain owns stable class means, so models trained on the
+//     same domain behave similarly and models trained on different domains
+//     are distinguishable — the property the lake-task experiments rely on.
+//
+//   - Text documents: topic-style bags of words over a shared vocabulary with
+//     domain signature keywords, used for model cards and keyword search.
+//
+// Every dataset carries an ID and lineage so "find models trained on dataset
+// X (or a version of X)" queries have ground truth to hit.
+package data
+
+import (
+	"fmt"
+
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// Dataset is a labeled feature dataset. X holds one example per row; Y holds
+// class labels in [0, NumClasses).
+type Dataset struct {
+	ID         string // stable identifier, e.g. "legal/v1"
+	ParentID   string // non-empty if this dataset is a derived version
+	Domain     string // domain name the examples were drawn from
+	X          tensor.Matrix
+	Y          []int
+	NumClasses int
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return d.X.Rows }
+
+// Dim returns the feature dimensionality.
+func (d *Dataset) Dim() int { return d.X.Cols }
+
+// Example returns the i'th feature row (aliasing storage) and label.
+func (d *Dataset) Example(i int) (tensor.Vector, int) { return d.X.Row(i), d.Y[i] }
+
+// Subset returns a new dataset containing the rows at the given indices.
+// Rows are copied, so the subset is independent of the original.
+func (d *Dataset) Subset(indices []int) *Dataset {
+	out := &Dataset{
+		ID:         d.ID,
+		ParentID:   d.ParentID,
+		Domain:     d.Domain,
+		X:          tensor.NewMatrix(len(indices), d.Dim()),
+		Y:          make([]int, len(indices)),
+		NumClasses: d.NumClasses,
+	}
+	for row, idx := range indices {
+		copy(out.X.Row(row), d.X.Row(idx))
+		out.Y[row] = d.Y[idx]
+	}
+	return out
+}
+
+// WithoutIndex returns a copy of the dataset with example i removed. It is
+// the workhorse of exact leave-one-out attribution.
+func (d *Dataset) WithoutIndex(i int) *Dataset {
+	indices := make([]int, 0, d.Len()-1)
+	for j := 0; j < d.Len(); j++ {
+		if j != i {
+			indices = append(indices, j)
+		}
+	}
+	return d.Subset(indices)
+}
+
+// Split partitions the dataset into train and test sets with the given train
+// fraction, shuffling with rng.
+func (d *Dataset) Split(trainFrac float64, rng *xrand.RNG) (train, test *Dataset) {
+	perm := rng.Perm(d.Len())
+	cut := int(float64(d.Len()) * trainFrac)
+	return d.Subset(perm[:cut]), d.Subset(perm[cut:])
+}
+
+// Domain is a stable generative source of classification data. Two samples
+// from the same Domain share class means; samples from different domains are
+// well separated in feature space.
+type Domain struct {
+	Name       string
+	Dim        int
+	NumClasses int
+	seed       uint64
+	means      []tensor.Vector
+}
+
+// NewDomain creates a domain whose class means are deterministic functions of
+// (name, dim, numClasses, seed).
+func NewDomain(name string, dim, numClasses int, seed uint64) *Domain {
+	if dim <= 0 || numClasses <= 0 {
+		panic(fmt.Sprintf("data: invalid domain shape dim=%d classes=%d", dim, numClasses))
+	}
+	rng := xrand.New(seed).Child("domain/" + name)
+	means := make([]tensor.Vector, numClasses)
+	for c := range means {
+		m := tensor.NewVector(dim)
+		for i := range m {
+			m[i] = rng.NormFloat64() * 2.0
+		}
+		means[c] = m
+	}
+	return &Domain{Name: name, Dim: dim, NumClasses: numClasses, seed: seed, means: means}
+}
+
+// Mean returns the class-c mean (aliasing internal storage; treat as
+// read-only).
+func (d *Domain) Mean(c int) tensor.Vector { return d.means[c] }
+
+// Sample draws n labeled examples with isotropic Gaussian noise of the given
+// standard deviation around the class means. Labels are balanced round-robin
+// then shuffled.
+func (d *Domain) Sample(id string, n int, noise float64, rng *xrand.RNG) *Dataset {
+	ds := &Dataset{
+		ID:         id,
+		Domain:     d.Name,
+		X:          tensor.NewMatrix(n, d.Dim),
+		Y:          make([]int, n),
+		NumClasses: d.NumClasses,
+	}
+	for i := 0; i < n; i++ {
+		c := i % d.NumClasses
+		ds.Y[i] = c
+		row := ds.X.Row(i)
+		mean := d.means[c]
+		for j := range row {
+			row[j] = mean[j] + noise*rng.NormFloat64()
+		}
+	}
+	// Shuffle rows so mini-batches are class-mixed.
+	rng.Shuffle(n, func(a, b int) {
+		ra, rb := ds.X.Row(a), ds.X.Row(b)
+		for j := range ra {
+			ra[j], rb[j] = rb[j], ra[j]
+		}
+		ds.Y[a], ds.Y[b] = ds.Y[b], ds.Y[a]
+	})
+	return ds
+}
+
+// Shifted returns a related domain: same shape, class means perturbed by
+// amount (relative to the mean scale). It models domain adaptation targets —
+// e.g. "legal" versus "legal-contracts".
+func (d *Domain) Shifted(name string, amount float64, seed uint64) *Domain {
+	rng := xrand.New(seed).Child("shift/" + name)
+	nd := &Domain{Name: name, Dim: d.Dim, NumClasses: d.NumClasses, seed: seed}
+	nd.means = make([]tensor.Vector, d.NumClasses)
+	for c, m := range d.means {
+		nm := m.Clone()
+		for i := range nm {
+			nm[i] += amount * rng.NormFloat64()
+		}
+		nd.means[c] = nm
+	}
+	return nd
+}
+
+// DeriveVersion creates a new version of ds: a random subset (keepFrac of the
+// rows) with optional feature noise added. The derived dataset records ds as
+// its parent, giving dataset-version lineage for lake queries.
+func DeriveVersion(ds *Dataset, id string, keepFrac, noise float64, rng *xrand.RNG) *Dataset {
+	n := ds.Len()
+	keep := int(float64(n) * keepFrac)
+	if keep < 1 {
+		keep = 1
+	}
+	perm := rng.Perm(n)
+	out := ds.Subset(perm[:keep])
+	out.ID = id
+	out.ParentID = ds.ID
+	if noise > 0 {
+		for i := range out.X.Data {
+			out.X.Data[i] += noise * rng.NormFloat64()
+		}
+	}
+	return out
+}
+
+// ProbeSet returns a deterministic set of n probe inputs of the given
+// dimension. All models with the same input dimension are probed with the
+// same inputs, which makes behavioural embeddings comparable across the lake.
+func ProbeSet(dim, n int, seed uint64) tensor.Matrix {
+	rng := xrand.New(seed).Child("probes")
+	m := tensor.NewMatrix(n, dim)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * 2.0
+	}
+	return m
+}

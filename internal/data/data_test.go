@@ -1,0 +1,207 @@
+package data
+
+import (
+	"strings"
+	"testing"
+
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func TestDomainDeterminism(t *testing.T) {
+	a := NewDomain("legal", 8, 3, 42)
+	b := NewDomain("legal", 8, 3, 42)
+	for c := 0; c < 3; c++ {
+		ma, mb := a.Mean(c), b.Mean(c)
+		for i := range ma {
+			if ma[i] != mb[i] {
+				t.Fatal("domain means are not deterministic")
+			}
+		}
+	}
+}
+
+func TestDomainsDiffer(t *testing.T) {
+	a := NewDomain("legal", 8, 3, 42)
+	b := NewDomain("medical", 8, 3, 42)
+	if tensor.L2Distance(a.Mean(0), b.Mean(0)) < 1e-6 {
+		t.Fatal("different domains share class means")
+	}
+}
+
+func TestSampleShapeAndBalance(t *testing.T) {
+	d := NewDomain("x", 4, 3, 1)
+	ds := d.Sample("x/v1", 99, 0.5, xrand.New(7))
+	if ds.Len() != 99 || ds.Dim() != 4 || ds.NumClasses != 3 {
+		t.Fatalf("bad shape: %d x %d, classes %d", ds.Len(), ds.Dim(), ds.NumClasses)
+	}
+	counts := map[int]int{}
+	for _, y := range ds.Y {
+		if y < 0 || y >= 3 {
+			t.Fatalf("label out of range: %d", y)
+		}
+		counts[y]++
+	}
+	for c := 0; c < 3; c++ {
+		if counts[c] != 33 {
+			t.Fatalf("class %d has %d examples, want 33", c, counts[c])
+		}
+	}
+}
+
+func TestSampleSeparability(t *testing.T) {
+	// Low-noise samples should sit near their class means.
+	d := NewDomain("sep", 6, 2, 5)
+	ds := d.Sample("sep/v1", 50, 0.1, xrand.New(3))
+	for i := 0; i < ds.Len(); i++ {
+		x, y := ds.Example(i)
+		own := tensor.L2Distance(x, d.Mean(y))
+		other := tensor.L2Distance(x, d.Mean(1-y))
+		if own >= other {
+			t.Fatalf("example %d closer to wrong class mean", i)
+		}
+	}
+}
+
+func TestSubsetCopies(t *testing.T) {
+	d := NewDomain("s", 3, 2, 9)
+	ds := d.Sample("s/v1", 10, 0.2, xrand.New(1))
+	sub := ds.Subset([]int{0, 1})
+	sub.X.Data[0] = 999
+	if ds.X.Data[0] == 999 {
+		t.Fatal("Subset aliases parent storage")
+	}
+}
+
+func TestWithoutIndex(t *testing.T) {
+	d := NewDomain("w", 3, 2, 9)
+	ds := d.Sample("w/v1", 10, 0.2, xrand.New(1))
+	loo := ds.WithoutIndex(4)
+	if loo.Len() != 9 {
+		t.Fatalf("WithoutIndex length = %d, want 9", loo.Len())
+	}
+	// Row 4 of the original must not appear (probabilistically distinct rows).
+	removed := ds.X.Row(4)
+	for i := 0; i < loo.Len(); i++ {
+		if tensor.L2Distance(loo.X.Row(i), removed) == 0 {
+			t.Fatal("removed row still present")
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d := NewDomain("sp", 3, 2, 9)
+	ds := d.Sample("sp/v1", 100, 0.2, xrand.New(1))
+	train, test := ds.Split(0.8, xrand.New(2))
+	if train.Len() != 80 || test.Len() != 20 {
+		t.Fatalf("split sizes %d/%d, want 80/20", train.Len(), test.Len())
+	}
+}
+
+func TestShiftedDomain(t *testing.T) {
+	base := NewDomain("base", 8, 3, 11)
+	small := base.Shifted("near", 0.1, 1)
+	big := base.Shifted("far", 5.0, 2)
+	dSmall := tensor.L2Distance(base.Mean(0), small.Mean(0))
+	dBig := tensor.L2Distance(base.Mean(0), big.Mean(0))
+	if dSmall <= 0 {
+		t.Fatal("shifted domain identical to base")
+	}
+	if dSmall >= dBig {
+		t.Fatalf("shift magnitudes not ordered: %v vs %v", dSmall, dBig)
+	}
+}
+
+func TestDeriveVersionLineage(t *testing.T) {
+	d := NewDomain("dv", 4, 2, 13)
+	ds := d.Sample("dv/v1", 40, 0.2, xrand.New(1))
+	v2 := DeriveVersion(ds, "dv/v2", 0.5, 0.01, xrand.New(2))
+	if v2.ParentID != "dv/v1" || v2.ID != "dv/v2" {
+		t.Fatalf("lineage not recorded: %q <- %q", v2.ID, v2.ParentID)
+	}
+	if v2.Len() != 20 {
+		t.Fatalf("derived size %d, want 20", v2.Len())
+	}
+}
+
+func TestDeriveVersionMinimumOneRow(t *testing.T) {
+	d := NewDomain("dv2", 4, 2, 13)
+	ds := d.Sample("dv2/v1", 3, 0.2, xrand.New(1))
+	v2 := DeriveVersion(ds, "dv2/v2", 0.0, 0, xrand.New(2))
+	if v2.Len() != 1 {
+		t.Fatalf("derived size %d, want 1", v2.Len())
+	}
+}
+
+func TestProbeSetDeterminism(t *testing.T) {
+	a := ProbeSet(8, 16, 7)
+	b := ProbeSet(8, 16, 7)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("probe sets differ across calls")
+		}
+	}
+	if a.Rows != 16 || a.Cols != 8 {
+		t.Fatalf("probe shape %dx%d", a.Rows, a.Cols)
+	}
+}
+
+func TestStandardTextDomainsDistinctKeywords(t *testing.T) {
+	seen := map[string]string{}
+	for _, d := range StandardTextDomains() {
+		if len(d.Keywords) < 10 {
+			t.Fatalf("domain %s has too few keywords", d.Name)
+		}
+		for _, k := range d.Keywords {
+			if prev, ok := seen[k]; ok {
+				t.Fatalf("keyword %q shared by %s and %s", k, prev, d.Name)
+			}
+			seen[k] = d.Name
+		}
+	}
+}
+
+func TestTextDomainByName(t *testing.T) {
+	d, ok := TextDomainByName("legal")
+	if !ok || d.Name != "legal" {
+		t.Fatal("legal domain not found")
+	}
+	if _, ok := TextDomainByName("nonexistent"); ok {
+		t.Fatal("found a domain that should not exist")
+	}
+}
+
+func TestGenerateDocumentContainsKeywords(t *testing.T) {
+	d, _ := TextDomainByName("legal")
+	doc := GenerateDocument(d, 200, 0.6, xrand.New(3))
+	found := 0
+	for _, k := range d.Keywords {
+		if strings.Contains(doc, k) {
+			found++
+		}
+	}
+	if found < 5 {
+		t.Fatalf("document contains only %d legal keywords", found)
+	}
+}
+
+func TestGenerateDocumentLength(t *testing.T) {
+	d, _ := TextDomainByName("code")
+	doc := GenerateDocument(d, 50, 0.5, xrand.New(4))
+	if got := len(strings.Fields(doc)); got != 50 {
+		t.Fatalf("document has %d words, want 50", got)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	toks := Tokenize("The Plaintiff, v2.0 (appeal)!")
+	want := []string{"the", "plaintiff", "v2", "0", "appeal"}
+	if len(toks) != len(want) {
+		t.Fatalf("tokens = %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", toks, want)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package data
+
+import (
+	"strings"
+
+	"modellake/internal/xrand"
+)
+
+// TextDomain describes a named topic with signature keywords. Synthetic
+// documents mix signature keywords with shared filler words; keyword search
+// over model cards keys off these signatures.
+type TextDomain struct {
+	Name     string
+	Keywords []string
+}
+
+// StandardTextDomains returns the fixed set of domains used across the
+// repository's experiments. The names intentionally mirror the paper's
+// running examples (legal summarization, clinical models, ...).
+func StandardTextDomains() []TextDomain {
+	return []TextDomain{
+		{Name: "legal", Keywords: []string{
+			"statute", "plaintiff", "defendant", "court", "contract", "tort",
+			"jurisdiction", "appeal", "precedent", "clause", "verdict", "counsel"}},
+		{Name: "medical", Keywords: []string{
+			"diagnosis", "patient", "clinical", "dosage", "symptom", "therapy",
+			"oncology", "cardiac", "triage", "pathology", "prescription", "icu"}},
+		{Name: "finance", Keywords: []string{
+			"equity", "dividend", "portfolio", "hedge", "liquidity", "bond",
+			"derivative", "audit", "ledger", "yield", "arbitrage", "solvency"}},
+		{Name: "news", Keywords: []string{
+			"headline", "reporter", "editorial", "breaking", "coverage", "press",
+			"byline", "correspondent", "wire", "scoop", "newsroom", "broadcast"}},
+		{Name: "code", Keywords: []string{
+			"compiler", "function", "refactor", "syntax", "debug", "runtime",
+			"repository", "commit", "interface", "pointer", "mutex", "goroutine"}},
+		{Name: "science", Keywords: []string{
+			"hypothesis", "experiment", "laboratory", "measurement", "theorem",
+			"quantum", "molecule", "catalyst", "isotope", "telescope", "genome", "neuron"}},
+		{Name: "sports", Keywords: []string{
+			"tournament", "championship", "goalkeeper", "inning", "marathon",
+			"playoff", "referee", "roster", "scrimmage", "stadium", "umpire", "dribble"}},
+		{Name: "travel", Keywords: []string{
+			"itinerary", "passport", "resort", "excursion", "landmark", "visa",
+			"airfare", "hostel", "cruise", "backpacking", "souvenir", "layover"}},
+	}
+}
+
+// fillerWords are domain-neutral tokens mixed into every document.
+var fillerWords = []string{
+	"the", "model", "data", "system", "value", "result", "input", "output",
+	"process", "analysis", "report", "summary", "detail", "section", "item",
+	"record", "update", "general", "common", "standard", "quality", "review",
+}
+
+// TextDomainByName returns the standard text domain with the given name, or
+// false if none exists.
+func TextDomainByName(name string) (TextDomain, bool) {
+	for _, d := range StandardTextDomains() {
+		if d.Name == name {
+			return d, true
+		}
+	}
+	return TextDomain{}, false
+}
+
+// GenerateDocument produces a synthetic document of nWords for the domain:
+// a mixture of the domain's signature keywords (weight keywordFrac) and
+// shared filler words.
+func GenerateDocument(domain TextDomain, nWords int, keywordFrac float64, rng *xrand.RNG) string {
+	words := make([]string, 0, nWords)
+	for i := 0; i < nWords; i++ {
+		if rng.Float64() < keywordFrac && len(domain.Keywords) > 0 {
+			words = append(words, xrand.Pick(rng, domain.Keywords))
+		} else {
+			words = append(words, xrand.Pick(rng, fillerWords))
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+// Tokenize lower-cases and splits text on non-letter characters. It is the
+// single tokenizer used by card search, document embedding, and MLQL text
+// predicates, so all components agree on token boundaries.
+func Tokenize(text string) []string {
+	fields := strings.FieldsFunc(strings.ToLower(text), func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9')
+	})
+	return fields
+}

@@ -1,0 +1,56 @@
+package docgen
+
+import (
+	"fmt"
+
+	"modellake/internal/data"
+	"modellake/internal/model"
+)
+
+// ClaimVerdict grades a card claim against behavioural evidence.
+type ClaimVerdict string
+
+// Verdicts.
+const (
+	ClaimSupported    ClaimVerdict = "supported"
+	ClaimRefuted      ClaimVerdict = "refuted"
+	ClaimInconclusive ClaimVerdict = "inconclusive"
+)
+
+// VerifyTrainingClaim checks a card's "trained on dataset X" claim the only
+// way a lake can without trusting documentation (§4 notes card verification
+// is "notably in its infancy"): a model genuinely trained on X should
+// perform far above chance on it. Returns the verdict and the measured
+// accuracy.
+//
+// The thresholds are deliberately asymmetric: refutation requires near-chance
+// performance (strong evidence of a lie), support requires clearly better
+// than chance, and the band between is inconclusive (e.g. a model trained on
+// a related dataset version).
+func VerifyTrainingClaim(h *model.Handle, claimed *data.Dataset) (ClaimVerdict, float64, error) {
+	if claimed == nil || claimed.Len() == 0 {
+		return ClaimInconclusive, 0, fmt.Errorf("docgen: no dataset to verify against")
+	}
+	correct := 0
+	for i := 0; i < claimed.Len(); i++ {
+		x, y := claimed.Example(i)
+		pred, err := h.Predict(x)
+		if err != nil {
+			return ClaimInconclusive, 0, fmt.Errorf("docgen: cannot probe model: %w", err)
+		}
+		if pred == y {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(claimed.Len())
+	chance := 1.0 / float64(claimed.NumClasses)
+	margin := 1 - chance
+	switch {
+	case acc >= chance+0.5*margin:
+		return ClaimSupported, acc, nil
+	case acc <= chance+0.15*margin:
+		return ClaimRefuted, acc, nil
+	default:
+		return ClaimInconclusive, acc, nil
+	}
+}

@@ -1,0 +1,246 @@
+package embedding
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"modellake/internal/data"
+	"modellake/internal/model"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func trainedModel(t *testing.T, domainName string, seed uint64) *model.Model {
+	t.Helper()
+	d := data.NewDomain(domainName, 8, 3, 100)
+	ds := d.Sample(domainName+"/v1", 200, 0.4, xrand.New(seed))
+	net := nn.NewMLP([]int{8, 16, 3}, nn.ReLU, xrand.New(seed+1))
+	if _, err := nn.Train(net, ds, nn.DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	return &model.Model{
+		ID:   fmt.Sprintf("m-%s-%d", domainName, seed),
+		Name: domainName,
+		Net:  net,
+		Hist: &model.History{DatasetDomain: domainName, DatasetID: domainName + "/v1"},
+	}
+}
+
+func TestWeightEmbedderDim(t *testing.T) {
+	e := NewWeightEmbedder(32, 4, 7)
+	m := trainedModel(t, "legal", 1)
+	v, err := e.Embed(model.NewHandle(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != e.Dim() {
+		t.Fatalf("embedding length %d != Dim %d", len(v), e.Dim())
+	}
+}
+
+func TestWeightEmbedderDeterminism(t *testing.T) {
+	m := trainedModel(t, "legal", 1)
+	e1 := NewWeightEmbedder(32, 4, 7)
+	e2 := NewWeightEmbedder(32, 4, 7)
+	v1, _ := e1.Embed(model.NewHandle(m))
+	v2, _ := e2.Embed(model.NewHandle(m))
+	if tensor.L2Distance(v1, v2) != 0 {
+		t.Fatal("same-seed weight embedders disagree")
+	}
+}
+
+func TestWeightEmbedderRequiresIntrinsics(t *testing.T) {
+	m := trainedModel(t, "legal", 1)
+	e := NewWeightEmbedder(32, 4, 7)
+	_, err := e.Embed(model.WithViews(m, model.ViewExtrinsic))
+	if !errors.Is(err, ErrViewUnavailable) {
+		t.Fatalf("expected ErrViewUnavailable, got %v", err)
+	}
+}
+
+func TestWeightEmbedderSeparatesLineages(t *testing.T) {
+	// A fine-tuned child must embed closer to its parent than to an
+	// unrelated model — the property version recovery relies on.
+	parent := trainedModel(t, "legal", 1)
+	child := &model.Model{ID: "child", Net: parent.Net.Clone()}
+	d := data.NewDomain("legal", 8, 3, 100).Shifted("legal-ft", 0.5, 9)
+	ds := d.Sample("legal-ft/v1", 100, 0.4, xrand.New(5))
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = 3
+	if _, err := nn.Train(child.Net, ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	unrelated := trainedModel(t, "medical", 77)
+
+	e := NewWeightEmbedder(32, 4, 7)
+	pv, _ := e.Embed(model.NewHandle(parent))
+	cv, _ := e.Embed(model.NewHandle(child))
+	uv, _ := e.Embed(model.NewHandle(unrelated))
+	if tensor.L2Distance(pv, cv) >= tensor.L2Distance(pv, uv) {
+		t.Fatal("child does not embed nearer its parent than an unrelated model")
+	}
+}
+
+func TestWeightEmbedderDeepModelFolding(t *testing.T) {
+	e := NewWeightEmbedder(16, 2, 7) // fewer slots than layers
+	net := nn.NewMLP([]int{4, 8, 8, 8, 2}, nn.ReLU, xrand.New(3))
+	m := &model.Model{ID: "deep", Net: net}
+	v, err := e.Embed(model.NewHandle(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != e.Dim() {
+		t.Fatalf("deep model embedding length %d != %d", len(v), e.Dim())
+	}
+}
+
+func TestBehaviorEmbedderBasics(t *testing.T) {
+	e := NewBehaviorEmbedder(8, 16, 4, 99)
+	m := trainedModel(t, "legal", 1)
+	v, err := e.Embed(model.NewHandle(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != e.Dim() {
+		t.Fatalf("embedding length %d != Dim %d", len(v), e.Dim())
+	}
+	// Padded class slots must be zero (model has 3 classes, max 4).
+	for i := 3; i < len(v); i += 4 {
+		if v[i] != 0 {
+			t.Fatalf("pad slot %d = %v, want 0", i, v[i])
+		}
+	}
+}
+
+func TestBehaviorEmbedderWorksWithoutIntrinsics(t *testing.T) {
+	// The whole point of the extrinsic viewpoint: closed-weight models can
+	// still be embedded behaviourally.
+	m := trainedModel(t, "legal", 1)
+	e := NewBehaviorEmbedder(8, 16, 4, 99)
+	if _, err := e.Embed(model.WithViews(m, model.ViewExtrinsic)); err != nil {
+		t.Fatalf("behaviour embedding should not need intrinsics: %v", err)
+	}
+}
+
+func TestBehaviorEmbedderSimilarModelsEmbedNear(t *testing.T) {
+	a := trainedModel(t, "legal", 1)
+	b := trainedModel(t, "legal", 2) // same domain, different seed
+	c := trainedModel(t, "medical", 3)
+	e := NewBehaviorEmbedder(8, 32, 4, 99)
+	av, _ := e.Embed(model.NewHandle(a))
+	bv, _ := e.Embed(model.NewHandle(b))
+	cv, _ := e.Embed(model.NewHandle(c))
+	if tensor.L2Distance(av, bv) >= tensor.L2Distance(av, cv) {
+		t.Fatal("same-domain models do not embed nearer than cross-domain")
+	}
+}
+
+func TestBehaviorEmbedderDimMismatch(t *testing.T) {
+	e := NewBehaviorEmbedder(5, 8, 4, 99)
+	m := trainedModel(t, "legal", 1) // input dim 8
+	if _, err := e.Embed(model.NewHandle(m)); err == nil {
+		t.Fatal("expected input dim error")
+	}
+}
+
+func TestBehaviorEmbedderTooManyClasses(t *testing.T) {
+	e := NewBehaviorEmbedder(8, 8, 2, 99)
+	m := trainedModel(t, "legal", 1) // 3 classes
+	if _, err := e.Embed(model.NewHandle(m)); err == nil {
+		t.Fatal("expected class-count error")
+	}
+}
+
+func TestHashTextVector(t *testing.T) {
+	v1 := HashTextVector("legal statute court", 64)
+	v2 := HashTextVector("legal statute court", 64)
+	if tensor.L2Distance(v1, v2) != 0 {
+		t.Fatal("hashing not deterministic")
+	}
+	v3 := HashTextVector("medical patient dosage", 64)
+	simSame := tensor.CosineSimilarity(v1, v2)
+	simDiff := tensor.CosineSimilarity(v1, v3)
+	if simSame <= simDiff {
+		t.Fatalf("similar text not more similar: %v vs %v", simSame, simDiff)
+	}
+	if HashTextVector("", 8).Norm() != 0 {
+		t.Fatal("empty text should embed to zero")
+	}
+}
+
+func TestCardEmbedder(t *testing.T) {
+	texts := map[string]string{"m-legal-1": "legal statute court contract"}
+	e := &CardEmbedder{DimBuckets: 64, Lookup: func(id string) (string, error) {
+		txt, ok := texts[id]
+		if !ok {
+			return "", fmt.Errorf("no card for %s", id)
+		}
+		return txt, nil
+	}}
+	m := trainedModel(t, "legal", 1)
+	v, err := e.Embed(model.NewHandle(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 64 {
+		t.Fatalf("dim = %d", len(v))
+	}
+	m2 := trainedModel(t, "medical", 2)
+	if _, err := e.Embed(model.NewHandle(m2)); err == nil {
+		t.Fatal("expected lookup error")
+	}
+	bad := &CardEmbedder{DimBuckets: 8}
+	if _, err := bad.Embed(model.NewHandle(m)); err == nil {
+		t.Fatal("expected no-lookup error")
+	}
+}
+
+func TestHybridEmbedderConcats(t *testing.T) {
+	m := trainedModel(t, "legal", 1)
+	we := NewWeightEmbedder(16, 4, 7)
+	be := NewBehaviorEmbedder(8, 8, 4, 99)
+	h := &HybridEmbedder{Parts: []Embedder{we, be}}
+	v, err := h.Embed(model.NewHandle(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != we.Dim()+be.Dim() {
+		t.Fatalf("hybrid dim %d != %d", len(v), we.Dim()+be.Dim())
+	}
+	if h.Name() != "hybrid(weight+behavior)" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+}
+
+func TestHybridLenientZeroesMissingViews(t *testing.T) {
+	m := trainedModel(t, "legal", 1)
+	we := NewWeightEmbedder(16, 4, 7)
+	be := NewBehaviorEmbedder(8, 8, 4, 99)
+	h := &HybridEmbedder{Parts: []Embedder{we, be}, Lenient: true}
+	v, err := h.Embed(model.WithViews(m, model.ViewExtrinsic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Weight block must be all zeros.
+	for i := 0; i < we.Dim(); i++ {
+		if v[i] != 0 {
+			t.Fatal("lenient hybrid leaked intrinsic data")
+		}
+	}
+	// Strict hybrid errors instead.
+	strict := &HybridEmbedder{Parts: []Embedder{we, be}}
+	if _, err := strict.Embed(model.WithViews(m, model.ViewExtrinsic)); !errors.Is(err, ErrViewUnavailable) {
+		t.Fatalf("strict hybrid should propagate: %v", err)
+	}
+}
+
+func TestHybridWeightsValidation(t *testing.T) {
+	m := trainedModel(t, "legal", 1)
+	we := NewWeightEmbedder(16, 4, 7)
+	h := &HybridEmbedder{Parts: []Embedder{we}, Weights: []float64{1, 2}}
+	if _, err := h.Embed(model.NewHandle(m)); err == nil {
+		t.Fatal("expected weight-count error")
+	}
+}

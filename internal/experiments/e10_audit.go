@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"modellake/internal/audit"
+	"modellake/internal/lakegen"
+	"modellake/internal/version"
+)
+
+// RunE10 evaluates audit risk propagation (§6, Wang et al.): a base model is
+// flagged, and the audit must find all its true descendants. The recovered
+// (weight-based) version graph is compared with the declared-metadata graph
+// as documentation completeness drops: declared lineage loses descendants,
+// the recovered graph does not.
+func RunE10(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:    "E10",
+		Title: "upstream-risk recall: recovered vs declared version graph",
+		Columns: []string{"doc drop", "true descendants", "recovered recall", "recovered precision",
+			"declared recall"},
+		Notes: "flagging one base per family; recall = flagged descendants found / true descendants",
+	}
+	for _, drop := range []float64{0.0, 0.3, 0.6, 0.9} {
+		spec := lakegen.DefaultSpec(seed)
+		spec.NumBases = 3
+		spec.ChildrenPerBase = 6
+		spec.CardDropProb = drop
+		pop, err := lakegen.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		idOf := func(i int) string { return fmt.Sprintf("n%d", i) }
+
+		// Recovered graph from weights.
+		nodes := make([]version.Node, len(pop.Members))
+		nameToID := map[string]string{}
+		for i, m := range pop.Members {
+			nodes[i] = version.Node{ID: idOf(i), Net: m.Model.Net}
+			nameToID[m.Truth.Name] = idOf(i)
+		}
+		recovered, err := version.Reconstruct(nodes, version.Config{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		// Declared graph from surviving base_model fields.
+		declared := &version.Graph{}
+		for i := range pop.Members {
+			declared.Nodes = append(declared.Nodes, idOf(i))
+		}
+		for i, m := range pop.Members {
+			if m.Card.BaseModel == "" {
+				continue
+			}
+			if pid, ok := nameToID[m.Card.BaseModel]; ok {
+				declared.Edges = append(declared.Edges, version.Edge{Parent: pid, Child: idOf(i)})
+			}
+		}
+
+		// Flag every base; true descendants via the generator's edges.
+		flagged := map[string]string{}
+		for i, m := range pop.Members {
+			if m.Truth.Depth == 0 {
+				flagged[idOf(i)] = "poisoned"
+			}
+		}
+		children := map[int][]int{}
+		for _, e := range pop.Edges {
+			children[e.Parent] = append(children[e.Parent], e.Child)
+		}
+		trueDesc := map[string]bool{}
+		for i, m := range pop.Members {
+			if m.Truth.Depth != 0 {
+				continue
+			}
+			queue := []int{i}
+			for qi := 0; qi < len(queue); qi++ {
+				for _, c := range children[queue[qi]] {
+					if !trueDesc[idOf(c)] {
+						trueDesc[idOf(c)] = true
+						queue = append(queue, c)
+					}
+				}
+			}
+		}
+
+		recall := func(g *version.Graph) (rec, prec float64) {
+			prop := audit.PropagateRisk(g, flagged)
+			found := map[string]bool{}
+			for id := range prop {
+				if _, isBase := flagged[id]; !isBase {
+					found[id] = true
+				}
+			}
+			tp := 0
+			for id := range found {
+				if trueDesc[id] {
+					tp++
+				}
+			}
+			if len(trueDesc) > 0 {
+				rec = float64(tp) / float64(len(trueDesc))
+			}
+			if len(found) > 0 {
+				prec = float64(tp) / float64(len(found))
+			}
+			return rec, prec
+		}
+		recRecall, recPrec := recall(recovered)
+		decRecall, _ := recall(declared)
+		t.AddRow(f2(drop), fmt.Sprint(len(trueDesc)), f3(recRecall), f3(recPrec), f3(decRecall))
+	}
+	return t, nil
+}

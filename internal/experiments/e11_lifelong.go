@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"modellake/internal/benchmark"
+	"modellake/internal/kvstore"
+	"modellake/internal/lakegen"
+	"modellake/internal/model"
+)
+
+// RunE11 evaluates lifelong benchmarking (§5, citing Prabhu et al.): as the
+// lake grows, keeping every model scored on every benchmark must cost only
+// the *new* (model, benchmark) pairs, not a full re-evaluation. The runner's
+// durable score cache provides exactly that; the table reports evaluations
+// actually executed vs served from cache at each growth step.
+func RunE11(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "lifelong benchmarking: incremental evaluation cost as the lake grows",
+		Columns: []string{"phase", "models", "benchmarks", "pairs", "evaluated", "cached", "wall time"},
+		Notes:   "evaluated should equal only the newly added pairs after the first phase",
+	}
+	spec := lakegen.DefaultSpec(seed)
+	spec.NumBases = 4
+	spec.ChildrenPerBase = 8
+	pop, err := lakegen.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range pop.Members {
+		m.Model.ID = fmt.Sprintf("m%02d", i)
+	}
+	var benches []*benchmark.Benchmark
+	for _, m := range pop.Members {
+		if m.Truth.Depth == 0 {
+			benches = append(benches, &benchmark.Benchmark{
+				ID: "bench-" + m.Truth.Domain, DS: pop.Datasets[m.Truth.DatasetID],
+				Metric: benchmark.MetricAccuracy,
+			})
+		}
+	}
+	runner := benchmark.NewRunner(kvstore.OpenMemory())
+
+	scoreAll := func(upto int) (time.Duration, error) {
+		start := time.Now()
+		for i := 0; i < upto; i++ {
+			h := model.NewHandle(pop.Members[i].Model)
+			for _, b := range benches {
+				if _, err := runner.Score(h, b); err != nil {
+					return 0, err
+				}
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	phases := []struct {
+		name string
+		upto int
+	}{
+		{"initial", 20},
+		{"grow +8", 28},
+		{"grow +8", len(pop.Members)},
+		{"steady re-check", len(pop.Members)},
+	}
+	prevHits, prevMisses := 0, 0
+	for _, ph := range phases {
+		elapsed, err := scoreAll(ph.upto)
+		if err != nil {
+			return nil, err
+		}
+		evaluated := runner.Misses - prevMisses
+		cached := runner.Hits - prevHits
+		prevMisses, prevHits = runner.Misses, runner.Hits
+		t.AddRow(ph.name, fmt.Sprint(ph.upto), fmt.Sprint(len(benches)),
+			fmt.Sprint(ph.upto*len(benches)), fmt.Sprint(evaluated), fmt.Sprint(cached),
+			elapsed.Round(time.Microsecond).String())
+	}
+	return t, nil
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"strings"
+
+	"modellake/internal/benchmark"
+	"modellake/internal/data"
+	"modellake/internal/lake"
+	"modellake/internal/lakegen"
+	"modellake/internal/model"
+	"modellake/internal/nn"
+	"modellake/internal/registry"
+	"modellake/internal/search"
+	"modellake/internal/xrand"
+)
+
+// RunE1 reproduces the paper's central search argument (Example 1.1, §4):
+// metadata/keyword search quality collapses as documentation completeness
+// falls, while content-based search — which consults the models themselves —
+// is unaffected; hybrid fusion tracks the better of the two.
+//
+// Setup: an anonymously named lake (names leak nothing); for each base
+// domain we issue (a) a keyword query built from the domain's vocabulary and
+// (b) a model-as-query search with a freshly trained external model of that
+// domain. Relevance ground truth is the generator's true domain families.
+func RunE1(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:    "E1",
+		Title: "search precision@5 vs card completeness (metadata vs content-based)",
+		Columns: []string{"drop", "completeness", "keyword P@5", "content P@5",
+			"hybrid P@5", "keyword nDCG@5", "content nDCG@5"},
+		Notes: "expected shape: keyword degrades toward 0 as drop→1; content-based flat",
+	}
+	for _, drop := range []float64{0.0, 0.25, 0.5, 0.75, 1.0} {
+		spec := lakegen.DefaultSpec(seed)
+		spec.NumBases = 4
+		spec.ChildrenPerBase = 6
+		spec.CardDropProb = drop
+		spec.AnonymousNames = true
+		pop, err := lakegen.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		lk, err := lake.Open(lake.Config{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]string, len(pop.Members))
+		totalCompleteness := 0.0
+		for i, m := range pop.Members {
+			rec, err := lk.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name})
+			if err != nil {
+				lk.Close()
+				return nil, err
+			}
+			ids[i] = rec.ID
+			totalCompleteness += m.Card.Completeness()
+		}
+
+		var kwP, ctP, hyP, kwN, ctN float64
+		families := 0
+		for fam := 0; fam < spec.NumBases; fam++ {
+			// Relevant = members of this family.
+			relevant := map[string]bool{}
+			var domainName string
+			for i, m := range pop.Members {
+				if m.Truth.Family == fam {
+					relevant[ids[i]] = true
+					if m.Truth.Depth == 0 {
+						domainName = m.Truth.Domain
+					}
+				}
+			}
+			td, ok := data.TextDomainByName(baseDomain(domainName))
+			if !ok {
+				continue
+			}
+			families++
+
+			// (a) keyword query from the domain's signature vocabulary —
+			// the terms a user would type ("statute court plaintiff ...").
+			// These live in card descriptions, so their findability decays
+			// with documentation dropout.
+			query := strings.Join(td.Keywords[:6], " ")
+			kwHits := lk.SearchKeyword(query, 5)
+			kwP += benchmark.PrecisionAtK(hitIDs(kwHits), relevant, 5)
+			kwN += benchmark.NDCGAtK(hitIDs(kwHits), relevant, 5)
+
+			// (b) content-based query with an external model of the domain.
+			qm, err := externalModel(domainName, spec, seed+uint64(fam)+1000)
+			if err != nil {
+				lk.Close()
+				return nil, err
+			}
+			ctHits, err := lk.SearchByHandle(model.NewHandle(qm), "behavior", 5)
+			if err != nil {
+				lk.Close()
+				return nil, err
+			}
+			ctP += benchmark.PrecisionAtK(hitIDs(ctHits), relevant, 5)
+			ctN += benchmark.NDCGAtK(hitIDs(ctHits), relevant, 5)
+
+			// (c) hybrid RRF.
+			fused := search.FuseRRF(0, kwHits, ctHits)
+			if len(fused) > 5 {
+				fused = fused[:5]
+			}
+			hyP += benchmark.PrecisionAtK(hitIDs(fused), relevant, 5)
+		}
+		lk.Close()
+		n := float64(families)
+		t.AddRow(f2(drop), f2(totalCompleteness/float64(len(pop.Members))),
+			f3(kwP/n), f3(ctP/n), f3(hyP/n), f3(kwN/n), f3(ctN/n))
+	}
+	return t, nil
+}
+
+// externalModel trains a fresh model on the named domain — the "model I
+// already have" a user brings as a content query.
+func externalModel(domainName string, spec lakegen.Spec, seed uint64) (*model.Model, error) {
+	dom := data.NewDomain(domainName, spec.Dim, spec.Classes, domainSeed(domainName))
+	ds := dom.Sample(domainName+"/query", spec.TrainN, spec.Noise, xrand.New(seed))
+	net := nn.NewMLP([]int{spec.Dim, spec.Hidden, spec.Classes}, nn.ReLU, xrand.New(seed+1))
+	cfg := nn.DefaultTrainConfig()
+	cfg.Seed = seed + 2
+	if _, err := nn.Train(net, ds, cfg); err != nil {
+		return nil, err
+	}
+	return &model.Model{ID: "external-query", Name: "external-query", Net: net}, nil
+}
+
+func hitIDs(hits []search.Hit) []string {
+	out := make([]string, len(hits))
+	for i, h := range hits {
+		out[i] = h.ID
+	}
+	return out
+}
+
+func baseDomain(domain string) string {
+	if i := strings.IndexAny(domain, "-/"); i >= 0 {
+		return domain[:i]
+	}
+	return domain
+}
+
+// domainSeed mirrors lakegen's name-derived domain seeding.
+func domainSeed(name string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"modellake/internal/index"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// RunE4 evaluates the indexer (§5): HNSW approximate search against the
+// exact flat scan as the embedding collection grows — query latency, build
+// time, and recall@10. The paper's claim is that sublinear ANN search makes
+// content-based model search scale; the shape to observe is flat latency
+// growing linearly with n while HNSW grows slowly, at recall ≥ 0.9.
+func RunE4(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "HNSW vs exact flat scan over model embeddings (dim=32, k=10)",
+		Columns: []string{"n", "flat query", "hnsw query", "speedup",
+			"hnsw build", "recall@10"},
+		Notes: "expected shape: flat latency ~linear in n; HNSW ~log; recall >= 0.9",
+	}
+	const dim, k, queries = 32, 10, 30
+	rng := xrand.New(seed)
+	makeVec := func() tensor.Vector {
+		v := make(tensor.Vector, dim)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		return v
+	}
+	for _, n := range []int{1000, 5000, 20000, 50000} {
+		vecs := make([]tensor.Vector, n)
+		for i := range vecs {
+			vecs[i] = makeVec()
+		}
+		qs := make([]tensor.Vector, queries)
+		for i := range qs {
+			qs[i] = makeVec()
+		}
+
+		flat := index.NewFlat(index.L2)
+		for i, v := range vecs {
+			if err := flat.Add(fmt.Sprintf("v%06d", i), v); err != nil {
+				return nil, err
+			}
+		}
+		hnsw := index.NewHNSW(index.L2, index.HNSWConfig{M: 16, EfConstruction: 100, EfSearch: 80, Seed: seed})
+		buildStart := time.Now()
+		for i, v := range vecs {
+			if err := hnsw.Add(fmt.Sprintf("v%06d", i), v); err != nil {
+				return nil, err
+			}
+		}
+		buildTime := time.Since(buildStart)
+
+		var flatTime, hnswTime time.Duration
+		hits, total := 0, 0
+		for _, q := range qs {
+			start := time.Now()
+			exact, err := flat.Search(q, k)
+			if err != nil {
+				return nil, err
+			}
+			flatTime += time.Since(start)
+
+			start = time.Now()
+			approx, err := hnsw.Search(q, k)
+			if err != nil {
+				return nil, err
+			}
+			hnswTime += time.Since(start)
+
+			truth := map[string]bool{}
+			for _, r := range exact {
+				truth[r.ID] = true
+			}
+			for _, r := range approx {
+				if truth[r.ID] {
+					hits++
+				}
+			}
+			total += k
+		}
+		flatPer := flatTime / queries
+		hnswPer := hnswTime / queries
+		speedup := float64(flatPer) / float64(hnswPer)
+		t.AddRow(fmt.Sprint(n),
+			flatPer.Round(time.Microsecond).String(),
+			hnswPer.Round(time.Microsecond).String(),
+			fmt.Sprintf("%.1fx", speedup),
+			buildTime.Round(time.Millisecond).String(),
+			f3(float64(hits)/float64(total)))
+	}
+
+	// Ablation: the efSearch recall/latency dial at a fixed collection size.
+	// (The paper notes HNSW "provides no formal guarantees"; this is the
+	// practical knob that trades accuracy for speed.)
+	const nAblate = 20000
+	vecs := make([]tensor.Vector, nAblate)
+	for i := range vecs {
+		vecs[i] = makeVec()
+	}
+	qs := make([]tensor.Vector, queries)
+	for i := range qs {
+		qs[i] = makeVec()
+	}
+	flat := index.NewFlat(index.L2)
+	for i, v := range vecs {
+		if err := flat.Add(fmt.Sprintf("v%06d", i), v); err != nil {
+			return nil, err
+		}
+	}
+	exactTruth := make([]map[string]bool, len(qs))
+	for qi, q := range qs {
+		exact, err := flat.Search(q, k)
+		if err != nil {
+			return nil, err
+		}
+		exactTruth[qi] = map[string]bool{}
+		for _, r := range exact {
+			exactTruth[qi][r.ID] = true
+		}
+	}
+	for _, ef := range []int{16, 40, 80, 160} {
+		hnsw := index.NewHNSW(index.L2, index.HNSWConfig{M: 16, EfConstruction: 100, EfSearch: ef, Seed: seed})
+		for i, v := range vecs {
+			if err := hnsw.Add(fmt.Sprintf("v%06d", i), v); err != nil {
+				return nil, err
+			}
+		}
+		var elapsed time.Duration
+		hits, total := 0, 0
+		for qi, q := range qs {
+			start := time.Now()
+			approx, err := hnsw.Search(q, k)
+			if err != nil {
+				return nil, err
+			}
+			elapsed += time.Since(start)
+			for _, r := range approx {
+				if exactTruth[qi][r.ID] {
+					hits++
+				}
+			}
+			total += k
+		}
+		t.AddRow(fmt.Sprintf("ef=%d @20k", ef), "-",
+			(elapsed / queries).Round(time.Microsecond).String(), "-", "-",
+			f3(float64(hits)/float64(total)))
+	}
+	return t, nil
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"modellake/internal/lakegen"
+	"modellake/internal/model"
+	"modellake/internal/weightspace"
+)
+
+// RunE8 evaluates weight-space modeling (§5): a meta-model trained on weight
+// embeddings of the lake's documented models predicts the training domain
+// and the creating transformation of held-out models, against the majority-
+// class baseline. It also reports the cross-task linear-connectivity check
+// (Zhou et al.): base↔fine-tune weight interpolation behaves linearly,
+// unrelated-model interpolation does not.
+func RunE8(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Title:   "weight-space probes and linear connectivity",
+		Columns: []string{"target", "probe acc", "majority baseline", "train acc"},
+		Notes:   "probe reads θ only; held-out = every third lake member",
+	}
+	spec := lakegen.DefaultSpec(seed)
+	spec.NumBases = 6
+	spec.ChildrenPerBase = 10
+	pop, err := lakegen.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range pop.Members {
+		m.Model.ID = fmt.Sprintf("m%02d", i)
+	}
+
+	eval := func(label string, labelOf func(*lakegen.Member) string) error {
+		var hTrain, hTest []*model.Handle
+		var lTrain, lTest []string
+		for i, m := range pop.Members {
+			h := model.NewHandle(m.Model)
+			lab := labelOf(m)
+			if i%3 == 0 {
+				hTest = append(hTest, h)
+				lTest = append(lTest, lab)
+			} else {
+				hTrain = append(hTrain, h)
+				lTrain = append(lTrain, lab)
+			}
+		}
+		probe, trainAcc, err := weightspace.TrainProbe(hTrain, lTrain,
+			weightspace.ProbeConfig{Seed: seed, Epochs: 100})
+		if err != nil {
+			return err
+		}
+		acc, err := probe.Accuracy(hTest, lTest)
+		if err != nil {
+			return err
+		}
+		t.AddRow(label, f3(acc), f3(weightspace.MajorityBaseline(lTest)), f3(trainAcc))
+		return nil
+	}
+	if err := eval("domain family", func(m *lakegen.Member) string {
+		return fmt.Sprintf("family-%d", m.Truth.Family)
+	}); err != nil {
+		return nil, err
+	}
+	if err := eval("transformation", func(m *lakegen.Member) string {
+		return m.Truth.Transform
+	}); err != nil {
+		return nil, err
+	}
+
+	// Linear connectivity: related (parent→fine-tuned child) vs unrelated
+	// (bases of different families).
+	var relSum float64
+	relN := 0
+	for _, e := range pop.Edges {
+		if e.Transform != model.TransformFinetune {
+			continue
+		}
+		parent := pop.Members[e.Parent]
+		child := pop.Members[e.Child]
+		eval := pop.Datasets[parent.Truth.DatasetID]
+		lc, err := weightspace.LinearConnectivity(parent.Model.Net, child.Model.Net, eval, 5)
+		if err != nil {
+			continue
+		}
+		relSum += lc
+		relN++
+		if relN >= 6 {
+			break
+		}
+	}
+	var unrelSum float64
+	unrelN := 0
+	var bases []*lakegen.Member
+	for _, m := range pop.Members {
+		if m.Truth.Depth == 0 {
+			bases = append(bases, m)
+		}
+	}
+	for i := 0; i < len(bases); i++ {
+		for j := i + 1; j < len(bases); j++ {
+			eval := pop.Datasets[bases[i].Truth.DatasetID]
+			lc, err := weightspace.LinearConnectivity(bases[i].Model.Net, bases[j].Model.Net, eval, 5)
+			if err != nil {
+				continue
+			}
+			unrelSum += lc
+			unrelN++
+		}
+	}
+	if relN > 0 && unrelN > 0 {
+		t.AddRow("linear connectivity", fmt.Sprintf("related=%.3f", relSum/float64(relN)),
+			fmt.Sprintf("unrelated=%.3f", unrelSum/float64(unrelN)), "-")
+	}
+	return t, nil
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"modellake/internal/benchmark"
+	"modellake/internal/lake"
+	"modellake/internal/lakegen"
+	"modellake/internal/registry"
+)
+
+// RunE9 evaluates the declarative query interface (§5/§6, Figure 2): the
+// paper's example queries are executed against lakes of growing size, and
+// each result set is verified against independently computed ground truth.
+func RunE9(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "MLQL declarative queries: correctness and latency",
+		Columns: []string{"models", "query", "hits", "correct", "latency"},
+		Notes:   "correct = result set matches ground truth computed outside the query engine",
+	}
+	for _, size := range []struct{ bases, children int }{{3, 4}, {5, 9}} {
+		spec := lakegen.DefaultSpec(seed)
+		spec.NumBases = size.bases
+		spec.ChildrenPerBase = size.children
+		spec.CardDropProb = 0.2
+		pop, err := lakegen.Generate(spec)
+		if err != nil {
+			return nil, err
+		}
+		lk, err := lake.Open(lake.Config{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		for _, ds := range pop.Datasets {
+			lk.RegisterDataset(ds)
+		}
+		ids := make([]string, len(pop.Members))
+		for i, m := range pop.Members {
+			rec, err := lk.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name})
+			if err != nil {
+				lk.Close()
+				return nil, err
+			}
+			ids[i] = rec.ID
+		}
+		var baseIdx int
+		for i, m := range pop.Members {
+			if m.Truth.Depth == 0 && m.Truth.Domain == "legal" {
+				baseIdx = i
+			}
+		}
+		base := pop.Members[baseIdx]
+		benchID := "bench-legal"
+		lk.RegisterBenchmark(&benchmark.Benchmark{
+			ID: benchID, DS: pop.Datasets[base.Truth.DatasetID], Metric: benchmark.MetricAccuracy,
+		})
+
+		run := func(label, q string, want map[string]bool, ordered bool) error {
+			start := time.Now()
+			res, err := lk.Query(q)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			got := map[string]bool{}
+			for _, h := range res.Hits {
+				got[h.ID] = true
+			}
+			correct := "yes"
+			if want != nil {
+				if len(got) != len(want) {
+					correct = "no"
+				} else {
+					for id := range want {
+						if !got[id] {
+							correct = "no"
+						}
+					}
+				}
+			} else {
+				correct = "-"
+			}
+			_ = ordered
+			t.AddRow(fmt.Sprint(len(pop.Members)), label, fmt.Sprint(len(res.Hits)),
+				correct, elapsed.Round(time.Microsecond).String())
+			return nil
+		}
+
+		// TRAINED ON: ground truth from the published cards.
+		wantTrained := map[string]bool{}
+		for i, m := range pop.Members {
+			if m.Card.TrainingData == base.Truth.DatasetID {
+				wantTrained[ids[i]] = true
+			}
+		}
+		if err := run("TRAINED ON DATASET",
+			fmt.Sprintf("FIND MODELS WHERE TRAINED ON DATASET '%s'", base.Truth.DatasetID),
+			wantTrained, false); err != nil {
+			lk.Close()
+			return nil, err
+		}
+
+		// OUTPERFORMS: ground truth by scoring directly.
+		baseScore, err := lk.Score(ids[baseIdx], benchID)
+		if err != nil {
+			lk.Close()
+			return nil, err
+		}
+		wantBetter := map[string]bool{}
+		for i := range pop.Members {
+			if i == baseIdx {
+				continue
+			}
+			s, err := lk.Score(ids[i], benchID)
+			if err != nil {
+				continue
+			}
+			if s > baseScore {
+				wantBetter[ids[i]] = true
+			}
+		}
+		if err := run("OUTPERFORMS ... ON BENCHMARK",
+			fmt.Sprintf("FIND MODELS WHERE OUTPERFORMS MODEL '%s' ON BENCHMARK '%s'", ids[baseIdx], benchID),
+			wantBetter, false); err != nil {
+			lk.Close()
+			return nil, err
+		}
+
+		// Similarity ranking with a domain filter.
+		if err := run("DOMAIN filter + RANK BY SIMILARITY",
+			fmt.Sprintf("FIND MODELS WHERE DOMAIN = 'legal' RANK BY SIMILARITY TO MODEL '%s' USING BEHAVIOR LIMIT 5", ids[baseIdx]),
+			nil, true); err != nil {
+			lk.Close()
+			return nil, err
+		}
+		lk.Close()
+	}
+	return t, nil
+}

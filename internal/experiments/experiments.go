@@ -1,0 +1,96 @@
+// Package experiments implements the reproduction harness: one experiment
+// per claim/figure/task of the Model Lakes paper (see DESIGN.md §3 for the
+// index). Each experiment generates its workloads, runs the lake-task
+// solution against verified ground truth, and returns a printable table;
+// cmd/lakebench renders them all and bench_test.go wraps each in a
+// testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	printRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	printRow(sep)
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(w, "  note: %s\n", t.Notes)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Experiment is a runnable experiment.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(seed uint64) (*Table, error)
+}
+
+// All returns every experiment in index order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "search quality vs documentation completeness", RunE1},
+		{"E2", "version-graph reconstruction", RunE2},
+		{"E3", "training-data attribution vs leave-one-out", RunE3},
+		{"E4", "indexer: HNSW vs exact scan", RunE4},
+		{"E5", "membership inference vs overfitting", RunE5},
+		{"E6", "card census and documentation generation", RunE6},
+		{"E7", "watermarking and citation", RunE7},
+		{"E8", "weight-space modeling", RunE8},
+		{"E9", "declarative queries (MLQL)", RunE9},
+		{"E10", "audit risk propagation", RunE10},
+		{"E11", "lifelong benchmarking", RunE11},
+		{"F1", "viewpoint ablation (Figure 1)", RunF1},
+	}
+}

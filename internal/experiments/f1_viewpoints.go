@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"modellake/internal/benchmark"
+	"modellake/internal/embedding"
+	"modellake/internal/index"
+	"modellake/internal/lakegen"
+	"modellake/internal/model"
+	"modellake/internal/search"
+)
+
+// RunF1 operationalizes Figure 1's three-viewpoints framing: the same
+// related-model search task is solved using each viewpoint in isolation —
+// extrinsic behaviour, intrinsic weights, and documentation — at a realistic
+// documentation-dropout level. Each searcher receives handles restricted to
+// exactly its viewpoint, demonstrating that the task implementations consume
+// only what they declare; the table reports how much each viewpoint alone
+// buys, and how many models each viewpoint can even see.
+func RunF1(seed uint64) (*Table, error) {
+	t := &Table{
+		ID:      "F1",
+		Title:   "related-model search by single viewpoint (doc drop = 0.5)",
+		Columns: []string{"viewpoint", "indexable models", "P@5", "nDCG@5"},
+		Notes:   "restricted handles enforce the viewpoint; docs-only sees only documented models",
+	}
+	spec := lakegen.DefaultSpec(seed)
+	spec.NumBases = 4
+	spec.ChildrenPerBase = 6
+	spec.CardDropProb = 0.5
+	spec.AnonymousNames = true
+	pop, err := lakegen.Generate(spec)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range pop.Members {
+		m.Model.ID = fmt.Sprintf("m%02d", i)
+		m.Card.ModelID = m.Model.ID
+	}
+	relevantFor := func(qi int) map[string]bool {
+		out := map[string]bool{}
+		for i, m := range pop.Members {
+			if i != qi && m.Truth.Family == pop.Members[qi].Truth.Family {
+				out[m.Model.ID] = true
+			}
+		}
+		return out
+	}
+
+	type ranker struct {
+		name  string
+		count int
+		rank  func(qi int) ([]string, error)
+	}
+	var rankers []ranker
+
+	// Extrinsic: behaviour embeddings over extrinsic-only handles.
+	{
+		be := embedding.NewBehaviorEmbedder(spec.Dim, 32, 8, seed)
+		cs := search.NewContentSearcher(be, index.NewFlat(index.Cosine))
+		count := 0
+		for _, m := range pop.Members {
+			if err := cs.Add(model.WithViews(m.Model, model.ViewExtrinsic)); err == nil {
+				count++
+			}
+		}
+		rankers = append(rankers, ranker{"extrinsic (behaviour)", count, func(qi int) ([]string, error) {
+			hits, err := cs.SearchByModel(model.WithViews(pop.Members[qi].Model, model.ViewExtrinsic), 5)
+			if err != nil {
+				return nil, err
+			}
+			return hitIDs(hits), nil
+		}})
+	}
+
+	// Intrinsic: weight embeddings over intrinsic-only handles.
+	{
+		we := embedding.NewWeightEmbedder(32, 4, seed+1)
+		cs := search.NewContentSearcher(we, index.NewFlat(index.Cosine))
+		count := 0
+		for _, m := range pop.Members {
+			if err := cs.Add(model.WithViews(m.Model, model.ViewIntrinsic)); err == nil {
+				count++
+			}
+		}
+		rankers = append(rankers, ranker{"intrinsic (weights)", count, func(qi int) ([]string, error) {
+			hits, err := cs.SearchByModel(model.WithViews(pop.Members[qi].Model, model.ViewIntrinsic), 5)
+			if err != nil {
+				return nil, err
+			}
+			return hitIDs(hits), nil
+		}})
+	}
+
+	// Documentation: keyword search with the query model's card text.
+	{
+		ki := search.NewKeywordIndex()
+		count := 0
+		for _, m := range pop.Members {
+			if text := m.Card.Text(); text != m.Card.Name { // more than just the name
+				ki.Add(m.Model.ID, text)
+				count++
+			}
+		}
+		rankers = append(rankers, ranker{"documentation (cards)", count, func(qi int) ([]string, error) {
+			hits := ki.Search(pop.Members[qi].Card.Text(), 6)
+			var out []string
+			for _, h := range hits {
+				if h.ID != pop.Members[qi].Model.ID {
+					out = append(out, h.ID)
+				}
+			}
+			if len(out) > 5 {
+				out = out[:5]
+			}
+			return out, nil
+		}})
+	}
+
+	for _, r := range rankers {
+		var p, n float64
+		queries := 0
+		for qi := range pop.Members {
+			ranking, err := r.rank(qi)
+			if err != nil {
+				continue
+			}
+			rel := relevantFor(qi)
+			p += benchmark.PrecisionAtK(ranking, rel, 5)
+			n += benchmark.NDCGAtK(ranking, rel, 5)
+			queries++
+		}
+		if queries == 0 {
+			t.AddRow(r.name, "0", "-", "-")
+			continue
+		}
+		t.AddRow(r.name, fmt.Sprint(r.count), f3(p/float64(queries)), f3(n/float64(queries)))
+	}
+	return t, nil
+}

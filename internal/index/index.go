@@ -1,0 +1,456 @@
+// Package index implements the lake's nearest-neighbour indexer (paper §5):
+// a Hierarchical Navigable Small World (HNSW) graph for sublinear approximate
+// search over model embeddings, plus an exact flat scan that serves both as
+// the recall baseline and as the correct choice for small lakes.
+//
+// Both implementations satisfy Index, so experiments can swap them, and both
+// are safe for concurrent use.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// Sentinel errors.
+var (
+	ErrDuplicateID = errors.New("index: id already present")
+	ErrBadVector   = errors.New("index: bad vector")
+)
+
+// Metric selects the distance function.
+type Metric int
+
+// Supported metrics.
+const (
+	L2 Metric = iota
+	Cosine
+)
+
+// Distance returns the metric's distance between a and b (lower is closer).
+// Cosine distance is 1 − cosine similarity.
+func (m Metric) Distance(a, b tensor.Vector) float64 {
+	switch m {
+	case Cosine:
+		return 1 - tensor.CosineSimilarity(a, b)
+	default:
+		return tensor.L2Distance(a, b)
+	}
+}
+
+// Result is one search hit.
+type Result struct {
+	ID       string
+	Distance float64
+}
+
+// Index is a nearest-neighbour index over string-identified vectors.
+type Index interface {
+	// Add inserts a vector under id.
+	Add(id string, v tensor.Vector) error
+	// Search returns the k nearest stored vectors to q, closest first.
+	Search(q tensor.Vector, k int) ([]Result, error)
+	// Len returns the number of stored vectors.
+	Len() int
+}
+
+func validateVector(v tensor.Vector, wantDim int) error {
+	if len(v) == 0 {
+		return fmt.Errorf("%w: empty", ErrBadVector)
+	}
+	if wantDim != 0 && len(v) != wantDim {
+		return fmt.Errorf("%w: dim %d != index dim %d", ErrBadVector, len(v), wantDim)
+	}
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: non-finite component", ErrBadVector)
+		}
+	}
+	return nil
+}
+
+// Flat is an exact linear-scan index.
+type Flat struct {
+	metric Metric
+	mu     sync.RWMutex
+	ids    []string
+	vecs   []tensor.Vector
+	byID   map[string]struct{}
+	dim    int
+}
+
+// NewFlat returns an empty exact index.
+func NewFlat(metric Metric) *Flat {
+	return &Flat{metric: metric, byID: make(map[string]struct{})}
+}
+
+// Add implements Index.
+func (f *Flat) Add(id string, v tensor.Vector) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := validateVector(v, f.dim); err != nil {
+		return err
+	}
+	if _, ok := f.byID[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	if f.dim == 0 {
+		f.dim = len(v)
+	}
+	f.ids = append(f.ids, id)
+	f.vecs = append(f.vecs, v.Clone())
+	f.byID[id] = struct{}{}
+	return nil
+}
+
+// Search implements Index.
+func (f *Flat) Search(q tensor.Vector, k int) ([]Result, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if len(f.vecs) == 0 {
+		return nil, nil
+	}
+	if err := validateVector(q, f.dim); err != nil {
+		return nil, err
+	}
+	res := make([]Result, len(f.vecs))
+	for i, v := range f.vecs {
+		res[i] = Result{ID: f.ids[i], Distance: f.metric.Distance(q, v)}
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Distance != res[j].Distance {
+			return res[i].Distance < res[j].Distance
+		}
+		return res[i].ID < res[j].ID
+	})
+	if k > len(res) {
+		k = len(res)
+	}
+	if k < 0 {
+		k = 0
+	}
+	return res[:k], nil
+}
+
+// Len implements Index.
+func (f *Flat) Len() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.ids)
+}
+
+// HNSWConfig tunes the graph. Zero values select sensible defaults.
+type HNSWConfig struct {
+	M              int    // max links per node on upper layers (default 16)
+	EfConstruction int    // candidate pool during insertion (default 200)
+	EfSearch       int    // candidate pool during search (default 64)
+	Seed           uint64 // level-assignment randomness
+}
+
+func (c HNSWConfig) withDefaults() HNSWConfig {
+	if c.M <= 0 {
+		c.M = 16
+	}
+	if c.EfConstruction <= 0 {
+		c.EfConstruction = 200
+	}
+	if c.EfSearch <= 0 {
+		c.EfSearch = 64
+	}
+	return c
+}
+
+type hnswNode struct {
+	id    string
+	vec   tensor.Vector
+	links [][]int32 // links[level] = neighbour node indices
+}
+
+// HNSW is the approximate index.
+type HNSW struct {
+	metric Metric
+	cfg    HNSWConfig
+	mL     float64
+
+	mu       sync.RWMutex
+	nodes    []hnswNode
+	byID     map[string]int
+	entry    int
+	maxLevel int
+	rng      *xrand.RNG
+	dim      int
+}
+
+// NewHNSW returns an empty HNSW index.
+func NewHNSW(metric Metric, cfg HNSWConfig) *HNSW {
+	cfg = cfg.withDefaults()
+	return &HNSW{
+		metric: metric,
+		cfg:    cfg,
+		mL:     1 / math.Log(float64(cfg.M)),
+		byID:   make(map[string]int),
+		entry:  -1,
+		rng:    xrand.New(cfg.Seed),
+	}
+}
+
+// Len implements Index.
+func (h *HNSW) Len() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.nodes)
+}
+
+func (h *HNSW) randomLevel() int {
+	u := h.rng.Float64()
+	if u <= 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return int(-math.Log(u) * h.mL)
+}
+
+// Add implements Index.
+func (h *HNSW) Add(id string, v tensor.Vector) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := validateVector(v, h.dim); err != nil {
+		return err
+	}
+	if _, ok := h.byID[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	if h.dim == 0 {
+		h.dim = len(v)
+	}
+	level := h.randomLevel()
+	node := hnswNode{id: id, vec: v.Clone(), links: make([][]int32, level+1)}
+	idx := len(h.nodes)
+	h.nodes = append(h.nodes, node)
+	h.byID[id] = idx
+
+	if h.entry < 0 {
+		h.entry = idx
+		h.maxLevel = level
+		return nil
+	}
+
+	cur := h.entry
+	curDist := h.metric.Distance(v, h.nodes[cur].vec)
+	// Greedy descent through layers above the new node's level.
+	for l := h.maxLevel; l > level; l-- {
+		cur, curDist = h.greedyStep(v, cur, curDist, l)
+	}
+	// Insert at each level from min(level, maxLevel) down to 0.
+	startLevel := level
+	if startLevel > h.maxLevel {
+		startLevel = h.maxLevel
+	}
+	ep := []candidate{{idx: cur, dist: curDist}}
+	for l := startLevel; l >= 0; l-- {
+		found := h.searchLayer(v, ep, h.cfg.EfConstruction, l)
+		maxConn := h.cfg.M
+		if l == 0 {
+			maxConn = 2 * h.cfg.M
+		}
+		neighbours := found
+		if len(neighbours) > h.cfg.M {
+			neighbours = neighbours[:h.cfg.M]
+		}
+		for _, nb := range neighbours {
+			h.nodes[idx].links[l] = append(h.nodes[idx].links[l], int32(nb.idx))
+			h.nodes[nb.idx].links[l] = append(h.nodes[nb.idx].links[l], int32(idx))
+			if len(h.nodes[nb.idx].links[l]) > maxConn {
+				h.shrinkLinks(nb.idx, l, maxConn)
+			}
+		}
+		ep = found
+	}
+	if level > h.maxLevel {
+		h.maxLevel = level
+		h.entry = idx
+	}
+	return nil
+}
+
+// greedyStep walks to the closest neighbour of cur at layer l until no
+// improvement, returning the final node and its distance.
+func (h *HNSW) greedyStep(q tensor.Vector, cur int, curDist float64, l int) (int, float64) {
+	for {
+		if l >= len(h.nodes[cur].links) {
+			return cur, curDist
+		}
+		improved := false
+		for _, nb := range h.nodes[cur].links[l] {
+			d := h.metric.Distance(q, h.nodes[nb].vec)
+			if d < curDist {
+				cur, curDist = int(nb), d
+				improved = true
+			}
+		}
+		if !improved {
+			return cur, curDist
+		}
+	}
+}
+
+type candidate struct {
+	idx  int
+	dist float64
+}
+
+// searchLayer is the standard HNSW beam search at one layer. It returns up
+// to ef candidates sorted by ascending distance.
+func (h *HNSW) searchLayer(q tensor.Vector, entryPoints []candidate, ef, level int) []candidate {
+	visited := make(map[int]struct{}, ef*4)
+	// candidates: min-heap by distance; results: max-heap (we keep the worst
+	// at index 0 to pop when over capacity).
+	cands := newHeap(func(a, b candidate) bool { return a.dist < b.dist })
+	results := newHeap(func(a, b candidate) bool { return a.dist > b.dist })
+	for _, ep := range entryPoints {
+		if _, ok := visited[ep.idx]; ok {
+			continue
+		}
+		visited[ep.idx] = struct{}{}
+		cands.push(ep)
+		results.push(ep)
+	}
+	for cands.len() > 0 {
+		c := cands.pop()
+		if results.len() >= ef && c.dist > results.peek().dist {
+			break
+		}
+		if level >= len(h.nodes[c.idx].links) {
+			continue
+		}
+		for _, nb := range h.nodes[c.idx].links[level] {
+			ni := int(nb)
+			if _, ok := visited[ni]; ok {
+				continue
+			}
+			visited[ni] = struct{}{}
+			d := h.metric.Distance(q, h.nodes[ni].vec)
+			if results.len() < ef || d < results.peek().dist {
+				cands.push(candidate{idx: ni, dist: d})
+				results.push(candidate{idx: ni, dist: d})
+				if results.len() > ef {
+					results.pop()
+				}
+			}
+		}
+	}
+	out := make([]candidate, results.len())
+	for i := len(out) - 1; i >= 0; i-- {
+		out[i] = results.pop()
+	}
+	return out
+}
+
+// shrinkLinks truncates a node's neighbour list at a level to the maxConn
+// closest neighbours.
+func (h *HNSW) shrinkLinks(idx, level, maxConn int) {
+	links := h.nodes[idx].links[level]
+	type linkDist struct {
+		nb   int32
+		dist float64
+	}
+	lds := make([]linkDist, len(links))
+	for i, nb := range links {
+		lds[i] = linkDist{nb, h.metric.Distance(h.nodes[idx].vec, h.nodes[nb].vec)}
+	}
+	sort.Slice(lds, func(i, j int) bool { return lds[i].dist < lds[j].dist })
+	if len(lds) > maxConn {
+		lds = lds[:maxConn]
+	}
+	out := make([]int32, len(lds))
+	for i, ld := range lds {
+		out[i] = ld.nb
+	}
+	h.nodes[idx].links[level] = out
+}
+
+// Search implements Index.
+func (h *HNSW) Search(q tensor.Vector, k int) ([]Result, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if len(h.nodes) == 0 {
+		return nil, nil
+	}
+	if err := validateVector(q, h.dim); err != nil {
+		return nil, err
+	}
+	cur := h.entry
+	curDist := h.metric.Distance(q, h.nodes[cur].vec)
+	for l := h.maxLevel; l > 0; l-- {
+		cur, curDist = h.greedyStep(q, cur, curDist, l)
+	}
+	ef := h.cfg.EfSearch
+	if ef < k {
+		ef = k
+	}
+	found := h.searchLayer(q, []candidate{{idx: cur, dist: curDist}}, ef, 0)
+	if k > len(found) {
+		k = len(found)
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]Result, k)
+	for i := 0; i < k; i++ {
+		out[i] = Result{ID: h.nodes[found[i].idx].id, Distance: found[i].dist}
+	}
+	return out, nil
+}
+
+// binary heap over candidates with a custom less function.
+type candHeap struct {
+	less func(a, b candidate) bool
+	xs   []candidate
+}
+
+func newHeap(less func(a, b candidate) bool) *candHeap { return &candHeap{less: less} }
+
+func (h *candHeap) len() int        { return len(h.xs) }
+func (h *candHeap) peek() candidate { return h.xs[0] }
+
+func (h *candHeap) push(c candidate) {
+	h.xs = append(h.xs, c)
+	i := len(h.xs) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.xs[i], h.xs[parent]) {
+			break
+		}
+		h.xs[i], h.xs[parent] = h.xs[parent], h.xs[i]
+		i = parent
+	}
+}
+
+func (h *candHeap) pop() candidate {
+	top := h.xs[0]
+	last := len(h.xs) - 1
+	h.xs[0] = h.xs[last]
+	h.xs = h.xs[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.xs) && h.less(h.xs[l], h.xs[smallest]) {
+			smallest = l
+		}
+		if r < len(h.xs) && h.less(h.xs[r], h.xs[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.xs[i], h.xs[smallest] = h.xs[smallest], h.xs[i]
+		i = smallest
+	}
+	return top
+}

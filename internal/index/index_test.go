@@ -1,0 +1,296 @@
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func randomVectors(n, dim int, seed uint64) []tensor.Vector {
+	rng := xrand.New(seed)
+	out := make([]tensor.Vector, n)
+	for i := range out {
+		v := make(tensor.Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestFlatExactOrder(t *testing.T) {
+	f := NewFlat(L2)
+	f.Add("far", tensor.Vector{10, 0})
+	f.Add("near", tensor.Vector{1, 0})
+	f.Add("mid", tensor.Vector{5, 0})
+	res, err := f.Search(tensor.Vector{0, 0}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"near", "mid", "far"}
+	for i, r := range res {
+		if r.ID != want[i] {
+			t.Fatalf("order = %v", res)
+		}
+	}
+}
+
+func TestFlatKClamping(t *testing.T) {
+	f := NewFlat(L2)
+	f.Add("a", tensor.Vector{1})
+	res, err := f.Search(tensor.Vector{0}, 10)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("res = %v, %v", res, err)
+	}
+	res, err = f.Search(tensor.Vector{0}, -1)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("negative k: %v, %v", res, err)
+	}
+}
+
+func TestFlatEmptySearch(t *testing.T) {
+	f := NewFlat(L2)
+	res, err := f.Search(tensor.Vector{0}, 5)
+	if err != nil || res != nil {
+		t.Fatalf("empty index search = %v, %v", res, err)
+	}
+}
+
+func TestDuplicateIDsRejected(t *testing.T) {
+	for _, idx := range []Index{NewFlat(L2), NewHNSW(L2, HNSWConfig{})} {
+		if err := idx.Add("a", tensor.Vector{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Add("a", tensor.Vector{3, 4}); !errors.Is(err, ErrDuplicateID) {
+			t.Fatalf("expected ErrDuplicateID, got %v", err)
+		}
+	}
+}
+
+func TestBadVectorsRejected(t *testing.T) {
+	for _, idx := range []Index{NewFlat(L2), NewHNSW(L2, HNSWConfig{})} {
+		if err := idx.Add("empty", nil); !errors.Is(err, ErrBadVector) {
+			t.Fatalf("empty vector: %v", err)
+		}
+		if err := idx.Add("nan", tensor.Vector{math.NaN()}); !errors.Is(err, ErrBadVector) {
+			t.Fatalf("NaN vector: %v", err)
+		}
+		if err := idx.Add("ok", tensor.Vector{1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		if err := idx.Add("dim", tensor.Vector{1, 2, 3}); !errors.Is(err, ErrBadVector) {
+			t.Fatalf("dim mismatch: %v", err)
+		}
+		if _, err := idx.Search(tensor.Vector{1}, 1); !errors.Is(err, ErrBadVector) {
+			t.Fatalf("query dim mismatch: %v", err)
+		}
+	}
+}
+
+func TestCosineMetric(t *testing.T) {
+	f := NewFlat(Cosine)
+	f.Add("same-dir", tensor.Vector{2, 0})
+	f.Add("orthogonal", tensor.Vector{0, 1})
+	res, err := f.Search(tensor.Vector{1, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].ID != "same-dir" {
+		t.Fatalf("cosine order wrong: %v", res)
+	}
+	if math.Abs(res[0].Distance) > 1e-12 {
+		t.Fatalf("parallel cosine distance = %v, want 0", res[0].Distance)
+	}
+}
+
+func TestHNSWSingleElement(t *testing.T) {
+	h := NewHNSW(L2, HNSWConfig{})
+	h.Add("only", tensor.Vector{1, 2, 3})
+	res, err := h.Search(tensor.Vector{0, 0, 0}, 5)
+	if err != nil || len(res) != 1 || res[0].ID != "only" {
+		t.Fatalf("res = %v, %v", res, err)
+	}
+}
+
+func TestHNSWRecallVsFlat(t *testing.T) {
+	const n, dim, queries, k = 2000, 16, 50, 10
+	vecs := randomVectors(n, dim, 1)
+	flat := NewFlat(L2)
+	hnsw := NewHNSW(L2, HNSWConfig{M: 16, EfConstruction: 200, EfSearch: 100, Seed: 2})
+	for i, v := range vecs {
+		id := fmt.Sprintf("v%04d", i)
+		if err := flat.Add(id, v); err != nil {
+			t.Fatal(err)
+		}
+		if err := hnsw.Add(id, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qs := randomVectors(queries, dim, 99)
+	hits, total := 0, 0
+	for _, q := range qs {
+		exact, err := flat.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := hnsw.Search(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := map[string]bool{}
+		for _, r := range exact {
+			truth[r.ID] = true
+		}
+		for _, r := range approx {
+			if truth[r.ID] {
+				hits++
+			}
+		}
+		total += k
+	}
+	recall := float64(hits) / float64(total)
+	if recall < 0.9 {
+		t.Fatalf("HNSW recall@%d = %v, want >= 0.9", k, recall)
+	}
+}
+
+func TestHNSWResultsSorted(t *testing.T) {
+	h := NewHNSW(L2, HNSWConfig{Seed: 3})
+	for i, v := range randomVectors(500, 8, 4) {
+		if err := h.Add(fmt.Sprintf("v%d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := randomVectors(1, 8, 5)[0]
+	res, err := h.Search(q, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 20 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Distance < res[i-1].Distance {
+			t.Fatalf("results not sorted at %d: %v", i, res)
+		}
+	}
+}
+
+func TestHNSWDeterministicGivenSeed(t *testing.T) {
+	build := func() []Result {
+		h := NewHNSW(L2, HNSWConfig{Seed: 7})
+		for i, v := range randomVectors(300, 8, 6) {
+			if err := h.Add(fmt.Sprintf("v%d", i), v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := h.Search(randomVectors(1, 8, 8)[0], 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed builds disagree: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestHNSWConcurrentAddSearch(t *testing.T) {
+	h := NewHNSW(L2, HNSWConfig{Seed: 9})
+	vecs := randomVectors(400, 8, 10)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(vecs); i += 4 {
+				if err := h.Add(fmt.Sprintf("v%d", i), vecs[i]); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%10 == 0 {
+					if _, err := h.Search(vecs[i], 3); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Len() != 400 {
+		t.Fatalf("Len = %d, want 400", h.Len())
+	}
+}
+
+func TestHNSWExactNeighborFound(t *testing.T) {
+	// A stored vector queried exactly must come back first.
+	h := NewHNSW(L2, HNSWConfig{Seed: 11})
+	vecs := randomVectors(1000, 8, 12)
+	for i, v := range vecs {
+		if err := h.Add(fmt.Sprintf("v%d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	misses := 0
+	for i := 0; i < 100; i++ {
+		res, err := h.Search(vecs[i], 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) == 0 || res[0].ID != fmt.Sprintf("v%d", i) {
+			misses++
+		}
+	}
+	if misses > 2 {
+		t.Fatalf("%d/100 self-queries missed", misses)
+	}
+}
+
+func BenchmarkFlatSearch10k(b *testing.B) {
+	f := NewFlat(L2)
+	for i, v := range randomVectors(10000, 32, 1) {
+		f.Add(fmt.Sprintf("v%d", i), v)
+	}
+	q := randomVectors(1, 32, 2)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Search(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHNSWSearch10k(b *testing.B) {
+	h := NewHNSW(L2, HNSWConfig{Seed: 1})
+	for i, v := range randomVectors(10000, 32, 1) {
+		h.Add(fmt.Sprintf("v%d", i), v)
+	}
+	q := randomVectors(1, 32, 2)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Search(q, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHNSWInsert(b *testing.B) {
+	h := NewHNSW(L2, HNSWConfig{Seed: 1})
+	vecs := randomVectors(b.N+1, 32, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Add(fmt.Sprintf("v%d", i), vecs[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func buildHNSW(t *testing.T, n int) *HNSW {
+	t.Helper()
+	h := NewHNSW(L2, HNSWConfig{Seed: 21})
+	for i, v := range randomVectors(n, 16, 22) {
+		if err := h.Add(fmt.Sprintf("v%04d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestHNSWSaveLoadRoundTrip(t *testing.T) {
+	h := buildHNSW(t, 500)
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadHNSW(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != h.Len() {
+		t.Fatalf("loaded Len = %d, want %d", loaded.Len(), h.Len())
+	}
+	// Identical graphs yield identical search results.
+	for _, q := range randomVectors(20, 16, 23) {
+		want, err := h.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := loaded.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("result counts differ: %d vs %d", len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("results diverge at %d: %v vs %v", i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestLoadedHNSWAcceptsInserts(t *testing.T) {
+	h := buildHNSW(t, 200)
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadHNSW(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := randomVectors(50, 16, 24)
+	for i, v := range extra {
+		if err := loaded.Add(fmt.Sprintf("x%03d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loaded.Len() != 250 {
+		t.Fatalf("Len = %d, want 250", loaded.Len())
+	}
+	// New vectors are findable.
+	res, err := loaded.Search(extra[0], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 || res[0].ID != "x000" {
+		t.Fatalf("inserted vector not found: %v", res)
+	}
+	// Duplicate IDs from the stream are still rejected after load.
+	if err := loaded.Add("v0000", extra[1]); err == nil {
+		t.Fatal("duplicate id accepted after load")
+	}
+}
+
+func TestLoadHNSWCorruptStreams(t *testing.T) {
+	h := buildHNSW(t, 50)
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncations at every region must error, never panic.
+	for _, cut := range []int{0, 3, 4, 10, 40, len(good) / 2, len(good) - 1} {
+		if _, err := LoadHNSW(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d loaded silently", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := LoadHNSW(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Implausible node count (header bytes 40..44).
+	bad2 := append([]byte(nil), good...)
+	for i := 40; i < 44; i++ {
+		bad2[i] = 0xff
+	}
+	if _, err := LoadHNSW(bytes.NewReader(bad2)); err == nil {
+		t.Fatal("absurd node count accepted")
+	}
+	// Implausible max level (header bytes 36..40).
+	bad3 := append([]byte(nil), good...)
+	for i := 36; i < 40; i++ {
+		bad3[i] = 0xff
+	}
+	if _, err := LoadHNSW(bytes.NewReader(bad3)); err == nil {
+		t.Fatal("absurd max level accepted")
+	}
+}
+
+func TestSaveLoadEmptyHNSW(t *testing.T) {
+	h := NewHNSW(Cosine, HNSWConfig{Seed: 5})
+	var buf bytes.Buffer
+	if err := h.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadHNSW(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Fatalf("Len = %d", loaded.Len())
+	}
+	res, err := loaded.Search(randomVectors(1, 4, 1)[0], 3)
+	if err != nil || res != nil {
+		t.Fatalf("empty search: %v %v", res, err)
+	}
+}

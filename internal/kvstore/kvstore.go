@@ -1,0 +1,377 @@
+// Package kvstore implements a small embedded key-value store used as the
+// durable metadata layer of the model lake (registry records, provenance
+// journal, cached benchmark scores).
+//
+// The design is a classic append-only log with an in-memory index:
+//
+//   - Every mutation (put or delete) is appended to a single log file as a
+//     length-prefixed, CRC32-checksummed record and the file is optionally
+//     fsynced.
+//   - Open replays the log to rebuild the in-memory state. A torn final
+//     record (e.g. from a crash mid-append) is detected and truncated away;
+//     corruption anywhere earlier is reported as ErrCorrupt rather than
+//     silently dropped.
+//   - Compact rewrites the log with only live records.
+//
+// Keys are ordered byte strings; Scan iterates a prefix in sorted order,
+// which the registry uses for typed namespaces ("model/", "prov/", ...).
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Sentinel errors.
+var (
+	ErrNotFound = errors.New("kvstore: key not found")
+	ErrCorrupt  = errors.New("kvstore: corrupt log")
+	ErrClosed   = errors.New("kvstore: store is closed")
+)
+
+const (
+	opPut    byte = 1
+	opDelete byte = 2
+
+	// headerSize is the fixed prefix of every record:
+	// payloadLen(4) + crc(4).
+	headerSize = 8
+	// maxRecordSize guards against absurd lengths from corrupt headers.
+	maxRecordSize = 64 << 20
+)
+
+// Store is a durable string-keyed byte store. It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	data   map[string][]byte
+	path   string   // empty for a purely in-memory store
+	f      *os.File // nil for in-memory
+	sync   bool
+	closed bool
+}
+
+// Options configures Open.
+type Options struct {
+	// Sync forces an fsync after every mutation. Slower but crash-durable.
+	Sync bool
+}
+
+// OpenMemory returns an in-memory store with no durability. It is handy for
+// tests and ephemeral lakes.
+func OpenMemory() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Open opens (or creates) the store logged at path.
+func Open(path string, opts Options) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
+	}
+	s := &Store{data: make(map[string][]byte), path: path, f: f, sync: opts.Sync}
+	validLen, err := s.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate a torn tail so subsequent appends start at a clean boundary.
+	if fi, err := f.Stat(); err == nil && fi.Size() > validLen {
+		if err := f.Truncate(validLen); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("kvstore: truncate torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("kvstore: seek: %w", err)
+	}
+	return s, nil
+}
+
+// replay scans the log, rebuilding the in-memory map, and returns the byte
+// offset of the end of the last complete, valid record.
+func (s *Store) replay() (int64, error) {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("kvstore: seek: %w", err)
+	}
+	var offset int64
+	hdr := make([]byte, headerSize)
+	for {
+		_, err := io.ReadFull(s.f, hdr)
+		if err == io.EOF {
+			return offset, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			// Torn header at the tail: stop at the last good record.
+			return offset, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("kvstore: read header: %w", err)
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		if payloadLen > maxRecordSize {
+			return 0, fmt.Errorf("%w: record length %d at offset %d", ErrCorrupt, payloadLen, offset)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(s.f, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				// Torn payload at the tail.
+				return offset, nil
+			}
+			return 0, fmt.Errorf("kvstore: read payload: %w", err)
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			// A bad checksum mid-log is real corruption; at the very tail it
+			// could be a torn write, but we cannot distinguish, so look
+			// ahead: if this is the final record, treat as torn.
+			cur, _ := s.f.Seek(0, io.SeekCurrent)
+			end, _ := s.f.Seek(0, io.SeekEnd)
+			if cur == end {
+				return offset, nil
+			}
+			return 0, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, offset)
+		}
+		if err := s.applyPayload(payload); err != nil {
+			return 0, err
+		}
+		offset += int64(headerSize) + int64(payloadLen)
+	}
+}
+
+func (s *Store) applyPayload(p []byte) error {
+	if len(p) < 5 {
+		return fmt.Errorf("%w: short payload", ErrCorrupt)
+	}
+	op := p[0]
+	keyLen := binary.LittleEndian.Uint32(p[1:5])
+	if int(keyLen) > len(p)-5 {
+		return fmt.Errorf("%w: key length overruns payload", ErrCorrupt)
+	}
+	key := string(p[5 : 5+keyLen])
+	switch op {
+	case opPut:
+		val := make([]byte, len(p)-5-int(keyLen))
+		copy(val, p[5+keyLen:])
+		s.data[key] = val
+	case opDelete:
+		delete(s.data, key)
+	default:
+		return fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
+	}
+	return nil
+}
+
+func encodePayload(op byte, key string, value []byte) []byte {
+	p := make([]byte, 5+len(key)+len(value))
+	p[0] = op
+	binary.LittleEndian.PutUint32(p[1:5], uint32(len(key)))
+	copy(p[5:], key)
+	copy(p[5+len(key):], value)
+	return p
+}
+
+// appendRecord writes one record to the log (if durable).
+func (s *Store) appendRecord(payload []byte) error {
+	if s.f == nil {
+		return nil
+	}
+	rec := make([]byte, headerSize+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[headerSize:], payload)
+	if _, err := s.f.Write(rec); err != nil {
+		return fmt.Errorf("kvstore: append: %w", err)
+	}
+	if s.sync {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("kvstore: fsync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Put stores value under key, overwriting any previous value.
+func (s *Store) Put(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.appendRecord(encodePayload(opPut, key, value)); err != nil {
+		return err
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	s.data[key] = cp
+	return nil
+}
+
+// Get returns the value stored under key, or ErrNotFound.
+func (s *Store) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	v, ok := s.data[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
+	}
+	cp := make([]byte, len(v))
+	copy(cp, v)
+	return cp, nil
+}
+
+// Has reports whether key is present.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.data[key]
+	return ok
+}
+
+// Delete removes key. Deleting an absent key is a no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, ok := s.data[key]; !ok {
+		return nil
+	}
+	if err := s.appendRecord(encodePayload(opDelete, key, nil)); err != nil {
+		return err
+	}
+	delete(s.data, key)
+	return nil
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// Scan calls fn for every key with the given prefix, in sorted key order.
+// Returning false from fn stops the scan. The value slice passed to fn must
+// not be retained.
+func (s *Store) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		s.mu.RLock()
+		v, ok := s.data[k]
+		s.mu.RUnlock()
+		if !ok {
+			continue // deleted between snapshot and visit
+		}
+		if !fn(k, v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Keys returns all live keys with the given prefix in sorted order.
+func (s *Store) Keys(prefix string) []string {
+	var out []string
+	s.Scan(prefix, func(k string, _ []byte) bool {
+		out = append(out, k)
+		return true
+	})
+	return out
+}
+
+// Compact rewrites the log so it contains exactly the live records. It is a
+// no-op for in-memory stores.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.f == nil {
+		return nil
+	}
+	tmpPath := s.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: compact: %w", err)
+	}
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		payload := encodePayload(opPut, k, s.data[k])
+		rec := make([]byte, headerSize+len(payload))
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+		binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+		copy(rec[headerSize:], payload)
+		if _, err := tmp.Write(rec); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("kvstore: compact write: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("kvstore: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("kvstore: compact close: %w", err)
+	}
+	if err := s.f.Close(); err != nil {
+		return fmt.Errorf("kvstore: close old log: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		return fmt.Errorf("kvstore: swap compacted log: %w", err)
+	}
+	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: reopen after compact: %w", err)
+	}
+	s.f = f
+	return nil
+}
+
+// Close flushes and closes the store. Further operations return ErrClosed.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.f != nil {
+		if err := s.f.Sync(); err != nil {
+			s.f.Close()
+			return fmt.Errorf("kvstore: sync on close: %w", err)
+		}
+		return s.f.Close()
+	}
+	return nil
+}

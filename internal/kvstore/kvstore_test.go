@@ -1,0 +1,406 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func openTemp(t *testing.T) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "kv.log")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, path
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Get("a")
+	if err != nil || string(v) != "1" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+	// Deleting an absent key is fine.
+	if err := s.Delete("missing"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	s.Put("k", []byte("v1"))
+	s.Put("k", []byte("v2"))
+	v, err := s.Get("k")
+	if err != nil || string(v) != "v2" {
+		t.Fatalf("Get after overwrite = %q, %v", v, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	s.Put("k", []byte("abc"))
+	v, _ := s.Get("k")
+	v[0] = 'z'
+	v2, _ := s.Get("k")
+	if string(v2) != "abc" {
+		t.Fatal("Get exposed internal storage")
+	}
+}
+
+func TestPutCopiesValue(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	val := []byte("abc")
+	s.Put("k", val)
+	val[0] = 'z'
+	v, _ := s.Get("k")
+	if string(v) != "abc" {
+		t.Fatal("Put aliased caller's slice")
+	}
+}
+
+func TestReplayAfterReopen(t *testing.T) {
+	s, path := openTemp(t)
+	for i := 0; i < 100; i++ {
+		if err := s.Put(fmt.Sprintf("key%03d", i), []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Delete("key050")
+	s.Put("key000", []byte("updated"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 99 {
+		t.Fatalf("reopened Len = %d, want 99", s2.Len())
+	}
+	if _, err := s2.Get("key050"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted key resurrected after replay")
+	}
+	v, err := s2.Get("key000")
+	if err != nil || string(v) != "updated" {
+		t.Fatalf("Get key000 = %q, %v", v, err)
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put("good", []byte("value"))
+	s.Put("torn", []byte("this record will be cut"))
+	s.Close()
+
+	// Chop bytes off the end to simulate a crash mid-append.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("good"); err != nil {
+		t.Fatalf("intact record lost: %v", err)
+	}
+	if _, err := s2.Get("torn"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("torn record should be dropped")
+	}
+	// New writes must work after truncation.
+	if err := s2.Put("after", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if _, err := s3.Get("after"); err != nil {
+		t.Fatalf("write after torn-tail recovery lost: %v", err)
+	}
+}
+
+func TestMidLogCorruptionDetected(t *testing.T) {
+	s, path := openTemp(t)
+	s.Put("first", bytes.Repeat([]byte("a"), 100))
+	s.Put("second", bytes.Repeat([]byte("b"), 100))
+	s.Close()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the first record's payload.
+	raw[20] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("expected ErrCorrupt, got %v", err)
+	}
+}
+
+func TestScanPrefixOrder(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	s.Put("model/b", []byte("2"))
+	s.Put("model/a", []byte("1"))
+	s.Put("model/c", []byte("3"))
+	s.Put("prov/x", []byte("9"))
+	var keys []string
+	s.Scan("model/", func(k string, v []byte) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []string{"model/a", "model/b", "model/c"}
+	if len(keys) != 3 {
+		t.Fatalf("Scan visited %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Scan order %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		s.Put(fmt.Sprintf("k%d", i), nil)
+	}
+	visited := 0
+	s.Scan("k", func(k string, v []byte) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("visited %d, want 3", visited)
+	}
+}
+
+func TestKeys(t *testing.T) {
+	s := OpenMemory()
+	defer s.Close()
+	s.Put("a/1", nil)
+	s.Put("a/2", nil)
+	s.Put("b/1", nil)
+	ks := s.Keys("a/")
+	if len(ks) != 2 || ks[0] != "a/1" || ks[1] != "a/2" {
+		t.Fatalf("Keys = %v", ks)
+	}
+}
+
+func TestCompactShrinksLog(t *testing.T) {
+	s, path := openTemp(t)
+	big := bytes.Repeat([]byte("x"), 1000)
+	for i := 0; i < 50; i++ {
+		s.Put("same-key", big) // 50 overwrites: only the last survives
+	}
+	before, _ := os.Stat(path)
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.Stat(path)
+	if after.Size() >= before.Size() {
+		t.Fatalf("compact did not shrink log: %d -> %d", before.Size(), after.Size())
+	}
+	v, err := s.Get("same-key")
+	if err != nil || !bytes.Equal(v, big) {
+		t.Fatal("compact lost data")
+	}
+	// Store must remain writable and replayable after compaction.
+	s.Put("post", []byte("1"))
+	s.Close()
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, err := s2.Get("post"); err != nil {
+		t.Fatal("write after compact lost")
+	}
+	if _, err := s2.Get("same-key"); err != nil {
+		t.Fatal("compacted key lost after reopen")
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := OpenMemory()
+	s.Close()
+	if err := s.Put("k", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put on closed store: %v", err)
+	}
+	if _, err := s.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get on closed store: %v", err)
+	}
+	if err := s.Delete("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete on closed store: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double Close should be fine: %v", err)
+	}
+}
+
+func TestSyncOption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.log")
+	s, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: after an arbitrary workload, the store agrees with a plain map,
+// both before and after a reopen.
+func TestRandomWorkloadMatchesMap(t *testing.T) {
+	f := func(ops []struct {
+		Key byte
+		Val []byte
+		Del bool
+	}) bool {
+		path := filepath.Join(t.TempDir(), "kv.log")
+		s, err := Open(path, Options{})
+		if err != nil {
+			return false
+		}
+		oracle := map[string][]byte{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op.Key%16)
+			if op.Del {
+				if err := s.Delete(key); err != nil {
+					return false
+				}
+				delete(oracle, key)
+			} else {
+				if err := s.Put(key, op.Val); err != nil {
+					return false
+				}
+				oracle[key] = op.Val
+			}
+		}
+		check := func(st *Store) bool {
+			if st.Len() != len(oracle) {
+				return false
+			}
+			for k, want := range oracle {
+				got, err := st.Get(k)
+				if err != nil || !bytes.Equal(got, want) {
+					return false
+				}
+			}
+			return true
+		}
+		if !check(s) {
+			return false
+		}
+		s.Close()
+		s2, err := Open(path, Options{})
+		if err != nil {
+			return false
+		}
+		defer s2.Close()
+		return check(s2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	path := filepath.Join(b.TempDir(), "kv.log")
+	s, err := Open(path, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	val := bytes.Repeat([]byte("v"), 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(fmt.Sprintf("key%d", i%1000), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	s := OpenMemory()
+	defer s.Close()
+	for i := 0; i < 1000; i++ {
+		s.Put(fmt.Sprintf("key%d", i), []byte("value"))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(fmt.Sprintf("key%d", i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, _ := openTemp(t)
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("w%d/k%d", w, i%20)
+				switch i % 4 {
+				case 0, 1:
+					if err := s.Put(key, []byte(fmt.Sprintf("v%d", i))); err != nil {
+						t.Error(err)
+						return
+					}
+				case 2:
+					s.Get(key)
+				case 3:
+					s.Scan(fmt.Sprintf("w%d/", w), func(k string, v []byte) bool { return true })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every worker's keys are present with some value.
+	for w := 0; w < 8; w++ {
+		if got := len(s.Keys(fmt.Sprintf("w%d/", w))); got != 10 {
+			t.Fatalf("worker %d has %d keys, want 10", w, got)
+		}
+	}
+}

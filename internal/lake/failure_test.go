@@ -1,0 +1,140 @@
+package lake
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"modellake/internal/registry"
+)
+
+// Failure injection: the lake must degrade loudly, not silently, when its
+// storage is damaged underneath it.
+
+func TestOpenRejectsCorruptMetadataLog(t *testing.T) {
+	dir := t.TempDir()
+	{
+		l, err := Open(Config{Dir: dir, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop := population(t, 501)
+		fill(t, l, pop)
+		l.Close()
+	}
+	logPath := filepath.Join(dir, "lake.log")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the log.
+	raw[len(raw)/2] ^= 0xff
+	if err := os.WriteFile(logPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir, Seed: 1}); err == nil {
+		t.Fatal("corrupt metadata log opened silently")
+	}
+}
+
+func TestOpenSurvivesTornMetadataTail(t *testing.T) {
+	dir := t.TempDir()
+	var total int
+	{
+		l, err := Open(Config{Dir: dir, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop := population(t, 502)
+		fill(t, l, pop)
+		total = l.Count()
+		l.Close()
+	}
+	logPath := filepath.Join(dir, "lake.log")
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut a few bytes off the end (simulates a crash mid-append). The last
+	// record(s) may be lost but the lake must open.
+	if err := os.WriteFile(logPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Open(Config{Dir: dir, Seed: 1})
+	if err != nil {
+		t.Fatalf("torn tail should be tolerated: %v", err)
+	}
+	defer l.Close()
+	if l.Count() == 0 || l.Count() > total {
+		t.Fatalf("implausible count after torn tail: %d (was %d)", l.Count(), total)
+	}
+}
+
+func TestTamperedWeightsDetectedOnLoad(t *testing.T) {
+	dir := t.TempDir()
+	var id string
+	{
+		l, err := Open(Config{Dir: dir, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop := population(t, 503)
+		ids := fill(t, l, pop)
+		id = ids[0]
+		l.Close()
+	}
+	// Overwrite every blob with poison (PoisonGPT weight swap).
+	blobDir := filepath.Join(dir, "blobs")
+	err := filepath.Walk(blobDir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		return os.WriteFile(path, []byte("poisoned weights"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rehydration must fail loudly: the checksum no longer matches.
+	if _, err := Open(Config{Dir: dir, Seed: 1}); err == nil {
+		t.Fatal("tampered weights loaded silently")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("tampering surfaced as the wrong error: %v", err)
+	}
+	_ = id
+}
+
+func TestMissingBlobSurfacedAsError(t *testing.T) {
+	dir := t.TempDir()
+	var id string
+	{
+		l, err := Open(Config{Dir: dir, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pop := population(t, 504)
+		ids := fill(t, l, pop)
+		id = ids[0]
+		l.Close()
+	}
+	if err := os.RemoveAll(filepath.Join(dir, "blobs")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Config{Dir: dir, Seed: 1}); err == nil {
+		t.Fatal("missing blobs opened silently")
+	}
+	_ = id
+}
+
+func TestIngestAfterCloseFails(t *testing.T) {
+	l, err := Open(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	pop := population(t, 505)
+	if _, err := l.Ingest(pop.Members[0].Model, pop.Members[0].Card,
+		registry.RegisterOptions{Name: "late"}); err == nil {
+		t.Fatal("ingest after close succeeded")
+	}
+}

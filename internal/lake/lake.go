@@ -1,0 +1,605 @@
+// Package lake is the model lake itself: the facade that wires storage,
+// registry, indexing, and every lake task (§3) and application (§6) into the
+// system Figure 2 of the paper sketches. Users ingest models with their
+// cards, then search (keyword, content-based, task-based, hybrid, or via
+// declarative MLQL queries), reconstruct version graphs, attribute behaviour
+// to training data, draft documentation, audit, and cite.
+package lake
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"modellake/internal/attribution"
+	"modellake/internal/audit"
+	"modellake/internal/benchmark"
+	"modellake/internal/blob"
+	"modellake/internal/card"
+	"modellake/internal/data"
+	"modellake/internal/docgen"
+	"modellake/internal/embedding"
+	"modellake/internal/index"
+	"modellake/internal/kvstore"
+	"modellake/internal/mlql"
+	"modellake/internal/model"
+	"modellake/internal/provenance"
+	"modellake/internal/registry"
+	"modellake/internal/search"
+	"modellake/internal/tensor"
+	"modellake/internal/version"
+)
+
+// Config configures a lake.
+type Config struct {
+	// Dir is the storage directory; empty means fully in-memory.
+	Dir string
+	// Sync fsyncs the metadata log on every write.
+	Sync bool
+	// InputDim / MaxClasses shape the shared behavioural probe space.
+	// Models with other shapes are still stored and weight-indexed but not
+	// behaviour-indexed. Defaults: 8 and 8.
+	InputDim   int
+	MaxClasses int
+	// Probes is the behavioural probe count (default 32).
+	Probes int
+	// Seed drives all lake-internal randomness (ANN level assignment,
+	// probe generation, weight-space probes).
+	Seed uint64
+	// UseHNSW selects the approximate index for content search (exact flat
+	// scan otherwise). Flat is the default: exact and fast below ~10k
+	// models.
+	UseHNSW bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.InputDim <= 0 {
+		c.InputDim = 8
+	}
+	if c.MaxClasses <= 0 {
+		c.MaxClasses = 8
+	}
+	if c.Probes <= 0 {
+		c.Probes = 32
+	}
+	return c
+}
+
+// Lake is a model lake instance. It is safe for concurrent use.
+type Lake struct {
+	cfg    Config
+	kv     *kvstore.Store
+	blobs  blob.Store
+	reg    *registry.Registry
+	prov   *provenance.Journal
+	runner *benchmark.Runner
+
+	keyword    *search.KeywordIndex
+	behaviorCS *search.ContentSearcher
+	weightCS   *search.ContentSearcher
+	taskSearch *search.TaskSearcher
+
+	mu         sync.RWMutex
+	modelCache map[string]*model.Model // live models (incl. closed-weight ones)
+	benchmarks map[string]*benchmark.Benchmark
+	datasets   map[string]*data.Dataset
+	graph      *version.Graph // cached reconstruction; nil when stale
+}
+
+// Open creates or opens a lake.
+func Open(cfg Config) (*Lake, error) {
+	cfg = cfg.withDefaults()
+	var kv *kvstore.Store
+	var blobs blob.Store
+	if cfg.Dir == "" {
+		kv = kvstore.OpenMemory()
+		blobs = blob.NewMemStore()
+	} else {
+		if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("lake: create directory: %w", err)
+		}
+		var err error
+		kv, err = kvstore.Open(filepath.Join(cfg.Dir, "lake.log"), kvstore.Options{Sync: cfg.Sync})
+		if err != nil {
+			return nil, fmt.Errorf("lake: open metadata: %w", err)
+		}
+		blobs, err = blob.NewFileStore(filepath.Join(cfg.Dir, "blobs"))
+		if err != nil {
+			kv.Close()
+			return nil, fmt.Errorf("lake: open blobs: %w", err)
+		}
+	}
+	l := &Lake{
+		cfg:        cfg,
+		kv:         kv,
+		blobs:      blobs,
+		reg:        registry.New(kv, blobs),
+		prov:       provenance.NewJournal(kv),
+		runner:     benchmark.NewRunner(kv),
+		keyword:    search.NewKeywordIndex(),
+		taskSearch: &search.TaskSearcher{},
+		modelCache: map[string]*model.Model{},
+		benchmarks: map[string]*benchmark.Benchmark{},
+		datasets:   map[string]*data.Dataset{},
+	}
+	l.behaviorCS = search.NewContentSearcher(
+		embedding.NewBehaviorEmbedder(cfg.InputDim, cfg.Probes, cfg.MaxClasses, cfg.Seed),
+		l.newIndex())
+	l.weightCS = search.NewContentSearcher(
+		embedding.NewWeightEmbedder(32, 4, cfg.Seed+1),
+		l.newIndex())
+
+	// Rehydrate indexes from a previously persisted lake.
+	if err := l.rehydrate(); err != nil {
+		kv.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+func (l *Lake) newIndex() index.Index {
+	if l.cfg.UseHNSW {
+		return index.NewHNSW(index.Cosine, index.HNSWConfig{Seed: l.cfg.Seed})
+	}
+	return index.NewFlat(index.Cosine)
+}
+
+// rehydrate rebuilds the in-memory indexes from the durable registry.
+func (l *Lake) rehydrate() error {
+	recs, err := l.reg.List()
+	if err != nil {
+		return fmt.Errorf("lake: rehydrate: %w", err)
+	}
+	for _, rec := range recs {
+		if c, err := l.reg.Card(rec.ID); err == nil {
+			l.keyword.Add(rec.ID, c.Text())
+		}
+		m, err := l.reg.LoadModel(rec.ID)
+		if err != nil {
+			if errors.Is(err, registry.ErrNoWeights) {
+				continue // closed-weights model: behaviour is gone across restarts
+			}
+			return fmt.Errorf("lake: rehydrate %s: %w", rec.ID, err)
+		}
+		l.modelCache[rec.ID] = m
+		l.indexModel(m)
+	}
+	return nil
+}
+
+// indexModel adds a model to whichever content indexes can embed it.
+// Failures to embed in a given space are expected (wrong input dimension,
+// withheld weights) and simply skip that space.
+func (l *Lake) indexModel(m *model.Model) {
+	h := model.NewHandle(m)
+	if err := l.behaviorCS.Add(h); err == nil {
+		l.taskSearch.Add(h)
+	}
+	_ = l.weightCS.Add(h) // error = not weight-indexable; acceptable
+}
+
+// Close releases the lake's storage.
+func (l *Lake) Close() error { return l.kv.Close() }
+
+// Count returns the number of models in the lake.
+func (l *Lake) Count() int { return l.reg.Count() }
+
+// Ingest registers a model with its card, indexes it for every search
+// modality, and journals its provenance. It returns the registry record.
+func (l *Lake) Ingest(m *model.Model, c *card.Card, opts registry.RegisterOptions) (*registry.Record, error) {
+	rec, err := l.reg.Register(m, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.modelCache[rec.ID] = m
+	l.graph = nil // new model invalidates the cached version graph
+	l.mu.Unlock()
+
+	if c != nil {
+		cc := c.Clone()
+		cc.ModelID = rec.ID
+		l.keyword.Add(rec.ID, cc.Text())
+	}
+	l.indexModel(m)
+
+	// Provenance: the model entity, its creating activity, declared inputs.
+	if _, err := l.prov.Put("model:"+rec.ID, provenance.Entity, rec.Name, map[string]string{
+		"arch": rec.Arch, "version": rec.Version,
+	}); err != nil {
+		return nil, fmt.Errorf("lake: provenance: %w", err)
+	}
+	if m.Hist != nil {
+		act := "activity:" + rec.ID + "/" + m.Hist.Transformation
+		if _, err := l.prov.Put(act, provenance.Activity, m.Hist.Transformation, nil); err != nil {
+			return nil, err
+		}
+		if err := l.prov.Relate(provenance.WasGeneratedBy, "model:"+rec.ID, act); err != nil {
+			return nil, err
+		}
+		if m.Hist.DatasetID != "" {
+			dsEnt := "dataset:" + m.Hist.DatasetID
+			if _, err := l.prov.Put(dsEnt, provenance.Entity, m.Hist.DatasetID, nil); err != nil {
+				return nil, err
+			}
+			if err := l.prov.Relate(provenance.Used, act, dsEnt); err != nil {
+				return nil, err
+			}
+		}
+		for _, base := range m.Hist.BaseModelIDs {
+			baseEnt := "model:" + base
+			if l.kv.Has("prov/rec/" + baseEnt) {
+				if err := l.prov.Relate(provenance.WasDerivedFrom, "model:"+rec.ID, baseEnt); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return rec, nil
+}
+
+// Model returns a full-view handle for a lake model.
+func (l *Lake) Model(id string) (*model.Handle, error) {
+	l.mu.RLock()
+	m, ok := l.modelCache[id]
+	l.mu.RUnlock()
+	if ok {
+		return model.NewHandle(m), nil
+	}
+	m, err := l.reg.LoadModel(id)
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.modelCache[id] = m
+	l.mu.Unlock()
+	return model.NewHandle(m), nil
+}
+
+// Record returns a model's registry record.
+func (l *Lake) Record(id string) (*registry.Record, error) { return l.reg.Get(id) }
+
+// Records lists all registry records.
+func (l *Lake) Records() ([]*registry.Record, error) { return l.reg.List() }
+
+// Card returns a model's card.
+func (l *Lake) Card(id string) (*card.Card, error) { return l.reg.Card(id) }
+
+// PutCard replaces a model's card and refreshes the keyword index.
+func (l *Lake) PutCard(id string, c *card.Card) error {
+	if err := l.reg.PutCard(id, c); err != nil {
+		return err
+	}
+	l.keyword.Add(id, c.Text())
+	return nil
+}
+
+// Resolve maps name@version to a model ID.
+func (l *Lake) Resolve(name, ver string) (string, error) { return l.reg.Resolve(name, ver) }
+
+// datasetMeta is the durable record of a registered dataset: enough for
+// version-closure reasoning and cataloging without persisting the feature
+// matrices themselves.
+type datasetMeta struct {
+	ID       string `json:"id"`
+	ParentID string `json:"parent_id,omitempty"`
+	Domain   string `json:"domain,omitempty"`
+	Rows     int    `json:"rows"`
+	Classes  int    `json:"classes"`
+}
+
+// RegisterDataset makes a dataset known to the lake (for TRAINED ON queries
+// and dataset-version reasoning). Its metadata — including the version
+// lineage — is persisted, so declarative queries over dataset versions keep
+// working after the lake is reopened.
+func (l *Lake) RegisterDataset(ds *data.Dataset) error {
+	l.mu.Lock()
+	l.datasets[ds.ID] = ds
+	l.mu.Unlock()
+	meta := datasetMeta{ID: ds.ID, ParentID: ds.ParentID, Domain: ds.Domain,
+		Rows: ds.Len(), Classes: ds.NumClasses}
+	b, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("lake: marshal dataset meta: %w", err)
+	}
+	if err := l.kv.Put("dataset/"+ds.ID, b); err != nil {
+		return fmt.Errorf("lake: persist dataset %s: %w", ds.ID, err)
+	}
+	return nil
+}
+
+// DatasetLineage returns the persisted (ID → parent ID) map of all
+// registered datasets, the basis for "VERSIONS OF" query closure.
+func (l *Lake) DatasetLineage() (map[string]string, error) {
+	out := map[string]string{}
+	var decodeErr error
+	err := l.kv.Scan("dataset/", func(k string, v []byte) bool {
+		var meta datasetMeta
+		if err := json.Unmarshal(v, &meta); err != nil {
+			decodeErr = fmt.Errorf("lake: decode %s: %w", k, err)
+			return false
+		}
+		out[meta.ID] = meta.ParentID
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, decodeErr
+}
+
+// RegisterBenchmark adds a benchmark to the lake's suite.
+func (l *Lake) RegisterBenchmark(b *benchmark.Benchmark) {
+	l.mu.Lock()
+	l.benchmarks[b.ID] = b
+	l.mu.Unlock()
+}
+
+// Benchmarks lists registered benchmarks sorted by ID.
+func (l *Lake) Benchmarks() []*benchmark.Benchmark {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]*benchmark.Benchmark, 0, len(l.benchmarks))
+	for _, b := range l.benchmarks {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Score runs (or fetches the cached score of) a model on a benchmark.
+func (l *Lake) Score(modelID, benchID string) (float64, error) {
+	l.mu.RLock()
+	b, ok := l.benchmarks[benchID]
+	l.mu.RUnlock()
+	if !ok {
+		return 0, fmt.Errorf("lake: unknown benchmark %q", benchID)
+	}
+	h, err := l.Model(modelID)
+	if err != nil {
+		return 0, err
+	}
+	return l.runner.Score(h, b)
+}
+
+// SearchKeyword is metadata search over cards (the status-quo baseline).
+func (l *Lake) SearchKeyword(query string, k int) []search.Hit {
+	return l.keyword.Search(query, k)
+}
+
+// SearchByModel is model-as-query related-model search in the given space
+// ("behavior", the default, or "weights").
+func (l *Lake) SearchByModel(id, space string, k int) ([]search.Hit, error) {
+	h, err := l.Model(id)
+	if err != nil {
+		return nil, err
+	}
+	switch space {
+	case "", "behavior":
+		return l.behaviorCS.SearchByModel(h, k)
+	case "weights":
+		return l.weightCS.SearchByModel(h, k)
+	}
+	return nil, fmt.Errorf("lake: unknown embedding space %q", space)
+}
+
+// SearchByHandle is model-as-query search with an external query model (one
+// that is not necessarily in the lake), e.g. "find models like this one I
+// built locally".
+func (l *Lake) SearchByHandle(h *model.Handle, space string, k int) ([]search.Hit, error) {
+	switch space {
+	case "", "behavior":
+		return l.behaviorCS.SearchByModel(h, k)
+	case "weights":
+		return l.weightCS.SearchByModel(h, k)
+	}
+	return nil, fmt.Errorf("lake: unknown embedding space %q", space)
+}
+
+// SearchTask ranks models by behavioural fit to labeled task examples.
+func (l *Lake) SearchTask(examples []search.TaskExample, k int) ([]search.Hit, error) {
+	return l.taskSearch.Search(examples, k)
+}
+
+// SearchHybrid fuses keyword and behavioural rankings with reciprocal-rank
+// fusion: text finds documented models, behaviour finds similar ones.
+func (l *Lake) SearchHybrid(query string, queryModelID string, k int) ([]search.Hit, error) {
+	var rankings [][]search.Hit
+	if query != "" {
+		rankings = append(rankings, l.keyword.Search(query, k*4))
+	}
+	if queryModelID != "" {
+		h, err := l.Model(queryModelID)
+		if err != nil {
+			return nil, err
+		}
+		content, err := l.behaviorCS.SearchByModel(h, k*4)
+		if err != nil {
+			return nil, err
+		}
+		rankings = append(rankings, content)
+	}
+	if len(rankings) == 0 {
+		return nil, fmt.Errorf("lake: hybrid search needs a text query or a query model")
+	}
+	fused := search.FuseRRF(0, rankings...)
+	if k < len(fused) {
+		fused = fused[:k]
+	}
+	return fused, nil
+}
+
+// VersionGraph reconstructs (and caches) the directed Model Graph over every
+// open-weights model in the lake.
+func (l *Lake) VersionGraph() (*version.Graph, error) {
+	l.mu.RLock()
+	if l.graph != nil {
+		g := l.graph
+		l.mu.RUnlock()
+		return g, nil
+	}
+	l.mu.RUnlock()
+
+	recs, err := l.reg.List()
+	if err != nil {
+		return nil, err
+	}
+	var nodes []version.Node
+	for _, rec := range recs {
+		h, err := l.Model(rec.ID)
+		if err != nil {
+			continue
+		}
+		net, err := h.Network()
+		if err != nil {
+			continue
+		}
+		nodes = append(nodes, version.Node{ID: rec.ID, Net: net})
+	}
+	if len(nodes) == 0 {
+		return &version.Graph{}, nil
+	}
+	g, err := version.Reconstruct(nodes, version.Config{ClassifyEdges: true, Seed: l.cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	l.mu.Lock()
+	l.graph = g
+	l.mu.Unlock()
+	return g, nil
+}
+
+// Attribute computes gradient-influence attribution of the model's behaviour
+// at (x, y) over the given training dataset.
+func (l *Lake) Attribute(modelID string, train *data.Dataset, x tensor.Vector, y int) ([]float64, error) {
+	h, err := l.Model(modelID)
+	if err != nil {
+		return nil, err
+	}
+	net, err := h.Network()
+	if err != nil {
+		return nil, fmt.Errorf("lake: attribution needs intrinsics: %w", err)
+	}
+	return attribution.GradientInfluence(net, train, x, y)
+}
+
+// GenerateCard drafts documentation for a model from lake analyses.
+func (l *Lake) GenerateCard(modelID string) (*docgen.Draft, error) {
+	h, err := l.Model(modelID)
+	if err != nil {
+		return nil, err
+	}
+	existing, err := l.Card(modelID)
+	if err != nil && !errors.Is(err, registry.ErrNotFound) {
+		return nil, err
+	}
+	g, err := l.VersionGraph()
+	if err != nil {
+		return nil, err
+	}
+	gen := &docgen.Generator{
+		Peers:      l.peers(),
+		Graph:      g,
+		Runner:     l.runner,
+		Benchmarks: l.Benchmarks(),
+		Behavior:   embedding.NewBehaviorEmbedder(l.cfg.InputDim, l.cfg.Probes, l.cfg.MaxClasses, l.cfg.Seed),
+		ProbeSeed:  l.cfg.Seed + 2,
+	}
+	return gen.Draft(h, existing)
+}
+
+func (l *Lake) peers() []docgen.Peer {
+	recs, _ := l.reg.List()
+	var out []docgen.Peer
+	for _, rec := range recs {
+		h, err := l.Model(rec.ID)
+		if err != nil {
+			continue
+		}
+		c, err := l.Card(rec.ID)
+		if err != nil {
+			c = nil
+		}
+		out = append(out, docgen.Peer{Handle: h, Card: c})
+	}
+	return out
+}
+
+// Audit runs the compliance audit for a model. flagged maps known-risky
+// model IDs to reasons; risk propagates over the *recovered* version graph.
+func (l *Lake) Audit(modelID string, flagged map[string]string) (*audit.Report, error) {
+	c, err := l.Card(modelID)
+	if err != nil {
+		c = nil
+	}
+	g, err := l.VersionGraph()
+	if err != nil {
+		return nil, err
+	}
+	var docFlags []string
+	if draft, err := l.GenerateCard(modelID); err == nil {
+		docFlags = draft.Flags
+	}
+	// Behavioural verification of the declared training data, when the
+	// claimed dataset is registered with the lake.
+	var claim audit.ClaimCheck
+	if c != nil && c.TrainingData != "" {
+		l.mu.RLock()
+		ds := l.datasets[c.TrainingData]
+		l.mu.RUnlock()
+		if ds != nil {
+			if h, err := l.Model(modelID); err == nil {
+				if verdict, acc, err := docgen.VerifyTrainingClaim(h, ds); err == nil {
+					claim = audit.ClaimCheck{Claim: c.TrainingData, Verdict: string(verdict), Evidence: acc}
+				}
+			}
+		}
+	}
+	return audit.Run(audit.Input{
+		ModelID:       modelID,
+		Card:          c,
+		Graph:         g,
+		Flagged:       flagged,
+		MembershipAUC: -1,
+		DocFlags:      docFlags,
+		TrainingClaim: claim,
+	}), nil
+}
+
+// Cite produces a version-graph-anchored citation for a model.
+func (l *Lake) Cite(modelID string) (provenance.Citation, error) {
+	rec, err := l.reg.Get(modelID)
+	if err != nil {
+		return provenance.Citation{}, err
+	}
+	g, err := l.VersionGraph()
+	if err != nil {
+		return provenance.Citation{}, err
+	}
+	return provenance.Cite(rec.ID, rec.Name, rec.Version, g, rec.Seq), nil
+}
+
+// Provenance exposes the journal for why/where queries.
+func (l *Lake) Provenance() *provenance.Journal { return l.prov }
+
+// Query parses and executes an MLQL query against the lake.
+func (l *Lake) Query(q string) (*mlql.Result, error) {
+	return mlql.Run(q, (*catalog)(l))
+}
+
+// Explain parses a query and renders its evaluation plan without running it.
+func (l *Lake) Explain(q string) (string, error) {
+	parsed, err := mlql.Parse(q)
+	if err != nil {
+		return "", err
+	}
+	return mlql.Explain(parsed), nil
+}
+
+// Compact rewrites the metadata log to contain only live records — useful
+// after heavy card churn or score-cache turnover on a long-lived lake.
+func (l *Lake) Compact() error { return l.kv.Compact() }

@@ -1,0 +1,118 @@
+package lakegen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"modellake/internal/card"
+	"modellake/internal/model"
+	"modellake/internal/nn"
+)
+
+// Export/Import make a generated benchmark lake a shareable artifact — the
+// paper's §4 lament is that "model lake benchmarks lack large-scale,
+// publicly available datasets"; exporting ships the population (weights,
+// cards, and the verified ground truth) as plain files:
+//
+//	dir/manifest.json          spec + truth records + edges
+//	dir/models/<name>.mlp      binary weights
+//	dir/cards/<name>.json      published card
+//
+// Datasets are not exported; they regenerate deterministically from the spec
+// (domains are name-derived), which keeps artifacts small.
+
+// manifest is the on-disk population description.
+type manifest struct {
+	Spec    Spec    `json:"spec"`
+	Members []Truth `json:"members"`
+	Edges   []Edge  `json:"edges"`
+}
+
+// Export writes the population under dir (created if needed).
+func Export(pop *Population, dir string) error {
+	for _, sub := range []string{"models", "cards"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return fmt.Errorf("lakegen: export mkdir: %w", err)
+		}
+	}
+	man := manifest{Spec: pop.Spec, Edges: pop.Edges}
+	for _, m := range pop.Members {
+		man.Members = append(man.Members, m.Truth)
+		raw, err := nn.EncodeMLP(m.Model.Net)
+		if err != nil {
+			return fmt.Errorf("lakegen: export %s weights: %w", m.Truth.Name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "models", m.Truth.Name+".mlp"), raw, 0o644); err != nil {
+			return fmt.Errorf("lakegen: export %s weights: %w", m.Truth.Name, err)
+		}
+		cb, err := m.Card.Marshal()
+		if err != nil {
+			return fmt.Errorf("lakegen: export %s card: %w", m.Truth.Name, err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "cards", m.Truth.Name+".json"), cb, 0o644); err != nil {
+			return fmt.Errorf("lakegen: export %s card: %w", m.Truth.Name, err)
+		}
+	}
+	mb, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("lakegen: export manifest: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "manifest.json"), mb, 0o644); err != nil {
+		return fmt.Errorf("lakegen: export manifest: %w", err)
+	}
+	return nil
+}
+
+// Import reads a population exported with Export. Datasets are regenerated
+// from the manifest's spec, so the returned population is fully usable by
+// the experiment harness.
+func Import(dir string) (*Population, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		return nil, fmt.Errorf("lakegen: import manifest: %w", err)
+	}
+	var man manifest
+	if err := json.Unmarshal(mb, &man); err != nil {
+		return nil, fmt.Errorf("lakegen: decode manifest: %w", err)
+	}
+	// Regenerate the population's datasets (and nothing else) by re-running
+	// the deterministic generator, then overwrite models/cards/truth with
+	// the exported artifacts. This guarantees datasets match what the
+	// exported models were trained on.
+	regen, err := Generate(man.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("lakegen: regenerate datasets: %w", err)
+	}
+	pop := &Population{
+		Spec:     man.Spec,
+		Edges:    man.Edges,
+		Domains:  regen.Domains,
+		Datasets: regen.Datasets,
+	}
+	for _, truth := range man.Members {
+		raw, err := os.ReadFile(filepath.Join(dir, "models", truth.Name+".mlp"))
+		if err != nil {
+			return nil, fmt.Errorf("lakegen: import %s weights: %w", truth.Name, err)
+		}
+		net, err := nn.DecodeMLP(raw)
+		if err != nil {
+			return nil, fmt.Errorf("lakegen: decode %s weights: %w", truth.Name, err)
+		}
+		cb, err := os.ReadFile(filepath.Join(dir, "cards", truth.Name+".json"))
+		if err != nil {
+			return nil, fmt.Errorf("lakegen: import %s card: %w", truth.Name, err)
+		}
+		c, err := card.Unmarshal(cb)
+		if err != nil {
+			return nil, fmt.Errorf("lakegen: decode %s card: %w", truth.Name, err)
+		}
+		pop.Members = append(pop.Members, &Member{
+			Model: &model.Model{Name: truth.Name, Net: net},
+			Card:  c,
+			Truth: truth,
+		})
+	}
+	return pop, nil
+}

@@ -1,0 +1,461 @@
+// Package lakegen generates benchmark model lakes: populations of trained
+// neural models with fully verified ground truth — true lineage, true
+// training data, true domains — alongside the (possibly incomplete or
+// deliberately false) documentation each model publishes.
+//
+// This realizes the paper's §3/§5 benchmarking call: "within a benchmark
+// lake, we will need verified ground truth", including "labeled model
+// parameters, architectures, and detailed transformation records (e.g.,
+// fine-tuning, model editing)". Every lake-task experiment in this
+// repository scores itself against a generated population.
+package lakegen
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"modellake/internal/card"
+	"modellake/internal/data"
+	"modellake/internal/model"
+	"modellake/internal/nn"
+	"modellake/internal/xrand"
+)
+
+// Spec configures a generated lake.
+type Spec struct {
+	Seed uint64
+
+	// Population shape.
+	NumBases        int // base (pretrained) models
+	ChildrenPerBase int // derived models per base family
+	MaxDepth        int // maximum chain length below a base
+
+	// Model/data shape.
+	Dim        int
+	Classes    int
+	Hidden     int
+	TrainN     int     // examples per training dataset
+	Noise      float64 // dataset noise level
+	BaseEpochs int
+	FTEpochs   int // fine-tune epochs for derived models
+
+	// Documentation quality.
+	CardDropProb float64 // per-field dropout probability
+	LieFrac      float64 // fraction of models whose cards lie about domain/data
+	// AnonymousNames gives models opaque names ("model-2-07") instead of
+	// descriptive ones ("legal-finetune-7"), so nothing about the domain
+	// leaks through the always-present name field — the hard search setting.
+	AnonymousNames bool
+
+	// Transformation mix: relative weights for finetune/lora/edit/stitch.
+	// Empty means the default mix.
+	TransformMix map[string]float64
+}
+
+// DefaultSpec returns a small lake that generates in well under a second.
+func DefaultSpec(seed uint64) Spec {
+	return Spec{
+		Seed:            seed,
+		NumBases:        4,
+		ChildrenPerBase: 5,
+		MaxDepth:        3,
+		Dim:             8,
+		Classes:         3,
+		Hidden:          16,
+		TrainN:          200,
+		Noise:           0.4,
+		BaseEpochs:      30,
+		FTEpochs:        5,
+		CardDropProb:    0.2,
+		LieFrac:         0,
+	}
+}
+
+func (s Spec) withDefaults() Spec {
+	d := DefaultSpec(s.Seed)
+	if s.NumBases <= 0 {
+		s.NumBases = d.NumBases
+	}
+	if s.ChildrenPerBase < 0 {
+		s.ChildrenPerBase = 0
+	}
+	if s.MaxDepth <= 0 {
+		s.MaxDepth = d.MaxDepth
+	}
+	if s.Dim <= 0 {
+		s.Dim = d.Dim
+	}
+	if s.Classes <= 1 {
+		s.Classes = d.Classes
+	}
+	if s.Hidden <= 0 {
+		s.Hidden = d.Hidden
+	}
+	if s.TrainN <= 0 {
+		s.TrainN = d.TrainN
+	}
+	if s.Noise <= 0 {
+		s.Noise = d.Noise
+	}
+	if s.BaseEpochs <= 0 {
+		s.BaseEpochs = d.BaseEpochs
+	}
+	if s.FTEpochs <= 0 {
+		s.FTEpochs = d.FTEpochs
+	}
+	if len(s.TransformMix) == 0 {
+		s.TransformMix = map[string]float64{
+			model.TransformFinetune: 0.5,
+			model.TransformLoRA:     0.25,
+			model.TransformEdit:     0.15,
+			model.TransformStitch:   0.1,
+		}
+	}
+	return s
+}
+
+// Truth is the verified ground truth for one generated model.
+type Truth struct {
+	Index     int // position in Population.Members
+	Name      string
+	Domain    string // true domain of the most recent training data
+	DatasetID string // true dataset ID most recently trained on
+	Transform string // how it was created (pretrain for bases)
+	Parents   []int  // indices of true parent models (two for stitch)
+	Depth     int    // 0 for bases
+	Family    int    // base family index
+	Lying     bool   // card carries injected misinformation
+}
+
+// Member is one generated model plus its published card and hidden truth.
+type Member struct {
+	Model *model.Model
+	Card  *card.Card
+	Truth Truth
+}
+
+// Edge is a true parent→child version edge.
+type Edge struct {
+	Parent, Child int
+	Transform     string
+}
+
+// Population is a generated benchmark lake.
+type Population struct {
+	Spec     Spec
+	Members  []*Member
+	Edges    []Edge
+	Domains  []*data.Domain
+	Datasets map[string]*data.Dataset
+}
+
+// Generate builds a population from the spec. Generation is deterministic in
+// Spec.Seed.
+func Generate(spec Spec) (*Population, error) {
+	spec = spec.withDefaults()
+	rng := xrand.New(spec.Seed)
+	textDomains := data.StandardTextDomains()
+
+	pop := &Population{Spec: spec, Datasets: map[string]*data.Dataset{}}
+
+	transformNames := make([]string, 0, len(spec.TransformMix))
+	transformWeights := make([]float64, 0, len(spec.TransformMix))
+	for _, name := range []string{model.TransformFinetune, model.TransformLoRA,
+		model.TransformEdit, model.TransformStitch, model.TransformPreference} {
+		if w, ok := spec.TransformMix[name]; ok && w > 0 {
+			transformNames = append(transformNames, name)
+			transformWeights = append(transformWeights, w)
+		}
+	}
+	if len(transformNames) == 0 {
+		return nil, fmt.Errorf("lakegen: empty transformation mix")
+	}
+
+	// Base models, one per text domain round-robin.
+	for b := 0; b < spec.NumBases; b++ {
+		td := textDomains[b%len(textDomains)]
+		domainName := td.Name
+		if b >= len(textDomains) {
+			domainName = fmt.Sprintf("%s-%d", td.Name, b/len(textDomains))
+		}
+		// Domains are identified by name: the "legal" task is the same task
+		// in every generated lake (its class means depend only on the name
+		// and shape), so probes trained on one lake transfer to another.
+		dom := data.NewDomain(domainName, spec.Dim, spec.Classes, domainSeed(domainName))
+		pop.Domains = append(pop.Domains, dom)
+		dsID := domainName + "/v1"
+		ds := dom.Sample(dsID, spec.TrainN, spec.Noise, rng.Child("data/"+dsID))
+		pop.Datasets[dsID] = ds
+
+		net := nn.NewMLP([]int{spec.Dim, spec.Hidden, spec.Classes}, nn.ReLU, rng.Child("init/"+domainName))
+		cfg := nn.DefaultTrainConfig()
+		cfg.Epochs = spec.BaseEpochs
+		cfg.Seed = spec.Seed + uint64(b)
+		if _, err := nn.Train(net, ds, cfg); err != nil {
+			return nil, fmt.Errorf("lakegen: train base %d: %w", b, err)
+		}
+		name := fmt.Sprintf("%s-base", domainName)
+		if spec.AnonymousNames {
+			name = fmt.Sprintf("model-%d-00", b)
+		}
+		m := &Member{
+			Model: &model.Model{Name: name, Net: net},
+			Truth: Truth{
+				Index: len(pop.Members), Name: name, Domain: domainName,
+				DatasetID: dsID, Transform: model.TransformPretrain,
+				Depth: 0, Family: b,
+			},
+		}
+		pop.Members = append(pop.Members, m)
+
+		// Derived family members.
+		family := []int{m.Truth.Index}
+		versionCounter := 1
+		for c := 0; c < spec.ChildrenPerBase; c++ {
+			// Pick a parent within the family whose depth permits children.
+			var eligible []int
+			for _, idx := range family {
+				if pop.Members[idx].Truth.Depth < spec.MaxDepth {
+					eligible = append(eligible, idx)
+				}
+			}
+			if len(eligible) == 0 {
+				break
+			}
+			crng := rng.Child(fmt.Sprintf("child/%d/%d", b, c))
+			parentIdx := eligible[crng.Intn(len(eligible))]
+			parent := pop.Members[parentIdx]
+			transform := transformNames[crng.Weighted(transformWeights)]
+			// Stitch needs a second same-family, same-arch parent.
+			if transform == model.TransformStitch && len(family) < 2 {
+				transform = model.TransformFinetune
+			}
+			versionCounter++
+			childName := fmt.Sprintf("%s-%s-%d", domainName, transform, versionCounter)
+			if spec.AnonymousNames {
+				childName = fmt.Sprintf("model-%d-%02d", b, versionCounter)
+			}
+			child, edgeParents, dsID, err := derive(pop, dom, parent, parentIdx, transform,
+				childName, versionCounter, spec, crng, family)
+			if err != nil {
+				return nil, err
+			}
+			child.Truth.Index = len(pop.Members)
+			child.Truth.Family = b
+			pop.Members = append(pop.Members, child)
+			family = append(family, child.Truth.Index)
+			for _, p := range edgeParents {
+				pop.Edges = append(pop.Edges, Edge{Parent: p, Child: child.Truth.Index, Transform: transform})
+			}
+			_ = dsID
+		}
+	}
+
+	// Publish cards: truthful first, then corrupted/poisoned.
+	for i, m := range pop.Members {
+		c := truthfulCard(pop, m)
+		crng := rng.Child(fmt.Sprintf("card/%d", i))
+		if spec.LieFrac > 0 && crng.Float64() < spec.LieFrac {
+			// Lie: claim a different domain and dataset.
+			other := pop.Domains[(m.Truth.Family+1)%len(pop.Domains)].Name
+			c = card.InjectMisinformation(c, other, other+"/v1")
+			m.Truth.Lying = true
+		}
+		c = card.Corrupt(c, spec.CardDropProb, crng)
+		m.Card = c
+	}
+	return pop, nil
+}
+
+// derive creates one child model from parent via the named transformation.
+func derive(pop *Population, dom *data.Domain, parent *Member, parentIdx int,
+	transform, childName string, version int, spec Spec, rng *xrand.RNG, family []int,
+) (*Member, []int, string, error) {
+	cfg := nn.DefaultTrainConfig()
+	cfg.Epochs = spec.FTEpochs
+	cfg.Seed = rng.Uint64()
+	if rng.Float64() < 0.3 {
+		cfg.Optimizer = "adam"
+		cfg.LR = 0.005
+	}
+
+	// Fine-tune-style transformations train on a shifted domain or a derived
+	// dataset version — the "legal" base begets "legal-contracts" children.
+	newDataset := func(kind string) (*data.Dataset, string) {
+		if rng.Float64() < 0.5 {
+			// Derived version of the parent's dataset.
+			parentDS := pop.Datasets[parent.Truth.DatasetID]
+			id := fmt.Sprintf("%s.%d", parent.Truth.DatasetID, version)
+			ds := data.DeriveVersion(parentDS, id, 0.7, 0.05, rng.Child("derive"))
+			pop.Datasets[id] = ds
+			return ds, id
+		}
+		shifted := dom.Shifted(fmt.Sprintf("%s-%s%d", dom.Name, kind, version), 0.6, rng.Uint64())
+		id := fmt.Sprintf("%s/v%d", shifted.Name, 1)
+		ds := shifted.Sample(id, spec.TrainN/2, spec.Noise, rng.Child("sample"))
+		pop.Datasets[id] = ds
+		return ds, id
+	}
+
+	truth := Truth{
+		Name: childName, Transform: transform,
+		Parents: []int{parentIdx}, Depth: parent.Truth.Depth + 1,
+	}
+
+	var net *nn.MLP
+	var dsID string
+	switch transform {
+	case model.TransformFinetune:
+		ds, id := newDataset("ft")
+		net = parent.Model.Net.Clone()
+		if _, err := nn.Train(net, ds, cfg); err != nil {
+			return nil, nil, "", fmt.Errorf("lakegen: finetune %s: %w", childName, err)
+		}
+		dsID = id
+		truth.Domain = ds.Domain
+	case model.TransformLoRA:
+		ds, id := newDataset("lora")
+		layer := rng.Intn(parent.Model.Net.LayerCount())
+		lora, err := nn.NewLoRA(parent.Model.Net, layer, 2, rng.Child("lora"))
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("lakegen: lora %s: %w", childName, err)
+		}
+		loraCfg := cfg
+		loraCfg.Optimizer = "sgd"
+		loraCfg.Epochs = spec.FTEpochs * 2
+		if _, err := nn.TrainLoRA(parent.Model.Net, lora, ds, loraCfg); err != nil {
+			return nil, nil, "", fmt.Errorf("lakegen: lora train %s: %w", childName, err)
+		}
+		net = lora.Merge(parent.Model.Net)
+		dsID = id
+		truth.Domain = ds.Domain
+	case model.TransformEdit:
+		// Edit: flip the association for one random input. The model keeps
+		// its parent's data/domain truth.
+		net = parent.Model.Net.Clone()
+		x := make([]float64, spec.Dim)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 2
+		}
+		target := rng.Intn(spec.Classes)
+		parentDS := pop.Datasets[parent.Truth.DatasetID]
+		if _, err := nn.EditAssociationWithContext(net, x, target, 0.2, parentDS.X); err != nil {
+			return nil, nil, "", fmt.Errorf("lakegen: edit %s: %w", childName, err)
+		}
+		dsID = parent.Truth.DatasetID
+		truth.Domain = parent.Truth.Domain
+	case model.TransformPreference:
+		// Preference tuning: align the parent toward preferring the true
+		// label on a fresh sample of its own domain (with consistency pairs),
+		// plus a handful of "alignment" overrides on random probes.
+		ds, id := newDataset("pref")
+		net = parent.Model.Net.Clone()
+		var prefs []nn.Preference
+		for i := 0; i < ds.Len() && i < 60; i++ {
+			x, y := ds.Example(i)
+			prefs = append(prefs, nn.Preference{
+				X: x.Clone(), Preferred: y, Rejected: (y + 1) % spec.Classes})
+		}
+		prefCfg := nn.TrainConfig{Epochs: spec.FTEpochs, BatchSize: 16, LR: 0.05, Seed: rng.Uint64()}
+		if _, err := nn.PreferenceTune(net, prefs, prefCfg); err != nil {
+			return nil, nil, "", fmt.Errorf("lakegen: preference %s: %w", childName, err)
+		}
+		dsID = id
+		truth.Domain = ds.Domain
+	case model.TransformStitch:
+		// Second parent: another family member (not the first parent).
+		var candidates []int
+		for _, idx := range family {
+			if idx != parentIdx {
+				candidates = append(candidates, idx)
+			}
+		}
+		other := candidates[rng.Intn(len(candidates))]
+		var err error
+		net, err = nn.Stitch(parent.Model.Net, pop.Members[other].Model.Net, 1)
+		if err != nil {
+			return nil, nil, "", fmt.Errorf("lakegen: stitch %s: %w", childName, err)
+		}
+		truth.Parents = []int{parentIdx, other}
+		dsID = parent.Truth.DatasetID
+		truth.Domain = parent.Truth.Domain
+	default:
+		return nil, nil, "", fmt.Errorf("lakegen: unknown transform %q", transform)
+	}
+	truth.DatasetID = dsID
+
+	return &Member{
+		Model: &model.Model{Name: childName, Net: net},
+		Truth: truth,
+	}, truth.Parents, dsID, nil
+}
+
+// truthfulCard builds the fully documented card for a member. The card's
+// BaseModel references the parent's *name* (lake IDs are assigned only at
+// registration time).
+func truthfulCard(pop *Population, m *Member) *card.Card {
+	// Cards document the human-meaningful base domain ("legal"), not the
+	// generator's internal shifted-domain identifiers ("legal-ft3").
+	domain := baseDomainName(m.Truth.Domain)
+	td, _ := data.TextDomainByName(domain)
+	descRng := xrand.New(pop.Spec.Seed).Child("desc/" + m.Truth.Name)
+	desc := data.GenerateDocument(td, 30, 0.5, descRng)
+	c := &card.Card{
+		Name:         m.Truth.Name,
+		Description:  desc,
+		Task:         "classification",
+		Domain:       domain,
+		Architecture: m.Model.Net.ArchString(),
+		TrainingData: m.Truth.DatasetID,
+		Transform:    m.Truth.Transform,
+		IntendedUse:  fmt.Sprintf("Classification of %s feature data.", domain),
+		Limitations:  "Synthetic benchmark model; not for production use.",
+		License:      "apache-2.0",
+		Contact:      "lakegen@modellake.local",
+	}
+	if ds, ok := pop.Datasets[m.Truth.DatasetID]; ok {
+		c.Metrics = map[string]float64{"train_accuracy": m.Model.Net.Accuracy(ds)}
+	}
+	if len(m.Truth.Parents) > 0 {
+		c.BaseModel = pop.Members[m.Truth.Parents[0]].Truth.Name
+	}
+	return c
+}
+
+// domainSeed derives a stable per-domain-name seed so identical domain names
+// denote identical tasks across independently generated lakes.
+func domainSeed(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// baseDomainName strips generated suffixes ("legal-ft3" → "legal") so card
+// text uses the right keyword vocabulary.
+func baseDomainName(domain string) string {
+	for i := 0; i < len(domain); i++ {
+		if domain[i] == '-' || domain[i] == '/' {
+			return domain[:i]
+		}
+	}
+	return domain
+}
+
+// TrueEdgeSet returns the ground-truth edges as a set keyed "parent->child"
+// (by member index).
+func (p *Population) TrueEdgeSet() map[[2]int]string {
+	out := make(map[[2]int]string, len(p.Edges))
+	for _, e := range p.Edges {
+		out[[2]int{e.Parent, e.Child}] = e.Transform
+	}
+	return out
+}
+
+// MembersByDomain groups member indices by true domain.
+func (p *Population) MembersByDomain() map[string][]int {
+	out := map[string][]int{}
+	for i, m := range p.Members {
+		out[m.Truth.Domain] = append(out[m.Truth.Domain], i)
+	}
+	return out
+}

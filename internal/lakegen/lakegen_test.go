@@ -1,0 +1,357 @@
+package lakegen
+
+import (
+	"testing"
+
+	"modellake/internal/model"
+	"modellake/internal/nn"
+)
+
+func smallSpec(seed uint64) Spec {
+	s := DefaultSpec(seed)
+	s.NumBases = 3
+	s.ChildrenPerBase = 4
+	return s
+}
+
+func TestGenerateShape(t *testing.T) {
+	pop, err := Generate(smallSpec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * (1 + 4)
+	if len(pop.Members) != want {
+		t.Fatalf("got %d members, want %d", len(pop.Members), want)
+	}
+	bases := 0
+	for _, m := range pop.Members {
+		if m.Truth.Transform == model.TransformPretrain {
+			bases++
+			if m.Truth.Depth != 0 || len(m.Truth.Parents) != 0 {
+				t.Fatalf("base with lineage: %+v", m.Truth)
+			}
+		} else if len(m.Truth.Parents) == 0 {
+			t.Fatalf("derived model without parents: %+v", m.Truth)
+		}
+		if m.Model.Net == nil {
+			t.Fatalf("member %s has no weights", m.Truth.Name)
+		}
+		if m.Card == nil {
+			t.Fatalf("member %s has no card", m.Truth.Name)
+		}
+	}
+	if bases != 3 {
+		t.Fatalf("got %d bases, want 3", bases)
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(smallSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallSpec(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Members) != len(b.Members) {
+		t.Fatalf("member counts differ: %d vs %d", len(a.Members), len(b.Members))
+	}
+	for i := range a.Members {
+		d, err := nn.WeightDistance(a.Members[i].Model.Net, b.Members[i].Model.Net)
+		if err != nil || d != 0 {
+			t.Fatalf("member %d weights differ across same-seed runs: %v %v", i, d, err)
+		}
+		if a.Members[i].Card.Completeness() != b.Members[i].Card.Completeness() {
+			t.Fatalf("member %d cards differ across same-seed runs", i)
+		}
+	}
+}
+
+func TestEdgesConsistent(t *testing.T) {
+	pop, err := Generate(smallSpec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range pop.Edges {
+		if e.Parent < 0 || e.Parent >= len(pop.Members) || e.Child < 0 || e.Child >= len(pop.Members) {
+			t.Fatalf("edge out of range: %+v", e)
+		}
+		if e.Parent == e.Child {
+			t.Fatalf("self edge: %+v", e)
+		}
+		child := pop.Members[e.Child]
+		found := false
+		for _, p := range child.Truth.Parents {
+			if p == e.Parent {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("edge %+v not reflected in child truth %+v", e, child.Truth)
+		}
+		// Parent must be older (created earlier).
+		if e.Parent > e.Child {
+			t.Fatalf("edge points backward in creation order: %+v", e)
+		}
+		// Same family.
+		if pop.Members[e.Parent].Truth.Family != child.Truth.Family {
+			t.Fatal("edge crosses families")
+		}
+	}
+	// Every derived member appears as a child of at least one edge.
+	children := map[int]bool{}
+	for _, e := range pop.Edges {
+		children[e.Child] = true
+	}
+	for i, m := range pop.Members {
+		if m.Truth.Transform != model.TransformPretrain && !children[i] {
+			t.Fatalf("derived member %d has no incoming edge", i)
+		}
+	}
+}
+
+func TestParentChildWeightProximity(t *testing.T) {
+	// The core signal for version recovery: a child is closer in weight
+	// space to its parent than to a random same-arch model from another
+	// family, for the overwhelming majority of pairs.
+	pop, err := Generate(smallSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations, checked := 0, 0
+	for _, e := range pop.Edges {
+		child := pop.Members[e.Child].Model.Net
+		parent := pop.Members[e.Parent].Model.Net
+		dPar, err := nn.WeightDistance(child, parent)
+		if err != nil {
+			continue
+		}
+		for i, other := range pop.Members {
+			if pop.Members[i].Truth.Family == pop.Members[e.Child].Truth.Family {
+				continue
+			}
+			dOther, err := nn.WeightDistance(child, other.Model.Net)
+			if err != nil {
+				continue
+			}
+			checked++
+			if dPar >= dOther {
+				violations++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no comparable pairs")
+	}
+	if frac := float64(violations) / float64(checked); frac > 0.02 {
+		t.Fatalf("parent-proximity violated in %.1f%% of comparisons", frac*100)
+	}
+}
+
+func TestCardCompletenessKnob(t *testing.T) {
+	full := smallSpec(4)
+	full.CardDropProb = 0
+	popFull, err := Generate(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range popFull.Members {
+		if m.Card.Completeness() < 0.9 && len(m.Truth.Parents) > 0 {
+			t.Fatalf("drop=0 derived card incomplete: %v (%s)", m.Card.Completeness(), m.Truth.Name)
+		}
+		if m.Card.Completeness() < 0.85 {
+			t.Fatalf("drop=0 card incomplete: %v (%s)", m.Card.Completeness(), m.Truth.Name)
+		}
+	}
+
+	sparse := smallSpec(4)
+	sparse.CardDropProb = 0.9
+	popSparse, err := Generate(sparse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, m := range popSparse.Members {
+		total += m.Card.Completeness()
+	}
+	if avg := total / float64(len(popSparse.Members)); avg > 0.35 {
+		t.Fatalf("drop=0.9 average completeness = %v, want << 1", avg)
+	}
+}
+
+func TestLieFrac(t *testing.T) {
+	s := smallSpec(5)
+	s.LieFrac = 1.0
+	s.CardDropProb = 0
+	pop, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range pop.Members {
+		if !m.Truth.Lying {
+			t.Fatalf("LieFrac=1 but %s is honest", m.Truth.Name)
+		}
+		if m.Card.Domain == m.Truth.Domain {
+			t.Fatalf("lying card still states the true domain for %s", m.Truth.Name)
+		}
+	}
+}
+
+func TestDatasetsRecorded(t *testing.T) {
+	pop, err := Generate(smallSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range pop.Members {
+		if _, ok := pop.Datasets[m.Truth.DatasetID]; !ok {
+			t.Fatalf("truth dataset %q not in population datasets", m.Truth.DatasetID)
+		}
+	}
+}
+
+func TestTransformsAppear(t *testing.T) {
+	s := DefaultSpec(8)
+	s.NumBases = 4
+	s.ChildrenPerBase = 8
+	pop, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, m := range pop.Members {
+		seen[m.Truth.Transform]++
+	}
+	for _, tr := range []string{model.TransformPretrain, model.TransformFinetune, model.TransformLoRA} {
+		if seen[tr] == 0 {
+			t.Fatalf("transform %s never generated: %v", tr, seen)
+		}
+	}
+	// Stitch children have two parents/edges.
+	for _, m := range pop.Members {
+		if m.Truth.Transform == model.TransformStitch && len(m.Truth.Parents) != 2 {
+			t.Fatalf("stitch with %d parents", len(m.Truth.Parents))
+		}
+	}
+}
+
+func TestBaseModelsAreAccurate(t *testing.T) {
+	pop, err := Generate(smallSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range pop.Members {
+		if m.Truth.Transform != model.TransformPretrain {
+			continue
+		}
+		ds := pop.Datasets[m.Truth.DatasetID]
+		if acc := m.Model.Net.Accuracy(ds); acc < 0.9 {
+			t.Fatalf("base %s accuracy %v, want >= 0.9", m.Truth.Name, acc)
+		}
+	}
+}
+
+func TestMembersByDomainAndEdgeSet(t *testing.T) {
+	pop, err := Generate(smallSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDomain := pop.MembersByDomain()
+	n := 0
+	for _, idxs := range byDomain {
+		n += len(idxs)
+	}
+	if n != len(pop.Members) {
+		t.Fatalf("MembersByDomain covers %d of %d members", n, len(pop.Members))
+	}
+	es := pop.TrueEdgeSet()
+	if len(es) != len(pop.Edges) {
+		t.Fatalf("edge set size %d != edges %d", len(es), len(pop.Edges))
+	}
+}
+
+func BenchmarkGenerateSmallLake(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(smallSpec(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPreferenceTransform(t *testing.T) {
+	s := DefaultSpec(40)
+	s.NumBases = 2
+	s.ChildrenPerBase = 6
+	s.TransformMix = map[string]float64{model.TransformPreference: 1}
+	pop, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefCount := 0
+	for _, m := range pop.Members {
+		if m.Truth.Transform != model.TransformPreference {
+			continue
+		}
+		prefCount++
+		parent := pop.Members[m.Truth.Parents[0]]
+		d, err := nn.WeightDistance(parent.Model.Net, m.Model.Net)
+		if err != nil || d == 0 {
+			t.Fatalf("preference child identical to parent: %v %v", d, err)
+		}
+	}
+	if prefCount == 0 {
+		t.Fatal("no preference-tuned members generated")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	pop, err := Generate(smallSpec(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := Export(pop, dir); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Import(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Members) != len(pop.Members) || len(got.Edges) != len(pop.Edges) {
+		t.Fatalf("shape changed: %d/%d members, %d/%d edges",
+			len(got.Members), len(pop.Members), len(got.Edges), len(pop.Edges))
+	}
+	for i := range pop.Members {
+		d, err := nn.WeightDistance(pop.Members[i].Model.Net, got.Members[i].Model.Net)
+		if err != nil || d != 0 {
+			t.Fatalf("member %d weights changed: %v %v", i, d, err)
+		}
+		if got.Members[i].Card.Completeness() != pop.Members[i].Card.Completeness() {
+			t.Fatalf("member %d card changed", i)
+		}
+		gt, pt := got.Members[i].Truth, pop.Members[i].Truth
+		if gt.Name != pt.Name || gt.Domain != pt.Domain || gt.DatasetID != pt.DatasetID ||
+			gt.Transform != pt.Transform || gt.Depth != pt.Depth || gt.Family != pt.Family ||
+			len(gt.Parents) != len(pt.Parents) {
+			t.Fatalf("member %d truth changed: %+v vs %+v", i, gt, pt)
+		}
+	}
+	// Regenerated datasets cover every truth dataset ID.
+	for _, m := range got.Members {
+		if _, ok := got.Datasets[m.Truth.DatasetID]; !ok {
+			t.Fatalf("dataset %q missing after import", m.Truth.DatasetID)
+		}
+	}
+	// And the imported models still fit their datasets (the datasets really
+	// are the ones they were trained on).
+	base := got.Members[0]
+	if acc := base.Model.Net.Accuracy(got.Datasets[base.Truth.DatasetID]); acc < 0.9 {
+		t.Fatalf("imported base accuracy %v on regenerated dataset", acc)
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	if _, err := Import(t.TempDir()); err == nil {
+		t.Fatal("import from empty dir succeeded")
+	}
+}

@@ -1,0 +1,111 @@
+package mlql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PredKind distinguishes predicate families.
+type PredKind int
+
+// Predicate kinds.
+const (
+	PredField PredKind = iota // DOMAIN = 'x', NAME LIKE 'y', ...
+	PredTrainedOn
+	PredOutperforms
+)
+
+// Field names accepted by field predicates.
+var validFields = map[string]bool{
+	"domain": true, "task": true, "name": true, "arch": true,
+	"tag": true, "base": true, "transform": true,
+}
+
+// Predicate is one WHERE conjunct.
+type Predicate struct {
+	Kind PredKind
+
+	// PredField: Field Op Value where Op is "=" or "like".
+	Field, Op, Value string
+
+	// PredTrainedOn: Dataset, with Versions true for "VERSIONS OF".
+	Dataset  string
+	Versions bool
+
+	// PredOutperforms: beat Model on Bench.
+	Model, Bench string
+}
+
+// RankKind distinguishes ranking clauses.
+type RankKind int
+
+// Ranker kinds.
+const (
+	RankSimilarity RankKind = iota // RANK BY SIMILARITY TO MODEL 'm' [USING WEIGHTS|BEHAVIOR|CARDS]
+	RankText                       // RANK BY TEXT 'free text'
+	RankBenchmark                  // RANK BY SCORE ON BENCHMARK 'b'
+)
+
+// Ranker is the RANK BY clause.
+type Ranker struct {
+	Kind  RankKind
+	Model string // similarity query model
+	Space string // "weights", "behavior" or "cards" (similarity only)
+	Text  string
+	Bench string
+}
+
+// Query is a parsed MLQL query.
+type Query struct {
+	Preds []Predicate
+	Rank  *Ranker
+	Limit int // 0 = unlimited
+}
+
+// String renders the query back to (canonical) MLQL.
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("FIND MODELS")
+	for i, p := range q.Preds {
+		if i == 0 {
+			sb.WriteString(" WHERE ")
+		} else {
+			sb.WriteString(" AND ")
+		}
+		switch p.Kind {
+		case PredField:
+			op := "="
+			if p.Op == "like" {
+				op = "LIKE"
+			}
+			fmt.Fprintf(&sb, "%s %s '%s'", strings.ToUpper(p.Field), op, escape(p.Value))
+		case PredTrainedOn:
+			if p.Versions {
+				fmt.Fprintf(&sb, "TRAINED ON VERSIONS OF DATASET '%s'", escape(p.Dataset))
+			} else {
+				fmt.Fprintf(&sb, "TRAINED ON DATASET '%s'", escape(p.Dataset))
+			}
+		case PredOutperforms:
+			fmt.Fprintf(&sb, "OUTPERFORMS MODEL '%s' ON BENCHMARK '%s'", escape(p.Model), escape(p.Bench))
+		}
+	}
+	if q.Rank != nil {
+		switch q.Rank.Kind {
+		case RankSimilarity:
+			fmt.Fprintf(&sb, " RANK BY SIMILARITY TO MODEL '%s'", escape(q.Rank.Model))
+			if q.Rank.Space != "" {
+				fmt.Fprintf(&sb, " USING %s", strings.ToUpper(q.Rank.Space))
+			}
+		case RankText:
+			fmt.Fprintf(&sb, " RANK BY TEXT '%s'", escape(q.Rank.Text))
+		case RankBenchmark:
+			fmt.Fprintf(&sb, " RANK BY SCORE ON BENCHMARK '%s'", escape(q.Rank.Bench))
+		}
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&sb, " LIMIT %d", q.Limit)
+	}
+	return sb.String()
+}
+
+func escape(s string) string { return strings.ReplaceAll(s, "'", "''") }

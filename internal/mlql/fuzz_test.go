@@ -1,0 +1,84 @@
+package mlql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"modellake/internal/xrand"
+)
+
+// Property: Parse never panics and either errors or returns a query whose
+// rendering re-parses, for arbitrary byte soup.
+func TestParseNeverPanicsOnGarbage(t *testing.T) {
+	f := func(input string) bool {
+		q, err := Parse(input)
+		if err != nil {
+			return true
+		}
+		// A successful parse must round-trip through String().
+		q2, err := Parse(q.String())
+		return err == nil && q2.String() == q.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: token soup assembled from the language's own vocabulary never
+// panics — this stresses the parser's state machine far harder than random
+// bytes (which usually fail at the lexer).
+func TestParseNeverPanicsOnKeywordSoup(t *testing.T) {
+	vocab := []string{
+		"FIND", "MODELS", "WHERE", "AND", "RANK", "BY", "LIMIT", "TRAINED",
+		"ON", "VERSIONS", "OF", "DATASET", "OUTPERFORMS", "MODEL", "BENCHMARK",
+		"SIMILARITY", "TO", "USING", "WEIGHTS", "BEHAVIOR", "CARDS", "TEXT",
+		"SCORE", "DOMAIN", "TASK", "NAME", "LIKE", "=", "'x'", "10", "'it''s'",
+	}
+	rng := xrand.New(1)
+	parsed := 0
+	for trial := 0; trial < 2000; trial++ {
+		n := rng.Intn(12)
+		parts := make([]string, 0, n+2)
+		parts = append(parts, "FIND", "MODELS")
+		for i := 0; i < n; i++ {
+			parts = append(parts, vocab[rng.Intn(len(vocab))])
+		}
+		input := strings.Join(parts, " ")
+		q, err := Parse(input)
+		if err != nil {
+			continue
+		}
+		parsed++
+		if _, err := Parse(q.String()); err != nil {
+			t.Fatalf("valid parse %q rendered to unparseable %q", input, q.String())
+		}
+	}
+	if parsed == 0 {
+		t.Fatal("keyword soup never produced a valid query; generator too weak")
+	}
+}
+
+// Property: the executor never panics on any parsed query against an empty
+// catalog.
+func TestExecuteEmptyCatalogNeverPanics(t *testing.T) {
+	empty := &fakeCatalog{}
+	queries := []string{
+		"FIND MODELS",
+		"FIND MODELS WHERE DOMAIN = 'x'",
+		"FIND MODELS WHERE TRAINED ON DATASET 'd'",
+		"FIND MODELS WHERE OUTPERFORMS MODEL 'm' ON BENCHMARK 'b'",
+		"FIND MODELS RANK BY TEXT 'q' LIMIT 3",
+		"FIND MODELS RANK BY SCORE ON BENCHMARK 'b'",
+		"FIND MODELS RANK BY SIMILARITY TO MODEL 'm' USING CARDS",
+	}
+	for _, q := range queries {
+		res, err := Run(q, empty)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		if len(res.Hits) != 0 {
+			t.Fatalf("%q returned hits from an empty catalog", q)
+		}
+	}
+}

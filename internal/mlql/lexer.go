@@ -1,0 +1,92 @@
+// Package mlql implements the Model Lake Query Language — the declarative
+// query interface Figure 2 of the paper envisions data scientists using
+// instead of APIs. It supports exactly the query shapes the paper's §6
+// gives as examples:
+//
+//	FIND MODELS WHERE TRAINED ON DATASET 'us-supreme-court'
+//	FIND MODELS WHERE OUTPERFORMS MODEL 'x' ON BENCHMARK 'y'
+//	FIND MODELS WHERE DOMAIN = 'legal' RANK BY SIMILARITY TO MODEL 'm' LIMIT 10
+//
+// The package provides a lexer, a recursive-descent parser producing a small
+// AST, and an executor that evaluates queries against any Catalog
+// implementation (the lake facade implements Catalog).
+package mlql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokWord
+	tokString
+	tokNumber
+	tokEquals
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex tokenizes a query. Keywords are case-insensitive words; strings are
+// single-quoted with ” as the escape for a literal quote.
+func lex(input string) ([]token, error) {
+	var out []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '=':
+			out = append(out, token{kind: tokEquals, text: "=", pos: i})
+			i++
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(input) {
+				if input[i] == '\'' {
+					if i+1 < len(input) && input[i+1] == '\'' {
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					closed = true
+					break
+				}
+				sb.WriteByte(input[i])
+				i++
+			}
+			if !closed {
+				return nil, fmt.Errorf("mlql: unterminated string at position %d", start)
+			}
+			out = append(out, token{kind: tokString, text: sb.String(), pos: start})
+		case unicode.IsDigit(c):
+			start := i
+			for i < len(input) && unicode.IsDigit(rune(input[i])) {
+				i++
+			}
+			out = append(out, token{kind: tokNumber, text: input[start:i], pos: start})
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < len(input) && (unicode.IsLetter(rune(input[i])) ||
+				unicode.IsDigit(rune(input[i])) || input[i] == '_' || input[i] == '-') {
+				i++
+			}
+			out = append(out, token{kind: tokWord, text: input[start:i], pos: start})
+		default:
+			return nil, fmt.Errorf("mlql: unexpected character %q at position %d", c, i)
+		}
+	}
+	out = append(out, token{kind: tokEOF, pos: len(input)})
+	return out, nil
+}

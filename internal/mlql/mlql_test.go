@@ -1,0 +1,362 @@
+package mlql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseExamplesFromPaper(t *testing.T) {
+	// The two §6 example queries must parse.
+	q, err := Parse("FIND MODELS WHERE TRAINED ON DATASET 'us-supreme-court-cases'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 1 || q.Preds[0].Kind != PredTrainedOn || q.Preds[0].Dataset != "us-supreme-court-cases" {
+		t.Fatalf("query = %+v", q)
+	}
+
+	q, err = Parse("FIND MODELS WHERE OUTPERFORMS MODEL 'x' ON BENCHMARK 'y'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 1 || q.Preds[0].Kind != PredOutperforms || q.Preds[0].Model != "x" || q.Preds[0].Bench != "y" {
+		t.Fatalf("query = %+v", q)
+	}
+}
+
+func TestParseFullQuery(t *testing.T) {
+	q, err := Parse(`find models where domain = 'legal' and task = 'classification'
+		and trained on versions of dataset 'legal/v1'
+		rank by similarity to model 'm-1' using behavior limit 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 3 {
+		t.Fatalf("preds = %+v", q.Preds)
+	}
+	if !q.Preds[2].Versions {
+		t.Fatal("VERSIONS OF not parsed")
+	}
+	if q.Rank == nil || q.Rank.Kind != RankSimilarity || q.Rank.Space != "behavior" {
+		t.Fatalf("rank = %+v", q.Rank)
+	}
+	if q.Limit != 10 {
+		t.Fatalf("limit = %d", q.Limit)
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("FiNd MoDeLs WhErE dOmAiN = 'x'"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseLike(t *testing.T) {
+	q, err := Parse("FIND MODELS WHERE NAME LIKE 'summar'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Op != "like" {
+		t.Fatalf("op = %q", q.Preds[0].Op)
+	}
+}
+
+func TestParseRankers(t *testing.T) {
+	q, err := Parse("FIND MODELS RANK BY TEXT 'legal summarization'")
+	if err != nil || q.Rank.Kind != RankText {
+		t.Fatalf("%+v %v", q, err)
+	}
+	q, err = Parse("FIND MODELS RANK BY SCORE ON BENCHMARK 'b1'")
+	if err != nil || q.Rank.Kind != RankBenchmark || q.Rank.Bench != "b1" {
+		t.Fatalf("%+v %v", q, err)
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	q, err := Parse("FIND MODELS WHERE NAME = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Value != "it's" {
+		t.Fatalf("value = %q", q.Preds[0].Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"FIND",
+		"FIND MODELS WHERE",
+		"FIND MODELS WHERE COLOR = 'red'",
+		"FIND MODELS WHERE DOMAIN 'legal'",
+		"FIND MODELS WHERE DOMAIN = legal",
+		"FIND MODELS WHERE TRAINED ON 'x'",
+		"FIND MODELS WHERE OUTPERFORMS 'x' ON BENCHMARK 'y'",
+		"FIND MODELS RANK BY MAGIC",
+		"FIND MODELS RANK BY SIMILARITY TO MODEL 'm' USING VIBES",
+		"FIND MODELS LIMIT 'ten'",
+		"FIND MODELS LIMIT 0",
+		"FIND MODELS EXTRA",
+		"FIND MODELS WHERE NAME = 'unterminated",
+		"FIND MODELS WHERE DOMAIN = 'x' AND",
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Fatalf("parse(%q) should fail", c)
+		}
+	}
+}
+
+// Property: String() output re-parses to an equivalent query.
+func TestPrintParseRoundTrip(t *testing.T) {
+	f := func(domain, name string, limit uint8, useRank bool) bool {
+		// Build a query with arbitrary string content.
+		q := &Query{
+			Preds: []Predicate{
+				{Kind: PredField, Field: "domain", Op: "=", Value: domain},
+				{Kind: PredField, Field: "name", Op: "like", Value: name},
+				{Kind: PredTrainedOn, Dataset: "ds/v1", Versions: true},
+			},
+			Limit: int(limit%50) + 1,
+		}
+		if useRank {
+			q.Rank = &Ranker{Kind: RankSimilarity, Model: "m-1", Space: "weights"}
+		}
+		parsed, err := Parse(q.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == q.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeCatalog implements Catalog for executor tests.
+type fakeCatalog struct {
+	rows       []Row
+	trainedOn  map[string]map[string]bool // dataset -> ids ("+v" suffix key for versions)
+	outperform map[string]map[string]bool // model/bench -> ids
+	simRank    []Hit
+	textRank   []Hit
+	benchRank  []Hit
+}
+
+func (f *fakeCatalog) Candidates() ([]Row, error) { return f.rows, nil }
+func (f *fakeCatalog) TrainedOn(ds string, versions bool) (map[string]bool, error) {
+	key := ds
+	if versions {
+		key += "+v"
+	}
+	return f.trainedOn[key], nil
+}
+func (f *fakeCatalog) Outperforms(m, b string) (map[string]bool, error) {
+	return f.outperform[m+"/"+b], nil
+}
+func (f *fakeCatalog) SimilarityRank(m, space string) ([]Hit, error) { return f.simRank, nil }
+func (f *fakeCatalog) TextRank(text string) ([]Hit, error)           { return f.textRank, nil }
+func (f *fakeCatalog) BenchmarkRank(b string) ([]Hit, error)         { return f.benchRank, nil }
+
+func testCatalog() *fakeCatalog {
+	return &fakeCatalog{
+		rows: []Row{
+			{ID: "m1", Fields: map[string]string{"domain": "legal", "task": "classification", "name": "legal-base", "tag": "nlp summarization"}},
+			{ID: "m2", Fields: map[string]string{"domain": "legal", "task": "classification", "name": "legal-ft"}},
+			{ID: "m3", Fields: map[string]string{"domain": "medical", "task": "classification", "name": "med-base"}},
+		},
+		trainedOn: map[string]map[string]bool{
+			"legal/v1":   {"m1": true},
+			"legal/v1+v": {"m1": true, "m2": true},
+		},
+		outperform: map[string]map[string]bool{
+			"m1/bench": {"m2": true},
+		},
+		simRank:   []Hit{{ID: "m2", Score: 0.9}, {ID: "m1", Score: 0.7}, {ID: "m3", Score: 0.1}},
+		textRank:  []Hit{{ID: "m1", Score: 3}, {ID: "m2", Score: 2}},
+		benchRank: []Hit{{ID: "m3", Score: 0.99}, {ID: "m2", Score: 0.8}, {ID: "m1", Score: 0.7}},
+	}
+}
+
+func TestExecuteFieldFilter(t *testing.T) {
+	res, err := Run("FIND MODELS WHERE DOMAIN = 'legal'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 2 || res.Hits[0].ID != "m1" || res.Hits[1].ID != "m2" {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+}
+
+func TestExecuteTagAndLike(t *testing.T) {
+	res, err := Run("FIND MODELS WHERE TAG = 'summarization'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].ID != "m1" {
+		t.Fatalf("tag hits = %v", res.Hits)
+	}
+	res, err = Run("FIND MODELS WHERE NAME LIKE 'ft'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].ID != "m2" {
+		t.Fatalf("like hits = %v", res.Hits)
+	}
+}
+
+func TestExecuteTrainedOn(t *testing.T) {
+	res, err := Run("FIND MODELS WHERE TRAINED ON DATASET 'legal/v1'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].ID != "m1" {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+	res, err = Run("FIND MODELS WHERE TRAINED ON VERSIONS OF DATASET 'legal/v1'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 2 {
+		t.Fatalf("version hits = %v", res.Hits)
+	}
+}
+
+func TestExecuteOutperforms(t *testing.T) {
+	res, err := Run("FIND MODELS WHERE OUTPERFORMS MODEL 'm1' ON BENCHMARK 'bench'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].ID != "m2" {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+}
+
+func TestExecuteConjunction(t *testing.T) {
+	res, err := Run("FIND MODELS WHERE DOMAIN = 'legal' AND TRAINED ON VERSIONS OF DATASET 'legal/v1' AND NAME LIKE 'ft'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 1 || res.Hits[0].ID != "m2" {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+}
+
+func TestExecuteRankSimilarity(t *testing.T) {
+	res, err := Run("FIND MODELS WHERE DOMAIN = 'legal' RANK BY SIMILARITY TO MODEL 'm1'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Similarity order is m2, m1, m3; filter keeps legal only.
+	if len(res.Hits) != 2 || res.Hits[0].ID != "m2" || res.Hits[1].ID != "m1" {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+}
+
+func TestExecuteRankTextWithUnrankedTail(t *testing.T) {
+	// m3 is not in the text ranking; it must come last, not vanish.
+	res, err := Run("FIND MODELS RANK BY TEXT 'legal'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 3 || res.Hits[2].ID != "m3" {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+}
+
+func TestExecuteLimit(t *testing.T) {
+	res, err := Run("FIND MODELS RANK BY SCORE ON BENCHMARK 'b' LIMIT 2", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 2 || res.Hits[0].ID != "m3" {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+}
+
+func TestExecuteEmptyResult(t *testing.T) {
+	res, err := Run("FIND MODELS WHERE DOMAIN = 'nonexistent'", testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Hits) != 0 {
+		t.Fatalf("hits = %v", res.Hits)
+	}
+}
+
+func TestQueryStringRendering(t *testing.T) {
+	q, err := Parse("find models where domain = 'legal' rank by text 'x' limit 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := q.String()
+	for _, want := range []string{"FIND MODELS", "WHERE DOMAIN = 'legal'", "RANK BY TEXT 'x'", "LIMIT 3"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendered %q missing %q", s, want)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	q := "FIND MODELS WHERE DOMAIN = 'legal' AND TRAINED ON VERSIONS OF DATASET 'legal/v1' RANK BY SIMILARITY TO MODEL 'm-000001' USING BEHAVIOR LIMIT 10"
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecute(b *testing.B) {
+	cat := testCatalog()
+	for i := 0; i < 500; i++ {
+		cat.rows = append(cat.rows, Row{ID: fmt.Sprintf("x%d", i),
+			Fields: map[string]string{"domain": "legal"}})
+	}
+	q, err := Parse("FIND MODELS WHERE DOMAIN = 'legal' LIMIT 10")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Execute(q, cat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestExplainCoversPlanSteps(t *testing.T) {
+	q, err := Parse(`FIND MODELS WHERE DOMAIN = 'legal'
+		AND TRAINED ON VERSIONS OF DATASET 'legal/v1'
+		AND OUTPERFORMS MODEL 'm-1' ON BENCHMARK 'b'
+		RANK BY SIMILARITY TO MODEL 'm-2' USING WEIGHTS LIMIT 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := Explain(q)
+	for _, want := range []string{
+		"scan: registry records",
+		`field DOMAIN = "legal"`,
+		"dataset-lineage closure",
+		"benchmark runner",
+		"weights embedding space",
+		"limit: 7",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Fatalf("plan missing %q:\n%s", want, plan)
+		}
+	}
+	bare, _ := Parse("FIND MODELS")
+	if !strings.Contains(Explain(bare), "no ranker") {
+		t.Fatal("bare plan missing default order")
+	}
+	text, _ := Parse("FIND MODELS RANK BY TEXT 'x'")
+	if !strings.Contains(Explain(text), "BM25") {
+		t.Fatal("text plan missing BM25 step")
+	}
+	bench, _ := Parse("FIND MODELS RANK BY SCORE ON BENCHMARK 'b'")
+	if !strings.Contains(Explain(bench), "score on benchmark") {
+		t.Fatal("bench plan missing runner step")
+	}
+}

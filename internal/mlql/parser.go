@@ -1,0 +1,236 @@
+package mlql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses an MLQL query string.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected %q after end of query", p.peek().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("mlql: at position %d: %s", p.peek().pos, fmt.Sprintf(format, args...))
+}
+
+// acceptWord consumes the next token if it is the given keyword
+// (case-insensitive).
+func (p *parser) acceptWord(kw string) bool {
+	t := p.peek()
+	if t.kind == tokWord && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(kw string) error {
+	if !p.acceptWord(kw) {
+		return p.errorf("expected %s, got %q", strings.ToUpper(kw), p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) expectString(what string) (string, error) {
+	t := p.peek()
+	if t.kind != tokString {
+		return "", p.errorf("expected quoted %s, got %q", what, t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if err := p.expectWord("find"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("models"); err != nil {
+		return nil, err
+	}
+	q := &Query{}
+	if p.acceptWord("where") {
+		for {
+			pred, err := p.parsePredicate()
+			if err != nil {
+				return nil, err
+			}
+			q.Preds = append(q.Preds, *pred)
+			if !p.acceptWord("and") {
+				break
+			}
+		}
+	}
+	if p.acceptWord("rank") {
+		if err := p.expectWord("by"); err != nil {
+			return nil, err
+		}
+		r, err := p.parseRanker()
+		if err != nil {
+			return nil, err
+		}
+		q.Rank = r
+	}
+	if p.acceptWord("limit") {
+		t := p.peek()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected a number after LIMIT, got %q", t.text)
+		}
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n <= 0 {
+			return nil, p.errorf("invalid LIMIT %q", t.text)
+		}
+		q.Limit = n
+	}
+	return q, nil
+}
+
+func (p *parser) parsePredicate() (*Predicate, error) {
+	switch {
+	case p.acceptWord("trained"):
+		if err := p.expectWord("on"); err != nil {
+			return nil, err
+		}
+		versions := false
+		if p.acceptWord("versions") {
+			if err := p.expectWord("of"); err != nil {
+				return nil, err
+			}
+			versions = true
+		}
+		if err := p.expectWord("dataset"); err != nil {
+			return nil, err
+		}
+		ds, err := p.expectString("dataset id")
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: PredTrainedOn, Dataset: ds, Versions: versions}, nil
+
+	case p.acceptWord("outperforms"):
+		if err := p.expectWord("model"); err != nil {
+			return nil, err
+		}
+		m, err := p.expectString("model id")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("on"); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("benchmark"); err != nil {
+			return nil, err
+		}
+		b, err := p.expectString("benchmark id")
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: PredOutperforms, Model: m, Bench: b}, nil
+
+	default:
+		t := p.peek()
+		if t.kind != tokWord {
+			return nil, p.errorf("expected a predicate, got %q", t.text)
+		}
+		field := strings.ToLower(t.text)
+		if !validFields[field] {
+			return nil, p.errorf("unknown field %q (valid: domain, task, name, arch, tag, base, transform)", t.text)
+		}
+		p.next()
+		op := ""
+		switch {
+		case p.peek().kind == tokEquals:
+			p.next()
+			op = "="
+		case p.acceptWord("like"):
+			op = "like"
+		default:
+			return nil, p.errorf("expected = or LIKE after %s, got %q", strings.ToUpper(field), p.peek().text)
+		}
+		v, err := p.expectString("value")
+		if err != nil {
+			return nil, err
+		}
+		return &Predicate{Kind: PredField, Field: field, Op: op, Value: v}, nil
+	}
+}
+
+func (p *parser) parseRanker() (*Ranker, error) {
+	switch {
+	case p.acceptWord("similarity"):
+		if err := p.expectWord("to"); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("model"); err != nil {
+			return nil, err
+		}
+		m, err := p.expectString("model id")
+		if err != nil {
+			return nil, err
+		}
+		r := &Ranker{Kind: RankSimilarity, Model: m}
+		if p.acceptWord("using") {
+			t := p.peek()
+			if t.kind != tokWord {
+				return nil, p.errorf("expected an embedding space after USING")
+			}
+			space := strings.ToLower(t.text)
+			if space != "weights" && space != "behavior" && space != "cards" {
+				return nil, p.errorf("unknown embedding space %q (weights, behavior, cards)", t.text)
+			}
+			p.next()
+			r.Space = space
+		}
+		return r, nil
+
+	case p.acceptWord("text"):
+		s, err := p.expectString("query text")
+		if err != nil {
+			return nil, err
+		}
+		return &Ranker{Kind: RankText, Text: s}, nil
+
+	case p.acceptWord("score"):
+		if err := p.expectWord("on"); err != nil {
+			return nil, err
+		}
+		if err := p.expectWord("benchmark"); err != nil {
+			return nil, err
+		}
+		b, err := p.expectString("benchmark id")
+		if err != nil {
+			return nil, err
+		}
+		return &Ranker{Kind: RankBenchmark, Bench: b}, nil
+	}
+	return nil, p.errorf("expected SIMILARITY, TEXT, or SCORE after RANK BY, got %q", p.peek().text)
+}

@@ -1,0 +1,222 @@
+// Package model defines the lake's representation of an AI model as the
+// five-tuple the Model Lakes paper formalizes in §2:
+//
+//	M = (D, A, f*, θ, p_θ)
+//
+// History carries (D, A) — the training data and algorithm, which may be
+// absent or wrong in a real lake. The network itself carries the intrinsics
+// (f*, θ). The extrinsic behaviour p_θ is exposed as the Probs/Predict
+// methods, which observe the model through inputs and outputs only.
+//
+// The three viewpoint interfaces (HistoryView, IntrinsicView, ExtrinsicView)
+// let each lake task declare exactly which viewpoint it consumes, mirroring
+// the paper's observation that analysis methods must cope with models whose
+// history or intrinsics are unavailable. WithViews produces a restricted
+// handle for the viewpoint-ablation experiments.
+package model
+
+import (
+	"errors"
+	"fmt"
+
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+)
+
+// Transformation names the ways a model can be derived from another — the
+// edge labels of the paper's Model Graph.
+const (
+	TransformPretrain   = "pretrain"
+	TransformFinetune   = "finetune"
+	TransformLoRA       = "lora"
+	TransformEdit       = "edit"
+	TransformStitch     = "stitch"
+	TransformPreference = "preference"
+)
+
+// History is the (D, A) component: what the model was trained on and how.
+// In a model lake this is documentation-derived and may be missing or false;
+// the Truthful flag is used only by benchmark ground truth, never by task
+// algorithms.
+type History struct {
+	DatasetID      string   `json:"dataset_id"`
+	DatasetDomain  string   `json:"dataset_domain"`
+	Transformation string   `json:"transformation"` // one of the Transform* constants
+	Optimizer      string   `json:"optimizer"`
+	Epochs         int      `json:"epochs"`
+	LearningRate   float64  `json:"learning_rate"`
+	BaseModelIDs   []string `json:"base_model_ids,omitempty"`
+	Notes          string   `json:"notes,omitempty"`
+}
+
+// Model is a lake resident: identity plus the five-tuple components that are
+// available for it.
+type Model struct {
+	ID   string
+	Name string
+
+	// Net holds the intrinsics (f*, θ). Nil when intrinsics are withheld
+	// (e.g. a closed-weights model reachable only through its API).
+	Net *nn.MLP
+
+	// Hist holds the recorded history (D, A). Nil when undocumented.
+	Hist *History
+}
+
+// Viewpoint errors.
+var (
+	ErrNoIntrinsics = errors.New("model: intrinsics unavailable")
+	ErrNoHistory    = errors.New("model: history unavailable")
+	ErrNoExtrinsics = errors.New("model: extrinsics unavailable")
+)
+
+// ExtrinsicView is the behaviour-only viewpoint p_θ: the model observed
+// through inputs and outputs, with no access to weights or history.
+type ExtrinsicView interface {
+	InputDim() (int, error)
+	OutputDim() (int, error)
+	// Probs returns p_θ(y|x), the observable output distribution.
+	Probs(x tensor.Vector) (tensor.Vector, error)
+	// Predict returns the argmax class.
+	Predict(x tensor.Vector) (int, error)
+}
+
+// IntrinsicView is the (f*, θ) viewpoint: architecture and raw parameters.
+type IntrinsicView interface {
+	// Arch returns the architecture descriptor f*.
+	Arch() (string, error)
+	// Weights returns the flattened parameter vector θ.
+	Weights() (tensor.Vector, error)
+	// Network returns the full network, for structure-aware analyses.
+	Network() (*nn.MLP, error)
+}
+
+// HistoryView is the (D, A) viewpoint.
+type HistoryView interface {
+	History() (*History, error)
+}
+
+// Views is a bitmask of available viewpoints.
+type Views uint8
+
+// Viewpoint flags.
+const (
+	ViewExtrinsic Views = 1 << iota
+	ViewIntrinsic
+	ViewHistory
+	ViewAll = ViewExtrinsic | ViewIntrinsic | ViewHistory
+)
+
+// Handle is a (possibly restricted) window onto a model. It implements all
+// three viewpoint interfaces but returns the corresponding sentinel error
+// for any viewpoint that has been withheld.
+type Handle struct {
+	m     *Model
+	views Views
+}
+
+// NewHandle returns an unrestricted handle (all viewpoints the model
+// actually has).
+func NewHandle(m *Model) *Handle { return &Handle{m: m, views: ViewAll} }
+
+// WithViews returns a handle restricted to the given viewpoints. It is the
+// mechanism behind the viewpoint-ablation experiment (F1).
+func WithViews(m *Model, v Views) *Handle { return &Handle{m: m, views: v} }
+
+// ID returns the model's lake identifier.
+func (h *Handle) ID() string { return h.m.ID }
+
+// Name returns the model's human name.
+func (h *Handle) Name() string { return h.m.Name }
+
+// HasView reports whether the handle exposes viewpoint v (and the underlying
+// model actually has it).
+func (h *Handle) HasView(v Views) bool {
+	if h.views&v == 0 {
+		return false
+	}
+	switch v {
+	case ViewIntrinsic, ViewExtrinsic:
+		return h.m.Net != nil
+	case ViewHistory:
+		return h.m.Hist != nil
+	}
+	return false
+}
+
+// InputDim implements ExtrinsicView.
+func (h *Handle) InputDim() (int, error) {
+	if !h.HasView(ViewExtrinsic) {
+		return 0, ErrNoExtrinsics
+	}
+	return h.m.Net.InputDim(), nil
+}
+
+// OutputDim implements ExtrinsicView.
+func (h *Handle) OutputDim() (int, error) {
+	if !h.HasView(ViewExtrinsic) {
+		return 0, ErrNoExtrinsics
+	}
+	return h.m.Net.OutputDim(), nil
+}
+
+// Probs implements ExtrinsicView.
+func (h *Handle) Probs(x tensor.Vector) (tensor.Vector, error) {
+	if !h.HasView(ViewExtrinsic) {
+		return nil, ErrNoExtrinsics
+	}
+	if len(x) != h.m.Net.InputDim() {
+		return nil, fmt.Errorf("model: input dim %d != expected %d", len(x), h.m.Net.InputDim())
+	}
+	return h.m.Net.Probs(x), nil
+}
+
+// Predict implements ExtrinsicView.
+func (h *Handle) Predict(x tensor.Vector) (int, error) {
+	if !h.HasView(ViewExtrinsic) {
+		return 0, ErrNoExtrinsics
+	}
+	if len(x) != h.m.Net.InputDim() {
+		return 0, fmt.Errorf("model: input dim %d != expected %d", len(x), h.m.Net.InputDim())
+	}
+	return h.m.Net.Predict(x), nil
+}
+
+// Arch implements IntrinsicView.
+func (h *Handle) Arch() (string, error) {
+	if !h.HasView(ViewIntrinsic) {
+		return "", ErrNoIntrinsics
+	}
+	return h.m.Net.ArchString(), nil
+}
+
+// Weights implements IntrinsicView.
+func (h *Handle) Weights() (tensor.Vector, error) {
+	if !h.HasView(ViewIntrinsic) {
+		return nil, ErrNoIntrinsics
+	}
+	return h.m.Net.FlattenWeights(), nil
+}
+
+// Network implements IntrinsicView.
+func (h *Handle) Network() (*nn.MLP, error) {
+	if !h.HasView(ViewIntrinsic) {
+		return nil, ErrNoIntrinsics
+	}
+	return h.m.Net, nil
+}
+
+// History implements HistoryView.
+func (h *Handle) History() (*History, error) {
+	if !h.HasView(ViewHistory) {
+		return nil, ErrNoHistory
+	}
+	return h.m.Hist, nil
+}
+
+// Interface conformance checks.
+var (
+	_ ExtrinsicView = (*Handle)(nil)
+	_ IntrinsicView = (*Handle)(nil)
+	_ HistoryView   = (*Handle)(nil)
+)

@@ -1,0 +1,127 @@
+package model
+
+import (
+	"errors"
+	"testing"
+
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func testModel() *Model {
+	net := nn.NewMLP([]int{4, 6, 3}, nn.ReLU, xrand.New(1))
+	return &Model{
+		ID:   "m-1",
+		Name: "test-model",
+		Net:  net,
+		Hist: &History{
+			DatasetID:      "legal/v1",
+			DatasetDomain:  "legal",
+			Transformation: TransformPretrain,
+			Optimizer:      "sgd",
+			Epochs:         30,
+		},
+	}
+}
+
+func TestFullHandleExposesAllViews(t *testing.T) {
+	h := NewHandle(testModel())
+	if !h.HasView(ViewExtrinsic) || !h.HasView(ViewIntrinsic) || !h.HasView(ViewHistory) {
+		t.Fatal("full handle should expose all viewpoints")
+	}
+	if _, err := h.Probs(tensor.Vector{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Weights(); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := h.History()
+	if err != nil || hist.DatasetDomain != "legal" {
+		t.Fatalf("history: %+v, %v", hist, err)
+	}
+	arch, err := h.Arch()
+	if err != nil || arch != "mlp:4-6-3:relu" {
+		t.Fatalf("arch = %q, %v", arch, err)
+	}
+	in, _ := h.InputDim()
+	out, _ := h.OutputDim()
+	if in != 4 || out != 3 {
+		t.Fatalf("dims %d/%d", in, out)
+	}
+}
+
+func TestRestrictedHandleWithholdsViews(t *testing.T) {
+	m := testModel()
+	h := WithViews(m, ViewExtrinsic)
+	if _, err := h.Probs(tensor.Vector{1, 2, 3, 4}); err != nil {
+		t.Fatalf("extrinsic access should work: %v", err)
+	}
+	if _, err := h.Weights(); !errors.Is(err, ErrNoIntrinsics) {
+		t.Fatalf("intrinsics should be withheld: %v", err)
+	}
+	if _, err := h.Network(); !errors.Is(err, ErrNoIntrinsics) {
+		t.Fatalf("network should be withheld: %v", err)
+	}
+	if _, err := h.Arch(); !errors.Is(err, ErrNoIntrinsics) {
+		t.Fatalf("arch should be withheld: %v", err)
+	}
+	if _, err := h.History(); !errors.Is(err, ErrNoHistory) {
+		t.Fatalf("history should be withheld: %v", err)
+	}
+}
+
+func TestHandleWithMissingComponents(t *testing.T) {
+	m := testModel()
+	m.Hist = nil
+	h := NewHandle(m)
+	if h.HasView(ViewHistory) {
+		t.Fatal("handle claims history the model lacks")
+	}
+	if _, err := h.History(); !errors.Is(err, ErrNoHistory) {
+		t.Fatalf("expected ErrNoHistory, got %v", err)
+	}
+
+	m2 := testModel()
+	m2.Net = nil
+	h2 := NewHandle(m2)
+	if h2.HasView(ViewIntrinsic) || h2.HasView(ViewExtrinsic) {
+		t.Fatal("handle claims views a weightless model lacks")
+	}
+	if _, err := h2.Probs(tensor.Vector{1, 2, 3, 4}); !errors.Is(err, ErrNoExtrinsics) {
+		t.Fatalf("expected ErrNoExtrinsics, got %v", err)
+	}
+}
+
+func TestProbsDimensionCheck(t *testing.T) {
+	h := NewHandle(testModel())
+	if _, err := h.Probs(tensor.Vector{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if _, err := h.Predict(tensor.Vector{1}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestPredictAgreesWithProbs(t *testing.T) {
+	h := NewHandle(testModel())
+	x := tensor.Vector{0.5, -1, 2, 0}
+	p, err := h.Probs(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := h.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y != p.ArgMax() {
+		t.Fatalf("Predict %d != argmax of Probs %d", y, p.ArgMax())
+	}
+}
+
+func TestIDAndName(t *testing.T) {
+	h := NewHandle(testModel())
+	if h.ID() != "m-1" || h.Name() != "test-model" {
+		t.Fatalf("identity lost: %s %s", h.ID(), h.Name())
+	}
+}

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"fmt"
+
+	"modellake/internal/tensor"
+)
+
+// EditResult reports the outcome of a model edit.
+type EditResult struct {
+	Succeeded bool    // whether the model now predicts the target
+	DeltaNorm float64 // Frobenius norm of the applied weight delta
+}
+
+// EditAssociation performs a targeted model edit in the style of locate-and-
+// edit methods (ROME and successors): it applies the minimal-Frobenius-norm
+// rank-one update to the final layer so that input x is classified as target,
+// leaving all other layers untouched.
+//
+// With h the hidden representation feeding the final layer, the update is
+// ΔW = δ ⊗ h / (h·h) where δ raises the target logit just past the current
+// maximum by margin. The delta has rank exactly 1 — the localized, low-rank
+// signature the versioning task uses to recognize edits — and, being minimal
+// in norm, perturbs behaviour on unrelated inputs as little as possible.
+func EditAssociation(m *MLP, x tensor.Vector, target int, margin float64) (EditResult, error) {
+	if target < 0 || target >= m.OutputDim() {
+		return EditResult{}, fmt.Errorf("nn: edit target %d out of range [0,%d)", target, m.OutputDim())
+	}
+	if len(x) != m.InputDim() {
+		return EditResult{}, fmt.Errorf("nn: edit input dim %d != model input %d", len(x), m.InputDim())
+	}
+	if margin <= 0 {
+		margin = 0.1
+	}
+	L := m.LayerCount()
+	// The hidden representation feeding the final layer is unchanged by
+	// final-layer edits, so compute it once.
+	hidden := m.hiddenRep(x)
+	hh := hidden.Dot(hidden)
+	if hh == 0 {
+		return EditResult{}, fmt.Errorf("nn: edit input has zero hidden representation")
+	}
+	logits := tensor.NewVector(m.OutputDim())
+	m.W[L-1].MatVec(logits, hidden)
+	logits.AddScaled(1, m.B[L-1])
+	if logits.ArgMax() == target {
+		return EditResult{Succeeded: true}, nil
+	}
+	maxOther := logits[logits.ArgMax()]
+	need := maxOther - logits[target] + margin
+	delta := tensor.NewVector(m.OutputDim())
+	delta[target] = need
+	m.W[L-1].AddOuter(1/hh, delta, hidden)
+	// ‖ΔW‖_F = ‖δ‖·‖h‖ / (h·h) = |need| / ‖h‖.
+	return EditResult{Succeeded: true, DeltaNorm: need / hidden.Norm()}, nil
+}
+
+// EditAssociationWithContext is the covariance-aware variant of
+// EditAssociation (in the spirit of ROME's C⁻¹ key weighting): contexts is a
+// sample of typical model inputs; the edit direction is chosen as u = C⁻¹h,
+// where C is the second-moment matrix of the hidden representations of those
+// inputs, so the update's interference with typical inputs is minimized. The
+// applied delta is ΔW = δ ⊗ u / (h·u), still rank one.
+func EditAssociationWithContext(m *MLP, x tensor.Vector, target int, margin float64, contexts tensor.Matrix) (EditResult, error) {
+	if target < 0 || target >= m.OutputDim() {
+		return EditResult{}, fmt.Errorf("nn: edit target %d out of range [0,%d)", target, m.OutputDim())
+	}
+	if len(x) != m.InputDim() || contexts.Cols != m.InputDim() {
+		return EditResult{}, fmt.Errorf("nn: edit input dims inconsistent with model input %d", m.InputDim())
+	}
+	if margin <= 0 {
+		margin = 0.1
+	}
+	L := m.LayerCount()
+	hidden := m.hiddenRep(x)
+	// Hidden second-moment matrix over the context sample.
+	hiddens := tensor.NewMatrix(contexts.Rows, len(hidden))
+	for i := 0; i < contexts.Rows; i++ {
+		copy(hiddens.Row(i), m.hiddenRep(contexts.Row(i)))
+	}
+	cov := tensor.CovarianceOfRows(hiddens, 1e-3)
+	u, err := tensor.Solve(cov, hidden)
+	if err != nil {
+		return EditResult{}, fmt.Errorf("nn: edit covariance solve: %w", err)
+	}
+	hu := hidden.Dot(u)
+	if hu <= 0 {
+		return EditResult{}, fmt.Errorf("nn: degenerate edit direction (h·u = %v)", hu)
+	}
+	logits := tensor.NewVector(m.OutputDim())
+	m.W[L-1].MatVec(logits, hidden)
+	logits.AddScaled(1, m.B[L-1])
+	if logits.ArgMax() == target {
+		return EditResult{Succeeded: true}, nil
+	}
+	need := logits[logits.ArgMax()] - logits[target] + margin
+	delta := tensor.NewVector(m.OutputDim())
+	delta[target] = need
+	m.W[L-1].AddOuter(1/hu, delta, u)
+	return EditResult{Succeeded: true, DeltaNorm: need * u.Norm() / hu}, nil
+}
+
+// hiddenRep returns the activation vector feeding the final layer for input
+// x (or x itself for a single-layer model).
+func (m *MLP) hiddenRep(x tensor.Vector) tensor.Vector {
+	hidden := x
+	for l := 0; l < m.LayerCount()-1; l++ {
+		next := tensor.NewVector(m.Sizes[l+1])
+		m.W[l].MatVec(next, hidden)
+		next.AddScaled(1, m.B[l])
+		m.activate(next)
+		hidden = next
+	}
+	return hidden
+}
+
+// Stitch builds a hybrid model from two same-architecture parents: layers
+// [0, cut) come from a and layers [cut, L) from b (the paper's "model
+// stitching" transformation). cut must satisfy 0 < cut < LayerCount.
+func Stitch(a, b *MLP, cut int) (*MLP, error) {
+	if !a.SameArchitecture(b) {
+		return nil, fmt.Errorf("nn: stitch requires same architecture, got %s vs %s",
+			a.ArchString(), b.ArchString())
+	}
+	if cut <= 0 || cut >= a.LayerCount() {
+		return nil, fmt.Errorf("nn: stitch cut %d out of range (0,%d)", cut, a.LayerCount())
+	}
+	out := a.Clone()
+	for l := cut; l < b.LayerCount(); l++ {
+		out.W[l] = b.W[l].Clone()
+		out.B[l] = b.B[l].Clone()
+	}
+	return out, nil
+}

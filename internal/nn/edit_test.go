@@ -1,0 +1,99 @@
+package nn
+
+import (
+	"testing"
+
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func TestEditAssociationBasicFlips(t *testing.T) {
+	ds := testDataset(t, "edit-basic", 8, 3, 200, 50)
+	m := NewMLP([]int{8, 16, 3}, ReLU, xrand.New(51))
+	if _, err := Train(m, ds, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	x, y := ds.Example(0)
+	target := (y + 1) % 3
+	edited := m.Clone()
+	res, err := EditAssociation(edited, x, target, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded || edited.Predict(x) != target {
+		t.Fatal("basic edit did not flip the prediction")
+	}
+	if res.DeltaNorm <= 0 {
+		t.Fatalf("DeltaNorm = %v, want > 0", res.DeltaNorm)
+	}
+	// Rank one.
+	delta := tensor.Sub(edited.W[1], m.W[1])
+	sv := tensor.TopSingularValues(delta, 3, 60, xrand.New(52))
+	if r := tensor.EffectiveRank(sv, 1e-6); r > 1 {
+		t.Fatalf("basic edit delta rank = %d, want 1", r)
+	}
+}
+
+func TestEditAssociationAlreadyTarget(t *testing.T) {
+	ds := testDataset(t, "edit-noop", 8, 3, 200, 53)
+	m := NewMLP([]int{8, 16, 3}, ReLU, xrand.New(54))
+	if _, err := Train(m, ds, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	x, _ := ds.Example(0)
+	cur := m.Predict(x)
+	before := m.FlattenWeights()
+	res, err := EditAssociation(m, x, cur, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded || res.DeltaNorm != 0 {
+		t.Fatalf("no-op edit should succeed with zero delta, got %+v", res)
+	}
+	after := m.FlattenWeights()
+	if tensor.L2Distance(before, after) != 0 {
+		t.Fatal("no-op edit changed weights")
+	}
+}
+
+func TestEditWithContextLessDamagingThanBasic(t *testing.T) {
+	ds := testDataset(t, "edit-cmp", 8, 3, 400, 55)
+	m := NewMLP([]int{8, 16, 3}, ReLU, xrand.New(56))
+	if _, err := Train(m, ds, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	// Average damage over several edits: the covariance-aware variant should
+	// be at least as gentle as the plain projection.
+	var dmgBasic, dmgCtx float64
+	for i := 0; i < 10; i++ {
+		x, y := ds.Example(i)
+		target := (y + 1) % 3
+
+		e1 := m.Clone()
+		if _, err := EditAssociation(e1, x, target, 0.1); err != nil {
+			t.Fatal(err)
+		}
+		dmgBasic += m.Accuracy(ds) - e1.Accuracy(ds)
+
+		e2 := m.Clone()
+		if _, err := EditAssociationWithContext(e2, x, target, 0.1, ds.X); err != nil {
+			t.Fatal(err)
+		}
+		dmgCtx += m.Accuracy(ds) - e2.Accuracy(ds)
+	}
+	if dmgCtx > dmgBasic+0.05 {
+		t.Fatalf("context-aware edit more damaging: %v vs %v", dmgCtx, dmgBasic)
+	}
+}
+
+func TestEditWithContextErrors(t *testing.T) {
+	m := NewMLP([]int{4, 6, 2}, ReLU, xrand.New(57))
+	ctx := tensor.NewMatrix(3, 4)
+	if _, err := EditAssociationWithContext(m, tensor.Vector{1, 2, 3, 4}, 9, 0.1, ctx); err == nil {
+		t.Fatal("expected target range error")
+	}
+	badCtx := tensor.NewMatrix(3, 5)
+	if _, err := EditAssociationWithContext(m, tensor.Vector{1, 2, 3, 4}, 0, 0.1, badCtx); err == nil {
+		t.Fatal("expected context dim error")
+	}
+}

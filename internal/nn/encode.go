@@ -1,0 +1,110 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"modellake/internal/tensor"
+)
+
+// Binary model format: magic, activation, layer count, sizes, then each
+// layer's weight matrix followed by its bias encoded as a 1×n matrix.
+
+const mlpMagic uint32 = 0x4d4c5031 // "MLP1"
+
+// WriteMLP serializes m to w in the stable binary format used by the blob
+// store.
+func WriteMLP(w io.Writer, m *MLP) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], mlpMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(m.Act))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(m.Sizes)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: write header: %w", err)
+	}
+	sizes := make([]byte, 4*len(m.Sizes))
+	for i, s := range m.Sizes {
+		binary.LittleEndian.PutUint32(sizes[i*4:], uint32(s))
+	}
+	if _, err := w.Write(sizes); err != nil {
+		return fmt.Errorf("nn: write sizes: %w", err)
+	}
+	for l := range m.W {
+		if err := tensor.WriteMatrix(w, m.W[l]); err != nil {
+			return fmt.Errorf("nn: layer %d weights: %w", l, err)
+		}
+		bias := tensor.Matrix{Rows: 1, Cols: len(m.B[l]), Data: m.B[l]}
+		if err := tensor.WriteMatrix(w, bias); err != nil {
+			return fmt.Errorf("nn: layer %d bias: %w", l, err)
+		}
+	}
+	return nil
+}
+
+// ReadMLP deserializes a model written with WriteMLP.
+func ReadMLP(r io.Reader) (*MLP, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("nn: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != mlpMagic {
+		return nil, fmt.Errorf("nn: bad model magic")
+	}
+	act := Activation(binary.LittleEndian.Uint32(hdr[4:8]))
+	nSizes := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if nSizes < 2 || nSizes > 64 {
+		return nil, fmt.Errorf("nn: implausible layer count %d", nSizes)
+	}
+	sizesBuf := make([]byte, 4*nSizes)
+	if _, err := io.ReadFull(r, sizesBuf); err != nil {
+		return nil, fmt.Errorf("nn: read sizes: %w", err)
+	}
+	sizes := make([]int, nSizes)
+	for i := range sizes {
+		sizes[i] = int(binary.LittleEndian.Uint32(sizesBuf[i*4:]))
+		if sizes[i] <= 0 {
+			return nil, fmt.Errorf("nn: non-positive layer size %d", sizes[i])
+		}
+	}
+	m := &MLP{
+		Sizes: sizes,
+		Act:   act,
+		W:     make([]tensor.Matrix, nSizes-1),
+		B:     make([]tensor.Vector, nSizes-1),
+	}
+	for l := 0; l < nSizes-1; l++ {
+		w, err := tensor.ReadMatrix(r)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d weights: %w", l, err)
+		}
+		if w.Rows != sizes[l+1] || w.Cols != sizes[l] {
+			return nil, fmt.Errorf("nn: layer %d shape %dx%d inconsistent with sizes", l, w.Rows, w.Cols)
+		}
+		b, err := tensor.ReadMatrix(r)
+		if err != nil {
+			return nil, fmt.Errorf("nn: layer %d bias: %w", l, err)
+		}
+		if b.Rows != 1 || b.Cols != sizes[l+1] {
+			return nil, fmt.Errorf("nn: layer %d bias shape %dx%d inconsistent", l, b.Rows, b.Cols)
+		}
+		m.W[l] = w
+		m.B[l] = tensor.Vector(b.Data)
+	}
+	return m, nil
+}
+
+// EncodeMLP serializes m to a byte slice.
+func EncodeMLP(m *MLP) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteMLP(&buf, m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMLP deserializes a model from a byte slice.
+func DecodeMLP(b []byte) (*MLP, error) {
+	return ReadMLP(bytes.NewReader(b))
+}

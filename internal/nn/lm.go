@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// BigramLM is a tiny generative language model over an integer vocabulary:
+// next-token logits are a learned function of the previous token only. It is
+// the generative substrate for the watermarking/citation experiments, where
+// only the sampling distribution matters, not linguistic quality.
+type BigramLM struct {
+	V      int           // vocabulary size
+	Logits tensor.Matrix // V x V; row p gives logits over the next token
+}
+
+// NewBigramLM returns a model with small random logits (a "pre-trained"
+// generative model with nontrivial entropy).
+func NewBigramLM(v int, rng *xrand.RNG) *BigramLM {
+	if v <= 1 {
+		panic(fmt.Sprintf("nn: bigram vocabulary %d too small", v))
+	}
+	lm := &BigramLM{V: v, Logits: tensor.NewMatrix(v, v)}
+	for i := range lm.Logits.Data {
+		lm.Logits.Data[i] = rng.NormFloat64() * 0.5
+	}
+	return lm
+}
+
+// TrainBigramCounts fits the model to a token corpus by add-alpha-smoothed
+// count estimation: logits are log(count + alpha).
+func TrainBigramCounts(corpus [][]int, v int, alpha float64) (*BigramLM, error) {
+	if v <= 1 {
+		return nil, fmt.Errorf("nn: bigram vocabulary %d too small", v)
+	}
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	counts := tensor.NewMatrix(v, v)
+	for _, seq := range corpus {
+		for i := 0; i+1 < len(seq); i++ {
+			a, b := seq[i], seq[i+1]
+			if a < 0 || a >= v || b < 0 || b >= v {
+				return nil, fmt.Errorf("nn: token out of range in corpus: %d,%d", a, b)
+			}
+			counts.Set(a, b, counts.At(a, b)+1)
+		}
+	}
+	lm := &BigramLM{V: v, Logits: tensor.NewMatrix(v, v)}
+	for i := range counts.Data {
+		lm.Logits.Data[i] = math.Log(counts.Data[i] + alpha)
+	}
+	return lm, nil
+}
+
+// NextLogits returns a copy of the logits over the token following prev.
+func (lm *BigramLM) NextLogits(prev int) tensor.Vector {
+	return lm.Logits.Row(prev).Clone()
+}
+
+// LogitBias mutates next-token logits before sampling; the watermarker
+// installs its green-list boost through this hook.
+type LogitBias func(prev int, logits tensor.Vector)
+
+// Sample generates n tokens starting after the given start token, at the
+// given softmax temperature. If bias is non-nil it is applied to the logits
+// of every step before sampling.
+func (lm *BigramLM) Sample(rng *xrand.RNG, start, n int, temperature float64, bias LogitBias) []int {
+	if temperature <= 0 {
+		temperature = 1
+	}
+	out := make([]int, 0, n)
+	prev := start
+	probs := tensor.NewVector(lm.V)
+	for i := 0; i < n; i++ {
+		logits := lm.NextLogits(prev)
+		if bias != nil {
+			bias(prev, logits)
+		}
+		for j, v := range logits {
+			probs[j] = v / temperature
+		}
+		Softmax(probs)
+		next := rng.Weighted(probs)
+		out = append(out, next)
+		prev = next
+	}
+	return out
+}
+
+// SequenceNLL returns the average negative log-likelihood per token the model
+// assigns to seq (conditioning each token on its predecessor); exp of this is
+// perplexity.
+func (lm *BigramLM) SequenceNLL(seq []int) float64 {
+	if len(seq) < 2 {
+		return 0
+	}
+	total := 0.0
+	probs := tensor.NewVector(lm.V)
+	for i := 0; i+1 < len(seq); i++ {
+		copy(probs, lm.Logits.Row(seq[i]))
+		Softmax(probs)
+		total += CrossEntropy(probs, seq[i+1])
+	}
+	return total / float64(len(seq)-1)
+}

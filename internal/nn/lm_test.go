@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func TestBigramSampleRange(t *testing.T) {
+	lm := NewBigramLM(20, xrand.New(1))
+	toks := lm.Sample(xrand.New(2), 0, 500, 1.0, nil)
+	if len(toks) != 500 {
+		t.Fatalf("sampled %d tokens, want 500", len(toks))
+	}
+	for _, tok := range toks {
+		if tok < 0 || tok >= 20 {
+			t.Fatalf("token out of range: %d", tok)
+		}
+	}
+}
+
+func TestBigramBiasShiftsDistribution(t *testing.T) {
+	lm := NewBigramLM(10, xrand.New(3))
+	// Heavily bias toward token 7.
+	bias := func(prev int, logits tensor.Vector) { logits[7] += 50 }
+	toks := lm.Sample(xrand.New(4), 0, 200, 1.0, bias)
+	count := 0
+	for _, tok := range toks {
+		if tok == 7 {
+			count++
+		}
+	}
+	if count < 190 {
+		t.Fatalf("bias ineffective: only %d/200 tokens are 7", count)
+	}
+}
+
+func TestTrainBigramCountsLearnsTransitions(t *testing.T) {
+	// Corpus where 0 is always followed by 1.
+	corpus := [][]int{{0, 1, 0, 1, 0, 1, 0, 1, 0, 1}}
+	lm, err := TrainBigramCounts(corpus, 3, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logits := lm.NextLogits(0)
+	if logits.ArgMax() != 1 {
+		t.Fatalf("trained bigram does not prefer 1 after 0: %v", logits)
+	}
+}
+
+func TestTrainBigramCountsErrors(t *testing.T) {
+	if _, err := TrainBigramCounts(nil, 1, 0.1); err == nil {
+		t.Fatal("expected vocabulary error")
+	}
+	if _, err := TrainBigramCounts([][]int{{0, 99}}, 3, 0.1); err == nil {
+		t.Fatal("expected token range error")
+	}
+}
+
+func TestSequenceNLL(t *testing.T) {
+	corpus := [][]int{{0, 1, 0, 1, 0, 1, 0, 1}}
+	lm, err := TrainBigramCounts(corpus, 2, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	likely := lm.SequenceNLL([]int{0, 1, 0, 1})
+	unlikely := lm.SequenceNLL([]int{0, 0, 0, 0})
+	if likely >= unlikely {
+		t.Fatalf("NLL ordering wrong: likely %v >= unlikely %v", likely, unlikely)
+	}
+	if lm.SequenceNLL([]int{5}) != 0 {
+		t.Fatal("single-token NLL should be 0")
+	}
+}
+
+func TestTemperatureSharpensSampling(t *testing.T) {
+	lm := NewBigramLM(5, xrand.New(9))
+	// At very low temperature sampling should be (almost) deterministic:
+	// always the argmax successor.
+	toks := lm.Sample(xrand.New(10), 0, 100, 0.001, nil)
+	prev := 0
+	for _, tok := range toks {
+		want := lm.NextLogits(prev).ArgMax()
+		if tok != want {
+			t.Fatalf("low-temperature sample deviated from argmax: got %d want %d", tok, want)
+		}
+		prev = tok
+	}
+}
+
+func TestSampleZeroTemperatureDefaults(t *testing.T) {
+	lm := NewBigramLM(5, xrand.New(9))
+	toks := lm.Sample(xrand.New(10), 0, 10, 0, nil)
+	if len(toks) != 10 {
+		t.Fatal("temperature 0 should default to 1, not fail")
+	}
+}
+
+func TestBigramPerplexityFinite(t *testing.T) {
+	lm := NewBigramLM(8, xrand.New(11))
+	seq := lm.Sample(xrand.New(12), 0, 64, 1.0, nil)
+	nll := lm.SequenceNLL(append([]int{0}, seq...))
+	if math.IsNaN(nll) || math.IsInf(nll, 0) || nll <= 0 {
+		t.Fatalf("NLL = %v, want finite positive", nll)
+	}
+}

@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"fmt"
+
+	"modellake/internal/data"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// LoRA is a low-rank adapter for one layer of an MLP: the effective weight of
+// the adapted layer is W + Alpha·A·B where A is (out×rank) and B is
+// (rank×in). Training a LoRA leaves the base weights frozen, so merging the
+// adapter produces a child model whose weight delta has rank ≤ rank — the
+// signature the version-task edge classifier detects.
+type LoRA struct {
+	Layer int
+	Rank  int
+	Alpha float64
+	A     tensor.Matrix // out x rank
+	B     tensor.Matrix // rank x in
+}
+
+// NewLoRA allocates an adapter for the given layer of m. A is initialized to
+// small Gaussian values and B to zero, so the adapter starts as a no-op
+// (the standard LoRA initialization).
+func NewLoRA(m *MLP, layer, rank int, rng *xrand.RNG) (*LoRA, error) {
+	if layer < 0 || layer >= m.LayerCount() {
+		return nil, fmt.Errorf("nn: LoRA layer %d out of range [0,%d)", layer, m.LayerCount())
+	}
+	out, in := m.W[layer].Rows, m.W[layer].Cols
+	if rank <= 0 || rank > out || rank > in {
+		return nil, fmt.Errorf("nn: LoRA rank %d invalid for %dx%d layer", rank, out, in)
+	}
+	l := &LoRA{Layer: layer, Rank: rank, Alpha: 1.0,
+		A: tensor.NewMatrix(out, rank), B: tensor.NewMatrix(rank, in)}
+	for i := range l.A.Data {
+		l.A.Data[i] = rng.NormFloat64() * 0.1
+	}
+	return l, nil
+}
+
+// Delta returns Alpha·A·B, the dense weight delta the adapter represents.
+func (l *LoRA) Delta() tensor.Matrix {
+	d := tensor.MatMul(l.A, l.B)
+	d.Scale(l.Alpha)
+	return d
+}
+
+// Merge returns a copy of base with the adapter folded into its weights.
+func (l *LoRA) Merge(base *MLP) *MLP {
+	out := base.Clone()
+	out.W[l.Layer].AddScaled(1, l.Delta())
+	return out
+}
+
+// TrainLoRA fits the adapter on ds with the base model frozen and returns the
+// final mean training loss. Gradients with respect to the adapted layer's
+// effective weight dW are projected onto the factors:
+//
+//	dA = Alpha · dW · Bᵀ,   dB = Alpha · Aᵀ · dW.
+func TrainLoRA(base *MLP, l *LoRA, ds *data.Dataset, cfg TrainConfig) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, fmt.Errorf("nn: empty dataset %q", ds.ID)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.Optimizer != "" && cfg.Optimizer != "sgd" {
+		return 0, fmt.Errorf("nn: LoRA training supports only sgd, got %q", cfg.Optimizer)
+	}
+	rng := xrand.New(cfg.Seed)
+	work := base.Clone()
+	g := NewGrads(work)
+	lastLoss := 0.0
+	dA := tensor.NewMatrix(l.A.Rows, l.A.Cols)
+	dB := tensor.NewMatrix(l.B.Rows, l.B.Cols)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(ds.Len())
+		total := 0.0
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			// Refresh the effective weight of the adapted layer.
+			copy(work.W[l.Layer].Data, base.W[l.Layer].Data)
+			work.W[l.Layer].AddScaled(1, l.Delta())
+
+			g.Zero()
+			for _, idx := range perm[start:end] {
+				x, y := ds.Example(idx)
+				total += work.Backward(x, y, g)
+			}
+			inv := 1.0 / float64(end-start)
+			dW := g.W[l.Layer]
+			dW.Scale(inv)
+			// dA = α dW Bᵀ ; dB = α Aᵀ dW
+			prodA := tensor.MatMul(dW, l.B.Transpose())
+			prodB := tensor.MatMul(l.A.Transpose(), dW)
+			copy(dA.Data, prodA.Data)
+			copy(dB.Data, prodB.Data)
+			dA.Scale(l.Alpha)
+			dB.Scale(l.Alpha)
+			l.A.AddScaled(-cfg.LR, dA)
+			l.B.AddScaled(-cfg.LR, dB)
+		}
+		lastLoss = total / float64(ds.Len())
+	}
+	return lastLoss, nil
+}

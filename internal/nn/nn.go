@@ -1,0 +1,266 @@
+// Package nn implements the from-scratch neural-network substrate underlying
+// every model in the lake: multi-layer perceptrons with deterministic
+// initialization and training, per-example gradients (for attribution),
+// LoRA adapters, rank-one model editing, model stitching, and a tiny bigram
+// language model (for watermarking experiments).
+//
+// Models here expose exactly the five-tuple the Model Lakes paper defines:
+// the training data and algorithm are the History, the layer sizes are the
+// architecture f*, the weight matrices are θ, and Probs/Predict realize the
+// observable behaviour p_θ.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// Activation selects the hidden-layer nonlinearity of an MLP.
+type Activation int
+
+// Supported activations.
+const (
+	ReLU Activation = iota
+	Tanh
+)
+
+// String returns the conventional lowercase name of the activation.
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	default:
+		return fmt.Sprintf("activation(%d)", int(a))
+	}
+}
+
+// ParseActivation is the inverse of Activation.String.
+func ParseActivation(s string) (Activation, error) {
+	switch s {
+	case "relu":
+		return ReLU, nil
+	case "tanh":
+		return Tanh, nil
+	}
+	return 0, fmt.Errorf("nn: unknown activation %q", s)
+}
+
+// MLP is a feed-forward classifier: Dense layers with a hidden activation and
+// raw logits at the output (softmax is applied by the loss and by Probs).
+type MLP struct {
+	Sizes []int // [in, hidden..., out]
+	Act   Activation
+	W     []tensor.Matrix // W[l] has shape Sizes[l+1] x Sizes[l]
+	B     []tensor.Vector // B[l] has length Sizes[l+1]
+}
+
+// NewMLP builds an MLP with Xavier/Glorot-scaled random weights drawn from
+// rng. sizes must contain at least an input and an output dimension.
+func NewMLP(sizes []int, act Activation, rng *xrand.RNG) *MLP {
+	if len(sizes) < 2 {
+		panic("nn: MLP needs at least input and output sizes")
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: non-positive layer size in %v", sizes))
+		}
+	}
+	m := &MLP{
+		Sizes: append([]int(nil), sizes...),
+		Act:   act,
+		W:     make([]tensor.Matrix, len(sizes)-1),
+		B:     make([]tensor.Vector, len(sizes)-1),
+	}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		m.W[l] = tensor.NewMatrix(out, in)
+		scale := math.Sqrt(2.0 / float64(in+out))
+		for i := range m.W[l].Data {
+			m.W[l].Data[i] = rng.NormFloat64() * scale
+		}
+		m.B[l] = tensor.NewVector(out)
+	}
+	return m
+}
+
+// Clone returns a deep copy of the model.
+func (m *MLP) Clone() *MLP {
+	out := &MLP{
+		Sizes: append([]int(nil), m.Sizes...),
+		Act:   m.Act,
+		W:     make([]tensor.Matrix, len(m.W)),
+		B:     make([]tensor.Vector, len(m.B)),
+	}
+	for l := range m.W {
+		out.W[l] = m.W[l].Clone()
+		out.B[l] = m.B[l].Clone()
+	}
+	return out
+}
+
+// LayerCount returns the number of weight layers.
+func (m *MLP) LayerCount() int { return len(m.W) }
+
+// InputDim returns the expected input dimensionality.
+func (m *MLP) InputDim() int { return m.Sizes[0] }
+
+// OutputDim returns the number of output classes.
+func (m *MLP) OutputDim() int { return m.Sizes[len(m.Sizes)-1] }
+
+// NumParams returns the total number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.W {
+		n += len(m.W[l].Data) + len(m.B[l])
+	}
+	return n
+}
+
+// SameArchitecture reports whether two models share layer sizes and
+// activation (the paper's f*).
+func (m *MLP) SameArchitecture(o *MLP) bool {
+	if m.Act != o.Act || len(m.Sizes) != len(o.Sizes) {
+		return false
+	}
+	for i := range m.Sizes {
+		if m.Sizes[i] != o.Sizes[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ArchString returns a compact architecture descriptor, e.g.
+// "mlp:16-32-4:relu".
+func (m *MLP) ArchString() string {
+	s := "mlp:"
+	for i, d := range m.Sizes {
+		if i > 0 {
+			s += "-"
+		}
+		s += fmt.Sprint(d)
+	}
+	return s + ":" + m.Act.String()
+}
+
+func (m *MLP) activate(v tensor.Vector) {
+	switch m.Act {
+	case ReLU:
+		for i, x := range v {
+			if x < 0 {
+				v[i] = 0
+			}
+		}
+	case Tanh:
+		for i, x := range v {
+			v[i] = math.Tanh(x)
+		}
+	}
+}
+
+// activateGrad writes dφ/dz given the *activated* values a into dst (for
+// ReLU the derivative is 1 where a>0; for Tanh it is 1-a²).
+func (m *MLP) activateGrad(a tensor.Vector, dst tensor.Vector) {
+	switch m.Act {
+	case ReLU:
+		for i, x := range a {
+			if x > 0 {
+				dst[i] = 1
+			} else {
+				dst[i] = 0
+			}
+		}
+	case Tanh:
+		for i, x := range a {
+			dst[i] = 1 - x*x
+		}
+	}
+}
+
+// Logits computes the raw output scores for input x.
+func (m *MLP) Logits(x tensor.Vector) tensor.Vector {
+	cur := x
+	for l := range m.W {
+		next := tensor.NewVector(m.Sizes[l+1])
+		m.W[l].MatVec(next, cur)
+		next.AddScaled(1, m.B[l])
+		if l < len(m.W)-1 {
+			m.activate(next)
+		}
+		cur = next
+	}
+	return cur
+}
+
+// Probs returns the softmax class distribution for input x — the model's
+// observable behaviour p_θ(y|x).
+func (m *MLP) Probs(x tensor.Vector) tensor.Vector {
+	logits := m.Logits(x)
+	Softmax(logits)
+	return logits
+}
+
+// Predict returns the argmax class for input x.
+func (m *MLP) Predict(x tensor.Vector) int { return m.Logits(x).ArgMax() }
+
+// Softmax converts logits to probabilities in place, numerically stably.
+func Softmax(v tensor.Vector) {
+	if len(v) == 0 {
+		return
+	}
+	max := v[0]
+	for _, x := range v {
+		if x > max {
+			max = x
+		}
+	}
+	sum := 0.0
+	for i, x := range v {
+		e := math.Exp(x - max)
+		v[i] = e
+		sum += e
+	}
+	for i := range v {
+		v[i] /= sum
+	}
+}
+
+// CrossEntropy returns -log p[y] with clamping to avoid infinities.
+func CrossEntropy(probs tensor.Vector, y int) float64 {
+	p := probs[y]
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return -math.Log(p)
+}
+
+// ExampleLoss returns the cross-entropy loss of the model on one example.
+func (m *MLP) ExampleLoss(x tensor.Vector, y int) float64 {
+	return CrossEntropy(m.Probs(x), y)
+}
+
+// FlattenWeights returns all parameters (weights then biases, layer by
+// layer) as a single vector — the raw θ consumed by weight-space embedders.
+func (m *MLP) FlattenWeights() tensor.Vector {
+	out := make(tensor.Vector, 0, m.NumParams())
+	for l := range m.W {
+		out = append(out, m.W[l].Data...)
+		out = append(out, m.B[l]...)
+	}
+	return out
+}
+
+// WeightDistance returns the Euclidean distance between the flattened
+// parameters of two same-architecture models, or an error if architectures
+// differ.
+func WeightDistance(a, b *MLP) (float64, error) {
+	if !a.SameArchitecture(b) {
+		return 0, fmt.Errorf("nn: architecture mismatch %s vs %s", a.ArchString(), b.ArchString())
+	}
+	return tensor.L2Distance(a.FlattenWeights(), b.FlattenWeights()), nil
+}

@@ -1,0 +1,453 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"modellake/internal/data"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func testDataset(t *testing.T, name string, dim, classes, n int, seed uint64) *data.Dataset {
+	t.Helper()
+	d := data.NewDomain(name, dim, classes, seed)
+	return d.Sample(name+"/v1", n, 0.4, xrand.New(seed+1))
+}
+
+func TestNewMLPShapes(t *testing.T) {
+	m := NewMLP([]int{4, 8, 3}, ReLU, xrand.New(1))
+	if m.InputDim() != 4 || m.OutputDim() != 3 || m.LayerCount() != 2 {
+		t.Fatalf("bad shape: in=%d out=%d layers=%d", m.InputDim(), m.OutputDim(), m.LayerCount())
+	}
+	if got, want := m.NumParams(), 4*8+8+8*3+3; got != want {
+		t.Fatalf("NumParams = %d, want %d", got, want)
+	}
+	if m.ArchString() != "mlp:4-8-3:relu" {
+		t.Fatalf("ArchString = %q", m.ArchString())
+	}
+}
+
+func TestNewMLPPanicsOnBadSizes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMLP([]int{4}, ReLU, xrand.New(1))
+}
+
+func TestSoftmaxSumsToOne(t *testing.T) {
+	v := tensor.Vector{1, 2, 3, 1000} // tests numerical stability
+	Softmax(v)
+	sum := v.Sum()
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("softmax sum = %v", sum)
+	}
+	if v[3] < 0.99 {
+		t.Fatalf("softmax should saturate at the large logit: %v", v)
+	}
+}
+
+func TestProbsIsDistribution(t *testing.T) {
+	m := NewMLP([]int{4, 6, 3}, Tanh, xrand.New(2))
+	p := m.Probs(tensor.Vector{1, -1, 0.5, 2})
+	sum := 0.0
+	for _, x := range p {
+		if x < 0 || x > 1 {
+			t.Fatalf("probability out of range: %v", p)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probs sum = %v", sum)
+	}
+}
+
+// Gradient check: backprop gradients must match central finite differences.
+func TestBackwardMatchesFiniteDifferences(t *testing.T) {
+	for _, act := range []Activation{ReLU, Tanh} {
+		m := NewMLP([]int{3, 5, 4, 2}, act, xrand.New(3))
+		x := tensor.Vector{0.3, -0.7, 1.1}
+		y := 1
+		g := NewGrads(m)
+		m.Backward(x, y, g)
+		const eps = 1e-6
+		check := func(params []float64, grads []float64, label string) {
+			for i := range params {
+				orig := params[i]
+				params[i] = orig + eps
+				lossPlus := m.ExampleLoss(x, y)
+				params[i] = orig - eps
+				lossMinus := m.ExampleLoss(x, y)
+				params[i] = orig
+				numeric := (lossPlus - lossMinus) / (2 * eps)
+				if math.Abs(numeric-grads[i]) > 1e-4 {
+					t.Fatalf("%s act=%v grad[%d]: analytic %v vs numeric %v",
+						label, act, i, grads[i], numeric)
+				}
+			}
+		}
+		for l := range m.W {
+			check(m.W[l].Data, g.W[l].Data, "W")
+			check(m.B[l], g.B[l], "B")
+		}
+	}
+}
+
+func TestTrainConverges(t *testing.T) {
+	ds := testDataset(t, "train", 8, 3, 300, 10)
+	m := NewMLP([]int{8, 16, 3}, ReLU, xrand.New(4))
+	before := m.Accuracy(ds)
+	if _, err := Train(m, ds, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	after := m.Accuracy(ds)
+	if after < 0.95 {
+		t.Fatalf("accuracy after training = %v (before %v), want >= 0.95", after, before)
+	}
+}
+
+func TestTrainAdamConverges(t *testing.T) {
+	ds := testDataset(t, "adam", 8, 3, 300, 11)
+	m := NewMLP([]int{8, 16, 3}, Tanh, xrand.New(4))
+	cfg := TrainConfig{Epochs: 20, BatchSize: 16, LR: 0.01, Optimizer: "adam", Seed: 2}
+	if _, err := Train(m, ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(ds); acc < 0.95 {
+		t.Fatalf("adam accuracy = %v, want >= 0.95", acc)
+	}
+}
+
+func TestTrainDeterminism(t *testing.T) {
+	ds := testDataset(t, "det", 6, 2, 100, 12)
+	cfg := DefaultTrainConfig()
+	m1 := NewMLP([]int{6, 10, 2}, ReLU, xrand.New(5))
+	m2 := NewMLP([]int{6, 10, 2}, ReLU, xrand.New(5))
+	if _, err := Train(m1, ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Train(m2, ds, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d, err := WeightDistance(m1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("same seed training diverged: distance %v", d)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	m := NewMLP([]int{6, 10, 2}, ReLU, xrand.New(5))
+	empty := &data.Dataset{X: tensor.NewMatrix(0, 6), NumClasses: 2, ID: "empty"}
+	if _, err := Train(m, empty, DefaultTrainConfig()); err == nil {
+		t.Fatal("expected error on empty dataset")
+	}
+	bad := testDataset(t, "bad", 5, 2, 10, 1)
+	if _, err := Train(m, bad, DefaultTrainConfig()); err == nil {
+		t.Fatal("expected error on dimension mismatch")
+	}
+	ds := testDataset(t, "opt", 6, 2, 10, 1)
+	if _, err := Train(m, ds, TrainConfig{Epochs: 1, LR: 0.1, Optimizer: "magic"}); err == nil {
+		t.Fatal("expected error on unknown optimizer")
+	}
+}
+
+func TestFineTuningShiftsWeights(t *testing.T) {
+	base := NewMLP([]int{8, 12, 3}, ReLU, xrand.New(6))
+	dsA := testDataset(t, "ft-a", 8, 3, 200, 20)
+	if _, err := Train(base, dsA, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	child := base.Clone()
+	dsB := testDataset(t, "ft-b", 8, 3, 200, 21)
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 5
+	if _, err := Train(child, dsB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	d, err := WeightDistance(base, child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == 0 {
+		t.Fatal("fine-tuning did not move weights")
+	}
+	// Fine-tuned child should now fit its domain better than the base does.
+	if child.Accuracy(dsB) <= base.Accuracy(dsB) {
+		t.Fatalf("fine-tuning did not improve target accuracy: %v vs %v",
+			child.Accuracy(dsB), base.Accuracy(dsB))
+	}
+}
+
+func TestWeightDistanceArchMismatch(t *testing.T) {
+	a := NewMLP([]int{4, 5, 2}, ReLU, xrand.New(1))
+	b := NewMLP([]int{4, 6, 2}, ReLU, xrand.New(1))
+	if _, err := WeightDistance(a, b); err == nil {
+		t.Fatal("expected architecture mismatch error")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMLP([]int{3, 4, 2}, ReLU, xrand.New(7))
+	c := m.Clone()
+	c.W[0].Data[0] += 100
+	if m.W[0].Data[0] == c.W[0].Data[0] {
+		t.Fatal("Clone shares weight storage")
+	}
+}
+
+func TestFlattenWeightsLength(t *testing.T) {
+	m := NewMLP([]int{3, 4, 2}, ReLU, xrand.New(7))
+	if got := len(m.FlattenWeights()); got != m.NumParams() {
+		t.Fatalf("flatten length %d != NumParams %d", got, m.NumParams())
+	}
+}
+
+func TestLoRAStartsAsNoOp(t *testing.T) {
+	m := NewMLP([]int{6, 8, 3}, ReLU, xrand.New(8))
+	l, err := NewLoRA(m, 0, 2, xrand.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := l.Merge(m)
+	d, err := WeightDistance(m, merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("freshly initialized LoRA changed weights by %v", d)
+	}
+}
+
+func TestLoRAInvalid(t *testing.T) {
+	m := NewMLP([]int{6, 8, 3}, ReLU, xrand.New(8))
+	if _, err := NewLoRA(m, 5, 2, xrand.New(1)); err == nil {
+		t.Fatal("expected layer-range error")
+	}
+	if _, err := NewLoRA(m, 0, 100, xrand.New(1)); err == nil {
+		t.Fatal("expected rank error")
+	}
+}
+
+func TestTrainLoRAImprovesAndStaysLowRank(t *testing.T) {
+	base := NewMLP([]int{8, 16, 3}, ReLU, xrand.New(10))
+	dsA := testDataset(t, "lora-a", 8, 3, 300, 30)
+	if _, err := Train(base, dsA, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	dsB := testDataset(t, "lora-b", 8, 3, 300, 31)
+	l, err := NewLoRA(base, 0, 2, xrand.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 20
+	if _, err := TrainLoRA(base, l, dsB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	merged := l.Merge(base)
+	if merged.Accuracy(dsB) <= base.Accuracy(dsB) {
+		t.Fatalf("LoRA did not improve target accuracy: %v vs %v",
+			merged.Accuracy(dsB), base.Accuracy(dsB))
+	}
+	// Non-adapted layers are untouched.
+	if tensor.Sub(merged.W[1], base.W[1]).FrobeniusNorm() != 0 {
+		t.Fatal("LoRA modified a frozen layer")
+	}
+	// Delta of the adapted layer has rank <= 2.
+	delta := tensor.Sub(merged.W[0], base.W[0])
+	sv := tensor.TopSingularValues(delta, 4, 60, xrand.New(12))
+	if r := tensor.EffectiveRank(sv, 1e-6); r > 2 {
+		t.Fatalf("LoRA delta rank = %d, want <= 2 (sv=%v)", r, sv)
+	}
+}
+
+func TestEditAssociationFlipsOnlyTarget(t *testing.T) {
+	ds := testDataset(t, "edit", 8, 3, 300, 40)
+	m := NewMLP([]int{8, 16, 3}, ReLU, xrand.New(13))
+	if _, err := Train(m, ds, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	x, y := ds.Example(0)
+	target := (y + 1) % 3
+	edited := m.Clone()
+	res, err := EditAssociationWithContext(edited, x, target, 0.1, ds.X)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Succeeded {
+		t.Fatal("edit did not flip the prediction")
+	}
+	if edited.Predict(x) != target {
+		t.Fatal("edited model does not predict the target")
+	}
+	// Only the last layer changed.
+	if tensor.Sub(edited.W[0], m.W[0]).FrobeniusNorm() != 0 {
+		t.Fatal("edit modified a non-final layer")
+	}
+	// The delta is (near) rank one.
+	delta := tensor.Sub(edited.W[1], m.W[1])
+	sv := tensor.TopSingularValues(delta, 3, 60, xrand.New(14))
+	if r := tensor.EffectiveRank(sv, 1e-6); r > 1 {
+		t.Fatalf("edit delta rank = %d, want 1", r)
+	}
+	// Overall accuracy should not collapse (locality).
+	if edited.Accuracy(ds) < m.Accuracy(ds)-0.1 {
+		t.Fatalf("edit destroyed the model: %v -> %v", m.Accuracy(ds), edited.Accuracy(ds))
+	}
+}
+
+func TestEditAssociationErrors(t *testing.T) {
+	m := NewMLP([]int{4, 6, 2}, ReLU, xrand.New(1))
+	if _, err := EditAssociation(m, tensor.Vector{1, 2, 3, 4}, 9, 0.1); err == nil {
+		t.Fatal("expected target range error")
+	}
+	if _, err := EditAssociation(m, tensor.Vector{1}, 0, 0.1); err == nil {
+		t.Fatal("expected input dim error")
+	}
+}
+
+func TestStitch(t *testing.T) {
+	a := NewMLP([]int{4, 6, 6, 2}, ReLU, xrand.New(15))
+	b := NewMLP([]int{4, 6, 6, 2}, ReLU, xrand.New(16))
+	s, err := Stitch(a, b, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.Sub(s.W[0], a.W[0]).FrobeniusNorm() != 0 {
+		t.Fatal("stitched model lost parent A's early layers")
+	}
+	if tensor.Sub(s.W[2], b.W[2]).FrobeniusNorm() != 0 {
+		t.Fatal("stitched model lost parent B's late layers")
+	}
+	if _, err := Stitch(a, b, 0); err == nil {
+		t.Fatal("expected cut range error")
+	}
+	c := NewMLP([]int{4, 5, 2}, ReLU, xrand.New(17))
+	if _, err := Stitch(a, c, 1); err == nil {
+		t.Fatal("expected architecture mismatch error")
+	}
+}
+
+func TestGradVectorLength(t *testing.T) {
+	m := NewMLP([]int{3, 4, 2}, ReLU, xrand.New(18))
+	g := m.GradVector(tensor.Vector{1, 0, -1}, 0)
+	if len(g) != m.NumParams() {
+		t.Fatalf("grad vector length %d != NumParams %d", len(g), m.NumParams())
+	}
+}
+
+func TestMLPEncodeRoundTrip(t *testing.T) {
+	m := NewMLP([]int{5, 7, 3}, Tanh, xrand.New(19))
+	b, err := EncodeMLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeMLP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SameArchitecture(m) {
+		t.Fatal("round trip changed architecture")
+	}
+	d, err := WeightDistance(m, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("round trip changed weights by %v", d)
+	}
+}
+
+func TestDecodeMLPCorrupt(t *testing.T) {
+	m := NewMLP([]int{5, 7, 3}, ReLU, xrand.New(19))
+	b, err := EncodeMLP(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeMLP(b[:10]); err == nil {
+		t.Fatal("expected error on truncated model")
+	}
+	b[0] ^= 0xff
+	if _, err := DecodeMLP(b); err == nil {
+		t.Fatal("expected error on bad magic")
+	}
+}
+
+func TestParseActivation(t *testing.T) {
+	for _, a := range []Activation{ReLU, Tanh} {
+		got, err := ParseActivation(a.String())
+		if err != nil || got != a {
+			t.Fatalf("round trip of %v failed: %v %v", a, got, err)
+		}
+	}
+	if _, err := ParseActivation("swish"); err == nil {
+		t.Fatal("expected error for unknown activation")
+	}
+}
+
+func BenchmarkBackward(b *testing.B) {
+	m := NewMLP([]int{16, 32, 8}, ReLU, xrand.New(1))
+	g := NewGrads(m)
+	x := make(tensor.Vector, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Backward(x, 3, g)
+	}
+}
+
+func BenchmarkTrainSmallModel(b *testing.B) {
+	d := data.NewDomain("bench", 8, 3, 1)
+	ds := d.Sample("bench/v1", 200, 0.4, xrand.New(2))
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMLP([]int{8, 16, 3}, ReLU, xrand.New(uint64(i)))
+		if _, err := Train(m, ds, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestInputGradientMatchesFiniteDifferences(t *testing.T) {
+	m := NewMLP([]int{4, 6, 3}, Tanh, xrand.New(60))
+	x := tensor.Vector{0.2, -0.4, 0.9, 0.1}
+	y := 2
+	g := m.InputGradient(x, y)
+	const eps = 1e-6
+	for i := range x {
+		orig := x[i]
+		x[i] = orig + eps
+		plus := m.ExampleLoss(x, y)
+		x[i] = orig - eps
+		minus := m.ExampleLoss(x, y)
+		x[i] = orig
+		numeric := (plus - minus) / (2 * eps)
+		if math.Abs(numeric-g[i]) > 1e-5 {
+			t.Fatalf("input grad[%d]: analytic %v vs numeric %v", i, g[i], numeric)
+		}
+	}
+}
+
+func TestHiddenActivations(t *testing.T) {
+	m := NewMLP([]int{4, 6, 5, 3}, ReLU, xrand.New(61))
+	acts := m.HiddenActivations(tensor.Vector{1, -1, 0.5, 2})
+	if len(acts) != 2 {
+		t.Fatalf("got %d hidden layers, want 2", len(acts))
+	}
+	if len(acts[0]) != 6 || len(acts[1]) != 5 {
+		t.Fatalf("hidden sizes %d/%d", len(acts[0]), len(acts[1]))
+	}
+	for _, a := range acts {
+		for _, v := range a {
+			if v < 0 {
+				t.Fatal("ReLU activations must be non-negative")
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// Preference is one human-feedback comparison: for input X, the Preferred
+// class output should beat the Rejected one.
+type Preference struct {
+	X         tensor.Vector
+	Preferred int
+	Rejected  int
+}
+
+// PreferenceTune adapts the model to pairwise preferences with a
+// Bradley–Terry objective — the classification-scale analogue of preference
+// tuning / RLHF-style alignment the paper lists among the A-based model
+// modifications: loss = −log σ(z[preferred] − z[rejected]). It returns the
+// final mean loss. m is modified in place.
+func PreferenceTune(m *MLP, prefs []Preference, cfg TrainConfig) (float64, error) {
+	if len(prefs) == 0 {
+		return 0, fmt.Errorf("nn: no preferences")
+	}
+	for i, p := range prefs {
+		if len(p.X) != m.InputDim() {
+			return 0, fmt.Errorf("nn: preference %d input dim %d != model %d", i, len(p.X), m.InputDim())
+		}
+		if p.Preferred < 0 || p.Preferred >= m.OutputDim() ||
+			p.Rejected < 0 || p.Rejected >= m.OutputDim() || p.Preferred == p.Rejected {
+			return 0, fmt.Errorf("nn: preference %d has invalid classes (%d, %d)", i, p.Preferred, p.Rejected)
+		}
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.05
+	}
+	rng := xrand.New(cfg.Seed)
+	g := NewGrads(m)
+	lastLoss := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(len(prefs))
+		total := 0.0
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			g.Zero()
+			for _, idx := range perm[start:end] {
+				p := prefs[idx]
+				total += m.backwardWithDelta(p.X, g, func(logits tensor.Vector) (tensor.Vector, float64) {
+					margin := logits[p.Preferred] - logits[p.Rejected]
+					sigma := 1 / (1 + math.Exp(-margin))
+					delta := tensor.NewVector(len(logits))
+					// d(−log σ(margin))/dz = −(1−σ) on preferred, +(1−σ) on rejected.
+					delta[p.Preferred] = -(1 - sigma)
+					delta[p.Rejected] = +(1 - sigma)
+					loss := -math.Log(math.Max(sigma, 1e-12))
+					return delta, loss
+				})
+			}
+			inv := 1.0 / float64(end-start)
+			for l := range g.W {
+				g.W[l].Scale(inv)
+				g.B[l].Scale(inv)
+				m.W[l].AddScaled(-cfg.LR, g.W[l])
+				m.B[l].AddScaled(-cfg.LR, g.B[l])
+			}
+		}
+		lastLoss = total / float64(len(prefs))
+	}
+	return lastLoss, nil
+}
+
+// backwardWithDelta backpropagates an arbitrary output-layer gradient
+// (supplied by outDelta from the logits) and accumulates parameter gradients
+// into g. It returns the loss value outDelta reports.
+func (m *MLP) backwardWithDelta(x tensor.Vector, g *Grads,
+	outDelta func(logits tensor.Vector) (tensor.Vector, float64)) float64 {
+	L := len(m.W)
+	acts := make([]tensor.Vector, L+1)
+	acts[0] = x
+	for l := 0; l < L; l++ {
+		next := tensor.NewVector(m.Sizes[l+1])
+		m.W[l].MatVec(next, acts[l])
+		next.AddScaled(1, m.B[l])
+		if l < L-1 {
+			m.activate(next)
+		}
+		acts[l+1] = next
+	}
+	delta, loss := outDelta(acts[L])
+	for l := L - 1; l >= 0; l-- {
+		g.W[l].AddOuter(1, delta, acts[l])
+		g.B[l].AddScaled(1, delta)
+		if l == 0 {
+			break
+		}
+		prev := tensor.NewVector(m.Sizes[l])
+		m.W[l].MatVecT(prev, delta)
+		dphi := tensor.NewVector(m.Sizes[l])
+		m.activateGrad(acts[l], dphi)
+		for i := range prev {
+			prev[i] *= dphi[i]
+		}
+		delta = prev
+	}
+	return loss
+}

@@ -1,0 +1,211 @@
+// Package privacy implements the defence side of the paper's §4 "Privacy
+// and Safety" discussion: differentially private training (DP-SGD: per-
+// example gradient clipping + calibrated Gaussian noise) and confidence
+// masking of model outputs. The membership-inference attack in
+// internal/attribution is the adversary these defences are measured against.
+//
+// The measured outcome mirrors the paper's caveat (citing "A False Sense of
+// Privacy"): output-side confidence masking does not defend — the attack
+// degrades gracefully into a label-only attack that masking cannot hide —
+// while training-side DP-SGD genuinely lowers the attack's AUC at a utility
+// cost.
+package privacy
+
+import (
+	"fmt"
+	"math"
+
+	"modellake/internal/attribution"
+	"modellake/internal/data"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// DPConfig parameterizes DP-SGD.
+type DPConfig struct {
+	// ClipNorm is the per-example gradient L2 bound C (required, > 0).
+	ClipNorm float64
+	// NoiseMultiplier is σ: Gaussian noise with std σ·C is added to each
+	// batch gradient sum. 0 means clipping only.
+	NoiseMultiplier float64
+	// Seed drives the noise.
+	Seed uint64
+}
+
+// TrainDP trains m with DP-SGD: every example's gradient is clipped to
+// ClipNorm, the batch sum is perturbed with Gaussian noise of std
+// NoiseMultiplier·ClipNorm per coordinate, and the average is applied with
+// plain SGD. It returns the final mean training loss.
+func TrainDP(m *nn.MLP, ds *data.Dataset, cfg nn.TrainConfig, dp DPConfig) (float64, error) {
+	if ds.Len() == 0 {
+		return 0, fmt.Errorf("privacy: empty dataset %q", ds.ID)
+	}
+	if ds.Dim() != m.InputDim() {
+		return 0, fmt.Errorf("privacy: dataset dim %d != model input %d", ds.Dim(), m.InputDim())
+	}
+	if dp.ClipNorm <= 0 {
+		return 0, fmt.Errorf("privacy: ClipNorm must be positive, got %v", dp.ClipNorm)
+	}
+	if dp.NoiseMultiplier < 0 {
+		return 0, fmt.Errorf("privacy: negative NoiseMultiplier %v", dp.NoiseMultiplier)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	shuffleRNG := xrand.New(cfg.Seed)
+	noiseRNG := xrand.New(dp.Seed).Child("dp-noise")
+
+	sum := nn.NewGrads(m)
+	exGrad := nn.NewGrads(m)
+	lastLoss := 0.0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := shuffleRNG.Perm(ds.Len())
+		total := 0.0
+		for start := 0; start < len(perm); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(perm) {
+				end = len(perm)
+			}
+			sum.Zero()
+			for _, idx := range perm[start:end] {
+				x, y := ds.Example(idx)
+				exGrad.Zero()
+				total += m.Backward(x, y, exGrad)
+				clipInto(sum, exGrad, dp.ClipNorm)
+			}
+			// Gaussian mechanism on the clipped sum.
+			if dp.NoiseMultiplier > 0 {
+				std := dp.NoiseMultiplier * dp.ClipNorm
+				addNoise(sum, std, noiseRNG)
+			}
+			inv := 1.0 / float64(end-start)
+			for l := range sum.W {
+				sum.W[l].Scale(inv)
+				sum.B[l].Scale(inv)
+				m.W[l].AddScaled(-cfg.LR, sum.W[l])
+				m.B[l].AddScaled(-cfg.LR, sum.B[l])
+			}
+		}
+		lastLoss = total / float64(ds.Len())
+	}
+	return lastLoss, nil
+}
+
+// clipInto adds g, rescaled so its global L2 norm is at most clip, into dst.
+func clipInto(dst, g *nn.Grads, clip float64) {
+	var sq float64
+	for l := range g.W {
+		for _, v := range g.W[l].Data {
+			sq += v * v
+		}
+		for _, v := range g.B[l] {
+			sq += v * v
+		}
+	}
+	scale := 1.0
+	if norm := math.Sqrt(sq); norm > clip {
+		scale = clip / norm
+	}
+	for l := range g.W {
+		dst.W[l].AddScaled(scale, g.W[l])
+		dst.B[l].AddScaled(scale, g.B[l])
+	}
+}
+
+func addNoise(g *nn.Grads, std float64, rng *xrand.RNG) {
+	for l := range g.W {
+		for i := range g.W[l].Data {
+			g.W[l].Data[i] += std * rng.NormFloat64()
+		}
+		for i := range g.B[l] {
+			g.B[l][i] += std * rng.NormFloat64()
+		}
+	}
+}
+
+// MaskConfidence clamps a probability vector so no class exceeds maxConf,
+// redistributing the excess uniformly — the confidence-masking defence
+// against loss-threshold membership attacks. The input is modified in place
+// and returned. maxConf must lie in (1/len(p), 1].
+func MaskConfidence(p tensor.Vector, maxConf float64) (tensor.Vector, error) {
+	n := len(p)
+	if n == 0 {
+		return p, nil
+	}
+	if maxConf <= 1/float64(n) || maxConf > 1 {
+		return nil, fmt.Errorf("privacy: maxConf %v out of (1/%d, 1]", maxConf, n)
+	}
+	excess := 0.0
+	capped := 0
+	for _, v := range p {
+		if v > maxConf {
+			excess += v - maxConf
+			capped++
+		}
+	}
+	if capped == 0 {
+		return p, nil
+	}
+	share := excess / float64(n-capped)
+	for i, v := range p {
+		if v > maxConf {
+			p[i] = maxConf
+		} else {
+			p[i] = v + share
+		}
+	}
+	return p, nil
+}
+
+// Defended wraps a model so its observable behaviour has confidence masking
+// applied — the deployment-side defence that leaves θ untouched.
+type Defended struct {
+	Net     *nn.MLP
+	MaxConf float64
+}
+
+// Probs returns the masked output distribution.
+func (d *Defended) Probs(x tensor.Vector) (tensor.Vector, error) {
+	p := d.Net.Probs(x)
+	return MaskConfidence(p, d.MaxConf)
+}
+
+// ExampleLoss is the cross-entropy under the masked distribution — what a
+// loss-threshold attacker observes through the defended API.
+func (d *Defended) ExampleLoss(x tensor.Vector, y int) (float64, error) {
+	p, err := d.Probs(x)
+	if err != nil {
+		return 0, err
+	}
+	return nn.CrossEntropy(p, y), nil
+}
+
+// MembershipAUCDefended runs the loss-threshold attack against a defended
+// model (mirrors attribution.MembershipAUC but observes masked losses).
+func MembershipAUCDefended(d *Defended, members, nonMembers *data.Dataset) (float64, error) {
+	if members.Len() == 0 || nonMembers.Len() == 0 {
+		return 0, fmt.Errorf("privacy: membership needs both member and non-member samples")
+	}
+	var scores []float64
+	var labels []bool
+	add := func(ds *data.Dataset, member bool) error {
+		for i := 0; i < ds.Len(); i++ {
+			x, y := ds.Example(i)
+			loss, err := d.ExampleLoss(x, y)
+			if err != nil {
+				return err
+			}
+			scores = append(scores, -loss)
+			labels = append(labels, member)
+		}
+		return nil
+	}
+	if err := add(members, true); err != nil {
+		return 0, err
+	}
+	if err := add(nonMembers, false); err != nil {
+		return 0, err
+	}
+	return attribution.AUC(scores, labels), nil
+}

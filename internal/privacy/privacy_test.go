@@ -1,0 +1,202 @@
+package privacy
+
+import (
+	"math"
+	"testing"
+
+	"modellake/internal/attribution"
+	"modellake/internal/data"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// noisySetup builds the memorization-prone task used by the membership
+// experiments: overlapping classes + 25% label noise.
+func noisySetup(seed uint64) (train, held *data.Dataset) {
+	dom := data.NewDomain("priv", 8, 2, seed)
+	train = dom.Sample("priv/train", 40, 3.0, xrand.New(seed+1))
+	held = dom.Sample("priv/held", 40, 3.0, xrand.New(seed+2))
+	rng := xrand.New(seed + 3)
+	for i := range train.Y {
+		if rng.Float64() < 0.25 {
+			train.Y[i] = 1 - train.Y[i]
+		}
+	}
+	return train, held
+}
+
+func TestTrainDPStillLearns(t *testing.T) {
+	dom := data.NewDomain("dplearn", 8, 2, 1)
+	ds := dom.Sample("dplearn/v1", 200, 0.5, xrand.New(2))
+	m := nn.NewMLP([]int{8, 16, 2}, nn.ReLU, xrand.New(3))
+	cfg := nn.TrainConfig{Epochs: 40, BatchSize: 16, LR: 0.1, Seed: 4}
+	if _, err := TrainDP(m, ds, cfg, DPConfig{ClipNorm: 1.0, NoiseMultiplier: 0.3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(ds); acc < 0.85 {
+		t.Fatalf("DP-SGD accuracy = %v, want >= 0.85 on an easy task", acc)
+	}
+}
+
+func TestTrainDPReducesMembershipAUC(t *testing.T) {
+	train, held := noisySetup(71)
+	attack := func(dp *DPConfig) (float64, float64) {
+		m := nn.NewMLP([]int{8, 64, 2}, nn.ReLU, xrand.New(74))
+		cfg := nn.TrainConfig{Epochs: 300, BatchSize: 8, LR: 0.1, Seed: 75}
+		var err error
+		if dp == nil {
+			_, err = nn.Train(m, train, cfg)
+		} else {
+			_, err = TrainDP(m, train, cfg, *dp)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		auc, err := attribution.MembershipAUC(m, train, held)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return auc, m.Accuracy(held)
+	}
+	plainAUC, _ := attack(nil)
+	dpAUC, dpHeld := attack(&DPConfig{ClipNorm: 0.5, NoiseMultiplier: 1.0, Seed: 9})
+	if dpAUC >= plainAUC-0.05 {
+		t.Fatalf("DP-SGD did not reduce exposure: %v -> %v", plainAUC, dpAUC)
+	}
+	if dpHeld < 0.4 {
+		t.Fatalf("DP-SGD destroyed utility: held-out accuracy %v", dpHeld)
+	}
+}
+
+func TestTrainDPValidation(t *testing.T) {
+	m := nn.NewMLP([]int{8, 8, 2}, nn.ReLU, xrand.New(1))
+	dom := data.NewDomain("v", 8, 2, 1)
+	ds := dom.Sample("v/1", 10, 0.5, xrand.New(2))
+	cfg := nn.TrainConfig{Epochs: 1, LR: 0.1}
+	if _, err := TrainDP(m, ds, cfg, DPConfig{ClipNorm: 0}); err == nil {
+		t.Fatal("zero clip accepted")
+	}
+	if _, err := TrainDP(m, ds, cfg, DPConfig{ClipNorm: 1, NoiseMultiplier: -1}); err == nil {
+		t.Fatal("negative noise accepted")
+	}
+	empty := &data.Dataset{X: tensor.NewMatrix(0, 8), NumClasses: 2}
+	if _, err := TrainDP(m, empty, cfg, DPConfig{ClipNorm: 1}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	bad := data.NewDomain("w", 5, 2, 1).Sample("w/1", 10, 0.5, xrand.New(3))
+	if _, err := TrainDP(m, bad, cfg, DPConfig{ClipNorm: 1}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestTrainDPDeterministic(t *testing.T) {
+	dom := data.NewDomain("det", 6, 2, 1)
+	ds := dom.Sample("det/1", 60, 0.5, xrand.New(2))
+	cfg := nn.TrainConfig{Epochs: 5, BatchSize: 8, LR: 0.1, Seed: 3}
+	dp := DPConfig{ClipNorm: 1, NoiseMultiplier: 0.5, Seed: 4}
+	m1 := nn.NewMLP([]int{6, 8, 2}, nn.ReLU, xrand.New(5))
+	m2 := nn.NewMLP([]int{6, 8, 2}, nn.ReLU, xrand.New(5))
+	if _, err := TrainDP(m1, ds, cfg, dp); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainDP(m2, ds, cfg, dp); err != nil {
+		t.Fatal(err)
+	}
+	d, err := nn.WeightDistance(m1, m2)
+	if err != nil || d != 0 {
+		t.Fatalf("DP training not deterministic: %v %v", d, err)
+	}
+}
+
+func TestMaskConfidence(t *testing.T) {
+	p := tensor.Vector{0.9, 0.05, 0.05}
+	masked, err := MaskConfidence(p, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if masked[0] != 0.6 {
+		t.Fatalf("cap not applied: %v", masked)
+	}
+	if math.Abs(masked.Sum()-1) > 1e-12 {
+		t.Fatalf("masked distribution does not sum to 1: %v", masked.Sum())
+	}
+	// Already-flat distribution untouched.
+	flat := tensor.Vector{0.4, 0.3, 0.3}
+	got, err := MaskConfidence(flat.Clone(), 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tensor.L2Distance(got, flat) != 0 {
+		t.Fatal("flat distribution modified")
+	}
+}
+
+func TestMaskConfidenceValidation(t *testing.T) {
+	if _, err := MaskConfidence(tensor.Vector{0.5, 0.5}, 0.4); err == nil {
+		t.Fatal("maxConf below uniform accepted")
+	}
+	if _, err := MaskConfidence(tensor.Vector{0.5, 0.5}, 1.5); err == nil {
+		t.Fatal("maxConf above 1 accepted")
+	}
+	if _, err := MaskConfidence(nil, 0.5); err != nil {
+		t.Fatal("empty vector should be a no-op")
+	}
+}
+
+func TestConfidenceMaskingFalseSenseOfPrivacy(t *testing.T) {
+	// The paper (citing Xin et al., "A False Sense of Privacy") warns that
+	// surface-level defences can leave leakage intact. We observe exactly
+	// that: a moderate confidence cap barely moves the attack's AUC, while
+	// only a near-uniform cap — which destroys the scores' information —
+	// actually defends.
+	train, held := noisySetup(91)
+	m := nn.NewMLP([]int{8, 64, 2}, nn.ReLU, xrand.New(92))
+	cfg := nn.TrainConfig{Epochs: 300, BatchSize: 8, LR: 0.1, Seed: 93}
+	if _, err := nn.Train(m, train, cfg); err != nil {
+		t.Fatal(err)
+	}
+	plainAUC, err := attribution.MembershipAUC(m, train, held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even a near-uniform cap cannot hide *which examples the model gets
+	// right* — the label-only leakage channel — so the attack survives all
+	// masking strengths. This is the precise sense in which output-side
+	// sanitization gives a false sense of privacy; contrast with
+	// TestTrainDPReducesMembershipAUC, where training-side DP does work.
+	for _, cap := range []float64{0.9, 0.51} {
+		def := &Defended{Net: m, MaxConf: cap}
+		defAUC, err := MembershipAUCDefended(def, train, held)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if defAUC < plainAUC-0.1 {
+			t.Fatalf("masking at cap %v unexpectedly defended: %v -> %v (false-sense claim broken)",
+				cap, plainAUC, defAUC)
+		}
+	}
+	aggressive := &Defended{Net: m, MaxConf: 0.51}
+	// Argmax predictions are preserved even by aggressive masking (the cap
+	// stays above uniform).
+	for i := 0; i < held.Len(); i++ {
+		x, _ := held.Example(i)
+		p, err := aggressive.Probs(x.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.ArgMax() != m.Predict(x) {
+			t.Fatal("masking changed the prediction")
+		}
+	}
+}
+
+func TestMembershipAUCDefendedValidation(t *testing.T) {
+	m := nn.NewMLP([]int{8, 8, 2}, nn.ReLU, xrand.New(1))
+	def := &Defended{Net: m, MaxConf: 0.9}
+	empty := &data.Dataset{X: tensor.NewMatrix(0, 8), NumClasses: 2}
+	ds := data.NewDomain("x", 8, 2, 1).Sample("x/1", 5, 0.5, xrand.New(2))
+	if _, err := MembershipAUCDefended(def, empty, ds); err == nil {
+		t.Fatal("empty members accepted")
+	}
+}

@@ -1,0 +1,129 @@
+package privacy
+
+import (
+	"fmt"
+
+	"modellake/internal/attribution"
+	"modellake/internal/data"
+	"modellake/internal/nn"
+	"modellake/internal/xrand"
+)
+
+// UnlearnConfig tunes approximate machine unlearning.
+type UnlearnConfig struct {
+	// AscentEpochs of gradient *ascent* on the forget set (default 30 —
+	// well-fit minima have small forget-set gradients, so escaping them
+	// takes sustained ascent).
+	AscentEpochs int
+	// RepairEpochs of ordinary training on the retain set afterwards, to
+	// restore utility the ascent damaged (default 5).
+	RepairEpochs int
+	LR           float64 // default 0.05
+	Seed         uint64
+}
+
+// UnlearnResult reports the before/after state of an unlearning run.
+type UnlearnResult struct {
+	ForgetAccBefore, ForgetAccAfter float64
+	RetainAccBefore, RetainAccAfter float64
+	// ForgetAUCBefore/After are membership-inference AUCs over the forget
+	// set vs the reference non-members — the privacy measure of whether the
+	// forgotten data still leaves a trace.
+	ForgetAUCBefore, ForgetAUCAfter float64
+}
+
+// Unlearn approximately removes the influence of forget from model m (the
+// §5 "unlearning learned knowledge" task, in the gradient-ascent-plus-repair
+// style of the cited unlearning literature): ascend the loss on the forget
+// set, then repair on the retain set. nonMembers is held-out data used only
+// to measure membership exposure before and after. m is modified in place.
+func Unlearn(m *nn.MLP, forget, retain, nonMembers *data.Dataset, cfg UnlearnConfig) (*UnlearnResult, error) {
+	if forget.Len() == 0 || retain.Len() == 0 {
+		return nil, fmt.Errorf("privacy: unlearning needs non-empty forget and retain sets")
+	}
+	if forget.Dim() != m.InputDim() || retain.Dim() != m.InputDim() {
+		return nil, fmt.Errorf("privacy: dataset dims inconsistent with model input %d", m.InputDim())
+	}
+	if cfg.AscentEpochs <= 0 {
+		cfg.AscentEpochs = 30
+	}
+	if cfg.RepairEpochs <= 0 {
+		cfg.RepairEpochs = 5
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.05
+	}
+	res := &UnlearnResult{
+		ForgetAccBefore: m.Accuracy(forget),
+		RetainAccBefore: m.Accuracy(retain),
+	}
+	if nonMembers != nil && nonMembers.Len() > 0 {
+		auc, err := membershipAUCOn(m, forget, nonMembers)
+		if err != nil {
+			return nil, err
+		}
+		res.ForgetAUCBefore = auc
+	}
+
+	// Gradient ascent on the forget set.
+	rng := xrand.New(cfg.Seed)
+	g := nn.NewGrads(m)
+	for epoch := 0; epoch < cfg.AscentEpochs; epoch++ {
+		perm := rng.Perm(forget.Len())
+		for start := 0; start < len(perm); start += 8 {
+			end := start + 8
+			if end > len(perm) {
+				end = len(perm)
+			}
+			g.Zero()
+			for _, idx := range perm[start:end] {
+				x, y := forget.Example(idx)
+				m.Backward(x, y, g)
+			}
+			inv := 1.0 / float64(end-start)
+			for l := range g.W {
+				g.W[l].Scale(inv)
+				g.B[l].Scale(inv)
+				m.W[l].AddScaled(+cfg.LR, g.W[l]) // ascent
+				m.B[l].AddScaled(+cfg.LR, g.B[l])
+			}
+		}
+	}
+	// Repair on the retain set.
+	repair := nn.TrainConfig{Epochs: cfg.RepairEpochs, BatchSize: 8, LR: cfg.LR, Seed: cfg.Seed + 1}
+	if _, err := nn.Train(m, retain, repair); err != nil {
+		return nil, err
+	}
+
+	res.ForgetAccAfter = m.Accuracy(forget)
+	res.RetainAccAfter = m.Accuracy(retain)
+	if nonMembers != nil && nonMembers.Len() > 0 {
+		auc, err := membershipAUCOn(m, forget, nonMembers)
+		if err != nil {
+			return nil, err
+		}
+		res.ForgetAUCAfter = auc
+	}
+	return res, nil
+}
+
+// membershipAUCOn runs the loss-threshold attack treating members as the
+// positive class.
+func membershipAUCOn(m *nn.MLP, members, nonMembers *data.Dataset) (float64, error) {
+	if members.Len() == 0 || nonMembers.Len() == 0 {
+		return 0, fmt.Errorf("privacy: empty membership sample")
+	}
+	var scores []float64
+	var labels []bool
+	for i := 0; i < members.Len(); i++ {
+		x, y := members.Example(i)
+		scores = append(scores, -m.ExampleLoss(x, y))
+		labels = append(labels, true)
+	}
+	for i := 0; i < nonMembers.Len(); i++ {
+		x, y := nonMembers.Example(i)
+		scores = append(scores, -m.ExampleLoss(x, y))
+		labels = append(labels, false)
+	}
+	return attribution.AUC(scores, labels), nil
+}

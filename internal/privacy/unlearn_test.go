@@ -1,0 +1,102 @@
+package privacy
+
+import (
+	"testing"
+
+	"modellake/internal/data"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// unlearnSetup trains a model on two sub-populations of the same domain and
+// returns (model, forget, retain, nonMembers). The forget set is a shifted
+// cluster so the model learns something specific about it.
+func unlearnSetup(t *testing.T, seed uint64) (*nn.MLP, *data.Dataset, *data.Dataset, *data.Dataset) {
+	t.Helper()
+	base := data.NewDomain("ul", 8, 2, seed)
+	shifted := base.Shifted("ul-forget", 2.5, seed+1)
+
+	retain := base.Sample("ul/retain", 160, 0.5, xrand.New(seed+2))
+	forget := shifted.Sample("ul/forget", 40, 0.5, xrand.New(seed+3))
+	nonMembers := shifted.Sample("ul/held", 40, 0.5, xrand.New(seed+4))
+	// The forget set carries *inverted* labels: knowledge that exists only
+	// because the model memorized these exact examples, so unlearning has
+	// something real to remove (the retained data would never imply it).
+	for i := range forget.Y {
+		forget.Y[i] = 1 - forget.Y[i]
+	}
+	for i := range nonMembers.Y {
+		nonMembers.Y[i] = 1 - nonMembers.Y[i]
+	}
+
+	combined := concat(retain, forget)
+	m := nn.NewMLP([]int{8, 32, 2}, nn.ReLU, xrand.New(seed+5))
+	cfg := nn.TrainConfig{Epochs: 60, BatchSize: 16, LR: 0.1, Seed: seed + 6}
+	if _, err := nn.Train(m, combined, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return m, forget, retain, nonMembers
+}
+
+// concat merges two datasets of identical shape.
+func concat(a, b *data.Dataset) *data.Dataset {
+	rows := a.Len() + b.Len()
+	merged := &data.Dataset{
+		ID: a.ID + "+" + b.ID, Domain: a.Domain, NumClasses: a.NumClasses,
+		X: tensor.NewMatrix(rows, a.Dim()),
+		Y: make([]int, 0, rows),
+	}
+	for i := 0; i < a.Len(); i++ {
+		copy(merged.X.Row(i), a.X.Row(i))
+	}
+	for i := 0; i < b.Len(); i++ {
+		copy(merged.X.Row(a.Len()+i), b.X.Row(i))
+	}
+	merged.Y = append(merged.Y, a.Y...)
+	merged.Y = append(merged.Y, b.Y...)
+	return merged
+}
+
+func TestUnlearnForgetsWhileRetaining(t *testing.T) {
+	m, forget, retain, nonMembers := unlearnSetup(t, 301)
+	res, err := Unlearn(m, forget, retain, nonMembers, UnlearnConfig{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForgetAccBefore < 0.9 {
+		t.Fatalf("model never learned the forget set: %v", res.ForgetAccBefore)
+	}
+	if res.ForgetAccAfter > 0.5 {
+		t.Fatalf("forget accuracy did not drop: %v -> %v", res.ForgetAccBefore, res.ForgetAccAfter)
+	}
+	if res.RetainAccAfter < res.RetainAccBefore-0.1 {
+		t.Fatalf("retain accuracy collapsed: %v -> %v", res.RetainAccBefore, res.RetainAccAfter)
+	}
+}
+
+func TestUnlearnValidation(t *testing.T) {
+	m, forget, retain, _ := unlearnSetup(t, 303)
+	empty := &data.Dataset{X: tensor.NewMatrix(0, 8), NumClasses: 2}
+	if _, err := Unlearn(m, empty, retain, nil, UnlearnConfig{}); err == nil {
+		t.Fatal("empty forget set accepted")
+	}
+	if _, err := Unlearn(m, forget, empty, nil, UnlearnConfig{}); err == nil {
+		t.Fatal("empty retain set accepted")
+	}
+	wrongDim := data.NewDomain("wd", 5, 2, 1).Sample("wd/1", 10, 0.5, xrand.New(2))
+	if _, err := Unlearn(m, wrongDim, retain, nil, UnlearnConfig{}); err == nil {
+		t.Fatal("dim mismatch accepted")
+	}
+}
+
+func TestUnlearnWithoutNonMembersSkipsAUC(t *testing.T) {
+	m, forget, retain, _ := unlearnSetup(t, 305)
+	res, err := Unlearn(m, forget, retain, nil, UnlearnConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ForgetAUCBefore != 0 || res.ForgetAUCAfter != 0 {
+		t.Fatalf("AUC measured without non-members: %+v", res)
+	}
+}

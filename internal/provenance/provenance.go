@@ -1,0 +1,302 @@
+// Package provenance records why/where-provenance for lake artifacts using a
+// small PROV-inspired data model (entities, activities, agents, and the
+// wasDerivedFrom / used / wasGeneratedBy / wasAttributedTo relations), and
+// generates version-graph-anchored citations for models and their outputs —
+// the paper's §6 "Data and Model Citation" application.
+//
+// Records are journaled durably in the kvstore under the "prov/" prefix so
+// provenance survives restarts and is append-only like the literature's
+// provenance stores.
+package provenance
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"modellake/internal/kvstore"
+	"modellake/internal/version"
+)
+
+// Kind classifies a provenance record.
+type Kind string
+
+// PROV node kinds.
+const (
+	Entity   Kind = "entity"
+	Activity Kind = "activity"
+	Agent    Kind = "agent"
+)
+
+// RelationType classifies an edge between records.
+type RelationType string
+
+// PROV relation types.
+const (
+	WasDerivedFrom  RelationType = "wasDerivedFrom"
+	Used            RelationType = "used"
+	WasGeneratedBy  RelationType = "wasGeneratedBy"
+	WasAttributedTo RelationType = "wasAttributedTo"
+)
+
+// Record is one provenance node.
+type Record struct {
+	ID    string            `json:"id"`
+	Kind  Kind              `json:"kind"`
+	Label string            `json:"label,omitempty"`
+	Attrs map[string]string `json:"attrs,omitempty"`
+	Seq   uint64            `json:"seq"`
+}
+
+// Relation is one provenance edge: Subject →type→ Object (e.g. derived
+// entity wasDerivedFrom source entity).
+type Relation struct {
+	Type    RelationType `json:"type"`
+	Subject string       `json:"subject"`
+	Object  string       `json:"object"`
+	Seq     uint64       `json:"seq"`
+}
+
+// ErrNotFound reports a missing provenance record.
+var ErrNotFound = errors.New("provenance: record not found")
+
+// Journal is the durable provenance store.
+type Journal struct {
+	kv *kvstore.Store
+	mu sync.Mutex
+}
+
+// NewJournal wraps a kvstore as a provenance journal.
+func NewJournal(kv *kvstore.Store) *Journal { return &Journal{kv: kv} }
+
+func recKey(id string) string  { return "prov/rec/" + id }
+func relKey(seq uint64) string { return fmt.Sprintf("prov/rel/%016d", seq) }
+
+func (j *Journal) nextSeq() (uint64, error) {
+	var seq uint64
+	if b, err := j.kv.Get("prov/seq"); err == nil && len(b) == 8 {
+		seq = binary.LittleEndian.Uint64(b)
+	}
+	seq++
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, seq)
+	if err := j.kv.Put("prov/seq", buf); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// Put records a node. Re-recording an existing ID overwrites its label and
+// attributes (provenance identity is the ID).
+func (j *Journal) Put(id string, kind Kind, label string, attrs map[string]string) (*Record, error) {
+	if id == "" {
+		return nil, fmt.Errorf("provenance: empty record id")
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seq, err := j.nextSeq()
+	if err != nil {
+		return nil, err
+	}
+	rec := &Record{ID: id, Kind: kind, Label: label, Attrs: attrs, Seq: seq}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("provenance: marshal: %w", err)
+	}
+	if err := j.kv.Put(recKey(id), b); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// Get returns the record with the given ID.
+func (j *Journal) Get(id string) (*Record, error) {
+	b, err := j.kv.Get(recKey(id))
+	if err != nil {
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return nil, fmt.Errorf("provenance: decode %s: %w", id, err)
+	}
+	return &rec, nil
+}
+
+// Relate journals a relation edge. Both endpoints must already be recorded.
+func (j *Journal) Relate(typ RelationType, subject, object string) error {
+	if !j.kv.Has(recKey(subject)) {
+		return fmt.Errorf("%w: subject %s", ErrNotFound, subject)
+	}
+	if !j.kv.Has(recKey(object)) {
+		return fmt.Errorf("%w: object %s", ErrNotFound, object)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	seq, err := j.nextSeq()
+	if err != nil {
+		return err
+	}
+	rel := Relation{Type: typ, Subject: subject, Object: object, Seq: seq}
+	b, err := json.Marshal(rel)
+	if err != nil {
+		return fmt.Errorf("provenance: marshal relation: %w", err)
+	}
+	return j.kv.Put(relKey(seq), b)
+}
+
+// Relations returns all journaled relations in journal order.
+func (j *Journal) Relations() ([]Relation, error) {
+	var out []Relation
+	var decodeErr error
+	err := j.kv.Scan("prov/rel/", func(k string, v []byte) bool {
+		var rel Relation
+		if err := json.Unmarshal(v, &rel); err != nil {
+			decodeErr = fmt.Errorf("provenance: decode %s: %w", k, err)
+			return false
+		}
+		out = append(out, rel)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, decodeErr
+}
+
+// Sources returns the transitive wasDerivedFrom ancestry of an entity —
+// where-provenance: the sources this artifact ultimately came from.
+func (j *Journal) Sources(entity string) ([]string, error) {
+	rels, err := j.Relations()
+	if err != nil {
+		return nil, err
+	}
+	parents := map[string][]string{}
+	for _, r := range rels {
+		if r.Type == WasDerivedFrom {
+			parents[r.Subject] = append(parents[r.Subject], r.Object)
+		}
+	}
+	var out []string
+	seen := map[string]bool{entity: true}
+	queue := []string{entity}
+	for qi := 0; qi < len(queue); qi++ {
+		for _, p := range parents[queue[qi]] {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+				queue = append(queue, p)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Explanation is why-provenance for an entity: the activity that generated
+// it, the entities that activity used, and the responsible agents.
+type Explanation struct {
+	Entity     string
+	Activity   string
+	UsedInputs []string
+	Agents     []string
+}
+
+// Why explains how an entity came to be.
+func (j *Journal) Why(entity string) (*Explanation, error) {
+	if _, err := j.Get(entity); err != nil {
+		return nil, err
+	}
+	rels, err := j.Relations()
+	if err != nil {
+		return nil, err
+	}
+	ex := &Explanation{Entity: entity}
+	for _, r := range rels {
+		if r.Type == WasGeneratedBy && r.Subject == entity {
+			ex.Activity = r.Object
+		}
+		if r.Type == WasAttributedTo && r.Subject == entity {
+			ex.Agents = append(ex.Agents, r.Object)
+		}
+	}
+	if ex.Activity != "" {
+		for _, r := range rels {
+			if r.Type == Used && r.Subject == ex.Activity {
+				ex.UsedInputs = append(ex.UsedInputs, r.Object)
+			}
+		}
+	}
+	sort.Strings(ex.UsedInputs)
+	sort.Strings(ex.Agents)
+	return ex, nil
+}
+
+// GraphHash computes a canonical digest of a version graph: the citation
+// anchor. Any change to nodes or edges changes the hash; node and edge order
+// do not.
+func GraphHash(g *version.Graph) string {
+	nodes := append([]string(nil), g.Nodes...)
+	sort.Strings(nodes)
+	type edgeKey struct{ p, c, t string }
+	edges := make([]edgeKey, 0, len(g.Edges))
+	for _, e := range g.Edges {
+		edges = append(edges, edgeKey{e.Parent, e.Child, e.Transform})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].p != edges[j].p {
+			return edges[i].p < edges[j].p
+		}
+		if edges[i].c != edges[j].c {
+			return edges[i].c < edges[j].c
+		}
+		return edges[i].t < edges[j].t
+	})
+	h := sha256.New()
+	for _, n := range nodes {
+		fmt.Fprintf(h, "n:%s\n", n)
+	}
+	for _, e := range edges {
+		fmt.Fprintf(h, "e:%s>%s:%s\n", e.p, e.c, e.t)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Citation is a reproducible reference to a model at a specific version-
+// graph snapshot, per the paper: "the platform would refer to its versioning
+// graph and generate a citation with the model version and timestamp of the
+// graph. Upon any updates of the graph, a new citation would be generated."
+type Citation struct {
+	ModelID   string `json:"model_id"`
+	ModelName string `json:"model_name"`
+	Version   string `json:"version"`
+	GraphHash string `json:"graph_hash"`
+	Snapshot  uint64 `json:"snapshot"` // logical lake time of the graph
+}
+
+// Cite builds a citation for a model against the current version graph.
+func Cite(modelID, name, ver string, g *version.Graph, snapshot uint64) Citation {
+	return Citation{
+		ModelID:   modelID,
+		ModelName: name,
+		Version:   ver,
+		GraphHash: GraphHash(g),
+		Snapshot:  snapshot,
+	}
+}
+
+// String renders the citation.
+func (c Citation) String() string {
+	short := c.GraphHash
+	if len(short) > 12 {
+		short = short[:12]
+	}
+	return fmt.Sprintf("%s v%s (%s), model-lake graph %s @ t%d",
+		c.ModelName, c.Version, c.ModelID, short, c.Snapshot)
+}

@@ -1,0 +1,190 @@
+package provenance
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"modellake/internal/kvstore"
+	"modellake/internal/version"
+)
+
+func journal() *Journal { return NewJournal(kvstore.OpenMemory()) }
+
+func TestPutGetRecord(t *testing.T) {
+	j := journal()
+	rec, err := j.Put("model:m-1", Entity, "legal classifier", map[string]string{"arch": "mlp"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq == 0 {
+		t.Fatal("seq not assigned")
+	}
+	got, err := j.Get("model:m-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != "legal classifier" || got.Kind != Entity || got.Attrs["arch"] != "mlp" {
+		t.Fatalf("record = %+v", got)
+	}
+	if _, err := j.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expected ErrNotFound, got %v", err)
+	}
+	if _, err := j.Put("", Entity, "x", nil); err == nil {
+		t.Fatal("empty id accepted")
+	}
+}
+
+func TestRelateRequiresEndpoints(t *testing.T) {
+	j := journal()
+	j.Put("a", Entity, "", nil)
+	if err := j.Relate(WasDerivedFrom, "a", "ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing object accepted: %v", err)
+	}
+	if err := j.Relate(WasDerivedFrom, "ghost", "a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("missing subject accepted: %v", err)
+	}
+	j.Put("b", Entity, "", nil)
+	if err := j.Relate(WasDerivedFrom, "b", "a"); err != nil {
+		t.Fatal(err)
+	}
+	rels, err := j.Relations()
+	if err != nil || len(rels) != 1 {
+		t.Fatalf("relations = %v, %v", rels, err)
+	}
+}
+
+func TestSourcesTransitive(t *testing.T) {
+	j := journal()
+	for _, id := range []string{"base", "mid", "leaf", "other"} {
+		j.Put(id, Entity, "", nil)
+	}
+	j.Relate(WasDerivedFrom, "mid", "base")
+	j.Relate(WasDerivedFrom, "leaf", "mid")
+	src, err := j.Sources("leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(src) != 2 || src[0] != "mid" || src[1] != "base" {
+		t.Fatalf("Sources(leaf) = %v", src)
+	}
+	src, _ = j.Sources("base")
+	if len(src) != 0 {
+		t.Fatalf("Sources(base) = %v", src)
+	}
+}
+
+func TestWhyExplanation(t *testing.T) {
+	j := journal()
+	j.Put("model:child", Entity, "", nil)
+	j.Put("activity:finetune-1", Activity, "fine-tuning run", nil)
+	j.Put("dataset:legal/v2", Entity, "", nil)
+	j.Put("model:base", Entity, "", nil)
+	j.Put("agent:lakegen", Agent, "", nil)
+	j.Relate(WasGeneratedBy, "model:child", "activity:finetune-1")
+	j.Relate(Used, "activity:finetune-1", "dataset:legal/v2")
+	j.Relate(Used, "activity:finetune-1", "model:base")
+	j.Relate(WasAttributedTo, "model:child", "agent:lakegen")
+
+	ex, err := j.Why("model:child")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Activity != "activity:finetune-1" {
+		t.Fatalf("activity = %q", ex.Activity)
+	}
+	if len(ex.UsedInputs) != 2 || ex.UsedInputs[0] != "dataset:legal/v2" {
+		t.Fatalf("used = %v", ex.UsedInputs)
+	}
+	if len(ex.Agents) != 1 || ex.Agents[0] != "agent:lakegen" {
+		t.Fatalf("agents = %v", ex.Agents)
+	}
+	if _, err := j.Why("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Why on missing entity: %v", err)
+	}
+}
+
+func TestJournalDurability(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := kvstore.Open(dir+"/prov.log", kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := NewJournal(kv)
+	j.Put("a", Entity, "", nil)
+	j.Put("b", Entity, "", nil)
+	j.Relate(WasDerivedFrom, "b", "a")
+	kv.Close()
+
+	kv2, err := kvstore.Open(dir+"/prov.log", kvstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	j2 := NewJournal(kv2)
+	src, err := j2.Sources("b")
+	if err != nil || len(src) != 1 || src[0] != "a" {
+		t.Fatalf("provenance lost across reopen: %v %v", src, err)
+	}
+}
+
+func testGraph() *version.Graph {
+	return &version.Graph{
+		Nodes: []string{"m-1", "m-2", "m-3"},
+		Edges: []version.Edge{
+			{Parent: "m-1", Child: "m-2", Transform: "finetune"},
+			{Parent: "m-1", Child: "m-3", Transform: "lora"},
+		},
+	}
+}
+
+func TestGraphHashStability(t *testing.T) {
+	g1 := testGraph()
+	g2 := testGraph()
+	// Permute order: hash must not change.
+	g2.Nodes[0], g2.Nodes[2] = g2.Nodes[2], g2.Nodes[0]
+	g2.Edges[0], g2.Edges[1] = g2.Edges[1], g2.Edges[0]
+	if GraphHash(g1) != GraphHash(g2) {
+		t.Fatal("graph hash depends on ordering")
+	}
+}
+
+func TestGraphHashSensitivity(t *testing.T) {
+	base := GraphHash(testGraph())
+	g := testGraph()
+	g.Edges[0].Transform = "edit"
+	if GraphHash(g) == base {
+		t.Fatal("transform change not reflected in hash")
+	}
+	g2 := testGraph()
+	g2.Edges = g2.Edges[:1]
+	if GraphHash(g2) == base {
+		t.Fatal("edge removal not reflected in hash")
+	}
+	g3 := testGraph()
+	g3.Nodes = append(g3.Nodes, "m-4")
+	if GraphHash(g3) == base {
+		t.Fatal("node addition not reflected in hash")
+	}
+}
+
+func TestCitationRendering(t *testing.T) {
+	c := Cite("m-000007", "legal-summarizer", "2", testGraph(), 41)
+	s := c.String()
+	for _, want := range []string{"legal-summarizer v2", "m-000007", "@ t41"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("citation %q missing %q", s, want)
+		}
+	}
+	// Citation changes exactly when the graph changes.
+	same := Cite("m-000007", "legal-summarizer", "2", testGraph(), 41)
+	if c != same {
+		t.Fatal("identical graph produced different citations")
+	}
+	g := testGraph()
+	g.Edges = append(g.Edges, version.Edge{Parent: "m-2", Child: "m-4t", Transform: "finetune"})
+	updated := Cite("m-000007", "legal-summarizer", "2", g, 42)
+	if updated.GraphHash == c.GraphHash {
+		t.Fatal("graph update did not refresh the citation")
+	}
+}

@@ -1,0 +1,328 @@
+// Package registry implements the model lake's catalog: durable, named,
+// versioned model records over the kvstore (metadata, cards) and the blob
+// store (weights). It corresponds to the "model repository/registry" layer
+// the paper surveys in §4 — storage, naming and version representation — on
+// top of which the lake tasks add discovery and analysis.
+//
+// Key layout in the kvstore:
+//
+//	model/<id>        -> Record JSON
+//	card/<id>         -> card JSON
+//	name/<name>@<ver> -> model id
+//	meta/seq          -> monotonically increasing sequence counter
+package registry
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"modellake/internal/blob"
+	"modellake/internal/card"
+	"modellake/internal/kvstore"
+	"modellake/internal/model"
+	"modellake/internal/nn"
+)
+
+// Sentinel errors.
+var (
+	ErrNotFound  = errors.New("registry: model not found")
+	ErrDuplicate = errors.New("registry: name@version already registered")
+	ErrNoWeights = errors.New("registry: model has no stored weights")
+)
+
+// Record is the catalog entry for one model. Declared fields reproduce
+// whatever the uploader documented — they may be absent or false; task
+// algorithms must treat them as claims, not facts.
+type Record struct {
+	ID        string  `json:"id"`
+	Name      string  `json:"name"`
+	Version   string  `json:"version"`
+	Seq       uint64  `json:"seq"` // logical registration time
+	Arch      string  `json:"arch,omitempty"`
+	NumParams int     `json:"num_params,omitempty"`
+	Weights   blob.ID `json:"weights,omitempty"` // empty for closed-weights models
+
+	// Declared (documentation-derived) metadata.
+	DeclaredBases []string       `json:"declared_bases,omitempty"`
+	DeclaredData  string         `json:"declared_data,omitempty"`
+	Domain        string         `json:"domain,omitempty"`
+	Tags          []string       `json:"tags,omitempty"`
+	Hist          *model.History `json:"history,omitempty"`
+}
+
+// Registry is the catalog. It is safe for concurrent use.
+type Registry struct {
+	kv    *kvstore.Store
+	blobs blob.Store
+	mu    sync.Mutex // guards the sequence counter
+}
+
+// New creates a registry over the given stores.
+func New(kv *kvstore.Store, blobs blob.Store) *Registry {
+	return &Registry{kv: kv, blobs: blobs}
+}
+
+// NewInMemory creates a throwaway registry with in-memory backing stores.
+func NewInMemory() *Registry {
+	return New(kvstore.OpenMemory(), blob.NewMemStore())
+}
+
+func modelKey(id string) string           { return "model/" + id }
+func cardKey(id string) string            { return "card/" + id }
+func nameKey(name, version string) string { return "name/" + name + "@" + version }
+
+// nextSeq atomically increments and persists the sequence counter.
+func (r *Registry) nextSeq() (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var seq uint64
+	if b, err := r.kv.Get("meta/seq"); err == nil && len(b) == 8 {
+		seq = binary.LittleEndian.Uint64(b)
+	}
+	seq++
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, seq)
+	if err := r.kv.Put("meta/seq", buf); err != nil {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// RegisterOptions carries the declared metadata accompanying an upload.
+type RegisterOptions struct {
+	Name    string
+	Version string
+	Tags    []string
+	// WithholdWeights registers the model closed-weights: behaviour stays
+	// reachable through the live handle the caller retains, but the lake
+	// stores no θ.
+	WithholdWeights bool
+}
+
+// Register stores a model and its card, assigning a lake ID. The model's
+// Hist (if any) is recorded as declared history. The card's ModelID is
+// rewritten to the assigned ID.
+func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) (*Record, error) {
+	if m == nil {
+		return nil, fmt.Errorf("registry: nil model")
+	}
+	name := opts.Name
+	if name == "" {
+		name = m.Name
+	}
+	if name == "" {
+		return nil, fmt.Errorf("registry: model needs a name")
+	}
+	version := opts.Version
+	if version == "" {
+		version = "1"
+	}
+	if r.kv.Has(nameKey(name, version)) {
+		return nil, fmt.Errorf("%w: %s@%s", ErrDuplicate, name, version)
+	}
+	seq, err := r.nextSeq()
+	if err != nil {
+		return nil, fmt.Errorf("registry: sequence: %w", err)
+	}
+	id := fmt.Sprintf("m-%06d", seq)
+
+	rec := &Record{
+		ID:      id,
+		Name:    name,
+		Version: version,
+		Seq:     seq,
+		Tags:    append([]string(nil), opts.Tags...),
+	}
+	if m.Net != nil {
+		rec.Arch = m.Net.ArchString()
+		rec.NumParams = m.Net.NumParams()
+		if !opts.WithholdWeights {
+			enc, err := nn.EncodeMLP(m.Net)
+			if err != nil {
+				return nil, fmt.Errorf("registry: encode weights: %w", err)
+			}
+			bid, err := r.blobs.Put(enc)
+			if err != nil {
+				return nil, fmt.Errorf("registry: store weights: %w", err)
+			}
+			rec.Weights = bid
+		}
+	}
+	if m.Hist != nil {
+		h := *m.Hist
+		rec.Hist = &h
+		rec.DeclaredBases = append([]string(nil), m.Hist.BaseModelIDs...)
+		rec.DeclaredData = m.Hist.DatasetID
+		rec.Domain = m.Hist.DatasetDomain
+	}
+	if c != nil {
+		cc := c.Clone()
+		cc.ModelID = id
+		if cc.Name == "" {
+			cc.Name = name
+		}
+		cb, err := cc.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		if err := r.kv.Put(cardKey(id), cb); err != nil {
+			return nil, fmt.Errorf("registry: store card: %w", err)
+		}
+		if rec.Domain == "" {
+			rec.Domain = cc.Domain
+		}
+		if rec.DeclaredData == "" {
+			rec.DeclaredData = cc.TrainingData
+		}
+		if cc.BaseModel != "" && len(rec.DeclaredBases) == 0 {
+			rec.DeclaredBases = []string{cc.BaseModel}
+		}
+	}
+	rb, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("registry: marshal record: %w", err)
+	}
+	if err := r.kv.Put(modelKey(id), rb); err != nil {
+		return nil, fmt.Errorf("registry: store record: %w", err)
+	}
+	if err := r.kv.Put(nameKey(name, version), []byte(id)); err != nil {
+		return nil, fmt.Errorf("registry: store name index: %w", err)
+	}
+	m.ID = id
+	return rec, nil
+}
+
+// Get returns the record for a model ID.
+func (r *Registry) Get(id string) (*Record, error) {
+	b, err := r.kv.Get(modelKey(id))
+	if err != nil {
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	var rec Record
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return nil, fmt.Errorf("registry: decode record %s: %w", id, err)
+	}
+	return &rec, nil
+}
+
+// Resolve maps name@version to a model ID.
+func (r *Registry) Resolve(name, version string) (string, error) {
+	if version == "" {
+		version = "1"
+	}
+	b, err := r.kv.Get(nameKey(name, version))
+	if err != nil {
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return "", fmt.Errorf("%w: %s@%s", ErrNotFound, name, version)
+		}
+		return "", err
+	}
+	return string(b), nil
+}
+
+// LoadModel materializes the full model (weights + declared history) for id.
+// Closed-weights models return ErrNoWeights.
+func (r *Registry) LoadModel(id string) (*model.Model, error) {
+	rec, err := r.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	if rec.Weights == "" {
+		return nil, fmt.Errorf("%w: %s", ErrNoWeights, id)
+	}
+	raw, err := r.blobs.Get(rec.Weights)
+	if err != nil {
+		return nil, fmt.Errorf("registry: load weights for %s: %w", id, err)
+	}
+	net, err := nn.DecodeMLP(raw)
+	if err != nil {
+		return nil, fmt.Errorf("registry: decode weights for %s: %w", id, err)
+	}
+	return &model.Model{ID: rec.ID, Name: rec.Name, Net: net, Hist: rec.Hist}, nil
+}
+
+// Card returns the stored card for id, or ErrNotFound if the model has none.
+func (r *Registry) Card(id string) (*card.Card, error) {
+	b, err := r.kv.Get(cardKey(id))
+	if err != nil {
+		if errors.Is(err, kvstore.ErrNotFound) {
+			return nil, fmt.Errorf("%w: card for %s", ErrNotFound, id)
+		}
+		return nil, err
+	}
+	return card.Unmarshal(b)
+}
+
+// PutCard replaces the card for an existing model (e.g. after docgen).
+func (r *Registry) PutCard(id string, c *card.Card) error {
+	if !r.kv.Has(modelKey(id)) {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	cc := c.Clone()
+	cc.ModelID = id
+	b, err := cc.Marshal()
+	if err != nil {
+		return err
+	}
+	return r.kv.Put(cardKey(id), b)
+}
+
+// UpdateRecord persists changes to a record (e.g. cached metrics). The ID
+// must already exist.
+func (r *Registry) UpdateRecord(rec *Record) error {
+	if !r.kv.Has(modelKey(rec.ID)) {
+		return fmt.Errorf("%w: %s", ErrNotFound, rec.ID)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("registry: marshal record: %w", err)
+	}
+	return r.kv.Put(modelKey(rec.ID), b)
+}
+
+// List returns all records in ID (= registration) order.
+func (r *Registry) List() ([]*Record, error) {
+	var out []*Record
+	var scanErr error
+	err := r.kv.Scan("model/", func(k string, v []byte) bool {
+		var rec Record
+		if err := json.Unmarshal(v, &rec); err != nil {
+			scanErr = fmt.Errorf("registry: decode %s: %w", k, err)
+			return false
+		}
+		out = append(out, &rec)
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return out, nil
+}
+
+// Count returns the number of registered models.
+func (r *Registry) Count() int { return len(r.kv.Keys("model/")) }
+
+// Delete removes a model, its card, and its name-index entry. Weights blobs
+// are left in place (they may be shared via content addressing).
+func (r *Registry) Delete(id string) error {
+	rec, err := r.Get(id)
+	if err != nil {
+		return err
+	}
+	if err := r.kv.Delete(nameKey(rec.Name, rec.Version)); err != nil {
+		return err
+	}
+	if err := r.kv.Delete(cardKey(id)); err != nil {
+		return err
+	}
+	return r.kv.Delete(modelKey(id))
+}

@@ -1,0 +1,167 @@
+package search
+
+import (
+	"fmt"
+	"sync"
+
+	"modellake/internal/data"
+	"modellake/internal/embedding"
+	"modellake/internal/index"
+	"modellake/internal/model"
+	"modellake/internal/tensor"
+)
+
+// ContentSearcher is the content-based model search engine: models are
+// embedded (weight-space, behavioural, or hybrid) and indexed in an ANN
+// structure; queries are models, vectors, or free text routed to the right
+// embedding space.
+type ContentSearcher struct {
+	embedder embedding.Embedder
+	idx      index.Index
+	mu       sync.RWMutex
+	added    map[string]bool
+}
+
+// NewContentSearcher builds a searcher over the given embedder and ANN
+// index. The index must be empty and is owned by the searcher afterwards.
+func NewContentSearcher(e embedding.Embedder, idx index.Index) *ContentSearcher {
+	return &ContentSearcher{embedder: e, idx: idx, added: make(map[string]bool)}
+}
+
+// EmbedderName reports the underlying embedding space.
+func (s *ContentSearcher) EmbedderName() string { return s.embedder.Name() }
+
+// Add embeds and indexes a model.
+func (s *ContentSearcher) Add(h *model.Handle) error {
+	v, err := s.embedder.Embed(h)
+	if err != nil {
+		return fmt.Errorf("search: embed %s: %w", h.ID(), err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.added[h.ID()] {
+		return fmt.Errorf("search: %s already indexed", h.ID())
+	}
+	if err := s.idx.Add(h.ID(), v); err != nil {
+		return fmt.Errorf("search: index %s: %w", h.ID(), err)
+	}
+	s.added[h.ID()] = true
+	return nil
+}
+
+// Len returns the number of indexed models.
+func (s *ContentSearcher) Len() int { return s.idx.Len() }
+
+// SearchByModel performs model-as-query related-model search: rank indexed
+// models by embedding proximity to the query model. The query model itself
+// (matched by ID) is excluded from the results.
+func (s *ContentSearcher) SearchByModel(q *model.Handle, k int) ([]Hit, error) {
+	v, err := s.embedder.Embed(q)
+	if err != nil {
+		return nil, fmt.Errorf("search: embed query %s: %w", q.ID(), err)
+	}
+	res, err := s.idx.Search(v, k+1)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]Hit, 0, k)
+	for _, r := range res {
+		if r.ID == q.ID() {
+			continue
+		}
+		hits = append(hits, Hit{ID: r.ID, Score: -r.Distance})
+		if len(hits) == k {
+			break
+		}
+	}
+	return hits, nil
+}
+
+// SearchByVector ranks indexed models by proximity to a raw embedding
+// vector.
+func (s *ContentSearcher) SearchByVector(v tensor.Vector, k int) ([]Hit, error) {
+	res, err := s.idx.Search(v, k)
+	if err != nil {
+		return nil, err
+	}
+	hits := make([]Hit, len(res))
+	for i, r := range res {
+		hits[i] = Hit{ID: r.ID, Score: -r.Distance}
+	}
+	return hits, nil
+}
+
+// TaskExample is one labeled example of the task function Q: X → Y from the
+// paper's extrinsic search formalization.
+type TaskExample struct {
+	X tensor.Vector
+	Y int
+}
+
+// TaskSearcher ranks models by behavioural fit to a task given as examples:
+// score = mean probability the model assigns to the correct label. It only
+// touches the extrinsic viewpoint, so it works on closed-weight models.
+type TaskSearcher struct {
+	mu     sync.RWMutex
+	models []*model.Handle
+}
+
+// Add registers a model for task search.
+func (t *TaskSearcher) Add(h *model.Handle) {
+	t.mu.Lock()
+	t.models = append(t.models, h)
+	t.mu.Unlock()
+}
+
+// Len returns the number of registered models.
+func (t *TaskSearcher) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.models)
+}
+
+// Search returns up to k models ranked by mean correct-label probability on
+// the examples. Models that cannot consume the examples (dimension mismatch,
+// withheld extrinsics) are skipped.
+func (t *TaskSearcher) Search(examples []TaskExample, k int) ([]Hit, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("search: task search needs at least one example")
+	}
+	t.mu.RLock()
+	models := append([]*model.Handle(nil), t.models...)
+	t.mu.RUnlock()
+	var hits []Hit
+	for _, h := range models {
+		total, ok := 0.0, true
+		for _, ex := range examples {
+			p, err := h.Probs(ex.X)
+			if err != nil || ex.Y < 0 || ex.Y >= len(p) {
+				ok = false
+				break
+			}
+			total += p[ex.Y]
+		}
+		if !ok {
+			continue
+		}
+		hits = append(hits, Hit{ID: h.ID(), Score: total / float64(len(examples))})
+	}
+	sortHits(hits)
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+// DatasetAsTask converts a labeled dataset into task examples (up to n).
+func DatasetAsTask(ds *data.Dataset, n int) []TaskExample {
+	if n > ds.Len() {
+		n = ds.Len()
+	}
+	out := make([]TaskExample, n)
+	for i := 0; i < n; i++ {
+		x, y := ds.Example(i)
+		out[i] = TaskExample{X: x.Clone(), Y: y}
+	}
+	return out
+}

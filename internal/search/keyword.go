@@ -1,0 +1,170 @@
+// Package search implements the model-search task of §3 in all its
+// formulations:
+//
+//   - Keyword search over model cards (BM25 over an inverted index) — the
+//     status-quo baseline whose dependence on documentation quality the
+//     paper critiques.
+//   - Content-based search over model embeddings (weight-space or
+//     behavioural) through the ANN indexer — the paper's vision.
+//   - Model-as-query related-model search (Lu et al.).
+//   - Task search: given labeled examples of a task Q, rank models by how
+//     well their observable behaviour fits it.
+//   - Reciprocal-rank fusion for hybrid metadata+content ranking.
+package search
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"modellake/internal/data"
+)
+
+// Hit is a ranked search result. Score semantics depend on the searcher but
+// are always higher-is-better.
+type Hit struct {
+	ID    string
+	Score float64
+}
+
+// KeywordIndex is a BM25 inverted index over model-card text.
+type KeywordIndex struct {
+	mu        sync.RWMutex
+	postings  map[string]map[string]int // token -> docID -> term frequency
+	docLens   map[string]int
+	totalLen  int
+	k1, bBM25 float64
+}
+
+// NewKeywordIndex returns an empty index with standard BM25 parameters
+// (k1 = 1.2, b = 0.75).
+func NewKeywordIndex() *KeywordIndex {
+	return &KeywordIndex{
+		postings: make(map[string]map[string]int),
+		docLens:  make(map[string]int),
+		k1:       1.2,
+		bBM25:    0.75,
+	}
+}
+
+// Add indexes text under docID, replacing any previous document with the
+// same ID.
+func (ki *KeywordIndex) Add(docID, text string) {
+	ki.mu.Lock()
+	defer ki.mu.Unlock()
+	if _, ok := ki.docLens[docID]; ok {
+		ki.removeLocked(docID)
+	}
+	toks := data.Tokenize(text)
+	ki.docLens[docID] = len(toks)
+	ki.totalLen += len(toks)
+	for _, tok := range toks {
+		m := ki.postings[tok]
+		if m == nil {
+			m = make(map[string]int)
+			ki.postings[tok] = m
+		}
+		m[docID]++
+	}
+}
+
+// Remove drops a document from the index.
+func (ki *KeywordIndex) Remove(docID string) {
+	ki.mu.Lock()
+	defer ki.mu.Unlock()
+	ki.removeLocked(docID)
+}
+
+func (ki *KeywordIndex) removeLocked(docID string) {
+	n, ok := ki.docLens[docID]
+	if !ok {
+		return
+	}
+	ki.totalLen -= n
+	delete(ki.docLens, docID)
+	for tok, m := range ki.postings {
+		if _, ok := m[docID]; ok {
+			delete(m, docID)
+			if len(m) == 0 {
+				delete(ki.postings, tok)
+			}
+		}
+	}
+}
+
+// Len returns the number of indexed documents.
+func (ki *KeywordIndex) Len() int {
+	ki.mu.RLock()
+	defer ki.mu.RUnlock()
+	return len(ki.docLens)
+}
+
+// Search returns up to k documents ranked by BM25 relevance to the query.
+// Documents matching no query token are omitted — exactly the failure mode
+// of metadata search: what is undocumented cannot be found.
+func (ki *KeywordIndex) Search(query string, k int) []Hit {
+	ki.mu.RLock()
+	defer ki.mu.RUnlock()
+	n := len(ki.docLens)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	avgLen := float64(ki.totalLen) / float64(n)
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	scores := map[string]float64{}
+	for _, tok := range data.Tokenize(query) {
+		m := ki.postings[tok]
+		if len(m) == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(n)-float64(len(m))+0.5)/(float64(len(m))+0.5))
+		for docID, tf := range m {
+			dl := float64(ki.docLens[docID])
+			num := float64(tf) * (ki.k1 + 1)
+			den := float64(tf) + ki.k1*(1-ki.bBM25+ki.bBM25*dl/avgLen)
+			scores[docID] += idf * num / den
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		hits = append(hits, Hit{ID: id, Score: s})
+	}
+	sortHits(hits)
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}
+
+// sortHits orders by descending score, breaking ties by ID for determinism.
+func sortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+}
+
+// FuseRRF combines several rankings with reciprocal-rank fusion:
+// score(d) = Σ_r 1/(c + rank_r(d)). It is the hybrid metadata+embedding
+// ranking mechanism suggested in §5. c defaults to 60 when <= 0.
+func FuseRRF(c float64, rankings ...[]Hit) []Hit {
+	if c <= 0 {
+		c = 60
+	}
+	scores := map[string]float64{}
+	for _, ranking := range rankings {
+		for rank, hit := range ranking {
+			scores[hit.ID] += 1 / (c + float64(rank+1))
+		}
+	}
+	out := make([]Hit, 0, len(scores))
+	for id, s := range scores {
+		out = append(out, Hit{ID: id, Score: s})
+	}
+	sortHits(out)
+	return out
+}

@@ -1,0 +1,269 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"modellake/internal/card"
+	"modellake/internal/embedding"
+	"modellake/internal/index"
+	"modellake/internal/lakegen"
+	"modellake/internal/model"
+	"modellake/internal/xrand"
+)
+
+func TestKeywordSearchRelevance(t *testing.T) {
+	ki := NewKeywordIndex()
+	ki.Add("legal-1", "statute court plaintiff contract legal summarization")
+	ki.Add("medical-1", "patient diagnosis clinical dosage therapy")
+	ki.Add("legal-2", "court appeal verdict legal")
+	hits := ki.Search("legal court summarization", 10)
+	if len(hits) < 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits[0].ID != "legal-1" {
+		t.Fatalf("best hit = %v, want legal-1", hits[0])
+	}
+	for _, h := range hits {
+		if h.ID == "medical-1" {
+			t.Fatal("medical model matched a legal query")
+		}
+	}
+}
+
+func TestKeywordSearchMissingDocsInvisible(t *testing.T) {
+	// The paper's core observation: an undocumented model cannot be found
+	// by metadata search.
+	ki := NewKeywordIndex()
+	ki.Add("documented", "legal court statute")
+	ki.Add("undocumented", "") // model exists but its card is empty
+	hits := ki.Search("legal", 10)
+	for _, h := range hits {
+		if h.ID == "undocumented" {
+			t.Fatal("undocumented model should be invisible to keyword search")
+		}
+	}
+}
+
+func TestKeywordIndexUpdateAndRemove(t *testing.T) {
+	ki := NewKeywordIndex()
+	ki.Add("m", "legal")
+	if hits := ki.Search("legal", 5); len(hits) != 1 {
+		t.Fatalf("hits = %v", hits)
+	}
+	ki.Add("m", "medical") // replace
+	if hits := ki.Search("legal", 5); len(hits) != 0 {
+		t.Fatalf("stale postings: %v", hits)
+	}
+	if hits := ki.Search("medical", 5); len(hits) != 1 {
+		t.Fatalf("update lost: %v", hits)
+	}
+	ki.Remove("m")
+	if ki.Len() != 0 {
+		t.Fatalf("Len after remove = %d", ki.Len())
+	}
+	ki.Remove("m") // idempotent
+}
+
+func TestKeywordSearchEmptyIndex(t *testing.T) {
+	ki := NewKeywordIndex()
+	if hits := ki.Search("anything", 5); hits != nil {
+		t.Fatalf("hits on empty index: %v", hits)
+	}
+}
+
+func TestBM25PrefersRareTerms(t *testing.T) {
+	ki := NewKeywordIndex()
+	// "common" appears everywhere; "oncology" in one card.
+	for i := 0; i < 10; i++ {
+		ki.Add(fmt.Sprintf("m%d", i), "common model data")
+	}
+	ki.Add("special", "common oncology model")
+	hits := ki.Search("common oncology", 3)
+	if hits[0].ID != "special" {
+		t.Fatalf("rare term did not dominate: %v", hits)
+	}
+}
+
+func TestFuseRRF(t *testing.T) {
+	a := []Hit{{ID: "x", Score: 3}, {ID: "y", Score: 2}, {ID: "z", Score: 1}}
+	b := []Hit{{ID: "y", Score: 9}, {ID: "x", Score: 8}}
+	fused := FuseRRF(0, a, b)
+	if len(fused) != 3 {
+		t.Fatalf("fused = %v", fused)
+	}
+	// x: 1/61 + 1/62; y: 1/62 + 1/61 — tie broken by ID, x first.
+	if fused[0].ID != "x" || fused[1].ID != "y" {
+		t.Fatalf("fused order: %v", fused)
+	}
+	if fused[2].ID != "z" {
+		t.Fatalf("z should be last: %v", fused)
+	}
+}
+
+func buildPopulation(t *testing.T, seed uint64) *lakegen.Population {
+	t.Helper()
+	s := lakegen.DefaultSpec(seed)
+	s.NumBases = 4
+	s.ChildrenPerBase = 4
+	pop, err := lakegen.Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range pop.Members {
+		m.Model.ID = fmt.Sprintf("m%02d", i)
+	}
+	return pop
+}
+
+func TestContentSearchFindsSameDomain(t *testing.T) {
+	pop := buildPopulation(t, 21)
+	be := embedding.NewBehaviorEmbedder(pop.Spec.Dim, 32, 8, 5)
+	cs := NewContentSearcher(be, index.NewFlat(index.Cosine))
+	for _, m := range pop.Members {
+		if err := cs.Add(model.NewHandle(m.Model)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Query with each member; most top-3 neighbours should share its domain
+	// family.
+	good, total := 0, 0
+	for qi, q := range pop.Members {
+		hits, err := cs.SearchByModel(model.NewHandle(q.Model), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range hits {
+			var idx int
+			fmt.Sscanf(h.ID, "m%d", &idx)
+			total++
+			if pop.Members[idx].Truth.Family == pop.Members[qi].Truth.Family {
+				good++
+			}
+		}
+	}
+	if frac := float64(good) / float64(total); frac < 0.8 {
+		t.Fatalf("same-family fraction in top-3 = %.2f, want >= 0.8", frac)
+	}
+}
+
+func TestContentSearchExcludesQueryModel(t *testing.T) {
+	pop := buildPopulation(t, 22)
+	be := embedding.NewBehaviorEmbedder(pop.Spec.Dim, 16, 8, 5)
+	cs := NewContentSearcher(be, index.NewFlat(index.Cosine))
+	for _, m := range pop.Members {
+		if err := cs.Add(model.NewHandle(m.Model)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := model.NewHandle(pop.Members[0].Model)
+	hits, err := cs.SearchByModel(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 5 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	for _, h := range hits {
+		if h.ID == q.ID() {
+			t.Fatal("query model returned as its own neighbour")
+		}
+	}
+}
+
+func TestContentSearchDuplicateAdd(t *testing.T) {
+	pop := buildPopulation(t, 23)
+	be := embedding.NewBehaviorEmbedder(pop.Spec.Dim, 8, 8, 5)
+	cs := NewContentSearcher(be, index.NewFlat(index.Cosine))
+	h := model.NewHandle(pop.Members[0].Model)
+	if err := cs.Add(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Add(h); err == nil {
+		t.Fatal("duplicate add accepted")
+	}
+}
+
+func TestContentSearchWorksWithoutCards(t *testing.T) {
+	// Content search must keep working when documentation is empty — the
+	// contrast to keyword search.
+	pop := buildPopulation(t, 24)
+	for _, m := range pop.Members {
+		m.Card = &card.Card{ModelID: m.Model.ID, Name: m.Truth.Name} // no text
+	}
+	be := embedding.NewBehaviorEmbedder(pop.Spec.Dim, 16, 8, 5)
+	cs := NewContentSearcher(be, index.NewFlat(index.Cosine))
+	for _, m := range pop.Members {
+		if err := cs.Add(model.NewHandle(m.Model)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, err := cs.SearchByModel(model.NewHandle(pop.Members[1].Model), 3)
+	if err != nil || len(hits) != 3 {
+		t.Fatalf("content search degraded without cards: %v %v", hits, err)
+	}
+}
+
+func TestTaskSearchRanksDomainExpertsFirst(t *testing.T) {
+	pop := buildPopulation(t, 25)
+	ts := &TaskSearcher{}
+	for _, m := range pop.Members {
+		ts.Add(model.NewHandle(m.Model))
+	}
+	// The task: the first base's domain data.
+	base := pop.Members[0]
+	ds := pop.Datasets[base.Truth.DatasetID]
+	examples := DatasetAsTask(ds, 32)
+	hits, err := ts.Search(examples, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("no hits")
+	}
+	var topIdx int
+	fmt.Sscanf(hits[0].ID, "m%d", &topIdx)
+	if pop.Members[topIdx].Truth.Family != base.Truth.Family {
+		t.Fatalf("top task hit %s is from the wrong family", hits[0].ID)
+	}
+}
+
+func TestTaskSearchValidation(t *testing.T) {
+	ts := &TaskSearcher{}
+	if _, err := ts.Search(nil, 5); err == nil {
+		t.Fatal("empty example set accepted")
+	}
+}
+
+func TestTaskSearchSkipsIncompatibleModels(t *testing.T) {
+	pop := buildPopulation(t, 26)
+	ts := &TaskSearcher{}
+	ts.Add(model.NewHandle(pop.Members[0].Model))
+	// A restricted handle with no extrinsics must simply be skipped.
+	ts.Add(model.WithViews(pop.Members[1].Model, 0))
+	ds := pop.Datasets[pop.Members[0].Truth.DatasetID]
+	hits, err := ts.Search(DatasetAsTask(ds, 8), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("expected 1 scoreable model, got %v", hits)
+	}
+}
+
+func BenchmarkKeywordSearch(b *testing.B) {
+	ki := NewKeywordIndex()
+	rng := xrand.New(1)
+	words := []string{"legal", "medical", "court", "patient", "model", "data", "finance", "bond"}
+	for i := 0; i < 1000; i++ {
+		text := ""
+		for j := 0; j < 30; j++ {
+			text += words[rng.Intn(len(words))] + " "
+		}
+		ki.Add(fmt.Sprintf("m%d", i), text)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ki.Search("legal court model", 10)
+	}
+}

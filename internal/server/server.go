@@ -1,0 +1,273 @@
+// Package server exposes a model lake over HTTP — the open-platform face of
+// the paper's Figure 2, where users (or agents) interact with the lake
+// through search, declarative queries, version graphs, generated
+// documentation, audits, and citations rather than a local API.
+//
+// The API is JSON over GET/POST with Go 1.22 pattern routing:
+//
+//	GET  /healthz                         liveness
+//	GET  /v1/models                       list catalog records
+//	POST /v1/models                       ingest a model (JSON body)
+//	GET  /v1/models/{id}                  one record
+//	GET  /v1/models/{id}/card             model card (?format=markdown)
+//	GET  /v1/models/{id}/cite             version-anchored citation
+//	GET  /v1/models/{id}/draft            docgen card draft
+//	GET  /v1/models/{id}/audit            audit report (?flag=id=reason, repeatable)
+//	GET  /v1/models/{id}/provenance       why-provenance
+//	GET  /v1/search?q=&k=                 keyword search
+//	GET  /v1/related?id=&space=&k=        model-as-query search
+//	GET  /v1/query?q=                     MLQL
+//	GET  /v1/graph                        recovered version graph
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"modellake/internal/card"
+	"modellake/internal/lake"
+	"modellake/internal/model"
+	"modellake/internal/nn"
+	"modellake/internal/registry"
+)
+
+// Server serves one lake.
+type Server struct {
+	lk *lake.Lake
+}
+
+// New wraps a lake.
+func New(lk *lake.Lake) *Server { return &Server{lk: lk} }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/models", s.handleListModels)
+	mux.HandleFunc("POST /v1/models", s.handleIngest)
+	mux.HandleFunc("GET /v1/models/{id}", s.handleModel)
+	mux.HandleFunc("GET /v1/models/{id}/card", s.handleCard)
+	mux.HandleFunc("GET /v1/models/{id}/cite", s.handleCite)
+	mux.HandleFunc("GET /v1/models/{id}/draft", s.handleDraft)
+	mux.HandleFunc("GET /v1/models/{id}/audit", s.handleAudit)
+	mux.HandleFunc("GET /v1/models/{id}/provenance", s.handleProvenance)
+	mux.HandleFunc("GET /v1/search", s.handleSearch)
+	mux.HandleFunc("GET /v1/related", s.handleRelated)
+	mux.HandleFunc("GET /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/graph", s.handleGraph)
+	return mux
+}
+
+// httpError is the JSON error envelope.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		status = http.StatusNotFound
+	case errors.Is(err, registry.ErrDuplicate):
+		status = http.StatusConflict
+	}
+	writeJSON(w, status, httpError{Error: err.Error()})
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf(format, args...)})
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	if v := r.URL.Query().Get(name); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.lk.Count()})
+}
+
+func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
+	recs, err := s.lk.Records()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	rec, err := s.lk.Record(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rec)
+}
+
+func (s *Server) handleCard(w http.ResponseWriter, r *http.Request) {
+	c, err := s.lk.Card(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	if r.URL.Query().Get("format") == "markdown" {
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		fmt.Fprint(w, c.Markdown())
+		return
+	}
+	writeJSON(w, http.StatusOK, c)
+}
+
+func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
+	c, err := s.lk.Cite(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"citation": c, "text": c.String()})
+}
+
+func (s *Server) handleDraft(w http.ResponseWriter, r *http.Request) {
+	d, err := s.lk.GenerateCard(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"card": d.Card, "evidence": d.Evidence, "flags": d.Flags,
+	})
+}
+
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	flagged := map[string]string{}
+	for _, f := range r.URL.Query()["flag"] {
+		parts := strings.SplitN(f, "=", 2)
+		reason := "flagged"
+		if len(parts) == 2 {
+			reason = parts[1]
+		}
+		flagged[parts[0]] = reason
+	}
+	rep, err := s.lk.Audit(r.PathValue("id"), flagged)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
+	ex, err := s.lk.Provenance().Why("model:" + r.PathValue("id"))
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, ex)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		badRequest(w, "missing query parameter q")
+		return
+	}
+	hits := s.lk.SearchKeyword(q, intParam(r, "k", 10))
+	writeJSON(w, http.StatusOK, hits)
+}
+
+func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	if id == "" {
+		badRequest(w, "missing query parameter id")
+		return
+	}
+	hits, err := s.lk.SearchByModel(id, r.URL.Query().Get("space"), intParam(r, "k", 10))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, hits)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		badRequest(w, "missing query parameter q")
+		return
+	}
+	res, err := s.lk.Query(q)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"query": res.Query.String(), "hits": res.Hits})
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	g, err := s.lk.VersionGraph()
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, g)
+}
+
+// IngestRequest is the POST /v1/models body: declared metadata, the card,
+// and the model weights in the repository's binary format, base64-encoded.
+type IngestRequest struct {
+	Name       string         `json:"name"`
+	Version    string         `json:"version,omitempty"`
+	Tags       []string       `json:"tags,omitempty"`
+	Card       *card.Card     `json:"card,omitempty"`
+	History    *model.History `json:"history,omitempty"`
+	WeightsB64 string         `json:"weights_b64"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+		badRequest(w, "decode body: %v", err)
+		return
+	}
+	if req.Name == "" {
+		badRequest(w, "name is required")
+		return
+	}
+	raw, err := base64.StdEncoding.DecodeString(req.WeightsB64)
+	if err != nil {
+		badRequest(w, "weights_b64: %v", err)
+		return
+	}
+	net, err := nn.DecodeMLP(raw)
+	if err != nil {
+		badRequest(w, "weights: %v", err)
+		return
+	}
+	m := &model.Model{Name: req.Name, Net: net, Hist: req.History}
+	rec, err := s.lk.Ingest(m, req.Card, registry.RegisterOptions{
+		Name: req.Name, Version: req.Version, Tags: req.Tags,
+	})
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, rec)
+}

@@ -1,0 +1,285 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"modellake/internal/benchmark"
+	"modellake/internal/card"
+	"modellake/internal/lake"
+	"modellake/internal/lakegen"
+	"modellake/internal/nn"
+	"modellake/internal/registry"
+	"modellake/internal/search"
+)
+
+// testServer spins up a lake with a generated population behind httptest.
+func testServer(t *testing.T) (*httptest.Server, *lake.Lake, *lakegen.Population, map[int]string) {
+	t.Helper()
+	lk, err := lake.Open(lake.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lk.Close() })
+	spec := lakegen.DefaultSpec(701)
+	spec.NumBases = 3
+	spec.ChildrenPerBase = 3
+	pop, err := lakegen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[int]string{}
+	for _, ds := range pop.Datasets {
+		lk.RegisterDataset(ds)
+	}
+	for i, m := range pop.Members {
+		rec, err := lk.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = rec.ID
+	}
+	for _, m := range pop.Members {
+		if m.Truth.Depth == 0 {
+			lk.RegisterBenchmark(&benchmark.Benchmark{
+				ID: "bench-" + m.Truth.Domain, DS: pop.Datasets[m.Truth.DatasetID],
+				Metric: benchmark.MetricAccuracy,
+			})
+		}
+	}
+	ts := httptest.NewServer(New(lk).Handler())
+	t.Cleanup(ts.Close)
+	return ts, lk, pop, ids
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndList(t *testing.T) {
+	ts, lk, _, _ := testServer(t)
+	var health map[string]any
+	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 {
+		t.Fatalf("healthz = %d", code)
+	}
+	if int(health["models"].(float64)) != lk.Count() {
+		t.Fatalf("health models = %v", health["models"])
+	}
+	var recs []registry.Record
+	if code := getJSON(t, ts.URL+"/v1/models", &recs); code != 200 {
+		t.Fatalf("list = %d", code)
+	}
+	if len(recs) != lk.Count() {
+		t.Fatalf("listed %d records, want %d", len(recs), lk.Count())
+	}
+}
+
+func TestModelAndCardRoutes(t *testing.T) {
+	ts, _, pop, ids := testServer(t)
+	var rec registry.Record
+	if code := getJSON(t, ts.URL+"/v1/models/"+ids[0], &rec); code != 200 {
+		t.Fatalf("model = %d", code)
+	}
+	if rec.Name != pop.Members[0].Truth.Name {
+		t.Fatalf("record name = %q", rec.Name)
+	}
+	var c card.Card
+	if code := getJSON(t, ts.URL+"/v1/models/"+ids[0]+"/card", &c); code != 200 {
+		t.Fatalf("card = %d", code)
+	}
+	// Markdown rendering.
+	resp, err := http.Get(ts.URL + "/v1/models/" + ids[0] + "/card?format=markdown")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	md, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(md), "# Model Card:") {
+		t.Fatalf("markdown card missing header: %.80s", md)
+	}
+	// Missing model → 404 with JSON error.
+	if code := getJSON(t, ts.URL+"/v1/models/m-999999", nil); code != 404 {
+		t.Fatalf("missing model = %d, want 404", code)
+	}
+}
+
+func TestSearchRelatedQueryGraph(t *testing.T) {
+	ts, _, _, ids := testServer(t)
+	var hits []search.Hit
+	if code := getJSON(t, ts.URL+"/v1/search?q=legal&k=3", &hits); code != 200 {
+		t.Fatalf("search = %d", code)
+	}
+	if len(hits) == 0 {
+		t.Fatal("search returned nothing")
+	}
+	if code := getJSON(t, ts.URL+"/v1/search", nil); code != 400 {
+		t.Fatalf("missing q = %d, want 400", code)
+	}
+
+	var related []search.Hit
+	if code := getJSON(t, ts.URL+"/v1/related?id="+ids[0]+"&k=3", &related); code != 200 {
+		t.Fatalf("related = %d", code)
+	}
+	if len(related) != 3 {
+		t.Fatalf("related hits = %d", len(related))
+	}
+	if code := getJSON(t, ts.URL+"/v1/related", nil); code != 400 {
+		t.Fatalf("missing id = %d, want 400", code)
+	}
+
+	var queryResp struct {
+		Query string       `json:"query"`
+		Hits  []search.Hit `json:"hits"`
+	}
+	q := "FIND MODELS WHERE DOMAIN = 'legal' LIMIT 5"
+	if code := getJSON(t, ts.URL+"/v1/query?q="+strings.ReplaceAll(q, " ", "+"), &queryResp); code != 200 {
+		t.Fatalf("query = %d", code)
+	}
+	if len(queryResp.Hits) == 0 {
+		t.Fatal("query returned nothing")
+	}
+	if code := getJSON(t, ts.URL+"/v1/query?q=NONSENSE", nil); code != 400 {
+		t.Fatalf("bad MLQL = %d, want 400", code)
+	}
+
+	var graph struct {
+		Nodes []string `json:"Nodes"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/graph", &graph); code != 200 {
+		t.Fatalf("graph = %d", code)
+	}
+	if len(graph.Nodes) == 0 {
+		t.Fatal("graph empty")
+	}
+}
+
+func TestCiteDraftAuditProvenance(t *testing.T) {
+	ts, _, _, ids := testServer(t)
+	var cite struct {
+		Text string `json:"text"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/models/"+ids[0]+"/cite", &cite); code != 200 {
+		t.Fatalf("cite = %d", code)
+	}
+	if cite.Text == "" {
+		t.Fatal("empty citation")
+	}
+	var draft struct {
+		Card card.Card `json:"card"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/models/"+ids[1]+"/draft", &draft); code != 200 {
+		t.Fatalf("draft = %d", code)
+	}
+	if draft.Card.ModelID != ids[1] {
+		t.Fatalf("draft for wrong model: %q", draft.Card.ModelID)
+	}
+	var audit struct {
+		ModelID  string `json:"ModelID"`
+		Findings []struct{ ID string }
+	}
+	url := fmt.Sprintf("%s/v1/models/%s/audit?flag=%s=poisoned", ts.URL, ids[1], ids[0])
+	if code := getJSON(t, url, &audit); code != 200 {
+		t.Fatalf("audit = %d", code)
+	}
+	if audit.ModelID != ids[1] {
+		t.Fatalf("audit for wrong model: %q", audit.ModelID)
+	}
+	if code := getJSON(t, ts.URL+"/v1/models/"+ids[0]+"/provenance", nil); code != 200 {
+		t.Fatalf("provenance = %d", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/models/m-404/provenance", nil); code != 404 {
+		t.Fatalf("missing provenance = %d, want 404", code)
+	}
+}
+
+func TestIngestOverHTTP(t *testing.T) {
+	ts, lk, pop, _ := testServer(t)
+	before := lk.Count()
+
+	net := pop.Members[0].Model.Net.Clone()
+	raw, err := nn.EncodeMLP(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := IngestRequest{
+		Name:       "uploaded-model",
+		Card:       &card.Card{Name: "uploaded-model", Domain: "legal", License: "mit"},
+		WeightsB64: base64.StdEncoding.EncodeToString(raw),
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/models", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ingest = %d", resp.StatusCode)
+	}
+	var rec registry.Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if lk.Count() != before+1 {
+		t.Fatalf("count = %d, want %d", lk.Count(), before+1)
+	}
+	// The uploaded model is immediately searchable.
+	var hits []search.Hit
+	if code := getJSON(t, ts.URL+"/v1/related?id="+rec.ID+"&k=2", &hits); code != 200 || len(hits) == 0 {
+		t.Fatalf("uploaded model not searchable: %d %v", code, hits)
+	}
+
+	// Duplicate name@version → 409.
+	resp2, err := http.Post(ts.URL+"/v1/models", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate ingest = %d, want 409", resp2.StatusCode)
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	ts, _, _, _ := testServer(t)
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+"/v1/models", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != 400 {
+		t.Fatalf("bad json = %d", code)
+	}
+	if code := post(`{"weights_b64":"aaaa"}`); code != 400 {
+		t.Fatalf("missing name = %d", code)
+	}
+	if code := post(`{"name":"x","weights_b64":"!!!"}`); code != 400 {
+		t.Fatalf("bad base64 = %d", code)
+	}
+	if code := post(`{"name":"x","weights_b64":"aGVsbG8="}`); code != 400 {
+		t.Fatalf("bad weights = %d", code)
+	}
+}

@@ -1,0 +1,63 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary encoding of matrices: a little-endian header (magic, rows, cols)
+// followed by rows*cols float64 values. The format is stable and versioned by
+// magic so stored model weights remain readable.
+
+const matrixMagic uint32 = 0x4d4c4b31 // "MLK1"
+
+// ErrBadEncoding reports a malformed matrix byte stream.
+var ErrBadEncoding = errors.New("tensor: bad matrix encoding")
+
+// WriteMatrix writes m to w in the stable binary format.
+func WriteMatrix(w io.Writer, m Matrix) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], matrixMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(m.Rows))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(m.Cols))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("tensor: write header: %w", err)
+	}
+	buf := make([]byte, 8*len(m.Data))
+	for i, v := range m.Data {
+		binary.LittleEndian.PutUint64(buf[i*8:], math.Float64bits(v))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("tensor: write data: %w", err)
+	}
+	return nil
+}
+
+// ReadMatrix reads a matrix previously written with WriteMatrix.
+func ReadMatrix(r io.Reader) (Matrix, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Matrix{}, fmt.Errorf("tensor: read header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != matrixMagic {
+		return Matrix{}, fmt.Errorf("%w: bad magic", ErrBadEncoding)
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	cols := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	const maxElems = 1 << 28 // 2 GiB of float64s; guards corrupt headers
+	if rows < 0 || cols < 0 || rows*cols > maxElems {
+		return Matrix{}, fmt.Errorf("%w: implausible shape %dx%d", ErrBadEncoding, rows, cols)
+	}
+	m := NewMatrix(rows, cols)
+	buf := make([]byte, 8*len(m.Data))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return Matrix{}, fmt.Errorf("tensor: read data: %w", err)
+	}
+	for i := range m.Data {
+		m.Data[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[i*8:]))
+	}
+	return m, nil
+}

@@ -1,0 +1,100 @@
+package tensor
+
+import (
+	"testing"
+
+	"modellake/internal/xrand"
+)
+
+func TestSolveIdentity(t *testing.T) {
+	a := NewMatrix(3, 3)
+	for i := 0; i < 3; i++ {
+		a.Set(i, i, 1)
+	}
+	b := Vector{1, 2, 3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if !almostEqual(x[i], b[i], 1e-12) {
+			t.Fatalf("Solve(I, b) = %v, want %v", x, b)
+		}
+	}
+}
+
+func TestSolveRandomSystem(t *testing.T) {
+	rng := xrand.New(41)
+	n := 6
+	a := NewMatrix(n, n)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	// Make it diagonally dominant so it is well conditioned.
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	want := NewVector(n)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := NewVector(n)
+	a.MatVec(b, want)
+	got, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Fatalf("Solve mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := Solve(a, Vector{1, 1}); err == nil {
+		t.Fatal("expected singular-matrix error")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(NewMatrix(2, 3), Vector{1, 1}); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	if _, err := Solve(NewMatrix(2, 2), Vector{1}); err == nil {
+		t.Fatal("expected rhs length error")
+	}
+}
+
+func TestSolveDoesNotMutateInputs(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(1, 1, 3)
+	b := Vector{4, 9}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a.At(0, 0) != 2 || a.At(1, 1) != 3 || b[0] != 4 || b[1] != 9 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+func TestCovarianceOfRows(t *testing.T) {
+	m := NewMatrix(2, 2)
+	copy(m.Data, []float64{1, 0, 0, 1})
+	c := CovarianceOfRows(m, 0)
+	// (1/2)(e1 e1ᵀ + e2 e2ᵀ) = I/2
+	if !almostEqual(c.At(0, 0), 0.5, 1e-12) || !almostEqual(c.At(1, 1), 0.5, 1e-12) ||
+		!almostEqual(c.At(0, 1), 0, 1e-12) {
+		t.Fatalf("covariance = %v", c.Data)
+	}
+	cr := CovarianceOfRows(m, 0.1)
+	if !almostEqual(cr.At(0, 0), 0.6, 1e-12) {
+		t.Fatalf("ridge not applied: %v", cr.At(0, 0))
+	}
+}

@@ -1,0 +1,113 @@
+package version
+
+import (
+	"fmt"
+
+	"modellake/internal/embedding"
+	"modellake/internal/model"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+)
+
+// DNA implements a "Model DNA" encoder in the spirit of Mu et al. (cited in
+// §4): a compact representation combining a data-driven component (the
+// model's behaviour on a shared probe set) with a model-driven component (a
+// sketch of its weights). Two models descended from one another have similar
+// DNA; the encoding also supports the pre-trained-version test when raw
+// weight distances are unavailable or unreliable.
+type DNA struct {
+	weight   *embedding.WeightEmbedder
+	behavior *embedding.BehaviorEmbedder
+}
+
+// NewDNA builds an encoder for models with the given input dimension. All
+// encodings from the same (inputDim, seed) are comparable.
+func NewDNA(inputDim int, seed uint64) *DNA {
+	return &DNA{
+		weight:   embedding.NewWeightEmbedder(32, 4, seed),
+		behavior: embedding.NewBehaviorEmbedder(inputDim, 32, 8, seed+1),
+	}
+}
+
+// Encode returns the model's DNA vector: the L2-normalized weight sketch
+// concatenated with the L2-normalized behavioural sketch.
+func (d *DNA) Encode(net *nn.MLP) (tensor.Vector, error) {
+	if net == nil {
+		return nil, fmt.Errorf("version: DNA of nil model")
+	}
+	h := model.NewHandle(&model.Model{ID: "dna", Net: net})
+	wv, err := d.weight.Embed(h)
+	if err != nil {
+		return nil, fmt.Errorf("version: DNA weight component: %w", err)
+	}
+	bv, err := d.behavior.Embed(h)
+	if err != nil {
+		return nil, fmt.Errorf("version: DNA behaviour component: %w", err)
+	}
+	wv = wv.Clone()
+	wv.Normalize()
+	bv = bv.Clone()
+	bv.Normalize()
+	return append(wv, bv...), nil
+}
+
+// Distance returns the Euclidean distance between two models' DNA.
+func (d *DNA) Distance(a, b *nn.MLP) (float64, error) {
+	av, err := d.Encode(a)
+	if err != nil {
+		return 0, err
+	}
+	bv, err := d.Encode(b)
+	if err != nil {
+		return 0, err
+	}
+	return tensor.L2Distance(av, bv), nil
+}
+
+// IsPretrainedVersion answers Mu et al.'s question — is candidate the
+// pre-trained source of target? — using DNA distance plus the generation
+// heuristic. Unlike raw weight distance, DNA works across architectures
+// (both components fold into fixed dimensions), though direction still
+// requires same-architecture norms when h is NormDrift.
+func (d *DNA) IsPretrainedVersion(candidate, target *nn.MLP, maxDistance float64, h DirectionHeuristic) (bool, error) {
+	if h == nil {
+		h = NormDrift{}
+	}
+	dist, err := d.Distance(candidate, target)
+	if err != nil {
+		return false, err
+	}
+	if dist > maxDistance {
+		return false, nil
+	}
+	return h.Score(candidate) <= h.Score(target), nil
+}
+
+// DNADistanceFn adapts the encoder to Config.DistanceFn for graph
+// reconstruction over DNA space instead of raw weight space. Encodings are
+// memoized per *nn.MLP pointer, so reconstruction stays O(n) encodings.
+func (d *DNA) DNADistanceFn() func(a, b *nn.MLP) (float64, error) {
+	cache := map[*nn.MLP]tensor.Vector{}
+	get := func(m *nn.MLP) (tensor.Vector, error) {
+		if v, ok := cache[m]; ok {
+			return v, nil
+		}
+		v, err := d.Encode(m)
+		if err != nil {
+			return nil, err
+		}
+		cache[m] = v
+		return v, nil
+	}
+	return func(a, b *nn.MLP) (float64, error) {
+		av, err := get(a)
+		if err != nil {
+			return 0, err
+		}
+		bv, err := get(b)
+		if err != nil {
+			return 0, err
+		}
+		return tensor.L2Distance(av, bv), nil
+	}
+}

@@ -1,0 +1,141 @@
+package version
+
+import (
+	"fmt"
+	"testing"
+
+	"modellake/internal/nn"
+	"modellake/internal/xrand"
+)
+
+func TestDNAEncodeShapeAndDeterminism(t *testing.T) {
+	d := NewDNA(8, 1)
+	net := nn.NewMLP([]int{8, 16, 3}, nn.ReLU, xrand.New(2))
+	v1, err := d.Encode(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := NewDNA(8, 1).Encode(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v1) == 0 || len(v1) != len(v2) {
+		t.Fatalf("encodings length %d vs %d", len(v1), len(v2))
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("same-seed DNA encoders disagree")
+		}
+	}
+	if _, err := d.Encode(nil); err == nil {
+		t.Fatal("nil model accepted")
+	}
+}
+
+func TestDNADistanceOrdersLineage(t *testing.T) {
+	pop := generate(t, 61, 3, 5)
+	d := NewDNA(pop.Spec.Dim, 3)
+	violations, checked := 0, 0
+	for _, e := range pop.Edges {
+		child := pop.Members[e.Child].Model.Net
+		parent := pop.Members[e.Parent].Model.Net
+		dPar, err := d.Distance(child, parent)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, other := range pop.Members {
+			if pop.Members[i].Truth.Family == pop.Members[e.Child].Truth.Family {
+				continue
+			}
+			dOther, err := d.Distance(child, other.Model.Net)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked++
+			if dPar >= dOther {
+				violations++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing checked")
+	}
+	if frac := float64(violations) / float64(checked); frac > 0.05 {
+		t.Fatalf("DNA parent-proximity violated in %.1f%% of comparisons", frac*100)
+	}
+}
+
+func TestDNAIsPretrainedVersion(t *testing.T) {
+	pop := generate(t, 62, 2, 4)
+	d := NewDNA(pop.Spec.Dim, 5)
+	e := pop.Edges[0]
+	parent := pop.Members[e.Parent].Model.Net
+	child := pop.Members[e.Child].Model.Net
+	ok, err := d.IsPretrainedVersion(parent, child, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("true pre-trained version not recognized")
+	}
+	var unrelated *nn.MLP
+	for _, m := range pop.Members {
+		if m.Truth.Family != pop.Members[e.Child].Truth.Family {
+			unrelated = m.Model.Net
+			break
+		}
+	}
+	dist, err := d.Distance(parent, child)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = d.IsPretrainedVersion(unrelated, child, dist*2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unrelated model accepted as pre-trained version")
+	}
+}
+
+func TestReconstructWithDNADistance(t *testing.T) {
+	pop := generate(t, 63, 3, 6)
+	nodes := popNodes(t, pop)
+	d := NewDNA(pop.Spec.Dim, 7)
+	g, err := Reconstruct(nodes, Config{DistanceFn: d.DNADistanceFn()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := EvaluateEdges(g.Edges, truthEdges(pop))
+	if res.F1 < 0.5 {
+		t.Fatalf("DNA-space reconstruction F1 = %.2f, want >= 0.5", res.F1)
+	}
+}
+
+func TestReconstructDistanceFnErrorPropagates(t *testing.T) {
+	net := nn.NewMLP([]int{4, 6, 2}, nn.ReLU, xrand.New(1))
+	nodes := []Node{{ID: "a", Net: net}, {ID: "b", Net: net.Clone()}}
+	boom := func(a, b *nn.MLP) (float64, error) { return 0, fmt.Errorf("boom") }
+	if _, err := Reconstruct(nodes, Config{DistanceFn: boom}); err == nil {
+		t.Fatal("distance error swallowed")
+	}
+}
+
+func TestDNADistanceFnMemoizes(t *testing.T) {
+	pop := generate(t, 64, 2, 2)
+	d := NewDNA(pop.Spec.Dim, 9)
+	fn := d.DNADistanceFn()
+	a := pop.Members[0].Model.Net
+	b := pop.Members[1].Model.Net
+	d1, err := fn(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := fn(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("memoized distance changed")
+	}
+}

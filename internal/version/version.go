@@ -1,0 +1,531 @@
+// Package version implements the model-versioning task of §3: given a set of
+// models, reconstruct the directed Model Graph whose edges say "this model is
+// a version of that one", label each edge with the transformation that
+// produced it, and answer the is-source-of question for model pairs.
+//
+// The reconstruction follows the weight-similarity approach of Horwitz et
+// al.'s Model Tree Heritage Recovery, adapted to this lake:
+//
+//  1. Models are grouped by architecture (versions share f*).
+//  2. Within a group, a minimum spanning forest is built over pairwise
+//     weight distances, cutting edges that are far beyond the local scale
+//     (different families that merely share an architecture).
+//  3. Each tree is rooted at the node with the lowest generation score from
+//     a pluggable DirectionHeuristic and oriented away from the root.
+//     The default heuristic is weight-norm drift — continued training tends
+//     to grow parameter norms — with weight kurtosis (MoTHer's statistic)
+//     available as an ablation.
+//  4. Edges are labeled by inspecting the weight delta: rank-1 final-layer
+//     deltas are edits, low-rank single-layer deltas are LoRA merges, dense
+//     multi-layer deltas are fine-tuning, and exact complementary layer
+//     sharing with a second model is stitching (which also adds the second
+//     parent edge).
+package version
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"modellake/internal/model"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// Node is one model presented to the reconstructor; intrinsics are required.
+type Node struct {
+	ID  string
+	Net *nn.MLP
+}
+
+// Edge is a directed version edge parent → child.
+type Edge struct {
+	Parent, Child string
+	Transform     string  // labeled transformation (Transform* constants)
+	Distance      float64 // weight distance along the edge
+}
+
+// Graph is a reconstructed Model Graph.
+type Graph struct {
+	Nodes []string
+	Edges []Edge
+}
+
+// DirectionHeuristic scores a model's "generation": children should score
+// higher than their parents.
+type DirectionHeuristic interface {
+	Name() string
+	Score(net *nn.MLP) float64
+}
+
+// NormDrift scores by the L2 norm of the flattened parameters. Continued
+// training (fine-tuning, adapters) tends to increase parameter norm, so
+// later generations score higher.
+type NormDrift struct{}
+
+// Name implements DirectionHeuristic.
+func (NormDrift) Name() string { return "norm-drift" }
+
+// Score implements DirectionHeuristic.
+func (NormDrift) Score(net *nn.MLP) float64 { return net.FlattenWeights().Norm() }
+
+// KurtosisDrift scores by the excess kurtosis of the flattened parameters —
+// the statistic Horwitz et al. observed to grow monotonically under
+// fine-tuning of large transformers. On this repository's small MLPs it is a
+// much weaker signal than NormDrift; it is kept as an ablation.
+type KurtosisDrift struct{}
+
+// Name implements DirectionHeuristic.
+func (KurtosisDrift) Name() string { return "kurtosis-drift" }
+
+// Score implements DirectionHeuristic.
+func (KurtosisDrift) Score(net *nn.MLP) float64 {
+	return tensor.Summarize(net.FlattenWeights()).Kurtosis
+}
+
+// Config tunes reconstruction.
+type Config struct {
+	// Heuristic orients trees; nil selects NormDrift.
+	Heuristic DirectionHeuristic
+	// CutFactor drops spanning edges longer than CutFactor × the median
+	// accepted edge length, splitting unrelated families. <= 0 selects 4.
+	CutFactor float64
+	// ClassifyEdges labels each edge's transformation (slightly more work).
+	ClassifyEdges bool
+	// Seed drives the randomized rank estimation used by classification.
+	Seed uint64
+	// DistanceFn overrides the pairwise model distance (default: L2 over
+	// flattened weights). Use DNA.DNADistanceFn for Model-DNA space.
+	DistanceFn func(a, b *nn.MLP) (float64, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heuristic == nil {
+		c.Heuristic = NormDrift{}
+	}
+	if c.CutFactor <= 0 {
+		c.CutFactor = 4
+	}
+	return c
+}
+
+// ErrNoNodes reports an empty reconstruction input.
+var ErrNoNodes = errors.New("version: no nodes")
+
+// Reconstruct builds the Model Graph for the given nodes.
+func Reconstruct(nodes []Node, cfg Config) (*Graph, error) {
+	if len(nodes) == 0 {
+		return nil, ErrNoNodes
+	}
+	cfg = cfg.withDefaults()
+	g := &Graph{}
+	seen := map[string]bool{}
+	for _, n := range nodes {
+		if n.Net == nil {
+			return nil, fmt.Errorf("version: node %s has no weights", n.ID)
+		}
+		if seen[n.ID] {
+			return nil, fmt.Errorf("version: duplicate node id %q", n.ID)
+		}
+		seen[n.ID] = true
+		g.Nodes = append(g.Nodes, n.ID)
+	}
+
+	// Group by architecture.
+	groups := map[string][]int{}
+	for i, n := range nodes {
+		arch := n.Net.ArchString()
+		groups[arch] = append(groups[arch], i)
+	}
+	archs := make([]string, 0, len(groups))
+	for a := range groups {
+		archs = append(archs, a)
+	}
+	sort.Strings(archs)
+
+	for _, arch := range archs {
+		idxs := groups[arch]
+		if len(idxs) < 2 {
+			continue
+		}
+		edges, err := reconstructGroup(nodes, idxs, cfg)
+		if err != nil {
+			return nil, err
+		}
+		g.Edges = append(g.Edges, edges...)
+	}
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].Parent != g.Edges[j].Parent {
+			return g.Edges[i].Parent < g.Edges[j].Parent
+		}
+		return g.Edges[i].Child < g.Edges[j].Child
+	})
+	return g, nil
+}
+
+// reconstructGroup runs MST + orientation + labeling for one architecture
+// group (indices into nodes).
+func reconstructGroup(nodes []Node, idxs []int, cfg Config) ([]Edge, error) {
+	n := len(idxs)
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	if cfg.DistanceFn != nil {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d, err := cfg.DistanceFn(nodes[idxs[i]].Net, nodes[idxs[j]].Net)
+				if err != nil {
+					return nil, fmt.Errorf("version: distance(%s, %s): %w",
+						nodes[idxs[i]].ID, nodes[idxs[j]].ID, err)
+				}
+				dist[i][j], dist[j][i] = d, d
+			}
+		}
+	} else {
+		flat := make([]tensor.Vector, n)
+		for i, idx := range idxs {
+			flat[i] = nodes[idx].Net.FlattenWeights()
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				d := tensor.L2Distance(flat[i], flat[j])
+				dist[i][j], dist[j][i] = d, d
+			}
+		}
+	}
+
+	// Prim's MST.
+	inTree := make([]bool, n)
+	bestDist := make([]float64, n)
+	bestFrom := make([]int, n)
+	for i := range bestDist {
+		bestDist[i] = math.Inf(1)
+		bestFrom[i] = -1
+	}
+	inTree[0] = true
+	for j := 1; j < n; j++ {
+		bestDist[j] = dist[0][j]
+		bestFrom[j] = 0
+	}
+	type mstEdge struct {
+		a, b int
+		d    float64
+	}
+	var mst []mstEdge
+	for added := 1; added < n; added++ {
+		pick := -1
+		for j := 0; j < n; j++ {
+			if !inTree[j] && (pick < 0 || bestDist[j] < bestDist[pick]) {
+				pick = j
+			}
+		}
+		mst = append(mst, mstEdge{a: bestFrom[pick], b: pick, d: bestDist[pick]})
+		inTree[pick] = true
+		for j := 0; j < n; j++ {
+			if !inTree[j] && dist[pick][j] < bestDist[j] {
+				bestDist[j] = dist[pick][j]
+				bestFrom[j] = pick
+			}
+		}
+	}
+
+	// Cut implausibly long edges: different families sharing an arch.
+	ds := make([]float64, len(mst))
+	for i, e := range mst {
+		ds[i] = e.d
+	}
+	sort.Float64s(ds)
+	median := 0.0
+	if len(ds) > 0 {
+		median = ds[len(ds)/2]
+	}
+	cut := cfg.CutFactor * median
+	adj := make([][]int, n) // adjacency over kept MST edges (index into mst)
+	kept := make([]bool, len(mst))
+	for i, e := range mst {
+		if median > 0 && e.d > cut {
+			continue
+		}
+		kept[i] = true
+		adj[e.a] = append(adj[e.a], i)
+		adj[e.b] = append(adj[e.b], i)
+	}
+
+	// Orient each connected component from its lowest-scoring node.
+	scores := make([]float64, n)
+	for i, idx := range idxs {
+		scores[i] = cfg.Heuristic.Score(nodes[idx].Net)
+	}
+	visited := make([]bool, n)
+	var out []Edge
+	for start := 0; start < n; start++ {
+		if visited[start] {
+			continue
+		}
+		// Collect the component.
+		comp := []int{start}
+		visited[start] = true
+		for qi := 0; qi < len(comp); qi++ {
+			u := comp[qi]
+			for _, ei := range adj[u] {
+				v := mst[ei].a + mst[ei].b - u
+				if !visited[v] {
+					visited[v] = true
+					comp = append(comp, v)
+				}
+			}
+		}
+		// Root = lowest generation score.
+		root := comp[0]
+		for _, u := range comp {
+			if scores[u] < scores[root] {
+				root = u
+			}
+		}
+		// BFS orientation away from the root.
+		seen := map[int]bool{root: true}
+		queue := []int{root}
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, ei := range adj[u] {
+				v := mst[ei].a + mst[ei].b - u
+				if seen[v] {
+					continue
+				}
+				seen[v] = true
+				queue = append(queue, v)
+				out = append(out, Edge{
+					Parent:   nodes[idxs[u]].ID,
+					Child:    nodes[idxs[v]].ID,
+					Distance: mst[ei].d,
+				})
+			}
+		}
+	}
+
+	if cfg.ClassifyEdges {
+		rng := xrand.New(cfg.Seed).Child("rank")
+		byID := map[string]int{}
+		for i, idx := range idxs {
+			byID[nodes[idx].ID] = i
+		}
+		for i := range out {
+			p := nodes[idxs[byID[out[i].Parent]]].Net
+			c := nodes[idxs[byID[out[i].Child]]].Net
+			out[i].Transform = classifyDelta(p, c, rng)
+		}
+		// Stitch second parents: a child whose delta vs its parent leaves
+		// some layers exactly intact may share the changed layers exactly
+		// with another group member.
+		out = append(out, stitchEdges(nodes, idxs, out, byID)...)
+	}
+	return out, nil
+}
+
+// classifyDelta labels the transformation that turned parent into child.
+func classifyDelta(parent, child *nn.MLP, rng *xrand.RNG) string {
+	L := parent.LayerCount()
+	changed := make([]int, 0, L)
+	var deltas []tensor.Matrix
+	for l := 0; l < L; l++ {
+		d := tensor.Sub(child.W[l], parent.W[l])
+		deltas = append(deltas, d)
+		ref := parent.W[l].FrobeniusNorm()
+		if ref == 0 {
+			ref = 1
+		}
+		if d.FrobeniusNorm() > 1e-9*ref {
+			changed = append(changed, l)
+		}
+	}
+	switch len(changed) {
+	case 0:
+		return "identical"
+	case 1:
+		l := changed[0]
+		sv := tensor.TopSingularValues(deltas[l], 4, 50, rng)
+		rank := tensor.EffectiveRank(sv, 1e-4)
+		if rank <= 1 && l == L-1 {
+			return model.TransformEdit
+		}
+		if rank <= 2 {
+			return model.TransformLoRA
+		}
+		return model.TransformFinetune
+	default:
+		return model.TransformFinetune
+	}
+}
+
+// stitchEdges finds second parents for stitched children: children that
+// share some layers exactly with their recovered parent and the remaining
+// layers exactly with another node.
+func stitchEdges(nodes []Node, idxs []int, edges []Edge, byID map[string]int) []Edge {
+	var extra []Edge
+	for ei := range edges {
+		e := &edges[ei]
+		p := nodes[idxs[byID[e.Parent]]].Net
+		c := nodes[idxs[byID[e.Child]]].Net
+		L := p.LayerCount()
+		// Layers the child shares exactly with its recovered parent.
+		shared := make([]bool, L)
+		anyShared, anyChanged := false, false
+		for l := 0; l < L; l++ {
+			if tensor.Sub(c.W[l], p.W[l]).FrobeniusNorm() == 0 {
+				shared[l] = true
+				anyShared = true
+			} else {
+				anyChanged = true
+			}
+		}
+		if !anyShared || !anyChanged {
+			continue
+		}
+		// Does another node own the changed layers exactly?
+		for _, j := range idxs {
+			other := nodes[j]
+			if other.ID == e.Parent || other.ID == e.Child {
+				continue
+			}
+			if other.Net.LayerCount() != L {
+				continue
+			}
+			matchesAllChanged := true
+			for l := 0; l < L; l++ {
+				if shared[l] {
+					continue
+				}
+				if tensor.Sub(c.W[l], other.Net.W[l]).FrobeniusNorm() != 0 {
+					matchesAllChanged = false
+					break
+				}
+			}
+			if matchesAllChanged {
+				e.Transform = model.TransformStitch
+				extra = append(extra, Edge{
+					Parent:    other.ID,
+					Child:     e.Child,
+					Transform: model.TransformStitch,
+				})
+				break
+			}
+		}
+	}
+	return extra
+}
+
+// IsSourceOf answers the paper's versioning question: is candidate (θc) a
+// source of target (θt)? It holds when the two models share an architecture,
+// their weight distance is within maxDistance, and the direction heuristic
+// orders candidate before target.
+func IsSourceOf(candidate, target *nn.MLP, maxDistance float64, h DirectionHeuristic) (bool, error) {
+	if h == nil {
+		h = NormDrift{}
+	}
+	d, err := nn.WeightDistance(candidate, target)
+	if err != nil {
+		return false, nil // different architectures: not a source in our model class
+	}
+	if d > maxDistance {
+		return false, nil
+	}
+	return h.Score(candidate) <= h.Score(target), nil
+}
+
+// EvalResult reports edge precision/recall/F1 of a reconstructed graph
+// against ground truth.
+type EvalResult struct {
+	Precision, Recall, F1 float64
+	TruePositives         int
+	FalsePositives        int
+	FalseNegatives        int
+}
+
+// EvaluateEdges compares directed (parent, child) pairs, ignoring labels.
+func EvaluateEdges(got []Edge, want map[[2]string]bool) EvalResult {
+	var res EvalResult
+	gotSet := map[[2]string]bool{}
+	for _, e := range got {
+		gotSet[[2]string{e.Parent, e.Child}] = true
+	}
+	for k := range gotSet {
+		if want[k] {
+			res.TruePositives++
+		} else {
+			res.FalsePositives++
+		}
+	}
+	for k := range want {
+		if !gotSet[k] {
+			res.FalseNegatives++
+		}
+	}
+	if res.TruePositives+res.FalsePositives > 0 {
+		res.Precision = float64(res.TruePositives) / float64(res.TruePositives+res.FalsePositives)
+	}
+	if res.TruePositives+res.FalseNegatives > 0 {
+		res.Recall = float64(res.TruePositives) / float64(res.TruePositives+res.FalseNegatives)
+	}
+	if res.Precision+res.Recall > 0 {
+		res.F1 = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
+	}
+	return res
+}
+
+// Descendants returns all transitive children of id in the graph, in BFS
+// order — used by audit risk propagation.
+func (g *Graph) Descendants(id string) []string {
+	children := map[string][]string{}
+	for _, e := range g.Edges {
+		children[e.Parent] = append(children[e.Parent], e.Child)
+	}
+	var out []string
+	seen := map[string]bool{id: true}
+	queue := []string{id}
+	for qi := 0; qi < len(queue); qi++ {
+		for _, c := range children[queue[qi]] {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+				queue = append(queue, c)
+			}
+		}
+	}
+	return out
+}
+
+// Ancestors returns all transitive parents of id in BFS order — the models
+// id was (directly or indirectly) derived from.
+func (g *Graph) Ancestors(id string) []string {
+	parents := map[string][]string{}
+	for _, e := range g.Edges {
+		parents[e.Child] = append(parents[e.Child], e.Parent)
+	}
+	var out []string
+	seen := map[string]bool{id: true}
+	queue := []string{id}
+	for qi := 0; qi < len(queue); qi++ {
+		for _, p := range parents[queue[qi]] {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+				queue = append(queue, p)
+			}
+		}
+	}
+	return out
+}
+
+// Parents returns the direct parents of id.
+func (g *Graph) Parents(id string) []string {
+	var out []string
+	for _, e := range g.Edges {
+		if e.Child == id {
+			out = append(out, e.Parent)
+		}
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package version
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"modellake/internal/lakegen"
+	"modellake/internal/nn"
+	"modellake/internal/xrand"
+)
+
+func popNodes(t *testing.T, pop *lakegen.Population) []Node {
+	t.Helper()
+	nodes := make([]Node, len(pop.Members))
+	for i, m := range pop.Members {
+		nodes[i] = Node{ID: fmt.Sprintf("n%d", i), Net: m.Model.Net}
+	}
+	return nodes
+}
+
+func truthEdges(pop *lakegen.Population) map[[2]string]bool {
+	want := map[[2]string]bool{}
+	for _, e := range pop.Edges {
+		want[[2]string{fmt.Sprintf("n%d", e.Parent), fmt.Sprintf("n%d", e.Child)}] = true
+	}
+	return want
+}
+
+func generate(t *testing.T, seed uint64, bases, children int) *lakegen.Population {
+	t.Helper()
+	s := lakegen.DefaultSpec(seed)
+	s.NumBases = bases
+	s.ChildrenPerBase = children
+	pop, err := lakegen.Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+func TestReconstructRecoversLineage(t *testing.T) {
+	pop := generate(t, 11, 4, 6)
+	g, err := Reconstruct(popNodes(t, pop), Config{ClassifyEdges: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := EvaluateEdges(g.Edges, truthEdges(pop))
+	if res.F1 < 0.6 {
+		t.Fatalf("reconstruction F1 = %.2f (P=%.2f R=%.2f), want >= 0.6",
+			res.F1, res.Precision, res.Recall)
+	}
+}
+
+func TestReconstructBeatsRandomBaseline(t *testing.T) {
+	pop := generate(t, 12, 3, 6)
+	nodes := popNodes(t, pop)
+	g, err := Reconstruct(nodes, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := truthEdges(pop)
+	got := EvaluateEdges(g.Edges, truth)
+
+	// Random graph with the same number of edges.
+	rng := xrand.New(99)
+	var randomEdges []Edge
+	for i := 0; i < len(g.Edges); i++ {
+		a, b := rng.Intn(len(nodes)), rng.Intn(len(nodes))
+		if a == b {
+			continue
+		}
+		randomEdges = append(randomEdges, Edge{Parent: nodes[a].ID, Child: nodes[b].ID})
+	}
+	random := EvaluateEdges(randomEdges, truth)
+	if got.F1 <= random.F1+0.2 {
+		t.Fatalf("reconstruction F1 %.2f not clearly better than random %.2f", got.F1, random.F1)
+	}
+}
+
+func TestSeparatesUnrelatedFamilies(t *testing.T) {
+	// Families share architecture but must not be linked.
+	pop := generate(t, 13, 3, 4)
+	g, err := Reconstruct(popNodes(t, pop), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross := 0
+	for _, e := range g.Edges {
+		var pi, ci int
+		fmt.Sscanf(e.Parent, "n%d", &pi)
+		fmt.Sscanf(e.Child, "n%d", &ci)
+		if pop.Members[pi].Truth.Family != pop.Members[ci].Truth.Family {
+			cross++
+		}
+	}
+	if frac := float64(cross) / float64(len(g.Edges)+1); frac > 0.15 {
+		t.Fatalf("%d/%d edges cross families", cross, len(g.Edges))
+	}
+}
+
+func TestEdgeClassification(t *testing.T) {
+	pop := generate(t, 14, 4, 8)
+	g, err := Reconstruct(popNodes(t, pop), Config{ClassifyEdges: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := pop.TrueEdgeSet()
+	correct, total := 0, 0
+	for _, e := range g.Edges {
+		var pi, ci int
+		fmt.Sscanf(e.Parent, "n%d", &pi)
+		fmt.Sscanf(e.Child, "n%d", &ci)
+		wantTransform, ok := truth[[2]int{pi, ci}]
+		if !ok {
+			continue // only grade correctly recovered edges
+		}
+		total++
+		if e.Transform == wantTransform {
+			correct++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no true edges recovered to grade")
+	}
+	if acc := float64(correct) / float64(total); acc < 0.6 {
+		t.Fatalf("edge-type accuracy = %.2f (%d/%d), want >= 0.6", acc, correct, total)
+	}
+}
+
+func TestDirectionHeuristicAblation(t *testing.T) {
+	// NormDrift should not lose to KurtosisDrift on this model class.
+	pop := generate(t, 15, 3, 6)
+	nodes := popNodes(t, pop)
+	truth := truthEdges(pop)
+	norm, err := Reconstruct(nodes, Config{Heuristic: NormDrift{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kurt, err := Reconstruct(nodes, Config{Heuristic: KurtosisDrift{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fN := EvaluateEdges(norm.Edges, truth).F1
+	fK := EvaluateEdges(kurt.Edges, truth).F1
+	if fN+0.05 < fK {
+		t.Fatalf("NormDrift F1 %.2f unexpectedly below KurtosisDrift %.2f", fN, fK)
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	if _, err := Reconstruct(nil, Config{}); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("expected ErrNoNodes, got %v", err)
+	}
+	net := nn.NewMLP([]int{2, 3, 2}, nn.ReLU, xrand.New(1))
+	if _, err := Reconstruct([]Node{{ID: "a", Net: nil}}, Config{}); err == nil {
+		t.Fatal("expected error for weightless node")
+	}
+	dup := []Node{{ID: "a", Net: net}, {ID: "a", Net: net.Clone()}}
+	if _, err := Reconstruct(dup, Config{}); err == nil {
+		t.Fatal("expected duplicate-id error")
+	}
+}
+
+func TestSingleNodeGraph(t *testing.T) {
+	net := nn.NewMLP([]int{2, 3, 2}, nn.ReLU, xrand.New(1))
+	g, err := Reconstruct([]Node{{ID: "only", Net: net}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Edges) != 0 || len(g.Nodes) != 1 {
+		t.Fatalf("singleton graph: %+v", g)
+	}
+}
+
+func TestIsSourceOf(t *testing.T) {
+	pop := generate(t, 16, 2, 4)
+	var parent, child *nn.MLP
+	for _, e := range pop.Edges {
+		parent = pop.Members[e.Parent].Model.Net
+		child = pop.Members[e.Child].Model.Net
+		break
+	}
+	ok, err := IsSourceOf(parent, child, 1e6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("true parent not recognized as source")
+	}
+	// Unrelated model from another family is not a source under a sane
+	// distance budget.
+	var unrelated *nn.MLP
+	for _, m := range pop.Members {
+		if m.Truth.Family != pop.Members[pop.Edges[0].Child].Truth.Family {
+			unrelated = m.Model.Net
+			break
+		}
+	}
+	d, _ := nn.WeightDistance(parent, child)
+	ok, err = IsSourceOf(unrelated, child, d*2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("unrelated model accepted as source")
+	}
+	// Architecture mismatch is never a source.
+	other := nn.NewMLP([]int{3, 4, 2}, nn.ReLU, xrand.New(9))
+	ok, err = IsSourceOf(other, child, 1e9, nil)
+	if err != nil || ok {
+		t.Fatalf("cross-arch source: %v %v", ok, err)
+	}
+}
+
+func TestDescendantsAndParents(t *testing.T) {
+	g := &Graph{
+		Nodes: []string{"a", "b", "c", "d"},
+		Edges: []Edge{
+			{Parent: "a", Child: "b"},
+			{Parent: "b", Child: "c"},
+			{Parent: "a", Child: "d"},
+		},
+	}
+	desc := g.Descendants("a")
+	if len(desc) != 3 {
+		t.Fatalf("Descendants(a) = %v", desc)
+	}
+	if got := g.Descendants("c"); len(got) != 0 {
+		t.Fatalf("Descendants(leaf) = %v", got)
+	}
+	if p := g.Parents("c"); len(p) != 1 || p[0] != "b" {
+		t.Fatalf("Parents(c) = %v", p)
+	}
+}
+
+func TestEvaluateEdgesExact(t *testing.T) {
+	want := map[[2]string]bool{{"a", "b"}: true, {"b", "c"}: true}
+	got := []Edge{{Parent: "a", Child: "b"}, {Parent: "c", Child: "b"}}
+	res := EvaluateEdges(got, want)
+	if res.TruePositives != 1 || res.FalsePositives != 1 || res.FalseNegatives != 1 {
+		t.Fatalf("unexpected eval: %+v", res)
+	}
+	if res.Precision != 0.5 || res.Recall != 0.5 || res.F1 != 0.5 {
+		t.Fatalf("P/R/F1 = %v/%v/%v", res.Precision, res.Recall, res.F1)
+	}
+	empty := EvaluateEdges(nil, map[[2]string]bool{})
+	if empty.F1 != 0 {
+		t.Fatalf("empty eval F1 = %v", empty.F1)
+	}
+}
+
+func BenchmarkReconstruct50Models(b *testing.B) {
+	s := lakegen.DefaultSpec(20)
+	s.NumBases = 5
+	s.ChildrenPerBase = 9
+	pop, err := lakegen.Generate(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]Node, len(pop.Members))
+	for i, m := range pop.Members {
+		nodes[i] = Node{ID: fmt.Sprintf("n%d", i), Net: m.Model.Net}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Reconstruct(nodes, Config{ClassifyEdges: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Property: for any generated lake, the reconstructed graph (before stitch
+// augmentation) is a forest oriented away from roots — every node has at
+// most one parent and there are no cycles.
+func TestReconstructionIsForestProperty(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 4, 5} {
+		pop := generate(t, 100+seed, 3, 5)
+		g, err := Reconstruct(popNodes(t, pop), Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		parents := map[string][]string{}
+		children := map[string][]string{}
+		for _, e := range g.Edges {
+			parents[e.Child] = append(parents[e.Child], e.Parent)
+			children[e.Parent] = append(children[e.Parent], e.Child)
+		}
+		for node, ps := range parents {
+			if len(ps) > 1 {
+				t.Fatalf("seed %d: node %s has %d parents (unclassified graph must be a forest)",
+					seed, node, len(ps))
+			}
+		}
+		// Cycle check: BFS from every root must visit each node at most once
+		// and edges+roots must cover all nodes reachable.
+		visited := map[string]bool{}
+		var walk func(n string) bool
+		walk = func(n string) bool {
+			if visited[n] {
+				return false
+			}
+			visited[n] = true
+			for _, c := range children[n] {
+				if !walk(c) {
+					return false
+				}
+			}
+			return true
+		}
+		for _, n := range g.Nodes {
+			if len(parents[n]) == 0 {
+				if !walk(n) {
+					t.Fatalf("seed %d: cycle detected from root %s", seed, n)
+				}
+			}
+		}
+		for _, n := range g.Nodes {
+			if len(parents[n]) > 0 && !visited[n] {
+				t.Fatalf("seed %d: node %s unreachable from any root (cycle)", seed, n)
+			}
+		}
+	}
+}

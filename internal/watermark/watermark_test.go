@@ -1,0 +1,162 @@
+package watermark
+
+import (
+	"testing"
+
+	"modellake/internal/attribution"
+	"modellake/internal/nn"
+	"modellake/internal/xrand"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 0, 2); err == nil {
+		t.Fatal("gamma 0 accepted")
+	}
+	if _, err := New(1, 1, 2); err == nil {
+		t.Fatal("gamma 1 accepted")
+	}
+	if _, err := New(1, 0.5, -1); err == nil {
+		t.Fatal("negative delta accepted")
+	}
+	if _, err := New(1, 0.5, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreenFractionMatchesGamma(t *testing.T) {
+	w, _ := New(42, 0.25, 2)
+	green, total := 0, 0
+	for prev := 0; prev < 50; prev++ {
+		for tok := 0; tok < 200; tok++ {
+			total++
+			if w.isGreen(prev, tok) {
+				green++
+			}
+		}
+	}
+	frac := float64(green) / float64(total)
+	if frac < 0.22 || frac > 0.28 {
+		t.Fatalf("green fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestWatermarkedTextDetected(t *testing.T) {
+	lm := nn.NewBigramLM(64, xrand.New(1))
+	w, _ := New(7, 0.5, 4)
+	toks := lm.Sample(xrand.New(2), 0, 200, 1.0, w.Bias())
+	det := w.Detect(0, toks)
+	if !det.IsWatermarked(4) {
+		t.Fatalf("watermarked text not detected: z=%v", det.ZScore)
+	}
+	if det.PValue > 1e-4 {
+		t.Fatalf("p-value = %v, want tiny", det.PValue)
+	}
+}
+
+func TestUnwatermarkedTextNotFlagged(t *testing.T) {
+	lm := nn.NewBigramLM(64, xrand.New(3))
+	w, _ := New(7, 0.5, 4)
+	toks := lm.Sample(xrand.New(4), 0, 200, 1.0, nil)
+	det := w.Detect(0, toks)
+	if det.IsWatermarked(4) {
+		t.Fatalf("clean text flagged: z=%v", det.ZScore)
+	}
+}
+
+func TestWrongKeyDoesNotDetect(t *testing.T) {
+	lm := nn.NewBigramLM(64, xrand.New(5))
+	wRight, _ := New(7, 0.5, 4)
+	wWrong, _ := New(8, 0.5, 4)
+	toks := lm.Sample(xrand.New(6), 0, 200, 1.0, wRight.Bias())
+	if wWrong.Detect(0, toks).IsWatermarked(4) {
+		t.Fatal("wrong key detected the watermark")
+	}
+}
+
+func TestDetectionStrengthGrowsWithLength(t *testing.T) {
+	lm := nn.NewBigramLM(64, xrand.New(7))
+	w, _ := New(9, 0.5, 3)
+	zs := make([]float64, 0, 3)
+	for _, n := range []int{20, 100, 400} {
+		toks := lm.Sample(xrand.New(8), 0, n, 1.0, w.Bias())
+		zs = append(zs, w.Detect(0, toks).ZScore)
+	}
+	if !(zs[0] < zs[1] && zs[1] < zs[2]) {
+		t.Fatalf("z-scores not increasing with length: %v", zs)
+	}
+}
+
+func TestDetectionAUCSeparatesPopulations(t *testing.T) {
+	lm := nn.NewBigramLM(64, xrand.New(9))
+	w, _ := New(11, 0.5, 3)
+	var scores []float64
+	var labels []bool
+	for i := 0; i < 30; i++ {
+		marked := lm.Sample(xrand.New(uint64(100+i)), 0, 80, 1.0, w.Bias())
+		scores = append(scores, w.Detect(0, marked).ZScore)
+		labels = append(labels, true)
+		clean := lm.Sample(xrand.New(uint64(200+i)), 0, 80, 1.0, nil)
+		scores = append(scores, w.Detect(0, clean).ZScore)
+		labels = append(labels, false)
+	}
+	if auc := attribution.AUC(scores, labels); auc < 0.99 {
+		t.Fatalf("watermark AUC = %v, want >= 0.99", auc)
+	}
+}
+
+func TestEmptySequence(t *testing.T) {
+	w, _ := New(1, 0.5, 2)
+	det := w.Detect(0, nil)
+	if det.Tokens != 0 || det.ZScore != 0 || det.PValue != 1 {
+		t.Fatalf("empty detection = %+v", det)
+	}
+	if det.IsWatermarked(4) {
+		t.Fatal("empty sequence flagged")
+	}
+}
+
+func TestDeltaZeroIsNoOp(t *testing.T) {
+	// Strength 0 should leave the sampling distribution untouched, so
+	// detection stays at chance.
+	lm := nn.NewBigramLM(32, xrand.New(10))
+	w, _ := New(13, 0.5, 0)
+	a := lm.Sample(xrand.New(11), 0, 100, 1.0, w.Bias())
+	b := lm.Sample(xrand.New(11), 0, 100, 1.0, nil)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("delta=0 bias changed sampling")
+		}
+	}
+}
+
+func TestSubstitutionAttackDegradesDetection(t *testing.T) {
+	lm := nn.NewBigramLM(64, xrand.New(20))
+	w, _ := New(21, 0.5, 3)
+	marked := lm.Sample(xrand.New(22), 0, 300, 1.0, w.Bias())
+	var prev float64 = 1e18
+	for _, frac := range []float64{0, 0.25, 0.5, 1.0} {
+		attacked := SubstituteTokens(marked, frac, 64, xrand.New(23))
+		z := w.Detect(0, attacked).ZScore
+		if z >= prev+1 {
+			t.Fatalf("z did not degrade with substitution: frac=%v z=%v prev=%v", frac, z, prev)
+		}
+		prev = z
+	}
+	// Full substitution destroys the watermark.
+	destroyed := SubstituteTokens(marked, 1.0, 64, xrand.New(24))
+	if w.Detect(0, destroyed).IsWatermarked(4) {
+		t.Fatal("fully substituted text still detected")
+	}
+	// Zero substitution is the identity.
+	same := SubstituteTokens(marked, 0, 64, xrand.New(25))
+	for i := range marked {
+		if same[i] != marked[i] {
+			t.Fatal("frac=0 changed tokens")
+		}
+	}
+	// Moderate substitution should survive detection (robustness).
+	moderate := SubstituteTokens(marked, 0.25, 64, xrand.New(26))
+	if !w.Detect(0, moderate).IsWatermarked(4) {
+		t.Fatal("25% substitution defeated a 300-token watermark")
+	}
+}

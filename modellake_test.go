@@ -1,0 +1,106 @@
+package modellake
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIRoundTrip exercises the re-exported surface end to end: train
+// a model, open a lake, ingest, search, query, cite.
+func TestPublicAPIRoundTrip(t *testing.T) {
+	lk, err := Open(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+
+	dom := NewDomain("legal", 8, 3, 100)
+	ds := dom.Sample("legal/v1", 200, 0.4, NewRNG(1))
+	lk.RegisterDataset(ds)
+
+	net := NewMLP([]int{8, 16, 3}, 2)
+	if _, err := Train(net, ds, DefaultTrainConfig()); err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{
+		Name: "legal-clf",
+		Net:  net,
+		Hist: &History{DatasetID: ds.ID, DatasetDomain: "legal", Transformation: "pretrain"},
+	}
+	c := &Card{Name: "legal-clf", Domain: "legal", Task: "classification",
+		TrainingData: ds.ID, Description: "a legal classifier", License: "apache-2.0"}
+	rec, err := lk.Ingest(m, c, RegisterOptions{Name: "legal-clf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if hits := lk.SearchKeyword("legal", 5); len(hits) != 1 || hits[0].ID != rec.ID {
+		t.Fatalf("keyword hits = %v", hits)
+	}
+	res, err := lk.Query("FIND MODELS WHERE TRAINED ON DATASET 'legal/v1'")
+	if err != nil || len(res.Hits) != 1 {
+		t.Fatalf("query = %v, %v", res, err)
+	}
+	cite, err := lk.Cite(rec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cite.String(), "legal-clf") {
+		t.Fatalf("citation = %q", cite)
+	}
+}
+
+// TestGenerateLakePublic checks the generator surface used by examples.
+func TestGenerateLakePublic(t *testing.T) {
+	spec := DefaultLakeSpec(9)
+	spec.NumBases = 2
+	spec.ChildrenPerBase = 2
+	pop, err := GenerateLake(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop.Members) != 6 || len(pop.Edges) == 0 {
+		t.Fatalf("population: %d members, %d edges", len(pop.Members), len(pop.Edges))
+	}
+	h := NewHandle(pop.Members[0].Model)
+	if _, err := h.Weights(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAdvisePublicAPI checks the re-exported advisor path.
+func TestAdvisePublicAPI(t *testing.T) {
+	lk, err := Open(Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+	spec := DefaultLakeSpec(11)
+	spec.NumBases = 2
+	spec.ChildrenPerBase = 2
+	pop, err := GenerateLake(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range pop.Members {
+		if _, err := lk.Ingest(m.Model, m.Card, RegisterOptions{Name: m.Truth.Name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var examples []TaskExample
+	ds := pop.Datasets[pop.Members[0].Truth.DatasetID]
+	for i := 0; i < 8; i++ {
+		x, y := ds.Example(i)
+		examples = append(examples, TaskExample{X: x.Clone(), Y: y})
+	}
+	advice, err := Advise(lk, examples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(advice.Recommendations) == 0 {
+		t.Fatal("no recommendations")
+	}
+	if !strings.Contains(advice.Markdown(), "Model recommendation") {
+		t.Fatal("advice markdown malformed")
+	}
+}

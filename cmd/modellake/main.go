@@ -21,11 +21,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"modellake"
 	"modellake/internal/advisor"
@@ -100,7 +105,9 @@ commands:
   audit    -dir DIR -id MODEL [-flag MODEL=REASON]...
   cite     -dir DIR -id MODEL
   why      -dir DIR -id MODEL
-  serve    -dir DIR [-addr :8080]`)
+  serve    -dir DIR [-addr :8080] [-request-timeout 30s] [-max-inflight 256]
+           [-read-timeout 30s] [-write-timeout 90s] [-idle-timeout 2m]
+           [-max-body BYTES] [-drain-timeout 15s]`)
 }
 
 func openLake(dir string) (*modellake.Lake, error) {
@@ -458,14 +465,62 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dir := fs.String("dir", "", "lake directory")
 	addr := fs.String("addr", ":8080", "listen address")
+	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a request, including body")
+	writeTimeout := fs.Duration("write-timeout", 90*time.Second, "max time to write a response")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle limit")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request handler deadline (0 disables)")
+	maxInflight := fs.Int("max-inflight", 256, "concurrent request cap; excess requests get 429 (0 disables)")
+	maxBody := fs.Int64("max-body", 64<<20, "ingest request body cap in bytes")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
 	fs.Parse(args)
 	lk, err := openLake(*dir)
 	if err != nil {
 		return err
 	}
 	defer lk.Close()
+
+	srv := server.NewWith(lk, server.Config{
+		RequestTimeout: *reqTimeout,
+		MaxInflight:    *maxInflight,
+		MaxBodyBytes:   *maxBody,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       *idleTimeout,
+	}
+
+	// Serve until the listener fails or a shutdown signal arrives.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "modellake: serving %s (%d models) on %s\n", *dir, lk.Count(), *addr)
-	return http.ListenAndServe(*addr, server.New(lk).Handler())
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second SIGINT kills hard
+
+	// Graceful shutdown: flip /readyz to draining so load balancers stop
+	// sending traffic, then drain in-flight connections.
+	fmt.Fprintln(os.Stderr, "modellake: shutdown signal received, draining connections")
+	srv.Drain()
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		hs.Close()
+		return fmt.Errorf("drain incomplete after %s: %w", *drainTimeout, err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "modellake: drained, exiting")
+	return nil
 }
 
 func printHit(lk *modellake.Lake, h modellake.Hit) {

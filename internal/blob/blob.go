@@ -9,6 +9,7 @@
 package blob
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -16,6 +17,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"modellake/internal/fault"
+	"modellake/internal/retry"
 )
 
 // Sentinel errors.
@@ -110,19 +115,34 @@ func (s *MemStore) Len() int {
 }
 
 // FileStore is a filesystem-backed Store rooted at a directory. Blobs live at
-// root/ab/cdef... (two-character shard). Writes are atomic: data is written
-// to a temp file in the same directory and renamed into place.
+// root/ab/cdef... (two-character shard). Writes are atomic and durable: data
+// is written to a temp file in the same directory, fsynced, renamed into
+// place, and the shard directory is fsynced so a crash cannot resurrect a
+// pre-rename view. Transient IO faults during a write are retried with
+// exponential backoff.
 type FileStore struct {
 	root string
+	fsys *fault.FS  // nil = real filesystem
 	mu   sync.Mutex // serializes writes; reads are lock-free
 }
 
+// putRetry is the backoff policy for transient write faults. Permanent
+// errors short-circuit (see retry.Transient), so well-behaved failures cost
+// nothing extra.
+var putRetry = retry.Policy{Attempts: 3, Base: time.Millisecond}
+
 // NewFileStore creates (if needed) and opens a file store rooted at dir.
 func NewFileStore(dir string) (*FileStore, error) {
+	return NewFileStoreFS(dir, nil)
+}
+
+// NewFileStoreFS is NewFileStore with IO routed through a fault-injectable
+// filesystem (see internal/fault). A nil fsys uses the real filesystem.
+func NewFileStoreFS(dir string, fsys *fault.FS) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("blob: create root: %w", err)
 	}
-	return &FileStore{root: dir}, nil
+	return &FileStore{root: dir, fsys: fsys}, nil
 }
 
 func (s *FileStore) pathFor(id ID) string {
@@ -138,34 +158,54 @@ func (s *FileStore) Put(data []byte) (ID, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return "", fmt.Errorf("blob: shard dir: %w", err)
-	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	// The write sequence is idempotent (temp file + rename to a
+	// content-addressed name), so transient faults can safely retry the
+	// whole attempt.
+	err := retry.Do(context.Background(), putRetry, func() error {
+		return s.writeBlob(path, data)
+	})
 	if err != nil {
-		return "", fmt.Errorf("blob: temp file: %w", err)
+		return "", err
+	}
+	return id, nil
+}
+
+// writeBlob performs one atomic, durable write attempt of data to path.
+func (s *FileStore) writeBlob(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	if err := s.fsys.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("blob: shard dir: %w", err)
+	}
+	tmp, err := s.fsys.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("blob: temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return "", fmt.Errorf("blob: write: %w", err)
+		return fmt.Errorf("blob: write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return "", fmt.Errorf("blob: sync: %w", err)
+		return fmt.Errorf("blob: sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
-		return "", fmt.Errorf("blob: close: %w", err)
+		return fmt.Errorf("blob: close: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
+	if err := s.fsys.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return "", fmt.Errorf("blob: rename: %w", err)
+		return fmt.Errorf("blob: rename: %w", err)
 	}
-	return id, nil
+	// Fsync the shard directory so the rename itself is durable: without
+	// it a crash can lose the directory entry even though the data blocks
+	// were synced, silently dropping an acknowledged blob.
+	if err := s.fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("blob: sync shard dir: %w", err)
+	}
+	return nil
 }
 
 // Get implements Store.

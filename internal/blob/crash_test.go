@@ -1,0 +1,168 @@
+package blob
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"modellake/internal/fault"
+)
+
+// The blob store's crash contract: a Put that returned an ID is durable and
+// readable; a Put that returned an error left either nothing or a valid blob
+// behind (content addressing makes a "partial success" indistinguishable from
+// success only when the bytes are complete) — and never a checksum-corrupt
+// object or a stray temp file.
+
+func blobWorkload(s *FileStore) (acked, unacked map[ID][]byte) {
+	acked = map[ID][]byte{}
+	unacked = map[ID][]byte{}
+	for i := 0; i < 3; i++ {
+		data := bytes.Repeat([]byte{byte('A' + i)}, 64+i)
+		if id, err := s.Put(data); err == nil {
+			acked[id] = data
+		} else {
+			unacked[Sum(data)] = data
+		}
+	}
+	return acked, unacked
+}
+
+func countBlobOps(t *testing.T) int {
+	t.Helper()
+	rec := &fault.Recorder{}
+	s, err := NewFileStoreFS(t.TempDir(), fault.New(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobWorkload(s)
+	return len(rec.Ops())
+}
+
+// TestBlobCrashSweep fails each IO operation of the workload in turn (as a
+// permanent fault, so retry does not paper over it) and checks the contract
+// on a clean reopen of the same directory.
+func TestBlobCrashSweep(t *testing.T) {
+	n := countBlobOps(t)
+	if n < 10 {
+		t.Fatalf("workload exercised only %d IO ops; sweep too small", n)
+	}
+	for i := 1; i <= n; i++ {
+		t.Run(fmt.Sprintf("op-%02d", i), func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := NewFileStoreFS(dir, fault.New(&fault.Script{FailAt: i, Torn: 9}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			acked, unacked := blobWorkload(s)
+
+			clean, err := NewFileStore(dir)
+			if err != nil {
+				t.Fatalf("reopen after single fault must succeed: %v", err)
+			}
+			for id, data := range acked {
+				got, err := clean.Get(id)
+				if err != nil {
+					t.Fatalf("acknowledged blob %s lost: %v", id, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("acknowledged blob %s corrupted", id)
+				}
+			}
+			for id := range unacked {
+				got, err := clean.Get(id)
+				if err != nil && !errors.Is(err, ErrNotFound) {
+					t.Fatalf("unacked blob %s must be absent or valid, got: %v", id, err)
+				}
+				if err == nil && Sum(got) != id {
+					t.Fatalf("unacked blob %s surfaced corrupt", id)
+				}
+			}
+			assertNoTempFiles(t, dir)
+		})
+	}
+}
+
+func assertNoTempFiles(t *testing.T, root string) {
+	t.Helper()
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasPrefix(d.Name(), ".tmp-") {
+			t.Fatalf("stray temp file left behind: %s", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlobPutRetriesTransientFaults: a transient write fault must be retried
+// and the Put acknowledged, without the caller seeing the glitch.
+func TestBlobPutRetriesTransientFaults(t *testing.T) {
+	inj := &fault.Script{FailAt: 1, Transient: true, Match: fault.MatchOps(fault.OpWrite)}
+	s, err := NewFileStoreFS(t.TempDir(), fault.New(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("retry me")
+	id, err := s.Put(data)
+	if err != nil {
+		t.Fatalf("transient fault not retried: %v", err)
+	}
+	got, err := s.Get(id)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("blob unreadable after retried put: %v", err)
+	}
+	if inj.Seen() < 2 {
+		t.Fatalf("injector saw %d ops; the faulted write was never retried", inj.Seen())
+	}
+}
+
+// TestBlobPermanentFaultFailsFast: a permanent fault must not burn retries.
+func TestBlobPermanentFaultFailsFast(t *testing.T) {
+	inj := &fault.Script{FailAt: 1, Sticky: true, Match: fault.MatchOps(fault.OpWrite)}
+	s, err := NewFileStoreFS(t.TempDir(), fault.New(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put([]byte("doomed")); err == nil {
+		t.Fatal("permanent fault did not surface")
+	} else if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("error does not carry the injected cause: %v", err)
+	}
+}
+
+// TestBlobWriteFsyncsShardDirectory pins the durability fix: after the rename
+// the shard directory itself is fsynced.
+func TestBlobWriteFsyncsShardDirectory(t *testing.T) {
+	rec := &fault.Recorder{}
+	s, err := NewFileStoreFS(t.TempDir(), fault.New(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Put([]byte("durable blob")); err != nil {
+		t.Fatal(err)
+	}
+	renameAt, syncDirAt := -1, -1
+	for i, op := range rec.Ops() {
+		switch op.Op {
+		case fault.OpRename:
+			renameAt = i
+		case fault.OpSyncDir:
+			syncDirAt = i
+		}
+	}
+	if renameAt == -1 {
+		t.Fatal("put performed no rename")
+	}
+	if syncDirAt < renameAt {
+		t.Fatalf("no shard-directory fsync after rename (rename at %d, syncdir at %d)", renameAt, syncDirAt)
+	}
+}

@@ -1,0 +1,286 @@
+// Package fault provides deterministic IO fault injection for the lake's
+// storage layers. The durable stores (internal/kvstore, internal/blob) route
+// every file operation through an *FS, which consults an optional Injector
+// before touching the real filesystem. Tests enumerate a workload's fault
+// points with a Recorder, then replay the workload failing each point in
+// turn (error-at-Nth-op, torn write, rename failure, fsync failure, added
+// latency) and assert the store recovers — the crash-window sweep behind the
+// lake's durability guarantees.
+//
+// A nil *FS (or an FS with a nil Injector) is a zero-cost passthrough, so
+// production code pays nothing for the hook.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Op classifies a file operation reaching the FS.
+type Op string
+
+// The injectable operation classes.
+const (
+	OpOpen     Op = "open"     // OpenFile
+	OpCreate   Op = "create"   // CreateTemp
+	OpMkdir    Op = "mkdir"    // MkdirAll
+	OpWrite    Op = "write"    // File.Write
+	OpSync     Op = "sync"     // File.Sync
+	OpClose    Op = "close"    // File.Close
+	OpTruncate Op = "truncate" // File.Truncate
+	OpRename   Op = "rename"   // Rename
+	OpRemove   Op = "remove"   // Remove
+	OpSyncDir  Op = "syncdir"  // SyncDir (directory fsync after rename)
+)
+
+// ErrInjected is the sentinel every injected failure wraps; test code can
+// distinguish injected faults from real IO errors with errors.Is.
+var ErrInjected = errors.New("fault: injected error")
+
+// Err is one injected failure.
+type Err struct {
+	Op   Op
+	Path string
+	// Torn applies to OpWrite: that many bytes of the buffer reach the
+	// file before the failure, simulating a torn write. Zero means the
+	// write fails cleanly with nothing written.
+	Torn int
+	// Transient marks the fault retryable: Err implements IsTransient,
+	// which internal/retry uses to classify errors.
+	Transient bool
+}
+
+func (e *Err) Error() string {
+	return fmt.Sprintf("fault: injected %s failure on %s", e.Op, e.Path)
+}
+
+// Unwrap lets errors.Is(err, ErrInjected) see through wrapping.
+func (e *Err) Unwrap() error { return ErrInjected }
+
+// IsTransient reports whether the fault models a retryable condition.
+func (e *Err) IsTransient() bool { return e.Transient }
+
+// Injector decides, before each operation, whether it fails. Implementations
+// must be safe for concurrent use; Apply may sleep to model latency.
+type Injector interface {
+	Apply(op Op, path string) error
+}
+
+// FS performs file operations, routing each through the Injector first.
+// All methods are safe on a nil receiver (pure passthrough).
+type FS struct {
+	inj Injector
+}
+
+// New returns an FS that consults inj before every operation.
+func New(inj Injector) *FS { return &FS{inj: inj} }
+
+func (fs *FS) apply(op Op, path string) error {
+	if fs == nil || fs.inj == nil {
+		return nil
+	}
+	return fs.inj.Apply(op, path)
+}
+
+// OpenFile opens name like os.OpenFile, returning an injectable *File.
+func (fs *FS) OpenFile(name string, flag int, perm os.FileMode) (*File, error) {
+	if err := fs.apply(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &File{File: f, fs: fs}, nil
+}
+
+// CreateTemp creates a temp file like os.CreateTemp.
+func (fs *FS) CreateTemp(dir, pattern string) (*File, error) {
+	if err := fs.apply(OpCreate, dir); err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &File{File: f, fs: fs}, nil
+}
+
+// MkdirAll creates a directory tree like os.MkdirAll.
+func (fs *FS) MkdirAll(path string, perm os.FileMode) error {
+	if err := fs.apply(OpMkdir, path); err != nil {
+		return err
+	}
+	return os.MkdirAll(path, perm)
+}
+
+// Rename renames like os.Rename. The injected path is the destination.
+func (fs *FS) Rename(oldpath, newpath string) error {
+	if err := fs.apply(OpRename, newpath); err != nil {
+		return err
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove removes like os.Remove.
+func (fs *FS) Remove(name string) error {
+	if err := fs.apply(OpRemove, name); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+// SyncDir fsyncs a directory, making a prior rename in it durable. A crash
+// between rename and directory fsync can resurrect the old name on some
+// filesystems, which is exactly the window the injector lets tests open.
+func (fs *FS) SyncDir(dir string) error {
+	if err := fs.apply(OpSyncDir, dir); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// File wraps *os.File, routing Write/Sync/Close/Truncate through the
+// injector. Reads and seeks pass straight through: replay/recovery paths
+// must see the bytes exactly as the "disk" holds them.
+type File struct {
+	*os.File
+	fs *FS
+}
+
+// Write injects before writing. A fault with Torn > 0 first writes that
+// prefix of p, modelling a write torn by power loss.
+func (f *File) Write(p []byte) (int, error) {
+	if err := f.fs.apply(OpWrite, f.Name()); err != nil {
+		var fe *Err
+		if errors.As(err, &fe) && fe.Torn > 0 && fe.Torn < len(p) {
+			n, _ := f.File.Write(p[:fe.Torn])
+			return n, err
+		}
+		return 0, err
+	}
+	return f.File.Write(p)
+}
+
+// Sync injects before fsync.
+func (f *File) Sync() error {
+	if err := f.fs.apply(OpSync, f.Name()); err != nil {
+		return err
+	}
+	return f.File.Sync()
+}
+
+// Close injects before close; on an injected failure the descriptor is
+// still released so sweeps don't leak fds.
+func (f *File) Close() error {
+	if err := f.fs.apply(OpClose, f.Name()); err != nil {
+		f.File.Close()
+		return err
+	}
+	return f.File.Close()
+}
+
+// Truncate injects before truncating.
+func (f *File) Truncate(size int64) error {
+	if err := f.fs.apply(OpTruncate, f.Name()); err != nil {
+		return err
+	}
+	return f.File.Truncate(size)
+}
+
+// Script is a deterministic Injector: it counts operations that pass Match
+// and fails the FailAt-th (1-based). With Sticky set every later matching
+// operation fails too — a disk that breaks and stays broken, rather than a
+// single glitch.
+type Script struct {
+	// FailAt is the 1-based index of the matching operation to fail;
+	// zero or negative never fails.
+	FailAt int
+	// Match restricts which operations count; nil matches all.
+	Match func(op Op, path string) bool
+	// Torn is carried into the injected Err for write faults.
+	Torn int
+	// Transient marks injected faults retryable.
+	Transient bool
+	// Sticky keeps failing after the first injected fault.
+	Sticky bool
+	// Delay is slept before every matching operation (latency injection).
+	Delay time.Duration
+
+	mu    sync.Mutex
+	seen  int
+	fired bool
+}
+
+// Apply implements Injector.
+func (s *Script) Apply(op Op, path string) error {
+	if s.Match != nil && !s.Match(op, path) {
+		return nil
+	}
+	if s.Delay > 0 {
+		time.Sleep(s.Delay)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seen++
+	if s.fired && s.Sticky {
+		return &Err{Op: op, Path: path, Transient: s.Transient}
+	}
+	if s.FailAt > 0 && s.seen == s.FailAt {
+		s.fired = true
+		return &Err{Op: op, Path: path, Torn: s.Torn, Transient: s.Transient}
+	}
+	return nil
+}
+
+// Seen returns how many matching operations have been observed.
+func (s *Script) Seen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen
+}
+
+// OpRecord is one observed operation.
+type OpRecord struct {
+	Op   Op
+	Path string
+}
+
+// Recorder is an Injector that never fails but records every operation —
+// the instrument sweeps use to enumerate a workload's fault points.
+type Recorder struct {
+	mu  sync.Mutex
+	ops []OpRecord
+}
+
+// Apply implements Injector.
+func (r *Recorder) Apply(op Op, path string) error {
+	r.mu.Lock()
+	r.ops = append(r.ops, OpRecord{Op: op, Path: path})
+	r.mu.Unlock()
+	return nil
+}
+
+// Ops returns a copy of the recorded operations in order.
+func (r *Recorder) Ops() []OpRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]OpRecord(nil), r.ops...)
+}
+
+// MatchOps returns a Match function selecting only the given op classes.
+func MatchOps(ops ...Op) func(Op, string) bool {
+	set := map[Op]bool{}
+	for _, o := range ops {
+		set[o] = true
+	}
+	return func(op Op, _ string) bool { return set[op] }
+}

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestScriptFailsNthOp(t *testing.T) {
+	inj := &Script{FailAt: 2}
+	fs := New(inj)
+	dir := t.TempDir()
+	f, err := fs.OpenFile(filepath.Join(dir, "a"), os.O_RDWR|os.O_CREATE, 0o644) // op 1
+	if err != nil {
+		t.Fatalf("op 1 failed: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err == nil { // op 2 → injected
+		t.Fatal("op 2 should fail")
+	} else if !errors.Is(err, ErrInjected) {
+		t.Fatalf("not an injected error: %v", err)
+	}
+	if _, err := f.Write([]byte("x")); err != nil { // op 3 fine (not sticky)
+		t.Fatalf("op 3 failed: %v", err)
+	}
+	f.Close()
+	if inj.Seen() != 4 {
+		t.Fatalf("seen = %d, want 4", inj.Seen())
+	}
+}
+
+func TestStickyScriptKeepsFailing(t *testing.T) {
+	inj := &Script{FailAt: 1, Sticky: true, Match: MatchOps(OpWrite)}
+	fs := New(inj)
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "a"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatalf("open should not match: %v", err)
+	}
+	defer f.Close()
+	for i := 0; i < 3; i++ {
+		if _, err := f.Write([]byte("x")); err == nil {
+			t.Fatalf("write %d should fail", i)
+		}
+	}
+}
+
+func TestTornWriteLeavesPrefix(t *testing.T) {
+	inj := &Script{FailAt: 1, Torn: 3, Match: MatchOps(OpWrite)}
+	fs := New(inj)
+	path := filepath.Join(t.TempDir(), "a")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("hello world"))
+	if err == nil {
+		t.Fatal("write should fail")
+	}
+	if n != 3 {
+		t.Fatalf("torn write reported %d bytes, want 3", n)
+	}
+	f.Close()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hel" {
+		t.Fatalf("file holds %q, want torn prefix %q", got, "hel")
+	}
+}
+
+func TestRecorderEnumeratesOps(t *testing.T) {
+	rec := &Recorder{}
+	fs := New(rec)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	if err := fs.Rename(path, path+".2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	want := []Op{OpOpen, OpWrite, OpSync, OpClose, OpRename, OpSyncDir}
+	ops := rec.Ops()
+	if len(ops) != len(want) {
+		t.Fatalf("recorded %d ops, want %d: %v", len(ops), len(want), ops)
+	}
+	for i, w := range want {
+		if ops[i].Op != w {
+			t.Fatalf("op %d = %s, want %s", i, ops[i].Op, w)
+		}
+	}
+}
+
+func TestNilFSIsPassthrough(t *testing.T) {
+	var fs *FS
+	path := filepath.Join(t.TempDir(), "a")
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	inj := &Script{Delay: 20 * time.Millisecond, Match: MatchOps(OpWrite)}
+	fs := New(inj)
+	f, err := fs.OpenFile(filepath.Join(t.TempDir(), "a"), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	start := time.Now()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("write returned in %v, want >= 20ms of injected latency", d)
+	}
+}
+
+func TestTransientErrClassification(t *testing.T) {
+	e := &Err{Op: OpWrite, Path: "x", Transient: true}
+	var tr interface{ IsTransient() bool }
+	if !errors.As(error(e), &tr) || !tr.IsTransient() {
+		t.Fatal("transient fault not classified as transient")
+	}
+}

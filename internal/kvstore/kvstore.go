@@ -24,8 +24,11 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 	"sync"
+
+	"modellake/internal/fault"
 )
 
 // Sentinel errors.
@@ -33,6 +36,9 @@ var (
 	ErrNotFound = errors.New("kvstore: key not found")
 	ErrCorrupt  = errors.New("kvstore: corrupt log")
 	ErrClosed   = errors.New("kvstore: store is closed")
+	// ErrFailed marks a store whose log hit an IO error that could not be
+	// rolled back; mutations fail fast rather than risk mid-log corruption.
+	ErrFailed = errors.New("kvstore: store failed")
 )
 
 const (
@@ -50,16 +56,22 @@ const (
 type Store struct {
 	mu     sync.RWMutex
 	data   map[string][]byte
-	path   string   // empty for a purely in-memory store
-	f      *os.File // nil for in-memory
+	path   string      // empty for a purely in-memory store
+	f      *fault.File // nil for in-memory
+	fsys   *fault.FS   // nil = real filesystem
+	size   int64       // end offset of the last fully acknowledged record
 	sync   bool
 	closed bool
+	ioErr  error // poison: set when a failed append could not be rolled back
 }
 
 // Options configures Open.
 type Options struct {
 	// Sync forces an fsync after every mutation. Slower but crash-durable.
 	Sync bool
+	// FS routes all file IO, letting tests inject faults at every write
+	// point (see internal/fault). Nil uses the real filesystem.
+	FS *fault.FS
 }
 
 // OpenMemory returns an in-memory store with no durability. It is handy for
@@ -70,11 +82,11 @@ func OpenMemory() *Store {
 
 // Open opens (or creates) the store logged at path.
 func Open(path string, opts Options) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := opts.FS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
 	}
-	s := &Store{data: make(map[string][]byte), path: path, f: f, sync: opts.Sync}
+	s := &Store{data: make(map[string][]byte), path: path, f: f, fsys: opts.FS, sync: opts.Sync}
 	validLen, err := s.replay()
 	if err != nil {
 		f.Close()
@@ -91,6 +103,7 @@ func Open(path string, opts Options) (*Store, error) {
 		f.Close()
 		return nil, fmt.Errorf("kvstore: seek: %w", err)
 	}
+	s.size = validLen
 	return s, nil
 }
 
@@ -182,19 +195,43 @@ func (s *Store) appendRecord(payload []byte) error {
 	if s.f == nil {
 		return nil
 	}
+	if s.ioErr != nil {
+		return fmt.Errorf("%w: %v", ErrFailed, s.ioErr)
+	}
 	rec := make([]byte, headerSize+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
 	copy(rec[headerSize:], payload)
 	if _, err := s.f.Write(rec); err != nil {
+		s.rollbackTail(err)
 		return fmt.Errorf("kvstore: append: %w", err)
 	}
 	if s.sync {
 		if err := s.f.Sync(); err != nil {
+			// The record reached the page cache but its durability is
+			// unknown; treating it as written after a failed fsync is the
+			// classic path to acknowledged-write loss, so discard it.
+			s.rollbackTail(err)
 			return fmt.Errorf("kvstore: fsync: %w", err)
 		}
 	}
+	s.size += int64(len(rec))
 	return nil
+}
+
+// rollbackTail discards a partially written (or written-but-possibly-not-
+// durable) record after a failed append so the next append starts at a
+// clean record boundary instead of landing after garbage — which would turn
+// a recoverable torn tail into mid-log corruption. If the tail cannot be
+// discarded the store is poisoned: further mutations return ErrFailed.
+func (s *Store) rollbackTail(cause error) {
+	if err := s.f.Truncate(s.size); err != nil {
+		s.ioErr = cause
+		return
+	}
+	if _, err := s.f.Seek(s.size, io.SeekStart); err != nil {
+		s.ioErr = cause
+	}
 }
 
 // Put stores value under key, overwriting any previous value.
@@ -314,7 +351,7 @@ func (s *Store) Compact() error {
 		return nil
 	}
 	tmpPath := s.path + ".compact"
-	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	tmp, err := s.fsys.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("kvstore: compact: %w", err)
 	}
@@ -323,6 +360,7 @@ func (s *Store) Compact() error {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	var newSize int64
 	for _, k := range keys {
 		payload := encodePayload(opPut, k, s.data[k])
 		rec := make([]byte, headerSize+len(payload))
@@ -334,6 +372,7 @@ func (s *Store) Compact() error {
 			os.Remove(tmpPath)
 			return fmt.Errorf("kvstore: compact write: %w", err)
 		}
+		newSize += int64(len(rec))
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
@@ -345,17 +384,45 @@ func (s *Store) Compact() error {
 		return fmt.Errorf("kvstore: compact close: %w", err)
 	}
 	if err := s.f.Close(); err != nil {
-		return fmt.Errorf("kvstore: close old log: %w", err)
+		return s.reopenLog(fmt.Errorf("kvstore: close old log: %w", err))
 	}
-	if err := os.Rename(tmpPath, s.path); err != nil {
-		return fmt.Errorf("kvstore: swap compacted log: %w", err)
+	if err := s.fsys.Rename(tmpPath, s.path); err != nil {
+		// The old log is still in place and complete; reopen it so the
+		// store keeps serving, and surface the failed compaction.
+		os.Remove(tmpPath)
+		return s.reopenLog(fmt.Errorf("kvstore: swap compacted log: %w", err))
 	}
-	f, err := os.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	// Fsync the parent directory: without it a crash after the rename can
+	// resurrect the old log, silently undoing the compaction.
+	if err := s.fsys.SyncDir(filepath.Dir(s.path)); err != nil {
+		return s.reopenLog(fmt.Errorf("kvstore: sync log directory: %w", err))
+	}
+	f, err := s.fsys.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("kvstore: reopen after compact: %w", err)
 	}
 	s.f = f
+	s.size = newSize
+	// A completed compaction rewrote the log from in-memory state, so any
+	// earlier unrecoverable append failure is repaired.
+	s.ioErr = nil
 	return nil
+}
+
+// reopenLog restores an open append handle on the current log after a
+// failed compaction step, so the store stays usable. The original cause is
+// returned; if even the reopen fails the store is poisoned.
+func (s *Store) reopenLog(cause error) error {
+	f, err := s.fsys.OpenFile(s.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		s.ioErr = cause
+		return fmt.Errorf("%w (and reopen failed: %v)", cause, err)
+	}
+	s.f = f
+	if fi, err := f.Stat(); err == nil {
+		s.size = fi.Size()
+	}
+	return cause
 }
 
 // Close flushes and closes the store. Further operations return ErrClosed.

@@ -7,6 +7,7 @@
 package lake
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,8 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+
+	"modellake/internal/fault"
 
 	"modellake/internal/attribution"
 	"modellake/internal/audit"
@@ -54,6 +57,10 @@ type Config struct {
 	// scan otherwise). Flat is the default: exact and fast below ~10k
 	// models.
 	UseHNSW bool
+	// FS routes all storage IO (metadata log and blob store) through a
+	// fault-injectable filesystem — the test hook behind the lake's
+	// crash-consistency suite. Nil uses the real filesystem.
+	FS *fault.FS
 }
 
 func (c Config) withDefaults() Config {
@@ -84,6 +91,7 @@ type Lake struct {
 	taskSearch *search.TaskSearcher
 
 	mu         sync.RWMutex
+	closed     bool
 	modelCache map[string]*model.Model // live models (incl. closed-weight ones)
 	benchmarks map[string]*benchmark.Benchmark
 	datasets   map[string]*data.Dataset
@@ -103,11 +111,11 @@ func Open(cfg Config) (*Lake, error) {
 			return nil, fmt.Errorf("lake: create directory: %w", err)
 		}
 		var err error
-		kv, err = kvstore.Open(filepath.Join(cfg.Dir, "lake.log"), kvstore.Options{Sync: cfg.Sync})
+		kv, err = kvstore.Open(filepath.Join(cfg.Dir, "lake.log"), kvstore.Options{Sync: cfg.Sync, FS: cfg.FS})
 		if err != nil {
 			return nil, fmt.Errorf("lake: open metadata: %w", err)
 		}
-		blobs, err = blob.NewFileStore(filepath.Join(cfg.Dir, "blobs"))
+		blobs, err = blob.NewFileStoreFS(filepath.Join(cfg.Dir, "blobs"), cfg.FS)
 		if err != nil {
 			kv.Close()
 			return nil, fmt.Errorf("lake: open blobs: %w", err)
@@ -183,7 +191,28 @@ func (l *Lake) indexModel(m *model.Model) {
 }
 
 // Close releases the lake's storage.
-func (l *Lake) Close() error { return l.kv.Close() }
+func (l *Lake) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	return l.kv.Close()
+}
+
+// Ready reports whether the lake can serve requests: the metadata store is
+// open and the in-memory indexes are built (rehydration completes inside
+// Open, so an open lake is an indexed lake). It backs the server's /readyz
+// readiness probe; Close flips it permanently.
+func (l *Lake) Ready() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if l.closed {
+		return errors.New("lake: closed")
+	}
+	if _, err := l.kv.Get("meta/seq"); err != nil && errors.Is(err, kvstore.ErrClosed) {
+		return fmt.Errorf("lake: metadata store: %w", err)
+	}
+	return nil
+}
 
 // Count returns the number of models in the lake.
 func (l *Lake) Count() int { return l.reg.Count() }
@@ -374,6 +403,14 @@ func (l *Lake) SearchKeyword(query string, k int) []search.Hit {
 // SearchByModel is model-as-query related-model search in the given space
 // ("behavior", the default, or "weights").
 func (l *Lake) SearchByModel(id, space string, k int) ([]search.Hit, error) {
+	return l.SearchByModelContext(context.Background(), id, space, k)
+}
+
+// SearchByModelContext is SearchByModel honoring a request context.
+func (l *Lake) SearchByModelContext(ctx context.Context, id, space string, k int) ([]search.Hit, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	h, err := l.Model(id)
 	if err != nil {
 		return nil, err
@@ -436,6 +473,13 @@ func (l *Lake) SearchHybrid(query string, queryModelID string, k int) ([]search.
 // VersionGraph reconstructs (and caches) the directed Model Graph over every
 // open-weights model in the lake.
 func (l *Lake) VersionGraph() (*version.Graph, error) {
+	return l.VersionGraphContext(context.Background())
+}
+
+// VersionGraphContext is VersionGraph honoring a request context: the
+// reconstruction is abandoned between models if ctx is canceled, so a slow
+// graph build cannot outlive its HTTP request.
+func (l *Lake) VersionGraphContext(ctx context.Context) (*version.Graph, error) {
 	l.mu.RLock()
 	if l.graph != nil {
 		g := l.graph
@@ -450,6 +494,9 @@ func (l *Lake) VersionGraph() (*version.Graph, error) {
 	}
 	var nodes []version.Node
 	for _, rec := range recs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		h, err := l.Model(rec.ID)
 		if err != nil {
 			continue
@@ -462,6 +509,9 @@ func (l *Lake) VersionGraph() (*version.Graph, error) {
 	}
 	if len(nodes) == 0 {
 		return &version.Graph{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	g, err := version.Reconstruct(nodes, version.Config{ClassifyEdges: true, Seed: l.cfg.Seed})
 	if err != nil {
@@ -489,6 +539,11 @@ func (l *Lake) Attribute(modelID string, train *data.Dataset, x tensor.Vector, y
 
 // GenerateCard drafts documentation for a model from lake analyses.
 func (l *Lake) GenerateCard(modelID string) (*docgen.Draft, error) {
+	return l.GenerateCardContext(context.Background(), modelID)
+}
+
+// GenerateCardContext is GenerateCard honoring a request context.
+func (l *Lake) GenerateCardContext(ctx context.Context, modelID string) (*docgen.Draft, error) {
 	h, err := l.Model(modelID)
 	if err != nil {
 		return nil, err
@@ -497,8 +552,11 @@ func (l *Lake) GenerateCard(modelID string) (*docgen.Draft, error) {
 	if err != nil && !errors.Is(err, registry.ErrNotFound) {
 		return nil, err
 	}
-	g, err := l.VersionGraph()
+	g, err := l.VersionGraphContext(ctx)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	gen := &docgen.Generator{
@@ -532,17 +590,24 @@ func (l *Lake) peers() []docgen.Peer {
 // Audit runs the compliance audit for a model. flagged maps known-risky
 // model IDs to reasons; risk propagates over the *recovered* version graph.
 func (l *Lake) Audit(modelID string, flagged map[string]string) (*audit.Report, error) {
+	return l.AuditContext(context.Background(), modelID, flagged)
+}
+
+// AuditContext is Audit honoring a request context.
+func (l *Lake) AuditContext(ctx context.Context, modelID string, flagged map[string]string) (*audit.Report, error) {
 	c, err := l.Card(modelID)
 	if err != nil {
 		c = nil
 	}
-	g, err := l.VersionGraph()
+	g, err := l.VersionGraphContext(ctx)
 	if err != nil {
 		return nil, err
 	}
 	var docFlags []string
-	if draft, err := l.GenerateCard(modelID); err == nil {
+	if draft, err := l.GenerateCardContext(ctx, modelID); err == nil {
 		docFlags = draft.Flags
+	} else if ctx.Err() != nil {
+		return nil, ctx.Err()
 	}
 	// Behavioural verification of the declared training data, when the
 	// claimed dataset is registered with the lake.
@@ -588,7 +653,14 @@ func (l *Lake) Provenance() *provenance.Journal { return l.prov }
 
 // Query parses and executes an MLQL query against the lake.
 func (l *Lake) Query(q string) (*mlql.Result, error) {
-	return mlql.Run(q, (*catalog)(l))
+	return l.QueryContext(context.Background(), q)
+}
+
+// QueryContext is Query honoring a request context: the executor checks the
+// context between candidate-filtering stages, so a canceled or timed-out
+// request abandons the query promptly.
+func (l *Lake) QueryContext(ctx context.Context, q string) (*mlql.Result, error) {
+	return mlql.RunContext(ctx, q, (*catalog)(l))
 }
 
 // Explain parses a query and renders its evaluation plan without running it.

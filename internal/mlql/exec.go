@@ -1,6 +1,7 @@
 package mlql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -49,6 +50,16 @@ type Result struct {
 
 // Execute runs a parsed query against a catalog.
 func Execute(q *Query, c Catalog) (*Result, error) {
+	return ExecuteContext(context.Background(), q, c)
+}
+
+// ExecuteContext runs a parsed query, abandoning it between stages if ctx
+// is canceled — each predicate and the ranker can touch every model in the
+// lake, so a timed-out request must not keep paying for them.
+func ExecuteContext(ctx context.Context, q *Query, c Catalog) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	rows, err := c.Candidates()
 	if err != nil {
 		return nil, fmt.Errorf("mlql: candidates: %w", err)
@@ -59,6 +70,9 @@ func Execute(q *Query, c Catalog) (*Result, error) {
 		keep[r.ID] = true
 	}
 	for _, pred := range q.Preds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		switch pred.Kind {
 		case PredField:
 			for _, r := range rows {
@@ -85,6 +99,9 @@ func Execute(q *Query, c Catalog) (*Result, error) {
 	}
 
 	// Rank.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var hits []Hit
 	if q.Rank == nil {
 		for _, r := range rows {
@@ -159,11 +176,16 @@ func intersect(keep map[string]bool, set map[string]bool) {
 
 // Run parses and executes in one call.
 func Run(query string, c Catalog) (*Result, error) {
+	return RunContext(context.Background(), query, c)
+}
+
+// RunContext parses and executes in one call, honoring ctx.
+func RunContext(ctx context.Context, query string, c Catalog) (*Result, error) {
 	q, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(q, c)
+	return ExecuteContext(ctx, q, c)
 }
 
 // Explain renders the evaluation plan for a query: which lake capability

@@ -158,6 +158,25 @@ func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) 
 		rec.DeclaredData = m.Hist.DatasetID
 		rec.Domain = m.Hist.DatasetDomain
 	}
+	// The registration spans several kvstore keys; track what has been
+	// written so a failure part-way can be rolled back, leaving no
+	// half-registered model behind. (An already-stored weights blob is
+	// deliberately left in place: content-addressed data is harmless and
+	// may be shared.)
+	var written []string
+	rollback := func() {
+		for i := len(written) - 1; i >= 0; i-- {
+			_ = r.kv.Delete(written[i]) // best effort
+		}
+	}
+	putKV := func(key string, val []byte) error {
+		if err := r.kv.Put(key, val); err != nil {
+			rollback()
+			return err
+		}
+		written = append(written, key)
+		return nil
+	}
 	if c != nil {
 		cc := c.Clone()
 		cc.ModelID = id
@@ -168,7 +187,7 @@ func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) 
 		if err != nil {
 			return nil, err
 		}
-		if err := r.kv.Put(cardKey(id), cb); err != nil {
+		if err := putKV(cardKey(id), cb); err != nil {
 			return nil, fmt.Errorf("registry: store card: %w", err)
 		}
 		if rec.Domain == "" {
@@ -183,12 +202,13 @@ func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) 
 	}
 	rb, err := json.Marshal(rec)
 	if err != nil {
+		rollback()
 		return nil, fmt.Errorf("registry: marshal record: %w", err)
 	}
-	if err := r.kv.Put(modelKey(id), rb); err != nil {
+	if err := putKV(modelKey(id), rb); err != nil {
 		return nil, fmt.Errorf("registry: store record: %w", err)
 	}
-	if err := r.kv.Put(nameKey(name, version), []byte(id)); err != nil {
+	if err := putKV(nameKey(name, version), []byte(id)); err != nil {
 		return nil, fmt.Errorf("registry: store name index: %w", err)
 	}
 	m.ID = id

@@ -1,0 +1,92 @@
+// Package retry is the lake's shared exponential-backoff helper for
+// transient-fault paths: storage glitches that an immediate or slightly
+// delayed second attempt fixes (EINTR-class errors, injected transient
+// faults from internal/fault). Permanent errors are returned immediately —
+// retrying a checksum mismatch or a corrupt log only delays the loud
+// failure the caller needs to see.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Policy configures Do. The zero value gets sensible defaults.
+type Policy struct {
+	// Attempts is the total number of tries, including the first
+	// (default 3).
+	Attempts int
+	// Base is the delay before the second attempt (default 2ms).
+	Base time.Duration
+	// Max caps the backoff delay (default 250ms).
+	Max time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+	// Classify reports whether an error is worth retrying; nil means
+	// Transient.
+	Classify func(error) bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts <= 0 {
+		p.Attempts = 3
+	}
+	if p.Base <= 0 {
+		p.Base = 2 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 250 * time.Millisecond
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	if p.Classify == nil {
+		p.Classify = Transient
+	}
+	return p
+}
+
+// Transient reports whether err (or anything it wraps) advertises itself as
+// retryable via an IsTransient() bool method. This is the default
+// classifier: unknown errors are treated as permanent, because blind
+// retries of a durability error can convert a loud failure into data loss.
+func Transient(err error) bool {
+	var t interface{ IsTransient() bool }
+	return errors.As(err, &t) && t.IsTransient()
+}
+
+// Do runs fn until it succeeds, a permanent error occurs, the policy is
+// exhausted, or ctx is done. The returned error is fn's last error (wrapped
+// with the attempt count when the policy was exhausted) or ctx.Err().
+func Do(ctx context.Context, p Policy, fn func() error) error {
+	p = p.withDefaults()
+	delay := p.Base
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if !p.Classify(err) {
+			return err
+		}
+		if attempt >= p.Attempts {
+			return fmt.Errorf("retry: gave up after %d attempts: %w", attempt, err)
+		}
+		timer := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.Max {
+			delay = p.Max
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+type transientErr struct{}
+
+func (transientErr) Error() string     { return "glitch" }
+func (transientErr) IsTransient() bool { return true }
+
+func TestSucceedsAfterTransientFailures(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 3, Base: time.Microsecond}, func() error {
+		calls++
+		if calls < 3 {
+			return transientErr{}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Do = %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestPermanentErrorShortCircuits(t *testing.T) {
+	perm := errors.New("disk on fire")
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 5, Base: time.Microsecond}, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) {
+		t.Fatalf("Do = %v, want the permanent error", err)
+	}
+	if calls != 1 {
+		t.Fatalf("permanent error retried %d times", calls)
+	}
+}
+
+func TestExhaustionWrapsLastError(t *testing.T) {
+	calls := 0
+	err := Do(context.Background(), Policy{Attempts: 4, Base: time.Microsecond}, func() error {
+		calls++
+		return transientErr{}
+	})
+	if err == nil || calls != 4 {
+		t.Fatalf("err=%v calls=%d, want exhaustion after 4", err, calls)
+	}
+	var tr transientErr
+	if !errors.As(err, &tr) {
+		t.Fatalf("exhaustion error does not wrap the cause: %v", err)
+	}
+}
+
+func TestContextCancelStopsRetrying(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Do(ctx, Policy{Attempts: 100, Base: time.Hour}, func() error {
+		calls++
+		cancel() // cancel while backing off after the first failure
+		return transientErr{}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
+
+func TestTransientClassifier(t *testing.T) {
+	if Transient(errors.New("plain")) {
+		t.Fatal("plain error classified transient")
+	}
+	wrapped := errors.Join(errors.New("outer"), transientErr{})
+	if !Transient(wrapped) {
+		t.Fatal("wrapped transient error not recognized")
+	}
+}

@@ -1,0 +1,146 @@
+// Serving-hardening middleware: the layers between the listener and the
+// lake handlers that keep one bad request (a panic, a slow query, a
+// stampede) from taking the whole platform down. Assembled in Handler();
+// each layer is independently testable.
+package server
+
+import (
+	"bytes"
+	"context"
+	"log"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// recoverMiddleware converts a handler panic into a logged 500 so the
+// process survives; the stack goes to the log, never to the client.
+func recoverMiddleware(logger *log.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			p := recover()
+			if p == nil {
+				return
+			}
+			if p == http.ErrAbortHandler {
+				// The sentinel the net/http machinery uses to abort a
+				// response cleanly; suppressing it would hide the abort.
+				panic(p)
+			}
+			logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			// Best effort: if the handler already started the response the
+			// status cannot change, but the connection still closes sanely.
+			writeJSON(w, http.StatusInternalServerError, httpError{Error: "internal server error"})
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// limitMiddleware caps concurrently served requests. Excess requests are
+// rejected immediately with 429 and a Retry-After hint — shedding load
+// beats queueing it when the lake is saturated. Health probes are exempt so
+// orchestrators can still see a saturated-but-alive server.
+func limitMiddleware(maxInflight int, next http.Handler) http.Handler {
+	sem := make(chan struct{}, maxInflight)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		select {
+		case sem <- struct{}{}:
+			defer func() { <-sem }()
+			next.ServeHTTP(w, r)
+		default:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, httpError{Error: "server overloaded, retry later"})
+		}
+	})
+}
+
+// timeoutMiddleware enforces a per-request deadline. The handler runs with
+// a deadline-carrying context (which the lake's query paths honor) and its
+// response is buffered; if the deadline passes first the client gets a 504
+// and whatever the handler writes afterwards is discarded.
+func timeoutMiddleware(d time.Duration, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), d)
+		defer cancel()
+		r = r.WithContext(ctx)
+		tw := &timeoutWriter{h: make(http.Header)}
+		done := make(chan struct{})
+		panicCh := make(chan any, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicCh <- p
+				}
+			}()
+			next.ServeHTTP(tw, r)
+			close(done)
+		}()
+		select {
+		case p := <-panicCh:
+			panic(p) // re-panic on the serving goroutine for recoverMiddleware
+		case <-done:
+			tw.copyTo(w)
+		case <-ctx.Done():
+			tw.timeOut()
+			writeJSON(w, http.StatusGatewayTimeout, httpError{Error: "request timed out"})
+		}
+	})
+}
+
+// timeoutWriter buffers a handler's response so timeoutMiddleware can
+// atomically either deliver it or replace it with a 504.
+type timeoutWriter struct {
+	mu       sync.Mutex
+	h        http.Header
+	buf      bytes.Buffer
+	status   int
+	timedOut bool
+}
+
+func (tw *timeoutWriter) Header() http.Header { return tw.h }
+
+func (tw *timeoutWriter) WriteHeader(code int) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.status == 0 {
+		tw.status = code
+	}
+}
+
+func (tw *timeoutWriter) Write(p []byte) (int, error) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if tw.timedOut {
+		return 0, http.ErrHandlerTimeout
+	}
+	if tw.status == 0 {
+		tw.status = http.StatusOK
+	}
+	return tw.buf.Write(p)
+}
+
+func (tw *timeoutWriter) timeOut() {
+	tw.mu.Lock()
+	tw.timedOut = true
+	tw.mu.Unlock()
+}
+
+func (tw *timeoutWriter) copyTo(w http.ResponseWriter) {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	for k, vv := range tw.h {
+		for _, v := range vv {
+			w.Header().Add(k, v)
+		}
+	}
+	if tw.status == 0 {
+		tw.status = http.StatusOK
+	}
+	w.WriteHeader(tw.status)
+	_, _ = w.Write(tw.buf.Bytes())
+}

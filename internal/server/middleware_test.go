@@ -1,0 +1,294 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"modellake/internal/lake"
+)
+
+func quietLogger() *log.Logger { return log.New(io.Discard, "", 0) }
+
+// TestPanicRecovery: a panicking handler yields a 500 with the stack logged,
+// and the server keeps serving afterwards.
+func TestPanicRecovery(t *testing.T) {
+	var logBuf bytes.Buffer
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler exploded")
+	})
+	mux.HandleFunc("/fine", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(200)
+	})
+	ts := httptest.NewServer(recoverMiddleware(log.New(&logBuf, "", 0), mux))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("panicking handler = %d, want 500", resp.StatusCode)
+	}
+	if !strings.Contains(logBuf.String(), "handler exploded") {
+		t.Fatal("panic value not logged")
+	}
+	if !strings.Contains(logBuf.String(), "middleware_test.go") {
+		t.Fatal("stack trace not logged")
+	}
+	// The process (and the server goroutine pool) survived.
+	resp2, err := http.Get(ts.URL + "/fine")
+	if err != nil {
+		t.Fatalf("server dead after panic: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("request after panic = %d", resp2.StatusCode)
+	}
+}
+
+// TestPanicRecoveryThroughTimeout: a panic inside the timeout middleware's
+// handler goroutine must propagate to the recovery layer, not kill the
+// process or hang the request.
+func TestPanicRecoveryThroughTimeout(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/boom", func(http.ResponseWriter, *http.Request) {
+		panic("deep panic")
+	})
+	h := recoverMiddleware(quietLogger(), timeoutMiddleware(5*time.Second, mux))
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/boom", nil))
+	if rr.Code != 500 {
+		t.Fatalf("panic through timeout = %d, want 500", rr.Code)
+	}
+}
+
+// TestRequestTimeout: a handler that outlives the deadline gets its context
+// canceled and the client gets a 504; the handler's late write is discarded.
+func TestRequestTimeout(t *testing.T) {
+	ctxCanceled := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, r *http.Request) {
+		<-r.Context().Done()
+		close(ctxCanceled)
+		w.WriteHeader(200) // too late; must not reach the client
+	})
+	h := timeoutMiddleware(20*time.Millisecond, mux)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/slow", nil))
+	if rr.Code != http.StatusGatewayTimeout {
+		t.Fatalf("slow handler = %d, want 504", rr.Code)
+	}
+	select {
+	case <-ctxCanceled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("handler context never canceled")
+	}
+}
+
+// TestTimeoutDeliversFastResponses: the buffered writer must pass through
+// status, headers, and body for handlers that beat the deadline.
+func TestTimeoutDeliversFastResponses(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/fast", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("X-Custom", "yes")
+		w.WriteHeader(http.StatusTeapot)
+		io.WriteString(w, "body bytes")
+	})
+	h := timeoutMiddleware(5*time.Second, mux)
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/fast", nil))
+	if rr.Code != http.StatusTeapot || rr.Body.String() != "body bytes" || rr.Header().Get("X-Custom") != "yes" {
+		t.Fatalf("buffered response mangled: %d %q %q", rr.Code, rr.Body.String(), rr.Header().Get("X-Custom"))
+	}
+}
+
+// TestConcurrencyLimit: with 2 slots occupied by parked requests, a third
+// request is shed with 429 + Retry-After, while health probes pass through.
+func TestConcurrencyLimit(t *testing.T) {
+	release := make(chan struct{})
+	entered := make(chan struct{}, 4)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/park", func(w http.ResponseWriter, _ *http.Request) {
+		entered <- struct{}{}
+		<-release
+		w.WriteHeader(200)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(200)
+	})
+	ts := httptest.NewServer(limitMiddleware(2, mux))
+	defer ts.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/park")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	<-entered
+	<-entered // both slots held
+
+	resp, err := http.Get(ts.URL + "/park")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-limit request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 missing Retry-After hint")
+	}
+
+	// Probes bypass the limiter: orchestrators still see the server.
+	probe, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Body.Close()
+	if probe.StatusCode != 200 {
+		t.Fatalf("healthz under saturation = %d, want 200", probe.StatusCode)
+	}
+
+	close(release)
+	wg.Wait()
+
+	// Slots freed: normal traffic flows again.
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+}
+
+// TestDrainFlipsReadiness: Drain turns /readyz into 503 (stop routing to me)
+// while /healthz stays 200 (but don't restart me) and real requests still
+// complete — the contract a rolling deploy depends on.
+func TestDrainFlipsReadiness(t *testing.T) {
+	lk, err := lake.Open(lake.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+	srv := NewWith(lk, Config{Logger: quietLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != 200 {
+		t.Fatalf("readyz before drain = %d", code)
+	}
+	srv.Drain()
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != 503 {
+		t.Fatalf("readyz during drain = %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz during drain = %d, want 200", code)
+	}
+	if code := getJSON(t, ts.URL+"/v1/models", nil); code != 200 {
+		t.Fatalf("in-flight traffic during drain = %d, want 200", code)
+	}
+}
+
+// TestReadyzReportsClosedLake: a lake that lost its store must flip
+// readiness without affecting liveness.
+func TestReadyzReportsClosedLake(t *testing.T) {
+	lk, err := lake.Open(lake.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewWith(lk, Config{Logger: quietLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	lk.Close()
+	if code := getJSON(t, ts.URL+"/readyz", nil); code != 503 {
+		t.Fatalf("readyz with closed lake = %d, want 503", code)
+	}
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != 200 {
+		t.Fatalf("healthz with closed lake = %d, want 200", code)
+	}
+}
+
+// TestGracefulShutdownDrainsInflight: http.Server.Shutdown must let a
+// request that is already being served run to completion.
+func TestGracefulShutdownDrainsInflight(t *testing.T) {
+	entered := make(chan struct{})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		time.Sleep(100 * time.Millisecond)
+		io.WriteString(w, "drained fine")
+	})
+	ts := httptest.NewUnstartedServer(mux)
+	ts.Start()
+	defer ts.Close()
+
+	type result struct {
+		body string
+		code int
+		err  error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/slow")
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		resCh <- result{body: string(b), code: resp.StatusCode}
+	}()
+	<-entered // request is in-flight
+
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ts.Config.Shutdown(shCtx); err != nil {
+		t.Fatalf("shutdown did not drain: %v", err)
+	}
+	res := <-resCh
+	if res.err != nil {
+		t.Fatalf("in-flight request killed by shutdown: %v", res.err)
+	}
+	if res.code != 200 || res.body != "drained fine" {
+		t.Fatalf("in-flight request mangled: %d %q", res.code, res.body)
+	}
+}
+
+// TestIngestBodyLimit: an over-limit ingest body is rejected with 413, not
+// read to completion.
+func TestIngestBodyLimit(t *testing.T) {
+	lk, err := lake.Open(lake.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+	srv := NewWith(lk, Config{MaxBodyBytes: 128, Logger: quietLogger()})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	big := `{"name":"x","weights_b64":"` + strings.Repeat("A", 1024) + `"}`
+	resp, err := http.Post(ts.URL+"/v1/models", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest = %d, want 413", resp.StatusCode)
+	}
+}

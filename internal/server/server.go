@@ -5,7 +5,8 @@
 //
 // The API is JSON over GET/POST with Go 1.22 pattern routing:
 //
-//	GET  /healthz                         liveness
+//	GET  /healthz                         liveness (process up)
+//	GET  /readyz                          readiness (store open, index built)
 //	GET  /v1/models                       list catalog records
 //	POST /v1/models                       ingest a model (JSON body)
 //	GET  /v1/models/{id}                  one record
@@ -25,9 +26,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"modellake/internal/card"
 	"modellake/internal/lake"
@@ -36,18 +41,71 @@ import (
 	"modellake/internal/registry"
 )
 
-// Server serves one lake.
-type Server struct {
-	lk *lake.Lake
+// Config tunes the serving-hardening layer wrapped around the lake
+// handlers. The zero value of a field falls back to the DefaultConfig
+// value only through New; NewWith takes the config verbatim so zero can
+// mean "disabled".
+type Config struct {
+	// RequestTimeout bounds each request's handler time; requests that
+	// exceed it get 504 and their lake work is canceled via the request
+	// context. Zero disables the per-request deadline.
+	RequestTimeout time.Duration
+	// MaxInflight caps concurrently served requests; excess requests are
+	// shed with 429 + Retry-After. Zero disables the limiter.
+	MaxInflight int
+	// MaxBodyBytes caps the ingest request body. Zero means the 64 MiB
+	// default.
+	MaxBodyBytes int64
+	// Logger receives panic stacks and lifecycle messages; nil logs to
+	// stderr.
+	Logger *log.Logger
 }
 
-// New wraps a lake.
-func New(lk *lake.Lake) *Server { return &Server{lk: lk} }
+// DefaultConfig is the hardening applied by New: generous enough for every
+// lake task, tight enough that a stuck query or a stampede degrades loudly.
+func DefaultConfig() Config {
+	return Config{
+		RequestTimeout: 30 * time.Second,
+		MaxInflight:    256,
+		MaxBodyBytes:   64 << 20,
+	}
+}
 
-// Handler returns the routed HTTP handler.
+// Server serves one lake.
+type Server struct {
+	lk       *lake.Lake
+	cfg      Config
+	log      *log.Logger
+	draining atomic.Bool
+}
+
+// New wraps a lake with the default hardening config.
+func New(lk *lake.Lake) *Server { return NewWith(lk, DefaultConfig()) }
+
+// NewWith wraps a lake with an explicit config.
+func NewWith(lk *lake.Lake, cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 64 << 20
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.New(os.Stderr, "modellake: ", log.LstdFlags)
+	}
+	return &Server{lk: lk, cfg: cfg, log: logger}
+}
+
+// Drain flips /readyz to 503 so load balancers stop routing new traffic
+// here, while in-flight (and even new) requests still complete. Call it
+// before http.Server.Shutdown for a clean connection drain.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Handler returns the routed HTTP handler wrapped in the hardening
+// middleware: panic recovery outermost, then load shedding, then the
+// per-request timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/models", s.handleListModels)
 	mux.HandleFunc("POST /v1/models", s.handleIngest)
 	mux.HandleFunc("GET /v1/models/{id}", s.handleModel)
@@ -60,7 +118,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/related", s.handleRelated)
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/graph", s.handleGraph)
-	return mux
+	var h http.Handler = mux
+	if s.cfg.RequestTimeout > 0 {
+		h = timeoutMiddleware(s.cfg.RequestTimeout, h)
+	}
+	if s.cfg.MaxInflight > 0 {
+		h = limitMiddleware(s.cfg.MaxInflight, h)
+	}
+	return recoverMiddleware(s.log, h)
 }
 
 // httpError is the JSON error envelope.
@@ -100,8 +165,24 @@ func intParam(r *http.Request, name string, def int) int {
 	return def
 }
 
+// handleHealth is pure liveness: it answers 200 whenever the process can
+// serve HTTP at all, touching nothing that could block or fail.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "models": s.lk.Count()})
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// handleReady is readiness: 200 only when the lake can actually answer
+// queries (store open, indexes rehydrated) and the server is not draining.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	if err := s.lk.Ready(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unready", "error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "models": s.lk.Count()})
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
@@ -146,7 +227,7 @@ func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDraft(w http.ResponseWriter, r *http.Request) {
-	d, err := s.lk.GenerateCard(r.PathValue("id"))
+	d, err := s.lk.GenerateCardContext(r.Context(), r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -166,7 +247,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		}
 		flagged[parts[0]] = reason
 	}
-	rep, err := s.lk.Audit(r.PathValue("id"), flagged)
+	rep, err := s.lk.AuditContext(r.Context(), r.PathValue("id"), flagged)
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -199,7 +280,7 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing query parameter id")
 		return
 	}
-	hits, err := s.lk.SearchByModel(id, r.URL.Query().Get("space"), intParam(r, "k", 10))
+	hits, err := s.lk.SearchByModelContext(r.Context(), id, r.URL.Query().Get("space"), intParam(r, "k", 10))
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -213,7 +294,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		badRequest(w, "missing query parameter q")
 		return
 	}
-	res, err := s.lk.Query(q)
+	res, err := s.lk.QueryContext(r.Context(), q)
 	if err != nil {
 		badRequest(w, "%v", err)
 		return
@@ -222,7 +303,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	g, err := s.lk.VersionGraph()
+	g, err := s.lk.VersionGraphContext(r.Context())
 	if err != nil {
 		writeErr(w, err)
 		return
@@ -243,7 +324,13 @@ type IngestRequest struct {
 
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				httpError{Error: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
 		badRequest(w, "decode body: %v", err)
 		return
 	}

@@ -80,8 +80,15 @@ func TestHealthAndList(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/healthz", &health); code != 200 {
 		t.Fatalf("healthz = %d", code)
 	}
-	if int(health["models"].(float64)) != lk.Count() {
-		t.Fatalf("health models = %v", health["models"])
+	if health["status"] != "ok" {
+		t.Fatalf("health status = %v", health["status"])
+	}
+	var ready map[string]any
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != 200 {
+		t.Fatalf("readyz = %d", code)
+	}
+	if int(ready["models"].(float64)) != lk.Count() {
+		t.Fatalf("ready models = %v", ready["models"])
 	}
 	var recs []registry.Record
 	if code := getJSON(t, ts.URL+"/v1/models", &recs); code != 200 {

@@ -78,6 +78,45 @@ func BenchmarkLakeIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkLakeIngestParallel is the batch counterpart of
+// BenchmarkLakeIngest: the same population through IngestAll with a
+// GOMAXPROCS worker pool. Comparing the two ns/op numbers gives the ingest
+// pipeline's speedup on this machine.
+func BenchmarkLakeIngestParallel(b *testing.B) {
+	pop, err := GenerateLake(DefaultLakeSpec(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		items := make([]IngestItem, len(pop.Members))
+		for j, m := range pop.Members {
+			clone := *m.Model
+			clone.ID = ""
+			items[j] = IngestItem{Model: &clone, Card: m.Card, Opts: RegisterOptions{
+				Name: m.Truth.Name, Version: strconv.Itoa(i) + "-" + strconv.Itoa(j),
+			}}
+		}
+		lk, err := Open(Config{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		_, errs := lk.IngestAll(items, 0)
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		lk.Close()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkE12Ingest(b *testing.B) { benchExperiment(b, "E12") }
+
 // BenchmarkLakeQuery measures MLQL query latency on a ~50-model lake.
 func BenchmarkLakeQuery(b *testing.B) {
 	spec := DefaultLakeSpec(2)

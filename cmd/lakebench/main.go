@@ -1,9 +1,13 @@
 // Command lakebench runs the reproduction experiments (DESIGN.md §3) and
 // prints one result table per experiment. Use -only to run a subset and
-// -seed to change the workload seed.
+// -seed to change the workload seed. When E12 (the ingest pipeline
+// benchmark) runs, its machine-readable summary is written to the path
+// given by -ingest-json so CI can archive throughput over time;
+// -parallelism sets the worker count it benchmarks (0 = GOMAXPROCS).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +20,8 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated experiment IDs (e.g. E1,E4)")
 	seed := flag.Uint64("seed", 42, "workload seed")
+	parallelism := flag.Int("parallelism", 0, "ingest workers for E12 (0 = GOMAXPROCS)")
+	ingestJSON := flag.String("ingest-json", "BENCH_ingest.json", "where E12 writes its JSON summary ('' = skip)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -30,7 +36,22 @@ func main() {
 			continue
 		}
 		start := time.Now()
-		t, err := ex.Run(*seed)
+		var t *experiments.Table
+		var err error
+		if ex.ID == "E12" {
+			// E12 goes through the parameterized entry point so the
+			// -parallelism flag applies and the JSON summary is captured.
+			var res *experiments.IngestBenchResult
+			t, res, err = experiments.RunE12Ingest(*seed, *parallelism)
+			if err == nil && res != nil && *ingestJSON != "" {
+				if werr := writeIngestJSON(*ingestJSON, res); werr != nil {
+					fmt.Fprintf(os.Stderr, "E12: writing %s: %v\n", *ingestJSON, werr)
+					failed++
+				}
+			}
+		} else {
+			t, err = ex.Run(*seed)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", ex.ID, err)
 			failed++
@@ -42,4 +63,12 @@ func main() {
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func writeIngestJSON(path string, res *experiments.IngestBenchResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -1,0 +1,107 @@
+package embedding
+
+import (
+	"fmt"
+	"testing"
+
+	"modellake/internal/fault"
+	"modellake/internal/model"
+)
+
+// Crash sweep for the embedding cache, in the same style as the kvstore,
+// blob, and lake sweeps: enumerate every IO operation the cache-filling
+// workload performs, replay the workload failing each one in turn (with a
+// torn write), and assert the invariant the ISSUE demands — a torn or lost
+// cache write may cost a recomputation but can never corrupt an embedding,
+// because entries are checksum-verified on load and recomputed on any
+// defect.
+
+// cacheWorkload embeds nModels models through a disk cache rooted at dir
+// with the given injected filesystem. Injected Put failures are invisible
+// to callers by design (the cache is an accelerator), so the workload
+// always "succeeds"; what matters is the state left on disk.
+func cacheWorkload(dir string, fsys *fault.FS, nModels int) {
+	cache := NewVectorCache(dir, "sweep", fsys)
+	emb := NewCached(NewWeightEmbedder(8, 2, 9), cache)
+	for i := 0; i < nModels; i++ {
+		_, _ = emb.Embed(model.NewHandle(testModel(uint64(100 + i))))
+	}
+}
+
+func TestEmbedCacheCrashSweep(t *testing.T) {
+	const nModels = 3
+
+	// Reference vectors from a cache-free embedder: the ground truth every
+	// post-fault embed must reproduce exactly.
+	ref := NewWeightEmbedder(8, 2, 9)
+	want := make(map[int][]float64)
+	for i := 0; i < nModels; i++ {
+		v, err := ref.Embed(model.NewHandle(testModel(uint64(100 + i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = v
+	}
+
+	rec := &fault.Recorder{}
+	cacheWorkload(t.TempDir(), fault.New(rec), nModels)
+	n := len(rec.Ops())
+	if n < nModels*4 {
+		t.Fatalf("cache workload exercised only %d IO ops; sweep too small", n)
+	}
+
+	for op := 1; op <= n; op++ {
+		t.Run(fmt.Sprintf("op-%02d", op), func(t *testing.T) {
+			dir := t.TempDir()
+			cacheWorkload(dir, fault.New(&fault.Script{FailAt: op, Torn: 7}), nModels)
+
+			// Reopen the (possibly torn) cache cleanly. Every embed must
+			// return the exact reference vector: hits must be verified
+			// bytes, defects must fall back to recomputation.
+			clean := NewCached(NewWeightEmbedder(8, 2, 9), NewVectorCache(dir, "sweep", nil))
+			for i := 0; i < nModels; i++ {
+				h := model.NewHandle(testModel(uint64(100 + i)))
+				got, err := clean.Embed(h)
+				if err != nil {
+					t.Fatalf("model %d: embed after fault: %v", i, err)
+				}
+				for j := range want[i] {
+					if got[j] != want[i][j] {
+						t.Fatalf("model %d: torn cache corrupted component %d: %v != %v",
+							i, j, got[j], want[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEmbedCacheSweepWithStickyDisk: a disk that breaks and stays broken
+// degrades the cache to memory-only but never fails or corrupts embedding.
+func TestEmbedCacheSweepWithStickyDisk(t *testing.T) {
+	dir := t.TempDir()
+	fsys := fault.New(&fault.Script{FailAt: 1, Sticky: true})
+	cache := NewVectorCache(dir, "sweep", fsys)
+	emb := NewCached(NewWeightEmbedder(8, 2, 9), cache)
+	ref := NewWeightEmbedder(8, 2, 9)
+	for i := 0; i < 3; i++ {
+		h := model.NewHandle(testModel(uint64(200 + i)))
+		got, err := emb.Embed(h)
+		if err != nil {
+			t.Fatalf("embed with dead cache disk failed: %v", err)
+		}
+		want, err := ref.Embed(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("dead-disk embed differs at %d", j)
+			}
+		}
+		// And the in-memory layer still serves hits.
+		if again, err := emb.Embed(h); err != nil || again[0] != want[0] {
+			t.Fatalf("memory-layer hit broken: %v %v", again, err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package embedding
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"modellake/internal/model"
+	"modellake/internal/nn"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func testModel(seed uint64) *model.Model {
+	rng := xrand.New(seed)
+	net := nn.NewMLP([]int{8, 6, 4}, nn.Tanh, rng)
+	return &model.Model{ID: fmt.Sprintf("m%d", seed), Name: "m", Net: net}
+}
+
+func TestFingerprintTracksWeights(t *testing.T) {
+	a := testModel(1)
+	fpA, ok := Fingerprint(model.NewHandle(a))
+	if !ok || fpA == "" {
+		t.Fatal("open-weights model must fingerprint")
+	}
+	// Same weights → same fingerprint, regardless of identity.
+	clone := &model.Model{ID: "other-id", Name: "other", Net: a.Net.Clone()}
+	fpClone, _ := Fingerprint(model.NewHandle(clone))
+	if fpClone != fpA {
+		t.Fatal("identical weights produced different fingerprints")
+	}
+	// A perturbed weight → different fingerprint.
+	clone.Net.W[0].Data[0] += 1e-9
+	fpPerturbed, _ := Fingerprint(model.NewHandle(clone))
+	if fpPerturbed == fpA {
+		t.Fatal("changed weights kept the same fingerprint")
+	}
+	// Closed-weights models are not cacheable.
+	if _, ok := Fingerprint(model.WithViews(a, model.ViewExtrinsic)); ok {
+		t.Fatal("closed-weights model must not fingerprint")
+	}
+}
+
+func TestVectorCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := NewVectorCache(dir, "ns", nil)
+	v := tensor.Vector{1.5, -2.25, 0, 1e-300}
+	if err := c.Put("weight", "fp1", v); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get("weight", len(v), "fp1")
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	for i := range v {
+		if got[i] != v[i] {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, got[i], v[i])
+		}
+	}
+	// The returned vector is a copy: mutating it must not poison the cache.
+	got[0] = 999
+	again, _ := c.Get("weight", len(v), "fp1")
+	if again[0] != 1.5 {
+		t.Fatal("cache entry aliased to caller's vector")
+	}
+	// A second cache over the same directory reads the persisted entry.
+	c2 := NewVectorCache(dir, "ns", nil)
+	if _, ok := c2.Get("weight", len(v), "fp1"); !ok {
+		t.Fatal("persisted entry not visible to a fresh cache")
+	}
+	// Wrong dimension and wrong embedder are misses.
+	if _, ok := c2.Get("weight", len(v)+1, "fp1"); ok {
+		t.Fatal("dimension mismatch served from cache")
+	}
+	if _, ok := c2.Get("behavior", len(v), "fp1"); ok {
+		t.Fatal("other embedder's entry served")
+	}
+	hits, misses := c2.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d hits %d misses, want 1/2", hits, misses)
+	}
+}
+
+func TestVectorCacheNamespaceIsolation(t *testing.T) {
+	dir := t.TempDir()
+	a := NewVectorCache(dir, "cfgA", nil)
+	if err := a.Put("weight", "fp", tensor.Vector{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewVectorCache(dir, "cfgB", nil)
+	if _, ok := b.Get("weight", 2, "fp"); ok {
+		t.Fatal("entry leaked across namespaces")
+	}
+}
+
+// TestVectorCacheCorruptionDetected: every way a cache file can rot — torn
+// tail, flipped byte, truncated header, garbage — must read as a miss,
+// never as a wrong vector.
+func TestVectorCacheCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	c := NewVectorCache(dir, "ns", nil)
+	v := tensor.Vector{3.14, 2.71, -1.61}
+	if err := c.Put("weight", "fp", v); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "ns", "weight", "fp.vec")
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptions := map[string][]byte{
+		"empty":          {},
+		"torn-half":      pristine[:len(pristine)/2],
+		"torn-one-byte":  pristine[:len(pristine)-1],
+		"bad-magic":      append([]byte("XXXXX\n"), pristine[6:]...),
+		"garbage":        []byte("not a cache file at all"),
+		"extra-tail":     append(append([]byte{}, pristine...), 0xFF),
+		"flipped-middle": flipByte(pristine, len(pristine)/2),
+		"flipped-sum":    flipByte(pristine, len(pristine)-1),
+	}
+	for name, data := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			fresh := NewVectorCache(dir, "ns", nil)
+			if got, ok := fresh.Get("weight", len(v), "fp"); ok {
+				t.Fatalf("corrupted file served as a hit: %v", got)
+			}
+		})
+	}
+}
+
+func flipByte(b []byte, i int) []byte {
+	out := append([]byte{}, b...)
+	out[i] ^= 0x40
+	return out
+}
+
+// TestCachedEmbedderHitsAndRecomputes: second embed of the same weights is
+// a cache hit with an identical vector; a corrupted entry silently
+// recomputes; a restricted handle bypasses the cache.
+func TestCachedEmbedderHitsAndRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	cache := NewVectorCache(dir, "ns", nil)
+	inner := NewWeightEmbedder(8, 2, 5)
+	emb := NewCached(inner, cache)
+	m := testModel(2)
+	h := model.NewHandle(m)
+
+	first, err := emb.Embed(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := emb.Embed(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cache.Stats(); hits != 1 {
+		t.Fatalf("second embed was not a cache hit (hits=%d)", hits)
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("cached vector differs at %d: %v != %v", i, second[i], first[i])
+		}
+	}
+
+	// Corrupt the persisted entry; a fresh cache must verify, miss, and
+	// recompute the exact same vector.
+	fp, _ := Fingerprint(h)
+	path := filepath.Join(dir, "ns", "weight", fp+".vec")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewCached(inner, NewVectorCache(dir, "ns", nil))
+	recomputed, err := fresh.Embed(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if recomputed[i] != first[i] {
+			t.Fatalf("recomputed vector differs at %d", i)
+		}
+	}
+
+	// Closed-weights handles bypass the cache entirely (BehaviorEmbedder
+	// can still embed them; the result is just never cached).
+	be := NewBehaviorEmbedder(8, 4, 8, 5)
+	cc := NewVectorCache("", "ns", nil)
+	cachedBE := NewCached(be, cc)
+	if _, err := cachedBE.Embed(model.WithViews(m, model.ViewExtrinsic)); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := cc.Stats(); h != 0 || m != 0 {
+		t.Fatalf("uncacheable model touched the cache: %d/%d", h, m)
+	}
+
+	// NewCached with a nil cache is the identity.
+	if NewCached(inner, nil) != Embedder(inner) {
+		t.Fatal("nil cache should return the inner embedder")
+	}
+}
+
+// TestVectorCacheConcurrent hammers Put/Get from many goroutines over
+// overlapping keys; -race is the assertion, plus every hit must be correct.
+func TestVectorCacheConcurrent(t *testing.T) {
+	c := NewVectorCache(t.TempDir(), "ns", nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				key := fmt.Sprintf("fp%d", i%10)
+				want := tensor.Vector{float64(i % 10), 1}
+				if err := c.Put("e", key, want); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, ok := c.Get("e", 2, key); ok && got[0] != want[0] {
+					t.Errorf("got %v for key %s", got, key)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -91,6 +91,7 @@ func All() []Experiment {
 		{"E9", "declarative queries (MLQL)", RunE9},
 		{"E10", "audit risk propagation", RunE10},
 		{"E11", "lifelong benchmarking", RunE11},
+		{"E12", "parallel ingest pipeline", RunE12},
 		{"F1", "viewpoint ablation (Figure 1)", RunF1},
 	}
 }

@@ -296,7 +296,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		}
 		ids[ex.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "F1"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "F1"} {
 		if !ids[want] {
 			t.Fatalf("experiment %s missing", want)
 		}
@@ -323,5 +323,33 @@ func TestE11Shape(t *testing.T) {
 	total := cell(t, tab, 1, 3)
 	if grow >= total {
 		t.Fatalf("growth phase re-evaluated everything: %v of %v", grow, total)
+	}
+}
+
+// TestE12Shape pins the pipeline's acceptance property at test time: a
+// parallel ingest must answer top-k searches identically to the serial
+// loop, and the machine-readable result must describe the requested run.
+func TestE12Shape(t *testing.T) {
+	tab, res, err := RunE12Ingest(testSeed(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 4 { // serial + sweep of at least 1,2,4
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if res == nil {
+		t.Fatal("no result for requested parallelism")
+	}
+	if res.Parallelism != 2 {
+		t.Fatalf("result parallelism = %d, want 2", res.Parallelism)
+	}
+	if !res.IdenticalTopK {
+		t.Fatal("parallel ingest changed top-k results")
+	}
+	if res.NModels == 0 || res.SerialNs <= 0 || res.ParallelNs <= 0 || res.Speedup <= 0 {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	if res.CacheMisses == 0 {
+		t.Fatalf("fresh lake reported no cache misses: %+v", res)
 	}
 }

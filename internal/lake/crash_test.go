@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"strings"
+
 	"modellake/internal/fault"
 	"modellake/internal/lakegen"
 	"modellake/internal/registry"
@@ -126,5 +128,77 @@ func TestLakeReopensAfterPartialIngest(t *testing.T) {
 	// And the store still works: the same ingest succeeds on the clean lake.
 	if _, err := clean.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name}); err != nil {
 		t.Fatalf("reingest after recovery failed: %v", err)
+	}
+}
+
+// TestTornEmbedCacheWriteDoesNotCorruptSearch targets the embedding-cache
+// files specifically (the broad sweep above now includes them, since the
+// lake routes cache IO through cfg.FS): every cache write is torn mid-file,
+// yet a reopened lake must answer content search exactly like a lake that
+// never had a cache fault — the cache verifies on load and recomputes
+// instead of serving torn bytes.
+func TestTornEmbedCacheWriteDoesNotCorruptSearch(t *testing.T) {
+	pop := crashPopulation(t)
+
+	open := func(dir string, fsys *fault.FS) (*Lake, []string) {
+		l, err := Open(Config{Dir: dir, Sync: true, Seed: 1, FS: fsys})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ids []string
+		for _, m := range pop.Members {
+			rec, err := l.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name, Version: "1"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids = append(ids, rec.ID)
+		}
+		return l, ids
+	}
+
+	// Reference: fault-free lake.
+	refLake, refIDs := open(t.TempDir(), nil)
+	defer refLake.Close()
+
+	// Victim: every embedding-cache write is torn after 9 bytes, and the
+	// fault is sticky so retries keep failing too.
+	torn := &fault.Script{FailAt: 1, Torn: 9, Sticky: true,
+		Match: func(op fault.Op, path string) bool {
+			return op == fault.OpWrite && strings.Contains(path, "embedcache")
+		}}
+	dir := t.TempDir()
+	victim, ids := open(dir, fault.New(torn))
+	if torn.Seen() == 0 {
+		t.Fatal("workload never wrote an embedding-cache file; fault not exercised")
+	}
+	victim.Close()
+
+	reopened, err := Open(Config{Dir: dir, Sync: true, Seed: 1})
+	if err != nil {
+		t.Fatalf("lake must reopen after torn cache writes: %v", err)
+	}
+	defer reopened.Close()
+	for i := range ids {
+		for _, space := range []string{"behavior", "weights"} {
+			want, err := refLake.SearchByModel(refIDs[i], space, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := reopened.SearchByModel(ids[i], space, 3)
+			if err != nil {
+				t.Fatalf("%s search after torn cache: %v", space, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s search hit count %d != %d", space, len(got), len(want))
+			}
+			for j := range want {
+				// IDs differ between the two lakes only if ingest order
+				// diverged; scores must match bitwise.
+				if got[j].Score != want[j].Score {
+					t.Fatalf("%s search score diverged after torn cache write: %v != %v",
+						space, got[j], want[j])
+				}
+			}
+		}
 	}
 }

@@ -57,6 +57,15 @@ type Config struct {
 	// scan otherwise). Flat is the default: exact and fast below ~10k
 	// models.
 	UseHNSW bool
+	// IngestParallelism bounds the embedding worker pool used by batch
+	// ingest, reindexing, and rehydration. Zero or negative means
+	// GOMAXPROCS. Single-model Ingest is unaffected.
+	IngestParallelism int
+	// DisableEmbedCache turns off the content-addressed embedding cache.
+	// By default embeddings are cached keyed by (embedder, weights hash) —
+	// in memory always, and on disk under Dir/embedcache for durable
+	// lakes — so reindexing and repeated experiments skip recomputation.
+	DisableEmbedCache bool
 	// FS routes all storage IO (metadata log and blob store) through a
 	// fault-injectable filesystem — the test hook behind the lake's
 	// crash-consistency suite. Nil uses the real filesystem.
@@ -85,10 +94,11 @@ type Lake struct {
 	prov   *provenance.Journal
 	runner *benchmark.Runner
 
-	keyword    *search.KeywordIndex
+	keyword    *search.ShardedKeywordIndex
 	behaviorCS *search.ContentSearcher
 	weightCS   *search.ContentSearcher
 	taskSearch *search.TaskSearcher
+	embedCache *embedding.VectorCache // nil when disabled
 
 	mu         sync.RWMutex
 	closed     bool
@@ -128,17 +138,32 @@ func Open(cfg Config) (*Lake, error) {
 		reg:        registry.New(kv, blobs),
 		prov:       provenance.NewJournal(kv),
 		runner:     benchmark.NewRunner(kv),
-		keyword:    search.NewKeywordIndex(),
+		keyword:    search.NewShardedKeywordIndex(0),
 		taskSearch: &search.TaskSearcher{},
 		modelCache: map[string]*model.Model{},
 		benchmarks: map[string]*benchmark.Benchmark{},
 		datasets:   map[string]*data.Dataset{},
 	}
+	if !cfg.DisableEmbedCache {
+		cacheDir := ""
+		if cfg.Dir != "" {
+			cacheDir = filepath.Join(cfg.Dir, "embedcache")
+		}
+		// The namespace folds in every config knob that changes embedder
+		// output, so a lake reopened with different embedding parameters
+		// can never read vectors computed under the old ones.
+		ns := fmt.Sprintf("in%d_mc%d_p%d_s%d", cfg.InputDim, cfg.MaxClasses, cfg.Probes, cfg.Seed)
+		l.embedCache = embedding.NewVectorCache(cacheDir, ns, cfg.FS)
+	}
 	l.behaviorCS = search.NewContentSearcher(
-		embedding.NewBehaviorEmbedder(cfg.InputDim, cfg.Probes, cfg.MaxClasses, cfg.Seed),
+		embedding.NewCached(
+			embedding.NewBehaviorEmbedder(cfg.InputDim, cfg.Probes, cfg.MaxClasses, cfg.Seed),
+			l.embedCache),
 		l.newIndex())
 	l.weightCS = search.NewContentSearcher(
-		embedding.NewWeightEmbedder(32, 4, cfg.Seed+1),
+		embedding.NewCached(
+			embedding.NewWeightEmbedder(32, 4, cfg.Seed+1),
+			l.embedCache),
 		l.newIndex())
 
 	// Rehydrate indexes from a previously persisted lake.
@@ -156,12 +181,16 @@ func (l *Lake) newIndex() index.Index {
 	return index.NewFlat(index.Cosine)
 }
 
-// rehydrate rebuilds the in-memory indexes from the durable registry.
+// rehydrate rebuilds the in-memory indexes from the durable registry. The
+// embedding stage — the expensive part — runs through the parallel batch
+// path, so reopening a big lake uses every core (and the embedding cache,
+// when the lake has one, turns reopen embeddings into cache hits).
 func (l *Lake) rehydrate() error {
 	recs, err := l.reg.List()
 	if err != nil {
 		return fmt.Errorf("lake: rehydrate: %w", err)
 	}
+	var handles []*model.Handle
 	for _, rec := range recs {
 		if c, err := l.reg.Card(rec.ID); err == nil {
 			l.keyword.Add(rec.ID, c.Text())
@@ -174,8 +203,9 @@ func (l *Lake) rehydrate() error {
 			return fmt.Errorf("lake: rehydrate %s: %w", rec.ID, err)
 		}
 		l.modelCache[rec.ID] = m
-		l.indexModel(m)
+		handles = append(handles, model.NewHandle(m))
 	}
+	l.indexModels(handles)
 	return nil
 }
 
@@ -188,6 +218,22 @@ func (l *Lake) indexModel(m *model.Model) {
 		l.taskSearch.Add(h)
 	}
 	_ = l.weightCS.Add(h) // error = not weight-indexable; acceptable
+}
+
+// indexModels is the batch form of indexModel: models are embedded
+// concurrently and indexed in input order, so the resulting indexes are
+// identical to a serial indexModel loop over the same slice.
+func (l *Lake) indexModels(handles []*model.Handle) {
+	if len(handles) == 0 {
+		return
+	}
+	p := l.cfg.IngestParallelism
+	for i, err := range l.behaviorCS.AddAll(handles, p) {
+		if err == nil {
+			l.taskSearch.Add(handles[i])
+		}
+	}
+	_ = l.weightCS.AddAll(handles, p) // per-model errors = not weight-indexable; acceptable
 }
 
 // Close releases the lake's storage.
@@ -236,39 +282,142 @@ func (l *Lake) Ingest(m *model.Model, c *card.Card, opts registry.RegisterOption
 	}
 	l.indexModel(m)
 
-	// Provenance: the model entity, its creating activity, declared inputs.
+	if err := l.journalProvenance(rec, m); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// journalProvenance records the model entity, its creating activity, and
+// declared inputs in the provenance journal.
+func (l *Lake) journalProvenance(rec *registry.Record, m *model.Model) error {
 	if _, err := l.prov.Put("model:"+rec.ID, provenance.Entity, rec.Name, map[string]string{
 		"arch": rec.Arch, "version": rec.Version,
 	}); err != nil {
-		return nil, fmt.Errorf("lake: provenance: %w", err)
+		return fmt.Errorf("lake: provenance: %w", err)
 	}
 	if m.Hist != nil {
 		act := "activity:" + rec.ID + "/" + m.Hist.Transformation
 		if _, err := l.prov.Put(act, provenance.Activity, m.Hist.Transformation, nil); err != nil {
-			return nil, err
+			return err
 		}
 		if err := l.prov.Relate(provenance.WasGeneratedBy, "model:"+rec.ID, act); err != nil {
-			return nil, err
+			return err
 		}
 		if m.Hist.DatasetID != "" {
 			dsEnt := "dataset:" + m.Hist.DatasetID
 			if _, err := l.prov.Put(dsEnt, provenance.Entity, m.Hist.DatasetID, nil); err != nil {
-				return nil, err
+				return err
 			}
 			if err := l.prov.Relate(provenance.Used, act, dsEnt); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		for _, base := range m.Hist.BaseModelIDs {
 			baseEnt := "model:" + base
 			if l.kv.Has("prov/rec/" + baseEnt) {
 				if err := l.prov.Relate(provenance.WasDerivedFrom, "model:"+rec.ID, baseEnt); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
 	}
-	return rec, nil
+	return nil
+}
+
+// IngestItem is one model in a batch ingest.
+type IngestItem struct {
+	Model *model.Model
+	Card  *card.Card
+	Opts  registry.RegisterOptions
+}
+
+// IngestAll is the batch form of Ingest: registration and provenance are
+// journaled serially (they append to the metadata log), then every
+// registered model is embedded concurrently and indexed in input order, so
+// the resulting indexes are identical to a serial Ingest loop. The returned
+// slices are aligned with items; a nil error means that model was fully
+// ingested. parallelism <= 0 uses the lake's configured IngestParallelism
+// (and GOMAXPROCS when that is unset too).
+func (l *Lake) IngestAll(items []IngestItem, parallelism int) ([]*registry.Record, []error) {
+	recs := make([]*registry.Record, len(items))
+	errs := make([]error, len(items))
+	var handles []*model.Handle
+	for i, it := range items {
+		rec, err := l.reg.Register(it.Model, it.Card, it.Opts)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		recs[i] = rec
+		l.mu.Lock()
+		l.modelCache[rec.ID] = it.Model
+		l.graph = nil
+		l.mu.Unlock()
+		if it.Card != nil {
+			cc := it.Card.Clone()
+			cc.ModelID = rec.ID
+			l.keyword.Add(rec.ID, cc.Text())
+		}
+		if err := l.journalProvenance(rec, it.Model); err != nil {
+			errs[i] = err
+			continue
+		}
+		handles = append(handles, model.NewHandle(it.Model))
+	}
+	if parallelism <= 0 {
+		parallelism = l.cfg.IngestParallelism
+	}
+	// Content-index failures are viewpoint gaps (wrong input dimension,
+	// withheld weights), not ingest errors — same policy as indexModel.
+	for j, err := range l.behaviorCS.AddAll(handles, parallelism) {
+		if err == nil {
+			l.taskSearch.Add(handles[j])
+		}
+	}
+	_ = l.weightCS.AddAll(handles, parallelism)
+	return recs, errs
+}
+
+// Reindex rebuilds both content indexes (and the task-search roster) from
+// the registry with up to parallelism embedding workers, swapping the fresh
+// indexes in atomically; searches keep hitting the old ones until then.
+// With the embedding cache enabled the rebuild is almost pure cache hits.
+// It returns the number of models reindexed.
+func (l *Lake) Reindex(parallelism int) (int, error) {
+	recs, err := l.reg.List()
+	if err != nil {
+		return 0, err
+	}
+	var handles []*model.Handle
+	for _, rec := range recs {
+		h, err := l.Model(rec.ID)
+		if err != nil {
+			continue // closed-weights model: nothing content-indexable survives restarts
+		}
+		handles = append(handles, h)
+	}
+	if parallelism <= 0 {
+		parallelism = l.cfg.IngestParallelism
+	}
+	var taskRoster []*model.Handle
+	for i, err := range l.behaviorCS.Reindex(handles, l.newIndex(), parallelism) {
+		if err == nil {
+			taskRoster = append(taskRoster, handles[i])
+		}
+	}
+	_ = l.weightCS.Reindex(handles, l.newIndex(), parallelism)
+	l.taskSearch.Reset(taskRoster)
+	return len(handles), nil
+}
+
+// EmbedCacheStats reports embedding-cache hits and misses since the lake
+// was opened (zeros when the cache is disabled).
+func (l *Lake) EmbedCacheStats() (hits, misses uint64) {
+	if l.embedCache == nil {
+		return 0, 0
+	}
+	return l.embedCache.Stats()
 }
 
 // Model returns a full-view handle for a lake model.

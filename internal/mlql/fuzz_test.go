@@ -59,6 +59,50 @@ func TestParseNeverPanicsOnKeywordSoup(t *testing.T) {
 	}
 }
 
+// FuzzParse is the native fuzz harness for the parser. The invariant is the
+// same one TestParseNeverPanicsOnGarbage checks by random sampling: Parse
+// must never panic, and any input it accepts must render to a string that
+// re-parses to an identical rendering (a fixed point of Parse∘String).
+// Additional seeds live in testdata/fuzz/FuzzParse. Run with
+//
+//	go test -run='^$' -fuzz=FuzzParse -fuzztime=30s ./internal/mlql
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"FIND MODELS",
+		"FIND MODELS WHERE DOMAIN = 'legal'",
+		"FIND MODELS WHERE TRAINED ON DATASET 'd'",
+		"FIND MODELS WHERE TRAINED ON VERSIONS OF DATASET 'd' AND TASK LIKE 'sum'",
+		"FIND MODELS WHERE OUTPERFORMS MODEL 'm' ON BENCHMARK 'b' LIMIT 5",
+		"FIND MODELS RANK BY TEXT 'legal summarization' LIMIT 3",
+		"FIND MODELS RANK BY SCORE ON BENCHMARK 'b'",
+		"FIND MODELS RANK BY SIMILARITY TO MODEL 'm' USING CARDS",
+		"FIND MODELS WHERE NAME = 'it''s' RANK BY SIMILARITY TO MODEL 'm' USING WEIGHTS LIMIT 10",
+		"find models where domain = 'x' and arch like 'trans%'",
+		"FIND MODELS LIMIT 007",
+		"FIND MODELS WHERE",
+		"FIND MODELS RANK BY",
+		"FIND MODELS WHERE DOMAIN = 'unterminated",
+		"FIND MODELS \x00 WHERE",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted %q but rendering %q does not re-parse: %v", input, rendered, err)
+		}
+		if got := q2.String(); got != rendered {
+			t.Fatalf("rendering is not a fixed point: %q -> %q -> %q", input, rendered, got)
+		}
+	})
+}
+
 // Property: the executor never panics on any parsed query against an empty
 // catalog.
 func TestExecuteEmptyCatalogNeverPanics(t *testing.T) {

@@ -19,7 +19,7 @@ type ContentSearcher struct {
 	embedder embedding.Embedder
 	idx      index.Index
 	mu       sync.RWMutex
-	added    map[string]bool
+	added    map[string]bool // IDs reserved for or present in the index
 }
 
 // NewContentSearcher builds a searcher over the given embedder and ANN
@@ -31,26 +31,57 @@ func NewContentSearcher(e embedding.Embedder, idx index.Index) *ContentSearcher 
 // EmbedderName reports the underlying embedding space.
 func (s *ContentSearcher) EmbedderName() string { return s.embedder.Name() }
 
-// Add embeds and indexes a model.
+// reserve claims id before the (expensive) embedding runs, so a concurrent
+// add of the same ID fails fast instead of embedding twice and losing the
+// race at indexing time.
+func (s *ContentSearcher) reserve(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.added[id] {
+		return fmt.Errorf("search: %s already indexed", id)
+	}
+	s.added[id] = true
+	return nil
+}
+
+// unreserve releases a claim whose embed or index step failed.
+func (s *ContentSearcher) unreserve(id string) {
+	s.mu.Lock()
+	delete(s.added, id)
+	s.mu.Unlock()
+}
+
+// Add embeds and indexes a model. The ID is reserved before embedding, so
+// two concurrent adds of the same model do the expensive embed only once:
+// the loser returns "already indexed" immediately.
 func (s *ContentSearcher) Add(h *model.Handle) error {
+	if err := s.reserve(h.ID()); err != nil {
+		return err
+	}
 	v, err := s.embedder.Embed(h)
 	if err != nil {
+		s.unreserve(h.ID())
 		return fmt.Errorf("search: embed %s: %w", h.ID(), err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.added[h.ID()] {
-		return fmt.Errorf("search: %s already indexed", h.ID())
-	}
 	if err := s.idx.Add(h.ID(), v); err != nil {
+		delete(s.added, h.ID())
 		return fmt.Errorf("search: index %s: %w", h.ID(), err)
 	}
-	s.added[h.ID()] = true
 	return nil
 }
 
+// index snapshots the current index under the read lock: Reindex swaps the
+// index out atomically, and searches must not observe a half-assigned field.
+func (s *ContentSearcher) index() index.Index {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.idx
+}
+
 // Len returns the number of indexed models.
-func (s *ContentSearcher) Len() int { return s.idx.Len() }
+func (s *ContentSearcher) Len() int { return s.index().Len() }
 
 // SearchByModel performs model-as-query related-model search: rank indexed
 // models by embedding proximity to the query model. The query model itself
@@ -60,7 +91,7 @@ func (s *ContentSearcher) SearchByModel(q *model.Handle, k int) ([]Hit, error) {
 	if err != nil {
 		return nil, fmt.Errorf("search: embed query %s: %w", q.ID(), err)
 	}
-	res, err := s.idx.Search(v, k+1)
+	res, err := s.index().Search(v, k+1)
 	if err != nil {
 		return nil, err
 	}
@@ -80,7 +111,7 @@ func (s *ContentSearcher) SearchByModel(q *model.Handle, k int) ([]Hit, error) {
 // SearchByVector ranks indexed models by proximity to a raw embedding
 // vector.
 func (s *ContentSearcher) SearchByVector(v tensor.Vector, k int) ([]Hit, error) {
-	res, err := s.idx.Search(v, k)
+	res, err := s.index().Search(v, k)
 	if err != nil {
 		return nil, err
 	}
@@ -110,6 +141,14 @@ type TaskSearcher struct {
 func (t *TaskSearcher) Add(h *model.Handle) {
 	t.mu.Lock()
 	t.models = append(t.models, h)
+	t.mu.Unlock()
+}
+
+// Reset atomically replaces the whole roster — the reindex path rebuilds
+// the task-search population alongside the content indexes.
+func (t *TaskSearcher) Reset(models []*model.Handle) {
+	t.mu.Lock()
+	t.models = append([]*model.Handle(nil), models...)
 	t.mu.Unlock()
 }
 

@@ -1,0 +1,375 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"modellake/internal/embedding"
+	"modellake/internal/index"
+	"modellake/internal/model"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+// testEmbedders returns one embedder per embedding space, all deterministic,
+// so the parallel-vs-serial property can be checked for every space the
+// lake indexes.
+func testEmbedders(dim int) map[string]embedding.Embedder {
+	lookup := func(id string) (string, error) {
+		return "synthetic card text for " + id, nil
+	}
+	weight := embedding.NewWeightEmbedder(16, 4, 7)
+	behavior := embedding.NewBehaviorEmbedder(dim, 16, 8, 7)
+	return map[string]embedding.Embedder{
+		"weight":   weight,
+		"behavior": behavior,
+		"card":     &embedding.CardEmbedder{DimBuckets: 32, Lookup: lookup},
+		"hybrid":   &embedding.HybridEmbedder{Parts: []embedding.Embedder{weight, behavior}},
+	}
+}
+
+func shuffledHandles(pop []*model.Handle, rng *xrand.RNG) []*model.Handle {
+	out := append([]*model.Handle(nil), pop...)
+	for i := len(out) - 1; i > 0; i-- {
+		j := rng.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// TestAddAllMatchesSerialTopK is the pipeline's core property: for every
+// embedder, parallel AddAll over a *shuffled* copy of the model set yields
+// exactly the same top-k hits — IDs and bitwise scores — as a serial Add
+// loop over the original order. Run under -race this also exercises the
+// worker pool for data races.
+func TestAddAllMatchesSerialTopK(t *testing.T) {
+	pop := buildPopulation(t, 31)
+	handles := make([]*model.Handle, len(pop.Members))
+	for i, m := range pop.Members {
+		handles[i] = model.NewHandle(m.Model)
+	}
+	rng := xrand.New(99)
+	const k = 5
+	for name, emb := range testEmbedders(pop.Spec.Dim) {
+		t.Run(name, func(t *testing.T) {
+			serial := NewContentSearcher(emb, index.NewFlat(index.Cosine))
+			for _, h := range handles {
+				if err := serial.Add(h); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for trial := 0; trial < 3; trial++ {
+				parallel := NewContentSearcher(emb, index.NewFlat(index.Cosine))
+				shuffled := shuffledHandles(handles, rng)
+				for i, err := range parallel.AddAll(shuffled, 8) {
+					if err != nil {
+						t.Fatalf("AddAll[%d] (%s): %v", i, shuffled[i].ID(), err)
+					}
+				}
+				if parallel.Len() != serial.Len() {
+					t.Fatalf("parallel indexed %d, serial %d", parallel.Len(), serial.Len())
+				}
+				for _, q := range handles {
+					want, err := serial.SearchByModel(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := parallel.SearchByModel(q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("query %s: got %d hits, want %d", q.ID(), len(got), len(want))
+					}
+					for i := range want {
+						if got[i].ID != want[i].ID || got[i].Score != want[i].Score {
+							t.Fatalf("query %s hit %d: parallel %+v != serial %+v",
+								q.ID(), i, got[i], want[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAddAllIdenticalHNSWOrder pins the in-order-commit guarantee: with the
+// same input order, parallel AddAll builds the identical HNSW graph a
+// serial Add loop builds — approximate search results and all.
+func TestAddAllIdenticalHNSWOrder(t *testing.T) {
+	pop := buildPopulation(t, 32)
+	emb := embedding.NewBehaviorEmbedder(pop.Spec.Dim, 16, 8, 7)
+	handles := make([]*model.Handle, len(pop.Members))
+	for i, m := range pop.Members {
+		handles[i] = model.NewHandle(m.Model)
+	}
+	cfg := index.HNSWConfig{M: 8, EfConstruction: 40, EfSearch: 16, Seed: 3}
+	serial := NewContentSearcher(emb, index.NewHNSW(index.Cosine, cfg))
+	for _, h := range handles {
+		if err := serial.Add(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parallel := NewContentSearcher(emb, index.NewHNSW(index.Cosine, cfg))
+	for i, err := range parallel.AddAll(handles, 6) {
+		if err != nil {
+			t.Fatalf("AddAll[%d]: %v", i, err)
+		}
+	}
+	for _, q := range handles {
+		want, err := serial.SearchByModel(q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := parallel.SearchByModel(q, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %s: %d hits vs %d", q.ID(), len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %s hit %d: %+v != %+v (HNSW graphs diverged)", q.ID(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestAddAllReportsPerModelErrors: duplicates inside the batch and against
+// the live index fail in their slot without sinking the rest.
+func TestAddAllReportsPerModelErrors(t *testing.T) {
+	pop := buildPopulation(t, 33)
+	emb := embedding.NewBehaviorEmbedder(pop.Spec.Dim, 8, 8, 7)
+	cs := NewContentSearcher(emb, index.NewFlat(index.Cosine))
+	h0 := model.NewHandle(pop.Members[0].Model)
+	if err := cs.Add(h0); err != nil {
+		t.Fatal(err)
+	}
+	batch := []*model.Handle{
+		model.NewHandle(pop.Members[1].Model),
+		h0, // duplicate vs index
+		model.NewHandle(pop.Members[2].Model),
+		model.NewHandle(pop.Members[1].Model), // duplicate within batch
+	}
+	errs := cs.AddAll(batch, 4)
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("clean models failed: %v", errs)
+	}
+	if errs[1] == nil || errs[3] == nil {
+		t.Fatalf("duplicates not reported: %v", errs)
+	}
+	if cs.Len() != 3 {
+		t.Fatalf("index has %d entries, want 3", cs.Len())
+	}
+}
+
+// gateEmbedder blocks inside Embed until released and counts invocations —
+// the instrument for proving the duplicate-add race fix embeds only once.
+type gateEmbedder struct {
+	dim     int
+	calls   atomic.Int32
+	release chan struct{}
+}
+
+func (e *gateEmbedder) Name() string { return "gate" }
+func (e *gateEmbedder) Dim() int     { return e.dim }
+func (e *gateEmbedder) Embed(h *model.Handle) (tensor.Vector, error) {
+	e.calls.Add(1)
+	<-e.release
+	v := make(tensor.Vector, e.dim)
+	v[0] = 1
+	return v, nil
+}
+
+// TestConcurrentAddSameIDEmbedsOnce is the regression test for the
+// duplicate-add race: two concurrent adds of the same ID used to both run
+// the expensive embed, with one erroring only afterwards. The ID is now
+// reserved before embedding, so the loser must return immediately — while
+// the winner is still stuck inside Embed — and the embedder must run
+// exactly once.
+func TestConcurrentAddSameIDEmbedsOnce(t *testing.T) {
+	pop := buildPopulation(t, 34)
+	emb := &gateEmbedder{dim: 4, release: make(chan struct{})}
+	cs := NewContentSearcher(emb, index.NewFlat(index.Cosine))
+	h := model.NewHandle(pop.Members[0].Model)
+
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { results <- cs.Add(h) }()
+	}
+	// One Add must fail while the other is still blocked embedding.
+	first := <-results
+	if first == nil {
+		t.Fatal("an Add completed before the embedder was released")
+	}
+	if !strings.Contains(first.Error(), "already indexed") {
+		t.Fatalf("loser error = %v, want already-indexed", first)
+	}
+	close(emb.release)
+	if err := <-results; err != nil {
+		t.Fatalf("winner failed: %v", err)
+	}
+	if n := emb.calls.Load(); n != 1 {
+		t.Fatalf("embedder ran %d times, want 1", n)
+	}
+	if cs.Len() != 1 {
+		t.Fatalf("index has %d entries, want 1", cs.Len())
+	}
+}
+
+// failingEmbedder fails for a chosen ID, to check reservation rollback.
+type failingEmbedder struct {
+	dim    int
+	failID string
+}
+
+func (e *failingEmbedder) Name() string { return "failing" }
+func (e *failingEmbedder) Dim() int     { return e.dim }
+func (e *failingEmbedder) Embed(h *model.Handle) (tensor.Vector, error) {
+	if h.ID() == e.failID {
+		return nil, errors.New("boom")
+	}
+	v := make(tensor.Vector, e.dim)
+	v[0] = 1
+	return v, nil
+}
+
+func TestAddReleasesReservationOnEmbedFailure(t *testing.T) {
+	pop := buildPopulation(t, 35)
+	h := model.NewHandle(pop.Members[0].Model)
+	cs := NewContentSearcher(&failingEmbedder{dim: 4, failID: h.ID()}, index.NewFlat(index.Cosine))
+	if err := cs.Add(h); err == nil {
+		t.Fatal("embed failure not surfaced")
+	}
+	// The failed ID must not stay reserved: a later add of the same model
+	// (e.g. after the transient cause clears) has to be possible.
+	cs.embedder = &failingEmbedder{dim: 4, failID: "other"}
+	if err := cs.Add(h); err != nil {
+		t.Fatalf("retry after embed failure rejected: %v", err)
+	}
+}
+
+// TestReindexMatchesOriginal rebuilds over a fresh index and checks searches
+// are unchanged, while old searches keep working mid-rebuild.
+func TestReindexMatchesOriginal(t *testing.T) {
+	pop := buildPopulation(t, 36)
+	emb := embedding.NewBehaviorEmbedder(pop.Spec.Dim, 16, 8, 7)
+	handles := make([]*model.Handle, len(pop.Members))
+	for i, m := range pop.Members {
+		handles[i] = model.NewHandle(m.Model)
+	}
+	cs := NewContentSearcher(emb, index.NewFlat(index.Cosine))
+	for _, h := range handles {
+		if err := cs.Add(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before, err := cs.SearchByModel(handles[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, err := range cs.Reindex(handles, index.NewFlat(index.Cosine), 4) {
+		if err != nil {
+			t.Fatalf("reindex[%d]: %v", i, err)
+		}
+	}
+	after, err := cs.SearchByModel(handles[0], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(after) != fmt.Sprint(before) {
+		t.Fatalf("reindex changed results:\n before %v\n after  %v", before, after)
+	}
+	// A non-empty target index must be refused.
+	dirty := index.NewFlat(index.Cosine)
+	if err := dirty.Add("x", tensor.Vector{1}); err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range cs.Reindex(handles, dirty, 2) {
+		if err == nil {
+			t.Fatal("reindex into a non-empty index accepted")
+		}
+	}
+}
+
+// TestShardedKeywordIndexMatchesSingleLock: sharding changes the locking,
+// never the ranking — hits and scores must be bitwise identical to the
+// single-mutex KeywordIndex on the same corpus.
+func TestShardedKeywordIndexMatchesSingleLock(t *testing.T) {
+	rng := xrand.New(17)
+	words := []string{"legal", "medical", "court", "patient", "model", "data",
+		"finance", "bond", "statute", "therapy", "contract", "verdict"}
+	doc := func() string {
+		n := 5 + rng.Intn(40)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = words[rng.Intn(len(words))]
+		}
+		return strings.Join(parts, " ")
+	}
+	single := NewKeywordIndex()
+	sharded := NewShardedKeywordIndex(8)
+	for i := 0; i < 200; i++ {
+		id := fmt.Sprintf("m%03d", i)
+		text := doc()
+		single.Add(id, text)
+		sharded.Add(id, text)
+	}
+	// Replace and remove some documents so those paths are compared too.
+	for i := 0; i < 30; i++ {
+		id := fmt.Sprintf("m%03d", rng.Intn(200))
+		text := doc()
+		single.Add(id, text)
+		sharded.Add(id, text)
+	}
+	for i := 0; i < 20; i++ {
+		id := fmt.Sprintf("m%03d", rng.Intn(200))
+		single.Remove(id)
+		sharded.Remove(id)
+	}
+	if single.Len() != sharded.Len() {
+		t.Fatalf("Len: single %d, sharded %d", single.Len(), sharded.Len())
+	}
+	for trial := 0; trial < 50; trial++ {
+		q := doc()[:20]
+		want := single.Search(q, 10)
+		got := sharded.Search(q, 10)
+		if len(want) != len(got) {
+			t.Fatalf("query %q: %d hits vs %d", q, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("query %q hit %d: sharded %+v != single %+v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardedKeywordIndexConcurrent hammers adds/searches from many
+// goroutines; -race is the assertion.
+func TestShardedKeywordIndexConcurrent(t *testing.T) {
+	ki := NewShardedKeywordIndex(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ki.Add(fmt.Sprintf("w%d-m%d", w, i), "legal court model data")
+				if i%7 == 0 {
+					ki.Search("legal model", 5)
+					ki.Remove(fmt.Sprintf("w%d-m%d", w, i/2))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if ki.Len() == 0 {
+		t.Fatal("concurrent adds lost everything")
+	}
+}

@@ -1,0 +1,178 @@
+package search
+
+import (
+	"hash/fnv"
+	"math"
+	"sync"
+
+	"modellake/internal/data"
+)
+
+// DefaultKeywordShards is the shard count used when none is given. 16 is
+// deliberately larger than the core counts we target (4–16): sharding cost
+// is a few empty maps, while under-sharding reintroduces the single-lock
+// convoy this structure exists to remove. Power of two keeps the hash→shard
+// mapping a mask-friendly modulo.
+const DefaultKeywordShards = 16
+
+// keywordShard is one lock's worth of the inverted index: a disjoint subset
+// of the documents, chosen by hash of the document ID.
+type keywordShard struct {
+	mu       sync.RWMutex
+	postings map[string]map[string]int // token -> docID -> term frequency
+	docLens  map[string]int
+	totalLen int
+}
+
+// ShardedKeywordIndex is a BM25 inverted index over model-card text, sharded
+// by document so concurrent ingest streams do not serialize on one mutex.
+// Scoring gathers the global statistics (document count, average length,
+// per-token document frequency) across shards, so Search returns exactly the
+// hits and scores a single-shard KeywordIndex would: sharding changes the
+// locking, never the ranking.
+type ShardedKeywordIndex struct {
+	shards    []*keywordShard
+	k1, bBM25 float64
+}
+
+// NewShardedKeywordIndex returns an empty index with standard BM25
+// parameters (k1 = 1.2, b = 0.75). shards <= 0 selects
+// DefaultKeywordShards.
+func NewShardedKeywordIndex(shards int) *ShardedKeywordIndex {
+	if shards <= 0 {
+		shards = DefaultKeywordShards
+	}
+	s := &ShardedKeywordIndex{
+		shards: make([]*keywordShard, shards),
+		k1:     1.2,
+		bBM25:  0.75,
+	}
+	for i := range s.shards {
+		s.shards[i] = &keywordShard{
+			postings: make(map[string]map[string]int),
+			docLens:  make(map[string]int),
+		}
+	}
+	return s
+}
+
+func (s *ShardedKeywordIndex) shardFor(docID string) *keywordShard {
+	h := fnv.New32a()
+	h.Write([]byte(docID))
+	return s.shards[h.Sum32()%uint32(len(s.shards))]
+}
+
+// Add indexes text under docID, replacing any previous document with the
+// same ID. Only docID's shard is locked, so adds of different documents
+// proceed in parallel.
+func (s *ShardedKeywordIndex) Add(docID, text string) {
+	sh := s.shardFor(docID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.docLens[docID]; ok {
+		sh.removeLocked(docID)
+	}
+	toks := data.Tokenize(text)
+	sh.docLens[docID] = len(toks)
+	sh.totalLen += len(toks)
+	for _, tok := range toks {
+		m := sh.postings[tok]
+		if m == nil {
+			m = make(map[string]int)
+			sh.postings[tok] = m
+		}
+		m[docID]++
+	}
+}
+
+// Remove drops a document from the index.
+func (s *ShardedKeywordIndex) Remove(docID string) {
+	sh := s.shardFor(docID)
+	sh.mu.Lock()
+	sh.removeLocked(docID)
+	sh.mu.Unlock()
+}
+
+func (sh *keywordShard) removeLocked(docID string) {
+	n, ok := sh.docLens[docID]
+	if !ok {
+		return
+	}
+	sh.totalLen -= n
+	delete(sh.docLens, docID)
+	for tok, m := range sh.postings {
+		if _, ok := m[docID]; ok {
+			delete(m, docID)
+			if len(m) == 0 {
+				delete(sh.postings, tok)
+			}
+		}
+	}
+}
+
+// Len returns the number of indexed documents.
+func (s *ShardedKeywordIndex) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += len(sh.docLens)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Search returns up to k documents ranked by BM25 relevance to the query.
+// All shards are read-locked (in shard order, so concurrent searches cannot
+// deadlock) for the duration of the scoring pass, giving each query a
+// consistent global snapshot.
+func (s *ShardedKeywordIndex) Search(query string, k int) []Hit {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+	}
+	defer func() {
+		for _, sh := range s.shards {
+			sh.mu.RUnlock()
+		}
+	}()
+
+	n, totalLen := 0, 0
+	for _, sh := range s.shards {
+		n += len(sh.docLens)
+		totalLen += sh.totalLen
+	}
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	avgLen := float64(totalLen) / float64(n)
+	if avgLen == 0 {
+		avgLen = 1
+	}
+	scores := map[string]float64{}
+	for _, tok := range data.Tokenize(query) {
+		df := 0
+		for _, sh := range s.shards {
+			df += len(sh.postings[tok])
+		}
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
+		for _, sh := range s.shards {
+			for docID, tf := range sh.postings[tok] {
+				dl := float64(sh.docLens[docID])
+				num := float64(tf) * (s.k1 + 1)
+				den := float64(tf) + s.k1*(1-s.bBM25+s.bBM25*dl/avgLen)
+				scores[docID] += idf * num / den
+			}
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for id, sc := range scores {
+		hits = append(hits, Hit{ID: id, Score: sc})
+	}
+	sortHits(hits)
+	if k > len(hits) {
+		k = len(hits)
+	}
+	return hits[:k]
+}

@@ -9,6 +9,7 @@
 //	GET  /readyz                          readiness (store open, index built)
 //	GET  /v1/models                       list catalog records
 //	POST /v1/models                       ingest a model (JSON body)
+//	POST /v1/models/batch                 batch ingest via the parallel pipeline
 //	GET  /v1/models/{id}                  one record
 //	GET  /v1/models/{id}/card             model card (?format=markdown)
 //	GET  /v1/models/{id}/cite             version-anchored citation
@@ -108,6 +109,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/models", s.handleListModels)
 	mux.HandleFunc("POST /v1/models", s.handleIngest)
+	mux.HandleFunc("POST /v1/models/batch", s.handleIngestBatch)
 	mux.HandleFunc("GET /v1/models/{id}", s.handleModel)
 	mux.HandleFunc("GET /v1/models/{id}/card", s.handleCard)
 	mux.HandleFunc("GET /v1/models/{id}/cite", s.handleCite)
@@ -357,4 +359,86 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, rec)
+}
+
+// BatchIngestRequest is the POST /v1/models/batch body: many ingest
+// requests served by the lake's parallel ingest pipeline.
+type BatchIngestRequest struct {
+	Models []IngestRequest `json:"models"`
+	// Parallelism bounds the embedding worker pool for this batch; zero
+	// uses the lake's configured default.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// BatchIngestResult reports one model's outcome; exactly one of Record and
+// Error is set.
+type BatchIngestResult struct {
+	Record *registry.Record `json:"record,omitempty"`
+	Error  string           `json:"error,omitempty"`
+}
+
+func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchIngestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeJSON(w, http.StatusRequestEntityTooLarge,
+				httpError{Error: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
+			return
+		}
+		badRequest(w, "decode body: %v", err)
+		return
+	}
+	if len(req.Models) == 0 {
+		badRequest(w, "models is required")
+		return
+	}
+	items := make([]lake.IngestItem, len(req.Models))
+	results := make([]BatchIngestResult, len(req.Models))
+	for i, mr := range req.Models {
+		if mr.Name == "" {
+			results[i].Error = "name is required"
+			continue
+		}
+		raw, err := base64.StdEncoding.DecodeString(mr.WeightsB64)
+		if err != nil {
+			results[i].Error = fmt.Sprintf("weights_b64: %v", err)
+			continue
+		}
+		net, err := nn.DecodeMLP(raw)
+		if err != nil {
+			results[i].Error = fmt.Sprintf("weights: %v", err)
+			continue
+		}
+		items[i] = lake.IngestItem{
+			Model: &model.Model{Name: mr.Name, Net: net, Hist: mr.History},
+			Card:  mr.Card,
+			Opts:  registry.RegisterOptions{Name: mr.Name, Version: mr.Version, Tags: mr.Tags},
+		}
+	}
+	// Compact out the malformed entries, ingest the rest as one batch, then
+	// scatter records and errors back to their original positions.
+	var valid []lake.IngestItem
+	var pos []int
+	for i := range items {
+		if results[i].Error == "" {
+			valid = append(valid, items[i])
+			pos = append(pos, i)
+		}
+	}
+	recs, errs := s.lk.IngestAll(valid, req.Parallelism)
+	created := 0
+	for j, i := range pos {
+		if errs[j] != nil {
+			results[i].Error = errs[j].Error()
+			continue
+		}
+		results[i].Record = recs[j]
+		created++
+	}
+	status := http.StatusCreated
+	if created < len(req.Models) {
+		status = http.StatusMultiStatus
+	}
+	writeJSON(w, status, map[string]any{"created": created, "results": results})
 }

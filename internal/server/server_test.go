@@ -290,3 +290,103 @@ func TestIngestValidation(t *testing.T) {
 		t.Fatalf("bad weights = %d", code)
 	}
 }
+
+func TestBatchIngestOverHTTP(t *testing.T) {
+	ts, lk, pop, _ := testServer(t)
+	before := lk.Count()
+
+	encode := func(i int) string {
+		raw, err := nn.EncodeMLP(pop.Members[i].Model.Net.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return base64.StdEncoding.EncodeToString(raw)
+	}
+	req := BatchIngestRequest{
+		Parallelism: 4,
+		Models: []IngestRequest{
+			{Name: "batch-a", Card: &card.Card{Name: "batch-a", Domain: "legal"}, WeightsB64: encode(0)},
+			{Name: "batch-b", Card: &card.Card{Name: "batch-b", Domain: "medical"}, WeightsB64: encode(1)},
+			{Name: "batch-c", WeightsB64: encode(2)},
+		},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/models/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("batch ingest = %d", resp.StatusCode)
+	}
+	var out struct {
+		Created int                 `json:"created"`
+		Results []BatchIngestResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Created != 3 || len(out.Results) != 3 {
+		t.Fatalf("created %d of %d", out.Created, len(out.Results))
+	}
+	if lk.Count() != before+3 {
+		t.Fatalf("count = %d, want %d", lk.Count(), before+3)
+	}
+	// Every batch-ingested model is immediately searchable.
+	var hits []search.Hit
+	if code := getJSON(t, ts.URL+"/v1/related?id="+out.Results[0].Record.ID+"&k=2", &hits); code != 200 || len(hits) == 0 {
+		t.Fatalf("batch model not searchable: %d %v", code, hits)
+	}
+}
+
+func TestBatchIngestPartialFailure(t *testing.T) {
+	ts, lk, pop, _ := testServer(t)
+	before := lk.Count()
+	raw, err := nn.EncodeMLP(pop.Members[0].Model.Net.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := base64.StdEncoding.EncodeToString(raw)
+	req := BatchIngestRequest{Models: []IngestRequest{
+		{Name: "ok-model", WeightsB64: good},
+		{Name: "", WeightsB64: good},             // missing name
+		{Name: "bad-weights", WeightsB64: "!!!"}, // bad base64
+		{Name: "ok-model", WeightsB64: good},     // duplicate name@version in batch
+	}}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(ts.URL+"/v1/models/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("partial batch = %d, want 207", resp.StatusCode)
+	}
+	var out struct {
+		Created int                 `json:"created"`
+		Results []BatchIngestResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Created != 1 {
+		t.Fatalf("created = %d, want 1", out.Created)
+	}
+	if out.Results[0].Error != "" || out.Results[1].Error == "" ||
+		out.Results[2].Error == "" || out.Results[3].Error == "" {
+		t.Fatalf("per-item outcomes wrong: %+v", out.Results)
+	}
+	if lk.Count() != before+1 {
+		t.Fatalf("count = %d, want %d", lk.Count(), before+1)
+	}
+
+	// An empty batch is a 400.
+	resp2, err := http.Post(ts.URL+"/v1/models/batch", "application/json", strings.NewReader(`{"models":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != 400 {
+		t.Fatalf("empty batch = %d, want 400", resp2.StatusCode)
+	}
+}

@@ -68,6 +68,10 @@ type Card = card.Card
 // RegisterOptions carries the declared metadata accompanying an ingest.
 type RegisterOptions = registry.RegisterOptions
 
+// IngestItem is one model of a batch ingest (Lake.IngestAll), which embeds
+// and indexes the batch through a bounded worker pool.
+type IngestItem = lake.IngestItem
+
 // Record is a registry catalog entry.
 type Record = registry.Record
 

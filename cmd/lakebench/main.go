@@ -4,6 +4,9 @@
 // benchmark) runs, its machine-readable summary is written to the path
 // given by -ingest-json so CI can archive throughput over time;
 // -parallelism sets the worker count it benchmarks (0 = GOMAXPROCS).
+// -metrics-json dumps the process-wide metrics registry after the run, so a
+// benchmark archive carries the low-level counters (fsync latencies, cache
+// hits, ANN probe counts) alongside the headline numbers.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"time"
 
 	"modellake/internal/experiments"
+	"modellake/internal/obs"
 )
 
 func main() {
@@ -22,6 +26,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload seed")
 	parallelism := flag.Int("parallelism", 0, "ingest workers for E12 (0 = GOMAXPROCS)")
 	ingestJSON := flag.String("ingest-json", "BENCH_ingest.json", "where E12 writes its JSON summary ('' = skip)")
+	metricsJSON := flag.String("metrics-json", "", "where to write a post-run metrics snapshot ('' = skip)")
 	flag.Parse()
 
 	want := map[string]bool{}
@@ -60,9 +65,23 @@ func main() {
 		t.Render(os.Stdout)
 		fmt.Printf("  (%s completed in %v)\n\n", ex.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if *metricsJSON != "" {
+		if err := writeMetricsJSON(*metricsJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *metricsJSON, err)
+			failed++
+		}
+	}
 	if failed > 0 {
 		os.Exit(1)
 	}
+}
+
+func writeMetricsJSON(path string) error {
+	data, err := json.MarshalIndent(obs.Default().Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func writeIngestJSON(path string, res *experiments.IngestBenchResult) error {

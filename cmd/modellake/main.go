@@ -107,7 +107,7 @@ commands:
   why      -dir DIR -id MODEL
   serve    -dir DIR [-addr :8080] [-request-timeout 30s] [-max-inflight 256]
            [-read-timeout 30s] [-write-timeout 90s] [-idle-timeout 2m]
-           [-max-body BYTES] [-drain-timeout 15s]`)
+           [-max-body BYTES] [-drain-timeout 15s] [-pprof]`)
 }
 
 func openLake(dir string) (*modellake.Lake, error) {
@@ -472,6 +472,7 @@ func cmdServe(args []string) error {
 	maxInflight := fs.Int("max-inflight", 256, "concurrent request cap; excess requests get 429 (0 disables)")
 	maxBody := fs.Int64("max-body", 64<<20, "ingest request body cap in bytes")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
+	pprof := fs.Bool("pprof", false, "expose /debug/pprof/* profiling endpoints")
 	fs.Parse(args)
 	lk, err := openLake(*dir)
 	if err != nil {
@@ -483,6 +484,8 @@ func cmdServe(args []string) error {
 		RequestTimeout: *reqTimeout,
 		MaxInflight:    *maxInflight,
 		MaxBodyBytes:   *maxBody,
+		AccessLog:      os.Stderr,
+		EnablePprof:    *pprof,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

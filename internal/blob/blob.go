@@ -20,7 +20,20 @@ import (
 	"time"
 
 	"modellake/internal/fault"
+	"modellake/internal/obs"
 	"modellake/internal/retry"
+)
+
+// Blob-store metrics, aggregated across every store in the process. Put
+// duration covers the whole durable write (including retries); the fsync
+// histogram isolates the two fsyncs (data file + shard directory) that
+// dominate it.
+var (
+	mPutDur      = obs.Default().Histogram("blob_put_duration_seconds", nil)
+	mBlobFsync   = obs.Default().Histogram("blob_fsync_duration_seconds", nil)
+	mBlobOpTotal = func(op string) *obs.Counter {
+		return obs.Default().Counter("blob_ops_total", obs.L("op", op))
+	}
 )
 
 // Sentinel errors.
@@ -151,11 +164,14 @@ func (s *FileStore) pathFor(id ID) string {
 
 // Put implements Store.
 func (s *FileStore) Put(data []byte) (ID, error) {
+	mBlobOpTotal("put").Inc()
 	id := Sum(data)
 	path := s.pathFor(id)
 	if _, err := os.Stat(path); err == nil {
 		return id, nil // already stored; content-addressing makes this safe
 	}
+	start := time.Now()
+	defer mPutDur.Since(start)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	// The write sequence is idempotent (temp file + rename to a
@@ -186,11 +202,13 @@ func (s *FileStore) writeBlob(path string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("blob: write: %w", err)
 	}
+	fstart := time.Now()
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
 		return fmt.Errorf("blob: sync: %w", err)
 	}
+	mBlobFsync.Since(fstart)
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return fmt.Errorf("blob: close: %w", err)
@@ -202,14 +220,17 @@ func (s *FileStore) writeBlob(path string, data []byte) error {
 	// Fsync the shard directory so the rename itself is durable: without
 	// it a crash can lose the directory entry even though the data blocks
 	// were synced, silently dropping an acknowledged blob.
+	dstart := time.Now()
 	if err := s.fsys.SyncDir(dir); err != nil {
 		return fmt.Errorf("blob: sync shard dir: %w", err)
 	}
+	mBlobFsync.Since(dstart)
 	return nil
 }
 
 // Get implements Store.
 func (s *FileStore) Get(id ID) ([]byte, error) {
+	mBlobOpTotal("get").Inc()
 	if len(id) < 3 {
 		return nil, fmt.Errorf("%w: malformed id %q", ErrNotFound, id)
 	}
@@ -237,6 +258,7 @@ func (s *FileStore) Has(id ID) bool {
 
 // Delete implements Store.
 func (s *FileStore) Delete(id ID) error {
+	mBlobOpTotal("delete").Inc()
 	if len(id) < 3 {
 		return nil
 	}

@@ -17,6 +17,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"modellake/internal/obs"
 )
 
 // Op classifies a file operation reaching the FS.
@@ -82,7 +84,11 @@ func (fs *FS) apply(op Op, path string) error {
 	if fs == nil || fs.inj == nil {
 		return nil
 	}
-	return fs.inj.Apply(op, path)
+	err := fs.inj.Apply(op, path)
+	if err != nil {
+		obs.Default().Counter("fault_injected_total", obs.L("op", string(op))).Inc()
+	}
+	return err
 }
 
 // OpenFile opens name like os.OpenFile, returning an injectable *File.

@@ -14,9 +14,22 @@ import (
 	"sort"
 	"sync"
 
+	"modellake/internal/obs"
 	"modellake/internal/tensor"
 	"modellake/internal/xrand"
 )
+
+// ANN metrics, labelled by index kind. candidates-scanned divided by
+// searches gives the effective probe width: |lake| for the flat scan versus
+// the beam-bounded visit count for HNSW — the sublinearity claim of paper §5
+// read straight off the counters.
+func searchCounter(kind string) *obs.Counter {
+	return obs.Default().Counter("ann_searches_total", obs.L("kind", kind))
+}
+
+func candidateCounter(kind string) *obs.Counter {
+	return obs.Default().Counter("ann_candidates_scanned_total", obs.L("kind", kind))
+}
 
 // Sentinel errors.
 var (
@@ -119,6 +132,8 @@ func (f *Flat) Search(q tensor.Vector, k int) ([]Result, error) {
 	if err := validateVector(q, f.dim); err != nil {
 		return nil, err
 	}
+	searchCounter("flat").Inc()
+	candidateCounter("flat").Add(uint64(len(f.vecs)))
 	res := make([]Result, len(f.vecs))
 	for i, v := range f.vecs {
 		res[i] = Result{ID: f.ids[i], Distance: f.metric.Distance(q, v)}
@@ -253,7 +268,7 @@ func (h *HNSW) Add(id string, v tensor.Vector) error {
 	}
 	ep := []candidate{{idx: cur, dist: curDist}}
 	for l := startLevel; l >= 0; l-- {
-		found := h.searchLayer(v, ep, h.cfg.EfConstruction, l)
+		found, _ := h.searchLayer(v, ep, h.cfg.EfConstruction, l)
 		maxConn := h.cfg.M
 		if l == 0 {
 			maxConn = 2 * h.cfg.M
@@ -305,8 +320,9 @@ type candidate struct {
 }
 
 // searchLayer is the standard HNSW beam search at one layer. It returns up
-// to ef candidates sorted by ascending distance.
-func (h *HNSW) searchLayer(q tensor.Vector, entryPoints []candidate, ef, level int) []candidate {
+// to ef candidates sorted by ascending distance, plus the number of distinct
+// nodes visited (the probe count Search reports to the metrics).
+func (h *HNSW) searchLayer(q tensor.Vector, entryPoints []candidate, ef, level int) ([]candidate, int) {
 	visited := make(map[int]struct{}, ef*4)
 	// candidates: min-heap by distance; results: max-heap (we keep the worst
 	// at index 0 to pop when over capacity).
@@ -348,7 +364,7 @@ func (h *HNSW) searchLayer(q tensor.Vector, entryPoints []candidate, ef, level i
 	for i := len(out) - 1; i >= 0; i-- {
 		out[i] = results.pop()
 	}
-	return out
+	return out, len(visited)
 }
 
 // shrinkLinks truncates a node's neighbour list at a level to the maxConn
@@ -393,7 +409,9 @@ func (h *HNSW) Search(q tensor.Vector, k int) ([]Result, error) {
 	if ef < k {
 		ef = k
 	}
-	found := h.searchLayer(q, []candidate{{idx: cur, dist: curDist}}, ef, 0)
+	found, visited := h.searchLayer(q, []candidate{{idx: cur, dist: curDist}}, ef, 0)
+	searchCounter("hnsw").Inc()
+	candidateCounter("hnsw").Add(uint64(visited))
 	if k > len(found) {
 		k = len(found)
 	}

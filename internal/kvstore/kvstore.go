@@ -27,9 +27,24 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"modellake/internal/fault"
+	"modellake/internal/obs"
 )
+
+// Store-level metrics, aggregated across every open store in the process.
+// Append and fsync latency are timed separately: append latency tracks the
+// page-cache write path while fsync latency is the real durability cost.
+var (
+	mAppendDur = obs.Default().Histogram("kvstore_append_duration_seconds", nil)
+	mFsyncDur  = obs.Default().Histogram("kvstore_fsync_duration_seconds", nil)
+	mRollbacks = obs.Default().Counter("kvstore_rollbacks_total")
+)
+
+func opCounter(op string) *obs.Counter {
+	return obs.Default().Counter("kvstore_ops_total", obs.L("op", op))
+}
 
 // Sentinel errors.
 var (
@@ -202,11 +217,14 @@ func (s *Store) appendRecord(payload []byte) error {
 	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
 	copy(rec[headerSize:], payload)
+	start := time.Now()
 	if _, err := s.f.Write(rec); err != nil {
 		s.rollbackTail(err)
 		return fmt.Errorf("kvstore: append: %w", err)
 	}
+	mAppendDur.Since(start)
 	if s.sync {
+		fstart := time.Now()
 		if err := s.f.Sync(); err != nil {
 			// The record reached the page cache but its durability is
 			// unknown; treating it as written after a failed fsync is the
@@ -214,6 +232,7 @@ func (s *Store) appendRecord(payload []byte) error {
 			s.rollbackTail(err)
 			return fmt.Errorf("kvstore: fsync: %w", err)
 		}
+		mFsyncDur.Since(fstart)
 	}
 	s.size += int64(len(rec))
 	return nil
@@ -225,6 +244,7 @@ func (s *Store) appendRecord(payload []byte) error {
 // a recoverable torn tail into mid-log corruption. If the tail cannot be
 // discarded the store is poisoned: further mutations return ErrFailed.
 func (s *Store) rollbackTail(cause error) {
+	mRollbacks.Inc()
 	if err := s.f.Truncate(s.size); err != nil {
 		s.ioErr = cause
 		return
@@ -236,6 +256,7 @@ func (s *Store) rollbackTail(cause error) {
 
 // Put stores value under key, overwriting any previous value.
 func (s *Store) Put(key string, value []byte) error {
+	opCounter("put").Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -252,6 +273,7 @@ func (s *Store) Put(key string, value []byte) error {
 
 // Get returns the value stored under key, or ErrNotFound.
 func (s *Store) Get(key string) ([]byte, error) {
+	opCounter("get").Inc()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -276,6 +298,7 @@ func (s *Store) Has(key string) bool {
 
 // Delete removes key. Deleting an absent key is a no-op.
 func (s *Store) Delete(key string) error {
+	opCounter("delete").Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -302,6 +325,7 @@ func (s *Store) Len() int {
 // Returning false from fn stops the scan. The value slice passed to fn must
 // not be retained.
 func (s *Store) Scan(prefix string, fn func(key string, value []byte) bool) error {
+	opCounter("scan").Inc()
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()

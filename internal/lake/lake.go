@@ -15,8 +15,10 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"modellake/internal/fault"
+	"modellake/internal/obs"
 
 	"modellake/internal/attribution"
 	"modellake/internal/audit"
@@ -35,6 +37,17 @@ import (
 	"modellake/internal/search"
 	"modellake/internal/tensor"
 	"modellake/internal/version"
+)
+
+// Lake-level metrics. These time the facade operations end to end (storage
+// plus embedding plus indexing), the numbers a capacity plan actually needs.
+var (
+	mIngests    = obs.Default().Counter("lake_ingests_total")
+	mIngestDur  = obs.Default().Histogram("lake_ingest_duration_seconds", nil)
+	mQueryDur   = obs.Default().Histogram("lake_query_duration_seconds", nil)
+	mSearchDurs = func(kind string) *obs.Histogram {
+		return obs.Default().Histogram("lake_search_duration_seconds", nil, obs.L("kind", kind))
+	}
 )
 
 // Config configures a lake.
@@ -171,6 +184,18 @@ func Open(cfg Config) (*Lake, error) {
 		kv.Close()
 		return nil, err
 	}
+	// Export the embedding-cache counters. CounterFunc replaces the reader
+	// on re-registration, so in a process that opens several lakes the
+	// metrics follow the most recently opened one (zeros when its cache is
+	// disabled) instead of pinning a closed lake's cache alive.
+	obs.Default().CounterFunc("lake_embed_cache_hits_total", func() float64 {
+		h, _ := l.EmbedCacheStats()
+		return float64(h)
+	})
+	obs.Default().CounterFunc("lake_embed_cache_misses_total", func() float64 {
+		_, m := l.EmbedCacheStats()
+		return float64(m)
+	})
 	return l, nil
 }
 
@@ -266,6 +291,9 @@ func (l *Lake) Count() int { return l.reg.Count() }
 // Ingest registers a model with its card, indexes it for every search
 // modality, and journals its provenance. It returns the registry record.
 func (l *Lake) Ingest(m *model.Model, c *card.Card, opts registry.RegisterOptions) (*registry.Record, error) {
+	start := time.Now()
+	defer mIngestDur.Since(start)
+	mIngests.Inc()
 	rec, err := l.reg.Register(m, c, opts)
 	if err != nil {
 		return nil, err
@@ -340,6 +368,9 @@ type IngestItem struct {
 // ingested. parallelism <= 0 uses the lake's configured IngestParallelism
 // (and GOMAXPROCS when that is unset too).
 func (l *Lake) IngestAll(items []IngestItem, parallelism int) ([]*registry.Record, []error) {
+	start := time.Now()
+	defer mIngestDur.Since(start)
+	mIngests.Add(uint64(len(items)))
 	recs := make([]*registry.Record, len(items))
 	errs := make([]error, len(items))
 	var handles []*model.Handle
@@ -546,6 +577,7 @@ func (l *Lake) Score(modelID, benchID string) (float64, error) {
 
 // SearchKeyword is metadata search over cards (the status-quo baseline).
 func (l *Lake) SearchKeyword(query string, k int) []search.Hit {
+	defer mSearchDurs("keyword").Since(time.Now())
 	return l.keyword.Search(query, k)
 }
 
@@ -557,6 +589,7 @@ func (l *Lake) SearchByModel(id, space string, k int) ([]search.Hit, error) {
 
 // SearchByModelContext is SearchByModel honoring a request context.
 func (l *Lake) SearchByModelContext(ctx context.Context, id, space string, k int) ([]search.Hit, error) {
+	defer mSearchDurs("model").Since(time.Now())
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -588,12 +621,14 @@ func (l *Lake) SearchByHandle(h *model.Handle, space string, k int) ([]search.Hi
 
 // SearchTask ranks models by behavioural fit to labeled task examples.
 func (l *Lake) SearchTask(examples []search.TaskExample, k int) ([]search.Hit, error) {
+	defer mSearchDurs("task").Since(time.Now())
 	return l.taskSearch.Search(examples, k)
 }
 
 // SearchHybrid fuses keyword and behavioural rankings with reciprocal-rank
 // fusion: text finds documented models, behaviour finds similar ones.
 func (l *Lake) SearchHybrid(query string, queryModelID string, k int) ([]search.Hit, error) {
+	defer mSearchDurs("hybrid").Since(time.Now())
 	var rankings [][]search.Hit
 	if query != "" {
 		rankings = append(rankings, l.keyword.Search(query, k*4))
@@ -809,6 +844,7 @@ func (l *Lake) Query(q string) (*mlql.Result, error) {
 // context between candidate-filtering stages, so a canceled or timed-out
 // request abandons the query promptly.
 func (l *Lake) QueryContext(ctx context.Context, q string) (*mlql.Result, error) {
+	defer mQueryDur.Since(time.Now())
 	return mlql.RunContext(ctx, q, (*catalog)(l))
 }
 

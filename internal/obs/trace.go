@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request tracing: every request gets an ID (accepted from the client's
+// X-Request-ID or generated), the ID travels down the call tree in the
+// context, and the access log stamps it on the one structured line each
+// request produces. Correlating a slow query, its log line, and a client
+// report then takes one grep.
+
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// reqSeq backs NewRequestID when crypto/rand is unavailable (it essentially
+// never is, but an ID generator must not be able to fail).
+var reqSeq atomic.Uint64
+
+// NewRequestID returns a 16-hex-character random request ID.
+func NewRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := reqSeq.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request ID, or "" when there is none.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// AccessEntry is one request's structured access-log record.
+type AccessEntry struct {
+	Time       time.Time `json:"ts"`
+	RequestID  string    `json:"id"`
+	Remote     string    `json:"remote,omitempty"`
+	Method     string    `json:"method"`
+	Path       string    `json:"path"`
+	Route      string    `json:"route"` // normalized route pattern, bounded cardinality
+	Status     int       `json:"status"`
+	Bytes      int64     `json:"bytes"`
+	DurationMS float64   `json:"dur_ms"`
+}
+
+// AccessLog writes one JSON object per line per request. Writes are
+// serialized so concurrent requests never interleave bytes. A nil *AccessLog
+// is a valid no-op logger, so call sites need no nil checks.
+type AccessLog struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewAccessLog returns an access log writing to w; a nil w yields a no-op
+// logger.
+func NewAccessLog(w io.Writer) *AccessLog {
+	if w == nil {
+		return nil
+	}
+	return &AccessLog{w: w}
+}
+
+// Log writes one entry. Encoding an AccessEntry cannot fail; a write error
+// is dropped — an access log must never take down serving.
+func (a *AccessLog) Log(e AccessEntry) {
+	if a == nil {
+		return
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	a.mu.Lock()
+	_, _ = a.w.Write(line)
+	a.mu.Unlock()
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestRequestIDGenerationAndPropagation(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("request IDs %q, %q: want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Fatalf("two generated IDs collided: %q", a)
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestID(ctx); got != a {
+		t.Fatalf("RequestID(ctx) = %q, want %q", got, a)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("RequestID on bare context = %q, want empty", got)
+	}
+}
+
+func TestAccessLogWritesJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	al := NewAccessLog(&buf)
+	al.Log(AccessEntry{
+		Time: time.Unix(0, 0).UTC(), RequestID: "abcd", Method: "GET",
+		Path: "/v1/search", Route: "/v1/search", Status: 200, Bytes: 17,
+		DurationMS: 1.25, Remote: "127.0.0.1:9",
+	})
+	line := buf.String()
+	if line[len(line)-1] != '\n' {
+		t.Fatal("access log line not newline-terminated")
+	}
+	var e AccessEntry
+	if err := json.Unmarshal([]byte(line), &e); err != nil {
+		t.Fatalf("access log line is not JSON: %v\n%s", err, line)
+	}
+	if e.RequestID != "abcd" || e.Status != 200 || e.Route != "/v1/search" || e.DurationMS != 1.25 {
+		t.Fatalf("round-tripped entry = %+v", e)
+	}
+}
+
+func TestNilAccessLogIsNoop(t *testing.T) {
+	var al *AccessLog
+	al.Log(AccessEntry{}) // must not panic
+	if NewAccessLog(nil) != nil {
+		t.Fatal("NewAccessLog(nil) should return the no-op nil logger")
+	}
+}

@@ -11,6 +11,15 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"modellake/internal/obs"
+)
+
+// Retry pressure is an early symptom of a degrading disk, so both the
+// retries themselves and the exhausted policies are counted.
+var (
+	mRetries   = obs.Default().Counter("retry_attempts_retried_total")
+	mExhausted = obs.Default().Counter("retry_exhausted_total")
 )
 
 // Policy configures Do. The zero value gets sensible defaults.
@@ -75,8 +84,10 @@ func Do(ctx context.Context, p Policy, fn func() error) error {
 			return err
 		}
 		if attempt >= p.Attempts {
+			mExhausted.Inc()
 			return fmt.Errorf("retry: gave up after %d attempts: %w", attempt, err)
 		}
+		mRetries.Inc()
 		timer := time.NewTimer(delay)
 		select {
 		case <-ctx.Done():

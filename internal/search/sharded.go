@@ -4,8 +4,19 @@ import (
 	"hash/fnv"
 	"math"
 	"sync"
+	"time"
 
 	"modellake/internal/data"
+	"modellake/internal/obs"
+)
+
+// Keyword-index metrics. Lock-wait time in Search is the direct measure of
+// shard contention: it grows when concurrent ingest holds write locks, which
+// is exactly the convoy sharding exists to dilute.
+var (
+	mKwSearches = obs.Default().Counter("keyword_searches_total")
+	mKwAdds     = obs.Default().Counter("keyword_adds_total")
+	mKwLockWait = obs.Default().Histogram("keyword_search_lock_wait_seconds", nil)
 )
 
 // DefaultKeywordShards is the shard count used when none is given. 16 is
@@ -66,6 +77,7 @@ func (s *ShardedKeywordIndex) shardFor(docID string) *keywordShard {
 // same ID. Only docID's shard is locked, so adds of different documents
 // proceed in parallel.
 func (s *ShardedKeywordIndex) Add(docID, text string) {
+	mKwAdds.Inc()
 	sh := s.shardFor(docID)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -126,9 +138,12 @@ func (s *ShardedKeywordIndex) Len() int {
 // deadlock) for the duration of the scoring pass, giving each query a
 // consistent global snapshot.
 func (s *ShardedKeywordIndex) Search(query string, k int) []Hit {
+	mKwSearches.Inc()
+	lockStart := time.Now()
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 	}
+	mKwLockWait.Since(lockStart)
 	defer func() {
 		for _, sh := range s.shards {
 			sh.mu.RUnlock()

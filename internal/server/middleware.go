@@ -12,6 +12,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"modellake/internal/obs"
 )
 
 // recoverMiddleware converts a handler panic into a logged 500 so the
@@ -28,7 +30,9 @@ func recoverMiddleware(logger *log.Logger, next http.Handler) http.Handler {
 				// response cleanly; suppressing it would hide the abort.
 				panic(p)
 			}
-			logger.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, p, debug.Stack())
+			mPanics.Inc()
+			logger.Printf("panic serving %s %s (request %s): %v\n%s",
+				r.Method, r.URL.Path, obs.RequestID(r.Context()), p, debug.Stack())
 			// Best effort: if the handler already started the response the
 			// status cannot change, but the connection still closes sanely.
 			writeJSON(w, http.StatusInternalServerError, httpError{Error: "internal server error"})
@@ -39,12 +43,13 @@ func recoverMiddleware(logger *log.Logger, next http.Handler) http.Handler {
 
 // limitMiddleware caps concurrently served requests. Excess requests are
 // rejected immediately with 429 and a Retry-After hint — shedding load
-// beats queueing it when the lake is saturated. Health probes are exempt so
-// orchestrators can still see a saturated-but-alive server.
+// beats queueing it when the lake is saturated. Health probes and the
+// metrics endpoint are exempt so orchestrators (and whatever is scraping
+// metrics) can still see a saturated-but-alive server.
 func limitMiddleware(maxInflight int, next http.Handler) http.Handler {
 	sem := make(chan struct{}, maxInflight)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" {
+		if r.URL.Path == "/healthz" || r.URL.Path == "/readyz" || r.URL.Path == "/metrics" {
 			next.ServeHTTP(w, r)
 			return
 		}
@@ -53,6 +58,7 @@ func limitMiddleware(maxInflight int, next http.Handler) http.Handler {
 			defer func() { <-sem }()
 			next.ServeHTTP(w, r)
 		default:
+			mShed.Inc()
 			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests, httpError{Error: "server overloaded, retry later"})
 		}
@@ -87,6 +93,7 @@ func timeoutMiddleware(d time.Duration, next http.Handler) http.Handler {
 			tw.copyTo(w)
 		case <-ctx.Done():
 			tw.timeOut()
+			timeoutCounter("deadline").Inc()
 			writeJSON(w, http.StatusGatewayTimeout, httpError{Error: "request timed out"})
 		}
 	})

@@ -1,0 +1,146 @@
+// Observability wiring for the HTTP layer: request IDs, the structured
+// access log, and per-route RED metrics (rate, errors, duration) recorded
+// into the process-wide obs registry that GET /metrics exposes.
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"modellake/internal/obs"
+)
+
+// Request-level metrics. Per-route series are looked up per request (a map
+// read under a mutex) — cheap next to any lake operation.
+var (
+	mInflight   = obs.Default().Gauge("http_requests_inflight")
+	mEncodeErrs = obs.Default().Counter("http_response_encode_errors_total")
+	mPanics     = obs.Default().Counter("http_panics_total")
+	mShed       = obs.Default().Counter("http_load_shed_total")
+)
+
+func requestCounter(route, method, class string) *obs.Counter {
+	return obs.Default().Counter("http_requests_total",
+		obs.L("route", route), obs.L("method", method), obs.L("class", class))
+}
+
+func durationHist(route string) *obs.Histogram {
+	return obs.Default().Histogram("http_request_duration_seconds", nil, obs.L("route", route))
+}
+
+// timeoutCounter counts requests lost to the clock: kind "deadline" for
+// expired per-request deadlines (mapped to 504) and "canceled" for clients
+// that went away (mapped to 408).
+func timeoutCounter(kind string) *obs.Counter {
+	return obs.Default().Counter("http_request_timeouts_total", obs.L("kind", kind))
+}
+
+// statusClass buckets a status code for the requests counter ("2xx", "4xx",
+// ...) so per-route cardinality stays bounded.
+func statusClass(status int) string {
+	if status < 100 || status > 599 {
+		return "other"
+	}
+	return strconv.Itoa(status/100) + "xx"
+}
+
+// routeLabel maps a request path back to its route pattern so metric labels
+// have bounded cardinality: every /v1/models/{id}/card hit shares one
+// series no matter the id. Unknown paths collapse into "other".
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/healthz", "/readyz", "/metrics",
+		"/v1/models", "/v1/models/batch",
+		"/v1/search", "/v1/related", "/v1/query", "/v1/graph":
+		return p
+	}
+	if strings.HasPrefix(p, "/debug/pprof") {
+		return "/debug/pprof"
+	}
+	if rest, ok := strings.CutPrefix(p, "/v1/models/"); ok {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch sub := rest[i+1:]; sub {
+			case "card", "cite", "draft", "audit", "provenance":
+				return "/v1/models/{id}/" + sub
+			}
+			return "other"
+		}
+		return "/v1/models/{id}"
+	}
+	return "other"
+}
+
+// statusRecorder captures the status and body size a handler produced so
+// the observe middleware can label its metrics and access-log line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	n, err := sr.ResponseWriter.Write(p)
+	sr.bytes += int64(n)
+	return n, err
+}
+
+// observeMiddleware is the outermost layer: it assigns/propagates the
+// request ID, counts the request into the per-route metrics, and emits the
+// access-log line. Sitting outside the recovery middleware means recovered
+// panics are recorded as the 500s the client saw; the deferred recording
+// also survives the http.ErrAbortHandler re-panic.
+func (s *Server) observeMiddleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithRequestID(r.Context(), id))
+		rec := &statusRecorder{ResponseWriter: w}
+		mInflight.Inc()
+		defer func() {
+			mInflight.Dec()
+			status := rec.status
+			if status == 0 {
+				status = http.StatusOK
+			}
+			route := routeLabel(r)
+			dur := time.Since(start)
+			requestCounter(route, r.Method, statusClass(status)).Inc()
+			durationHist(route).ObserveDuration(dur)
+			s.access.Log(obs.AccessEntry{
+				Time:       start,
+				RequestID:  id,
+				Remote:     r.RemoteAddr,
+				Method:     r.Method,
+				Path:       r.URL.Path,
+				Route:      route,
+				Status:     status,
+				Bytes:      rec.bytes,
+				DurationMS: float64(dur) / float64(time.Millisecond),
+			})
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.metrics.WritePrometheus(w)
+}

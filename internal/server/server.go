@@ -23,12 +23,15 @@
 package server
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -39,6 +42,7 @@ import (
 	"modellake/internal/lake"
 	"modellake/internal/model"
 	"modellake/internal/nn"
+	"modellake/internal/obs"
 	"modellake/internal/registry"
 )
 
@@ -60,6 +64,18 @@ type Config struct {
 	// Logger receives panic stacks and lifecycle messages; nil logs to
 	// stderr.
 	Logger *log.Logger
+	// AccessLog receives one structured JSON line per request (see
+	// obs.AccessEntry). Nil disables access logging.
+	AccessLog io.Writer
+	// Metrics is the registry behind GET /metrics and the per-request
+	// instrumentation; nil uses obs.Default(), which is also where the
+	// storage and search layers record, so the default aggregates the whole
+	// stack.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/*. Off by
+	// default: profiling endpoints expose internals and belong behind an
+	// explicit operator decision.
+	EnablePprof bool
 }
 
 // DefaultConfig is the hardening applied by New: generous enough for every
@@ -77,6 +93,8 @@ type Server struct {
 	lk       *lake.Lake
 	cfg      Config
 	log      *log.Logger
+	metrics  *obs.Registry
+	access   *obs.AccessLog
 	draining atomic.Bool
 }
 
@@ -92,7 +110,15 @@ func NewWith(lk *lake.Lake, cfg Config) *Server {
 	if logger == nil {
 		logger = log.New(os.Stderr, "modellake: ", log.LstdFlags)
 	}
-	return &Server{lk: lk, cfg: cfg, log: logger}
+	metrics := cfg.Metrics
+	if metrics == nil {
+		metrics = obs.Default()
+	}
+	return &Server{
+		lk: lk, cfg: cfg, log: logger,
+		metrics: metrics,
+		access:  obs.NewAccessLog(cfg.AccessLog),
+	}
 }
 
 // Drain flips /readyz to 503 so load balancers stop routing new traffic
@@ -100,13 +126,22 @@ func NewWith(lk *lake.Lake, cfg Config) *Server {
 // before http.Server.Shutdown for a clean connection drain.
 func (s *Server) Drain() { s.draining.Store(true) }
 
-// Handler returns the routed HTTP handler wrapped in the hardening
-// middleware: panic recovery outermost, then load shedding, then the
+// Handler returns the routed HTTP handler wrapped in the middleware stack:
+// observation (request ID, metrics, access log) outermost so it sees every
+// request's final status, then panic recovery, then load shedding, then the
 // per-request timeout.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /v1/models", s.handleListModels)
 	mux.HandleFunc("POST /v1/models", s.handleIngest)
 	mux.HandleFunc("POST /v1/models/batch", s.handleIngestBatch)
@@ -127,7 +162,7 @@ func (s *Server) Handler() http.Handler {
 	if s.cfg.MaxInflight > 0 {
 		h = limitMiddleware(s.cfg.MaxInflight, h)
 	}
-	return recoverMiddleware(s.log, h)
+	return s.observeMiddleware(recoverMiddleware(s.log, h))
 }
 
 // httpError is the JSON error envelope.
@@ -135,80 +170,120 @@ type httpError struct {
 	Error string `json:"error"`
 }
 
+// writeJSON encodes v with the given status. Encode failures after the
+// header is written cannot change the response, but they must not vanish
+// either: they are logged (to logger, or the process default when nil) and
+// counted, because a response the client could not parse is an error even
+// when the handler succeeded.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	writeJSONLogged(w, status, v, nil)
+}
+
+func writeJSONLogged(w http.ResponseWriter, status int, v any, logger *log.Logger) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		mEncodeErrs.Inc()
+		if logger == nil {
+			logger = log.Default()
+		}
+		logger.Printf("response encode failed (status %d): %v", status, err)
+	}
 }
 
-func writeErr(w http.ResponseWriter, err error) {
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	writeJSONLogged(w, status, v, s.log)
+}
+
+// writeErr maps a lake error to its HTTP status. Context errors are not
+// internal faults: an expired deadline is a gateway timeout (504) and a
+// canceled request means the client went away (408, the closest standard
+// status to nginx's 499 client-closed-request); both feed the timeout
+// counter so slow-query pressure is visible before users complain.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, registry.ErrNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, registry.ErrDuplicate):
 		status = http.StatusConflict
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+		timeoutCounter("deadline").Inc()
+	case errors.Is(err, context.Canceled):
+		status = http.StatusRequestTimeout
+		timeoutCounter("canceled").Inc()
 	}
-	writeJSON(w, status, httpError{Error: err.Error()})
+	s.writeJSON(w, status, httpError{Error: err.Error()})
 }
 
-func badRequest(w http.ResponseWriter, format string, args ...any) {
-	writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf(format, args...)})
+func (s *Server) badRequest(w http.ResponseWriter, format string, args ...any) {
+	s.writeJSON(w, http.StatusBadRequest, httpError{Error: fmt.Sprintf(format, args...)})
 }
 
-func intParam(r *http.Request, name string, def int) int {
-	if v := r.URL.Query().Get(name); v != "" {
-		if n, err := strconv.Atoi(v); err == nil && n > 0 {
-			return n
-		}
+// intParamStrict parses an optional positive integer query parameter. An
+// absent parameter yields the default; a malformed or non-positive value is
+// the caller's 400, never a silent fallback — ?k=abc quietly meaning k=10
+// hides client bugs behind plausible responses.
+func intParamStrict(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
 	}
-	return def
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("query parameter %s=%q is not an integer", name, v)
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("query parameter %s must be a positive integer, got %d", name, n)
+	}
+	return n, nil
 }
 
 // handleHealth is pure liveness: it answers 200 whenever the process can
 // serve HTTP at all, touching nothing that could block or fail.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
 }
 
 // handleReady is readiness: 200 only when the lake can actually answer
 // queries (store open, indexes rehydrated) and the server is not draining.
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
 	if err := s.lk.Ready(); err != nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unready", "error": err.Error()})
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unready", "error": err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "models": s.lk.Count()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "models": s.lk.Count()})
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 	recs, err := s.lk.Records()
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, recs)
+	s.writeJSON(w, http.StatusOK, recs)
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	rec, err := s.lk.Record(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rec)
+	s.writeJSON(w, http.StatusOK, rec)
 }
 
 func (s *Server) handleCard(w http.ResponseWriter, r *http.Request) {
 	c, err := s.lk.Card(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
 	if r.URL.Query().Get("format") == "markdown" {
@@ -216,25 +291,25 @@ func (s *Server) handleCard(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, c.Markdown())
 		return
 	}
-	writeJSON(w, http.StatusOK, c)
+	s.writeJSON(w, http.StatusOK, c)
 }
 
 func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 	c, err := s.lk.Cite(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"citation": c, "text": c.String()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"citation": c, "text": c.String()})
 }
 
 func (s *Server) handleDraft(w http.ResponseWriter, r *http.Request) {
 	d, err := s.lk.GenerateCardContext(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	s.writeJSON(w, http.StatusOK, map[string]any{
 		"card": d.Card, "evidence": d.Evidence, "flags": d.Flags,
 	})
 }
@@ -251,66 +326,83 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.lk.AuditContext(r.Context(), r.PathValue("id"), flagged)
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, rep)
+	s.writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
 	ex, err := s.lk.Provenance().Why("model:" + r.PathValue("id"))
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
+		s.writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, ex)
+	s.writeJSON(w, http.StatusOK, ex)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		badRequest(w, "missing query parameter q")
+		s.badRequest(w, "missing query parameter q")
 		return
 	}
-	hits := s.lk.SearchKeyword(q, intParam(r, "k", 10))
-	writeJSON(w, http.StatusOK, hits)
+	k, err := intParamStrict(r, "k", 10)
+	if err != nil {
+		s.badRequest(w, "%v", err)
+		return
+	}
+	hits := s.lk.SearchKeyword(q, k)
+	s.writeJSON(w, http.StatusOK, hits)
 }
 
 func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
 	if id == "" {
-		badRequest(w, "missing query parameter id")
+		s.badRequest(w, "missing query parameter id")
 		return
 	}
-	hits, err := s.lk.SearchByModelContext(r.Context(), id, r.URL.Query().Get("space"), intParam(r, "k", 10))
+	k, err := intParamStrict(r, "k", 10)
 	if err != nil {
-		writeErr(w, err)
+		s.badRequest(w, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, hits)
+	hits, err := s.lk.SearchByModelContext(r.Context(), id, r.URL.Query().Get("space"), k)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, hits)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query().Get("q")
 	if q == "" {
-		badRequest(w, "missing query parameter q")
+		s.badRequest(w, "missing query parameter q")
 		return
 	}
 	res, err := s.lk.QueryContext(r.Context(), q)
 	if err != nil {
-		badRequest(w, "%v", err)
+		// A parse or execution error is the client's 400, but a context
+		// error means the clock (or the client) killed the query — route it
+		// through writeErr so it maps to 504/408, not 400.
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.writeErr(w, err)
+			return
+		}
+		s.badRequest(w, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"query": res.Query.String(), "hits": res.Hits})
+	s.writeJSON(w, http.StatusOK, map[string]any{"query": res.Query.String(), "hits": res.Hits})
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
 	g, err := s.lk.VersionGraphContext(r.Context())
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, g)
+	s.writeJSON(w, http.StatusOK, g)
 }
 
 // IngestRequest is the POST /v1/models body: declared metadata, the card,
@@ -329,25 +421,25 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
+			s.writeJSON(w, http.StatusRequestEntityTooLarge,
 				httpError{Error: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
 			return
 		}
-		badRequest(w, "decode body: %v", err)
+		s.badRequest(w, "decode body: %v", err)
 		return
 	}
 	if req.Name == "" {
-		badRequest(w, "name is required")
+		s.badRequest(w, "name is required")
 		return
 	}
 	raw, err := base64.StdEncoding.DecodeString(req.WeightsB64)
 	if err != nil {
-		badRequest(w, "weights_b64: %v", err)
+		s.badRequest(w, "weights_b64: %v", err)
 		return
 	}
 	net, err := nn.DecodeMLP(raw)
 	if err != nil {
-		badRequest(w, "weights: %v", err)
+		s.badRequest(w, "weights: %v", err)
 		return
 	}
 	m := &model.Model{Name: req.Name, Net: net, Hist: req.History}
@@ -355,10 +447,10 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		Name: req.Name, Version: req.Version, Tags: req.Tags,
 	})
 	if err != nil {
-		writeErr(w, err)
+		s.writeErr(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, rec)
+	s.writeJSON(w, http.StatusCreated, rec)
 }
 
 // BatchIngestRequest is the POST /v1/models/batch body: many ingest
@@ -382,15 +474,15 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			writeJSON(w, http.StatusRequestEntityTooLarge,
+			s.writeJSON(w, http.StatusRequestEntityTooLarge,
 				httpError{Error: fmt.Sprintf("body exceeds %d bytes", tooBig.Limit)})
 			return
 		}
-		badRequest(w, "decode body: %v", err)
+		s.badRequest(w, "decode body: %v", err)
 		return
 	}
 	if len(req.Models) == 0 {
-		badRequest(w, "models is required")
+		s.badRequest(w, "models is required")
 		return
 	}
 	items := make([]lake.IngestItem, len(req.Models))
@@ -440,5 +532,5 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 	if created < len(req.Models) {
 		status = http.StatusMultiStatus
 	}
-	writeJSON(w, status, map[string]any{"created": created, "results": results})
+	s.writeJSON(w, status, map[string]any{"created": created, "results": results})
 }

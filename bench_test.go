@@ -117,6 +117,20 @@ func BenchmarkLakeIngestParallel(b *testing.B) {
 
 func BenchmarkE12Ingest(b *testing.B) { benchExperiment(b, "E12") }
 
+// BenchmarkE13Query runs the read-path query benchmark at reduced scale so
+// `go test -bench` stays fast; cmd/lakebench runs the full sweep.
+func BenchmarkE13Query(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _, err := experiments.RunE13Query(42, []int{1000}, 200)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("E13 produced no rows")
+		}
+	}
+}
+
 // BenchmarkLakeQuery measures MLQL query latency on a ~50-model lake.
 func BenchmarkLakeQuery(b *testing.B) {
 	spec := DefaultLakeSpec(2)

@@ -1,0 +1,166 @@
+// Command benchdiff compares two `go test -bench` outputs and prints a
+// benchstat-style old-vs-new table, one row per (benchmark, unit) pair
+// present in both files. CI runs it against the merge-base to surface
+// read-path regressions in the job summary; it has no dependencies beyond
+// the standard library so it runs anywhere the toolchain does.
+//
+// Usage: benchdiff OLD NEW
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkFlatSearch10k-8   380   3111944 ns/op   259536 B/op   26 allocs/op
+//
+// capturing the name (GOMAXPROCS suffix stripped separately) and the rest.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// gomaxprocsSuffix strips the trailing "-N" so runs from machines with
+// different core counts still line up.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// sample is one benchmark's mean value per unit, averaged across repeated
+// runs of the same benchmark in one file.
+type sample struct {
+	sum   map[string]float64
+	count map[string]int
+}
+
+func (s *sample) mean(unit string) (float64, bool) {
+	n := s.count[unit]
+	if n == 0 {
+		return 0, false
+	}
+	return s.sum[unit] / float64(n), true
+}
+
+func parseBench(r io.Reader) (map[string]*sample, []string, error) {
+	out := map[string]*sample{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(m[1], "Benchmark"), "")
+		fields := strings.Fields(m[2])
+		s := out[name]
+		if s == nil {
+			s = &sample{sum: map[string]float64{}, count: map[string]int{}}
+			out[name] = s
+			order = append(order, name)
+		}
+		// fields come in (value, unit) pairs: 3111944 ns/op 259536 B/op ...
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			s.sum[fields[i+1]] += v
+			s.count[fields[i+1]]++
+		}
+	}
+	return out, order, sc.Err()
+}
+
+// row is one line of the comparison table.
+type row struct {
+	name, unit     string
+	oldVal, newVal float64
+	delta          float64 // percent change, negative = improvement for costs
+}
+
+func diff(oldS, newS map[string]*sample, order []string) []row {
+	// Units in display order; anything else sorts after.
+	unitRank := map[string]int{"ns/op": 0, "B/op": 1, "allocs/op": 2}
+	var rows []row
+	for _, name := range order {
+		o, n := oldS[name], newS[name]
+		if o == nil || n == nil {
+			continue
+		}
+		units := make([]string, 0, len(o.sum))
+		for u := range o.sum {
+			units = append(units, u)
+		}
+		sort.Slice(units, func(i, j int) bool {
+			ri, iok := unitRank[units[i]]
+			rj, jok := unitRank[units[j]]
+			if iok != jok {
+				return iok
+			}
+			if ri != rj {
+				return ri < rj
+			}
+			return units[i] < units[j]
+		})
+		for _, u := range units {
+			ov, _ := o.mean(u)
+			nv, ok := n.mean(u)
+			if !ok {
+				continue
+			}
+			d := 0.0
+			if ov != 0 {
+				d = (nv - ov) / ov * 100
+			}
+			rows = append(rows, row{name: name, unit: u, oldVal: ov, newVal: nv, delta: d})
+		}
+	}
+	return rows
+}
+
+func formatVal(v float64, unit string) string {
+	if unit == "allocs/op" || v == float64(int64(v)) {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+func render(w io.Writer, rows []row) {
+	if len(rows) == 0 {
+		fmt.Fprintln(w, "benchdiff: no common benchmarks")
+		return
+	}
+	fmt.Fprintf(w, "%-40s %-11s %14s %14s %9s\n", "name", "unit", "old", "new", "delta")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-40s %-11s %14s %14s %+8.1f%%\n",
+			r.name, r.unit, formatVal(r.oldVal, r.unit), formatVal(r.newVal, r.unit), r.delta)
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD NEW")
+		os.Exit(2)
+	}
+	read := func(path string) (map[string]*sample, []string) {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		s, order, err := parseBench(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		return s, order
+	}
+	oldS, _ := read(os.Args[1])
+	newS, order := read(os.Args[2])
+	render(os.Stdout, diff(oldS, newS, order))
+}

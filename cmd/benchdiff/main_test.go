@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const oldOut = `
+goos: linux
+BenchmarkFlatSearch10k-8        380     3111944 ns/op    259536 B/op      26 allocs/op
+BenchmarkHNSWSearch10k-8       6044      197847 ns/op     92120 B/op      51 allocs/op
+BenchmarkGone-8                 100        5000 ns/op
+PASS
+`
+
+const newOut = `
+BenchmarkFlatSearch10k-16      3718      322459 ns/op       243 B/op       1 allocs/op
+BenchmarkFlatSearch10k-16      3700      322500 ns/op       243 B/op       1 allocs/op
+BenchmarkHNSWSearch10k-16     21684       55244 ns/op      1264 B/op       2 allocs/op
+BenchmarkAdded-16               100        9999 ns/op
+`
+
+func TestDiff(t *testing.T) {
+	oldS, _, err := parseBench(strings.NewReader(oldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newS, order, err := parseBench(strings.NewReader(newOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := diff(oldS, newS, order)
+	// Two common benchmarks × three units each; Gone/Added are skipped.
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	if rows[0].name != "FlatSearch10k" || rows[0].unit != "ns/op" {
+		t.Fatalf("row 0 = %+v", rows[0])
+	}
+	// Repeated new-side runs are averaged: (322459+322500)/2.
+	if want := (322459.0 + 322500.0) / 2; rows[0].newVal != want {
+		t.Fatalf("newVal = %v, want %v", rows[0].newVal, want)
+	}
+	if rows[0].delta >= -85 || rows[0].delta <= -95 {
+		t.Fatalf("delta = %v, want ~-89.6%%", rows[0].delta)
+	}
+	var sb strings.Builder
+	render(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"FlatSearch10k", "HNSWSearch10k", "allocs/op", "-89.6%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Gone") || strings.Contains(out, "Added") {
+		t.Fatalf("table contains non-common benchmark:\n%s", out)
+	}
+}
+
+func TestParseBenchMalformed(t *testing.T) {
+	s, order, err := parseBench(strings.NewReader("garbage\nBenchmarkX-4 12 notanumber ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 1 {
+		t.Fatalf("order = %v", order)
+	}
+	if _, ok := s["X"].mean("ns/op"); ok {
+		t.Fatal("malformed value should not produce a mean")
+	}
+}

@@ -4,6 +4,8 @@
 // benchmark) runs, its machine-readable summary is written to the path
 // given by -ingest-json so CI can archive throughput over time;
 // -parallelism sets the worker count it benchmarks (0 = GOMAXPROCS).
+// Likewise E13 (the read-path query benchmark) writes its summary to
+// -query-json.
 // -metrics-json dumps the process-wide metrics registry after the run, so a
 // benchmark archive carries the low-level counters (fsync latencies, cache
 // hits, ANN probe counts) alongside the headline numbers.
@@ -26,6 +28,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "workload seed")
 	parallelism := flag.Int("parallelism", 0, "ingest workers for E12 (0 = GOMAXPROCS)")
 	ingestJSON := flag.String("ingest-json", "BENCH_ingest.json", "where E12 writes its JSON summary ('' = skip)")
+	queryJSON := flag.String("query-json", "BENCH_query.json", "where E13 writes its JSON summary ('' = skip)")
 	metricsJSON := flag.String("metrics-json", "", "where to write a post-run metrics snapshot ('' = skip)")
 	flag.Parse()
 
@@ -51,6 +54,17 @@ func main() {
 			if err == nil && res != nil && *ingestJSON != "" {
 				if werr := writeIngestJSON(*ingestJSON, res); werr != nil {
 					fmt.Fprintf(os.Stderr, "E12: writing %s: %v\n", *ingestJSON, werr)
+					failed++
+				}
+			}
+		} else if ex.ID == "E13" {
+			// E13 likewise captures its JSON summary for the benchmark
+			// archive (-query-json).
+			var res *experiments.QueryBenchResult
+			t, res, err = experiments.RunE13Query(*seed, nil, 0)
+			if err == nil && res != nil && *queryJSON != "" {
+				if werr := writeBenchJSON(*queryJSON, res); werr != nil {
+					fmt.Fprintf(os.Stderr, "E13: writing %s: %v\n", *queryJSON, werr)
 					failed++
 				}
 			}
@@ -85,6 +99,10 @@ func writeMetricsJSON(path string) error {
 }
 
 func writeIngestJSON(path string, res *experiments.IngestBenchResult) error {
+	return writeBenchJSON(path, res)
+}
+
+func writeBenchJSON(path string, res any) error {
 	data, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
 		return err

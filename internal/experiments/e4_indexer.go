@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -60,14 +61,14 @@ func RunE4(seed uint64) (*Table, error) {
 		hits, total := 0, 0
 		for _, q := range qs {
 			start := time.Now()
-			exact, err := flat.Search(q, k)
+			exact, err := flat.Search(context.Background(), q, k)
 			if err != nil {
 				return nil, err
 			}
 			flatTime += time.Since(start)
 
 			start = time.Now()
-			approx, err := hnsw.Search(q, k)
+			approx, err := hnsw.Search(context.Background(), q, k)
 			if err != nil {
 				return nil, err
 			}
@@ -115,7 +116,7 @@ func RunE4(seed uint64) (*Table, error) {
 	}
 	exactTruth := make([]map[string]bool, len(qs))
 	for qi, q := range qs {
-		exact, err := flat.Search(q, k)
+		exact, err := flat.Search(context.Background(), q, k)
 		if err != nil {
 			return nil, err
 		}
@@ -135,7 +136,7 @@ func RunE4(seed uint64) (*Table, error) {
 		hits, total := 0, 0
 		for qi, q := range qs {
 			start := time.Now()
-			approx, err := hnsw.Search(q, k)
+			approx, err := hnsw.Search(context.Background(), q, k)
 			if err != nil {
 				return nil, err
 			}

@@ -92,6 +92,7 @@ func All() []Experiment {
 		{"E10", "audit risk propagation", RunE10},
 		{"E11", "lifelong benchmarking", RunE11},
 		{"E12", "parallel ingest pipeline", RunE12},
+		{"E13", "read-path query engine", RunE13},
 		{"F1", "viewpoint ablation (Figure 1)", RunF1},
 	}
 }

@@ -353,3 +353,34 @@ func TestE12Shape(t *testing.T) {
 		t.Fatalf("fresh lake reported no cache misses: %+v", res)
 	}
 }
+
+// TestE13Shape pins the read-path benchmark's acceptance property at test
+// time: the optimized flat scan must answer top-k queries bitwise-identically
+// to the naive full-sort reference, and the cached read path must agree with
+// the uncached one.
+func TestE13Shape(t *testing.T) {
+	tab, res, err := RunE13Query(testSeed(), []int{300, 1200}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 5 { // (flat+hnsw) × 2 sizes + cache row
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if !p.IdenticalTopK {
+			t.Fatalf("%s@%d: optimized top-k diverged from reference", p.Kind, p.NModels)
+		}
+		if p.QPS <= 0 || p.P50Ns <= 0 || p.P99Ns < p.P50Ns {
+			t.Fatalf("implausible point: %+v", p)
+		}
+	}
+	if !res.CacheIdentical {
+		t.Fatal("cached search results diverged from uncached")
+	}
+	if res.CacheHits == 0 {
+		t.Fatalf("warm lake reported no query-cache hits: %+v", res)
+	}
+}

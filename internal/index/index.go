@@ -5,13 +5,21 @@
 //
 // Both implementations satisfy Index, so experiments can swap them, and both
 // are safe for concurrent use.
+//
+// The read path is engineered for allocation-free, cache-friendly scans:
+// vectors live in one contiguous backing array per index (an offset per node
+// instead of a pointer chase per candidate), Euclidean norms are precomputed
+// at insert so a Cosine distance costs a single dot product, top-k selection
+// is a bounded max-heap (O(n log k), zero per-candidate allocation), and the
+// HNSW per-search scratch — the visited set and both beam heaps — is pooled
+// and generation-stamped rather than reallocated per query.
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 
 	"modellake/internal/obs"
@@ -22,7 +30,16 @@ import (
 // ANN metrics, labelled by index kind. candidates-scanned divided by
 // searches gives the effective probe width: |lake| for the flat scan versus
 // the beam-bounded visit count for HNSW — the sublinearity claim of paper §5
-// read straight off the counters.
+// read straight off the counters. The counters are resolved once at package
+// init: a registry lookup per search would put map traffic and label
+// rendering on the zero-alloc hot path.
+var (
+	flatSearches   = searchCounter("flat")
+	flatCandidates = candidateCounter("flat")
+	hnswSearches   = searchCounter("hnsw")
+	hnswCandidates = candidateCounter("hnsw")
+)
+
 func searchCounter(kind string) *obs.Counter {
 	return obs.Default().Counter("ann_searches_total", obs.L("kind", kind))
 }
@@ -57,6 +74,30 @@ func (m Metric) Distance(a, b tensor.Vector) float64 {
 	}
 }
 
+// queryNorm returns the query-side norm the metric needs per search: the
+// Euclidean norm for Cosine (computed once, not once per candidate), unused
+// zero for L2.
+func (m Metric) queryNorm(q tensor.Vector) float64 {
+	if m == Cosine {
+		return q.Norm()
+	}
+	return 0
+}
+
+// distFlat is the flattened-storage distance: q against a stored row whose
+// norm was precomputed at insert. The arithmetic — operand order included —
+// matches Metric.Distance exactly, so results are bitwise identical to the
+// clone-per-node layout this replaced.
+func (m Metric) distFlat(q tensor.Vector, qNorm float64, row []float64, rowNorm float64) float64 {
+	if m == Cosine {
+		if qNorm == 0 || rowNorm == 0 {
+			return 1
+		}
+		return 1 - tensor.DotKernel(q, row)/(qNorm*rowNorm)
+	}
+	return math.Sqrt(tensor.SquaredL2Kernel(q, row))
+}
+
 // Result is one search hit.
 type Result struct {
 	ID       string
@@ -67,11 +108,18 @@ type Result struct {
 type Index interface {
 	// Add inserts a vector under id.
 	Add(id string, v tensor.Vector) error
-	// Search returns the k nearest stored vectors to q, closest first.
-	Search(q tensor.Vector, k int) ([]Result, error)
+	// Search returns the k nearest stored vectors to q, closest first. Long
+	// scans honor ctx cancellation (checked about every thousand
+	// candidates); nil ctx means no cancellation.
+	Search(ctx context.Context, q tensor.Vector, k int) ([]Result, error)
 	// Len returns the number of stored vectors.
 	Len() int
 }
+
+// ctxCheckInterval is how many candidates a scan examines between
+// cancellation checks — frequent enough that a timed-out request stops
+// promptly, rare enough to stay invisible in the per-candidate cost.
+const ctxCheckInterval = 1024
 
 func validateVector(v tensor.Vector, wantDim int) error {
 	if len(v) == 0 {
@@ -88,19 +136,115 @@ func validateVector(v tensor.Vector, wantDim int) error {
 	return nil
 }
 
-// Flat is an exact linear-scan index.
+// candidate is a node index paired with its distance to the current query.
+type candidate struct {
+	idx  int
+	dist float64
+}
+
+// topK selects the k smallest candidates under the total order (distance,
+// then ID when ids is set, else node index). It is a max-heap holding at most
+// k elements with the worst at the root, so a full scan costs O(n log k) and
+// allocates nothing per candidate. Instances are pooled by their owners.
+type topK struct {
+	k   int
+	ids []string // tie-break by ids[idx] when non-nil
+	xs  []candidate
+}
+
+// worse reports whether a ranks strictly after b (farther, or tied and
+// later in the tie-break order).
+func (t *topK) worse(a, b candidate) bool {
+	if a.dist != b.dist {
+		return a.dist > b.dist
+	}
+	if t.ids != nil {
+		return t.ids[a.idx] > t.ids[b.idx]
+	}
+	return a.idx > b.idx
+}
+
+func (t *topK) reset(k int, ids []string) {
+	t.k = k
+	t.ids = ids
+	t.xs = t.xs[:0]
+}
+
+// release drops references that would otherwise pin the owner's data while
+// the scratch sits in a pool.
+func (t *topK) release() { t.ids = nil }
+
+// offer considers one candidate, keeping the k best seen so far.
+func (t *topK) offer(c candidate) {
+	if len(t.xs) < t.k {
+		t.xs = append(t.xs, c)
+		i := len(t.xs) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if !t.worse(t.xs[i], t.xs[parent]) {
+				break
+			}
+			t.xs[i], t.xs[parent] = t.xs[parent], t.xs[i]
+			i = parent
+		}
+		return
+	}
+	if !t.worse(t.xs[0], c) {
+		return // current worst still beats c
+	}
+	t.xs[0] = c
+	t.siftDown(0, len(t.xs))
+}
+
+func (t *topK) siftDown(i, n int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && t.worse(t.xs[l], t.xs[worst]) {
+			worst = l
+		}
+		if r < n && t.worse(t.xs[r], t.xs[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		t.xs[i], t.xs[worst] = t.xs[worst], t.xs[i]
+		i = worst
+	}
+}
+
+// extractAscending heap-sorts the selection in place and returns it ordered
+// closest first. The topK must be reset before reuse.
+func (t *topK) extractAscending() []candidate {
+	for n := len(t.xs); n > 1; n-- {
+		t.xs[0], t.xs[n-1] = t.xs[n-1], t.xs[0]
+		t.siftDown(0, n-1)
+	}
+	return t.xs
+}
+
+// Flat is an exact linear-scan index. Vectors are stored row-major in one
+// contiguous backing array (row i at data[i*dim : (i+1)*dim]) with their
+// norms precomputed, so a scan walks memory sequentially and a Cosine
+// candidate costs exactly one dot product.
 type Flat struct {
 	metric Metric
 	mu     sync.RWMutex
 	ids    []string
-	vecs   []tensor.Vector
+	data   []float64
+	norms  []float64
 	byID   map[string]struct{}
 	dim    int
+
+	topk sync.Pool // *topK per-search scratch
 }
 
 // NewFlat returns an empty exact index.
 func NewFlat(metric Metric) *Flat {
-	return &Flat{metric: metric, byID: make(map[string]struct{})}
+	f := &Flat{metric: metric, byID: make(map[string]struct{})}
+	f.topk.New = func() any { return new(topK) }
+	return f
 }
 
 // Add implements Index.
@@ -117,40 +261,54 @@ func (f *Flat) Add(id string, v tensor.Vector) error {
 		f.dim = len(v)
 	}
 	f.ids = append(f.ids, id)
-	f.vecs = append(f.vecs, v.Clone())
+	f.data = append(f.data, v...)
+	f.norms = append(f.norms, v.Norm())
 	f.byID[id] = struct{}{}
 	return nil
 }
 
 // Search implements Index.
-func (f *Flat) Search(q tensor.Vector, k int) ([]Result, error) {
+func (f *Flat) Search(ctx context.Context, q tensor.Vector, k int) ([]Result, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	if len(f.vecs) == 0 {
+	n := len(f.ids)
+	if n == 0 {
 		return nil, nil
 	}
 	if err := validateVector(q, f.dim); err != nil {
 		return nil, err
 	}
-	searchCounter("flat").Inc()
-	candidateCounter("flat").Add(uint64(len(f.vecs)))
-	res := make([]Result, len(f.vecs))
-	for i, v := range f.vecs {
-		res[i] = Result{ID: f.ids[i], Distance: f.metric.Distance(q, v)}
+	flatSearches.Inc()
+	flatCandidates.Add(uint64(n))
+	if k > n {
+		k = n
 	}
-	sort.Slice(res, func(i, j int) bool {
-		if res[i].Distance != res[j].Distance {
-			return res[i].Distance < res[j].Distance
+	if k <= 0 {
+		return []Result{}, nil
+	}
+	qNorm := f.metric.queryNorm(q)
+	t := f.topk.Get().(*topK)
+	t.reset(k, f.ids)
+	dim := f.dim
+	for i := 0; i < n; i++ {
+		if i%ctxCheckInterval == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				t.release()
+				f.topk.Put(t)
+				return nil, err
+			}
 		}
-		return res[i].ID < res[j].ID
-	})
-	if k > len(res) {
-		k = len(res)
+		row := f.data[i*dim : (i+1)*dim]
+		t.offer(candidate{idx: i, dist: f.metric.distFlat(q, qNorm, row, f.norms[i])})
 	}
-	if k < 0 {
-		k = 0
+	sel := t.extractAscending()
+	out := make([]Result, len(sel))
+	for i, c := range sel {
+		out[i] = Result{ID: f.ids[c.idx], Distance: c.dist}
 	}
-	return res[:k], nil
+	t.release()
+	f.topk.Put(t)
+	return out, nil
 }
 
 // Len implements Index.
@@ -181,9 +339,10 @@ func (c HNSWConfig) withDefaults() HNSWConfig {
 	return c
 }
 
+// hnswNode holds a node's identity and adjacency; its vector lives at
+// vecData[idx*dim : (idx+1)*dim] in the owning index.
 type hnswNode struct {
 	id    string
-	vec   tensor.Vector
 	links [][]int32 // links[level] = neighbour node indices
 }
 
@@ -195,17 +354,21 @@ type HNSW struct {
 
 	mu       sync.RWMutex
 	nodes    []hnswNode
+	vecData  []float64 // flattened node vectors, row-major
+	norms    []float64 // precomputed Euclidean norms, aligned with nodes
 	byID     map[string]int
 	entry    int
 	maxLevel int
 	rng      *xrand.RNG
 	dim      int
+
+	scratch sync.Pool // *searchScratch
 }
 
 // NewHNSW returns an empty HNSW index.
 func NewHNSW(metric Metric, cfg HNSWConfig) *HNSW {
 	cfg = cfg.withDefaults()
-	return &HNSW{
+	h := &HNSW{
 		metric: metric,
 		cfg:    cfg,
 		mL:     1 / math.Log(float64(cfg.M)),
@@ -213,6 +376,8 @@ func NewHNSW(metric Metric, cfg HNSWConfig) *HNSW {
 		entry:  -1,
 		rng:    xrand.New(cfg.Seed),
 	}
+	h.scratch.New = func() any { return new(searchScratch) }
+	return h
 }
 
 // Len implements Index.
@@ -230,6 +395,55 @@ func (h *HNSW) randomLevel() int {
 	return int(-math.Log(u) * h.mL)
 }
 
+// vec returns node i's vector as a view into the flat backing array.
+func (h *HNSW) vec(i int) tensor.Vector {
+	return tensor.Vector(h.vecData[i*h.dim : (i+1)*h.dim])
+}
+
+// distTo computes the metric distance from a query (with its precomputed
+// query-side norm) to stored node i.
+func (h *HNSW) distTo(q tensor.Vector, qNorm float64, i int) float64 {
+	return h.metric.distFlat(q, qNorm, h.vecData[i*h.dim:(i+1)*h.dim], h.norms[i])
+}
+
+// searchScratch is the pooled per-search state: a generation-stamped visited
+// set (one uint32 per node beats a map[int]struct{} by an order of magnitude
+// and needs no clearing between searches) plus the two beam heaps and a
+// bounded selector for link shrinking.
+type searchScratch struct {
+	visited []uint32
+	gen     uint32
+	cands   candHeap // min-heap: closest first
+	results candHeap // max-heap: worst at root, popped when over ef
+	sel     topK     // bounded selection workspace for shrinkLinks
+}
+
+// begin prepares the scratch for a search over n nodes.
+func (sc *searchScratch) begin(n int) {
+	if len(sc.visited) < n {
+		sc.visited = append(sc.visited, make([]uint32, n-len(sc.visited))...)
+	}
+	sc.gen++
+	if sc.gen == 0 { // wrapped: stale stamps could collide, so clear once
+		for i := range sc.visited {
+			sc.visited[i] = 0
+		}
+		sc.gen = 1
+	}
+	sc.cands.xs = sc.cands.xs[:0]
+	sc.results.xs = sc.results.xs[:0]
+}
+
+// visit marks node i visited, reporting whether this is the first visit of
+// the current search.
+func (sc *searchScratch) visit(i int) bool {
+	if sc.visited[i] == sc.gen {
+		return false
+	}
+	sc.visited[i] = sc.gen
+	return true
+}
+
 // Add implements Index.
 func (h *HNSW) Add(id string, v tensor.Vector) error {
 	h.mu.Lock()
@@ -244,9 +458,10 @@ func (h *HNSW) Add(id string, v tensor.Vector) error {
 		h.dim = len(v)
 	}
 	level := h.randomLevel()
-	node := hnswNode{id: id, vec: v.Clone(), links: make([][]int32, level+1)}
 	idx := len(h.nodes)
-	h.nodes = append(h.nodes, node)
+	h.nodes = append(h.nodes, hnswNode{id: id, links: make([][]int32, level+1)})
+	h.vecData = append(h.vecData, v...)
+	h.norms = append(h.norms, v.Norm())
 	h.byID[id] = idx
 
 	if h.entry < 0 {
@@ -255,20 +470,25 @@ func (h *HNSW) Add(id string, v tensor.Vector) error {
 		return nil
 	}
 
+	// v may alias caller memory the caller mutates later; from here on use
+	// the index's own copy, exactly as searches will.
+	q := h.vec(idx)
+	qNorm := h.metric.queryNorm(q)
 	cur := h.entry
-	curDist := h.metric.Distance(v, h.nodes[cur].vec)
+	curDist := h.distTo(q, qNorm, cur)
 	// Greedy descent through layers above the new node's level.
 	for l := h.maxLevel; l > level; l-- {
-		cur, curDist = h.greedyStep(v, cur, curDist, l)
+		cur, curDist = h.greedyStep(q, qNorm, cur, curDist, l)
 	}
 	// Insert at each level from min(level, maxLevel) down to 0.
 	startLevel := level
 	if startLevel > h.maxLevel {
 		startLevel = h.maxLevel
 	}
+	sc := h.scratch.Get().(*searchScratch)
 	ep := []candidate{{idx: cur, dist: curDist}}
 	for l := startLevel; l >= 0; l-- {
-		found, _ := h.searchLayer(v, ep, h.cfg.EfConstruction, l)
+		found, _ := h.searchLayer(sc, q, qNorm, ep, h.cfg.EfConstruction, l)
 		maxConn := h.cfg.M
 		if l == 0 {
 			maxConn = 2 * h.cfg.M
@@ -281,11 +501,12 @@ func (h *HNSW) Add(id string, v tensor.Vector) error {
 			h.nodes[idx].links[l] = append(h.nodes[idx].links[l], int32(nb.idx))
 			h.nodes[nb.idx].links[l] = append(h.nodes[nb.idx].links[l], int32(idx))
 			if len(h.nodes[nb.idx].links[l]) > maxConn {
-				h.shrinkLinks(nb.idx, l, maxConn)
+				h.shrinkLinks(sc, nb.idx, l, maxConn)
 			}
 		}
 		ep = found
 	}
+	h.scratch.Put(sc)
 	if level > h.maxLevel {
 		h.maxLevel = level
 		h.entry = idx
@@ -295,14 +516,14 @@ func (h *HNSW) Add(id string, v tensor.Vector) error {
 
 // greedyStep walks to the closest neighbour of cur at layer l until no
 // improvement, returning the final node and its distance.
-func (h *HNSW) greedyStep(q tensor.Vector, cur int, curDist float64, l int) (int, float64) {
+func (h *HNSW) greedyStep(q tensor.Vector, qNorm float64, cur int, curDist float64, l int) (int, float64) {
 	for {
 		if l >= len(h.nodes[cur].links) {
 			return cur, curDist
 		}
 		improved := false
 		for _, nb := range h.nodes[cur].links[l] {
-			d := h.metric.Distance(q, h.nodes[nb].vec)
+			d := h.distTo(q, qNorm, int(nb))
 			if d < curDist {
 				cur, curDist = int(nb), d
 				improved = true
@@ -314,31 +535,24 @@ func (h *HNSW) greedyStep(q tensor.Vector, cur int, curDist float64, l int) (int
 	}
 }
 
-type candidate struct {
-	idx  int
-	dist float64
-}
-
 // searchLayer is the standard HNSW beam search at one layer. It returns up
 // to ef candidates sorted by ascending distance, plus the number of distinct
-// nodes visited (the probe count Search reports to the metrics).
-func (h *HNSW) searchLayer(q tensor.Vector, entryPoints []candidate, ef, level int) ([]candidate, int) {
-	visited := make(map[int]struct{}, ef*4)
-	// candidates: min-heap by distance; results: max-heap (we keep the worst
-	// at index 0 to pop when over capacity).
-	cands := newHeap(func(a, b candidate) bool { return a.dist < b.dist })
-	results := newHeap(func(a, b candidate) bool { return a.dist > b.dist })
+// nodes visited (the probe count Search reports to the metrics). All working
+// state lives in sc; only the returned slice is allocated.
+func (h *HNSW) searchLayer(sc *searchScratch, q tensor.Vector, qNorm float64, entryPoints []candidate, ef, level int) ([]candidate, int) {
+	sc.begin(len(h.nodes))
+	visited := 0
 	for _, ep := range entryPoints {
-		if _, ok := visited[ep.idx]; ok {
+		if !sc.visit(ep.idx) {
 			continue
 		}
-		visited[ep.idx] = struct{}{}
-		cands.push(ep)
-		results.push(ep)
+		visited++
+		sc.cands.push(ep, false)
+		sc.results.push(ep, true)
 	}
-	for cands.len() > 0 {
-		c := cands.pop()
-		if results.len() >= ef && c.dist > results.peek().dist {
+	for sc.cands.len() > 0 {
+		c := sc.cands.pop(false)
+		if sc.results.len() >= ef && c.dist > sc.results.peek().dist {
 			break
 		}
 		if level >= len(h.nodes[c.idx].links) {
@@ -346,52 +560,52 @@ func (h *HNSW) searchLayer(q tensor.Vector, entryPoints []candidate, ef, level i
 		}
 		for _, nb := range h.nodes[c.idx].links[level] {
 			ni := int(nb)
-			if _, ok := visited[ni]; ok {
+			if !sc.visit(ni) {
 				continue
 			}
-			visited[ni] = struct{}{}
-			d := h.metric.Distance(q, h.nodes[ni].vec)
-			if results.len() < ef || d < results.peek().dist {
-				cands.push(candidate{idx: ni, dist: d})
-				results.push(candidate{idx: ni, dist: d})
-				if results.len() > ef {
-					results.pop()
+			visited++
+			d := h.distTo(q, qNorm, ni)
+			if sc.results.len() < ef || d < sc.results.peek().dist {
+				sc.cands.push(candidate{idx: ni, dist: d}, false)
+				sc.results.push(candidate{idx: ni, dist: d}, true)
+				if sc.results.len() > ef {
+					sc.results.pop(true)
 				}
 			}
 		}
 	}
-	out := make([]candidate, results.len())
+	out := make([]candidate, sc.results.len())
 	for i := len(out) - 1; i >= 0; i-- {
-		out[i] = results.pop()
+		out[i] = sc.results.pop(true)
 	}
-	return out, len(visited)
+	return out, visited
 }
 
 // shrinkLinks truncates a node's neighbour list at a level to the maxConn
-// closest neighbours.
-func (h *HNSW) shrinkLinks(idx, level, maxConn int) {
+// closest neighbours via bounded top-k selection — O(n log maxConn), no
+// allocation, no sort — writing the survivors back in ascending distance
+// order (ties broken by neighbour index).
+func (h *HNSW) shrinkLinks(sc *searchScratch, idx, level, maxConn int) {
 	links := h.nodes[idx].links[level]
-	type linkDist struct {
-		nb   int32
-		dist float64
+	if len(links) <= maxConn {
+		return
 	}
-	lds := make([]linkDist, len(links))
-	for i, nb := range links {
-		lds[i] = linkDist{nb, h.metric.Distance(h.nodes[idx].vec, h.nodes[nb].vec)}
+	q := h.vec(idx)
+	qNorm := h.metric.queryNorm(q)
+	sc.sel.reset(maxConn, nil)
+	for _, nb := range links {
+		sc.sel.offer(candidate{idx: int(nb), dist: h.distTo(q, qNorm, int(nb))})
 	}
-	sort.Slice(lds, func(i, j int) bool { return lds[i].dist < lds[j].dist })
-	if len(lds) > maxConn {
-		lds = lds[:maxConn]
+	kept := sc.sel.extractAscending()
+	links = links[:len(kept)]
+	for i, c := range kept {
+		links[i] = int32(c.idx)
 	}
-	out := make([]int32, len(lds))
-	for i, ld := range lds {
-		out[i] = ld.nb
-	}
-	h.nodes[idx].links[level] = out
+	h.nodes[idx].links[level] = links
 }
 
 // Search implements Index.
-func (h *HNSW) Search(q tensor.Vector, k int) ([]Result, error) {
+func (h *HNSW) Search(ctx context.Context, q tensor.Vector, k int) ([]Result, error) {
 	h.mu.RLock()
 	defer h.mu.RUnlock()
 	if len(h.nodes) == 0 {
@@ -400,18 +614,26 @@ func (h *HNSW) Search(q tensor.Vector, k int) ([]Result, error) {
 	if err := validateVector(q, h.dim); err != nil {
 		return nil, err
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	qNorm := h.metric.queryNorm(q)
 	cur := h.entry
-	curDist := h.metric.Distance(q, h.nodes[cur].vec)
+	curDist := h.distTo(q, qNorm, cur)
 	for l := h.maxLevel; l > 0; l-- {
-		cur, curDist = h.greedyStep(q, cur, curDist, l)
+		cur, curDist = h.greedyStep(q, qNorm, cur, curDist, l)
 	}
 	ef := h.cfg.EfSearch
 	if ef < k {
 		ef = k
 	}
-	found, visited := h.searchLayer(q, []candidate{{idx: cur, dist: curDist}}, ef, 0)
-	searchCounter("hnsw").Inc()
-	candidateCounter("hnsw").Add(uint64(visited))
+	sc := h.scratch.Get().(*searchScratch)
+	found, visited := h.searchLayer(sc, q, qNorm, []candidate{{idx: cur, dist: curDist}}, ef, 0)
+	h.scratch.Put(sc)
+	hnswSearches.Inc()
+	hnswCandidates.Add(uint64(visited))
 	if k > len(found) {
 		k = len(found)
 	}
@@ -425,23 +647,30 @@ func (h *HNSW) Search(q tensor.Vector, k int) ([]Result, error) {
 	return out, nil
 }
 
-// binary heap over candidates with a custom less function.
+// candHeap is a binary heap over candidates ordered by distance. The max
+// flag on each operation selects the comparison direction (false = min-heap,
+// true = max-heap) so one reusable backing slice serves both beam heaps
+// without a per-search comparator closure.
 type candHeap struct {
-	less func(a, b candidate) bool
-	xs   []candidate
+	xs []candidate
 }
-
-func newHeap(less func(a, b candidate) bool) *candHeap { return &candHeap{less: less} }
 
 func (h *candHeap) len() int        { return len(h.xs) }
 func (h *candHeap) peek() candidate { return h.xs[0] }
 
-func (h *candHeap) push(c candidate) {
+func (h *candHeap) before(a, b candidate, max bool) bool {
+	if max {
+		return a.dist > b.dist
+	}
+	return a.dist < b.dist
+}
+
+func (h *candHeap) push(c candidate, max bool) {
 	h.xs = append(h.xs, c)
 	i := len(h.xs) - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !h.less(h.xs[i], h.xs[parent]) {
+		if !h.before(h.xs[i], h.xs[parent], max) {
 			break
 		}
 		h.xs[i], h.xs[parent] = h.xs[parent], h.xs[i]
@@ -449,7 +678,7 @@ func (h *candHeap) push(c candidate) {
 	}
 }
 
-func (h *candHeap) pop() candidate {
+func (h *candHeap) pop(max bool) candidate {
 	top := h.xs[0]
 	last := len(h.xs) - 1
 	h.xs[0] = h.xs[last]
@@ -457,18 +686,18 @@ func (h *candHeap) pop() candidate {
 	i := 0
 	for {
 		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < len(h.xs) && h.less(h.xs[l], h.xs[smallest]) {
-			smallest = l
+		first := i
+		if l < len(h.xs) && h.before(h.xs[l], h.xs[first], max) {
+			first = l
 		}
-		if r < len(h.xs) && h.less(h.xs[r], h.xs[smallest]) {
-			smallest = r
+		if r < len(h.xs) && h.before(h.xs[r], h.xs[first], max) {
+			first = r
 		}
-		if smallest == i {
+		if first == i {
 			break
 		}
-		h.xs[i], h.xs[smallest] = h.xs[smallest], h.xs[i]
-		i = smallest
+		h.xs[i], h.xs[first] = h.xs[first], h.xs[i]
+		i = first
 	}
 	return top
 }

@@ -1,6 +1,7 @@
 package index
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -29,7 +30,7 @@ func TestFlatExactOrder(t *testing.T) {
 	f.Add("far", tensor.Vector{10, 0})
 	f.Add("near", tensor.Vector{1, 0})
 	f.Add("mid", tensor.Vector{5, 0})
-	res, err := f.Search(tensor.Vector{0, 0}, 3)
+	res, err := f.Search(context.Background(), tensor.Vector{0, 0}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,11 +45,11 @@ func TestFlatExactOrder(t *testing.T) {
 func TestFlatKClamping(t *testing.T) {
 	f := NewFlat(L2)
 	f.Add("a", tensor.Vector{1})
-	res, err := f.Search(tensor.Vector{0}, 10)
+	res, err := f.Search(context.Background(), tensor.Vector{0}, 10)
 	if err != nil || len(res) != 1 {
 		t.Fatalf("res = %v, %v", res, err)
 	}
-	res, err = f.Search(tensor.Vector{0}, -1)
+	res, err = f.Search(context.Background(), tensor.Vector{0}, -1)
 	if err != nil || len(res) != 0 {
 		t.Fatalf("negative k: %v, %v", res, err)
 	}
@@ -56,7 +57,7 @@ func TestFlatKClamping(t *testing.T) {
 
 func TestFlatEmptySearch(t *testing.T) {
 	f := NewFlat(L2)
-	res, err := f.Search(tensor.Vector{0}, 5)
+	res, err := f.Search(context.Background(), tensor.Vector{0}, 5)
 	if err != nil || res != nil {
 		t.Fatalf("empty index search = %v, %v", res, err)
 	}
@@ -87,7 +88,7 @@ func TestBadVectorsRejected(t *testing.T) {
 		if err := idx.Add("dim", tensor.Vector{1, 2, 3}); !errors.Is(err, ErrBadVector) {
 			t.Fatalf("dim mismatch: %v", err)
 		}
-		if _, err := idx.Search(tensor.Vector{1}, 1); !errors.Is(err, ErrBadVector) {
+		if _, err := idx.Search(context.Background(), tensor.Vector{1}, 1); !errors.Is(err, ErrBadVector) {
 			t.Fatalf("query dim mismatch: %v", err)
 		}
 	}
@@ -97,7 +98,7 @@ func TestCosineMetric(t *testing.T) {
 	f := NewFlat(Cosine)
 	f.Add("same-dir", tensor.Vector{2, 0})
 	f.Add("orthogonal", tensor.Vector{0, 1})
-	res, err := f.Search(tensor.Vector{1, 0}, 2)
+	res, err := f.Search(context.Background(), tensor.Vector{1, 0}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestCosineMetric(t *testing.T) {
 func TestHNSWSingleElement(t *testing.T) {
 	h := NewHNSW(L2, HNSWConfig{})
 	h.Add("only", tensor.Vector{1, 2, 3})
-	res, err := h.Search(tensor.Vector{0, 0, 0}, 5)
+	res, err := h.Search(context.Background(), tensor.Vector{0, 0, 0}, 5)
 	if err != nil || len(res) != 1 || res[0].ID != "only" {
 		t.Fatalf("res = %v, %v", res, err)
 	}
@@ -135,11 +136,11 @@ func TestHNSWRecallVsFlat(t *testing.T) {
 	qs := randomVectors(queries, dim, 99)
 	hits, total := 0, 0
 	for _, q := range qs {
-		exact, err := flat.Search(q, k)
+		exact, err := flat.Search(context.Background(), q, k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		approx, err := hnsw.Search(q, k)
+		approx, err := hnsw.Search(context.Background(), q, k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +169,7 @@ func TestHNSWResultsSorted(t *testing.T) {
 		}
 	}
 	q := randomVectors(1, 8, 5)[0]
-	res, err := h.Search(q, 20)
+	res, err := h.Search(context.Background(), q, 20)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestHNSWDeterministicGivenSeed(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		res, err := h.Search(randomVectors(1, 8, 8)[0], 10)
+		res, err := h.Search(context.Background(), randomVectors(1, 8, 8)[0], 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func TestHNSWConcurrentAddSearch(t *testing.T) {
 					return
 				}
 				if i%10 == 0 {
-					if _, err := h.Search(vecs[i], 3); err != nil {
+					if _, err := h.Search(context.Background(), vecs[i], 3); err != nil {
 						t.Error(err)
 						return
 					}
@@ -243,7 +244,7 @@ func TestHNSWExactNeighborFound(t *testing.T) {
 	}
 	misses := 0
 	for i := 0; i < 100; i++ {
-		res, err := h.Search(vecs[i], 1)
+		res, err := h.Search(context.Background(), vecs[i], 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -264,7 +265,7 @@ func BenchmarkFlatSearch10k(b *testing.B) {
 	q := randomVectors(1, 32, 2)[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f.Search(q, 10); err != nil {
+		if _, err := f.Search(context.Background(), q, 10); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -278,7 +279,7 @@ func BenchmarkHNSWSearch10k(b *testing.B) {
 	q := randomVectors(1, 32, 2)[0]
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := h.Search(q, 10); err != nil {
+		if _, err := h.Search(context.Background(), q, 10); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"modellake/internal/tensor"
 )
 
 // Binary persistence for HNSW graphs, so large indexes do not have to be
@@ -33,10 +35,10 @@ func (h *HNSW) Save(w io.Writer) error {
 	writeU32(uint32(int32(h.entry)))
 	writeU32(uint32(h.maxLevel))
 	writeU32(uint32(len(h.nodes)))
-	for _, n := range h.nodes {
+	for i, n := range h.nodes {
 		writeU32(uint32(len(n.id)))
 		bw.WriteString(n.id)
-		for _, v := range n.vec {
+		for _, v := range h.vecData[i*h.dim : (i+1)*h.dim] {
 			writeU64(math.Float64bits(v))
 		}
 		writeU32(uint32(len(n.links)))
@@ -124,6 +126,8 @@ func LoadHNSW(r io.Reader) (*HNSW, error) {
 	h.entry = int(int32(entry))
 	h.maxLevel = int(maxLevel)
 	h.nodes = make([]hnswNode, count)
+	h.vecData = make([]float64, int(count)*int(dim))
+	h.norms = make([]float64, count)
 	for i := range h.nodes {
 		idLen, err := readU32()
 		if err != nil {
@@ -140,7 +144,7 @@ func LoadHNSW(r io.Reader) (*HNSW, error) {
 		if _, dup := h.byID[id]; dup {
 			return nil, fmt.Errorf("index: duplicate id %q in stream", id)
 		}
-		vec := make([]float64, dim)
+		vec := h.vecData[i*int(dim) : (i+1)*int(dim)]
 		for j := range vec {
 			bits, err := readU64()
 			if err != nil {
@@ -148,6 +152,7 @@ func LoadHNSW(r io.Reader) (*HNSW, error) {
 			}
 			vec[j] = math.Float64frombits(bits)
 		}
+		h.norms[i] = tensor.Vector(vec).Norm()
 		nLevels, err := readU32()
 		if err != nil {
 			return nil, err
@@ -176,7 +181,7 @@ func LoadHNSW(r io.Reader) (*HNSW, error) {
 				links[l][k] = int32(nb)
 			}
 		}
-		h.nodes[i] = hnswNode{id: id, vec: vec, links: links}
+		h.nodes[i] = hnswNode{id: id, links: links}
 		h.byID[id] = i
 	}
 	if count > 0 && (h.entry < 0 || h.entry >= int(count)) {

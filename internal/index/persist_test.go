@@ -2,6 +2,7 @@ package index
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 )
@@ -32,11 +33,11 @@ func TestHNSWSaveLoadRoundTrip(t *testing.T) {
 	}
 	// Identical graphs yield identical search results.
 	for _, q := range randomVectors(20, 16, 23) {
-		want, err := h.Search(q, 10)
+		want, err := h.Search(context.Background(), q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := loaded.Search(q, 10)
+		got, err := loaded.Search(context.Background(), q, 10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func TestLoadedHNSWAcceptsInserts(t *testing.T) {
 		t.Fatalf("Len = %d, want 250", loaded.Len())
 	}
 	// New vectors are findable.
-	res, err := loaded.Search(extra[0], 1)
+	res, err := loaded.Search(context.Background(), extra[0], 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestSaveLoadEmptyHNSW(t *testing.T) {
 	if loaded.Len() != 0 {
 		t.Fatalf("Len = %d", loaded.Len())
 	}
-	res, err := loaded.Search(randomVectors(1, 4, 1)[0], 3)
+	res, err := loaded.Search(context.Background(), randomVectors(1, 4, 1)[0], 3)
 	if err != nil || res != nil {
 		t.Fatalf("empty search: %v %v", res, err)
 	}

@@ -13,8 +13,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"modellake/internal/fault"
@@ -79,6 +81,14 @@ type Config struct {
 	// in memory always, and on disk under Dir/embedcache for durable
 	// lakes — so reindexing and repeated experiments skip recomputation.
 	DisableEmbedCache bool
+	// DisableQueryCache turns off the invalidate-on-write LRU over
+	// content-search results (keyed by space + query-vector hash + k).
+	// By default repeated related-model queries against an unchanged lake
+	// are served from the cache without touching the ANN index.
+	DisableQueryCache bool
+	// QueryCacheSize caps the query-result cache entry count. Zero or
+	// negative means the default (1024).
+	QueryCacheSize int
 	// FS routes all storage IO (metadata log and blob store) through a
 	// fault-injectable filesystem — the test hook behind the lake's
 	// crash-consistency suite. Nil uses the real filesystem.
@@ -112,6 +122,7 @@ type Lake struct {
 	weightCS   *search.ContentSearcher
 	taskSearch *search.TaskSearcher
 	embedCache *embedding.VectorCache // nil when disabled
+	qcache     *queryCache            // nil when disabled
 
 	mu         sync.RWMutex
 	closed     bool
@@ -168,6 +179,9 @@ func Open(cfg Config) (*Lake, error) {
 		ns := fmt.Sprintf("in%d_mc%d_p%d_s%d", cfg.InputDim, cfg.MaxClasses, cfg.Probes, cfg.Seed)
 		l.embedCache = embedding.NewVectorCache(cacheDir, ns, cfg.FS)
 	}
+	if !cfg.DisableQueryCache {
+		l.qcache = newQueryCache(cfg.QueryCacheSize)
+	}
 	l.behaviorCS = search.NewContentSearcher(
 		embedding.NewCached(
 			embedding.NewBehaviorEmbedder(cfg.InputDim, cfg.Probes, cfg.MaxClasses, cfg.Seed),
@@ -194,6 +208,14 @@ func Open(cfg Config) (*Lake, error) {
 	})
 	obs.Default().CounterFunc("lake_embed_cache_misses_total", func() float64 {
 		_, m := l.EmbedCacheStats()
+		return float64(m)
+	})
+	obs.Default().CounterFunc("lake_query_cache_hits_total", func() float64 {
+		h, _ := l.QueryCacheStats()
+		return float64(h)
+	})
+	obs.Default().CounterFunc("lake_query_cache_misses_total", func() float64 {
+		_, m := l.QueryCacheStats()
 		return float64(m)
 	})
 	return l, nil
@@ -309,6 +331,7 @@ func (l *Lake) Ingest(m *model.Model, c *card.Card, opts registry.RegisterOption
 		l.keyword.Add(rec.ID, cc.Text())
 	}
 	l.indexModel(m)
+	l.qcache.invalidate() // new vectors can change any content-search answer
 
 	if err := l.journalProvenance(rec, m); err != nil {
 		return nil, err
@@ -407,6 +430,7 @@ func (l *Lake) IngestAll(items []IngestItem, parallelism int) ([]*registry.Recor
 		}
 	}
 	_ = l.weightCS.AddAll(handles, parallelism)
+	l.qcache.invalidate()
 	return recs, errs
 }
 
@@ -439,6 +463,7 @@ func (l *Lake) Reindex(parallelism int) (int, error) {
 	}
 	_ = l.weightCS.Reindex(handles, l.newIndex(), parallelism)
 	l.taskSearch.Reset(taskRoster)
+	l.qcache.invalidate()
 	return len(handles), nil
 }
 
@@ -577,8 +602,66 @@ func (l *Lake) Score(modelID, benchID string) (float64, error) {
 
 // SearchKeyword is metadata search over cards (the status-quo baseline).
 func (l *Lake) SearchKeyword(query string, k int) []search.Hit {
+	hits, _ := l.SearchKeywordContext(context.Background(), query, k)
+	return hits
+}
+
+// SearchKeywordContext is SearchKeyword honoring a request context, so a
+// timed-out request is refused instead of burning index time on an answer
+// nobody is waiting for.
+func (l *Lake) SearchKeywordContext(ctx context.Context, query string, k int) ([]search.Hit, error) {
 	defer mSearchDurs("keyword").Since(time.Now())
-	return l.keyword.Search(query, k)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.keyword.Search(query, k), nil
+}
+
+// contentSearcher maps an embedding-space name to its searcher.
+func (l *Lake) contentSearcher(space string) (*search.ContentSearcher, error) {
+	switch space {
+	case "", "behavior":
+		return l.behaviorCS, nil
+	case "weights":
+		return l.weightCS, nil
+	}
+	return nil, fmt.Errorf("lake: unknown embedding space %q", space)
+}
+
+// searchContent is the shared model-as-query read path: embed the query
+// (embedding cache), consult the query-result cache for the raw top-(k+1)
+// hits, fall through to the ANN index on a miss, then drop the query model's
+// own entry. Cached and uncached answers are identical by construction — the
+// cache stores the raw index response, and the same ExcludeSelf
+// post-processing runs either way.
+func (l *Lake) searchContent(ctx context.Context, space string, h *model.Handle, k int) ([]search.Hit, error) {
+	defer mSearchDurs("model").Since(time.Now())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cs, err := l.contentSearcher(space)
+	if err != nil {
+		return nil, err
+	}
+	v, err := cs.EmbedQuery(h)
+	if err != nil {
+		return nil, err
+	}
+	// The cache key includes the searcher's space name; normalize "" so the
+	// default space shares entries with its explicit spelling.
+	cacheSpace := space
+	if cacheSpace == "" {
+		cacheSpace = "behavior"
+	}
+	raw, ok := l.qcache.get(cacheSpace, v, k+1)
+	if !ok {
+		raw, err = cs.SearchByVectorContext(ctx, v, k+1)
+		if err != nil {
+			return nil, err
+		}
+		l.qcache.put(cacheSpace, v, k+1, raw)
+	}
+	return search.ExcludeSelf(raw, h.ID(), k), nil
 }
 
 // SearchByModel is model-as-query related-model search in the given space
@@ -589,7 +672,6 @@ func (l *Lake) SearchByModel(id, space string, k int) ([]search.Hit, error) {
 
 // SearchByModelContext is SearchByModel honoring a request context.
 func (l *Lake) SearchByModelContext(ctx context.Context, id, space string, k int) ([]search.Hit, error) {
-	defer mSearchDurs("model").Since(time.Now())
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -597,26 +679,61 @@ func (l *Lake) SearchByModelContext(ctx context.Context, id, space string, k int
 	if err != nil {
 		return nil, err
 	}
-	switch space {
-	case "", "behavior":
-		return l.behaviorCS.SearchByModel(h, k)
-	case "weights":
-		return l.weightCS.SearchByModel(h, k)
-	}
-	return nil, fmt.Errorf("lake: unknown embedding space %q", space)
+	return l.searchContent(ctx, space, h, k)
 }
 
 // SearchByHandle is model-as-query search with an external query model (one
 // that is not necessarily in the lake), e.g. "find models like this one I
 // built locally".
 func (l *Lake) SearchByHandle(h *model.Handle, space string, k int) ([]search.Hit, error) {
-	switch space {
-	case "", "behavior":
-		return l.behaviorCS.SearchByModel(h, k)
-	case "weights":
-		return l.weightCS.SearchByModel(h, k)
+	return l.SearchByHandleContext(context.Background(), h, space, k)
+}
+
+// SearchByHandleContext is SearchByHandle honoring a request context.
+func (l *Lake) SearchByHandleContext(ctx context.Context, h *model.Handle, space string, k int) ([]search.Hit, error) {
+	return l.searchContent(ctx, space, h, k)
+}
+
+// SearchByModelMany answers a batch of model-as-query searches in one call,
+// fanning the per-query work (embed, cache lookup, index scan) across a
+// bounded worker pool. Hits and errors are aligned with ids; one model's
+// failure does not abort the batch. parallelism <= 0 means GOMAXPROCS.
+// Every answer is identical to a serial SearchByModelContext call.
+func (l *Lake) SearchByModelMany(ctx context.Context, ids []string, space string, k, parallelism int) ([][]search.Hit, []error) {
+	hits := make([][]search.Hit, len(ids))
+	errs := make([]error, len(ids))
+	if len(ids) == 0 {
+		return hits, errs
 	}
-	return nil, fmt.Errorf("lake: unknown embedding space %q", space)
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(ids) {
+		parallelism = len(ids)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ids) {
+					return
+				}
+				hits[i], errs[i] = l.SearchByModelContext(ctx, ids[i], space, k)
+			}
+		}()
+	}
+	wg.Wait()
+	return hits, errs
+}
+
+// QueryCacheStats reports query-result-cache hits and misses since the lake
+// was opened (zeros when the cache is disabled).
+func (l *Lake) QueryCacheStats() (hits, misses uint64) {
+	return l.qcache.stats()
 }
 
 // SearchTask ranks models by behavioural fit to labeled task examples.

@@ -1,8 +1,10 @@
 package search
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"modellake/internal/data"
 	"modellake/internal/embedding"
@@ -83,35 +85,65 @@ func (s *ContentSearcher) index() index.Index {
 // Len returns the number of indexed models.
 func (s *ContentSearcher) Len() int { return s.index().Len() }
 
-// SearchByModel performs model-as-query related-model search: rank indexed
-// models by embedding proximity to the query model. The query model itself
-// (matched by ID) is excluded from the results.
-func (s *ContentSearcher) SearchByModel(q *model.Handle, k int) ([]Hit, error) {
+// EmbedQuery embeds a query model into this searcher's space without
+// touching the index — the first half of SearchByModel, exposed so callers
+// (the lake's query-result cache) can key on the vector before deciding
+// whether the index scan is needed.
+func (s *ContentSearcher) EmbedQuery(q *model.Handle) (tensor.Vector, error) {
 	v, err := s.embedder.Embed(q)
 	if err != nil {
 		return nil, fmt.Errorf("search: embed query %s: %w", q.ID(), err)
 	}
-	res, err := s.index().Search(v, k+1)
+	return v, nil
+}
+
+// SearchByModel performs model-as-query related-model search: rank indexed
+// models by embedding proximity to the query model. The query model itself
+// (matched by ID) is excluded from the results.
+func (s *ContentSearcher) SearchByModel(q *model.Handle, k int) ([]Hit, error) {
+	return s.SearchByModelContext(context.Background(), q, k)
+}
+
+// SearchByModelContext is SearchByModel honoring a request context: a long
+// flat scan is abandoned mid-stream when ctx is canceled.
+func (s *ContentSearcher) SearchByModelContext(ctx context.Context, q *model.Handle, k int) ([]Hit, error) {
+	v, err := s.EmbedQuery(q)
 	if err != nil {
 		return nil, err
 	}
+	raw, err := s.SearchByVectorContext(ctx, v, k+1)
+	if err != nil {
+		return nil, err
+	}
+	return ExcludeSelf(raw, q.ID(), k), nil
+}
+
+// ExcludeSelf drops the query model's own entry from raw hits and truncates
+// to k — the post-processing step between a raw vector search (what the
+// result cache stores) and a model-as-query answer.
+func ExcludeSelf(raw []Hit, selfID string, k int) []Hit {
 	hits := make([]Hit, 0, k)
-	for _, r := range res {
-		if r.ID == q.ID() {
+	for _, r := range raw {
+		if r.ID == selfID {
 			continue
 		}
-		hits = append(hits, Hit{ID: r.ID, Score: -r.Distance})
+		hits = append(hits, r)
 		if len(hits) == k {
 			break
 		}
 	}
-	return hits, nil
+	return hits
 }
 
 // SearchByVector ranks indexed models by proximity to a raw embedding
 // vector.
 func (s *ContentSearcher) SearchByVector(v tensor.Vector, k int) ([]Hit, error) {
-	res, err := s.index().Search(v, k)
+	return s.SearchByVectorContext(context.Background(), v, k)
+}
+
+// SearchByVectorContext is SearchByVector honoring a request context.
+func (s *ContentSearcher) SearchByVectorContext(ctx context.Context, v tensor.Vector, k int) ([]Hit, error) {
+	res, err := s.index().Search(ctx, v, k)
 	if err != nil {
 		return nil, err
 	}
@@ -120,6 +152,41 @@ func (s *ContentSearcher) SearchByVector(v tensor.Vector, k int) ([]Hit, error) 
 		hits[i] = Hit{ID: r.ID, Score: -r.Distance}
 	}
 	return hits, nil
+}
+
+// SearchMany answers a batch of vector queries, fanning them across a
+// bounded worker pool — the read-path counterpart of AddAll. Results and
+// errors are aligned with queries; a failed query carries its error without
+// aborting the batch, except that a canceled context fails every query still
+// pending. parallelism <= 0 means GOMAXPROCS. Each individual answer is
+// identical to a serial SearchByVectorContext call with the same arguments.
+func (s *ContentSearcher) SearchMany(ctx context.Context, queries []tensor.Vector, k, parallelism int) ([][]Hit, []error) {
+	hits := make([][]Hit, len(queries))
+	errs := make([]error, len(queries))
+	if len(queries) == 0 {
+		return hits, errs
+	}
+	parallelism = normalizeParallelism(parallelism)
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(queries) {
+					return
+				}
+				hits[i], errs[i] = s.SearchByVectorContext(ctx, queries[i], k)
+			}
+		}()
+	}
+	wg.Wait()
+	return hits, errs
 }
 
 // TaskExample is one labeled example of the task function Q: X → Y from the

@@ -1,6 +1,7 @@
 package search
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -371,5 +372,61 @@ func TestShardedKeywordIndexConcurrent(t *testing.T) {
 	wg.Wait()
 	if ki.Len() == 0 {
 		t.Fatal("concurrent adds lost everything")
+	}
+}
+
+// TestSearchManyMatchesSerial pins the batched read path: SearchMany over a
+// worker pool must answer every query bitwise-identically to serial
+// SearchByVectorContext calls, at any parallelism.
+func TestSearchManyMatchesSerial(t *testing.T) {
+	pop := buildPopulation(t, 53)
+	cs := NewContentSearcher(testEmbedders(pop.Spec.Dim)["behavior"], index.NewFlat(index.Cosine))
+	for _, m := range pop.Members {
+		if err := cs.Add(model.NewHandle(m.Model)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var queries []tensor.Vector
+	for _, m := range pop.Members[:8] {
+		v, err := cs.EmbedQuery(model.NewHandle(m.Model))
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries = append(queries, v)
+	}
+	ctx := context.Background()
+	const k = 5
+	want := make([][]Hit, len(queries))
+	for i, q := range queries {
+		hits, err := cs.SearchByVectorContext(ctx, q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = hits
+	}
+	for _, par := range []int{1, 2, 4, 16} {
+		got, errs := cs.SearchMany(ctx, queries, k, par)
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("par=%d query %d: %v", par, i, err)
+			}
+			if len(got[i]) != len(want[i]) {
+				t.Fatalf("par=%d query %d: len %d != %d", par, i, len(got[i]), len(want[i]))
+			}
+			for j := range got[i] {
+				if got[i][j].ID != want[i][j].ID || got[i][j].Score != want[i][j].Score {
+					t.Fatalf("par=%d query %d hit %d: got %+v want %+v", par, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+	// A canceled context fails every query with a context error.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	_, errs := cs.SearchMany(canceled, queries, k, 4)
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("canceled query %d: err = %v", i, err)
+		}
 	}
 }

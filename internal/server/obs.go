@@ -54,7 +54,7 @@ func routeLabel(r *http.Request) string {
 	switch p {
 	case "/healthz", "/readyz", "/metrics",
 		"/v1/models", "/v1/models/batch",
-		"/v1/search", "/v1/related", "/v1/query", "/v1/graph":
+		"/v1/search", "/v1/related", "/v1/related/batch", "/v1/query", "/v1/graph":
 		return p
 	}
 	if strings.HasPrefix(p, "/debug/pprof") {

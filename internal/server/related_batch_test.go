@@ -1,0 +1,94 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// TestRelatedBatch checks the fan-out endpoint answers every query in one
+// round trip, agrees with the single-query endpoint, and reports per-ID
+// failures as 207 without failing the healthy queries.
+func TestRelatedBatch(t *testing.T) {
+	ts, _, _, ids := testServer(t)
+
+	body, _ := json.Marshal(BatchRelatedRequest{
+		IDs: []string{ids[0], ids[1], ids[2]}, K: 3, Parallelism: 2,
+	})
+	resp, err := http.Post(ts.URL+"/v1/related/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out struct {
+		Results []BatchRelatedResult `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(out.Results))
+	}
+	for i, res := range out.Results {
+		if res.Error != "" {
+			t.Fatalf("result %d failed: %s", i, res.Error)
+		}
+		if len(res.Hits) == 0 {
+			t.Fatalf("result %d has no hits", i)
+		}
+	}
+
+	// The batch answer must match the single-query endpoint.
+	var single []struct {
+		ID    string  `json:"id"`
+		Score float64 `json:"score"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/related?id="+ids[0]+"&k=3", &single); code != 200 {
+		t.Fatalf("single related = %d", code)
+	}
+	if len(single) != len(out.Results[0].Hits) {
+		t.Fatalf("batch %d hits vs single %d", len(out.Results[0].Hits), len(single))
+	}
+	for i := range single {
+		if single[i].ID != out.Results[0].Hits[i].ID || single[i].Score != out.Results[0].Hits[i].Score {
+			t.Fatalf("hit %d: batch %+v vs single %+v", i, out.Results[0].Hits[i], single[i])
+		}
+	}
+
+	// Partial failure: unknown ID yields 207 with that ID's error set.
+	body, _ = json.Marshal(BatchRelatedRequest{IDs: []string{ids[0], "no-such-model"}, K: 3})
+	resp2, err := http.Post(ts.URL+"/v1/related/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMultiStatus {
+		t.Fatalf("partial-failure status = %d, want 207", resp2.StatusCode)
+	}
+	out.Results = nil
+	if err := json.NewDecoder(resp2.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Results[0].Error != "" || len(out.Results[0].Hits) == 0 {
+		t.Fatalf("healthy query dropped in partial failure: %+v", out.Results[0])
+	}
+	if out.Results[1].Error == "" {
+		t.Fatalf("unknown ID did not error: %+v", out.Results[1])
+	}
+
+	// Validation: empty IDs and negative k are 400s.
+	for _, bad := range []string{`{}`, `{"ids":["x"],"k":-1}`} {
+		resp3, err := http.Post(ts.URL+"/v1/related/batch", "application/json", bytes.NewReader([]byte(bad)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp3.Body.Close()
+		if resp3.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %s: status = %d, want 400", bad, resp3.StatusCode)
+		}
+	}
+}

@@ -18,6 +18,7 @@
 //	GET  /v1/models/{id}/provenance       why-provenance
 //	GET  /v1/search?q=&k=                 keyword search
 //	GET  /v1/related?id=&space=&k=        model-as-query search
+//	POST /v1/related/batch                batched model-as-query search
 //	GET  /v1/query?q=                     MLQL
 //	GET  /v1/graph                        recovered version graph
 package server
@@ -44,6 +45,7 @@ import (
 	"modellake/internal/nn"
 	"modellake/internal/obs"
 	"modellake/internal/registry"
+	"modellake/internal/search"
 )
 
 // Config tunes the serving-hardening layer wrapped around the lake
@@ -153,6 +155,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/models/{id}/provenance", s.handleProvenance)
 	mux.HandleFunc("GET /v1/search", s.handleSearch)
 	mux.HandleFunc("GET /v1/related", s.handleRelated)
+	mux.HandleFunc("POST /v1/related/batch", s.handleRelatedBatch)
 	mux.HandleFunc("GET /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/graph", s.handleGraph)
 	var h http.Handler = mux
@@ -352,8 +355,75 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "%v", err)
 		return
 	}
-	hits := s.lk.SearchKeyword(q, k)
+	hits, err := s.lk.SearchKeywordContext(r.Context(), q, k)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
 	s.writeJSON(w, http.StatusOK, hits)
+}
+
+// BatchRelatedRequest is the POST /v1/related/batch body: many
+// model-as-query searches answered by the lake's fan-out read path (and its
+// query-result cache) in one round trip.
+type BatchRelatedRequest struct {
+	IDs   []string `json:"ids"`
+	Space string   `json:"space,omitempty"`
+	K     int      `json:"k,omitempty"`
+	// Parallelism bounds the search worker pool for this batch; zero uses
+	// GOMAXPROCS.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
+// BatchRelatedResult reports one query's outcome; exactly one of Hits and
+// Error is set.
+type BatchRelatedResult struct {
+	ID    string       `json:"id"`
+	Hits  []search.Hit `json:"hits,omitempty"`
+	Error string       `json:"error,omitempty"`
+}
+
+func (s *Server) handleRelatedBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRelatedRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)).Decode(&req); err != nil {
+		s.badRequest(w, "decode body: %v", err)
+		return
+	}
+	if len(req.IDs) == 0 {
+		s.badRequest(w, "ids is required")
+		return
+	}
+	k := req.K
+	if k == 0 {
+		k = 10
+	}
+	if k < 0 {
+		s.badRequest(w, "k must be a positive integer, got %d", k)
+		return
+	}
+	hits, errs := s.lk.SearchByModelMany(r.Context(), req.IDs, req.Space, k, req.Parallelism)
+	results := make([]BatchRelatedResult, len(req.IDs))
+	failed := 0
+	for i, id := range req.IDs {
+		results[i].ID = id
+		if errs[i] != nil {
+			// A context error is the whole request's timeout, not one
+			// query's failure — surface it with the right status.
+			if errors.Is(errs[i], context.DeadlineExceeded) || errors.Is(errs[i], context.Canceled) {
+				s.writeErr(w, errs[i])
+				return
+			}
+			results[i].Error = errs[i].Error()
+			failed++
+			continue
+		}
+		results[i].Hits = hits[i]
+	}
+	status := http.StatusOK
+	if failed > 0 {
+		status = http.StatusMultiStatus
+	}
+	s.writeJSON(w, status, map[string]any{"results": results})
 }
 
 func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {

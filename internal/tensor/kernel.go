@@ -1,0 +1,59 @@
+package tensor
+
+// The distance kernels behind the read path of the §5 indexer. Every vector
+// search — flat scan or HNSW beam — reduces to dot products and squared
+// differences over contiguous float64 slices, so these two loops dominate
+// query latency at lake scale. Both are 4-way unrolled with independent
+// accumulators (breaking the loop-carried dependence lets the CPU keep four
+// FMAs in flight) and allocate nothing.
+//
+// The reduction order is fixed — ((s0+s1)+(s2+s3)) then the scalar tail — so
+// results are deterministic across calls and across every caller that routes
+// through them. Exact-equivalence tests in internal/index depend on that:
+// a distance computed against flattened storage must be bitwise identical to
+// one computed through Vector.Dot on a cloned slice.
+
+// DotKernel returns the inner product of a and b, which must have equal
+// length (callers validate; the slice bound below panics otherwise).
+func DotKernel(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n] // one bounds check, then the loop body elides the rest
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SquaredL2Kernel returns the squared Euclidean distance between a and b,
+// which must have equal length.
+func SquaredL2Kernel(a, b []float64) float64 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

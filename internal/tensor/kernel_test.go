@@ -1,0 +1,105 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"modellake/internal/xrand"
+)
+
+// naiveDot is the scalar loop the unrolled kernel replaced; the kernel must
+// agree with it to within accumulation reordering.
+func naiveDot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func naiveSqL2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+func randSlice(n int, seed uint64) []float64 {
+	rng := xrand.New(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func TestKernelsMatchNaiveAtEveryLength(t *testing.T) {
+	// Lengths 0..19 cover every unroll remainder; long lengths exercise the
+	// unrolled body.
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 19, 64, 100, 257} {
+		a := randSlice(n, uint64(n)+1)
+		b := randSlice(n, uint64(n)+1000)
+		if got, want := DotKernel(a, b), naiveDot(a, b); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("DotKernel n=%d: got %v want %v", n, got, want)
+		}
+		if got, want := SquaredL2Kernel(a, b), naiveSqL2(a, b); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("SquaredL2Kernel n=%d: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	a, b := randSlice(37, 7), randSlice(37, 8)
+	d1, d2 := DotKernel(a, b), DotKernel(a, b)
+	if d1 != d2 {
+		t.Fatalf("DotKernel not deterministic: %v vs %v", d1, d2)
+	}
+	l1, l2 := SquaredL2Kernel(a, b), SquaredL2Kernel(a, b)
+	if l1 != l2 {
+		t.Fatalf("SquaredL2Kernel not deterministic: %v vs %v", l1, l2)
+	}
+}
+
+func TestDotRoutedThroughKernel(t *testing.T) {
+	a, b := Vector(randSlice(21, 3)), Vector(randSlice(21, 4))
+	if got, want := a.Dot(b), DotKernel(a, b); got != want {
+		t.Fatalf("Vector.Dot = %v, kernel = %v", got, want)
+	}
+	if got, want := L2Distance(a, b), math.Sqrt(SquaredL2Kernel(a, b)); got != want {
+		t.Fatalf("L2Distance = %v, kernel sqrt = %v", got, want)
+	}
+}
+
+func TestKernelsZeroAlloc(t *testing.T) {
+	a, b := Vector(randSlice(33, 5)), Vector(randSlice(33, 6))
+	var sink float64
+	if n := testing.AllocsPerRun(100, func() { sink += a.Dot(b) }); n != 0 {
+		t.Fatalf("Dot allocates %v per run", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { sink += L2Distance(a, b) }); n != 0 {
+		t.Fatalf("L2Distance allocates %v per run", n)
+	}
+	_ = sink
+}
+
+func BenchmarkDotKernel32(b *testing.B) {
+	x, y := Vector(randSlice(32, 1)), Vector(randSlice(32, 2))
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += DotKernel(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkSquaredL2Kernel32(b *testing.B) {
+	x, y := Vector(randSlice(32, 1)), Vector(randSlice(32, 2))
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += SquaredL2Kernel(x, y)
+	}
+	_ = sink
+}

@@ -31,11 +31,7 @@ func (v Vector) Dot(w Vector) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(v), len(w)))
 	}
-	s := 0.0
-	for i, x := range v {
-		s += x * w[i]
-	}
-	return s
+	return DotKernel(v, w)
 }
 
 // Norm returns the Euclidean norm of v.
@@ -106,12 +102,7 @@ func L2Distance(v, w Vector) float64 {
 	if len(v) != len(w) {
 		panic(fmt.Sprintf("tensor: L2Distance length mismatch %d vs %d", len(v), len(w)))
 	}
-	s := 0.0
-	for i := range v {
-		d := v[i] - w[i]
-		s += d * d
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(SquaredL2Kernel(v, w))
 }
 
 // Matrix is a dense row-major matrix.

@@ -5,7 +5,8 @@
 // given by -ingest-json so CI can archive throughput over time;
 // -parallelism sets the worker count it benchmarks (0 = GOMAXPROCS).
 // Likewise E13 (the read-path query benchmark) writes its summary to
-// -query-json.
+// -query-json, and E14 (the write-path benchmark: group commit, atomic
+// batches, vec-record rehydrate) writes its summary to -write-json.
 // -metrics-json dumps the process-wide metrics registry after the run, so a
 // benchmark archive carries the low-level counters (fsync latencies, cache
 // hits, ANN probe counts) alongside the headline numbers.
@@ -29,6 +30,7 @@ func main() {
 	parallelism := flag.Int("parallelism", 0, "ingest workers for E12 (0 = GOMAXPROCS)")
 	ingestJSON := flag.String("ingest-json", "BENCH_ingest.json", "where E12 writes its JSON summary ('' = skip)")
 	queryJSON := flag.String("query-json", "BENCH_query.json", "where E13 writes its JSON summary ('' = skip)")
+	writeJSON := flag.String("write-json", "BENCH_write.json", "where E14 writes its JSON summary ('' = skip)")
 	metricsJSON := flag.String("metrics-json", "", "where to write a post-run metrics snapshot ('' = skip)")
 	flag.Parse()
 
@@ -65,6 +67,17 @@ func main() {
 			if err == nil && res != nil && *queryJSON != "" {
 				if werr := writeBenchJSON(*queryJSON, res); werr != nil {
 					fmt.Fprintf(os.Stderr, "E13: writing %s: %v\n", *queryJSON, werr)
+					failed++
+				}
+			}
+		} else if ex.ID == "E14" {
+			// E14 (the write-path benchmark) captures its JSON summary for
+			// the benchmark archive (-write-json).
+			var res *experiments.WriteBenchResult
+			t, res, err = experiments.RunE14Write(*seed, 0, 0)
+			if err == nil && res != nil && *writeJSON != "" {
+				if werr := writeBenchJSON(*writeJSON, res); werr != nil {
+					fmt.Fprintf(os.Stderr, "E14: writing %s: %v\n", *writeJSON, werr)
 					failed++
 				}
 			}

@@ -93,6 +93,7 @@ func All() []Experiment {
 		{"E11", "lifelong benchmarking", RunE11},
 		{"E12", "parallel ingest pipeline", RunE12},
 		{"E13", "read-path query engine", RunE13},
+		{"E14", "write path: group commit and fast rehydrate", RunE14},
 		{"F1", "viewpoint ablation (Figure 1)", RunF1},
 	}
 }

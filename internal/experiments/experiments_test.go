@@ -296,7 +296,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		}
 		ids[ex.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "F1"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "F1"} {
 		if !ids[want] {
 			t.Fatalf("experiment %s missing", want)
 		}
@@ -382,5 +382,60 @@ func TestE13Shape(t *testing.T) {
 	}
 	if res.CacheHits == 0 {
 		t.Fatalf("warm lake reported no query-cache hits: %+v", res)
+	}
+}
+
+// TestE14Shape pins the write-path benchmark's structural properties at test
+// time (small sizes; the headline ratios are asserted by CI on the full-size
+// run): every arm commits and recovers, fsync accounting is sane — the batch
+// discipline must pay strictly fewer fsyncs than the per-op discipline for
+// the same durable state — and the reopen arms agree on the model count.
+func TestE14Shape(t *testing.T) {
+	tab, res, err := RunE14Write(testSeed(), 30, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	if res.IngestModels != 30 || res.OpenModels != 120 {
+		t.Fatalf("sizes not honored: %+v", res)
+	}
+	if res.MetaKeys <= res.IngestModels {
+		t.Fatalf("implausible metadata key count %d for %d models", res.MetaKeys, res.IngestModels)
+	}
+	for name, ns := range map[string]int64{
+		"legacy": res.LegacyPerOpNs, "group": res.GroupCommitNs,
+		"apply": res.BatchApplyNs, "serial ingest": res.SerialIngestNs,
+		"batch ingest": res.BatchIngestNs, "eager open": res.EagerOpenNs,
+		"fast open": res.FastOpenNs,
+	} {
+		if ns <= 0 {
+			t.Fatalf("arm %s reported no time: %+v", name, res)
+		}
+	}
+	// The legacy discipline fsyncs once per key; batch apply must beat it
+	// by a wide margin on fsync count regardless of wall-clock noise.
+	if res.LegacyFsyncs < res.MetaKeys {
+		t.Fatalf("legacy arm fsynced %d times for %d keys", res.LegacyFsyncs, res.MetaKeys)
+	}
+	if res.BatchApplyFsyncs*10 > res.LegacyFsyncs {
+		t.Fatalf("batch apply did not coalesce fsyncs: %d vs legacy %d",
+			res.BatchApplyFsyncs, res.LegacyFsyncs)
+	}
+	// Group commit coalesces concurrent per-op writers: fewer fsyncs than
+	// one per key.
+	if res.GroupCommitFsyncs >= res.LegacyFsyncs {
+		t.Fatalf("group commit coalesced nothing: %d vs legacy %d",
+			res.GroupCommitFsyncs, res.LegacyFsyncs)
+	}
+	// The batch ingest pipeline pays at most a small constant number of
+	// fsyncs per model; the serial loop pays more.
+	if res.BatchFsyncsPerModel >= res.SerialFsyncsPerModel {
+		t.Fatalf("batch ingest fsyncs/model %.2f not below serial %.2f",
+			res.BatchFsyncsPerModel, res.SerialFsyncsPerModel)
+	}
+	if res.IngestSpeedup <= 0 || res.OpenSpeedup <= 0 || res.GroupCommitSpeedup <= 0 {
+		t.Fatalf("implausible speedups: %+v", res)
 	}
 }

@@ -267,6 +267,31 @@ func (f *Flat) Add(id string, v tensor.Vector) error {
 	return nil
 }
 
+// Reserve pre-sizes the backing storage for about n upcoming vectors of
+// dimension dim, so a bulk load (lake rehydration) appends without repeated
+// reallocation of the packed vector array. It is a pure capacity hint:
+// contents and behaviour are unchanged, and n is not a cap.
+func (f *Flat) Reserve(n, dim int) {
+	if n <= 0 || dim <= 0 {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cap(f.ids)-len(f.ids) < n {
+		ids := make([]string, len(f.ids), len(f.ids)+n)
+		copy(ids, f.ids)
+		f.ids = ids
+		norms := make([]float64, len(f.norms), len(f.norms)+n)
+		copy(norms, f.norms)
+		f.norms = norms
+	}
+	if cap(f.data)-len(f.data) < n*dim {
+		data := make([]float64, len(f.data), len(f.data)+n*dim)
+		copy(data, f.data)
+		f.data = data
+	}
+}
+
 // Search implements Index.
 func (f *Flat) Search(ctx context.Context, q tensor.Vector, k int) ([]Result, error) {
 	f.mu.RLock()

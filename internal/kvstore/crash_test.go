@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"modellake/internal/fault"
@@ -279,5 +280,210 @@ func TestCompactFsyncsParentDirectory(t *testing.T) {
 	}
 	if syncDirAt < renameAt {
 		t.Fatalf("no directory fsync after rename (rename at %d, syncdir at %d)", renameAt, syncDirAt)
+	}
+}
+
+// --- Batch-workload sweeps -------------------------------------------------
+
+// batchOutcome tracks Apply batches by acknowledgement. The batch contract is
+// stricter than per-key recovery: an acked batch survives whole; an unacked
+// batch surfaces either whole or not at all — never a partial application.
+type batchOutcome struct {
+	acked   [][]Op
+	unacked [][]Op
+}
+
+// crashWorkloadBatch drives a store through atomic batches (including
+// deletes), a compaction, and a post-compaction batch.
+func crashWorkloadBatch(s *Store, o *batchOutcome) {
+	record := func(ops []Op) {
+		if s.Apply(ops) == nil {
+			o.acked = append(o.acked, ops)
+		} else {
+			o.unacked = append(o.unacked, ops)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		record([]Op{
+			{Key: fmt.Sprintf("b%d/x", i), Value: bytes.Repeat([]byte{byte('a' + i)}, 12)},
+			{Key: fmt.Sprintf("b%d/y", i), Value: bytes.Repeat([]byte{byte('A' + i)}, 12)},
+		})
+	}
+	// A batch that deletes keys written by an earlier batch.
+	record([]Op{
+		{Key: "b0/x", Delete: true},
+		{Key: "b0/z", Value: []byte("replacement")},
+	})
+	s.Compact()
+	record([]Op{
+		{Key: "post/x", Value: []byte("late-1")},
+		{Key: "post/y", Value: []byte("late-2")},
+	})
+}
+
+// verifyBatchAtomicity reopens fault-free and checks that no batch applied
+// partially: acked batches are fully present (their final effect, honoring
+// later acked overwrites/deletes), and every unacked batch is either fully
+// absent or fully present.
+func verifyBatchAtomicity(t *testing.T, path string, o *batchOutcome) {
+	t.Helper()
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("reopen after single fault must succeed, got: %v", err)
+	}
+	defer s.Close()
+
+	// Expected final state from acked batches, applied in order.
+	want := map[string][]byte{}
+	for _, ops := range o.acked {
+		for _, op := range ops {
+			if op.Delete {
+				delete(want, op.Key)
+			} else {
+				want[op.Key] = op.Value
+			}
+		}
+	}
+	// Keys an unacked batch may legitimately have touched.
+	maybe := map[string]bool{}
+	for _, ops := range o.unacked {
+		for _, op := range ops {
+			maybe[op.Key] = true
+		}
+	}
+	for k, v := range want {
+		got, err := s.Get(k)
+		if err != nil {
+			if maybe[k] {
+				continue // an unacked later batch may have deleted it
+			}
+			t.Fatalf("acked batch key %q lost: %v", k, err)
+		}
+		if !bytes.Equal(got, v) && !maybe[k] {
+			t.Fatalf("acked batch key %q corrupted: %q != %q", k, got, v)
+		}
+	}
+	// Unacked batches must be all-or-nothing (modulo keys later rewritten by
+	// acked batches, which make presence ambiguous — skip those).
+	for _, ops := range o.unacked {
+		present, absent := 0, 0
+		for _, op := range ops {
+			if op.Delete {
+				continue // absence of a deleted key is ambiguous
+			}
+			if _, overwritten := want[op.Key]; overwritten {
+				continue
+			}
+			if got, err := s.Get(op.Key); err == nil && bytes.Equal(got, op.Value) {
+				present++
+			} else {
+				absent++
+			}
+		}
+		if present > 0 && absent > 0 {
+			t.Fatalf("unacked batch applied partially: %d present, %d absent of %v", present, absent, ops)
+		}
+	}
+}
+
+func runBatchFaultSweep(t *testing.T, inject func(i int) *fault.Script) {
+	t.Helper()
+	rec := &fault.Recorder{}
+	probe := filepath.Join(t.TempDir(), "probe.log")
+	s, err := Open(probe, Options{Sync: true, FS: fault.New(rec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashWorkloadBatch(s, &batchOutcome{})
+	s.Close()
+	n := len(rec.Ops())
+	if n < 10 {
+		t.Fatalf("batch workload exercised only %d IO ops; sweep too small", n)
+	}
+	for i := 1; i <= n; i++ {
+		t.Run(fmt.Sprintf("op-%02d", i), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "kv.log")
+			s, err := Open(path, Options{Sync: true, FS: fault.New(inject(i))})
+			if err != nil {
+				verifyBatchAtomicity(t, path, &batchOutcome{})
+				return
+			}
+			o := &batchOutcome{}
+			crashWorkloadBatch(s, o)
+			s.Close()
+			verifyBatchAtomicity(t, path, o)
+		})
+	}
+}
+
+// TestCrashSweepBatchCleanFaults sweeps clean IO failures across an
+// Apply-heavy workload: every batch must recover all-or-nothing.
+func TestCrashSweepBatchCleanFaults(t *testing.T) {
+	runBatchFaultSweep(t, func(i int) *fault.Script {
+		return &fault.Script{FailAt: i}
+	})
+}
+
+// TestCrashSweepBatchTornWrites tears each write mid-page: a torn batch
+// record must drop the whole batch at replay, never a suffix of its ops.
+func TestCrashSweepBatchTornWrites(t *testing.T) {
+	runBatchFaultSweep(t, func(i int) *fault.Script {
+		return &fault.Script{FailAt: i, Torn: 11}
+	})
+}
+
+// TestCrashSweepBatchFsyncFaults fails each fsync in turn — the
+// fsync-at-Nth-op window: a batch whose fsync failed was never acknowledged
+// and must not partially surface after reopen.
+func TestCrashSweepBatchFsyncFaults(t *testing.T) {
+	runBatchFaultSweep(t, func(i int) *fault.Script {
+		return &fault.Script{FailAt: i, Match: fault.MatchOps(fault.OpSync)}
+	})
+}
+
+// TestCrashSweepMidCompact targets the compaction machinery specifically:
+// every write, rename, sync, and directory-fsync reachable from Compact
+// fails in turn, and the store must keep serving the pre-compaction state.
+func TestCrashSweepMidCompact(t *testing.T) {
+	match := func(op fault.Op, path string) bool {
+		switch op {
+		case fault.OpWrite, fault.OpRename, fault.OpSync, fault.OpSyncDir, fault.OpClose, fault.OpOpen:
+			return strings.HasSuffix(path, compactSuffix) ||
+				op == fault.OpRename || op == fault.OpSyncDir
+		}
+		return false
+	}
+	// Count matching ops in a fault-free run.
+	rec := &fault.Recorder{}
+	probe := filepath.Join(t.TempDir(), "probe.log")
+	s, err := Open(probe, Options{Sync: true, FS: fault.New(rec)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crashWorkloadBatch(s, &batchOutcome{})
+	s.Close()
+	n := 0
+	for _, op := range rec.Ops() {
+		if match(op.Op, op.Path) {
+			n++
+		}
+	}
+	if n < 3 {
+		t.Fatalf("compact path exercised only %d matching ops", n)
+	}
+	for i := 1; i <= n; i++ {
+		t.Run(fmt.Sprintf("op-%02d", i), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "kv.log")
+			inj := &fault.Script{FailAt: i, Match: match}
+			s, err := Open(path, Options{Sync: true, FS: fault.New(inj)})
+			if err != nil {
+				verifyBatchAtomicity(t, path, &batchOutcome{})
+				return
+			}
+			o := &batchOutcome{}
+			crashWorkloadBatch(s, o)
+			s.Close()
+			verifyBatchAtomicity(t, path, o)
+		})
 	}
 }

@@ -4,20 +4,33 @@
 //
 // The design is a classic append-only log with an in-memory index:
 //
-//   - Every mutation (put or delete) is appended to a single log file as a
-//     length-prefixed, CRC32-checksummed record and the file is optionally
-//     fsynced.
+//   - Every mutation (put, delete, or atomic batch) is appended to a single
+//     log file as a length-prefixed, CRC32-checksummed record and the file
+//     is optionally fsynced.
+//   - Concurrent writers are group-committed: callers enqueue a commit
+//     waiter and the first enqueuer becomes the leader, drains the queue,
+//     writes every waiter's record as one multi-record page, fsyncs once,
+//     and wakes the cohort. A serial writer degenerates to the classic
+//     one-fsync-per-record path; the win appears exactly when writers pile
+//     up behind a sync.
+//   - Apply commits several ops as a single all-or-nothing batch record, so
+//     multi-key commits (registry registrations, provenance journals) need
+//     no compensating rollback.
 //   - Open replays the log to rebuild the in-memory state. A torn final
-//     record (e.g. from a crash mid-append) is detected and truncated away;
-//     corruption anywhere earlier is reported as ErrCorrupt rather than
-//     silently dropped.
-//   - Compact rewrites the log with only live records.
+//     record (e.g. from a crash mid-append or a torn group-commit page) is
+//     detected and truncated away; corruption anywhere earlier is reported
+//     as ErrCorrupt rather than silently dropped.
+//   - Compact rewrites the log from a copy-on-write snapshot while readers
+//     and writers keep running; pages committed during the rewrite are
+//     captured in a delta and appended behind the snapshot before the
+//     atomic swap.
 //
 // Keys are ordered byte strings; Scan iterates a prefix in sorted order,
 // which the registry uses for typed namespaces ("model/", "prov/", ...).
 package kvstore
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -27,6 +40,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"modellake/internal/fault"
@@ -36,10 +50,25 @@ import (
 // Store-level metrics, aggregated across every open store in the process.
 // Append and fsync latency are timed separately: append latency tracks the
 // page-cache write path while fsync latency is the real durability cost.
+// Batch size and commit latency expose how well group commit is coalescing;
+// the waiters gauge counts callers currently parked behind a leader.
 var (
 	mAppendDur = obs.Default().Histogram("kvstore_append_duration_seconds", nil)
 	mFsyncDur  = obs.Default().Histogram("kvstore_fsync_duration_seconds", nil)
+	mCommitDur = obs.Default().Histogram("kvstore_commit_duration_seconds", nil)
+	mBatchSize = obs.Default().Histogram("kvstore_commit_batch_size",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+	mWaiters   = obs.Default().Gauge("kvstore_commit_waiters")
 	mRollbacks = obs.Default().Counter("kvstore_rollbacks_total")
+
+	// Per-op counters are resolved once: a registry lookup renders label
+	// strings and takes the registry mutex, which is measurable overhead on
+	// ops as cheap as a map Get.
+	mOpPut    = opCounter("put")
+	mOpDelete = opCounter("delete")
+	mOpApply  = opCounter("apply")
+	mOpGet    = opCounter("get")
+	mOpScan   = opCounter("scan")
 )
 
 func opCounter(op string) *obs.Counter {
@@ -54,54 +83,145 @@ var (
 	// ErrFailed marks a store whose log hit an IO error that could not be
 	// rolled back; mutations fail fast rather than risk mid-log corruption.
 	ErrFailed = errors.New("kvstore: store failed")
+	// ErrBatchTooLarge rejects an Apply whose encoded record would exceed
+	// maxRecordSize; callers should chunk.
+	ErrBatchTooLarge = errors.New("kvstore: batch record too large")
 )
 
 const (
 	opPut    byte = 1
 	opDelete byte = 2
+	// opBatch is an atomic multi-op record: every op inside it replays, or
+	// (if the record is torn/corrupt at the tail) none of them do.
+	opBatch byte = 3
 
 	// headerSize is the fixed prefix of every record:
 	// payloadLen(4) + crc(4).
 	headerSize = 8
 	// maxRecordSize guards against absurd lengths from corrupt headers.
 	maxRecordSize = 64 << 20
+
+	// DefaultMaxBatch bounds how many waiters a leader folds into one
+	// commit page when Options.MaxBatch is zero.
+	DefaultMaxBatch = 128
+
+	// compactSuffix names the temporary rewrite target of Compact. A
+	// leftover file (crash mid-compact) is removed on Open.
+	compactSuffix = ".compact"
 )
 
+// Op is one mutation inside an atomic batch (see Apply).
+type Op struct {
+	Key    string
+	Value  []byte
+	Delete bool // true = delete Key; Value is ignored
+}
+
+// waiter is one caller's seat in the group-commit queue. The leader commits
+// its ops and reports the outcome on done (own waiter excepted — the leader
+// keeps its result on the stack). Waiters are pooled: the done channel is
+// buffered and drained exactly once per use, so reuse is safe.
+type waiter struct {
+	ops    []Op
+	single [1]Op // backing array so Put/Delete enqueue without allocating
+	done   chan error
+}
+
+var waiterPool = sync.Pool{
+	New: func() any { return &waiter{done: make(chan error, 1)} },
+}
+
+func getWaiter() *waiter  { return waiterPool.Get().(*waiter) }
+func putWaiter(w *waiter) { w.ops = nil; w.single[0] = Op{}; waiterPool.Put(w) }
+
 // Store is a durable string-keyed byte store. It is safe for concurrent use.
+//
+// Lock order (never taken in reverse): qmu and fileMu are never held
+// together; fileMu may take mu; nothing that holds mu takes another lock.
 type Store struct {
-	mu     sync.RWMutex
-	data   map[string][]byte
-	path   string      // empty for a purely in-memory store
-	f      *fault.File // nil for in-memory
-	fsys   *fault.FS   // nil = real filesystem
-	size   int64       // end offset of the last fully acknowledged record
-	sync   bool
-	closed bool
-	ioErr  error // poison: set when a failed append could not be rolled back
+	mu   sync.RWMutex // guards data
+	data map[string][]byte
+
+	closed atomic.Bool
+
+	path     string // empty for a purely in-memory store
+	fsys     *fault.FS
+	sync     bool
+	maxBatch int
+	maxDelay time.Duration
+
+	// Group-commit queue. A writer appends its waiter under qmu; if no
+	// leader is active it becomes the leader, else it blocks on its waiter.
+	qmu      sync.Mutex
+	pending  []*waiter
+	leading  bool
+	drained  *sync.Cond // signaled (with qmu) whenever a leader steps down
+	batchBuf []*waiter  // leader-only scratch, serialized by the leading flag
+
+	// Log file state. commitBatch holds fileMu across write+fsync+apply so
+	// log order always equals in-memory apply order.
+	fileMu     sync.Mutex
+	f          *fault.File // nil for in-memory
+	size       int64       // end offset of the last fully acknowledged record
+	ioErr      error       // poison: set when a failed append could not be rolled back
+	pageBuf    []byte      // reusable commit-page buffer
+	compacting bool        // a compaction snapshot is being written
+	delta      []byte      // pages committed while compacting, replayed over the snapshot
+
+	compactMu sync.Mutex // serializes whole Compact calls
 }
 
 // Options configures Open.
 type Options struct {
-	// Sync forces an fsync after every mutation. Slower but crash-durable.
+	// Sync forces an fsync after every commit page. Slower but
+	// crash-durable; group commit amortizes the fsync across every writer
+	// in the page.
 	Sync bool
 	// FS routes all file IO, letting tests inject faults at every write
 	// point (see internal/fault). Nil uses the real filesystem.
 	FS *fault.FS
+	// MaxBatch caps how many waiters the commit leader folds into one page
+	// (0 = DefaultMaxBatch). Larger pages amortize the fsync further at the
+	// cost of latency for the first waiter in the page.
+	MaxBatch int
+	// MaxDelay makes a newly elected leader linger briefly before its first
+	// drain so concurrent writers can join the page (0 = commit
+	// immediately). Coalescing already happens naturally whenever writers
+	// queue up behind an in-flight fsync; the delay only helps bursty
+	// arrivals on very fast disks.
+	MaxDelay time.Duration
 }
 
 // OpenMemory returns an in-memory store with no durability. It is handy for
 // tests and ephemeral lakes.
 func OpenMemory() *Store {
-	return &Store{data: make(map[string][]byte)}
+	s := &Store{data: make(map[string][]byte)}
+	s.drained = sync.NewCond(&s.qmu)
+	return s
 }
 
 // Open opens (or creates) the store logged at path.
 func Open(path string, opts Options) (*Store, error) {
+	// A crash mid-compact can leave the rewrite target behind; the real log
+	// is still authoritative, so discard the leftover.
+	_ = opts.FS.Remove(path + compactSuffix)
 	f, err := opts.FS.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open %s: %w", path, err)
 	}
-	s := &Store{data: make(map[string][]byte), path: path, f: f, fsys: opts.FS, sync: opts.Sync}
+	s := &Store{
+		data:     make(map[string][]byte),
+		path:     path,
+		f:        f,
+		fsys:     opts.FS,
+		sync:     opts.Sync,
+		maxBatch: opts.MaxBatch,
+		maxDelay: opts.MaxDelay,
+	}
+	if s.maxBatch <= 0 {
+		s.maxBatch = DefaultMaxBatch
+	}
+	s.drained = sync.NewCond(&s.qmu)
 	validLen, err := s.replay()
 	if err != nil {
 		f.Close()
@@ -122,16 +242,27 @@ func Open(path string, opts Options) (*Store, error) {
 	return s, nil
 }
 
+// replayBufSize is the read-ahead buffer used while scanning the log on
+// Open. Replay dominates the cost of opening a large store, and reading
+// through a buffer turns the two small read syscalls per record into a
+// handful of large sequential ones.
+const replayBufSize = 1 << 20
+
 // replay scans the log, rebuilding the in-memory map, and returns the byte
 // offset of the end of the last complete, valid record.
 func (s *Store) replay() (int64, error) {
 	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
 		return 0, fmt.Errorf("kvstore: seek: %w", err)
 	}
+	fileSize := int64(-1)
+	if fi, err := s.f.Stat(); err == nil {
+		fileSize = fi.Size()
+	}
+	r := bufio.NewReaderSize(s.f, replayBufSize)
 	var offset int64
 	hdr := make([]byte, headerSize)
 	for {
-		_, err := io.ReadFull(s.f, hdr)
+		_, err := io.ReadFull(r, hdr)
 		if err == io.EOF {
 			return offset, nil
 		}
@@ -148,20 +279,19 @@ func (s *Store) replay() (int64, error) {
 			return 0, fmt.Errorf("%w: record length %d at offset %d", ErrCorrupt, payloadLen, offset)
 		}
 		payload := make([]byte, payloadLen)
-		if _, err := io.ReadFull(s.f, payload); err != nil {
+		if _, err := io.ReadFull(r, payload); err != nil {
 			if err == io.EOF || err == io.ErrUnexpectedEOF {
 				// Torn payload at the tail.
 				return offset, nil
 			}
 			return 0, fmt.Errorf("kvstore: read payload: %w", err)
 		}
+		recEnd := offset + int64(headerSize) + int64(payloadLen)
 		if crc32.ChecksumIEEE(payload) != wantCRC {
 			// A bad checksum mid-log is real corruption; at the very tail it
-			// could be a torn write, but we cannot distinguish, so look
-			// ahead: if this is the final record, treat as torn.
-			cur, _ := s.f.Seek(0, io.SeekCurrent)
-			end, _ := s.f.Seek(0, io.SeekEnd)
-			if cur == end {
+			// could be a torn write, but we cannot distinguish, so only fail
+			// when more bytes follow the damaged record.
+			if fileSize >= 0 && recEnd >= fileSize {
 				return offset, nil
 			}
 			return 0, fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, offset)
@@ -169,79 +299,308 @@ func (s *Store) replay() (int64, error) {
 		if err := s.applyPayload(payload); err != nil {
 			return 0, err
 		}
-		offset += int64(headerSize) + int64(payloadLen)
+		offset = recEnd
 	}
 }
 
+// applyPayload replays one CRC-verified record into the map. Batch records
+// are validated in full before any of their ops apply, so a batch is
+// all-or-nothing even against in-payload corruption.
+//
+// The payload is owned by replay and never reused, so stored values alias it
+// instead of copying — Get hands out copies and nothing mutates map values in
+// place, which makes the aliasing invisible to callers.
 func (s *Store) applyPayload(p []byte) error {
 	if len(p) < 5 {
 		return fmt.Errorf("%w: short payload", ErrCorrupt)
 	}
 	op := p[0]
-	keyLen := binary.LittleEndian.Uint32(p[1:5])
-	if int(keyLen) > len(p)-5 {
-		return fmt.Errorf("%w: key length overruns payload", ErrCorrupt)
-	}
-	key := string(p[5 : 5+keyLen])
 	switch op {
-	case opPut:
-		val := make([]byte, len(p)-5-int(keyLen))
-		copy(val, p[5+keyLen:])
-		s.data[key] = val
-	case opDelete:
-		delete(s.data, key)
+	case opPut, opDelete:
+		keyLen := binary.LittleEndian.Uint32(p[1:5])
+		if int(keyLen) > len(p)-5 {
+			return fmt.Errorf("%w: key length overruns payload", ErrCorrupt)
+		}
+		key := string(p[5 : 5+keyLen])
+		if op == opPut {
+			s.data[key] = p[5+keyLen:]
+		} else {
+			delete(s.data, key)
+		}
+		return nil
+	case opBatch:
+		ops, err := decodeBatch(p)
+		if err != nil {
+			return err
+		}
+		for i := range ops {
+			if ops[i].Delete {
+				delete(s.data, ops[i].Key)
+			} else {
+				s.data[ops[i].Key] = ops[i].Value
+			}
+		}
+		return nil
 	default:
 		return fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
 	}
-	return nil
 }
 
-func encodePayload(op byte, key string, value []byte) []byte {
-	p := make([]byte, 5+len(key)+len(value))
-	p[0] = op
-	binary.LittleEndian.PutUint32(p[1:5], uint32(len(key)))
-	copy(p[5:], key)
-	copy(p[5+len(key):], value)
-	return p
+// decodeBatch parses an opBatch payload:
+//
+//	[opBatch][count u32] then per op: [kind byte][keyLen u32][valLen u32][key][val]
+//
+// It fully validates bounds before returning, so a caller can treat the
+// result as atomic. Returned values alias p (see applyPayload); the sole
+// caller owns the payload and never modifies it after decoding.
+func decodeBatch(p []byte) ([]Op, error) {
+	count := binary.LittleEndian.Uint32(p[1:5])
+	if count > maxRecordSize/9 {
+		return nil, fmt.Errorf("%w: batch count %d", ErrCorrupt, count)
+	}
+	ops := make([]Op, 0, count)
+	off := 5
+	for i := uint32(0); i < count; i++ {
+		if off+9 > len(p) {
+			return nil, fmt.Errorf("%w: truncated batch op", ErrCorrupt)
+		}
+		kind := p[off]
+		keyLen := int(binary.LittleEndian.Uint32(p[off+1 : off+5]))
+		valLen := int(binary.LittleEndian.Uint32(p[off+5 : off+9]))
+		off += 9
+		if keyLen < 0 || valLen < 0 || off+keyLen+valLen > len(p) {
+			return nil, fmt.Errorf("%w: batch op overruns payload", ErrCorrupt)
+		}
+		key := string(p[off : off+keyLen])
+		off += keyLen
+		var val []byte
+		if kind == opPut {
+			val = p[off : off+valLen : off+valLen]
+		} else if kind != opDelete {
+			return nil, fmt.Errorf("%w: unknown batch op %d", ErrCorrupt, kind)
+		}
+		off += valLen
+		ops = append(ops, Op{Key: key, Value: val, Delete: kind == opDelete})
+	}
+	if off != len(p) {
+		return nil, fmt.Errorf("%w: trailing bytes in batch record", ErrCorrupt)
+	}
+	return ops, nil
 }
 
-// appendRecord writes one record to the log (if durable).
-func (s *Store) appendRecord(payload []byte) error {
+// appendRecordPage appends one record (header + payload) for ops to page.
+// A single op uses the legacy record format so old logs and new logs share
+// one replay path; multiple ops use the atomic batch format.
+func appendRecordPage(page []byte, ops []Op) []byte {
+	var payloadLen int
+	if len(ops) == 1 {
+		payloadLen = 5 + len(ops[0].Key) + len(ops[0].Value)
+		if ops[0].Delete {
+			payloadLen = 5 + len(ops[0].Key)
+		}
+	} else {
+		payloadLen = 5
+		for i := range ops {
+			payloadLen += 9 + len(ops[i].Key)
+			if !ops[i].Delete {
+				payloadLen += len(ops[i].Value)
+			}
+		}
+	}
+	hdrAt := len(page)
+	page = append(page, make([]byte, headerSize)...)
+	payloadAt := len(page)
+	if len(ops) == 1 {
+		op := &ops[0]
+		kind := opPut
+		if op.Delete {
+			kind = opDelete
+		}
+		page = append(page, kind)
+		page = binary.LittleEndian.AppendUint32(page, uint32(len(op.Key)))
+		page = append(page, op.Key...)
+		if !op.Delete {
+			page = append(page, op.Value...)
+		}
+	} else {
+		page = append(page, opBatch)
+		page = binary.LittleEndian.AppendUint32(page, uint32(len(ops)))
+		for i := range ops {
+			op := &ops[i]
+			kind := opPut
+			vlen := len(op.Value)
+			if op.Delete {
+				kind = opDelete
+				vlen = 0
+			}
+			page = append(page, kind)
+			page = binary.LittleEndian.AppendUint32(page, uint32(len(op.Key)))
+			page = binary.LittleEndian.AppendUint32(page, uint32(vlen))
+			page = append(page, op.Key...)
+			if !op.Delete {
+				page = append(page, op.Value...)
+			}
+		}
+	}
+	binary.LittleEndian.PutUint32(page[hdrAt:hdrAt+4], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(page[hdrAt+4:hdrAt+8], crc32.ChecksumIEEE(page[payloadAt:]))
+	return page
+}
+
+// opsSize returns the encoded record size for ops (header included).
+func opsSize(ops []Op) int {
+	n := headerSize + 5
+	if len(ops) == 1 {
+		n += len(ops[0].Key)
+		if !ops[0].Delete {
+			n += len(ops[0].Value)
+		}
+		return n
+	}
+	for i := range ops {
+		n += 9 + len(ops[i].Key)
+		if !ops[i].Delete {
+			n += len(ops[i].Value)
+		}
+	}
+	return n
+}
+
+// applyOps applies committed ops to the in-memory map. Caller holds s.mu.
+func (s *Store) applyOps(ops []Op) {
+	for i := range ops {
+		op := &ops[i]
+		if op.Delete {
+			delete(s.data, op.Key)
+			continue
+		}
+		cp := make([]byte, len(op.Value))
+		copy(cp, op.Value)
+		s.data[op.Key] = cp
+	}
+}
+
+// commit enqueues w and blocks until its ops are durably committed (or
+// fail). The first writer to find the queue leaderless becomes the leader:
+// it drains the queue in bounded batches, writes each batch as one page,
+// fsyncs once per page, applies the ops, and wakes the followers.
+func (s *Store) commit(w *waiter) error {
 	if s.f == nil {
+		// In-memory store: no log, apply directly.
+		s.mu.Lock()
+		s.applyOps(w.ops)
+		s.mu.Unlock()
+		putWaiter(w)
 		return nil
 	}
+	s.qmu.Lock()
+	s.pending = append(s.pending, w)
+	if s.leading {
+		s.qmu.Unlock()
+		mWaiters.Inc()
+		err := <-w.done
+		mWaiters.Dec()
+		putWaiter(w)
+		return err
+	}
+	s.leading = true
+	s.qmu.Unlock()
+
+	if s.maxDelay > 0 {
+		time.Sleep(s.maxDelay)
+	}
+	var myErr error
+	for {
+		s.qmu.Lock()
+		n := len(s.pending)
+		if n == 0 {
+			s.leading = false
+			s.drained.Broadcast()
+			s.qmu.Unlock()
+			break
+		}
+		if n > s.maxBatch {
+			n = s.maxBatch
+		}
+		batch := append(s.batchBuf[:0], s.pending[:n]...)
+		s.batchBuf = batch
+		rest := copy(s.pending, s.pending[n:])
+		for i := rest; i < len(s.pending); i++ {
+			s.pending[i] = nil
+		}
+		s.pending = s.pending[:rest]
+		s.qmu.Unlock()
+
+		err := s.commitBatch(batch)
+		for _, bw := range batch {
+			if bw == w {
+				// The leader's own waiter: just record the result. It must
+				// NOT be recycled yet — if the pool handed it to another
+				// caller while this loop is still draining, that caller's
+				// waiter would alias w, match this pointer check in a later
+				// batch, and never be woken.
+				myErr = err
+				continue
+			}
+			bw.done <- err
+		}
+	}
+	putWaiter(w)
+	return myErr
+}
+
+// commitBatch writes every waiter's record as one page, fsyncs once (if
+// durable), and applies the ops. Holding fileMu across write+apply keeps
+// log order identical to in-memory apply order; the fsync gates the apply
+// so an acknowledged write is always durable and a failed sync acknowledges
+// nothing.
+func (s *Store) commitBatch(batch []*waiter) error {
+	start := time.Now()
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
 	if s.ioErr != nil {
 		return fmt.Errorf("%w: %v", ErrFailed, s.ioErr)
 	}
-	rec := make([]byte, headerSize+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
-	copy(rec[headerSize:], payload)
-	start := time.Now()
-	if _, err := s.f.Write(rec); err != nil {
+	page := s.pageBuf[:0]
+	for _, w := range batch {
+		page = appendRecordPage(page, w.ops)
+	}
+	s.pageBuf = page
+	wstart := time.Now()
+	if _, err := s.f.Write(page); err != nil {
 		s.rollbackTail(err)
 		return fmt.Errorf("kvstore: append: %w", err)
 	}
-	mAppendDur.Since(start)
+	mAppendDur.Since(wstart)
 	if s.sync {
 		fstart := time.Now()
 		if err := s.f.Sync(); err != nil {
-			// The record reached the page cache but its durability is
-			// unknown; treating it as written after a failed fsync is the
-			// classic path to acknowledged-write loss, so discard it.
+			// The page reached the OS but its durability is unknown;
+			// treating it as written after a failed fsync is the classic
+			// path to acknowledged-write loss, so discard it.
 			s.rollbackTail(err)
 			return fmt.Errorf("kvstore: fsync: %w", err)
 		}
 		mFsyncDur.Since(fstart)
 	}
-	s.size += int64(len(rec))
+	s.size += int64(len(page))
+	if s.compacting {
+		s.delta = append(s.delta, page...)
+	}
+	s.mu.Lock()
+	for _, w := range batch {
+		s.applyOps(w.ops)
+	}
+	s.mu.Unlock()
+	mBatchSize.Observe(float64(len(batch)))
+	mCommitDur.Since(start)
 	return nil
 }
 
 // rollbackTail discards a partially written (or written-but-possibly-not-
-// durable) record after a failed append so the next append starts at a
-// clean record boundary instead of landing after garbage — which would turn
-// a recoverable torn tail into mid-log corruption. If the tail cannot be
+// durable) page after a failed append so the next append starts at a clean
+// record boundary instead of landing after garbage — which would turn a
+// recoverable torn tail into mid-log corruption. If the tail cannot be
 // discarded the store is poisoned: further mutations return ErrFailed.
 func (s *Store) rollbackTail(cause error) {
 	mRollbacks.Inc()
@@ -254,31 +613,67 @@ func (s *Store) rollbackTail(cause error) {
 	}
 }
 
-// Put stores value under key, overwriting any previous value.
+// Put stores value under key, overwriting any previous value. The caller's
+// value slice is only read until Put returns.
 func (s *Store) Put(key string, value []byte) error {
-	opCounter("put").Inc()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	mOpPut.Inc()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	if err := s.appendRecord(encodePayload(opPut, key, value)); err != nil {
-		return err
+	w := getWaiter()
+	w.single[0] = Op{Key: key, Value: value}
+	w.ops = w.single[:1]
+	return s.commit(w)
+}
+
+// Delete removes key. Deleting an absent key is a no-op.
+func (s *Store) Delete(key string) error {
+	mOpDelete.Inc()
+	if s.closed.Load() {
+		return ErrClosed
 	}
-	cp := make([]byte, len(value))
-	copy(cp, value)
-	s.data[key] = cp
-	return nil
+	s.mu.RLock()
+	_, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil
+	}
+	w := getWaiter()
+	w.single[0] = Op{Key: key, Delete: true}
+	w.ops = w.single[:1]
+	return s.commit(w)
+}
+
+// Apply commits ops as a single atomic batch: either every op is durable
+// and visible, or none is. Replay of a torn or corrupt batch record at the
+// log tail discards the whole batch, so multi-key commits need no
+// compensating rollback. The ops slice and its values are only read until
+// Apply returns. Batches whose encoded record would exceed the record size
+// limit return ErrBatchTooLarge; callers should chunk.
+func (s *Store) Apply(ops []Op) error {
+	mOpApply.Inc()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if len(ops) == 0 {
+		return nil
+	}
+	if opsSize(ops) > maxRecordSize {
+		return fmt.Errorf("%w: %d ops encode to %d bytes", ErrBatchTooLarge, len(ops), opsSize(ops))
+	}
+	w := getWaiter()
+	w.ops = ops
+	return s.commit(w)
 }
 
 // Get returns the value stored under key, or ErrNotFound.
 func (s *Store) Get(key string) ([]byte, error) {
-	opCounter("get").Inc()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.closed {
+	mOpGet.Inc()
+	if s.closed.Load() {
 		return nil, ErrClosed
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	v, ok := s.data[key]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
@@ -296,24 +691,6 @@ func (s *Store) Has(key string) bool {
 	return ok
 }
 
-// Delete removes key. Deleting an absent key is a no-op.
-func (s *Store) Delete(key string) error {
-	opCounter("delete").Inc()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return ErrClosed
-	}
-	if _, ok := s.data[key]; !ok {
-		return nil
-	}
-	if err := s.appendRecord(encodePayload(opDelete, key, nil)); err != nil {
-		return err
-	}
-	delete(s.data, key)
-	return nil
-}
-
 // Len returns the number of live keys.
 func (s *Store) Len() int {
 	s.mu.RLock()
@@ -322,31 +699,32 @@ func (s *Store) Len() int {
 }
 
 // Scan calls fn for every key with the given prefix, in sorted key order.
-// Returning false from fn stops the scan. The value slice passed to fn must
-// not be retained.
+// Returning false from fn stops the scan. The matching entries are
+// snapshotted under the lock first and fn runs lock-free, so a callback may
+// safely call back into the store (Get, Put, even Scan) without
+// self-deadlocking; mutations made by the callback are not reflected in the
+// snapshot being iterated. The value slice passed to fn must not be
+// retained or modified.
 func (s *Store) Scan(prefix string, fn func(key string, value []byte) bool) error {
-	opCounter("scan").Inc()
-	s.mu.RLock()
-	if s.closed {
-		s.mu.RUnlock()
+	mOpScan.Inc()
+	if s.closed.Load() {
 		return ErrClosed
 	}
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
+	type kv struct {
+		k string
+		v []byte
+	}
+	s.mu.RLock()
+	snap := make([]kv, 0, len(s.data))
+	for k, v := range s.data {
 		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
-			keys = append(keys, k)
+			snap = append(snap, kv{k, v})
 		}
 	}
 	s.mu.RUnlock()
-	sort.Strings(keys)
-	for _, k := range keys {
-		s.mu.RLock()
-		v, ok := s.data[k]
-		s.mu.RUnlock()
-		if !ok {
-			continue // deleted between snapshot and visit
-		}
-		if !fn(k, v) {
+	sort.Slice(snap, func(i, j int) bool { return snap[i].k < snap[j].k })
+	for i := range snap {
+		if !fn(snap[i].k, snap[i].v) {
 			return nil
 		}
 	}
@@ -365,55 +743,114 @@ func (s *Store) Keys(prefix string) []string {
 
 // Compact rewrites the log so it contains exactly the live records. It is a
 // no-op for in-memory stores.
+//
+// The rewrite is non-blocking: the live map is snapshotted copy-on-write
+// (value slices are never mutated in place, so sharing them is safe) and
+// written to a temporary file while readers and writers keep running. Pages
+// committed during the rewrite are captured in a delta and appended behind
+// the snapshot — records carry full values, so replaying the delta over the
+// snapshot is idempotent and yields exactly the live state. Only the final
+// swap (delta append + fsync + rename + dir fsync) briefly holds the file
+// lock.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Load() {
 		return ErrClosed
 	}
 	if s.f == nil {
 		return nil
 	}
-	tmpPath := s.path + ".compact"
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	if s.closed.Load() {
+		return ErrClosed
+	}
+
+	// Phase 0: start capturing concurrent commits *before* snapshotting, so
+	// a commit that lands between the two is both in the snapshot and in
+	// the delta (harmless) rather than in neither (lost).
+	s.fileMu.Lock()
+	s.compacting = true
+	s.delta = s.delta[:0]
+	s.fileMu.Unlock()
+	finishCapture := func() {
+		s.fileMu.Lock()
+		s.compacting = false
+		s.delta = s.delta[:0]
+		s.fileMu.Unlock()
+	}
+	s.mu.RLock()
+	snap := make(map[string][]byte, len(s.data))
+	for k, v := range s.data {
+		snap[k] = v
+	}
+	s.mu.RUnlock()
+
+	// Phase 1: write the snapshot with no store locks held.
+	tmpPath := s.path + compactSuffix
 	tmp, err := s.fsys.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
+		finishCapture()
 		return fmt.Errorf("kvstore: compact: %w", err)
 	}
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
+	abort := func(cause error) error {
+		tmp.Close()
+		s.fsys.Remove(tmpPath)
+		finishCapture()
+		return cause
+	}
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	var newSize int64
+	var page []byte
 	for _, k := range keys {
-		payload := encodePayload(opPut, k, s.data[k])
-		rec := make([]byte, headerSize+len(payload))
-		binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
-		binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
-		copy(rec[headerSize:], payload)
-		if _, err := tmp.Write(rec); err != nil {
-			tmp.Close()
-			os.Remove(tmpPath)
-			return fmt.Errorf("kvstore: compact write: %w", err)
+		page = appendRecordPage(page[:0], []Op{{Key: k, Value: snap[k]}})
+		if _, err := tmp.Write(page); err != nil {
+			return abort(fmt.Errorf("kvstore: compact write: %w", err))
 		}
-		newSize += int64(len(rec))
+		newSize += int64(len(page))
 	}
+
+	// Phase 2: freeze commits, flush the delta behind the snapshot, and
+	// atomically swap the logs.
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
+	if s.closed.Load() {
+		s.fileMu.Unlock()
+		err := abort(ErrClosed)
+		s.fileMu.Lock()
+		return err
+	}
+	if len(s.delta) > 0 {
+		if _, err := tmp.Write(s.delta); err != nil {
+			s.fileMu.Unlock()
+			err = abort(fmt.Errorf("kvstore: compact delta write: %w", err))
+			s.fileMu.Lock()
+			return err
+		}
+		newSize += int64(len(s.delta))
+	}
+	s.compacting = false
+	s.delta = s.delta[:0]
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpPath)
+		s.fsys.Remove(tmpPath)
 		return fmt.Errorf("kvstore: compact sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpPath)
+		s.fsys.Remove(tmpPath)
 		return fmt.Errorf("kvstore: compact close: %w", err)
 	}
 	if err := s.f.Close(); err != nil {
+		s.fsys.Remove(tmpPath)
 		return s.reopenLog(fmt.Errorf("kvstore: close old log: %w", err))
 	}
 	if err := s.fsys.Rename(tmpPath, s.path); err != nil {
 		// The old log is still in place and complete; reopen it so the
 		// store keeps serving, and surface the failed compaction.
-		os.Remove(tmpPath)
+		s.fsys.Remove(tmpPath)
 		return s.reopenLog(fmt.Errorf("kvstore: swap compacted log: %w", err))
 	}
 	// Fsync the parent directory: without it a crash after the rename can
@@ -449,14 +886,23 @@ func (s *Store) reopenLog(cause error) error {
 	return cause
 }
 
-// Close flushes and closes the store. Further operations return ErrClosed.
+// Close drains in-flight commits, fsyncs, and closes the store. The final
+// fsync runs even when the store was opened with Sync: false, so a clean
+// Close is always replay-equivalent: every acknowledged write is on disk.
+// Further operations return ErrClosed.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if s.closed.Swap(true) {
 		return nil
 	}
-	s.closed = true
+	// New writers now fail fast; wait for the active leader (if any) to
+	// drain every waiter that was already enqueued.
+	s.qmu.Lock()
+	for s.leading || len(s.pending) > 0 {
+		s.drained.Wait()
+	}
+	s.qmu.Unlock()
+	s.fileMu.Lock()
+	defer s.fileMu.Unlock()
 	if s.f != nil {
 		if err := s.f.Sync(); err != nil {
 			s.f.Close()

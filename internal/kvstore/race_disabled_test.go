@@ -1,0 +1,5 @@
+//go:build !race
+
+package kvstore
+
+const raceEnabled = false

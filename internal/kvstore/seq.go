@@ -1,0 +1,70 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"sync"
+)
+
+// Sequence hands out monotonically increasing uint64 IDs backed by a single
+// key in the store. Instead of persisting every increment (one durable
+// write per ID), it leases blocks: when the in-memory cursor passes the
+// durable high-water mark, one Put persists cursor+block-1 and the next
+// block of IDs is handed out from memory. After a crash the sequence
+// resumes from the last persisted high-water mark, so IDs may skip (at most
+// one block) but can never repeat — which is the only property callers
+// (registry IDs, provenance records) rely on.
+//
+// The mutex is held across the lease Put, so lease records for one key
+// always reach the log in increasing order and replay recovers the highest
+// lease regardless of how group commit interleaved other writers.
+//
+// The on-disk encoding (8-byte little-endian) matches the pre-lease
+// counter, so a store written by an older build resumes seamlessly.
+type Sequence struct {
+	mu     sync.Mutex
+	kv     *Store
+	key    string
+	block  uint64
+	next   uint64 // next ID to hand out
+	leased uint64 // durable high-water mark: IDs ≤ leased are safe to use
+	loaded bool
+}
+
+// NewSequence returns a sequence over key in kv, leasing block IDs per
+// durable write. A block of 0 or 1 persists every increment.
+func NewSequence(kv *Store, key string, block uint64) *Sequence {
+	if block == 0 {
+		block = 1
+	}
+	return &Sequence{kv: kv, key: key, block: block}
+}
+
+// Next returns the next ID, persisting a new lease when the current one is
+// exhausted.
+func (q *Sequence) Next() (uint64, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.loaded {
+		b, err := q.kv.Get(q.key)
+		if err == nil && len(b) == 8 {
+			q.leased = binary.LittleEndian.Uint64(b)
+		} else if err != nil && !errors.Is(err, ErrNotFound) {
+			return 0, err
+		}
+		q.next = q.leased + 1
+		q.loaded = true
+	}
+	if q.next > q.leased {
+		lease := q.next + q.block - 1
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], lease)
+		if err := q.kv.Put(q.key, buf[:]); err != nil {
+			return 0, err
+		}
+		q.leased = lease
+	}
+	id := q.next
+	q.next++
+	return id, nil
+}

@@ -174,8 +174,10 @@ func TestLakeReindexPreservesSearch(t *testing.T) {
 	}
 }
 
-// TestDurableLakeReopenUsesEmbedCache: reopening a durable lake re-embeds
-// every model during rehydration; with the on-disk cache those are hits.
+// TestDurableLakeReopenUsesEmbedCache: the default reopen rebuilds indexes
+// from the persisted vec records — zero re-embeds — and answers identically;
+// an EagerRehydrate reopen re-embeds every model and serves those embeds
+// from the on-disk cache.
 func TestDurableLakeReopenUsesEmbedCache(t *testing.T) {
 	pop := population(t, 64)
 	dir := t.TempDir()
@@ -196,15 +198,32 @@ func TestDurableLakeReopenUsesEmbedCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer re.Close()
-	hits, misses := re.EmbedCacheStats()
-	if hits == 0 {
-		t.Fatalf("reopen hit the embedding cache 0 times (misses %d)", misses)
+	if hits, misses := re.EmbedCacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("vec-record rehydration touched the embedding cache (%d hits, %d misses)", hits, misses)
 	}
 	got, err := re.SearchByModel(id0, "weights", 4)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if fmt.Sprint(got) != fmt.Sprint(want) {
-		t.Fatalf("cached rehydration changed results:\n before %v\n after  %v", want, got)
+		t.Fatalf("vec-record rehydration changed results:\n before %v\n after  %v", want, got)
+	}
+	re.Close()
+
+	eager, err := Open(Config{Dir: dir, Seed: 8, EagerRehydrate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eager.Close()
+	hits, misses := eager.EmbedCacheStats()
+	if hits == 0 {
+		t.Fatalf("eager reopen hit the embedding cache 0 times (misses %d)", misses)
+	}
+	got, err = eager.SearchByModel(id0, "weights", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("eager rehydration changed results:\n before %v\n after  %v", want, got)
 	}
 }

@@ -103,10 +103,13 @@ func TestLakeReopensAfterPartialIngest(t *testing.T) {
 	pop := crashPopulation(t)
 	dir := t.TempDir()
 
-	// Fail the first metadata append's fsync: the kvstore rolls the log
-	// back, the registry rolls back any keys already committed, and the
-	// caller gets an error.
-	fsys := fault.New(&fault.Script{FailAt: 1, Match: fault.MatchOps(fault.OpSync)})
+	// Fail the first metadata-log fsync (matched by path: ingest may sync
+	// embed-cache files and weights blobs first, and those failures are
+	// absorbed by design): the kvstore rolls the log back and the caller
+	// gets an error with nothing committed.
+	fsys := fault.New(&fault.Script{FailAt: 1, Match: func(op fault.Op, path string) bool {
+		return op == fault.OpSync && strings.HasSuffix(path, "lake.log")
+	}})
 	l, err := Open(Config{Dir: dir, Sync: true, Seed: 1, FS: fsys})
 	if err != nil {
 		t.Fatal(err)

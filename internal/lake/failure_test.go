@@ -95,13 +95,26 @@ func TestTamperedWeightsDetectedOnLoad(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rehydration must fail loudly: the checksum no longer matches.
-	if _, err := Open(Config{Dir: dir, Seed: 1}); err == nil {
+	// With the integrity sweep requested, rehydration must fail loudly:
+	// the checksum no longer matches.
+	if _, err := Open(Config{Dir: dir, Seed: 1, VerifyBlobsOnOpen: true}); err == nil {
 		t.Fatal("tampered weights loaded silently")
 	} else if !strings.Contains(err.Error(), "checksum") {
 		t.Fatalf("tampering surfaced as the wrong error: %v", err)
 	}
-	_ = id
+	// The default fast reopen defers content verification to first use:
+	// Open succeeds (the blobs still exist), but loading the tampered
+	// model must fail its checksum before any poisoned bytes are decoded.
+	l, err := Open(Config{Dir: dir, Seed: 1})
+	if err != nil {
+		t.Fatalf("fast reopen with tampered-but-present blobs: %v", err)
+	}
+	defer l.Close()
+	if _, err := l.Model(id); err == nil {
+		t.Fatal("tampered model loaded silently on first use")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("first-use tampering surfaced as the wrong error: %v", err)
+	}
 }
 
 func TestMissingBlobSurfacedAsError(t *testing.T) {

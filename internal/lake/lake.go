@@ -34,6 +34,7 @@ import (
 	"modellake/internal/kvstore"
 	"modellake/internal/mlql"
 	"modellake/internal/model"
+	"modellake/internal/nn"
 	"modellake/internal/provenance"
 	"modellake/internal/registry"
 	"modellake/internal/search"
@@ -89,6 +90,20 @@ type Config struct {
 	// QueryCacheSize caps the query-result cache entry count. Zero or
 	// negative means the default (1024).
 	QueryCacheSize int
+	// EagerRehydrate forces reopen to decode and re-embed every stored
+	// model instead of rebuilding the content indexes from the persisted
+	// vec/<id> records. The results are identical either way; the eager
+	// path only exists as the measured baseline for the E14 write-path
+	// experiment and as a belt-and-braces escape hatch if persisted
+	// vectors are ever suspect.
+	EagerRehydrate bool
+	// VerifyBlobsOnOpen makes reopen read and checksum-verify every
+	// weights blob (a full integrity sweep, O(total weight bytes)). By
+	// default reopen only checks that every registered blob exists:
+	// blob writes are atomic, every read checksum-verifies before
+	// returning, so tampering is still detected on first use — while
+	// Open stays O(records) no matter how large the weights are.
+	VerifyBlobsOnOpen bool
 	// FS routes all storage IO (metadata log and blob store) through a
 	// fault-injectable filesystem — the test hook behind the lake's
 	// crash-consistency suite. Nil uses the real filesystem.
@@ -123,6 +138,7 @@ type Lake struct {
 	taskSearch *search.TaskSearcher
 	embedCache *embedding.VectorCache // nil when disabled
 	qcache     *queryCache            // nil when disabled
+	vecNS      string                 // namespace stamped into persisted vec records
 
 	mu         sync.RWMutex
 	closed     bool
@@ -130,6 +146,21 @@ type Lake struct {
 	benchmarks map[string]*benchmark.Benchmark
 	datasets   map[string]*data.Dataset
 	graph      *version.Graph // cached reconstruction; nil when stale
+
+	// Task-search roster, built lazily after a fast rehydrate: taskPending
+	// holds behaviour-indexed model IDs whose handles have not been loaded
+	// yet; the first SearchTask (or a Reindex) drains it. rosterMu
+	// serializes the drain so concurrent searches never see a half-built
+	// roster.
+	rosterMu    sync.Mutex
+	taskReady   bool     // guarded by mu
+	taskPending []string // guarded by mu
+
+	// Keyword index backlog, same lazy pattern: card loads and tokenization
+	// move off the reopen path onto the first keyword (or hybrid) search.
+	kwMu      sync.Mutex
+	kwReady   bool     // guarded by mu
+	kwPending []string // guarded by mu
 }
 
 // Open creates or opens a lake.
@@ -167,16 +198,20 @@ func Open(cfg Config) (*Lake, error) {
 		modelCache: map[string]*model.Model{},
 		benchmarks: map[string]*benchmark.Benchmark{},
 		datasets:   map[string]*data.Dataset{},
+		taskReady:  true,
+		kwReady:    true,
 	}
+	// The namespace folds in every config knob that changes embedder
+	// output, so a lake reopened with different embedding parameters can
+	// never read vectors computed under the old ones — neither from the
+	// embedding cache nor from the persisted vec records.
+	ns := fmt.Sprintf("in%d_mc%d_p%d_s%d", cfg.InputDim, cfg.MaxClasses, cfg.Probes, cfg.Seed)
+	l.vecNS = ns
 	if !cfg.DisableEmbedCache {
 		cacheDir := ""
 		if cfg.Dir != "" {
 			cacheDir = filepath.Join(cfg.Dir, "embedcache")
 		}
-		// The namespace folds in every config knob that changes embedder
-		// output, so a lake reopened with different embedding parameters
-		// can never read vectors computed under the old ones.
-		ns := fmt.Sprintf("in%d_mc%d_p%d_s%d", cfg.InputDim, cfg.MaxClasses, cfg.Probes, cfg.Seed)
 		l.embedCache = embedding.NewVectorCache(cacheDir, ns, cfg.FS)
 	}
 	if !cfg.DisableQueryCache {
@@ -228,59 +263,283 @@ func (l *Lake) newIndex() index.Index {
 	return index.NewFlat(index.Cosine)
 }
 
-// rehydrate rebuilds the in-memory indexes from the durable registry. The
-// embedding stage — the expensive part — runs through the parallel batch
-// path, so reopening a big lake uses every core (and the embedding cache,
-// when the lake has one, turns reopen embeddings into cache hits).
+// hydrated is the per-record product of the parallel rehydrate stage.
+type hydrated struct {
+	bvec, wvec tensor.Vector // content-index vectors; nil = space not indexable
+	m          *model.Model  // non-nil when the fallback decode ran
+	err        error         // hard failure: Open must not succeed
+}
+
+// rehydrate rebuilds the in-memory indexes from the durable registry.
+//
+// The per-model work — weights-blob checksum verification plus either a
+// persisted-vector decode (the fast path) or a full model decode + embed
+// (the fallback) — runs on a bounded worker pool; the index inserts then
+// happen serially in record order, so the resulting indexes are identical to
+// a serial loop no matter how the workers interleaved.
+//
+// The fast path reads the vec/<id> record written in the same atomic batch
+// as the registration: when its namespace matches the lake's embedding
+// config, the stored vectors go straight into the ANN indexes and the model
+// is never decoded (handles load lazily on first use). Weights blobs are
+// existence-checked — a registered blob that went missing fails Open loudly
+// — but their contents are not re-read unless VerifyBlobsOnOpen requests
+// the full integrity sweep: blob writes are atomic and every later Get
+// checksum-verifies, so fast Open stays O(records) instead of O(weight
+// bytes). Records without usable vectors (pre-vec lakes, changed
+// embedding config, EagerRehydrate) read, verify, decode, and re-embed,
+// with the embedding cache softening the cost.
 func (l *Lake) rehydrate() error {
 	recs, err := l.reg.List()
 	if err != nil {
 		return fmt.Errorf("lake: rehydrate: %w", err)
 	}
-	var handles []*model.Handle
-	for _, rec := range recs {
-		if c, err := l.reg.Card(rec.ID); err == nil {
-			l.keyword.Add(rec.ID, c.Text())
-		}
-		m, err := l.reg.LoadModel(rec.ID)
-		if err != nil {
-			if errors.Is(err, registry.ErrNoWeights) {
-				continue // closed-weights model: behaviour is gone across restarts
-			}
-			return fmt.Errorf("lake: rehydrate %s: %w", rec.ID, err)
-		}
-		l.modelCache[rec.ID] = m
-		handles = append(handles, model.NewHandle(m))
+	if len(recs) == 0 {
+		return nil
 	}
-	l.indexModels(handles)
+	// One directory sweep answers every existence check: bulk-listing the
+	// blob store costs a few hundred syscalls where per-record Stat calls
+	// would cost one each. The snapshot is taken before hydration starts;
+	// Open is not concurrent with ingest on the same Lake, so it cannot
+	// miss a registered blob.
+	var known map[blob.ID]struct{}
+	if lister, ok := l.blobs.(interface{ IDs() []blob.ID }); ok && !l.cfg.VerifyBlobsOnOpen {
+		ids := lister.IDs()
+		known = make(map[blob.ID]struct{}, len(ids))
+		for _, id := range ids {
+			known[id] = struct{}{}
+		}
+	}
+	res := make([]hydrated, len(recs))
+	runParallel(len(recs), l.cfg.IngestParallelism, func(i int) {
+		res[i] = l.hydrateOne(recs[i], known)
+	})
+	// Pre-size the content indexes: the exact add counts and dimensions are
+	// known, so the packed flat storage allocates once instead of doubling
+	// its way up through a few thousand appends.
+	var nb, nw, db, dw int
+	for i := range res {
+		if res[i].bvec != nil {
+			nb, db = nb+1, len(res[i].bvec)
+		}
+		if res[i].wvec != nil {
+			nw, dw = nw+1, len(res[i].wvec)
+		}
+	}
+	l.behaviorCS.Reserve(nb, db)
+	l.weightCS.Reserve(nw, dw)
+	// Commit in record order. Keyword entries (for every carded model,
+	// closed-weights included) are deferred to the first keyword search;
+	// content vectors insert now, only where a space could embed the model.
+	for i, rec := range recs {
+		l.kwPending = append(l.kwPending, rec.ID)
+		l.kwReady = false
+		if res[i].err != nil {
+			return res[i].err
+		}
+		if res[i].m != nil {
+			l.modelCache[rec.ID] = res[i].m
+		}
+		if res[i].bvec != nil {
+			if err := l.behaviorCS.AddVector(rec.ID, res[i].bvec); err == nil {
+				// Defer handle loading: the task roster materializes on
+				// first SearchTask instead of costing every reopen a
+				// model decode per behaviour-indexed record.
+				l.taskPending = append(l.taskPending, rec.ID)
+				l.taskReady = false
+			}
+		}
+		if res[i].wvec != nil {
+			_ = l.weightCS.AddVector(rec.ID, res[i].wvec)
+		}
+	}
 	return nil
 }
 
-// indexModel adds a model to whichever content indexes can embed it.
-// Failures to embed in a given space are expected (wrong input dimension,
-// withheld weights) and simply skip that space.
-func (l *Lake) indexModel(m *model.Model) {
-	h := model.NewHandle(m)
-	if err := l.behaviorCS.Add(h); err == nil {
-		l.taskSearch.Add(h)
+// hydrateOne performs the parallelizable part of rehydrating one record.
+// known, when non-nil, is a point-in-time snapshot of the blob store's
+// contents used to answer existence checks without touching the filesystem.
+func (l *Lake) hydrateOne(rec *registry.Record, known map[blob.ID]struct{}) hydrated {
+	if rec.Weights == "" {
+		return hydrated{} // closed-weights model: behaviour is gone across restarts
 	}
-	_ = l.weightCS.Add(h) // error = not weight-indexable; acceptable
-}
-
-// indexModels is the batch form of indexModel: models are embedded
-// concurrently and indexed in input order, so the resulting indexes are
-// identical to a serial indexModel loop over the same slice.
-func (l *Lake) indexModels(handles []*model.Handle) {
-	if len(handles) == 0 {
-		return
+	if l.cfg.EagerRehydrate {
+		// The pre-vec-record path, kept intact as the measured baseline:
+		// record re-read, blob read + verify, weight decode, re-embed.
+		m, err := l.reg.LoadModel(rec.ID)
+		if err != nil {
+			return hydrated{err: fmt.Errorf("lake: rehydrate %s: %w", rec.ID, err)}
+		}
+		return l.embedHydrated(m)
 	}
-	p := l.cfg.IngestParallelism
-	for i, err := range l.behaviorCS.AddAll(handles, p) {
-		if err == nil {
-			l.taskSearch.Add(handles[i])
+	if b, err := l.kv.Get(vecKey(rec.ID)); err == nil {
+		if ns, vecs, err := decodeVecRecord(b); err == nil && ns == l.vecNS {
+			var h hydrated
+			for _, sv := range vecs {
+				switch sv.Space {
+				case l.behaviorCS.EmbedderName():
+					h.bvec = sv.Vec
+				case l.weightCS.EmbedderName():
+					h.wvec = sv.Vec
+				}
+			}
+			if h.bvec != nil || h.wvec != nil {
+				// A registered blob that vanished — the crash-consistency
+				// hazard a reopen must catch — fails Open loudly. Content
+				// verification is deferred to the first read unless
+				// VerifyBlobsOnOpen asks for the full integrity sweep:
+				// blob writes are atomic (temp + rename), so a present
+				// blob was written whole, and every Get checksum-verifies
+				// before returning. Skipping the full read keeps fast
+				// Open O(records), not O(weight bytes).
+				if l.cfg.VerifyBlobsOnOpen {
+					if _, err := l.blobs.Get(rec.Weights); err != nil {
+						return hydrated{err: fmt.Errorf("lake: rehydrate %s: %w", rec.ID, err)}
+					}
+				} else {
+					exists := false
+					if known != nil {
+						_, exists = known[rec.Weights]
+					} else {
+						exists = l.blobs.Has(rec.Weights)
+					}
+					if !exists {
+						return hydrated{err: fmt.Errorf("lake: rehydrate %s: %w: %s",
+							rec.ID, blob.ErrNotFound, rec.Weights)}
+					}
+				}
+				return h
+			}
 		}
 	}
-	_ = l.weightCS.AddAll(handles, p) // per-model errors = not weight-indexable; acceptable
+	// Fallback (pre-vec lakes, changed embedding config): read + verify the
+	// blob, decode the model, and embed it like ingest would.
+	raw, err := l.blobs.Get(rec.Weights)
+	if err != nil {
+		return hydrated{err: fmt.Errorf("lake: rehydrate %s: %w", rec.ID, err)}
+	}
+	net, err := nn.DecodeMLP(raw)
+	if err != nil {
+		return hydrated{err: fmt.Errorf("lake: rehydrate %s: decode weights: %w", rec.ID, err)}
+	}
+	return l.embedHydrated(&model.Model{ID: rec.ID, Name: rec.Name, Net: net, Hist: rec.Hist})
+}
+
+// embedHydrated embeds a decoded model for both content spaces — the shared
+// tail of the eager and fallback rehydrate paths.
+func (l *Lake) embedHydrated(m *model.Model) hydrated {
+	h := hydrated{m: m}
+	mh := model.NewHandle(m)
+	if v, err := l.behaviorCS.EmbedQuery(mh); err == nil {
+		h.bvec = v
+	}
+	if v, err := l.weightCS.EmbedQuery(mh); err == nil {
+		h.wvec = v
+	}
+	return h
+}
+
+// runParallel runs fn(0..n-1) across a bounded worker pool. parallelism <= 0
+// means GOMAXPROCS; fn must synchronize any shared state itself.
+func runParallel(n, parallelism int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ensureTaskRoster materializes the task-search roster deferred by a fast
+// rehydrate: model handles load on first task search instead of on every
+// reopen. Models that fail to load (e.g. deleted since) are skipped, which
+// matches the eager path's "nothing content-indexable survives" policy.
+func (l *Lake) ensureTaskRoster() {
+	l.mu.RLock()
+	ready := l.taskReady
+	l.mu.RUnlock()
+	if ready {
+		return
+	}
+	l.rosterMu.Lock()
+	defer l.rosterMu.Unlock()
+	l.mu.Lock()
+	pending := l.taskPending
+	l.taskPending = nil
+	l.taskReady = true
+	l.mu.Unlock()
+	for _, id := range pending {
+		h, err := l.Model(id)
+		if err != nil {
+			continue
+		}
+		l.taskSearch.Add(h)
+	}
+}
+
+// ensureKeyword materializes the keyword index deferred by rehydrate: cards
+// load and tokenize on the first keyword search instead of on every reopen.
+// A PutCard racing the drain is safe — keyword.Add replaces a model's
+// document, and the drain reads the registry's current (already updated)
+// card.
+func (l *Lake) ensureKeyword() {
+	l.mu.RLock()
+	ready := l.kwReady
+	l.mu.RUnlock()
+	if ready {
+		return
+	}
+	l.kwMu.Lock()
+	defer l.kwMu.Unlock()
+	l.mu.Lock()
+	pending := l.kwPending
+	l.kwPending = nil
+	l.kwReady = true
+	l.mu.Unlock()
+	for _, id := range pending {
+		if c, err := l.reg.Card(id); err == nil {
+			l.keyword.Add(id, c.Text())
+		}
+	}
+}
+
+// taskSearchAdd routes a freshly ingested behaviour-indexed model into the
+// task roster: directly when the roster is live, or onto the pending queue
+// when rehydration deferred it (keeping roster order = ingest order).
+func (l *Lake) taskSearchAdd(m *model.Model) {
+	l.mu.Lock()
+	if !l.taskReady {
+		l.taskPending = append(l.taskPending, m.ID)
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+	l.taskSearch.Add(model.NewHandle(m))
 }
 
 // Close releases the lake's storage.
@@ -310,70 +569,193 @@ func (l *Lake) Ready() error {
 // Count returns the number of models in the lake.
 func (l *Lake) Count() int { return l.reg.Count() }
 
+// embedded holds the ID-independent per-model work a batch ingest can do
+// concurrently before any durable state is touched: the content-space
+// embeddings and the weights fingerprint.
+type embedded struct {
+	bvec, wvec tensor.Vector
+	fp         string
+	done       bool
+}
+
+// preparedIngest is one model's fully staged ingest: registry ops, the
+// vec-record and provenance ops that commit atomically with them, and the
+// in-memory bookkeeping inputs for after the batch lands.
+type preparedIngest struct {
+	pend  *registry.Pending
+	extra []kvstore.Op // vec record + provenance, same atomic batch
+	bvec  tensor.Vector
+	wvec  tensor.Vector
+	m     *model.Model
+	c     *card.Card
+}
+
+// embedItem computes a model's content-space vectors and weights
+// fingerprint. All of it is independent of the (not yet assigned) model ID,
+// which is what lets batch ingest run this stage on a worker pool.
+func (l *Lake) embedItem(m *model.Model) embedded {
+	e := embedded{done: true}
+	if m == nil {
+		return e
+	}
+	h := model.NewHandle(m)
+	if v, err := l.behaviorCS.EmbedQuery(h); err == nil {
+		e.bvec = v
+	}
+	if v, err := l.weightCS.EmbedQuery(h); err == nil {
+		e.wvec = v
+	}
+	if fp, ok := embedding.Fingerprint(h); ok {
+		e.fp = fp
+	}
+	return e
+}
+
+// prepareIngest stages one model for commit: registry Prepare (ID + seq
+// assignment, record/card/name ops), the persisted-vector record, and the
+// provenance journal entries. pending carries provenance entity IDs staged
+// earlier in the same batch, so in-batch derivations relate exactly like a
+// serial ingest loop would. Nothing durable happens here beyond sequence
+// leases; the caller owns blob writes and the atomic Apply.
+func (l *Lake) prepareIngest(m *model.Model, c *card.Card, opts registry.RegisterOptions, e embedded, pending map[string]bool) (*preparedIngest, error) {
+	if !e.done {
+		e = l.embedItem(m)
+	}
+	if e.fp != "" && opts.WeightsFP == "" {
+		opts.WeightsFP = e.fp
+	}
+	pend, err := l.reg.Prepare(m, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	p := &preparedIngest{pend: pend, bvec: e.bvec, wvec: e.wvec, m: m, c: c}
+	if pend.Rec.Weights != "" && (e.bvec != nil || e.wvec != nil) {
+		// Persist the vectors for open-weights models only: closed-weights
+		// behaviour intentionally does not survive restarts.
+		var vecs []spaceVec
+		if e.bvec != nil {
+			vecs = append(vecs, spaceVec{Space: l.behaviorCS.EmbedderName(), Vec: e.bvec})
+		}
+		if e.wvec != nil {
+			vecs = append(vecs, spaceVec{Space: l.weightCS.EmbedderName(), Vec: e.wvec})
+		}
+		p.extra = append(p.extra, kvstore.Op{Key: vecKey(pend.Rec.ID), Value: encodeVecRecord(l.vecNS, vecs)})
+	}
+	provOps, err := l.provenanceOps(pend.Rec, m, pending)
+	if err != nil {
+		return nil, err
+	}
+	p.extra = append(p.extra, provOps...)
+	return p, nil
+}
+
+// commitIngest applies the in-memory effects of a landed ingest batch entry,
+// in the same order the old serial path did. The caller invalidates the
+// query cache (once per batch, not per model).
+func (l *Lake) commitIngest(p *preparedIngest) {
+	rec := p.pend.Rec
+	p.m.ID = rec.ID
+	l.mu.Lock()
+	l.modelCache[rec.ID] = p.m
+	l.graph = nil // new model invalidates the cached version graph
+	l.mu.Unlock()
+	if p.c != nil {
+		cc := p.c.Clone()
+		cc.ModelID = rec.ID
+		l.keyword.Add(rec.ID, cc.Text())
+	}
+	if p.bvec != nil {
+		if err := l.behaviorCS.AddVector(rec.ID, p.bvec); err == nil {
+			l.taskSearchAdd(p.m)
+		}
+	}
+	if p.wvec != nil {
+		_ = l.weightCS.AddVector(rec.ID, p.wvec)
+	}
+}
+
 // Ingest registers a model with its card, indexes it for every search
-// modality, and journals its provenance. It returns the registry record.
+// modality, and journals its provenance. The registry record, name mapping,
+// card, persisted index vectors, and provenance entries commit in ONE atomic
+// kvstore batch: a crash anywhere leaves either the whole model or none of
+// it, never a half-registered ghost. It returns the registry record.
 func (l *Lake) Ingest(m *model.Model, c *card.Card, opts registry.RegisterOptions) (*registry.Record, error) {
 	start := time.Now()
 	defer mIngestDur.Since(start)
 	mIngests.Inc()
-	rec, err := l.reg.Register(m, c, opts)
+	p, err := l.prepareIngest(m, c, opts, embedded{}, map[string]bool{})
 	if err != nil {
 		return nil, err
 	}
-	l.mu.Lock()
-	l.modelCache[rec.ID] = m
-	l.graph = nil // new model invalidates the cached version graph
-	l.mu.Unlock()
-
-	if c != nil {
-		cc := c.Clone()
-		cc.ModelID = rec.ID
-		l.keyword.Add(rec.ID, cc.Text())
+	if p.pend.EncodedWeights != nil {
+		if _, err := l.blobs.Put(p.pend.EncodedWeights); err != nil {
+			return nil, fmt.Errorf("registry: store weights: %w", err)
+		}
 	}
-	l.indexModel(m)
-	l.qcache.invalidate() // new vectors can change any content-search answer
-
-	if err := l.journalProvenance(rec, m); err != nil {
+	if err := l.kv.Apply(append(p.pend.Ops, p.extra...)); err != nil {
 		return nil, err
 	}
-	return rec, nil
+	l.commitIngest(p)
+	l.qcache.invalidate() // new vectors can change any content-search answer
+	return p.pend.Rec, nil
 }
 
-// journalProvenance records the model entity, its creating activity, and
-// declared inputs in the provenance journal.
-func (l *Lake) journalProvenance(rec *registry.Record, m *model.Model) error {
-	if _, err := l.prov.Put("model:"+rec.ID, provenance.Entity, rec.Name, map[string]string{
+// provenanceOps builds the journal writes for a model's provenance — the
+// model entity, its creating activity, and declared inputs — without
+// committing them, so they ride in the registration's atomic batch. pending
+// vouches for entity IDs staged earlier in the same batch.
+func (l *Lake) provenanceOps(rec *registry.Record, m *model.Model, pending map[string]bool) ([]kvstore.Op, error) {
+	var ops []kvstore.Op
+	put := func(id string, kind provenance.Kind, label string, attrs map[string]string) error {
+		_, op, err := l.prov.PutOps(id, kind, label, attrs)
+		if err != nil {
+			return fmt.Errorf("lake: provenance: %w", err)
+		}
+		ops = append(ops, op)
+		pending[id] = true
+		return nil
+	}
+	relate := func(typ provenance.RelationType, subject, object string) error {
+		op, err := l.prov.RelateOps(typ, subject, object, func(id string) bool { return pending[id] })
+		if err != nil {
+			return err
+		}
+		ops = append(ops, op)
+		return nil
+	}
+	ent := "model:" + rec.ID
+	if err := put(ent, provenance.Entity, rec.Name, map[string]string{
 		"arch": rec.Arch, "version": rec.Version,
 	}); err != nil {
-		return fmt.Errorf("lake: provenance: %w", err)
+		return nil, err
 	}
 	if m.Hist != nil {
 		act := "activity:" + rec.ID + "/" + m.Hist.Transformation
-		if _, err := l.prov.Put(act, provenance.Activity, m.Hist.Transformation, nil); err != nil {
-			return err
+		if err := put(act, provenance.Activity, m.Hist.Transformation, nil); err != nil {
+			return nil, err
 		}
-		if err := l.prov.Relate(provenance.WasGeneratedBy, "model:"+rec.ID, act); err != nil {
-			return err
+		if err := relate(provenance.WasGeneratedBy, ent, act); err != nil {
+			return nil, err
 		}
 		if m.Hist.DatasetID != "" {
 			dsEnt := "dataset:" + m.Hist.DatasetID
-			if _, err := l.prov.Put(dsEnt, provenance.Entity, m.Hist.DatasetID, nil); err != nil {
-				return err
+			if err := put(dsEnt, provenance.Entity, m.Hist.DatasetID, nil); err != nil {
+				return nil, err
 			}
-			if err := l.prov.Relate(provenance.Used, act, dsEnt); err != nil {
-				return err
+			if err := relate(provenance.Used, act, dsEnt); err != nil {
+				return nil, err
 			}
 		}
 		for _, base := range m.Hist.BaseModelIDs {
 			baseEnt := "model:" + base
-			if l.kv.Has("prov/rec/" + baseEnt) {
-				if err := l.prov.Relate(provenance.WasDerivedFrom, "model:"+rec.ID, baseEnt); err != nil {
-					return err
+			if l.kv.Has("prov/rec/"+baseEnt) || pending[baseEnt] {
+				if err := relate(provenance.WasDerivedFrom, ent, baseEnt); err != nil {
+					return nil, err
 				}
 			}
 		}
 	}
-	return nil
+	return ops, nil
 }
 
 // IngestItem is one model in a batch ingest.
@@ -383,53 +765,132 @@ type IngestItem struct {
 	Opts  registry.RegisterOptions
 }
 
-// IngestAll is the batch form of Ingest: registration and provenance are
-// journaled serially (they append to the metadata log), then every
-// registered model is embedded concurrently and indexed in input order, so
-// the resulting indexes are identical to a serial Ingest loop. The returned
-// slices are aligned with items; a nil error means that model was fully
-// ingested. parallelism <= 0 uses the lake's configured IngestParallelism
-// (and GOMAXPROCS when that is unset too).
+// Batch-ingest chunking: each chunk of staged models commits as one atomic
+// multi-record kvstore batch (one fsync under Sync). Bounds keep a chunk
+// comfortably under the store's record-size ceiling while amortizing the
+// commit cost across many models.
+const (
+	ingestChunkModels = 128
+	ingestChunkBytes  = 4 << 20
+)
+
+// IngestAll is the batch form of Ingest, rebuilt around the write path's
+// batch primitives: models are embedded concurrently (stage 1), staged
+// serially in input order so IDs and sequence numbers match a serial Ingest
+// loop exactly (stage 2), their weights land with coalesced shard-directory
+// fsyncs (stage 3), and registration + card + persisted vectors + provenance
+// commit in chunked atomic kvstore batches before the in-memory indexes
+// update in input order (stage 4). Each chunk is all-or-nothing; the
+// returned slices are aligned with items and a nil error means that model
+// was fully ingested. parallelism <= 0 uses the lake's configured
+// IngestParallelism (and GOMAXPROCS when that is unset too).
 func (l *Lake) IngestAll(items []IngestItem, parallelism int) ([]*registry.Record, []error) {
 	start := time.Now()
 	defer mIngestDur.Since(start)
 	mIngests.Add(uint64(len(items)))
 	recs := make([]*registry.Record, len(items))
 	errs := make([]error, len(items))
-	var handles []*model.Handle
-	for i, it := range items {
-		rec, err := l.reg.Register(it.Model, it.Card, it.Opts)
-		if err != nil {
-			errs[i] = err
-			continue
-		}
-		recs[i] = rec
-		l.mu.Lock()
-		l.modelCache[rec.ID] = it.Model
-		l.graph = nil
-		l.mu.Unlock()
-		if it.Card != nil {
-			cc := it.Card.Clone()
-			cc.ModelID = rec.ID
-			l.keyword.Add(rec.ID, cc.Text())
-		}
-		if err := l.journalProvenance(rec, it.Model); err != nil {
-			errs[i] = err
-			continue
-		}
-		handles = append(handles, model.NewHandle(it.Model))
+	if len(items) == 0 {
+		return recs, errs
 	}
 	if parallelism <= 0 {
 		parallelism = l.cfg.IngestParallelism
 	}
-	// Content-index failures are viewpoint gaps (wrong input dimension,
-	// withheld weights), not ingest errors — same policy as indexModel.
-	for j, err := range l.behaviorCS.AddAll(handles, parallelism) {
-		if err == nil {
-			l.taskSearch.Add(handles[j])
+
+	// Stage 1: embeddings and fingerprints, concurrently — none of it needs
+	// the model IDs assigned in stage 2.
+	emb := make([]embedded, len(items))
+	runParallel(len(items), parallelism, func(i int) {
+		emb[i] = l.embedItem(items[i].Model)
+	})
+
+	// Stage 2: stage registrations serially in input order. The registry's
+	// durable duplicate check cannot see uncommitted batch entries, so
+	// in-batch name@version collisions are caught here.
+	pres := make([]*preparedIngest, len(items))
+	seen := map[string]bool{}
+	pendingProv := map[string]bool{}
+	var weights [][]byte
+	for i, it := range items {
+		if it.Model != nil {
+			name := it.Opts.Name
+			if name == "" {
+				name = it.Model.Name
+			}
+			ver := it.Opts.Version
+			if ver == "" {
+				ver = "1"
+			}
+			nv := name + "@" + ver
+			if name != "" && seen[nv] {
+				errs[i] = fmt.Errorf("%w: %s", registry.ErrDuplicate, nv)
+				continue
+			}
+			seen[nv] = true
+		}
+		p, err := l.prepareIngest(it.Model, it.Card, it.Opts, emb[i], pendingProv)
+		if err != nil {
+			errs[i] = err
+			continue
+		}
+		pres[i] = p
+		if p.pend.EncodedWeights != nil {
+			weights = append(weights, p.pend.EncodedWeights)
 		}
 	}
-	_ = l.weightCS.AddAll(handles, parallelism)
+
+	// Stage 3: all weights blobs in one batch write — per-blob atomic, but
+	// the shard-directory fsyncs coalesce across the batch.
+	if len(weights) > 0 {
+		if _, err := l.blobs.PutAll(weights); err != nil {
+			for i := range pres {
+				if pres[i] != nil {
+					errs[i] = fmt.Errorf("registry: store weights: %w", err)
+					pres[i] = nil
+				}
+			}
+			return recs, errs
+		}
+	}
+
+	// Stage 4: chunked atomic commits, then in-memory bookkeeping in input
+	// order (so the indexes are identical to a serial Ingest loop).
+	flush := func(chunk []int, ops []kvstore.Op) {
+		if len(chunk) == 0 {
+			return
+		}
+		if err := l.kv.Apply(ops); err != nil {
+			for _, i := range chunk {
+				errs[i] = err
+			}
+			return
+		}
+		for _, i := range chunk {
+			l.commitIngest(pres[i])
+			recs[i] = pres[i].pend.Rec
+		}
+	}
+	var chunk []int
+	var ops []kvstore.Op
+	var opBytes int
+	for i := range pres {
+		if pres[i] == nil {
+			continue
+		}
+		itemOps := append(append([]kvstore.Op(nil), pres[i].pend.Ops...), pres[i].extra...)
+		sz := 0
+		for _, op := range itemOps {
+			sz += len(op.Key) + len(op.Value)
+		}
+		if len(chunk) > 0 && (len(chunk) >= ingestChunkModels || opBytes+sz > ingestChunkBytes) {
+			flush(chunk, ops)
+			chunk, ops, opBytes = nil, nil, 0
+		}
+		chunk = append(chunk, i)
+		ops = append(ops, itemOps...)
+		opBytes += sz
+	}
+	flush(chunk, ops)
 	l.qcache.invalidate()
 	return recs, errs
 }
@@ -463,6 +924,12 @@ func (l *Lake) Reindex(parallelism int) (int, error) {
 	}
 	_ = l.weightCS.Reindex(handles, l.newIndex(), parallelism)
 	l.taskSearch.Reset(taskRoster)
+	// The reset roster is complete: drop any rehydrate-deferred entries so
+	// a later SearchTask doesn't re-add them on top.
+	l.mu.Lock()
+	l.taskPending = nil
+	l.taskReady = true
+	l.mu.Unlock()
 	l.qcache.invalidate()
 	return len(handles), nil
 }
@@ -614,6 +1081,7 @@ func (l *Lake) SearchKeywordContext(ctx context.Context, query string, k int) ([
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	l.ensureKeyword()
 	return l.keyword.Search(query, k), nil
 }
 
@@ -736,9 +1204,14 @@ func (l *Lake) QueryCacheStats() (hits, misses uint64) {
 	return l.qcache.stats()
 }
 
-// SearchTask ranks models by behavioural fit to labeled task examples.
+// SearchTask ranks models by behavioural fit to labeled task examples. The
+// first task search after a reopen materializes the deferred roster (see
+// ensureTaskRoster); answers are identical to an eagerly built roster
+// because task ranking sorts by score with ID tie-breaks, independent of
+// roster order.
 func (l *Lake) SearchTask(examples []search.TaskExample, k int) ([]search.Hit, error) {
 	defer mSearchDurs("task").Since(time.Now())
+	l.ensureTaskRoster()
 	return l.taskSearch.Search(examples, k)
 }
 
@@ -748,6 +1221,7 @@ func (l *Lake) SearchHybrid(query string, queryModelID string, k int) ([]search.
 	defer mSearchDurs("hybrid").Since(time.Now())
 	var rankings [][]search.Hit
 	if query != "" {
+		l.ensureKeyword()
 		rankings = append(rankings, l.keyword.Search(query, k*4))
 	}
 	if queryModelID != "" {

@@ -11,13 +11,11 @@ package provenance
 
 import (
 	"crypto/sha256"
-	"encoding/binary"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
-	"sync"
 
 	"modellake/internal/kvstore"
 	"modellake/internal/version"
@@ -65,53 +63,57 @@ type Relation struct {
 // ErrNotFound reports a missing provenance record.
 var ErrNotFound = errors.New("provenance: record not found")
 
+// provSeqBlock is the lease size for journal sequence numbers (see
+// kvstore.Sequence): one durable write per 64 provenance records instead of
+// one per record. Sequence numbers may skip after a crash but never repeat,
+// which is all journal ordering needs.
+const provSeqBlock = 64
+
 // Journal is the durable provenance store.
 type Journal struct {
-	kv *kvstore.Store
-	mu sync.Mutex
+	kv  *kvstore.Store
+	seq *kvstore.Sequence
 }
 
 // NewJournal wraps a kvstore as a provenance journal.
-func NewJournal(kv *kvstore.Store) *Journal { return &Journal{kv: kv} }
+func NewJournal(kv *kvstore.Store) *Journal {
+	return &Journal{kv: kv, seq: kvstore.NewSequence(kv, "prov/seq", provSeqBlock)}
+}
 
 func recKey(id string) string  { return "prov/rec/" + id }
 func relKey(seq uint64) string { return fmt.Sprintf("prov/rel/%016d", seq) }
 
-func (j *Journal) nextSeq() (uint64, error) {
-	var seq uint64
-	if b, err := j.kv.Get("prov/seq"); err == nil && len(b) == 8 {
-		seq = binary.LittleEndian.Uint64(b)
-	}
-	seq++
-	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(buf, seq)
-	if err := j.kv.Put("prov/seq", buf); err != nil {
-		return 0, err
-	}
-	return seq, nil
-}
-
 // Put records a node. Re-recording an existing ID overwrites its label and
 // attributes (provenance identity is the ID).
 func (j *Journal) Put(id string, kind Kind, label string, attrs map[string]string) (*Record, error) {
-	if id == "" {
-		return nil, fmt.Errorf("provenance: empty record id")
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	seq, err := j.nextSeq()
+	rec, op, err := j.PutOps(id, kind, label, attrs)
 	if err != nil {
 		return nil, err
+	}
+	if err := j.kv.Apply([]kvstore.Op{op}); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// PutOps builds the journal write for a node without committing it, so bulk
+// ingest can fold many provenance records (and their subject's registry
+// keys) into one atomic kvstore batch. Only the sequence lease may touch
+// disk here.
+func (j *Journal) PutOps(id string, kind Kind, label string, attrs map[string]string) (*Record, kvstore.Op, error) {
+	if id == "" {
+		return nil, kvstore.Op{}, fmt.Errorf("provenance: empty record id")
+	}
+	seq, err := j.seq.Next()
+	if err != nil {
+		return nil, kvstore.Op{}, err
 	}
 	rec := &Record{ID: id, Kind: kind, Label: label, Attrs: attrs, Seq: seq}
 	b, err := json.Marshal(rec)
 	if err != nil {
-		return nil, fmt.Errorf("provenance: marshal: %w", err)
+		return nil, kvstore.Op{}, fmt.Errorf("provenance: marshal: %w", err)
 	}
-	if err := j.kv.Put(recKey(id), b); err != nil {
-		return nil, err
-	}
-	return rec, nil
+	return rec, kvstore.Op{Key: recKey(id), Value: b}, nil
 }
 
 // Get returns the record with the given ID.
@@ -132,24 +134,37 @@ func (j *Journal) Get(id string) (*Record, error) {
 
 // Relate journals a relation edge. Both endpoints must already be recorded.
 func (j *Journal) Relate(typ RelationType, subject, object string) error {
-	if !j.kv.Has(recKey(subject)) {
-		return fmt.Errorf("%w: subject %s", ErrNotFound, subject)
-	}
-	if !j.kv.Has(recKey(object)) {
-		return fmt.Errorf("%w: object %s", ErrNotFound, object)
-	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	seq, err := j.nextSeq()
+	op, err := j.RelateOps(typ, subject, object, nil)
 	if err != nil {
 		return err
+	}
+	return j.kv.Apply([]kvstore.Op{op})
+}
+
+// RelateOps builds (without committing) the journal write for a relation
+// edge. Both endpoints must already be recorded — either durably, or as a
+// pending write in the same batch, which the caller vouches for via the
+// optional pending predicate.
+func (j *Journal) RelateOps(typ RelationType, subject, object string, pending func(id string) bool) (kvstore.Op, error) {
+	known := func(id string) bool {
+		return j.kv.Has(recKey(id)) || (pending != nil && pending(id))
+	}
+	if !known(subject) {
+		return kvstore.Op{}, fmt.Errorf("%w: subject %s", ErrNotFound, subject)
+	}
+	if !known(object) {
+		return kvstore.Op{}, fmt.Errorf("%w: object %s", ErrNotFound, object)
+	}
+	seq, err := j.seq.Next()
+	if err != nil {
+		return kvstore.Op{}, err
 	}
 	rel := Relation{Type: typ, Subject: subject, Object: object, Seq: seq}
 	b, err := json.Marshal(rel)
 	if err != nil {
-		return fmt.Errorf("provenance: marshal relation: %w", err)
+		return kvstore.Op{}, fmt.Errorf("provenance: marshal relation: %w", err)
 	}
-	return j.kv.Put(relKey(seq), b)
+	return kvstore.Op{Key: relKey(seq), Value: b}, nil
 }
 
 // Relations returns all journaled relations in journal order.

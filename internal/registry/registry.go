@@ -9,15 +9,19 @@
 //	model/<id>        -> Record JSON
 //	card/<id>         -> card JSON
 //	name/<name>@<ver> -> model id
-//	meta/seq          -> monotonically increasing sequence counter
+//	meta/seq          -> sequence high-water mark (leased in blocks)
+//
+// A registration spans several keys (record, card, name index); they are
+// committed as one atomic kvstore batch record, so a crash or IO failure
+// can never leave a half-registered model behind. Bulk writers use
+// Prepare/Commit directly to fold many registrations (plus their
+// provenance) into shared batch records and coalesced blob writes.
 package registry
 
 import (
-	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
-	"sync"
 
 	"modellake/internal/blob"
 	"modellake/internal/card"
@@ -44,6 +48,12 @@ type Record struct {
 	Arch      string  `json:"arch,omitempty"`
 	NumParams int     `json:"num_params,omitempty"`
 	Weights   blob.ID `json:"weights,omitempty"` // empty for closed-weights models
+	// WeightsFP is the embedding-layer fingerprint of the stored weights
+	// (see embedding.Fingerprint). It keys the embedding vector cache, so a
+	// rehydrating lake can look up cached vectors without reading or
+	// decoding the weights blob. Empty for closed-weights models and for
+	// records written before the field existed.
+	WeightsFP string `json:"weights_fp,omitempty"`
 
 	// Declared (documentation-derived) metadata.
 	DeclaredBases []string       `json:"declared_bases,omitempty"`
@@ -53,16 +63,22 @@ type Record struct {
 	Hist          *model.History `json:"history,omitempty"`
 }
 
+// seqBlock is the lease size for registration sequence numbers: one
+// durable write hands out this many IDs, so bulk ingest pays ~1/seqBlock of
+// a kv write per model for ID assignment. A crash can skip at most one
+// block of IDs; it can never reuse one.
+const seqBlock = 64
+
 // Registry is the catalog. It is safe for concurrent use.
 type Registry struct {
 	kv    *kvstore.Store
 	blobs blob.Store
-	mu    sync.Mutex // guards the sequence counter
+	seq   *kvstore.Sequence
 }
 
 // New creates a registry over the given stores.
 func New(kv *kvstore.Store, blobs blob.Store) *Registry {
-	return &Registry{kv: kv, blobs: blobs}
+	return &Registry{kv: kv, blobs: blobs, seq: kvstore.NewSequence(kv, "meta/seq", seqBlock)}
 }
 
 // NewInMemory creates a throwaway registry with in-memory backing stores.
@@ -74,23 +90,6 @@ func modelKey(id string) string           { return "model/" + id }
 func cardKey(id string) string            { return "card/" + id }
 func nameKey(name, version string) string { return "name/" + name + "@" + version }
 
-// nextSeq atomically increments and persists the sequence counter.
-func (r *Registry) nextSeq() (uint64, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var seq uint64
-	if b, err := r.kv.Get("meta/seq"); err == nil && len(b) == 8 {
-		seq = binary.LittleEndian.Uint64(b)
-	}
-	seq++
-	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(buf, seq)
-	if err := r.kv.Put("meta/seq", buf); err != nil {
-		return 0, err
-	}
-	return seq, nil
-}
-
 // RegisterOptions carries the declared metadata accompanying an upload.
 type RegisterOptions struct {
 	Name    string
@@ -100,12 +99,36 @@ type RegisterOptions struct {
 	// reachable through the live handle the caller retains, but the lake
 	// stores no θ.
 	WithholdWeights bool
+	// WeightsFP optionally records the embedding fingerprint of the
+	// weights (embedding.Fingerprint) on the record, letting a later
+	// rehydrate hit the vector cache without touching the weights blob.
+	// Ignored for withheld weights.
+	WeightsFP string
 }
 
-// Register stores a model and its card, assigning a lake ID. The model's
-// Hist (if any) is recorded as declared history. The card's ModelID is
-// rewritten to the assigned ID.
-func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) (*Record, error) {
+// Pending is a validated registration that has not been committed yet. The
+// caller either hands it back to Commit, or (for bulk ingest) stores
+// EncodedWeights itself via blob.Store.PutAll and folds Ops into a larger
+// atomic kvstore batch. A Pending that is dropped costs nothing durable
+// except a skipped sequence number.
+type Pending struct {
+	Rec *Record
+	// Ops is the complete multi-key commit (card, record, name index).
+	// Applying it atomically is what makes registration all-or-nothing.
+	Ops []kvstore.Op
+	// EncodedWeights is the serialized weights blob to store under
+	// Rec.Weights before the ops commit; nil for closed-weights models.
+	EncodedWeights []byte
+	// Model is the registered model; its ID field should be set to Rec.ID
+	// once the commit succeeds.
+	Model *model.Model
+}
+
+// Prepare validates an upload, assigns its ID, and builds the atomic
+// commit: the encoded weights blob plus the kvstore ops for every catalog
+// key. Nothing durable happens here (besides, at most, a sequence lease);
+// the caller commits via Commit or by applying Ops itself.
+func (r *Registry) Prepare(m *model.Model, c *card.Card, opts RegisterOptions) (*Pending, error) {
 	if m == nil {
 		return nil, fmt.Errorf("registry: nil model")
 	}
@@ -123,7 +146,7 @@ func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) 
 	if r.kv.Has(nameKey(name, version)) {
 		return nil, fmt.Errorf("%w: %s@%s", ErrDuplicate, name, version)
 	}
-	seq, err := r.nextSeq()
+	seq, err := r.seq.Next()
 	if err != nil {
 		return nil, fmt.Errorf("registry: sequence: %w", err)
 	}
@@ -136,6 +159,7 @@ func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) 
 		Seq:     seq,
 		Tags:    append([]string(nil), opts.Tags...),
 	}
+	p := &Pending{Rec: rec, Model: m}
 	if m.Net != nil {
 		rec.Arch = m.Net.ArchString()
 		rec.NumParams = m.Net.NumParams()
@@ -144,11 +168,12 @@ func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) 
 			if err != nil {
 				return nil, fmt.Errorf("registry: encode weights: %w", err)
 			}
-			bid, err := r.blobs.Put(enc)
-			if err != nil {
-				return nil, fmt.Errorf("registry: store weights: %w", err)
-			}
-			rec.Weights = bid
+			// Content addressing lets the ID be computed before the blob is
+			// stored, so records can reference weights that a batch writer
+			// persists later (but still before the ops commit).
+			rec.Weights = blob.Sum(enc)
+			rec.WeightsFP = opts.WeightsFP
+			p.EncodedWeights = enc
 		}
 	}
 	if m.Hist != nil {
@@ -157,25 +182,6 @@ func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) 
 		rec.DeclaredBases = append([]string(nil), m.Hist.BaseModelIDs...)
 		rec.DeclaredData = m.Hist.DatasetID
 		rec.Domain = m.Hist.DatasetDomain
-	}
-	// The registration spans several kvstore keys; track what has been
-	// written so a failure part-way can be rolled back, leaving no
-	// half-registered model behind. (An already-stored weights blob is
-	// deliberately left in place: content-addressed data is harmless and
-	// may be shared.)
-	var written []string
-	rollback := func() {
-		for i := len(written) - 1; i >= 0; i-- {
-			_ = r.kv.Delete(written[i]) // best effort
-		}
-	}
-	putKV := func(key string, val []byte) error {
-		if err := r.kv.Put(key, val); err != nil {
-			rollback()
-			return err
-		}
-		written = append(written, key)
-		return nil
 	}
 	if c != nil {
 		cc := c.Clone()
@@ -187,9 +193,7 @@ func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) 
 		if err != nil {
 			return nil, err
 		}
-		if err := putKV(cardKey(id), cb); err != nil {
-			return nil, fmt.Errorf("registry: store card: %w", err)
-		}
+		p.Ops = append(p.Ops, kvstore.Op{Key: cardKey(id), Value: cb})
 		if rec.Domain == "" {
 			rec.Domain = cc.Domain
 		}
@@ -202,17 +206,44 @@ func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) 
 	}
 	rb, err := json.Marshal(rec)
 	if err != nil {
-		rollback()
 		return nil, fmt.Errorf("registry: marshal record: %w", err)
 	}
-	if err := putKV(modelKey(id), rb); err != nil {
-		return nil, fmt.Errorf("registry: store record: %w", err)
+	p.Ops = append(p.Ops,
+		kvstore.Op{Key: modelKey(id), Value: rb},
+		kvstore.Op{Key: nameKey(name, version), Value: []byte(id)},
+	)
+	return p, nil
+}
+
+// Commit stores the pending registration: weights blob first, then the
+// catalog keys as one atomic batch record. A failure commits nothing
+// durable (an orphaned content-addressed blob is harmless and may be
+// shared).
+func (r *Registry) Commit(p *Pending) (*Record, error) {
+	if p.EncodedWeights != nil {
+		if _, err := r.blobs.Put(p.EncodedWeights); err != nil {
+			return nil, fmt.Errorf("registry: store weights: %w", err)
+		}
 	}
-	if err := putKV(nameKey(name, version), []byte(id)); err != nil {
-		return nil, fmt.Errorf("registry: store name index: %w", err)
+	if err := r.kv.Apply(p.Ops); err != nil {
+		return nil, fmt.Errorf("registry: commit registration: %w", err)
 	}
-	m.ID = id
-	return rec, nil
+	if p.Model != nil {
+		p.Model.ID = p.Rec.ID
+	}
+	return p.Rec, nil
+}
+
+// Register stores a model and its card, assigning a lake ID. The model's
+// Hist (if any) is recorded as declared history. The card's ModelID is
+// rewritten to the assigned ID. The whole registration commits as one
+// atomic batch record.
+func (r *Registry) Register(m *model.Model, c *card.Card, opts RegisterOptions) (*Record, error) {
+	p, err := r.Prepare(m, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.Commit(p)
 }
 
 // Get returns the record for a model ID.

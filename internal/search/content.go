@@ -74,6 +74,38 @@ func (s *ContentSearcher) Add(h *model.Handle) error {
 	return nil
 }
 
+// Reserve hints that about n models of dimension dim are about to be added,
+// letting capacity-aware indexes (Flat) pre-size their packed storage. It is
+// advisory: indexes without the hint ignore it, and n is not a cap.
+func (s *ContentSearcher) Reserve(n, dim int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.idx.(interface{ Reserve(n, dim int) }); ok {
+		r.Reserve(n, dim)
+	}
+}
+
+// AddVector indexes a model under a precomputed embedding, skipping the
+// embed step entirely — the fast path behind lake rehydration, where the
+// vector was computed (by this searcher's own embedder) at ingest time and
+// persisted alongside the registry record. The caller is responsible for the
+// vector actually belonging to this searcher's embedding space; everything
+// else (ID reservation, index insertion) matches Add exactly, so an
+// AddVector call is indistinguishable from an Add that hit the embedding
+// cache.
+func (s *ContentSearcher) AddVector(id string, v tensor.Vector) error {
+	if err := s.reserve(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.idx.Add(id, v); err != nil {
+		delete(s.added, id)
+		return fmt.Errorf("search: index %s: %w", id, err)
+	}
+	return nil
+}
+
 // index snapshots the current index under the read lock: Reindex swaps the
 // index out atomically, and searches must not observe a half-assigned field.
 func (s *ContentSearcher) index() index.Index {

@@ -213,6 +213,10 @@ func TestMetricsEndpoint(t *testing.T) {
 		"lake_embed_cache_misses_total",
 		"# TYPE kvstore_fsync_duration_seconds histogram",
 		"kvstore_fsync_duration_seconds_count",
+		"# TYPE kvstore_commit_batch_size histogram",
+		"kvstore_commit_batch_size_count",
+		"# TYPE kvstore_commit_waiters gauge",
+		"kvstore_commit_waiters",
 		"http_requests_inflight",
 	} {
 		if !strings.Contains(text, want) {

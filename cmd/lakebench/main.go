@@ -6,7 +6,9 @@
 // -parallelism sets the worker count it benchmarks (0 = GOMAXPROCS).
 // Likewise E13 (the read-path query benchmark) writes its summary to
 // -query-json, and E14 (the write-path benchmark: group commit, atomic
-// batches, vec-record rehydrate) writes its summary to -write-json.
+// batches, vec-record rehydrate) writes its summary to -write-json, and E15
+// (the cluster benchmark: scatter-gather search, WAL-shipping replication,
+// failover reads) writes its summary to -cluster-json.
 // -metrics-json dumps the process-wide metrics registry after the run, so a
 // benchmark archive carries the low-level counters (fsync latencies, cache
 // hits, ANN probe counts) alongside the headline numbers.
@@ -31,6 +33,7 @@ func main() {
 	ingestJSON := flag.String("ingest-json", "BENCH_ingest.json", "where E12 writes its JSON summary ('' = skip)")
 	queryJSON := flag.String("query-json", "BENCH_query.json", "where E13 writes its JSON summary ('' = skip)")
 	writeJSON := flag.String("write-json", "BENCH_write.json", "where E14 writes its JSON summary ('' = skip)")
+	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "where E15 writes its JSON summary ('' = skip)")
 	metricsJSON := flag.String("metrics-json", "", "where to write a post-run metrics snapshot ('' = skip)")
 	flag.Parse()
 
@@ -78,6 +81,18 @@ func main() {
 			if err == nil && res != nil && *writeJSON != "" {
 				if werr := writeBenchJSON(*writeJSON, res); werr != nil {
 					fmt.Fprintf(os.Stderr, "E14: writing %s: %v\n", *writeJSON, werr)
+					failed++
+				}
+			}
+		} else if ex.ID == "E15" {
+			// E15 (the cluster benchmark: scatter-gather search, replication,
+			// failover reads) captures its JSON summary for the archive
+			// (-cluster-json).
+			var res *experiments.ClusterBenchResult
+			t, res, err = experiments.RunE15Cluster(*seed, 0, 0)
+			if err == nil && res != nil && *clusterJSON != "" {
+				if werr := writeBenchJSON(*clusterJSON, res); werr != nil {
+					fmt.Fprintf(os.Stderr, "E15: writing %s: %v\n", *clusterJSON, werr)
 					failed++
 				}
 			}

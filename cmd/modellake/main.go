@@ -29,11 +29,13 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"modellake"
 	"modellake/internal/advisor"
+	"modellake/internal/cluster"
 	"modellake/internal/lakegen"
 	"modellake/internal/search"
 	"modellake/internal/server"
@@ -105,7 +107,8 @@ commands:
   audit    -dir DIR -id MODEL [-flag MODEL=REASON]...
   cite     -dir DIR -id MODEL
   why      -dir DIR -id MODEL
-  serve    -dir DIR [-addr :8080] [-request-timeout 30s] [-max-inflight 256]
+  serve    -dir DIR [-addr :8080] [-shards N] [-replicas N]
+           [-request-timeout 30s] [-max-inflight 256]
            [-read-timeout 30s] [-write-timeout 90s] [-idle-timeout 2m]
            [-max-body BYTES] [-drain-timeout 15s] [-pprof]`)
 }
@@ -465,6 +468,8 @@ func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	dir := fs.String("dir", "", "lake directory")
 	addr := fs.String("addr", ":8080", "listen address")
+	shards := fs.Int("shards", 0, "serve a sharded cluster with this many shards (0 = single-node lake)")
+	replicas := fs.Int("replicas", 1, "read replicas per shard in cluster mode (-shards > 0)")
 	readTimeout := fs.Duration("read-timeout", 30*time.Second, "max time to read a request, including body")
 	writeTimeout := fs.Duration("write-timeout", 90*time.Second, "max time to write a response")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle limit")
@@ -474,13 +479,15 @@ func cmdServe(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "graceful-shutdown drain limit")
 	pprof := fs.Bool("pprof", false, "expose /debug/pprof/* profiling endpoints")
 	fs.Parse(args)
-	lk, err := openLake(*dir)
-	if err != nil {
-		return err
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
 	}
-	defer lk.Close()
 
-	srv := server.NewWith(lk, server.Config{
+	// Bind the listener and routes before opening the lake, so orchestrators
+	// see the process alive (and /readyz honestly "opening") while a large
+	// log replays, instead of connection-refused followed by a ready flip the
+	// instant the port binds.
+	srv := server.NewOpening(server.Config{
 		RequestTimeout: *reqTimeout,
 		MaxInflight:    *maxInflight,
 		MaxBodyBytes:   *maxBody,
@@ -496,12 +503,49 @@ func cmdServe(args []string) error {
 		IdleTimeout:       *idleTimeout,
 	}
 
-	// Serve until the listener fails or a shutdown signal arrives.
+	// Serve until the listener fails, the open fails, or a shutdown signal
+	// arrives.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "modellake: serving %s (%d models) on %s\n", *dir, lk.Count(), *addr)
+
+	var lakeClose atomic.Pointer[func() error]
+	defer func() {
+		if f := lakeClose.Load(); f != nil {
+			(*f)()
+		}
+	}()
+	go func() {
+		if *shards > 0 {
+			c, err := cluster.Open(cluster.Config{
+				Dir:      *dir,
+				Shards:   *shards,
+				Replicas: *replicas,
+				Lake:     modellake.Config{Sync: true, Seed: 1},
+			})
+			if err != nil {
+				errc <- fmt.Errorf("open cluster: %w", err)
+				return
+			}
+			closeFn := c.Close
+			lakeClose.Store(&closeFn)
+			srv.Attach(c)
+			fmt.Fprintf(os.Stderr, "modellake: serving %s (%d models, %d shards, %d replicas/shard) on %s\n",
+				*dir, c.Count(), *shards, *replicas, *addr)
+			return
+		}
+		lk, err := openLake(*dir)
+		if err != nil {
+			errc <- fmt.Errorf("open lake: %w", err)
+			return
+		}
+		closeFn := lk.Close
+		lakeClose.Store(&closeFn)
+		srv.Attach(lk)
+		fmt.Fprintf(os.Stderr, "modellake: serving %s (%d models) on %s\n", *dir, lk.Count(), *addr)
+	}()
+	fmt.Fprintf(os.Stderr, "modellake: listening on %s, opening %s\n", *addr, *dir)
 	select {
 	case err := <-errc:
 		return err

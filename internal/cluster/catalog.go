@@ -1,0 +1,169 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"modellake/internal/lake"
+	"modellake/internal/mlql"
+	"modellake/internal/search"
+)
+
+// clusterCatalog adapts a Cluster to mlql.Catalog. Each method gathers the
+// per-shard half of the answer (through the shards' own catalog adapters or
+// the split search primitives) and merges with the same comparators the
+// single-node catalog uses, so declarative queries return the same rows in
+// the same order whether the lake is one node or many.
+type clusterCatalog struct {
+	c   *Cluster
+	ctx context.Context
+}
+
+// Candidates implements mlql.Catalog: the union of every shard's candidate
+// rows, sorted by ID like a single registry scan.
+func (cc *clusterCatalog) Candidates() ([]mlql.Row, error) {
+	var out []mlql.Row
+	for _, s := range cc.c.shards {
+		rows, err := readFrom(cc.ctx, s, cc.c.pol, func(l *lake.Lake) ([]mlql.Row, error) {
+			return l.Catalog().Candidates()
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rows...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// TrainedOn implements mlql.Catalog. Every shard holds the full dataset
+// lineage (RegisterDataset broadcasts), so each computes the same version
+// family and reports its own models; the union is the cluster answer.
+func (cc *clusterCatalog) TrainedOn(dataset string, includeVersions bool) (map[string]bool, error) {
+	out := map[string]bool{}
+	for _, s := range cc.c.shards {
+		m, err := readFrom(cc.ctx, s, cc.c.pol, func(l *lake.Lake) (map[string]bool, error) {
+			return l.Catalog().TrainedOn(dataset, includeVersions)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for id := range m {
+			out[id] = true
+		}
+	}
+	return out, nil
+}
+
+// resolveRef maps an MLQL model reference (ID or name) to an ID, mirroring
+// the single-node catalog's resolution order and error text.
+func (cc *clusterCatalog) resolveRef(ref string) (string, error) {
+	if _, err := cc.c.Record(ref); err == nil {
+		return ref, nil
+	}
+	id, err := cc.c.Resolve(ref, "")
+	if err != nil {
+		return "", fmt.Errorf("unknown model %q", ref)
+	}
+	return id, nil
+}
+
+// Outperforms implements mlql.Catalog: the baseline score computes once on
+// the reference model's owning shard, then every shard reports which of its
+// models beat it.
+func (cc *clusterCatalog) Outperforms(modelRef, bench string) (map[string]bool, error) {
+	id, err := cc.resolveRef(modelRef)
+	if err != nil {
+		return nil, err
+	}
+	baseline, err := cc.c.Score(id, bench)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]bool{}
+	for _, s := range cc.c.shards {
+		m, err := readFrom(cc.ctx, s, cc.c.pol, func(l *lake.Lake) (map[string]bool, error) {
+			return l.ScoresAbove(bench, baseline, id)
+		})
+		if err != nil {
+			return nil, err
+		}
+		for mid := range m {
+			out[mid] = true
+		}
+	}
+	return out, nil
+}
+
+// SimilarityRank implements mlql.Catalog. Card-space ranking fetches the
+// query model's card from its owner and runs the global-statistics keyword
+// path; vector spaces run the scatter-gather model-as-query search. Both
+// rank the full population (k = cluster Count), like the single-node
+// catalog.
+func (cc *clusterCatalog) SimilarityRank(modelRef, space string) ([]mlql.Hit, error) {
+	id, err := cc.resolveRef(modelRef)
+	if err != nil {
+		return nil, err
+	}
+	if space == "cards" {
+		crd, err := cc.c.Card(id)
+		if err != nil {
+			return nil, fmt.Errorf("model %q has no card to rank by", id)
+		}
+		hits, err := cc.c.SearchKeywordContext(cc.ctx, crd.Text(), cc.c.Count())
+		if err != nil {
+			return nil, err
+		}
+		return toMLQLHits(hits), nil
+	}
+	hits, err := cc.c.SearchByModelContext(cc.ctx, id, space, cc.c.Count())
+	if err != nil {
+		return nil, err
+	}
+	return toMLQLHits(hits), nil
+}
+
+// TextRank implements mlql.Catalog via the exact two-phase keyword search.
+func (cc *clusterCatalog) TextRank(text string) ([]mlql.Hit, error) {
+	hits, err := cc.c.SearchKeywordContext(cc.ctx, text, cc.c.Count())
+	if err != nil {
+		return nil, err
+	}
+	return toMLQLHits(hits), nil
+}
+
+// BenchmarkRank implements mlql.Catalog: every shard ranks its own models
+// (scores are deterministic, so shard-local runners agree with a global
+// one), and the merged list re-sorts under the single-node comparator —
+// score descending, ties by ID.
+func (cc *clusterCatalog) BenchmarkRank(bench string) ([]mlql.Hit, error) {
+	var out []mlql.Hit
+	for _, s := range cc.c.shards {
+		hits, err := readFrom(cc.ctx, s, cc.c.pol, func(l *lake.Lake) ([]mlql.Hit, error) {
+			return l.Catalog().BenchmarkRank(bench)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, hits...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+func toMLQLHits(hits []search.Hit) []mlql.Hit {
+	out := make([]mlql.Hit, len(hits))
+	for i, h := range hits {
+		out[i] = mlql.Hit{ID: h.ID, Score: h.Score}
+	}
+	return out
+}
+
+// Compile-time conformance.
+var _ mlql.Catalog = (*clusterCatalog)(nil)

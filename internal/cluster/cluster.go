@@ -1,0 +1,625 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"modellake/internal/audit"
+	"modellake/internal/benchmark"
+	"modellake/internal/card"
+	"modellake/internal/data"
+	"modellake/internal/docgen"
+	"modellake/internal/fault"
+	"modellake/internal/lake"
+	"modellake/internal/mlql"
+	"modellake/internal/model"
+	"modellake/internal/provenance"
+	"modellake/internal/registry"
+	"modellake/internal/retry"
+	"modellake/internal/search"
+	"modellake/internal/tensor"
+	"modellake/internal/version"
+)
+
+// Config configures a cluster.
+type Config struct {
+	// Dir is the cluster root; each shard lives in Dir/shardN.
+	Dir string
+	// Shards is the partition count (default 2). It is fixed for the life
+	// of the cluster directory: placement is a pure function of the ID and
+	// the shard count.
+	Shards int
+	// Replicas is the read-replica count per shard (default 1).
+	Replicas int
+	// Vnodes is the consistent-hash virtual-node count per shard
+	// (default DefaultVnodes).
+	Vnodes int
+	// Lake is the per-node lake template. Dir, BlobDir, FS, and Follower
+	// are overridden per node; everything else (Seed, dimensions, Sync,
+	// caches) applies to every node. Seed in particular must be uniform:
+	// embedders across the cluster have to agree bit-for-bit.
+	Lake lake.Config
+	// LeaderFS optionally routes shard i's leader IO through LeaderFS[i]
+	// for fault injection; nil entries (or a nil/short slice) mean the
+	// real filesystem. Replicas always use the real filesystem.
+	LeaderFS []*fault.FS
+	// Retry is the failover policy for routed reads; the zero value uses
+	// the retry package defaults (3 attempts, 2ms base, jittered).
+	Retry retry.Policy
+}
+
+// Cluster is a sharded, replicated lake behind the single-lake API: writes
+// route to the owning shard's leader, reads fail over to replicas, searches
+// scatter to every shard and gather through the same merge machinery the
+// single-node path uses.
+type Cluster struct {
+	cfg    Config
+	ring   *Ring
+	shards []*shard
+	pol    retry.Policy
+
+	// nextID mints catalog IDs centrally (placement hashes the ID, so the
+	// ID must exist before the owning shard is known). Seeded from the
+	// highest persisted ID so reopened clusters keep counting.
+	nextID atomic.Uint64
+
+	// benchmarks remembers the registered suite; benchmark registration is
+	// in-memory on each node, so a restarted leader needs it replayed.
+	bmu        sync.Mutex
+	benchmarks map[string]*benchmark.Benchmark
+}
+
+// Open opens (or creates) a cluster under cfg.Dir.
+func Open(cfg Config) (*Cluster, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("cluster: Dir is required")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 2
+	}
+	if cfg.Replicas < 0 {
+		cfg.Replicas = 0
+	} else if cfg.Replicas == 0 {
+		cfg.Replicas = 1
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: create directory: %w", err)
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		ring:       NewRing(cfg.Shards, cfg.Vnodes),
+		pol:        cfg.Retry,
+		benchmarks: map[string]*benchmark.Benchmark{},
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		var fs *fault.FS
+		if i < len(cfg.LeaderFS) {
+			fs = cfg.LeaderFS[i]
+		}
+		s, err := openShard(i, filepath.Join(cfg.Dir, fmt.Sprintf("shard%d", i)), cfg.Lake, cfg.Replicas, fs)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.shards = append(c.shards, s)
+	}
+	if err := c.seedIDCounter(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// seedIDCounter scans every shard for the highest minted "m-%06d" ID so a
+// reopened cluster continues the sequence instead of colliding.
+func (c *Cluster) seedIDCounter() error {
+	var max uint64
+	for _, s := range c.shards {
+		recs, err := readFrom(context.Background(), s, c.pol, (*lake.Lake).Records)
+		if err != nil {
+			return fmt.Errorf("cluster: seed ID counter: %w", err)
+		}
+		for _, rec := range recs {
+			var n uint64
+			if _, err := fmt.Sscanf(rec.ID, "m-%06d", &n); err == nil && n > max {
+				max = n
+			}
+		}
+	}
+	c.nextID.Store(max)
+	return nil
+}
+
+// MintID allocates the next catalog ID. IDs match the single-node format
+// and sequence ("m-000001", ...), so a cluster and a single lake ingesting
+// the same stream in the same order assign identical IDs.
+func (c *Cluster) MintID() string {
+	return fmt.Sprintf("m-%06d", c.nextID.Add(1))
+}
+
+// NumShards returns the shard count.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// OwnerOf returns the shard index owning a catalog ID.
+func (c *Cluster) OwnerOf(id string) int { return c.ring.Owner(id) }
+
+func (c *Cluster) owner(id string) *shard { return c.shards[c.ring.Owner(id)] }
+
+// Close releases every node in every shard.
+func (c *Cluster) Close() error {
+	for _, s := range c.shards {
+		if s != nil {
+			s.close()
+		}
+	}
+	return nil
+}
+
+// Ready reports whether every shard can serve reads (at least one live
+// node). A shard with its leader down but a live replica is still ready —
+// degraded for writes, available for reads.
+func (c *Cluster) Ready() error {
+	for _, s := range c.shards {
+		if lk, _, _ := s.readNode(); lk == nil {
+			return fmt.Errorf("cluster: shard %d has no live node", s.idx)
+		}
+	}
+	return nil
+}
+
+// --- Write path -------------------------------------------------------
+
+// Ingest stores one model on its owning shard. An empty opts.ID mints the
+// next cluster ID; placement hashes the final ID either way.
+func (c *Cluster) Ingest(m *model.Model, crd *card.Card, opts registry.RegisterOptions) (*registry.Record, error) {
+	if opts.ID == "" {
+		opts.ID = c.MintID()
+	}
+	return writeTo(c.owner(opts.ID), func(l *lake.Lake) (*registry.Record, error) {
+		return l.Ingest(m, crd, opts)
+	})
+}
+
+// IngestAll batch-ingests items, grouping them by owning shard and running
+// the shard batches concurrently. Results and errors align with items.
+func (c *Cluster) IngestAll(items []lake.IngestItem, parallelism int) ([]*registry.Record, []error) {
+	recs := make([]*registry.Record, len(items))
+	errs := make([]error, len(items))
+	groups := make([][]int, len(c.shards))
+	for i := range items {
+		if items[i].Opts.ID == "" {
+			items[i].Opts.ID = c.MintID()
+		}
+		o := c.ring.Owner(items[i].Opts.ID)
+		groups[o] = append(groups[o], i)
+	}
+	var wg sync.WaitGroup
+	for si, idxs := range groups {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s *shard, idxs []int) {
+			defer wg.Done()
+			batch := make([]lake.IngestItem, len(idxs))
+			for j, i := range idxs {
+				batch[j] = items[i]
+			}
+			type batchResult struct {
+				recs []*registry.Record
+				errs []error
+			}
+			res, err := writeTo(s, func(l *lake.Lake) (batchResult, error) {
+				r, e := l.IngestAll(batch, parallelism)
+				return batchResult{r, e}, nil
+			})
+			for j, i := range idxs {
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				recs[i] = res.recs[j]
+				errs[i] = res.errs[j]
+				// writeTo saw a nil error (per-item errors don't surface
+				// there), so node failures inside the batch down the
+				// leader here.
+				if errs[i] != nil && isNodeFailure(errs[i]) {
+					s.markLeaderDown()
+				}
+			}
+		}(c.shards[si], idxs)
+	}
+	wg.Wait()
+	return recs, errs
+}
+
+// RegisterDataset persists the dataset on every shard leader, so each
+// shard's lineage reasoning (and replicas, via shipping) sees the full
+// dataset version graph.
+func (c *Cluster) RegisterDataset(ds *data.Dataset) error {
+	for _, s := range c.shards {
+		if _, err := writeTo(s, func(l *lake.Lake) (struct{}, error) {
+			return struct{}{}, l.RegisterDataset(ds)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterBenchmark registers the benchmark on every node. Benchmarks are
+// in-memory, so replicas need them directly (they never take writes) and
+// restarted leaders get them replayed.
+func (c *Cluster) RegisterBenchmark(b *benchmark.Benchmark) {
+	c.bmu.Lock()
+	c.benchmarks[b.ID] = b
+	c.bmu.Unlock()
+	for _, s := range c.shards {
+		s.mu.RLock()
+		ldr := s.leader
+		s.mu.RUnlock()
+		if ldr != nil {
+			ldr.RegisterBenchmark(b)
+		}
+		for _, r := range s.replicas {
+			r.lk.RegisterBenchmark(b)
+		}
+	}
+}
+
+func (c *Cluster) benchmarkList() []*benchmark.Benchmark {
+	c.bmu.Lock()
+	defer c.bmu.Unlock()
+	out := make([]*benchmark.Benchmark, 0, len(c.benchmarks))
+	for _, b := range c.benchmarks {
+		out = append(out, b)
+	}
+	return out
+}
+
+// --- Routed reads -----------------------------------------------------
+
+// Record returns the catalog record for id from its owning shard.
+func (c *Cluster) Record(id string) (*registry.Record, error) {
+	return readFrom(context.Background(), c.owner(id), c.pol, func(l *lake.Lake) (*registry.Record, error) {
+		return l.Record(id)
+	})
+}
+
+// Card returns the model card for id from its owning shard.
+func (c *Cluster) Card(id string) (*card.Card, error) {
+	return readFrom(context.Background(), c.owner(id), c.pol, func(l *lake.Lake) (*card.Card, error) {
+		return l.Card(id)
+	})
+}
+
+// Resolve maps name[@version] to an ID. Name registrations live on the
+// owning shard of the ID they point at, so resolution asks each shard in
+// turn.
+func (c *Cluster) Resolve(name, ver string) (string, error) {
+	for _, s := range c.shards {
+		id, err := readFrom(context.Background(), s, c.pol, func(l *lake.Lake) (string, error) {
+			return l.Resolve(name, ver)
+		})
+		if err == nil {
+			return id, nil
+		}
+		if !errors.Is(err, registry.ErrNotFound) {
+			return "", err
+		}
+	}
+	return "", fmt.Errorf("%w: %s@%s", registry.ErrNotFound, name, ver)
+}
+
+// Count returns the total model count across shards.
+func (c *Cluster) Count() int {
+	total := 0
+	for _, s := range c.shards {
+		n, err := readFrom(context.Background(), s, c.pol, func(l *lake.Lake) (int, error) {
+			return l.Count(), nil
+		})
+		if err == nil {
+			total += n
+		}
+	}
+	return total
+}
+
+// Records returns every catalog record across shards, sorted by ID — the
+// same order a single-node registry scan yields.
+func (c *Cluster) Records() ([]*registry.Record, error) {
+	var out []*registry.Record
+	for _, s := range c.shards {
+		recs, err := readFrom(context.Background(), s, c.pol, (*lake.Lake).Records)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Score returns model modelID's score on benchID, computed on its owning
+// shard (replicas recompute rather than cache — scores are deterministic).
+func (c *Cluster) Score(modelID, benchID string) (float64, error) {
+	return readFrom(context.Background(), c.owner(modelID), c.pol, func(l *lake.Lake) (float64, error) {
+		return l.Score(modelID, benchID)
+	})
+}
+
+// Cite builds a citation for the model from its owning shard. The embedded
+// version graph is the owning shard's reconstruction.
+func (c *Cluster) Cite(id string) (provenance.Citation, error) {
+	return readFrom(context.Background(), c.owner(id), c.pol, func(l *lake.Lake) (provenance.Citation, error) {
+		return l.Cite(id)
+	})
+}
+
+// ProvenanceWhy explains an entity from the shard that recorded it. Model
+// entities route by ID; anything else is asked of each shard in turn.
+func (c *Cluster) ProvenanceWhy(entity string) (*provenance.Explanation, error) {
+	if id, ok := strings.CutPrefix(entity, "model:"); ok {
+		return readFrom(context.Background(), c.owner(id), c.pol, func(l *lake.Lake) (*provenance.Explanation, error) {
+			return l.ProvenanceWhy(entity)
+		})
+	}
+	var lastErr error
+	for _, s := range c.shards {
+		ex, err := readFrom(context.Background(), s, c.pol, func(l *lake.Lake) (*provenance.Explanation, error) {
+			return l.ProvenanceWhy(entity)
+		})
+		if err == nil {
+			return ex, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// GenerateCardContext drafts documentation for the model on its owning
+// shard. Peer statistics come from that shard's population.
+func (c *Cluster) GenerateCardContext(ctx context.Context, id string) (*docgen.Draft, error) {
+	return readFrom(ctx, c.owner(id), c.pol, func(l *lake.Lake) (*docgen.Draft, error) {
+		return l.GenerateCardContext(ctx, id)
+	})
+}
+
+// AuditContext audits the model on its owning shard. Comparison cohorts
+// come from that shard's population.
+func (c *Cluster) AuditContext(ctx context.Context, id string, flagged map[string]string) (*audit.Report, error) {
+	return readFrom(ctx, c.owner(id), c.pol, func(l *lake.Lake) (*audit.Report, error) {
+		return l.AuditContext(ctx, id, flagged)
+	})
+}
+
+// --- Scatter-gather search --------------------------------------------
+
+// SearchKeyword is SearchKeywordContext with a background context.
+func (c *Cluster) SearchKeyword(query string, k int) []search.Hit {
+	hits, _ := c.SearchKeywordContext(context.Background(), query, k)
+	return hits
+}
+
+// SearchKeywordContext runs an exact cluster-wide BM25 search in two
+// phases: gather every shard's corpus statistics for the query terms,
+// merge them into global statistics, then have every shard rank its own
+// documents under those global statistics and merge the per-shard top-k.
+// Per-document scores are computed with the identical float operations in
+// the identical order as a single index holding the union, and every
+// document lives on exactly one shard, so the merged ranking is
+// bitwise-identical to the single-node ranking.
+func (c *Cluster) SearchKeywordContext(ctx context.Context, query string, k int) ([]search.Hit, error) {
+	tokens := data.Tokenize(query)
+	var global search.KeywordStats
+	for _, s := range c.shards {
+		st, err := readFrom(ctx, s, c.pol, func(l *lake.Lake) (search.KeywordStats, error) {
+			return l.KeywordStatsFor(tokens), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		global.Merge(st)
+	}
+	var all []search.Hit
+	for _, s := range c.shards {
+		hits, err := readFrom(ctx, s, c.pol, func(l *lake.Lake) ([]search.Hit, error) {
+			return l.SearchKeywordWithStats(query, global, k), nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, hits...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Score != all[j].Score {
+			return all[i].Score > all[j].Score
+		}
+		return all[i].ID < all[j].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// SearchByModel is SearchByModelContext with a background context.
+func (c *Cluster) SearchByModel(id, space string, k int) ([]search.Hit, error) {
+	return c.SearchByModelContext(context.Background(), id, space, k)
+}
+
+// SearchByModelContext runs a model-as-query vector search across the
+// cluster: the owning shard embeds the query model, every shard returns
+// its local top-(k+1) for the query vector, and the per-shard lists merge
+// through the same bounded-heap selector the single-node index uses before
+// the query model itself is excluded. Shards partition the population, so
+// with the exact flat index the merged result is bitwise-identical —
+// same IDs, same order, same distance bits, same tie-breaks — to a single
+// lake holding the union.
+func (c *Cluster) SearchByModelContext(ctx context.Context, id, space string, k int) ([]search.Hit, error) {
+	v, err := readFrom(ctx, c.owner(id), c.pol, func(l *lake.Lake) (tensor.Vector, error) {
+		return l.EmbedModelQuery(id, space)
+	})
+	if err != nil {
+		return nil, err
+	}
+	lists := make([][]search.Hit, len(c.shards))
+	for i, s := range c.shards {
+		lists[i], err = readFrom(ctx, s, c.pol, func(l *lake.Lake) ([]search.Hit, error) {
+			return l.SearchByVectorSpace(ctx, space, v, k+1)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	merged := search.MergeTopK(k+1, lists...)
+	return search.ExcludeSelf(merged, id, k), nil
+}
+
+// SearchByModelMany runs SearchByModelContext for each ID with bounded
+// parallelism, mirroring the single-node batch search.
+func (c *Cluster) SearchByModelMany(ctx context.Context, ids []string, space string, k, parallelism int) ([][]search.Hit, []error) {
+	hits := make([][]search.Hit, len(ids))
+	errs := make([]error, len(ids))
+	if parallelism <= 0 {
+		parallelism = 4
+	}
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			hits[i], errs[i] = c.SearchByModelContext(ctx, id, space, k)
+		}(i, id)
+	}
+	wg.Wait()
+	return hits, errs
+}
+
+// --- MLQL and graphs --------------------------------------------------
+
+// Query parses and executes an MLQL query against the cluster.
+func (c *Cluster) Query(q string) (*mlql.Result, error) {
+	return c.QueryContext(context.Background(), q)
+}
+
+// QueryContext runs MLQL against the cluster catalog: candidate rows and
+// rankings are gathered per shard and merged with the same comparators the
+// single-node catalog uses.
+func (c *Cluster) QueryContext(ctx context.Context, q string) (*mlql.Result, error) {
+	return mlql.RunContext(ctx, q, &clusterCatalog{c: c, ctx: ctx})
+}
+
+// Catalog exposes the cluster's MLQL catalog adapter.
+func (c *Cluster) Catalog() mlql.Catalog { return &clusterCatalog{c: c, ctx: context.Background()} }
+
+// VersionGraph is VersionGraphContext with a background context.
+func (c *Cluster) VersionGraph() (*version.Graph, error) {
+	return c.VersionGraphContext(context.Background())
+}
+
+// VersionGraphContext merges the per-shard Model Graph reconstructions:
+// nodes are the union, edges the concatenation (each shard only proposes
+// edges among its own models, so edge sets are disjoint). Cross-shard
+// parent/child pairs are not recovered — content-based edge inference
+// needs both endpoints' weights on one node — which is the documented
+// fidelity cost of sharding this reconstruction.
+func (c *Cluster) VersionGraphContext(ctx context.Context) (*version.Graph, error) {
+	g := &version.Graph{}
+	for _, s := range c.shards {
+		sg, err := readFrom(ctx, s, c.pol, func(l *lake.Lake) (*version.Graph, error) {
+			return l.VersionGraphContext(ctx)
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.Nodes = append(g.Nodes, sg.Nodes...)
+		g.Edges = append(g.Edges, sg.Edges...)
+	}
+	sort.Strings(g.Nodes)
+	sort.Slice(g.Edges, func(i, j int) bool {
+		if g.Edges[i].Parent != g.Edges[j].Parent {
+			return g.Edges[i].Parent < g.Edges[j].Parent
+		}
+		return g.Edges[i].Child < g.Edges[j].Child
+	})
+	return g, nil
+}
+
+// --- Operations -------------------------------------------------------
+
+// ReplicaStatus is one replica's health in a Status report.
+type ReplicaStatus struct {
+	Up       bool  `json:"up"`
+	LagBytes int64 `json:"lag_bytes"`
+}
+
+// ShardStatus is one shard's health in a Status report.
+type ShardStatus struct {
+	Shard    int             `json:"shard"`
+	LeaderUp bool            `json:"leader_up"`
+	Models   int             `json:"models"`
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// Status reports per-shard leader health, model counts, and replica lag —
+// the payload behind the server's /v1/cluster/status endpoint.
+func (c *Cluster) Status() []ShardStatus {
+	out := make([]ShardStatus, len(c.shards))
+	for i, s := range c.shards {
+		st := ShardStatus{Shard: s.idx, LeaderUp: s.leaderUp.Load()}
+		var target int64
+		s.mu.RLock()
+		ldr := s.leader
+		s.mu.RUnlock()
+		if ldr != nil && st.LeaderUp {
+			target = ldr.WALOffset()
+		}
+		if n, err := readFrom(context.Background(), s, c.pol, func(l *lake.Lake) (int, error) {
+			return l.Count(), nil
+		}); err == nil {
+			st.Models = n
+		}
+		for _, r := range s.replicas {
+			lag := int64(0)
+			if target > 0 {
+				if lag = target - r.lk.WALOffset(); lag < 0 {
+					lag = 0
+				}
+			}
+			st.Replicas = append(st.Replicas, ReplicaStatus{Up: r.up.Load(), LagBytes: lag})
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// KillShardLeader simulates shard i's leader process dying.
+func (c *Cluster) KillShardLeader(i int) { c.shards[i].KillLeader() }
+
+// RestartShardLeader brings shard i's leader back from its on-disk state
+// on a healthy filesystem and re-registers the benchmark suite.
+func (c *Cluster) RestartShardLeader(i int) error {
+	return c.shards[i].RestartLeader(nil, c.benchmarkList())
+}
+
+// FlushReplication blocks until every live replica of every shard has
+// fully applied its leader's committed log.
+func (c *Cluster) FlushReplication(ctx context.Context) error {
+	for _, s := range c.shards {
+		if err := s.FlushReplication(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,303 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"modellake/internal/benchmark"
+	"modellake/internal/lake"
+	"modellake/internal/lakegen"
+	"modellake/internal/obs"
+	"modellake/internal/registry"
+)
+
+// testPopulation generates a small synthetic lake population.
+func testPopulation(t *testing.T, seed uint64, bases, children int) *lakegen.Population {
+	t.Helper()
+	s := lakegen.DefaultSpec(seed)
+	s.NumBases = bases
+	s.ChildrenPerBase = children
+	pop, err := lakegen.Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pop
+}
+
+// fillCluster serially ingests a population into the cluster (serial so
+// minted IDs match a single-node lake ingesting the same stream), returning
+// member-index → ID. Datasets and benchmarks are registered like the
+// single-node fill helper.
+func fillCluster(t *testing.T, c *Cluster, pop *lakegen.Population) []string {
+	t.Helper()
+	for _, ds := range pop.Datasets {
+		if err := c.RegisterDataset(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make([]string, len(pop.Members))
+	for i, m := range pop.Members {
+		rec, err := c.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name, Version: "1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = rec.ID
+	}
+	for _, m := range pop.Members {
+		if m.Truth.Depth == 0 {
+			c.RegisterBenchmark(&benchmark.Benchmark{
+				ID:     "bench-" + m.Truth.Domain,
+				DS:     pop.Datasets[m.Truth.DatasetID],
+				Metric: benchmark.MetricAccuracy,
+			})
+		}
+	}
+	return ids
+}
+
+// fillLake is fillCluster for a single-node lake.
+func fillLake(t *testing.T, l *lake.Lake, pop *lakegen.Population) []string {
+	t.Helper()
+	for _, ds := range pop.Datasets {
+		if err := l.RegisterDataset(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := make([]string, len(pop.Members))
+	for i, m := range pop.Members {
+		rec, err := l.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name, Version: "1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = rec.ID
+	}
+	for _, m := range pop.Members {
+		if m.Truth.Depth == 0 {
+			l.RegisterBenchmark(&benchmark.Benchmark{
+				ID:     "bench-" + m.Truth.Domain,
+				DS:     pop.Datasets[m.Truth.DatasetID],
+				Metric: benchmark.MetricAccuracy,
+			})
+		}
+	}
+	return ids
+}
+
+func leaderUpGauge(shard int) int64 {
+	return obs.Default().Gauge("cluster_shard_leader_up", obs.L("shard", strconv.Itoa(shard))).Value()
+}
+
+func TestRingPlacementIsDeterministicAndCovering(t *testing.T) {
+	r1 := NewRing(3, 0)
+	r2 := NewRing(3, 0)
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		key := "m-" + strconv.Itoa(i)
+		o := r1.Owner(key)
+		if o != r2.Owner(key) {
+			t.Fatalf("placement of %s differs between identical rings", key)
+		}
+		if o < 0 || o >= 3 {
+			t.Fatalf("owner %d out of range", o)
+		}
+		counts[o]++
+	}
+	for s, n := range counts {
+		if n == 0 {
+			t.Fatalf("shard %d received no keys", s)
+		}
+		// 3000 keys over 3 shards: expect ~1000 each; consistent hashing
+		// with 64 vnodes should stay well within 2x of fair share.
+		if n < 300 || n > 2000 {
+			t.Fatalf("shard %d holds %d of 3000 keys; ring badly imbalanced: %v", s, n, counts)
+		}
+	}
+}
+
+func TestClusterRoutesWritesAndReads(t *testing.T) {
+	c, err := Open(Config{Dir: t.TempDir(), Shards: 2, Lake: lake.Config{Sync: true, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	pop := testPopulation(t, 21, 2, 2)
+	ids := fillCluster(t, c, pop)
+
+	if c.Count() != len(pop.Members) {
+		t.Fatalf("Count = %d, want %d", c.Count(), len(pop.Members))
+	}
+	recs, err := c.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(ids) {
+		t.Fatalf("Records = %d entries, want %d", len(recs), len(ids))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].ID >= recs[i].ID {
+			t.Fatalf("Records not sorted by ID: %s before %s", recs[i-1].ID, recs[i].ID)
+		}
+	}
+	seen := make(map[int]bool)
+	for i, id := range ids {
+		seen[c.OwnerOf(id)] = true
+		rec, err := c.Record(id)
+		if err != nil {
+			t.Fatalf("Record(%s): %v", id, err)
+		}
+		if rec.Name != pop.Members[i].Truth.Name {
+			t.Fatalf("record %s has name %q, want %q", id, rec.Name, pop.Members[i].Truth.Name)
+		}
+		rid, err := c.Resolve(pop.Members[i].Truth.Name, "1")
+		if err != nil || rid != id {
+			t.Fatalf("Resolve(%s) = %s, %v; want %s", pop.Members[i].Truth.Name, rid, err, id)
+		}
+	}
+	if len(seen) < 2 {
+		t.Fatalf("all %d models landed on one shard; placement not spreading", len(ids))
+	}
+
+	hits, err := c.SearchByModel(ids[0], "behavior", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) == 0 {
+		t.Fatal("scatter-gather vector search found nothing")
+	}
+	for _, h := range hits {
+		if h.ID == ids[0] {
+			t.Fatal("query model not excluded from its own results")
+		}
+	}
+	if kw := c.SearchKeyword("legal statute court", 4); len(kw) == 0 {
+		t.Fatal("cluster keyword search found nothing")
+	}
+}
+
+func TestClusterFailoverReadsAndFailFastWrites(t *testing.T) {
+	c, err := Open(Config{Dir: t.TempDir(), Shards: 2, Replicas: 1, Lake: lake.Config{Sync: true, Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	pop := testPopulation(t, 33, 2, 2)
+	ids := fillCluster(t, c, pop)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.FlushReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	target := c.OwnerOf(ids[0])
+	before, err := c.Record(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.KillShardLeader(target)
+	if g := leaderUpGauge(target); g != 0 {
+		t.Fatalf("cluster_shard_leader_up{shard=%d} = %d after kill, want 0", target, g)
+	}
+
+	// Reads on the dead shard fail over to its replica.
+	after, err := c.Record(ids[0])
+	if err != nil {
+		t.Fatalf("failover read: %v", err)
+	}
+	if after.ID != before.ID || after.Name != before.Name || after.Seq != before.Seq {
+		t.Fatalf("failover read differs: %+v vs %+v", after, before)
+	}
+	if err := c.Ready(); err != nil {
+		t.Fatalf("cluster with a live replica must stay ready for reads: %v", err)
+	}
+	if _, err := c.SearchKeywordContext(ctx, "legal statute court", 4); err != nil {
+		t.Fatalf("cluster keyword search during outage: %v", err)
+	}
+
+	// Writes to the dead shard fail fast with ErrLeaderDown; the other
+	// shard keeps accepting writes.
+	m := testPopulation(t, 34, 1, 0).Members[0]
+	rejected := obs.Default().Counter("cluster_writes_rejected_total").Value()
+	sawDown, sawAck := false, false
+	for i := 0; i < 8 && !(sawDown && sawAck); i++ {
+		_, err := c.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-w" + strconv.Itoa(i), Version: "1"})
+		switch {
+		case err == nil:
+			sawAck = true
+		case errors.Is(err, ErrLeaderDown):
+			sawDown = true
+		default:
+			t.Fatalf("write during outage failed with %v, want ErrLeaderDown or success", err)
+		}
+	}
+	if !sawDown {
+		t.Fatal("no write was rejected with ErrLeaderDown while a leader was down")
+	}
+	if !sawAck {
+		t.Fatal("the healthy shard stopped accepting writes during a sibling outage")
+	}
+	if got := obs.Default().Counter("cluster_writes_rejected_total").Value(); got <= rejected {
+		t.Fatalf("cluster_writes_rejected_total did not grow (%d -> %d)", rejected, got)
+	}
+
+	// Restart heals the shard: gauge back up, writes accepted again.
+	if err := c.RestartShardLeader(target); err != nil {
+		t.Fatal(err)
+	}
+	if g := leaderUpGauge(target); g != 1 {
+		t.Fatalf("cluster_shard_leader_up{shard=%d} = %d after restart, want 1", target, g)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := c.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-r" + strconv.Itoa(i), Version: "1"}); err != nil {
+			t.Fatalf("write after restart: %v", err)
+		}
+	}
+	if err := c.FlushReplication(ctx); err != nil {
+		t.Fatalf("replication did not resume after restart: %v", err)
+	}
+	for _, st := range c.Status() {
+		if !st.LeaderUp {
+			t.Fatalf("shard %d leader still down in Status after restart", st.Shard)
+		}
+		for ri, r := range st.Replicas {
+			if !r.Up || r.LagBytes != 0 {
+				t.Fatalf("shard %d replica %d not caught up: %+v", st.Shard, ri, r)
+			}
+		}
+	}
+}
+
+func TestClusterReopensAndContinuesIDSequence(t *testing.T) {
+	dir := t.TempDir()
+	pop := testPopulation(t, 55, 2, 1)
+	cfg := Config{Dir: dir, Shards: 2, Lake: lake.Config{Sync: true, Seed: 1}}
+	c, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := fillCluster(t, c, pop)
+	c.Close()
+
+	c2, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if c2.Count() != len(ids) {
+		t.Fatalf("reopened cluster Count = %d, want %d", c2.Count(), len(ids))
+	}
+	m := testPopulation(t, 56, 1, 0).Members[0]
+	rec, err := c2.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-new", Version: "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range ids {
+		if rec.ID == old {
+			t.Fatalf("reopened cluster re-minted existing ID %s", rec.ID)
+		}
+	}
+}

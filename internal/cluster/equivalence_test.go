@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"modellake/internal/lake"
+	"modellake/internal/search"
+)
+
+// sameHits asserts two hit lists are bitwise-identical: same IDs in the
+// same order with the same float64 score bits.
+func sameHits(t *testing.T, label string, single, clustered []search.Hit) {
+	t.Helper()
+	if len(single) != len(clustered) {
+		t.Fatalf("%s: single %d hits, cluster %d hits\nsingle:  %v\ncluster: %v",
+			label, len(single), len(clustered), single, clustered)
+	}
+	for i := range single {
+		if single[i].ID != clustered[i].ID ||
+			math.Float64bits(single[i].Score) != math.Float64bits(clustered[i].Score) {
+			t.Fatalf("%s: rank %d differs\nsingle:  %+v (bits %x)\ncluster: %+v (bits %x)",
+				label, i, single[i], math.Float64bits(single[i].Score),
+				clustered[i], math.Float64bits(clustered[i].Score))
+		}
+	}
+}
+
+// TestClusterSearchBitwiseEqualsSingleNode is the tentpole property test:
+// the same model stream ingested into a single lake and into a sharded
+// cluster must answer every search modality identically — same IDs, same
+// order, same score bits, same tie-breaks — both with all leaders up and
+// with a shard served by its failover replica. The guarantee holds for the
+// default exact flat index (HNSW is approximate and exempt by design).
+func TestClusterSearchBitwiseEqualsSingleNode(t *testing.T) {
+	seeds := []uint64{101, 202}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			pop := testPopulation(t, seed, 3, 3)
+
+			single, err := lake.Open(lake.Config{Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer single.Close()
+			sids := fillLake(t, single, pop)
+
+			c, err := Open(Config{
+				Dir:    t.TempDir(),
+				Shards: 3,
+				Lake:   lake.Config{Sync: true, Seed: 7},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			cids := fillCluster(t, c, pop)
+
+			// Serial ingest of the same stream mints identical IDs, which
+			// the bitwise search comparisons below depend on.
+			for i := range sids {
+				if sids[i] != cids[i] {
+					t.Fatalf("member %d: single ID %s, cluster ID %s", i, sids[i], cids[i])
+				}
+			}
+			if single.Count() != c.Count() {
+				t.Fatalf("counts differ: single %d cluster %d", single.Count(), c.Count())
+			}
+
+			compare := func(phase string) {
+				t.Helper()
+				for _, q := range []string{"legal statute court", "vision transformer", "summarization fine tuned"} {
+					for _, k := range []int{1, 4, len(sids) + 3} {
+						label := fmt.Sprintf("%s keyword %q k=%d", phase, q, k)
+						ch, err := c.SearchKeywordContext(context.Background(), q, k)
+						if err != nil {
+							t.Fatalf("%s: %v", label, err)
+						}
+						sameHits(t, label, single.SearchKeyword(q, k), ch)
+					}
+				}
+				for _, space := range []string{"behavior", "weights"} {
+					for i, id := range sids {
+						if i%3 != 0 { // every third model as query keeps runtime sane
+							continue
+						}
+						for _, k := range []int{3, len(sids)} {
+							label := fmt.Sprintf("%s vector %s id=%s k=%d", phase, space, id, k)
+							sh, err := single.SearchByModel(id, space, k)
+							if err != nil {
+								t.Fatalf("%s single: %v", label, err)
+							}
+							chits, err := c.SearchByModel(id, space, k)
+							if err != nil {
+								t.Fatalf("%s cluster: %v", label, err)
+							}
+							sameHits(t, label, sh, chits)
+						}
+					}
+				}
+				var bench string
+				for _, m := range pop.Members {
+					if m.Truth.Depth == 0 {
+						bench = "bench-" + m.Truth.Domain
+						break
+					}
+				}
+				queries := []string{
+					fmt.Sprintf("FIND MODELS WHERE TRAINED ON DATASET '%s'", pop.Members[0].Truth.DatasetID),
+					fmt.Sprintf("FIND MODELS WHERE TRAINED ON VERSIONS OF DATASET '%s'", pop.Members[0].Truth.DatasetID),
+					fmt.Sprintf("FIND MODELS WHERE OUTPERFORMS MODEL '%s' ON BENCHMARK '%s'", sids[0], bench),
+					fmt.Sprintf("FIND MODELS RANK BY SIMILARITY TO MODEL '%s' USING BEHAVIOR LIMIT 5", sids[1]),
+					fmt.Sprintf("FIND MODELS RANK BY SCORE ON BENCHMARK '%s' LIMIT 6", bench),
+					"FIND MODELS RANK BY TEXT 'legal summarization'",
+					"FIND MODELS WHERE DOMAIN = 'legal' LIMIT 10",
+				}
+				for _, q := range queries {
+					label := phase + " mlql " + q
+					sres, err := single.Query(q)
+					if err != nil {
+						t.Fatalf("%s single: %v", label, err)
+					}
+					cres, err := c.Query(q)
+					if err != nil {
+						t.Fatalf("%s cluster: %v", label, err)
+					}
+					if len(sres.Hits) != len(cres.Hits) {
+						t.Fatalf("%s: single %d hits, cluster %d", label, len(sres.Hits), len(cres.Hits))
+					}
+					for i := range sres.Hits {
+						if sres.Hits[i].ID != cres.Hits[i].ID ||
+							math.Float64bits(sres.Hits[i].Score) != math.Float64bits(cres.Hits[i].Score) {
+							t.Fatalf("%s: rank %d differs: single %+v cluster %+v",
+								label, i, sres.Hits[i], cres.Hits[i])
+						}
+					}
+				}
+			}
+
+			compare("leaders-up")
+
+			// The same comparisons must hold when a shard is served by its
+			// failover replica: replicate everything, kill shard 0's
+			// leader, and re-run. This is the "failover reads are
+			// bitwise-identical to single-node" acceptance gate.
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if err := c.FlushReplication(ctx); err != nil {
+				t.Fatal(err)
+			}
+			c.KillShardLeader(0)
+			compare("failover")
+		})
+	}
+}

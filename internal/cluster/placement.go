@@ -1,0 +1,103 @@
+// Package cluster shards a model lake across several embedded lake
+// instances and replicates each shard with WAL shipping, giving the paper's
+// §5 system design its "many lakes behind one query surface" deployment
+// shape without changing any storage format:
+//
+//   - Placement: models are assigned to shards by consistent-hashing their
+//     catalog IDs onto a ring of virtual nodes, so the owner of an ID is a
+//     pure function of (ID, shard count) that every router computes
+//     identically.
+//   - Replication: each shard is one leader lake plus read replicas fed by
+//     pull-based WAL shipping (internal/kvstore repl). Replicas share the
+//     leader's immutable blob directory, so only metadata ships.
+//   - Reads fail over: when a shard's leader dies, routed reads retry with
+//     jittered backoff onto a live replica. Writes fail fast with
+//     ErrLeaderDown until the leader returns — the log is the single write
+//     point, so accepting writes elsewhere would fork history.
+//   - Search is scatter-gather, merged through the same bounded top-k
+//     selector and global-statistics BM25 the single-node read path uses,
+//     so cluster results are bitwise-identical to a single lake holding the
+//     union of the shards (see equivalence_test.go for the property test).
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per shard. 64 points per shard
+// keeps the expected placement imbalance under a few percent for small
+// shard counts while the ring stays tiny (shards × 64 entries).
+const DefaultVnodes = 64
+
+// Ring places string keys on shards by consistent hashing. It is immutable
+// after construction and safe for concurrent use.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	shards int
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// NewRing builds a ring of shards × vnodes points. vnodes <= 0 selects
+// DefaultVnodes.
+func NewRing(shards, vnodes int) *Ring {
+	if shards <= 0 {
+		shards = 1
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, shards*vnodes), shards: shards}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			h := hash64(fmt.Sprintf("shard-%d#%d", s, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties broken by shard index so the ring is deterministic even in
+		// the (vanishingly unlikely) event of a 64-bit collision.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the number of shards the ring places onto.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard owning key: the shard of the first ring point at
+// or after the key's hash, wrapping around the ring.
+func (r *Ring) Owner(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// hash64 is FNV-1a with a splitmix64 finalizer. FNV alone distinguishes
+// similar keys but distributes sequential ones (m-000001, m-000002, ...)
+// poorly across the high bits the ring compares; the finalizer's avalanche
+// fixes that. Both halves are fixed arithmetic — stable across processes
+// and platforms, which matters because every router must compute identical
+// placements.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	z := h.Sum64()
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}

@@ -1,0 +1,389 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"modellake/internal/benchmark"
+	"modellake/internal/fault"
+	"modellake/internal/kvstore"
+	"modellake/internal/lake"
+	"modellake/internal/obs"
+	"modellake/internal/retry"
+)
+
+// ErrLeaderDown reports a write routed to a shard whose leader is down.
+// Writes are not failed over: the leader's log is the single write point,
+// and accepting writes on a replica would fork history. Callers should
+// surface this as "temporarily unavailable" and retry after the leader
+// returns.
+var ErrLeaderDown = errors.New("cluster: shard leader down; writes unavailable until it returns")
+
+const (
+	// shipPageBytes bounds one shipped WAL page.
+	shipPageBytes = 256 << 10
+	// shipIdlePoll backstops the coalesced commit notification: several
+	// shippers share one leader channel, so a wakeup can go to a sibling.
+	shipIdlePoll = 25 * time.Millisecond
+)
+
+// Health/outage metrics. Gauges are per shard (and per replica), counters
+// cluster-wide.
+var (
+	mFailoverReads  = obs.Default().Counter("cluster_failover_reads_total")
+	mWritesRejected = obs.Default().Counter("cluster_writes_rejected_total")
+)
+
+// replica is one read replica: a Follower-mode lake fed by WAL shipping.
+type replica struct {
+	lk  *lake.Lake
+	idx int
+	up  atomic.Bool
+
+	upG  *obs.Gauge
+	lagG *obs.Gauge
+}
+
+func (r *replica) setUp(up bool) {
+	r.up.Store(up)
+	if up {
+		r.upG.Set(1)
+	} else {
+		r.upG.Set(0)
+	}
+}
+
+// shard is one consistent-hash partition: a leader lake that takes all
+// writes plus replicas that serve reads when the leader is down.
+type shard struct {
+	idx      int
+	dir      string
+	template lake.Config
+	leaderFS *fault.FS
+
+	mu       sync.RWMutex
+	leader   *lake.Lake // nil after KillLeader until RestartLeader
+	leaderUp atomic.Bool
+	replicas []*replica
+
+	shipCancel context.CancelFunc
+	shipWG     sync.WaitGroup
+
+	leaderUpG *obs.Gauge
+}
+
+// openShard opens the leader and its replicas under dir and starts the
+// shipping goroutines.
+func openShard(idx int, dir string, template lake.Config, replicas int, leaderFS *fault.FS) (*shard, error) {
+	s := &shard{
+		idx:       idx,
+		dir:       dir,
+		template:  template,
+		leaderFS:  leaderFS,
+		leaderUpG: obs.Default().Gauge("cluster_shard_leader_up", obs.L("shard", strconv.Itoa(idx))),
+	}
+	ldr, err := lake.Open(s.leaderConfig(leaderFS))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: open shard %d leader: %w", idx, err)
+	}
+	s.leader = ldr
+	s.leaderUp.Store(true)
+	s.leaderUpG.Set(1)
+	for i := 0; i < replicas; i++ {
+		cfg := template
+		cfg.Dir = filepath.Join(dir, fmt.Sprintf("replica%d", i))
+		cfg.BlobDir = filepath.Join(dir, "leader", "blobs")
+		cfg.FS = nil
+		cfg.Sync = false // replicas re-ship from their own offset after a crash
+		cfg.Follower = true
+		rl, err := lake.Open(cfg)
+		if err != nil {
+			s.close()
+			return nil, fmt.Errorf("cluster: open shard %d replica %d: %w", idx, i, err)
+		}
+		r := &replica{
+			lk:  rl,
+			idx: i,
+			upG: obs.Default().Gauge("cluster_replica_up",
+				obs.L("shard", strconv.Itoa(idx)), obs.L("replica", strconv.Itoa(i))),
+			lagG: obs.Default().Gauge("cluster_replica_lag_bytes",
+				obs.L("shard", strconv.Itoa(idx)), obs.L("replica", strconv.Itoa(i))),
+		}
+		r.setUp(true)
+		s.replicas = append(s.replicas, r)
+	}
+	s.startShipping()
+	return s, nil
+}
+
+func (s *shard) leaderConfig(fs *fault.FS) lake.Config {
+	cfg := s.template
+	cfg.Dir = filepath.Join(s.dir, "leader")
+	cfg.BlobDir = ""
+	cfg.FS = fs
+	cfg.Follower = false
+	return cfg
+}
+
+// startShipping spawns one shipper per replica against the current leader.
+func (s *shard) startShipping() {
+	s.mu.RLock()
+	ldr := s.leader
+	s.mu.RUnlock()
+	if ldr == nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.shipCancel = cancel
+	for _, r := range s.replicas {
+		s.shipWG.Add(1)
+		go s.ship(ctx, r, ldr)
+	}
+}
+
+// stopShipping cancels the shippers and waits for them to exit, so the
+// leader can be closed without a shipper reading a closing file.
+func (s *shard) stopShipping() {
+	if s.shipCancel != nil {
+		s.shipCancel()
+		s.shipWG.Wait()
+		s.shipCancel = nil
+	}
+}
+
+// ship is the follower half of WAL shipping: read a page at the replica's
+// own offset, apply it, update the lag gauge, block on the commit
+// notification when caught up.
+func (s *shard) ship(ctx context.Context, r *replica, ldr *lake.Lake) {
+	defer s.shipWG.Done()
+	notify := ldr.WALNotify()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		page, err := ldr.ReadWAL(r.lk.WALOffset(), shipPageBytes)
+		if err != nil {
+			// Leader log unreadable (closed, or the replica diverged).
+			// Shipping for this replica stops; RestartLeader starts fresh
+			// shippers against the reopened log.
+			return
+		}
+		if len(page) == 0 {
+			r.lagG.Set(0)
+			select {
+			case <-ctx.Done():
+				return
+			case <-notify:
+			case <-time.After(shipIdlePoll):
+			}
+			continue
+		}
+		if err := r.lk.ApplyWAL(page); err != nil {
+			// A replica that cannot apply leader bytes is diverged or
+			// broken; take it out of the read rotation rather than serving
+			// stale state indefinitely.
+			r.setUp(false)
+			return
+		}
+		r.lagG.Set(ldr.WALOffset() - r.lk.WALOffset())
+	}
+}
+
+// markLeaderDown takes the leader out of rotation after an IO failure. The
+// lake stays open (its store has already poisoned itself); RestartLeader
+// replaces it.
+func (s *shard) markLeaderDown() {
+	if s.leaderUp.CompareAndSwap(true, false) {
+		s.leaderUpG.Set(0)
+	}
+}
+
+// KillLeader simulates the shard's leader process dying: shipping stops,
+// the leader store closes (releasing its file), and writes to this shard
+// fail fast until RestartLeader.
+func (s *shard) KillLeader() {
+	s.stopShipping()
+	s.leaderUp.Store(false)
+	s.leaderUpG.Set(0)
+	s.mu.Lock()
+	if s.leader != nil {
+		s.leader.Close() // the "process" is dying; nothing to do about errors
+		s.leader = nil
+	}
+	s.mu.Unlock()
+}
+
+// RestartLeader reopens the shard leader from its on-disk state — the
+// killed process coming back on a healthy disk (fs nil) or under a new
+// fault script — and restarts shipping. Benchmarks live only in memory, so
+// the cluster re-registers its suite on the reopened instance.
+func (s *shard) RestartLeader(fs *fault.FS, benchmarks []*benchmark.Benchmark) error {
+	s.stopShipping()
+	s.mu.Lock()
+	if s.leader != nil {
+		s.leader.Close()
+		s.leader = nil
+	}
+	s.mu.Unlock()
+	ldr, err := lake.Open(s.leaderConfig(fs))
+	if err != nil {
+		return fmt.Errorf("cluster: restart shard %d leader: %w", s.idx, err)
+	}
+	for _, b := range benchmarks {
+		ldr.RegisterBenchmark(b)
+	}
+	s.mu.Lock()
+	s.leader = ldr
+	s.mu.Unlock()
+	s.leaderUp.Store(true)
+	s.leaderUpG.Set(1)
+	s.startShipping()
+	return nil
+}
+
+// FlushReplication blocks until every live replica has applied the leader's
+// full committed log (lag zero), or ctx is done. It is how tests and
+// benchmarks establish "the replicas are current" before killing a leader.
+func (s *shard) FlushReplication(ctx context.Context) error {
+	s.mu.RLock()
+	ldr := s.leader
+	s.mu.RUnlock()
+	if ldr == nil || !s.leaderUp.Load() {
+		return fmt.Errorf("%w (shard %d)", ErrLeaderDown, s.idx)
+	}
+	target := ldr.WALOffset()
+	for {
+		caught := true
+		for _, r := range s.replicas {
+			if r.up.Load() && r.lk.WALOffset() < target {
+				caught = false
+				break
+			}
+		}
+		if caught {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}
+
+// close releases every node in the shard.
+func (s *shard) close() {
+	s.stopShipping()
+	s.mu.Lock()
+	if s.leader != nil {
+		s.leader.Close()
+		s.leader = nil
+	}
+	s.mu.Unlock()
+	for _, r := range s.replicas {
+		r.lk.Close()
+	}
+}
+
+// errShardDown is the transient "no live node right now" error the read
+// path returns between retries, so backoff keeps waiting for a node to
+// come back instead of failing the request on the first beat.
+type errShardDown struct{ shard int }
+
+func (e errShardDown) Error() string {
+	return fmt.Sprintf("cluster: shard %d has no live node", e.shard)
+}
+func (e errShardDown) IsTransient() bool { return true }
+
+// transientNode wraps a node IO failure so the retry loop classifies it
+// retryable and fails over, while errors.Is/As still see the cause.
+type transientNode struct{ err error }
+
+func (e transientNode) Error() string     { return e.err.Error() }
+func (e transientNode) Unwrap() error     { return e.err }
+func (e transientNode) IsTransient() bool { return true }
+
+// isNodeFailure reports whether err means "this node is broken" (fail over)
+// rather than "this request is wrong" (return to caller). Closed or
+// poisoned stores and injected IO faults down the node; lookup misses and
+// validation errors pass through.
+func isNodeFailure(err error) bool {
+	return errors.Is(err, kvstore.ErrClosed) ||
+		errors.Is(err, kvstore.ErrFailed) ||
+		errors.Is(err, fault.ErrInjected)
+}
+
+// readNode picks the node to serve a read: the leader while it is up,
+// otherwise the first live replica. The returned func marks that node down
+// after an IO failure.
+func (s *shard) readNode() (*lake.Lake, func(), bool) {
+	if s.leaderUp.Load() {
+		s.mu.RLock()
+		ldr := s.leader
+		s.mu.RUnlock()
+		if ldr != nil {
+			return ldr, s.markLeaderDown, true
+		}
+	}
+	for _, r := range s.replicas {
+		if r.up.Load() {
+			r := r
+			return r.lk, func() { r.setUp(false) }, false
+		}
+	}
+	return nil, nil, false
+}
+
+// readFrom runs fn against the shard's preferred live node, retrying with
+// jittered backoff and failing over to a replica when the node it picked
+// fails mid-request.
+func readFrom[T any](ctx context.Context, s *shard, pol retry.Policy, fn func(*lake.Lake) (T, error)) (T, error) {
+	var out T
+	err := retry.Do(ctx, pol, func() error {
+		lk, fail, isLeader := s.readNode()
+		if lk == nil {
+			return errShardDown{s.idx}
+		}
+		if !isLeader {
+			mFailoverReads.Inc()
+		}
+		v, err := fn(lk)
+		if err != nil && isNodeFailure(err) {
+			fail()
+			return transientNode{err}
+		}
+		out = v
+		return err
+	})
+	return out, err
+}
+
+// writeTo runs fn against the shard leader, failing fast with ErrLeaderDown
+// when it is not up and downing it when the write hits an IO failure.
+func writeTo[T any](s *shard, fn func(*lake.Lake) (T, error)) (T, error) {
+	var zero T
+	if !s.leaderUp.Load() {
+		mWritesRejected.Inc()
+		return zero, fmt.Errorf("%w (shard %d)", ErrLeaderDown, s.idx)
+	}
+	s.mu.RLock()
+	ldr := s.leader
+	s.mu.RUnlock()
+	if ldr == nil {
+		mWritesRejected.Inc()
+		return zero, fmt.Errorf("%w (shard %d)", ErrLeaderDown, s.idx)
+	}
+	v, err := fn(ldr)
+	if err != nil && isNodeFailure(err) {
+		s.markLeaderDown()
+		mWritesRejected.Inc()
+		return zero, fmt.Errorf("%w (shard %d): %v", ErrLeaderDown, s.idx, err)
+	}
+	return v, err
+}

@@ -1,0 +1,276 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"modellake/internal/cluster"
+	"modellake/internal/data"
+	"modellake/internal/lake"
+	"modellake/internal/lakegen"
+	"modellake/internal/registry"
+	"modellake/internal/search"
+)
+
+// E15 measures the sharded, replicated serving layer against the single-node
+// lake it must be indistinguishable from. One model stream is ingested into
+// both a single lake and an N-shard cluster; then keyword and vector search
+// run against each, with every hit list checked bitwise (IDs, order, float64
+// score bits) — the cluster's scatter-gather merge is only correct if it is
+// invisible. The failover arms kill one shard leader and repeat reads
+// against the surviving replica, measuring the retry-and-reroute cost and
+// re-checking equivalence against the same single-node answers.
+
+// ClusterBenchResult is the machine-readable summary cmd/lakebench writes to
+// BENCH_cluster.json. Durations are nanoseconds; latencies are per-query.
+type ClusterBenchResult struct {
+	Models   int `json:"models"`
+	Shards   int `json:"shards"`
+	Replicas int `json:"replicas"`
+
+	SingleIngestNs  int64 `json:"single_ingest_ns"`
+	ClusterIngestNs int64 `json:"cluster_ingest_ns"`
+
+	KeywordQueries    int   `json:"keyword_queries"`
+	SingleKeywordNs   int64 `json:"single_keyword_ns"`
+	ClusterKeywordNs  int64 `json:"cluster_keyword_ns"`
+	FailoverKeywordNs int64 `json:"failover_keyword_ns"`
+
+	VectorQueries    int   `json:"vector_queries"`
+	SingleVectorNs   int64 `json:"single_vector_ns"`
+	ClusterVectorNs  int64 `json:"cluster_vector_ns"`
+	FailoverVectorNs int64 `json:"failover_vector_ns"`
+
+	// BitwiseEqual reports whether every cluster hit list — scatter-gather
+	// with all leaders up AND served by a failover replica — matched the
+	// single-node answer bit for bit. The benchmark errors out when false.
+	BitwiseEqual bool `json:"bitwise_equal"`
+
+	// ReplicationFlushNs is how long the replicas took to drain the shipped
+	// WAL after the full ingest (steady-state shipping overlaps the ingest,
+	// so this is the tail, not the total).
+	ReplicationFlushNs int64 `json:"replication_flush_ns"`
+}
+
+// RunE15 is the experiment-index entry point with default sizes.
+func RunE15(seed uint64) (*Table, error) {
+	t, _, err := RunE15Cluster(seed, 0, 0)
+	return t, err
+}
+
+// RunE15Cluster runs the cluster benchmark with a bases×children synthetic
+// population (0 = defaults: 4 bases, 4 children) over 3 shards with 1
+// replica each.
+func RunE15Cluster(seed uint64, bases, children int) (*Table, *ClusterBenchResult, error) {
+	if bases <= 0 {
+		bases = 4
+	}
+	if children <= 0 {
+		children = 4
+	}
+	const shards, replicas = 3, 1
+	spec := lakegen.DefaultSpec(seed)
+	spec.NumBases = bases
+	spec.ChildrenPerBase = children
+	pop, err := lakegen.Generate(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := &ClusterBenchResult{Models: len(pop.Members), Shards: shards, Replicas: replicas}
+	t := &Table{
+		ID:      "E15",
+		Title:   "sharded cluster: scatter-gather search and failover reads",
+		Columns: []string{"arm", "time", "per-query", "vs single", "bitwise"},
+		Notes: fmt.Sprintf("%d models over %d shards, %d replica(s each); failover arms read with shard 0's leader dead",
+			len(pop.Members), shards, replicas),
+	}
+
+	// --- Ingest the same stream into both deployments. -------------------
+	single, err := lake.Open(lake.Config{Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer single.Close()
+	start := time.Now()
+	sids, err := e15Fill(single.RegisterDataset, func(m *lakegen.Member) (*registry.Record, error) {
+		return single.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name, Version: "1"})
+	}, pop)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.SingleIngestNs = time.Since(start).Nanoseconds()
+
+	dir, err := os.MkdirTemp("", "e15-cluster-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	defer os.RemoveAll(dir)
+	c, err := cluster.Open(cluster.Config{
+		Dir:      dir,
+		Shards:   shards,
+		Replicas: replicas,
+		Lake:     lake.Config{Seed: seed},
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer c.Close()
+	start = time.Now()
+	cids, err := e15Fill(c.RegisterDataset, func(m *lakegen.Member) (*registry.Record, error) {
+		return c.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name, Version: "1"})
+	}, pop)
+	if err != nil {
+		return nil, nil, err
+	}
+	res.ClusterIngestNs = time.Since(start).Nanoseconds()
+	for i := range sids {
+		if sids[i] != cids[i] {
+			return nil, nil, fmt.Errorf("E15: member %d minted %s on single, %s on cluster", i, sids[i], cids[i])
+		}
+	}
+	start = time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := c.FlushReplication(ctx); err != nil {
+		return nil, nil, err
+	}
+	res.ReplicationFlushNs = time.Since(start).Nanoseconds()
+
+	t.AddRow("ingest single", time.Duration(res.SingleIngestNs).Round(time.Millisecond).String(), "-", "1.00x", "-")
+	t.AddRow("ingest cluster", time.Duration(res.ClusterIngestNs).Round(time.Millisecond).String(), "-",
+		fmt.Sprintf("%.2fx", float64(res.SingleIngestNs)/float64(res.ClusterIngestNs)), "-")
+
+	// --- Search arms: single as ground truth, cluster must match bitwise.
+	kwQueries := []string{
+		"legal statute court", "vision transformer", "summarization fine tuned",
+		"tabular regression", "medical diagnosis notes",
+	}
+	const reps = 5
+	singleKW := make([][]search.Hit, len(kwQueries))
+	start = time.Now()
+	for rep := 0; rep < reps; rep++ {
+		for i, q := range kwQueries {
+			singleKW[i] = single.SearchKeyword(q, 10)
+		}
+	}
+	res.SingleKeywordNs = time.Since(start).Nanoseconds()
+	res.KeywordQueries = reps * len(kwQueries)
+
+	equal := true
+	runKW := func() (int64, error) {
+		s := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			for i, q := range kwQueries {
+				hits, err := c.SearchKeywordContext(ctx, q, 10)
+				if err != nil {
+					return 0, fmt.Errorf("E15: cluster keyword %q: %w", q, err)
+				}
+				if !e15SameHits(singleKW[i], hits) {
+					equal = false
+				}
+			}
+		}
+		return time.Since(s).Nanoseconds(), nil
+	}
+	if res.ClusterKeywordNs, err = runKW(); err != nil {
+		return nil, nil, err
+	}
+
+	singleVec := make([][]search.Hit, len(sids))
+	start = time.Now()
+	for i, id := range sids {
+		if singleVec[i], err = single.SearchByModel(id, "behavior", 10); err != nil {
+			return nil, nil, fmt.Errorf("E15: single vector %s: %w", id, err)
+		}
+	}
+	res.SingleVectorNs = time.Since(start).Nanoseconds()
+	res.VectorQueries = len(sids)
+
+	runVec := func() (int64, error) {
+		s := time.Now()
+		for i, id := range sids {
+			hits, err := c.SearchByModel(id, "behavior", 10)
+			if err != nil {
+				return 0, fmt.Errorf("E15: cluster vector %s: %w", id, err)
+			}
+			if !e15SameHits(singleVec[i], hits) {
+				equal = false
+			}
+		}
+		return time.Since(s).Nanoseconds(), nil
+	}
+	if res.ClusterVectorNs, err = runVec(); err != nil {
+		return nil, nil, err
+	}
+
+	// --- Failover arms: same reads with shard 0's leader dead. -----------
+	c.KillShardLeader(0)
+	if res.FailoverKeywordNs, err = runKW(); err != nil {
+		return nil, nil, err
+	}
+	if res.FailoverVectorNs, err = runVec(); err != nil {
+		return nil, nil, err
+	}
+	res.BitwiseEqual = equal
+	if !equal {
+		return nil, nil, fmt.Errorf("E15: cluster search diverged bitwise from single-node")
+	}
+
+	perQ := func(total int64, n int) string {
+		return (time.Duration(total) / time.Duration(n)).Round(time.Microsecond).String()
+	}
+	ratio := func(clusterNs, singleNs int64) string {
+		return fmt.Sprintf("%.2fx", float64(clusterNs)/float64(singleNs))
+	}
+	t.AddRow("keyword single", time.Duration(res.SingleKeywordNs).Round(time.Millisecond).String(),
+		perQ(res.SingleKeywordNs, res.KeywordQueries), "1.00x", "-")
+	t.AddRow("keyword cluster", time.Duration(res.ClusterKeywordNs).Round(time.Millisecond).String(),
+		perQ(res.ClusterKeywordNs, res.KeywordQueries), ratio(res.ClusterKeywordNs, res.SingleKeywordNs), "yes")
+	t.AddRow("keyword failover", time.Duration(res.FailoverKeywordNs).Round(time.Millisecond).String(),
+		perQ(res.FailoverKeywordNs, res.KeywordQueries), ratio(res.FailoverKeywordNs, res.SingleKeywordNs), "yes")
+	t.AddRow("vector single", time.Duration(res.SingleVectorNs).Round(time.Millisecond).String(),
+		perQ(res.SingleVectorNs, res.VectorQueries), "1.00x", "-")
+	t.AddRow("vector cluster", time.Duration(res.ClusterVectorNs).Round(time.Millisecond).String(),
+		perQ(res.ClusterVectorNs, res.VectorQueries), ratio(res.ClusterVectorNs, res.SingleVectorNs), "yes")
+	t.AddRow("vector failover", time.Duration(res.FailoverVectorNs).Round(time.Millisecond).String(),
+		perQ(res.FailoverVectorNs, res.VectorQueries), ratio(res.FailoverVectorNs, res.SingleVectorNs), "yes")
+	t.AddRow("replication flush", time.Duration(res.ReplicationFlushNs).Round(time.Millisecond).String(),
+		"-", "-", "-")
+	return t, res, nil
+}
+
+// e15Fill registers datasets then serially ingests the population, so the
+// cluster mints the same IDs a single-node lake does for the same stream.
+func e15Fill(registerDS func(*data.Dataset) error, ingest func(*lakegen.Member) (*registry.Record, error), pop *lakegen.Population) ([]string, error) {
+	for _, ds := range pop.Datasets {
+		if err := registerDS(ds); err != nil {
+			return nil, err
+		}
+	}
+	ids := make([]string, len(pop.Members))
+	for i, m := range pop.Members {
+		rec, err := ingest(m)
+		if err != nil {
+			return nil, fmt.Errorf("E15: ingest member %d: %w", i, err)
+		}
+		ids[i] = rec.ID
+	}
+	return ids, nil
+}
+
+// e15SameHits reports bitwise hit-list equality: same IDs, same order, same
+// float64 score bits.
+func e15SameHits(a, b []search.Hit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) {
+			return false
+		}
+	}
+	return true
+}

@@ -94,6 +94,7 @@ func All() []Experiment {
 		{"E12", "parallel ingest pipeline", RunE12},
 		{"E13", "read-path query engine", RunE13},
 		{"E14", "write path: group commit and fast rehydrate", RunE14},
+		{"E15", "sharded cluster: scatter-gather and failover", RunE15},
 		{"F1", "viewpoint ablation (Figure 1)", RunF1},
 	}
 }

@@ -439,3 +439,36 @@ func TestE14Shape(t *testing.T) {
 		t.Fatalf("implausible speedups: %+v", res)
 	}
 }
+
+func TestE15Shape(t *testing.T) {
+	tab, res, err := RunE15Cluster(testSeed(), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	}
+	// The whole point of the cluster read path: scatter-gather and failover
+	// answers are bit-identical to single-node. RunE15Cluster errors out on
+	// divergence, but the JSON field is what CI archives — pin it too.
+	if !res.BitwiseEqual {
+		t.Fatalf("cluster search diverged from single-node: %+v", res)
+	}
+	if res.Models <= 0 || res.Shards != 3 || res.Replicas != 1 {
+		t.Fatalf("implausible topology: %+v", res)
+	}
+	for name, ns := range map[string]int64{
+		"single ingest": res.SingleIngestNs, "cluster ingest": res.ClusterIngestNs,
+		"single keyword": res.SingleKeywordNs, "cluster keyword": res.ClusterKeywordNs,
+		"failover keyword": res.FailoverKeywordNs,
+		"single vector": res.SingleVectorNs, "cluster vector": res.ClusterVectorNs,
+		"failover vector": res.FailoverVectorNs,
+	} {
+		if ns <= 0 {
+			t.Fatalf("arm %s reported no time: %+v", name, res)
+		}
+	}
+	if res.KeywordQueries <= 0 || res.VectorQueries <= 0 {
+		t.Fatalf("no queries ran: %+v", res)
+	}
+}

@@ -1,0 +1,47 @@
+package index
+
+// MergeTopK selects the k best results across several already-ranked (or
+// unranked) result lists, using the same bounded max-heap selector — and the
+// same total order: ascending distance, ties broken by ascending ID — that
+// every index search uses. A scatter-gather router that asks each shard for
+// its local top-k and merges the per-shard lists through MergeTopK therefore
+// returns bitwise-identical results to a single index holding the union of
+// the shards' vectors: each distance was computed by the same code on the
+// same bits, and the selection order is the same total order.
+//
+// Callers must ensure IDs are distinct across lists (shards partition the
+// population); duplicate IDs are kept as distinct candidates.
+func MergeTopK(k int, lists ...[]Result) []Result {
+	if k <= 0 {
+		return nil
+	}
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	if n == 0 {
+		return nil
+	}
+	ids := make([]string, 0, n)
+	dists := make([]float64, 0, n)
+	for _, l := range lists {
+		for _, r := range l {
+			ids = append(ids, r.ID)
+			dists = append(dists, r.Distance)
+		}
+	}
+	if k > n {
+		k = n
+	}
+	t := new(topK)
+	t.reset(k, ids)
+	for i := range ids {
+		t.offer(candidate{idx: i, dist: dists[i]})
+	}
+	sel := t.extractAscending()
+	out := make([]Result, len(sel))
+	for i, c := range sel {
+		out[i] = Result{ID: ids[c.idx], Distance: c.dist}
+	}
+	return out
+}

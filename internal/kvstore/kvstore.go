@@ -169,6 +169,11 @@ type Store struct {
 	delta      []byte      // pages committed while compacting, replayed over the snapshot
 
 	compactMu sync.Mutex // serializes whole Compact calls
+
+	// notify is the coalescing commit-notification channel behind
+	// CommitNotify (see repl.go). Buffered size 1: a pending wakeup absorbs
+	// further commits until the listener drains it.
+	notify chan struct{}
 }
 
 // Options configures Open.
@@ -195,7 +200,7 @@ type Options struct {
 // OpenMemory returns an in-memory store with no durability. It is handy for
 // tests and ephemeral lakes.
 func OpenMemory() *Store {
-	s := &Store{data: make(map[string][]byte)}
+	s := &Store{data: make(map[string][]byte), notify: make(chan struct{}, 1)}
 	s.drained = sync.NewCond(&s.qmu)
 	return s
 }
@@ -217,6 +222,7 @@ func Open(path string, opts Options) (*Store, error) {
 		sync:     opts.Sync,
 		maxBatch: opts.MaxBatch,
 		maxDelay: opts.MaxDelay,
+		notify:   make(chan struct{}, 1),
 	}
 	if s.maxBatch <= 0 {
 		s.maxBatch = DefaultMaxBatch
@@ -491,6 +497,7 @@ func (s *Store) commit(w *waiter) error {
 		s.applyOps(w.ops)
 		s.mu.Unlock()
 		putWaiter(w)
+		s.notifyCommit()
 		return nil
 	}
 	s.qmu.Lock()
@@ -594,6 +601,7 @@ func (s *Store) commitBatch(batch []*waiter) error {
 	s.mu.Unlock()
 	mBatchSize.Observe(float64(len(batch)))
 	mCommitDur.Since(start)
+	s.notifyCommit()
 	return nil
 }
 

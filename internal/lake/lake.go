@@ -108,6 +108,20 @@ type Config struct {
 	// fault-injectable filesystem — the test hook behind the lake's
 	// crash-consistency suite. Nil uses the real filesystem.
 	FS *fault.FS
+	// BlobDir overrides the blob store location (default Dir/blobs). A
+	// replica lake points it at its leader's blob directory: blobs are
+	// immutable and content-addressed, so sharing the directory is the
+	// embedded equivalent of leader and replicas reading one object store,
+	// and WAL shipping only needs to carry metadata. Ignored for in-memory
+	// lakes (empty Dir).
+	BlobDir string
+	// Follower marks this lake a WAL-shipping replica: its log must stay a
+	// byte-identical prefix of its leader's, so nothing on the read path may
+	// append to it. The one read path that writes is benchmark scoring
+	// (scores cache durably); Follower redirects that cache to a private
+	// in-memory store. Scores are deterministic, so a replica recomputing
+	// one returns bit-identical results to the leader's cached copy.
+	Follower bool
 }
 
 func (c Config) withDefaults() Config {
@@ -180,11 +194,19 @@ func Open(cfg Config) (*Lake, error) {
 		if err != nil {
 			return nil, fmt.Errorf("lake: open metadata: %w", err)
 		}
-		blobs, err = blob.NewFileStoreFS(filepath.Join(cfg.Dir, "blobs"), cfg.FS)
+		blobDir := cfg.BlobDir
+		if blobDir == "" {
+			blobDir = filepath.Join(cfg.Dir, "blobs")
+		}
+		blobs, err = blob.NewFileStoreFS(blobDir, cfg.FS)
 		if err != nil {
 			kv.Close()
 			return nil, fmt.Errorf("lake: open blobs: %w", err)
 		}
+	}
+	scoreKV := kv
+	if cfg.Follower {
+		scoreKV = kvstore.OpenMemory()
 	}
 	l := &Lake{
 		cfg:        cfg,
@@ -192,7 +214,7 @@ func Open(cfg Config) (*Lake, error) {
 		blobs:      blobs,
 		reg:        registry.New(kv, blobs),
 		prov:       provenance.NewJournal(kv),
-		runner:     benchmark.NewRunner(kv),
+		runner:     benchmark.NewRunner(scoreKV),
 		keyword:    search.NewShardedKeywordIndex(0),
 		taskSearch: &search.TaskSearcher{},
 		modelCache: map[string]*model.Model{},

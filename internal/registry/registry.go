@@ -104,6 +104,12 @@ type RegisterOptions struct {
 	// rehydrate hit the vector cache without touching the weights blob.
 	// Ignored for withheld weights.
 	WeightsFP string
+	// ID pins the model's catalog ID instead of minting one from this
+	// registry's sequence. A cluster router mints IDs centrally — placement
+	// is a consistent hash of the ID, so the ID must exist before a shard
+	// is chosen — and passes the minted ID through here. A sequence number
+	// is still consumed so Seq stays a usable logical clock either way.
+	ID string
 }
 
 // Pending is a validated registration that has not been committed yet. The
@@ -150,7 +156,12 @@ func (r *Registry) Prepare(m *model.Model, c *card.Card, opts RegisterOptions) (
 	if err != nil {
 		return nil, fmt.Errorf("registry: sequence: %w", err)
 	}
-	id := fmt.Sprintf("m-%06d", seq)
+	id := opts.ID
+	if id == "" {
+		id = fmt.Sprintf("m-%06d", seq)
+	} else if r.kv.Has(modelKey(id)) {
+		return nil, fmt.Errorf("%w: id %s", ErrDuplicate, id)
+	}
 
 	rec := &Record{
 		ID:      id,

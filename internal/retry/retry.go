@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"time"
 
 	"modellake/internal/obs"
@@ -36,7 +37,18 @@ type Policy struct {
 	// Classify reports whether an error is worth retrying; nil means
 	// Transient.
 	Classify func(error) bool
+	// Jitter spreads each sleep uniformly across
+	// [delay·(1−Jitter), delay·(1+Jitter)). Without it the backoff is
+	// deterministic, so the many router goroutines that hit one failed
+	// shard retry in lockstep and stampede whatever replaced it. Zero
+	// selects DefaultJitter; negative disables jitter (fixed schedules for
+	// tests); values above 1 are clamped to 1. Only the sleep is
+	// randomized — the underlying exponential schedule is unchanged.
+	Jitter float64
 }
+
+// DefaultJitter is the ±20% spread applied when Policy.Jitter is zero.
+const DefaultJitter = 0.2
 
 func (p Policy) withDefaults() Policy {
 	if p.Attempts <= 0 {
@@ -53,6 +65,14 @@ func (p Policy) withDefaults() Policy {
 	}
 	if p.Classify == nil {
 		p.Classify = Transient
+	}
+	switch {
+	case p.Jitter == 0:
+		p.Jitter = DefaultJitter
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter > 1:
+		p.Jitter = 1
 	}
 	return p
 }
@@ -88,7 +108,11 @@ func Do(ctx context.Context, p Policy, fn func() error) error {
 			return fmt.Errorf("retry: gave up after %d attempts: %w", attempt, err)
 		}
 		mRetries.Inc()
-		timer := time.NewTimer(delay)
+		sleep := delay
+		if p.Jitter > 0 {
+			sleep = time.Duration(float64(delay) * (1 + p.Jitter*(2*rand.Float64()-1)))
+		}
+		timer := time.NewTimer(sleep)
 		select {
 		case <-ctx.Done():
 			timer.Stop()

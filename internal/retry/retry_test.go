@@ -84,3 +84,47 @@ func TestTransientClassifier(t *testing.T) {
 		t.Fatal("wrapped transient error not recognized")
 	}
 }
+
+// TestJitterSpreadsDelays measures the sleeps of many retried attempts and
+// asserts they are neither deterministic (the stampede this knob exists to
+// break) nor outside the ±Jitter envelope.
+func TestJitterSpreadsDelays(t *testing.T) {
+	base := 5 * time.Millisecond
+	var sleeps []time.Duration
+	for i := 0; i < 12; i++ {
+		last := time.Now()
+		attempt := 0
+		_ = Do(context.Background(), Policy{Attempts: 2, Base: base, Jitter: 0.5}, func() error {
+			if attempt++; attempt == 2 {
+				sleeps = append(sleeps, time.Since(last))
+			}
+			last = time.Now()
+			return transientErr{}
+		})
+	}
+	distinct := map[time.Duration]bool{}
+	for _, s := range sleeps {
+		if s < base/2 {
+			t.Fatalf("sleep %v below jitter floor %v", s, base/2)
+		}
+		distinct[s/time.Microsecond*time.Microsecond] = true
+	}
+	if len(distinct) < 3 {
+		t.Fatalf("sleeps look deterministic: %v", sleeps)
+	}
+}
+
+// TestNegativeJitterDisables pins the escape hatch: Jitter < 0 restores the
+// exact deterministic schedule (within scheduler noise, checked as a floor).
+func TestNegativeJitterDisables(t *testing.T) {
+	p := Policy{Attempts: 2, Base: 10 * time.Millisecond, Jitter: -1}
+	start := time.Now()
+	attempt := 0
+	_ = Do(context.Background(), p, func() error { attempt++; return transientErr{} })
+	if got := time.Since(start); got < 10*time.Millisecond {
+		t.Fatalf("slept %v, want >= exact base 10ms", got)
+	}
+	if attempt != 2 {
+		t.Fatalf("attempts = %d, want 2", attempt)
+	}
+}

@@ -1,0 +1,26 @@
+package search
+
+import "modellake/internal/index"
+
+// MergeTopK merges per-shard vector-search rankings into the global top-k,
+// through the same bounded-heap selector single-node searches use. Hit
+// scores are the negated index distances (see SearchByVectorContext), and
+// negation is exact in IEEE754, so converting back and forth preserves every
+// bit: the merged hits are bitwise-identical to a single-node search over
+// the union of the shards' populations.
+func MergeTopK(k int, lists ...[]Hit) []Hit {
+	rls := make([][]index.Result, len(lists))
+	for i, l := range lists {
+		rs := make([]index.Result, len(l))
+		for j, h := range l {
+			rs[j] = index.Result{ID: h.ID, Distance: -h.Score}
+		}
+		rls[i] = rs
+	}
+	merged := index.MergeTopK(k, rls...)
+	out := make([]Hit, len(merged))
+	for i, r := range merged {
+		out[i] = Hit{ID: r.ID, Score: -r.Distance}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"modellake/internal/data"
+	"modellake/internal/xrand"
+)
+
+// TestMergeTopKMatchesGlobalSort drives the scatter-gather merge with
+// randomized scores (including exact ties) and checks it against a full sort
+// of the union — bit-for-bit, order included.
+func TestMergeTopKMatchesGlobalSort(t *testing.T) {
+	rng := xrand.New(7)
+	for trial := 0; trial < 50; trial++ {
+		nShards := 1 + int(rng.Uint64()%5)
+		var union []Hit
+		lists := make([][]Hit, nShards)
+		id := 0
+		for s := 0; s < nShards; s++ {
+			n := int(rng.Uint64() % 20)
+			for i := 0; i < n; i++ {
+				// Quantized scores force cross-shard ties.
+				h := Hit{ID: fmt.Sprintf("m-%03d", id), Score: -float64(int(rng.Uint64()%8)) / 4}
+				id++
+				lists[s] = append(lists[s], h)
+				union = append(union, h)
+			}
+			sortHits(lists[s])
+		}
+		k := int(rng.Uint64() % 12)
+		want := append([]Hit(nil), union...)
+		sortHits(want)
+		if k < len(want) {
+			want = want[:k]
+		}
+		got := MergeTopK(k, lists...)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merge mismatch\ngot  %v\nwant %v", trial, got, want)
+		}
+		for i := range got {
+			if math.Float64bits(got[i].Score) != math.Float64bits(want[i].Score) {
+				t.Fatalf("trial %d: score bits differ at %d", trial, i)
+			}
+		}
+	}
+}
+
+// TestSearchWithStatsMatchesSingleIndex partitions a corpus across several
+// ShardedKeywordIndex instances and checks that two-phase scoring (gather
+// stats, merge, score locally, merge hits by score) reproduces a single
+// index's Search bit-for-bit.
+func TestSearchWithStatsMatchesSingleIndex(t *testing.T) {
+	docs := map[string]string{
+		"m-1": "bert transformer english sentiment",
+		"m-2": "resnet vision classifier",
+		"m-3": "bert large english qa transformer transformer",
+		"m-4": "tiny sentiment english",
+		"m-5": "audio wav2vec speech english",
+		"m-6": "bert sentiment",
+	}
+	single := NewShardedKeywordIndex(4)
+	parts := []*ShardedKeywordIndex{NewShardedKeywordIndex(4), NewShardedKeywordIndex(4), NewShardedKeywordIndex(4)}
+	i := 0
+	for id, text := range docs {
+		single.Add(id, text)
+		parts[i%len(parts)].Add(id, text)
+		i++
+	}
+	for _, query := range []string{"bert english", "sentiment", "transformer transformer english", "nothing matches"} {
+		want := single.Search(query, 10)
+		tokens := data.Tokenize(query)
+		var g KeywordStats
+		for _, p := range parts {
+			g.Merge(p.Stats(tokens))
+		}
+		var all []Hit
+		for _, p := range parts {
+			all = append(all, p.SearchWithStats(query, g, 10)...)
+		}
+		sortHits(all)
+		if len(all) > 10 {
+			all = all[:10]
+		}
+		if len(want) == 0 && len(all) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(all, want) {
+			t.Fatalf("query %q: two-phase mismatch\ngot  %v\nwant %v", query, all, want)
+		}
+		for j := range want {
+			if math.Float64bits(all[j].Score) != math.Float64bits(want[j].Score) {
+				t.Fatalf("query %q: score bits differ at rank %d", query, j)
+			}
+		}
+	}
+}

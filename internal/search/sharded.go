@@ -133,41 +133,82 @@ func (s *ShardedKeywordIndex) Len() int {
 	return n
 }
 
-// Search returns up to k documents ranked by BM25 relevance to the query.
-// All shards are read-locked (in shard order, so concurrent searches cannot
-// deadlock) for the duration of the scoring pass, giving each query a
-// consistent global snapshot.
-func (s *ShardedKeywordIndex) Search(query string, k int) []Hit {
-	mKwSearches.Inc()
+// KeywordStats are the corpus-wide BM25 statistics for one tokenized query:
+// the document count, the total token length across documents, and the
+// per-token document frequency (DF[i] belongs to the i-th query token, in
+// tokenize order, duplicates included). They are the only global inputs BM25
+// scoring needs, which is what makes cross-shard keyword search exact: a
+// router gathers Stats from every lake shard, merges them with Merge, and
+// each shard then scores its local documents under the merged stats — every
+// per-document float operation happens in the same order with the same
+// operands as a single index over the union would use.
+type KeywordStats struct {
+	Docs     int
+	TotalLen int
+	DF       []int
+}
+
+// Merge folds another shard's stats for the same token list into g.
+func (g *KeywordStats) Merge(o KeywordStats) {
+	g.Docs += o.Docs
+	g.TotalLen += o.TotalLen
+	if g.DF == nil {
+		g.DF = make([]int, len(o.DF))
+	}
+	for i := range o.DF {
+		g.DF[i] += o.DF[i]
+	}
+}
+
+// lockAll read-locks every shard in shard order (so concurrent searches
+// cannot deadlock), giving the caller a consistent global snapshot. The
+// returned func releases the locks.
+func (s *ShardedKeywordIndex) lockAll() func() {
 	lockStart := time.Now()
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 	}
 	mKwLockWait.Since(lockStart)
-	defer func() {
+	return func() {
 		for _, sh := range s.shards {
 			sh.mu.RUnlock()
 		}
-	}()
-
-	n, totalLen := 0, 0
-	for _, sh := range s.shards {
-		n += len(sh.docLens)
-		totalLen += sh.totalLen
 	}
+}
+
+// statsLocked gathers this index's BM25 statistics for tokens. Caller holds
+// every shard read lock.
+func (s *ShardedKeywordIndex) statsLocked(tokens []string) KeywordStats {
+	g := KeywordStats{DF: make([]int, len(tokens))}
+	for _, sh := range s.shards {
+		g.Docs += len(sh.docLens)
+		g.TotalLen += sh.totalLen
+	}
+	for i, tok := range tokens {
+		for _, sh := range s.shards {
+			g.DF[i] += len(sh.postings[tok])
+		}
+	}
+	return g
+}
+
+// scoreLocked ranks this index's documents by BM25 under the given (possibly
+// cluster-global) statistics. Caller holds every shard read lock. The float
+// accumulation per document runs in token order, so a document's score
+// depends only on its own term frequencies, its length, and the global
+// stats — never on which shard (or which index) holds it.
+func (s *ShardedKeywordIndex) scoreLocked(tokens []string, g KeywordStats, k int) []Hit {
+	n := g.Docs
 	if n == 0 || k <= 0 {
 		return nil
 	}
-	avgLen := float64(totalLen) / float64(n)
+	avgLen := float64(g.TotalLen) / float64(n)
 	if avgLen == 0 {
 		avgLen = 1
 	}
 	scores := map[string]float64{}
-	for _, tok := range data.Tokenize(query) {
-		df := 0
-		for _, sh := range s.shards {
-			df += len(sh.postings[tok])
-		}
+	for ti, tok := range tokens {
+		df := g.DF[ti]
 		if df == 0 {
 			continue
 		}
@@ -190,4 +231,34 @@ func (s *ShardedKeywordIndex) Search(query string, k int) []Hit {
 		k = len(hits)
 	}
 	return hits[:k]
+}
+
+// Search returns up to k documents ranked by BM25 relevance to the query.
+// All shards are read-locked for the duration of the scoring pass, giving
+// each query a consistent global snapshot.
+func (s *ShardedKeywordIndex) Search(query string, k int) []Hit {
+	mKwSearches.Inc()
+	unlock := s.lockAll()
+	defer unlock()
+	tokens := data.Tokenize(query)
+	return s.scoreLocked(tokens, s.statsLocked(tokens), k)
+}
+
+// Stats returns this index's BM25 statistics for an already-tokenized query
+// — phase one of an exact cross-shard keyword search.
+func (s *ShardedKeywordIndex) Stats(tokens []string) KeywordStats {
+	unlock := s.lockAll()
+	defer unlock()
+	return s.statsLocked(tokens)
+}
+
+// SearchWithStats ranks this index's documents under externally gathered
+// global statistics — phase two of an exact cross-shard keyword search. g
+// must have been gathered (and merged) for data.Tokenize(query); with
+// g == Stats(tokens) this is exactly Search.
+func (s *ShardedKeywordIndex) SearchWithStats(query string, g KeywordStats, k int) []Hit {
+	mKwSearches.Inc()
+	unlock := s.lockAll()
+	defer unlock()
+	return s.scoreLocked(data.Tokenize(query), g, k)
 }

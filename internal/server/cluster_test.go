@@ -1,0 +1,230 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"modellake/internal/card"
+	"modellake/internal/cluster"
+	"modellake/internal/lake"
+	"modellake/internal/lakegen"
+	"modellake/internal/nn"
+	"modellake/internal/registry"
+)
+
+// TestServerReportsOpeningUntilAttach covers the deferred-open serving path:
+// routes are bound and answering before the lake exists, /readyz says
+// "opening" (not ready) until Attach, and data routes shed instead of
+// panicking on a nil lake.
+func TestServerReportsOpeningUntilAttach(t *testing.T) {
+	srv := NewOpening(DefaultConfig())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Liveness is about the process, not the store: 200 while opening.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Fatalf("/healthz while opening = %d, want 200", code)
+	}
+	var ready map[string]any
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz while opening = %d, want 503", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ready["status"] != "opening" {
+		t.Fatalf("/readyz status = %q, want \"opening\"", ready["status"])
+	}
+	for _, route := range []string{"/v1/models", "/v1/search?q=x", "/v1/graph"} {
+		if code := getJSON(t, ts.URL+route, nil); code != http.StatusServiceUnavailable {
+			t.Fatalf("%s while opening = %d, want 503", route, code)
+		}
+	}
+
+	lk, err := lake.Open(lake.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lk.Close()
+	srv.Attach(lk)
+
+	var st map[string]any
+	if code := getJSON(t, ts.URL+"/readyz", &st); code != http.StatusOK {
+		t.Fatalf("/readyz after Attach = %d, want 200", code)
+	}
+	if st["status"] != "ready" {
+		t.Fatalf("/readyz status after Attach = %q, want \"ready\"", st["status"])
+	}
+	if code := getJSON(t, ts.URL+"/v1/models", nil); code != http.StatusOK {
+		t.Fatalf("/v1/models after Attach = %d, want 200", code)
+	}
+	// A single-node lake is not a cluster; the status probe must say so.
+	if code := getJSON(t, ts.URL+"/v1/cluster/status", nil); code != http.StatusNotFound {
+		t.Fatalf("/v1/cluster/status on single node = %d, want 404", code)
+	}
+}
+
+// TestServerFrontsCluster serves a sharded cluster through the same HTTP
+// surface: normal reads work, /v1/cluster/status reports shard health, and a
+// write to a shard with a dead leader surfaces as 503, not 500.
+func TestServerFrontsCluster(t *testing.T) {
+	c, err := cluster.Open(cluster.Config{
+		Dir:      t.TempDir(),
+		Shards:   2,
+		Replicas: 1,
+		Lake:     lake.Config{Sync: true, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	spec := lakegen.DefaultSpec(801)
+	spec.NumBases = 2
+	spec.ChildrenPerBase = 1
+	pop, err := lakegen.Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range pop.Datasets {
+		if err := c.RegisterDataset(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ids []string
+	for _, m := range pop.Members {
+		rec, err := c.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name, Version: "1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, rec.ID)
+	}
+
+	ts := httptest.NewServer(New(c).Handler())
+	defer ts.Close()
+
+	var ready map[string]any
+	if code := getJSON(t, ts.URL+"/readyz", &ready); code != http.StatusOK {
+		t.Fatalf("/readyz = %d, want 200", code)
+	}
+	if int(ready["models"].(float64)) != len(ids) {
+		t.Fatalf("/readyz models = %v, want %d", ready["models"], len(ids))
+	}
+	var recs []registry.Record
+	if code := getJSON(t, ts.URL+"/v1/models", &recs); code != http.StatusOK || len(recs) != len(ids) {
+		t.Fatalf("/v1/models = %d with %d records, want 200 with %d", len(recs), len(recs), len(ids))
+	}
+	var rec registry.Record
+	if code := getJSON(t, ts.URL+"/v1/models/"+ids[0], &rec); code != http.StatusOK || rec.ID != ids[0] {
+		t.Fatalf("/v1/models/%s = %d %+v", ids[0], code, rec)
+	}
+
+	var status struct {
+		Shards []cluster.ShardStatus `json:"shards"`
+	}
+	if code := getJSON(t, ts.URL+"/v1/cluster/status", &status); code != http.StatusOK {
+		t.Fatalf("/v1/cluster/status = %d, want 200", code)
+	}
+	if len(status.Shards) != 2 {
+		t.Fatalf("cluster status reports %d shards, want 2", len(status.Shards))
+	}
+	for _, st := range status.Shards {
+		if !st.LeaderUp {
+			t.Fatalf("shard %d leader down in healthy cluster", st.Shard)
+		}
+	}
+
+	// Kill a leader: reads fail over (same HTTP responses), the status
+	// endpoint reflects the outage, and a write routed to the dead shard
+	// comes back 503 ErrLeaderDown, not a 500. Flush first so the replica
+	// serves the full replicated state.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := c.FlushReplication(ctx); err != nil {
+		t.Fatal(err)
+	}
+	target := c.OwnerOf(ids[0])
+	c.KillShardLeader(target)
+	if code := getJSON(t, ts.URL+"/v1/models/"+ids[0], &rec); code != http.StatusOK || rec.ID != ids[0] {
+		t.Fatalf("failover read over HTTP = %d %+v", code, rec)
+	}
+	if code := getJSON(t, ts.URL+"/v1/cluster/status", &status); code != http.StatusOK {
+		t.Fatalf("/v1/cluster/status during outage = %d", code)
+	}
+	downSeen := false
+	for _, st := range status.Shards {
+		if st.Shard == target && !st.LeaderUp {
+			downSeen = true
+		}
+	}
+	if !downSeen {
+		t.Fatalf("cluster status does not show shard %d leader down: %+v", target, status.Shards)
+	}
+	saw503 := false
+	for i := 0; i < 8 && !saw503; i++ {
+		code, body := postIngest(t, ts.URL, pop, i)
+		switch code {
+		case http.StatusCreated:
+		case http.StatusServiceUnavailable:
+			saw503 = true
+			if !strings.Contains(body, "leader down") {
+				t.Fatalf("503 body %q does not mention the dead leader", body)
+			}
+		default:
+			t.Fatalf("ingest during outage = %d (%s), want 201 or 503", code, body)
+		}
+	}
+	if !saw503 {
+		t.Fatal("no ingest was rejected with 503 while a shard leader was down")
+	}
+
+	if err := c.RestartShardLeader(target); err != nil {
+		t.Fatal(err)
+	}
+	if code := getJSON(t, ts.URL+"/v1/cluster/status", &status); code != http.StatusOK {
+		t.Fatalf("/v1/cluster/status after restart = %d", code)
+	}
+	for _, st := range status.Shards {
+		if !st.LeaderUp {
+			t.Fatalf("shard %d leader still down after restart", st.Shard)
+		}
+	}
+}
+
+// postIngest uploads one freshly-named model over HTTP and returns the
+// status code and body. The cluster mints the ID, so which shard each upload
+// lands on varies call to call — callers probe placement by repetition.
+func postIngest(t *testing.T, baseURL string, pop *lakegen.Population, i int) (int, string) {
+	t.Helper()
+	raw, err := nn.EncodeMLP(pop.Members[0].Model.Net.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := IngestRequest{
+		Name:       fmt.Sprintf("outage-upload-%d", i),
+		Card:       &card.Card{Name: fmt.Sprintf("outage-upload-%d", i), Domain: "legal", License: "mit"},
+		WeightsB64: base64.StdEncoding.EncodeToString(raw),
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(baseURL+"/v1/models", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(b)
+}

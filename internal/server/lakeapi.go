@@ -1,0 +1,51 @@
+package server
+
+import (
+	"context"
+
+	"modellake/internal/audit"
+	"modellake/internal/card"
+	"modellake/internal/cluster"
+	"modellake/internal/docgen"
+	"modellake/internal/lake"
+	"modellake/internal/mlql"
+	"modellake/internal/model"
+	"modellake/internal/provenance"
+	"modellake/internal/registry"
+	"modellake/internal/search"
+	"modellake/internal/version"
+)
+
+// LakeAPI is the serving boundary between the HTTP layer and the lake: the
+// exact read/write surface the handlers need, and nothing else. A
+// single-node *lake.Lake and a sharded *cluster.Cluster both implement it,
+// which is what makes the server/lake boundary RPC-able — every method is a
+// routable request/response over IDs and plain data, with no shared memory
+// beyond the arguments.
+type LakeAPI interface {
+	Ready() error
+	Count() int
+
+	Records() ([]*registry.Record, error)
+	Record(id string) (*registry.Record, error)
+	Card(id string) (*card.Card, error)
+	Cite(id string) (provenance.Citation, error)
+	ProvenanceWhy(entity string) (*provenance.Explanation, error)
+	GenerateCardContext(ctx context.Context, id string) (*docgen.Draft, error)
+	AuditContext(ctx context.Context, id string, flagged map[string]string) (*audit.Report, error)
+
+	SearchKeywordContext(ctx context.Context, query string, k int) ([]search.Hit, error)
+	SearchByModelContext(ctx context.Context, id, space string, k int) ([]search.Hit, error)
+	SearchByModelMany(ctx context.Context, ids []string, space string, k, parallelism int) ([][]search.Hit, []error)
+	QueryContext(ctx context.Context, q string) (*mlql.Result, error)
+	VersionGraphContext(ctx context.Context) (*version.Graph, error)
+
+	Ingest(m *model.Model, c *card.Card, opts registry.RegisterOptions) (*registry.Record, error)
+	IngestAll(items []lake.IngestItem, parallelism int) ([]*registry.Record, []error)
+}
+
+// Compile-time conformance: the two deployment shapes the server fronts.
+var (
+	_ LakeAPI = (*lake.Lake)(nil)
+	_ LakeAPI = (*cluster.Cluster)(nil)
+)

@@ -21,6 +21,14 @@
 //	POST /v1/related/batch                batched model-as-query search
 //	GET  /v1/query?q=                     MLQL
 //	GET  /v1/graph                        recovered version graph
+//	GET  /v1/cluster/status               per-shard health and replica lag
+//
+// The server fronts anything implementing LakeAPI — a single embedded
+// *lake.Lake or a sharded *cluster.Cluster — and can start serving before
+// the lake finishes opening: NewOpening binds the routes immediately and
+// /readyz answers 503 "opening" until Attach hands over the opened lake, so
+// a long WAL replay or index rehydrate never reports ready just because the
+// listener bound.
 package server
 
 import (
@@ -40,6 +48,7 @@ import (
 	"time"
 
 	"modellake/internal/card"
+	"modellake/internal/cluster"
 	"modellake/internal/lake"
 	"modellake/internal/model"
 	"modellake/internal/nn"
@@ -90,9 +99,13 @@ func DefaultConfig() Config {
 	}
 }
 
-// Server serves one lake.
+// Server serves one lake — or, before Attach, the promise of one.
 type Server struct {
-	lk       *lake.Lake
+	// box holds the attached LakeAPI. It is nil between NewOpening and
+	// Attach, during which /healthz serves, /readyz reports "opening", and
+	// data routes shed with 503. Attach is monotone: once set, never
+	// cleared, so a handler that observed a non-nil lake may keep using it.
+	box      atomic.Pointer[LakeAPI]
 	cfg      Config
 	log      *log.Logger
 	metrics  *obs.Registry
@@ -101,10 +114,21 @@ type Server struct {
 }
 
 // New wraps a lake with the default hardening config.
-func New(lk *lake.Lake) *Server { return NewWith(lk, DefaultConfig()) }
+func New(lk LakeAPI) *Server { return NewWith(lk, DefaultConfig()) }
 
 // NewWith wraps a lake with an explicit config.
-func NewWith(lk *lake.Lake, cfg Config) *Server {
+func NewWith(lk LakeAPI, cfg Config) *Server {
+	s := NewOpening(cfg)
+	if lk != nil {
+		s.Attach(lk)
+	}
+	return s
+}
+
+// NewOpening builds a server with no lake attached yet, so the listener can
+// bind (and liveness probes pass) while the lake replays its log in the
+// background. Call Attach when the open completes.
+func NewOpening(cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 64 << 20
 	}
@@ -117,10 +141,22 @@ func NewWith(lk *lake.Lake, cfg Config) *Server {
 		metrics = obs.Default()
 	}
 	return &Server{
-		lk: lk, cfg: cfg, log: logger,
+		cfg: cfg, log: logger,
 		metrics: metrics,
 		access:  obs.NewAccessLog(cfg.AccessLog),
 	}
+}
+
+// Attach hands the opened lake (or cluster) to the server; /readyz starts
+// consulting its Ready method and data routes begin serving.
+func (s *Server) Attach(lk LakeAPI) { s.box.Store(&lk) }
+
+// lake returns the attached LakeAPI, or nil while still opening.
+func (s *Server) lake() LakeAPI {
+	if p := s.box.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // Drain flips /readyz to 503 so load balancers stop routing new traffic
@@ -144,20 +180,33 @@ func (s *Server) Handler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	mux.HandleFunc("GET /v1/models", s.handleListModels)
-	mux.HandleFunc("POST /v1/models", s.handleIngest)
-	mux.HandleFunc("POST /v1/models/batch", s.handleIngestBatch)
-	mux.HandleFunc("GET /v1/models/{id}", s.handleModel)
-	mux.HandleFunc("GET /v1/models/{id}/card", s.handleCard)
-	mux.HandleFunc("GET /v1/models/{id}/cite", s.handleCite)
-	mux.HandleFunc("GET /v1/models/{id}/draft", s.handleDraft)
-	mux.HandleFunc("GET /v1/models/{id}/audit", s.handleAudit)
-	mux.HandleFunc("GET /v1/models/{id}/provenance", s.handleProvenance)
-	mux.HandleFunc("GET /v1/search", s.handleSearch)
-	mux.HandleFunc("GET /v1/related", s.handleRelated)
-	mux.HandleFunc("POST /v1/related/batch", s.handleRelatedBatch)
-	mux.HandleFunc("GET /v1/query", s.handleQuery)
-	mux.HandleFunc("GET /v1/graph", s.handleGraph)
+	// Data routes shed with 503 until a lake is attached. The guard is
+	// monotone-safe: the lake is never detached, so a handler that passed
+	// the check can load it again without re-checking.
+	v1 := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if s.lake() == nil {
+				s.writeJSON(w, http.StatusServiceUnavailable, httpError{Error: "lake is opening"})
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("GET /v1/models", v1(s.handleListModels))
+	mux.HandleFunc("POST /v1/models", v1(s.handleIngest))
+	mux.HandleFunc("POST /v1/models/batch", v1(s.handleIngestBatch))
+	mux.HandleFunc("GET /v1/models/{id}", v1(s.handleModel))
+	mux.HandleFunc("GET /v1/models/{id}/card", v1(s.handleCard))
+	mux.HandleFunc("GET /v1/models/{id}/cite", v1(s.handleCite))
+	mux.HandleFunc("GET /v1/models/{id}/draft", v1(s.handleDraft))
+	mux.HandleFunc("GET /v1/models/{id}/audit", v1(s.handleAudit))
+	mux.HandleFunc("GET /v1/models/{id}/provenance", v1(s.handleProvenance))
+	mux.HandleFunc("GET /v1/search", v1(s.handleSearch))
+	mux.HandleFunc("GET /v1/related", v1(s.handleRelated))
+	mux.HandleFunc("POST /v1/related/batch", v1(s.handleRelatedBatch))
+	mux.HandleFunc("GET /v1/query", v1(s.handleQuery))
+	mux.HandleFunc("GET /v1/graph", v1(s.handleGraph))
+	mux.HandleFunc("GET /v1/cluster/status", v1(s.handleClusterStatus))
 	var h http.Handler = mux
 	if s.cfg.RequestTimeout > 0 {
 		h = timeoutMiddleware(s.cfg.RequestTimeout, h)
@@ -212,6 +261,12 @@ func (s *Server) writeErr(w http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, registry.ErrDuplicate):
 		status = http.StatusConflict
+	case errors.Is(err, cluster.ErrLeaderDown):
+		// A dead shard leader is a temporary availability gap, not a client
+		// mistake: 503 + Retry-After so well-behaved writers back off and
+		// retry once the leader returns.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	case errors.Is(err, context.DeadlineExceeded):
 		status = http.StatusGatewayTimeout
 		timeoutCounter("deadline").Inc()
@@ -258,15 +313,23 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	if err := s.lk.Ready(); err != nil {
+	lk := s.lake()
+	if lk == nil {
+		// The listener is up but the lake is still replaying its log /
+		// rehydrating indexes; report opening, not ready, so load balancers
+		// hold traffic until the store can actually answer.
+		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "opening"})
+		return
+	}
+	if err := lk.Ready(); err != nil {
 		s.writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "unready", "error": err.Error()})
 		return
 	}
-	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "models": s.lk.Count()})
+	s.writeJSON(w, http.StatusOK, map[string]any{"status": "ready", "models": lk.Count()})
 }
 
 func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
-	recs, err := s.lk.Records()
+	recs, err := s.lake().Records()
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -275,7 +338,7 @@ func (s *Server) handleListModels(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
-	rec, err := s.lk.Record(r.PathValue("id"))
+	rec, err := s.lake().Record(r.PathValue("id"))
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -284,7 +347,7 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCard(w http.ResponseWriter, r *http.Request) {
-	c, err := s.lk.Card(r.PathValue("id"))
+	c, err := s.lake().Card(r.PathValue("id"))
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -298,7 +361,7 @@ func (s *Server) handleCard(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
-	c, err := s.lk.Cite(r.PathValue("id"))
+	c, err := s.lake().Cite(r.PathValue("id"))
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -307,7 +370,7 @@ func (s *Server) handleCite(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDraft(w http.ResponseWriter, r *http.Request) {
-	d, err := s.lk.GenerateCardContext(r.Context(), r.PathValue("id"))
+	d, err := s.lake().GenerateCardContext(r.Context(), r.PathValue("id"))
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -327,7 +390,7 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 		}
 		flagged[parts[0]] = reason
 	}
-	rep, err := s.lk.AuditContext(r.Context(), r.PathValue("id"), flagged)
+	rep, err := s.lake().AuditContext(r.Context(), r.PathValue("id"), flagged)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -336,12 +399,24 @@ func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleProvenance(w http.ResponseWriter, r *http.Request) {
-	ex, err := s.lk.Provenance().Why("model:" + r.PathValue("id"))
+	ex, err := s.lake().ProvenanceWhy("model:" + r.PathValue("id"))
 	if err != nil {
 		s.writeJSON(w, http.StatusNotFound, httpError{Error: err.Error()})
 		return
 	}
 	s.writeJSON(w, http.StatusOK, ex)
+}
+
+// handleClusterStatus reports per-shard leader health and replica lag when
+// the server fronts a cluster; a single-node lake answers 404 so probes can
+// distinguish "not clustered" from "cluster degraded".
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.lake().(*cluster.Cluster)
+	if !ok {
+		s.writeJSON(w, http.StatusNotFound, httpError{Error: "not serving a cluster"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"shards": c.Status()})
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -355,7 +430,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "%v", err)
 		return
 	}
-	hits, err := s.lk.SearchKeywordContext(r.Context(), q, k)
+	hits, err := s.lake().SearchKeywordContext(r.Context(), q, k)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -401,7 +476,7 @@ func (s *Server) handleRelatedBatch(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "k must be a positive integer, got %d", k)
 		return
 	}
-	hits, errs := s.lk.SearchByModelMany(r.Context(), req.IDs, req.Space, k, req.Parallelism)
+	hits, errs := s.lake().SearchByModelMany(r.Context(), req.IDs, req.Space, k, req.Parallelism)
 	results := make([]BatchRelatedResult, len(req.IDs))
 	failed := 0
 	for i, id := range req.IDs {
@@ -437,7 +512,7 @@ func (s *Server) handleRelated(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "%v", err)
 		return
 	}
-	hits, err := s.lk.SearchByModelContext(r.Context(), id, r.URL.Query().Get("space"), k)
+	hits, err := s.lake().SearchByModelContext(r.Context(), id, r.URL.Query().Get("space"), k)
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -451,7 +526,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.badRequest(w, "missing query parameter q")
 		return
 	}
-	res, err := s.lk.QueryContext(r.Context(), q)
+	res, err := s.lake().QueryContext(r.Context(), q)
 	if err != nil {
 		// A parse or execution error is the client's 400, but a context
 		// error means the clock (or the client) killed the query — route it
@@ -467,7 +542,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
-	g, err := s.lk.VersionGraphContext(r.Context())
+	g, err := s.lake().VersionGraphContext(r.Context())
 	if err != nil {
 		s.writeErr(w, err)
 		return
@@ -513,7 +588,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := &model.Model{Name: req.Name, Net: net, Hist: req.History}
-	rec, err := s.lk.Ingest(m, req.Card, registry.RegisterOptions{
+	rec, err := s.lake().Ingest(m, req.Card, registry.RegisterOptions{
 		Name: req.Name, Version: req.Version, Tags: req.Tags,
 	})
 	if err != nil {
@@ -588,7 +663,7 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 			pos = append(pos, i)
 		}
 	}
-	recs, errs := s.lk.IngestAll(valid, req.Parallelism)
+	recs, errs := s.lake().IngestAll(valid, req.Parallelism)
 	created := 0
 	for j, i := range pos {
 		if errs[j] != nil {

@@ -131,6 +131,20 @@ func BenchmarkE13Query(b *testing.B) {
 	}
 }
 
+// BenchmarkE16Scale runs the atlas-scale benchmark at reduced scale so
+// `go test -bench` stays fast; cmd/lakebench runs the full 10k/100k sweep.
+func BenchmarkE16Scale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, _, err := experiments.RunE16Scale(42, []int{1000}, 50, 300)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("E16 produced no rows")
+		}
+	}
+}
+
 // BenchmarkLakeQuery measures MLQL query latency on a ~50-model lake.
 func BenchmarkLakeQuery(b *testing.B) {
 	spec := DefaultLakeSpec(2)

@@ -34,6 +34,7 @@ func main() {
 	queryJSON := flag.String("query-json", "BENCH_query.json", "where E13 writes its JSON summary ('' = skip)")
 	writeJSON := flag.String("write-json", "BENCH_write.json", "where E14 writes its JSON summary ('' = skip)")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "where E15 writes its JSON summary ('' = skip)")
+	scaleJSON := flag.String("scale-json", "BENCH_scale.json", "where E16 writes its JSON summary ('' = skip)")
 	metricsJSON := flag.String("metrics-json", "", "where to write a post-run metrics snapshot ('' = skip)")
 	flag.Parse()
 
@@ -93,6 +94,18 @@ func main() {
 			if err == nil && res != nil && *clusterJSON != "" {
 				if werr := writeBenchJSON(*clusterJSON, res); werr != nil {
 					fmt.Fprintf(os.Stderr, "E15: writing %s: %v\n", *clusterJSON, werr)
+					failed++
+				}
+			}
+		} else if ex.ID == "E16" {
+			// E16 (the atlas-scale benchmark: quantized rescore,
+			// disk-resident segments, streamed lake generation) captures its
+			// JSON summary for the archive (-scale-json).
+			var res *experiments.ScaleBenchResult
+			t, res, err = experiments.RunE16Scale(*seed, nil, 0, 0)
+			if err == nil && res != nil && *scaleJSON != "" {
+				if werr := writeBenchJSON(*scaleJSON, res); werr != nil {
+					fmt.Fprintf(os.Stderr, "E16: writing %s: %v\n", *scaleJSON, werr)
 					failed++
 				}
 			}

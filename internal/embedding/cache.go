@@ -101,6 +101,21 @@ func sanitize(s string) string {
 	}, s)
 }
 
+// vectorCacheMemEntries bounds the in-process map. The map is a recompute
+// (or disk-reread) accelerator, not a source of truth, so when it fills up
+// it is simply reset — an O(1) eviction that keeps a sustained ingest of
+// fresh fingerprints (each a guaranteed miss) from pinning every embedding
+// the lake has ever produced in RAM.
+const vectorCacheMemEntries = 8192
+
+// storeLocked inserts under the entry cap; callers hold c.mu.
+func (c *VectorCache) storeLocked(key string, v tensor.Vector) {
+	if len(c.mem) >= vectorCacheMemEntries {
+		c.mem = make(map[string]tensor.Vector, vectorCacheMemEntries/4)
+	}
+	c.mem[key] = v
+}
+
 func (c *VectorCache) memKey(embedder, fp string) string {
 	return embedder + "\x00" + fp
 }
@@ -125,7 +140,7 @@ func (c *VectorCache) Get(embedder string, dim int, fp string) (tensor.Vector, b
 	if c.dir != "" {
 		if v, ok := loadVecFile(c.pathFor(embedder, fp)); ok && len(v) == dim {
 			c.mu.Lock()
-			c.mem[key] = v
+			c.storeLocked(key, v)
 			c.mu.Unlock()
 			c.hits.Add(1)
 			return v.Clone(), true
@@ -141,7 +156,7 @@ func (c *VectorCache) Get(embedder string, dim int, fp string) (tensor.Vector, b
 func (c *VectorCache) Put(embedder, fp string, v tensor.Vector) error {
 	key := c.memKey(embedder, fp)
 	c.mu.Lock()
-	c.mem[key] = v.Clone()
+	c.storeLocked(key, v.Clone())
 	c.mu.Unlock()
 	if c.dir == "" {
 		return nil

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestE16Shape runs the atlas-scale benchmark at toy sizes and pins its
+// acceptance properties: every measured path answers bitwise-identically to
+// the exact flat scan, the disk tier reports a real open latency and
+// segment size, and the streamed lake round-trips through close/reopen
+// with a working search path.
+func TestE16Shape(t *testing.T) {
+	tab, res, err := RunE16Scale(testSeed(), []int{300}, 30, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // exact, quant, disk, stream
+		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if !p.IdenticalTopK {
+			t.Fatalf("path %s diverged from the exact scan: %+v", p.Kind, p)
+		}
+		if p.QPS <= 0 || p.P50Ns <= 0 || p.P99Ns < p.P50Ns {
+			t.Fatalf("path %s reported implausible timings: %+v", p.Kind, p)
+		}
+		if p.Kind == "disk" && (p.OpenNs <= 0 || p.SegmentBytes <= 0) {
+			t.Fatalf("disk path missing open/segment stats: %+v", p)
+		}
+	}
+	st := res.Stream
+	if st.Models != 120 || st.ModelsPerSec <= 0 {
+		t.Fatalf("stream arm implausible: %+v", st)
+	}
+	if st.PeakHeapBytes == 0 || !st.Under2GB {
+		t.Fatalf("toy stream should trivially sit under 2GB: %+v", st)
+	}
+	if st.ReopenNs <= 0 || st.SearchQPS <= 0 {
+		t.Fatalf("stream reopen/search did not run: %+v", st)
+	}
+}
+
+// TestScaleSmoke100k is the full-scale acceptance gate: 100k vectors per
+// read path and a 100k-model lake built by streaming generation, required
+// to stay under 2 GiB of peak heap. It takes minutes, so it only runs when
+// MODELLAKE_SCALE_SMOKE is set (the CI bench job sets it; local runs
+// opt in explicitly).
+func TestScaleSmoke100k(t *testing.T) {
+	if os.Getenv("MODELLAKE_SCALE_SMOKE") == "" {
+		t.Skip("set MODELLAKE_SCALE_SMOKE=1 to run the 100k smoke test")
+	}
+	_, res, err := RunE16Scale(42, []int{100_000}, 50, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		if !p.IdenticalTopK {
+			t.Fatalf("path %s diverged at 100k: %+v", p.Kind, p)
+		}
+	}
+	if res.Stream.Models != 100_000 {
+		t.Fatalf("streamed %d models, want 100000", res.Stream.Models)
+	}
+	if !res.Stream.Under2GB {
+		t.Fatalf("100k streamed lake peaked at %d bytes, over the 2 GiB bar", res.Stream.PeakHeapBytes)
+	}
+}

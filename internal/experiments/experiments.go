@@ -95,6 +95,7 @@ func All() []Experiment {
 		{"E13", "read-path query engine", RunE13},
 		{"E14", "write path: group commit and fast rehydrate", RunE14},
 		{"E15", "sharded cluster: scatter-gather and failover", RunE15},
+		{"E16", "atlas scale: quantized rescore and disk-resident vectors", RunE16},
 		{"F1", "viewpoint ablation (Figure 1)", RunF1},
 	}
 }

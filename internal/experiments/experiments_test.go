@@ -296,7 +296,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		}
 		ids[ex.ID] = true
 	}
-	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "F1"} {
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "F1"} {
 		if !ids[want] {
 			t.Fatalf("experiment %s missing", want)
 		}

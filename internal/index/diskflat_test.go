@@ -1,0 +1,390 @@
+package index
+
+// Tests for the disk-resident flat tier. Three properties carry the
+// atlas-scale read path: (1) a DiskFlat answers every search bitwise
+// identically to the in-RAM flat scan — including after close/reopen, after
+// post-open tail adds, and across tail spills; (2) the segment build is
+// crash-safe — the sweep below injects a torn or sticky write at every IO
+// operation of the build and requires that Open afterwards either refuses
+// the file or serves a provably complete segment, never a corrupt one; and
+// (3) every way a segment file can rot (flipped byte anywhere, truncation)
+// is detected at Open and reported as ErrBadSegment so the caller rebuilds
+// from its durable store.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"modellake/internal/fault"
+	"modellake/internal/tensor"
+)
+
+func buildSegment(t *testing.T, path string, metric Metric, cfg QuantConfig, ids []string, vecs []tensor.Vector) *DiskFlat {
+	t.Helper()
+	d, err := BuildDiskFlat(path, nil, metric, cfg, ids, func(i int) []float64 { return vecs[i] })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestDiskFlatMatchesFlatProperty pins the disk tier to the full-sort
+// oracle across metrics and k values, through a close/reopen cycle and
+// after in-RAM tail adds.
+func TestDiskFlatMatchesFlatProperty(t *testing.T) {
+	for _, metric := range []Metric{Cosine, L2} {
+		const n, dim = 400, 16
+		vecs := randomVecs(t, n+20, dim, 91+uint64(metric))
+		ids := make([]string, n+20)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("id%04d", i)
+		}
+		path := filepath.Join(t.TempDir(), "vec.seg")
+		d := buildSegment(t, path, metric, QuantConfig{}, ids[:n], vecs[:n])
+		queries := randomVecs(t, 6, dim, 300+uint64(metric))
+		check := func(label string, count int) {
+			t.Helper()
+			for _, k := range []int{1, 5, 20, count} {
+				for qi, q := range queries {
+					got, err := d.Search(context.Background(), q, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := referenceSearch(metric, ids[:count], vecs[:count], q, k)
+					assertBitwiseEqual(t, fmt.Sprintf("%s metric=%v k=%d q=%d", label, metric, k, qi), got, want)
+				}
+			}
+		}
+		check("fresh build", n)
+
+		// Reopen must revalidate and answer identically.
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var err error
+		d, err = OpenDiskFlat(path, nil, metric, QuantConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("reopened", n)
+
+		// Rows added after open live in the in-RAM tail and join the same
+		// two-phase search.
+		for i := n; i < n+20; i++ {
+			if err := d.Add(ids[i], vecs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check("with tail", n+20)
+		if err := d.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDiskFlatChecksumsRoundTrip pins the published checksum pair to the
+// SegmentChecksums helper the lake uses to decide segment reuse.
+func TestDiskFlatChecksumsRoundTrip(t *testing.T) {
+	const n, dim = 64, 8
+	vecs := randomVecs(t, n, dim, 7)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("id%04d", i)
+	}
+	path := filepath.Join(t.TempDir(), "vec.seg")
+	d := buildSegment(t, path, Cosine, QuantConfig{}, ids, vecs)
+	defer d.Close()
+	wantIDs, wantData := SegmentChecksums(ids, func(i int) []float64 { return vecs[i] })
+	gotIDs, gotData := d.Checksums()
+	if gotIDs != wantIDs || gotData != wantData {
+		t.Fatalf("checksums (%x,%x) != SegmentChecksums (%x,%x)", gotIDs, gotData, wantIDs, wantData)
+	}
+	if d.SegmentLen() != n || d.Len() != n {
+		t.Fatalf("len %d/%d != %d", d.SegmentLen(), d.Len(), n)
+	}
+}
+
+// TestDiskFlatTailSpill drives enough post-open adds through a small spill
+// threshold to force several compactions and requires (a) the tail is
+// actually bounded, (b) search stays bitwise identical to the oracle
+// throughout, and (c) the compacted segment revalidates and reopens clean.
+func TestDiskFlatTailSpill(t *testing.T) {
+	const n, dim, spill = 30, 8, 10
+	total := 150
+	vecs := randomVecs(t, total, dim, 55)
+	ids := make([]string, total)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("id%04d", i)
+	}
+	path := filepath.Join(t.TempDir(), "vec.seg")
+	cfg := QuantConfig{SpillTailRows: spill}
+	d := buildSegment(t, path, Cosine, cfg, ids[:n], vecs[:n])
+	q := randomVecs(t, 1, dim, 77)[0]
+	for i := n; i < total; i++ {
+		if err := d.Add(ids[i], vecs[i]); err != nil {
+			t.Fatal(err)
+		}
+		if tailRows := d.Len() - d.SegmentLen(); tailRows > spill {
+			t.Fatalf("after %d adds: tail %d rows exceeds spill threshold %d", i-n+1, tailRows, spill)
+		}
+		got, err := d.Search(context.Background(), q, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceSearch(Cosine, ids[:i+1], vecs[:i+1], q, 7)
+		assertBitwiseEqual(t, fmt.Sprintf("after add %d", i), got, want)
+	}
+	if d.SegmentLen() < total-spill {
+		t.Fatalf("segment holds %d of %d rows; spill never ran", d.SegmentLen(), total)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := OpenDiskFlat(path, nil, Cosine, cfg)
+	if err != nil {
+		t.Fatalf("reopen after spills: %v", err)
+	}
+	defer d.Close()
+	got, err := d.Search(context.Background(), q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := d.Len()
+	assertBitwiseEqual(t, "reopened after spills", got, referenceSearch(Cosine, ids[:count], vecs[:count], q, 7))
+}
+
+// TestDiskFlatCrashSweep is the build-time crash-window sweep. A recorder
+// pass enumerates every filesystem operation of a segment build; the sweep
+// then re-runs the build once per operation with a torn write (a prefix of
+// the bytes land) and once with a sticky failure injected at that point.
+// After each simulated crash the invariant is checked from a clean
+// filesystem: OpenDiskFlat either refuses the leftover file, or — when the
+// fault hit after publish (dir sync, reopen) — serves a segment whose
+// checksums, length, and search answers are exactly those of the completed
+// build. A fresh build over the crash debris must then succeed and answer
+// bitwise identically to the in-RAM oracle.
+func TestDiskFlatCrashSweep(t *testing.T) {
+	const n, dim, k = 60, 8, 5
+	vecs := randomVecs(t, n, dim, 123)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("id%04d", i)
+	}
+	row := func(i int) []float64 { return vecs[i] }
+	wantIDs, wantData := SegmentChecksums(ids, row)
+	q := randomVecs(t, 1, dim, 321)[0]
+	want := referenceSearch(Cosine, ids, vecs, q, k)
+
+	// Pass 0: record the op sequence of a clean build.
+	rec := &fault.Recorder{}
+	cleanDir := t.TempDir()
+	d, err := BuildDiskFlat(filepath.Join(cleanDir, "vec.seg"), fault.New(rec), Cosine, QuantConfig{}, ids, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := rec.Ops() // before Close, which also routes through the recorder
+	d.Close()
+	if len(ops) < 8 {
+		t.Fatalf("recorded only %d ops; the sweep would be vacuous: %v", len(ops), ops)
+	}
+
+	for _, mode := range []string{"torn", "sticky"} {
+		for at := 1; at <= len(ops); at++ {
+			script := &fault.Script{FailAt: at}
+			if mode == "torn" {
+				script.Torn = 7
+			} else {
+				script.Sticky = true
+			}
+			dir := t.TempDir()
+			path := filepath.Join(dir, "vec.seg")
+			_, err := BuildDiskFlat(path, fault.New(script), Cosine, QuantConfig{}, ids, row)
+			if err == nil {
+				t.Fatalf("%s@%d (%v): build reported success despite injected fault", mode, at, ops[at-1])
+			}
+
+			// Crash simulated. Recovery sees a healthy filesystem.
+			od, err := OpenDiskFlat(path, nil, Cosine, QuantConfig{})
+			if err == nil {
+				gotIDs, gotData := od.Checksums()
+				if od.SegmentLen() != n || gotIDs != wantIDs || gotData != wantData {
+					t.Fatalf("%s@%d (%v): opened a partial segment: len=%d crc=(%x,%x)",
+						mode, at, ops[at-1], od.SegmentLen(), gotIDs, gotData)
+				}
+				got, serr := od.Search(context.Background(), q, k)
+				if serr != nil {
+					t.Fatal(serr)
+				}
+				assertBitwiseEqual(t, fmt.Sprintf("%s@%d survivor", mode, at), got, want)
+				od.Close()
+			}
+
+			// Rebuild over the debris must converge to a good segment.
+			rd, err := BuildDiskFlat(path, nil, Cosine, QuantConfig{}, ids, row)
+			if err != nil {
+				t.Fatalf("%s@%d (%v): rebuild failed: %v", mode, at, ops[at-1], err)
+			}
+			got, serr := rd.Search(context.Background(), q, k)
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			assertBitwiseEqual(t, fmt.Sprintf("%s@%d rebuilt", mode, at), got, want)
+			rd.Close()
+		}
+	}
+}
+
+// TestDiskFlatDetectsCorruption flips bytes across every region of a valid
+// segment file — header, ids section, padding, first and last row — and
+// truncates it, requiring OpenDiskFlat to refuse each variant with
+// ErrBadSegment.
+func TestDiskFlatDetectsCorruption(t *testing.T) {
+	const n, dim = 50, 8
+	vecs := randomVecs(t, n, dim, 44)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("id%04d", i)
+	}
+	path := filepath.Join(t.TempDir(), "vec.seg")
+	d := buildSegment(t, path, Cosine, QuantConfig{}, ids, vecs)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataOff := len(pristine) - n*dim*8
+
+	reopen := func(label string) {
+		t.Helper()
+		od, err := OpenDiskFlat(path, nil, Cosine, QuantConfig{})
+		if err == nil {
+			od.Close()
+			t.Fatalf("%s: corrupt segment opened clean", label)
+		}
+		if !errors.Is(err, ErrBadSegment) {
+			t.Fatalf("%s: error %v does not wrap ErrBadSegment", label, err)
+		}
+	}
+	for _, off := range []int{0, 8, 40, 63, 64, 100, dataOff - 1, dataOff, dataOff + 7, len(pristine) - 1} {
+		mut := append([]byte(nil), pristine...)
+		mut[off] ^= 0x40
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reopen(fmt.Sprintf("flip@%d", off))
+	}
+	if err := os.WriteFile(path, pristine[:len(pristine)-8], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopen("truncated")
+
+	// Wrong metric is a configuration mismatch, same rejection.
+	if err := os.WriteFile(path, pristine, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopen2, err := OpenDiskFlat(path, nil, L2, QuantConfig{})
+	if err == nil {
+		reopen2.Close()
+		t.Fatal("metric mismatch opened clean")
+	}
+	if !errors.Is(err, ErrBadSegment) {
+		t.Fatalf("metric mismatch: error %v does not wrap ErrBadSegment", err)
+	}
+
+	// And the pristine bytes still open, proving the harness corrupted the
+	// right file rather than testing a permanently broken fixture.
+	od, err := OpenDiskFlat(path, nil, Cosine, QuantConfig{})
+	if err != nil {
+		t.Fatalf("pristine reopen: %v", err)
+	}
+	od.Close()
+}
+
+// TestDiskFlatClosed pins the closed-handle contract.
+func TestDiskFlatClosed(t *testing.T) {
+	const n, dim = 10, 4
+	vecs := randomVecs(t, n, dim, 3)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("id%02d", i)
+	}
+	path := filepath.Join(t.TempDir(), "vec.seg")
+	d := buildSegment(t, path, Cosine, QuantConfig{}, ids, vecs)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := d.Search(context.Background(), vecs[0], 1); err == nil {
+		t.Fatal("search after close succeeded")
+	}
+	if err := d.Add("late", vecs[0]); err == nil {
+		t.Fatal("add after close succeeded")
+	}
+}
+
+// TestDiskFlatSearchAllocBounds pins the pread-windowed two-phase search at
+// the same near-zero allocation bound as the in-RAM paths.
+func TestDiskFlatSearchAllocBounds(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; bounds only hold in normal builds")
+	}
+	const n, dim = 2000, 32
+	vecs := randomVecs(t, n, dim, 61)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("m%05d", i)
+	}
+	path := filepath.Join(t.TempDir(), "vec.seg")
+	d := buildSegment(t, path, Cosine, QuantConfig{}, ids, vecs)
+	defer d.Close()
+	q := randomVecs(t, 1, dim, 67)[0]
+	ctx := context.Background()
+	for i := 0; i < 5; i++ { // warm the scratch pool
+		if _, err := d.Search(ctx, q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a := testing.AllocsPerRun(100, func() {
+		if _, err := d.Search(ctx, q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}); a > 2 {
+		t.Fatalf("disk search: %v allocs/op, want <= 2", a)
+	}
+}
+
+// TestDiskFlatDistanceBitsSanity guards the oracle itself: distances coming
+// back from the disk tier must be real float64s, not NaNs that a broken
+// comparison would sort arbitrarily.
+func TestDiskFlatDistanceBitsSanity(t *testing.T) {
+	const n, dim = 20, 8
+	vecs := randomVecs(t, n, dim, 9)
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("id%02d", i)
+	}
+	path := filepath.Join(t.TempDir(), "vec.seg")
+	d := buildSegment(t, path, L2, QuantConfig{}, ids, vecs)
+	defer d.Close()
+	res, err := d.Search(context.Background(), vecs[3], 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 || res[0].ID != ids[3] || res[0].Distance != 0 {
+		t.Fatalf("self-query: %+v", res)
+	}
+	for _, r := range res {
+		if math.IsNaN(r.Distance) || math.IsInf(r.Distance, 0) {
+			t.Fatalf("non-finite distance: %+v", r)
+		}
+	}
+}

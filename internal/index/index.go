@@ -34,10 +34,14 @@ import (
 // init: a registry lookup per search would put map traffic and label
 // rendering on the zero-alloc hot path.
 var (
-	flatSearches   = searchCounter("flat")
-	flatCandidates = candidateCounter("flat")
-	hnswSearches   = searchCounter("hnsw")
-	hnswCandidates = candidateCounter("hnsw")
+	flatSearches    = searchCounter("flat")
+	flatCandidates  = candidateCounter("flat")
+	hnswSearches    = searchCounter("hnsw")
+	hnswCandidates  = candidateCounter("hnsw")
+	quantSearches   = searchCounter("flat_quant")
+	quantCandidates = candidateCounter("flat_quant")
+	diskSearches    = searchCounter("disk_flat")
+	diskCandidates  = candidateCounter("disk_flat")
 )
 
 func searchCounter(kind string) *obs.Counter {
@@ -237,7 +241,14 @@ type Flat struct {
 	byID   map[string]struct{}
 	dim    int
 
-	topk sync.Pool // *topK per-search scratch
+	// Optional int8 quantized tier (NewFlatQuantized): searches go through
+	// the two-phase quantized-scan + exact-rescore path instead of the
+	// full-precision scan. Nil on a plain NewFlat index.
+	quant         *quantTier
+	rescoreFactor int
+
+	topk     sync.Pool // *topK per-search scratch
+	qscratch sync.Pool // *quantScratch, set when quant != nil
 }
 
 // NewFlat returns an empty exact index.
@@ -264,6 +275,9 @@ func (f *Flat) Add(id string, v tensor.Vector) error {
 	f.data = append(f.data, v...)
 	f.norms = append(f.norms, v.Norm())
 	f.byID[id] = struct{}{}
+	if f.quant != nil {
+		f.quant.add(v)
+	}
 	return nil
 }
 
@@ -290,6 +304,9 @@ func (f *Flat) Reserve(n, dim int) {
 		copy(data, f.data)
 		f.data = data
 	}
+	if f.quant != nil {
+		f.quant.reserve(n, dim)
+	}
 }
 
 // Search implements Index.
@@ -303,15 +320,26 @@ func (f *Flat) Search(ctx context.Context, q tensor.Vector, k int) ([]Result, er
 	if err := validateVector(q, f.dim); err != nil {
 		return nil, err
 	}
-	flatSearches.Inc()
-	flatCandidates.Add(uint64(n))
 	if k > n {
 		k = n
 	}
 	if k <= 0 {
+		flatSearches.Inc()
 		return []Result{}, nil
 	}
 	qNorm := f.metric.queryNorm(q)
+	if f.quant != nil {
+		if shortlist := k * f.rescoreFactor; shortlist < n {
+			quantSearches.Inc()
+			quantCandidates.Add(uint64(n + shortlist))
+			return f.searchQuantized(ctx, q, qNorm, k, shortlist)
+		}
+		// The shortlist would cover every row: the quantized phase cannot
+		// narrow anything, so run the plain exact scan (identity is then
+		// unconditional, not merely recall-dependent).
+	}
+	flatSearches.Inc()
+	flatCandidates.Add(uint64(n))
 	t := f.topk.Get().(*topK)
 	t.reset(k, f.ids)
 	dim := f.dim

@@ -2,11 +2,18 @@ package index
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
+	"sync"
 
+	"modellake/internal/fault"
 	"modellake/internal/tensor"
 )
 
@@ -14,6 +21,12 @@ import (
 // rebuilt (E4 shows builds are ~1000× more expensive than searches). Format:
 // header (magic, metric, config, dims, entry, maxLevel, node count), then
 // per node: id, vector, per-level link lists. All little-endian.
+//
+// The second half of this file is DiskFlat, the disk-resident flat index
+// behind the atlas-scale read path (DESIGN.md §12): full-precision rows stay
+// on disk in a fixed-stride, page-cache-friendly segment and are only read
+// back — via pread windows — to exact-rescore the shortlist an in-RAM int8
+// quantized tier selects.
 
 const hnswMagic uint32 = 0x484e5357 // "HNSW"
 
@@ -188,4 +201,675 @@ func LoadHNSW(r io.Reader) (*HNSW, error) {
 		return nil, fmt.Errorf("index: entry point %d out of range", h.entry)
 	}
 	return h, nil
+}
+
+// DiskFlat segment format, all little-endian:
+//
+//	header (64 bytes):
+//	  magic u32, version u32, metric u32, dim u32,
+//	  count u64, idsLen u64, dataOff u64,
+//	  idsCRC u64, dataCRC u64,
+//	  headerCRC u64  (CRC-64/ECMA of the 56 bytes before it)
+//	ids section (idsLen bytes): per row, u32 id length + id bytes
+//	zero padding up to dataOff (the next 4 KiB boundary)
+//	rows: count fixed-stride rows of dim float64 bits
+//
+// The header is written twice during a build — zeros first, the real bytes
+// only after every row landed — so a crash at any point leaves either a
+// temp file (invisible: the segment is published by rename) or a file whose
+// header, ids CRC, data CRC, or size fails validation. Open never serves a
+// segment that does not verify end to end; callers treat any open error as
+// "rebuild from the durable vectors".
+
+const (
+	diskFlatMagic   uint32 = 0x4d4c5646 // "MLVF"
+	diskFlatVersion uint32 = 1
+	diskHeaderSize         = 64
+	diskAlign              = 4096
+)
+
+// ErrBadSegment marks a DiskFlat segment that failed validation on Open —
+// torn, truncated, corrupted, or written under a different configuration.
+var ErrBadSegment = errors.New("index: bad vector segment")
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// encodeIDSection serializes ids into the segment's ids-section bytes.
+func encodeIDSection(ids []string) []byte {
+	n := 0
+	for _, id := range ids {
+		n += 4 + len(id)
+	}
+	buf := make([]byte, 0, n)
+	var lenb [4]byte
+	for _, id := range ids {
+		binary.LittleEndian.PutUint32(lenb[:], uint32(len(id)))
+		buf = append(buf, lenb[:]...)
+		buf = append(buf, id...)
+	}
+	return buf
+}
+
+// SegmentChecksums computes the (idsCRC, dataCRC) pair a segment holding
+// exactly these ids and rows would carry in its header. The lake uses it to
+// decide whether an existing on-disk segment still matches the durable
+// vector records it was derived from, without re-reading the segment rows.
+func SegmentChecksums(ids []string, row func(i int) []float64) (idsCRC, dataCRC uint64) {
+	idsCRC = crc64.Checksum(encodeIDSection(ids), crcTable)
+	var buf []byte
+	for i := range ids {
+		r := row(i)
+		if cap(buf) < len(r)*8 {
+			buf = make([]byte, len(r)*8)
+		}
+		buf = buf[:len(r)*8]
+		for j, x := range r {
+			binary.LittleEndian.PutUint64(buf[j*8:], math.Float64bits(x))
+		}
+		dataCRC = crc64.Update(dataCRC, crcTable, buf)
+	}
+	return idsCRC, dataCRC
+}
+
+// diskHeader is the fixed-size segment header.
+type diskHeader struct {
+	metric  uint32
+	dim     uint32
+	count   uint64
+	idsLen  uint64
+	dataOff uint64
+	idsCRC  uint64
+	dataCRC uint64
+}
+
+func (h *diskHeader) encode() []byte {
+	buf := make([]byte, diskHeaderSize)
+	binary.LittleEndian.PutUint32(buf[0:], diskFlatMagic)
+	binary.LittleEndian.PutUint32(buf[4:], diskFlatVersion)
+	binary.LittleEndian.PutUint32(buf[8:], h.metric)
+	binary.LittleEndian.PutUint32(buf[12:], h.dim)
+	binary.LittleEndian.PutUint64(buf[16:], h.count)
+	binary.LittleEndian.PutUint64(buf[24:], h.idsLen)
+	binary.LittleEndian.PutUint64(buf[32:], h.dataOff)
+	binary.LittleEndian.PutUint64(buf[40:], h.idsCRC)
+	binary.LittleEndian.PutUint64(buf[48:], h.dataCRC)
+	binary.LittleEndian.PutUint64(buf[56:], crc64.Checksum(buf[:56], crcTable))
+	return buf
+}
+
+func decodeDiskHeader(buf []byte) (*diskHeader, error) {
+	if len(buf) != diskHeaderSize {
+		return nil, fmt.Errorf("%w: short header", ErrBadSegment)
+	}
+	if got := binary.LittleEndian.Uint64(buf[56:]); got != crc64.Checksum(buf[:56], crcTable) {
+		return nil, fmt.Errorf("%w: header checksum mismatch", ErrBadSegment)
+	}
+	if m := binary.LittleEndian.Uint32(buf[0:]); m != diskFlatMagic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrBadSegment, m)
+	}
+	if v := binary.LittleEndian.Uint32(buf[4:]); v != diskFlatVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadSegment, v)
+	}
+	h := &diskHeader{
+		metric:  binary.LittleEndian.Uint32(buf[8:]),
+		dim:     binary.LittleEndian.Uint32(buf[12:]),
+		count:   binary.LittleEndian.Uint64(buf[16:]),
+		idsLen:  binary.LittleEndian.Uint64(buf[24:]),
+		dataOff: binary.LittleEndian.Uint64(buf[32:]),
+		idsCRC:  binary.LittleEndian.Uint64(buf[40:]),
+		dataCRC: binary.LittleEndian.Uint64(buf[48:]),
+	}
+	if h.dim > 1<<20 || h.count > 1<<31 || h.dataOff < diskHeaderSize || h.idsLen > h.dataOff-diskHeaderSize {
+		return nil, fmt.Errorf("%w: implausible header (dim=%d count=%d)", ErrBadSegment, h.dim, h.count)
+	}
+	return h, nil
+}
+
+// DiskFlat is the disk-resident exact index: an int8 quantized tier and the
+// row norms live in RAM (9 bytes per component-row plus a few words per
+// row), while the full-precision float64 rows stay in the on-disk segment
+// and are pread back only to rescore the quantized shortlist. Search results
+// are bitwise identical to an in-RAM Flat over the same vectors whenever the
+// true top-k survives the shortlist cut — and unconditionally when the
+// shortlist covers the whole index.
+//
+// Rows added after Open/Build live in an in-RAM full-precision tail; they
+// are not written back to the segment (the lake's durable vec records are
+// the source of truth, and the segment is rebuilt from them on the next
+// reopen). DiskFlat is safe for concurrent use.
+// DefaultSpillTailRows is the in-RAM tail bound a disk-resident index uses
+// when its config leaves QuantConfig.SpillTailRows unset: after that many
+// post-open Adds the tail is compacted into a fresh on-disk segment.
+const DefaultSpillTailRows = 4096
+
+type DiskFlat struct {
+	metric        Metric
+	rescoreFactor int
+	spillRows     int       // tail rows that trigger compaction; <=0 never
+	path          string    // published segment path, target of spills
+	fs            *fault.FS // filesystem the segment IO routes through
+
+	mu      sync.RWMutex
+	f       *fault.File // open segment, pread source for rescore windows
+	closed  bool
+	segN    int // rows in the on-disk segment
+	dim     int
+	dataOff int64
+	ids     []string
+	byID    map[string]struct{}
+	norms   []float64
+	quant   *quantTier
+	tail    []float64 // rows added after open, full precision, row-major
+	idsCRC  uint64
+	dataCRC uint64
+
+	scratch sync.Pool // *diskScratch
+}
+
+// diskScratch is the pooled per-search state: the quantized query, both
+// selectors, and the pread window buffers a rescore decodes rows into.
+type diskScratch struct {
+	qq    quantQuery
+	short topK
+	sel   topK
+	buf   []byte
+	row   []float64
+}
+
+func newDiskFlat(metric Metric, cfg QuantConfig) *DiskFlat {
+	cfg = cfg.withDefaults()
+	d := &DiskFlat{
+		metric:        metric,
+		rescoreFactor: cfg.RescoreFactor,
+		spillRows:     cfg.SpillTailRows,
+		byID:          make(map[string]struct{}),
+		quant:         &quantTier{},
+	}
+	d.scratch.New = func() any { return new(diskScratch) }
+	return d
+}
+
+// BuildDiskFlat writes a segment holding the given rows to path and returns
+// the open index over it. The write is crash-safe in the blob-store style:
+// everything goes to a temp file in path's directory (header placeholder,
+// ids, zero pad, then the rows streamed through row(i) one at a time), the
+// finalized header is written only after the last row, and the file reaches
+// path by fsync + rename + directory fsync. All IO routes through fs, so
+// the crash-window sweep in the fault package applies; a nil fs uses the
+// real filesystem. The in-RAM quantized tier and norms are built during the
+// write, so the returned index never re-reads the segment.
+func BuildDiskFlat(path string, fs *fault.FS, metric Metric, cfg QuantConfig, ids []string, row func(i int) []float64) (*DiskFlat, error) {
+	d := newDiskFlat(metric, cfg)
+	dim := 0
+	if len(ids) > 0 {
+		dim = len(row(0))
+	}
+	d.dim = dim
+	d.quant.dim = dim
+	idsSec := encodeIDSection(ids)
+	dataOff := int64(diskHeaderSize + len(idsSec))
+	if rem := dataOff % diskAlign; rem != 0 {
+		dataOff += diskAlign - rem
+	}
+
+	dir := filepath.Dir(path)
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("index: segment dir: %w", err)
+	}
+	tmp, err := fs.CreateTemp(dir, ".seg-*")
+	if err != nil {
+		return nil, fmt.Errorf("index: segment temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) (*DiskFlat, error) {
+		tmp.Close()
+		os.Remove(tmpName)
+		return nil, err
+	}
+
+	// Placeholder header + ids + padding in one write: until the real
+	// header lands at the end, the file is self-evidently invalid.
+	prefix := make([]byte, dataOff)
+	copy(prefix[diskHeaderSize:], idsSec)
+	if _, err := tmp.Write(prefix); err != nil {
+		return fail(fmt.Errorf("index: segment prefix: %w", err))
+	}
+
+	// Stream the rows through a chunk buffer, folding each into the data
+	// CRC and the in-RAM tier as it goes.
+	var dataCRC uint64
+	chunk := make([]byte, 0, 1<<20)
+	seen := make(map[string]struct{}, len(ids))
+	for i, id := range ids {
+		if _, dup := seen[id]; dup {
+			return fail(fmt.Errorf("%w: %s", ErrDuplicateID, id))
+		}
+		seen[id] = struct{}{}
+		r := row(i)
+		if err := validateVector(r, dim); err != nil {
+			return fail(fmt.Errorf("index: segment row %d: %w", i, err))
+		}
+		start := len(chunk)
+		chunk = append(chunk, make([]byte, dim*8)...)
+		for j, x := range r {
+			binary.LittleEndian.PutUint64(chunk[start+j*8:], math.Float64bits(x))
+		}
+		d.norms = append(d.norms, tensor.Vector(r).Norm())
+		d.quant.add(r)
+		if len(chunk)+dim*8 > cap(chunk) {
+			dataCRC = crc64.Update(dataCRC, crcTable, chunk)
+			if _, err := tmp.Write(chunk); err != nil {
+				return fail(fmt.Errorf("index: segment rows: %w", err))
+			}
+			chunk = chunk[:0]
+		}
+	}
+	if len(chunk) > 0 {
+		dataCRC = crc64.Update(dataCRC, crcTable, chunk)
+		if _, err := tmp.Write(chunk); err != nil {
+			return fail(fmt.Errorf("index: segment rows: %w", err))
+		}
+	}
+
+	hdr := diskHeader{
+		metric: uint32(metric), dim: uint32(dim),
+		count: uint64(len(ids)), idsLen: uint64(len(idsSec)),
+		dataOff: uint64(dataOff),
+		idsCRC:  crc64.Checksum(idsSec, crcTable), dataCRC: dataCRC,
+	}
+	if _, err := tmp.Seek(0, io.SeekStart); err != nil {
+		return fail(fmt.Errorf("index: segment header seek: %w", err))
+	}
+	if _, err := tmp.Write(hdr.encode()); err != nil {
+		return fail(fmt.Errorf("index: segment header: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("index: segment sync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return nil, fmt.Errorf("index: segment close: %w", err)
+	}
+	if err := fs.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return nil, fmt.Errorf("index: segment publish: %w", err)
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		return nil, fmt.Errorf("index: segment dir sync: %w", err)
+	}
+
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("index: segment reopen: %w", err)
+	}
+	d.f = f
+	d.segN = len(ids)
+	d.dataOff = dataOff
+	d.ids = append([]string(nil), ids...)
+	for _, id := range d.ids {
+		d.byID[id] = struct{}{}
+	}
+	d.idsCRC, d.dataCRC = hdr.idsCRC, hdr.dataCRC
+	d.path, d.fs = path, fs
+	return d, nil
+}
+
+// OpenDiskFlat opens and fully validates a segment previously written by
+// BuildDiskFlat: header checksum, configuration match, exact file size, ids
+// checksum, and a sequential pass over every row that verifies the data
+// checksum while rebuilding the in-RAM quantized tier and norms. Any
+// mismatch — torn header, truncated rows, flipped bytes, different metric —
+// fails with an error wrapping ErrBadSegment; a validated open keeps the
+// file handle for pread rescore windows.
+func OpenDiskFlat(path string, fs *fault.FS, metric Metric, cfg QuantConfig) (*DiskFlat, error) {
+	f, err := fs.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("index: open segment: %w", err)
+	}
+	d, err := loadDiskFlat(f, metric, cfg)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d.path, d.fs = path, fs
+	return d, nil
+}
+
+func loadDiskFlat(f *fault.File, metric Metric, cfg QuantConfig) (*DiskFlat, error) {
+	hbuf := make([]byte, diskHeaderSize)
+	if _, err := io.ReadFull(f, hbuf); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrBadSegment, err)
+	}
+	hdr, err := decodeDiskHeader(hbuf)
+	if err != nil {
+		return nil, err
+	}
+	if Metric(hdr.metric) != metric {
+		return nil, fmt.Errorf("%w: metric %d != configured %d", ErrBadSegment, hdr.metric, metric)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("index: segment stat: %w", err)
+	}
+	wantSize := int64(hdr.dataOff) + int64(hdr.count)*int64(hdr.dim)*8
+	if st.Size() != wantSize {
+		return nil, fmt.Errorf("%w: size %d != %d", ErrBadSegment, st.Size(), wantSize)
+	}
+
+	idsSec := make([]byte, hdr.idsLen)
+	if _, err := io.ReadFull(f, idsSec); err != nil {
+		return nil, fmt.Errorf("%w: ids section: %v", ErrBadSegment, err)
+	}
+	if got := crc64.Checksum(idsSec, crcTable); got != hdr.idsCRC {
+		return nil, fmt.Errorf("%w: ids checksum mismatch", ErrBadSegment)
+	}
+	d := newDiskFlat(metric, cfg)
+	d.dim = int(hdr.dim)
+	d.quant.dim = d.dim
+	d.ids = make([]string, 0, hdr.count)
+	for off := 0; off < len(idsSec); {
+		if off+4 > len(idsSec) {
+			return nil, fmt.Errorf("%w: truncated id length", ErrBadSegment)
+		}
+		n := int(binary.LittleEndian.Uint32(idsSec[off:]))
+		off += 4
+		if n < 0 || off+n > len(idsSec) {
+			return nil, fmt.Errorf("%w: truncated id", ErrBadSegment)
+		}
+		id := string(idsSec[off : off+n])
+		off += n
+		if _, dup := d.byID[id]; dup {
+			return nil, fmt.Errorf("%w: duplicate id %q", ErrBadSegment, id)
+		}
+		d.ids = append(d.ids, id)
+		d.byID[id] = struct{}{}
+	}
+	if uint64(len(d.ids)) != hdr.count {
+		return nil, fmt.Errorf("%w: %d ids != count %d", ErrBadSegment, len(d.ids), hdr.count)
+	}
+
+	// The alignment pad between the ids section and the rows is written as
+	// zeros and covered by no checksum, so verify it byte-for-byte: a
+	// segment is valid only if it is exactly what the build wrote.
+	pad := make([]byte, int64(hdr.dataOff)-diskHeaderSize-int64(hdr.idsLen))
+	if _, err := io.ReadFull(f, pad); err != nil {
+		return nil, fmt.Errorf("%w: padding: %v", ErrBadSegment, err)
+	}
+	for _, b := range pad {
+		if b != 0 {
+			return nil, fmt.Errorf("%w: nonzero padding byte", ErrBadSegment)
+		}
+	}
+
+	// One sequential pass over the rows: verify the data checksum while
+	// building the quantized tier and norms.
+	if _, err := f.Seek(int64(hdr.dataOff), io.SeekStart); err != nil {
+		return nil, fmt.Errorf("index: segment seek: %w", err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	stride := d.dim * 8
+	rowBuf := make([]byte, stride)
+	row := make([]float64, d.dim)
+	var dataCRC uint64
+	d.norms = make([]float64, 0, hdr.count)
+	d.quant.reserve(int(hdr.count), d.dim)
+	for i := 0; i < int(hdr.count); i++ {
+		if _, err := io.ReadFull(br, rowBuf); err != nil {
+			return nil, fmt.Errorf("%w: row %d: %v", ErrBadSegment, i, err)
+		}
+		dataCRC = crc64.Update(dataCRC, crcTable, rowBuf)
+		for j := range row {
+			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(rowBuf[j*8:]))
+		}
+		if err := validateVector(row, d.dim); err != nil {
+			return nil, fmt.Errorf("%w: row %d: %v", ErrBadSegment, i, err)
+		}
+		d.norms = append(d.norms, tensor.Vector(row).Norm())
+		d.quant.add(row)
+	}
+	if dataCRC != hdr.dataCRC {
+		return nil, fmt.Errorf("%w: data checksum mismatch", ErrBadSegment)
+	}
+	d.f = f
+	d.segN = int(hdr.count)
+	d.dataOff = int64(hdr.dataOff)
+	d.idsCRC, d.dataCRC = hdr.idsCRC, hdr.dataCRC
+	return d, nil
+}
+
+// Checksums returns the segment's stored (ids, data) checksums, the pair
+// SegmentChecksums over the same ids/rows reproduces. Rows added after open
+// (the in-RAM tail) are not reflected.
+func (d *DiskFlat) Checksums() (idsCRC, dataCRC uint64) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.idsCRC, d.dataCRC
+}
+
+// SegmentLen returns the number of rows in the on-disk segment (excluding
+// the in-RAM tail).
+func (d *DiskFlat) SegmentLen() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.segN
+}
+
+// Len implements Index.
+func (d *DiskFlat) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.ids)
+}
+
+// Close releases the segment file handle. Searches after Close fail.
+func (d *DiskFlat) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if d.f != nil {
+		return d.f.Close()
+	}
+	return nil
+}
+
+// Add implements Index. The row joins the in-RAM full-precision tail (plus
+// the quantized tier). The caller's durable store remains the source of
+// truth, but the tail does not grow without bound: once it reaches the
+// configured spill threshold, segment + tail are compacted into a fresh
+// on-disk segment and the tail is released, so sustained ingest holds a
+// bounded number of full-precision rows in RAM.
+func (d *DiskFlat) Add(id string, v tensor.Vector) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errors.New("index: segment closed")
+	}
+	if err := validateVector(v, d.dim); err != nil {
+		return err
+	}
+	if _, ok := d.byID[id]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateID, id)
+	}
+	if d.dim == 0 {
+		d.dim = len(v)
+		d.quant.dim = d.dim
+	}
+	d.ids = append(d.ids, id)
+	d.tail = append(d.tail, v...)
+	d.norms = append(d.norms, v.Norm())
+	d.quant.add(v)
+	d.byID[id] = struct{}{}
+	if d.spillRows > 0 && d.f != nil && len(d.tail) >= d.spillRows*d.dim {
+		if err := d.spillLocked(); err != nil {
+			return fmt.Errorf("index: segment spill: %w", err)
+		}
+	}
+	return nil
+}
+
+// spillLocked compacts the in-RAM tail into the on-disk segment. The
+// current rows — segment preads followed by the tail — stream through the
+// same crash-safe build as the original segment (temp file, fsync, rename,
+// dir fsync), so a crash mid-spill leaves the previous segment intact and
+// readable through the still-open handle's inode. On success the struct
+// swaps to the new file and drops the tail; the quantized tier, norms, and
+// ids are unchanged because compaction only moves where the full-precision
+// bytes live. Called with d.mu held; a failed spill is reported but leaves
+// the index fully consistent (the row stays in the tail).
+func (d *DiskFlat) spillLocked() error {
+	stride := d.dim * 8
+	buf := make([]byte, stride)
+	segRow := make([]float64, d.dim)
+	var readErr error
+	row := func(i int) []float64 {
+		if i >= d.segN {
+			j := i - d.segN
+			return d.tail[j*d.dim : (j+1)*d.dim]
+		}
+		if readErr != nil {
+			return nil
+		}
+		if _, err := d.f.ReadAt(buf, d.dataOff+int64(i)*int64(stride)); err != nil {
+			readErr = err
+			return nil // shape mismatch makes the build fail before publish
+		}
+		for j := range segRow {
+			segRow[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		}
+		return segRow
+	}
+	nd, err := BuildDiskFlat(d.path, d.fs, d.metric,
+		QuantConfig{RescoreFactor: d.rescoreFactor, SpillTailRows: d.spillRows}, d.ids, row)
+	if readErr != nil {
+		return readErr
+	}
+	if err != nil {
+		return err
+	}
+	old := d.f
+	d.f = nd.f
+	d.segN = nd.segN
+	d.dataOff = nd.dataOff
+	d.idsCRC, d.dataCRC = nd.idsCRC, nd.dataCRC
+	d.tail = nil
+	old.Close()
+	return nil
+}
+
+// rowAt materializes row i's full-precision vector: a view into the in-RAM
+// tail, or a pread window into the segment decoded into sc's buffers.
+func (d *DiskFlat) rowAt(sc *diskScratch, i int) ([]float64, error) {
+	if i >= d.segN {
+		j := i - d.segN
+		return d.tail[j*d.dim : (j+1)*d.dim], nil
+	}
+	stride := d.dim * 8
+	if cap(sc.buf) < stride {
+		sc.buf = make([]byte, stride)
+		sc.row = make([]float64, d.dim)
+	}
+	sc.buf = sc.buf[:stride]
+	sc.row = sc.row[:d.dim]
+	if _, err := d.f.ReadAt(sc.buf, d.dataOff+int64(i)*int64(stride)); err != nil {
+		return nil, fmt.Errorf("index: segment read row %d: %w", i, err)
+	}
+	for j := range sc.row {
+		sc.row[j] = math.Float64frombits(binary.LittleEndian.Uint64(sc.buf[j*8:]))
+	}
+	return sc.row, nil
+}
+
+// Search implements Index via the two-phase read path: the in-RAM quantized
+// tier ranks every row and keeps a k·rescoreFactor shortlist, then only the
+// shortlist rows are pread back from the segment and rescored with the
+// exact flat-scan arithmetic and (distance, ID) total order. When the
+// shortlist would cover the whole index, every row is rescored — a pure
+// exact scan with unconditional bitwise identity to an in-RAM Flat.
+func (d *DiskFlat) Search(ctx context.Context, q tensor.Vector, k int) ([]Result, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, errors.New("index: segment closed")
+	}
+	n := len(d.ids)
+	if n == 0 {
+		return nil, nil
+	}
+	if err := validateVector(q, d.dim); err != nil {
+		return nil, err
+	}
+	diskSearches.Inc()
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return []Result{}, nil
+	}
+	qNorm := d.metric.queryNorm(q)
+	sc := d.scratch.Get().(*diskScratch)
+	shortlist := k * d.rescoreFactor
+
+	var cands []candidate
+	if shortlist < n {
+		diskCandidates.Add(uint64(n + shortlist))
+		sc.qq.set(d.metric, q, qNorm)
+		sc.short.reset(shortlist, nil)
+		for i := 0; i < n; i++ {
+			if i%ctxCheckInterval == 0 && ctx != nil {
+				if err := ctx.Err(); err != nil {
+					d.scratch.Put(sc)
+					return nil, err
+				}
+			}
+			sc.short.offer(candidate{idx: i, dist: d.quant.approxDist(d.metric, &sc.qq, i, d.norms[i])})
+		}
+		cands = sc.short.extractAscending()
+	} else {
+		diskCandidates.Add(uint64(n))
+	}
+
+	sc.sel.reset(k, d.ids)
+	rescore := func(i int) error {
+		row, err := d.rowAt(sc, i)
+		if err != nil {
+			return err
+		}
+		sc.sel.offer(candidate{idx: i, dist: d.metric.distFlat(q, qNorm, row, d.norms[i])})
+		return nil
+	}
+	if cands != nil {
+		for _, c := range cands {
+			if err := rescore(c.idx); err != nil {
+				sc.sel.release()
+				d.scratch.Put(sc)
+				return nil, err
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			if i%ctxCheckInterval == 0 && ctx != nil {
+				if err := ctx.Err(); err != nil {
+					sc.sel.release()
+					d.scratch.Put(sc)
+					return nil, err
+				}
+			}
+			if err := rescore(i); err != nil {
+				sc.sel.release()
+				d.scratch.Put(sc)
+				return nil, err
+			}
+		}
+	}
+	sel := sc.sel.extractAscending()
+	out := make([]Result, len(sel))
+	for i, c := range sel {
+		out[i] = Result{ID: d.ids[c.idx], Distance: c.dist}
+	}
+	sc.sel.release()
+	d.scratch.Put(sc)
+	return out, nil
 }

@@ -1,0 +1,211 @@
+package index
+
+// The int8 quantized read tier behind the atlas-scale flat indexes
+// (DESIGN.md §12). A quantized scan ranks every row by an approximate
+// distance computed from int8 codes — 8 bytes of float64 per component
+// become 1 byte — and selects an over-fetched shortlist of k·rescoreFactor
+// candidates; the caller then rescores only the shortlist against the
+// full-precision rows with the exact distFlat arithmetic and the exact
+// (distance, ID) total order. Whenever the true top-k survives the
+// shortlist cut (the recall condition the rescore factor buys), the final
+// answer is bitwise identical to a full-precision flat scan.
+
+import (
+	"context"
+
+	"modellake/internal/tensor"
+)
+
+// DefaultRescoreFactor is the shortlist over-fetch multiplier a quantized
+// index uses when its config leaves it unset: the quantized phase keeps
+// k·factor candidates for exact rescoring.
+const DefaultRescoreFactor = 8
+
+// QuantConfig tunes a quantized index tier.
+type QuantConfig struct {
+	// RescoreFactor is the shortlist over-fetch multiplier (k·factor
+	// candidates survive the quantized phase). Values below 1 select
+	// DefaultRescoreFactor. Factor 1 rescores exactly k candidates — legal
+	// here so adversarial tests can exercise recall misses; the lake's
+	// config validation imposes its own, higher floor.
+	RescoreFactor int
+
+	// SpillTailRows bounds the in-RAM full-precision tail of a
+	// disk-resident index: once that many rows accumulate past the on-disk
+	// segment, Add compacts segment + tail into a fresh segment file and
+	// releases the tail, keeping resident memory flat under sustained
+	// ingest. 0 selects DefaultSpillTailRows; negative disables spilling.
+	// Pure in-RAM indexes ignore it.
+	SpillTailRows int
+}
+
+func (c QuantConfig) withDefaults() QuantConfig {
+	if c.RescoreFactor < 1 {
+		c.RescoreFactor = DefaultRescoreFactor
+	}
+	if c.SpillTailRows == 0 {
+		c.SpillTailRows = DefaultSpillTailRows
+	}
+	return c
+}
+
+// quantTier is the in-RAM int8 mirror of a flat index's rows: per-row codes
+// plus the (min, scale, codesum) triple that dequantizes them. It is not
+// itself synchronized — the owning index's lock covers it.
+type quantTier struct {
+	dim    int
+	codes  []int8    // row i at codes[i*dim : (i+1)*dim]
+	mins   []float64 // per-row affine offset
+	scales []float64 // per-row affine scale
+	sums   []int32   // per-row Σ codes, precomputed for the dot expansion
+}
+
+func (t *quantTier) add(row []float64) {
+	if t.dim == 0 {
+		t.dim = len(row)
+	}
+	n := len(t.codes)
+	t.codes = append(t.codes, make([]int8, t.dim)...)
+	min, scale, sum := tensor.QuantizeRowInt8(row, t.codes[n:n+t.dim])
+	t.mins = append(t.mins, min)
+	t.scales = append(t.scales, scale)
+	t.sums = append(t.sums, sum)
+}
+
+// reserve pre-sizes the tier for n more rows of dimension dim.
+func (t *quantTier) reserve(n, dim int) {
+	if cap(t.codes)-len(t.codes) < n*dim {
+		codes := make([]int8, len(t.codes), len(t.codes)+n*dim)
+		copy(codes, t.codes)
+		t.codes = codes
+	}
+	if cap(t.mins)-len(t.mins) < n {
+		grow := func(xs []float64) []float64 {
+			out := make([]float64, len(xs), len(xs)+n)
+			copy(out, xs)
+			return out
+		}
+		t.mins = grow(t.mins)
+		t.scales = grow(t.scales)
+		sums := make([]int32, len(t.sums), len(t.sums)+n)
+		copy(sums, t.sums)
+		t.sums = sums
+	}
+}
+
+// quantQuery is a query quantized into the tier's code space, plus the
+// query-side norms the approximate distances need.
+type quantQuery struct {
+	codes []int8
+	min   float64
+	scale float64
+	sum   int32
+	norm  float64 // Euclidean norm (Cosine)
+	norm2 float64 // squared norm (L2)
+}
+
+// set quantizes q for a scan under the given metric. qNorm is the exact
+// query norm the caller already computed via Metric.queryNorm.
+func (qq *quantQuery) set(m Metric, q tensor.Vector, qNorm float64) {
+	if cap(qq.codes) < len(q) {
+		qq.codes = make([]int8, len(q))
+	}
+	qq.codes = qq.codes[:len(q)]
+	qq.min, qq.scale, qq.sum = tensor.QuantizeRowInt8(q, qq.codes)
+	qq.norm = qNorm
+	if m == L2 {
+		qq.norm2 = tensor.DotKernel(q, q)
+	} else {
+		qq.norm2 = 0
+	}
+}
+
+// approxDot expands the int8 dot product of the query codes against row i
+// back into an approximation of the float64 inner product:
+//
+//	Σ q̂·r̂ = qs·rs·(D + 128·Sq + 128·Sr + 128²·d)
+//	       + qs·rmin·(Sq + 128·d) + rs·qmin·(Sr + 128·d) + d·qmin·rmin
+//
+// where D is the integer code dot, Sq/Sr the code sums, and d the dimension.
+func (t *quantTier) approxDot(qq *quantQuery, i int) float64 {
+	d := int64(t.dim)
+	D := int64(tensor.DotInt8Kernel(qq.codes, t.codes[i*t.dim:(i+1)*t.dim]))
+	sq, sr := int64(qq.sum), int64(t.sums[i])
+	rs, rmin := t.scales[i], t.mins[i]
+	return qq.scale*rs*float64(D+128*(sq+sr)+16384*d) +
+		qq.scale*rmin*float64(sq+128*d) +
+		rs*qq.min*float64(sr+128*d) +
+		float64(d)*qq.min*rmin
+}
+
+// approxDist is the shortlist-ranking distance for row i. It only has to
+// order candidates, so the L2 form stays squared (monotonic in the true
+// distance, no sqrt) and Cosine mirrors distFlat's zero-norm convention.
+func (t *quantTier) approxDist(m Metric, qq *quantQuery, i int, rowNorm float64) float64 {
+	if m == Cosine {
+		if qq.norm == 0 || rowNorm == 0 {
+			return 1
+		}
+		return 1 - t.approxDot(qq, i)/(qq.norm*rowNorm)
+	}
+	return qq.norm2 + rowNorm*rowNorm - 2*t.approxDot(qq, i)
+}
+
+// quantScratch is the pooled per-search state of a two-phase scan: the
+// quantized query, the shortlist selector (tie-break by row index — any
+// deterministic order works, the rescore re-ranks), and the final exact
+// selector (tie-break by ID, matching the full-precision scan).
+type quantScratch struct {
+	qq    quantQuery
+	short topK
+	sel   topK
+}
+
+// NewFlatQuantized returns an empty exact index that serves searches through
+// the two-phase quantized read path: an int8 scan selects k·RescoreFactor
+// candidates, then the exact flat arithmetic rescores them. Results are
+// bitwise identical to NewFlat whenever the true top-k survives the
+// shortlist cut; when the shortlist covers the whole index the search
+// degenerates to the plain exact scan and identity is unconditional.
+func NewFlatQuantized(metric Metric, cfg QuantConfig) *Flat {
+	f := NewFlat(metric)
+	cfg = cfg.withDefaults()
+	f.quant = &quantTier{}
+	f.rescoreFactor = cfg.RescoreFactor
+	f.qscratch.New = func() any { return new(quantScratch) }
+	return f
+}
+
+// searchQuantized runs the two-phase scan. Caller holds f.mu.RLock and has
+// validated q; n > 0, 0 < k ≤ n, and the shortlist is strictly smaller than
+// n (otherwise the caller runs the plain exact scan).
+func (f *Flat) searchQuantized(ctx context.Context, q tensor.Vector, qNorm float64, k, shortlist int) ([]Result, error) {
+	n := len(f.ids)
+	sc := f.qscratch.Get().(*quantScratch)
+	sc.qq.set(f.metric, q, qNorm)
+	sc.short.reset(shortlist, nil)
+	for i := 0; i < n; i++ {
+		if i%ctxCheckInterval == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				f.qscratch.Put(sc)
+				return nil, err
+			}
+		}
+		sc.short.offer(candidate{idx: i, dist: f.quant.approxDist(f.metric, &sc.qq, i, f.norms[i])})
+	}
+	cands := sc.short.extractAscending()
+	sc.sel.reset(k, f.ids)
+	dim := f.dim
+	for _, c := range cands {
+		row := f.data[c.idx*dim : (c.idx+1)*dim]
+		sc.sel.offer(candidate{idx: c.idx, dist: f.metric.distFlat(q, qNorm, row, f.norms[c.idx])})
+	}
+	sel := sc.sel.extractAscending()
+	out := make([]Result, len(sel))
+	for i, c := range sel {
+		out[i] = Result{ID: f.ids[c.idx], Distance: c.dist}
+	}
+	sc.sel.release()
+	f.qscratch.Put(sc)
+	return out, nil
+}

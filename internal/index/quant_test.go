@@ -1,0 +1,198 @@
+package index
+
+// Tests for the int8 quantized read tier. The contract under test is the
+// tentpole property of the atlas-scale PR: a quantized index ranks a cheap
+// int8 shortlist, exact-rescores it in float64, and the final top-k must be
+// bitwise identical to the flat scan — same IDs, same order, same distance
+// bits, same tie resolution — whenever the shortlist recalls the true
+// top-k. The adversarial test below constructs lakes where a rescore factor
+// of 1 provably misses, and checks the configured over-fetch recovers exact
+// results on the same data.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+func assertBitwiseEqual(t *testing.T, label string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d != %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID ||
+			math.Float64bits(got[i].Distance) != math.Float64bits(want[i].Distance) {
+			t.Fatalf("%s pos=%d: got %v want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestQuantizedMatchesFlatProperty drives the two-phase quantized search
+// against the full-sort oracle across metrics, sizes, rescore factors, and
+// k values, requiring bitwise identity on every seed. Seeds are fixed, so a
+// failure reproduces deterministically.
+func TestQuantizedMatchesFlatProperty(t *testing.T) {
+	for _, metric := range []Metric{Cosine, L2} {
+		for _, factor := range []int{4, 8} {
+			for _, n := range []int{1, 2, 7, 100, 500} {
+				vecs := randomVecs(t, n, 16, uint64(n)*7+uint64(metric)+uint64(factor))
+				ids := make([]string, n)
+				q8 := NewFlatQuantized(metric, QuantConfig{RescoreFactor: factor})
+				for i, v := range vecs {
+					ids[i] = fmt.Sprintf("id%04d", i)
+					if err := q8.Add(ids[i], v); err != nil {
+						t.Fatal(err)
+					}
+				}
+				queries := randomVecs(t, 8, 16, uint64(n)+131)
+				for _, k := range []int{1, 3, n, n + 5} {
+					for qi, q := range queries {
+						got, err := q8.Search(context.Background(), q, k)
+						if err != nil {
+							t.Fatal(err)
+						}
+						want := referenceSearch(metric, ids, vecs, q, k)
+						assertBitwiseEqual(t,
+							fmt.Sprintf("metric=%v factor=%d n=%d k=%d q=%d", metric, factor, n, k, qi),
+							got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestQuantizedTieBreakMatchesFlat forces exact distance ties (duplicate
+// vectors under fresh IDs). Identical rows quantize to identical codes, so
+// ties survive the approximate phase and the exact rescore must resolve
+// them by ID exactly like the flat scan does.
+func TestQuantizedTieBreakMatchesFlat(t *testing.T) {
+	base := randomVecs(t, 4, 8, 11)
+	var vecs []tensor.Vector
+	var ids []string
+	q8 := NewFlatQuantized(Cosine, QuantConfig{})
+	for copyN := 0; copyN < 5; copyN++ {
+		for bi, b := range base {
+			id := fmt.Sprintf("m%d-%d", bi, copyN)
+			ids = append(ids, id)
+			vecs = append(vecs, b.Clone())
+			if err := q8.Add(id, b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	q := randomVecs(t, 1, 8, 17)[0]
+	for _, k := range []int{1, 4, 7, 10, 20} {
+		got, err := q8.Search(context.Background(), q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitwiseEqual(t, fmt.Sprintf("k=%d", k), got, referenceSearch(Cosine, ids, vecs, q, k))
+	}
+}
+
+// heavyTailVecs returns vectors engineered to hurt per-row affine int8
+// quantization: one coordinate per row is inflated ~200x, so the quant grid
+// step is dominated by the outlier and the remaining coordinates collapse
+// into a handful of codes. Neighbors that differ only in small coordinates
+// become indistinguishable to the approximate phase.
+func heavyTailVecs(t *testing.T, n, dim int, seed uint64) []tensor.Vector {
+	t.Helper()
+	rng := xrand.New(seed)
+	vecs := make([]tensor.Vector, n)
+	for i := range vecs {
+		v := make(tensor.Vector, dim)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		v[rng.Intn(dim)] *= 200
+		vecs[i] = v
+	}
+	return vecs
+}
+
+// TestQuantizedRecallFallback is the recall safety net. On heavy-tailed
+// lakes a shortlist of exactly k (RescoreFactor=1) provably misses part of
+// the true top-k — the test requires at least one such miss to prove the
+// adversarial construction has teeth — while the default over-fetch must
+// still return bitwise-exact results on the very same lakes and queries.
+func TestQuantizedRecallFallback(t *testing.T) {
+	const (
+		n, dim, k = 400, 8, 10
+		attempts  = 50
+	)
+	missed := false
+	for seed := uint64(1); seed <= attempts; seed++ {
+		vecs := heavyTailVecs(t, n, dim, seed)
+		ids := make([]string, n)
+		tight := NewFlatQuantized(Cosine, QuantConfig{RescoreFactor: 1})
+		wide := NewFlatQuantized(Cosine, QuantConfig{})
+		for i, v := range vecs {
+			ids[i] = fmt.Sprintf("id%04d", i)
+			if err := tight.Add(ids[i], v); err != nil {
+				t.Fatal(err)
+			}
+			if err := wide.Add(ids[i], v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		queries := randomVecs(t, 10, dim, seed+7777)
+		for qi, q := range queries {
+			want := referenceSearch(Cosine, ids, vecs, q, k)
+			got, err := tight.Search(context.Background(), q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID {
+					missed = true
+					break
+				}
+			}
+			wgot, err := wide.Search(context.Background(), q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitwiseEqual(t, fmt.Sprintf("seed=%d q=%d (default factor)", seed, qi), wgot, want)
+		}
+		if missed {
+			return
+		}
+	}
+	t.Fatalf("no recall miss at RescoreFactor=1 in %d adversarial lakes; construction lost its teeth", attempts)
+}
+
+// TestQuantizedSearchAllocBounds pins the pooled two-phase read path: after
+// warm-up a quantized search allocates only the result slice. Same bound and
+// same race gate as TestSearchAllocBounds for the flat scan.
+func TestQuantizedSearchAllocBounds(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; bounds only hold in normal builds")
+	}
+	vecs := randomVecs(t, 2000, 32, 29)
+	q8 := NewFlatQuantized(Cosine, QuantConfig{})
+	for i, v := range vecs {
+		if err := q8.Add(fmt.Sprintf("m%05d", i), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := randomVecs(t, 1, 32, 37)[0]
+	ctx := context.Background()
+	for i := 0; i < 5; i++ { // warm the scratch pool
+		if _, err := q8.Search(ctx, q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := q8.Search(ctx, q, 10); err != nil {
+			t.Fatal(err)
+		}
+	}); n > 2 {
+		t.Fatalf("quantized search: %v allocs/op, want <= 2", n)
+	}
+}

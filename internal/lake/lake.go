@@ -71,8 +71,29 @@ type Config struct {
 	Seed uint64
 	// UseHNSW selects the approximate index for content search (exact flat
 	// scan otherwise). Flat is the default: exact and fast below ~10k
-	// models.
+	// models. Incompatible with Quantize and DiskResidentVectors.
 	UseHNSW bool
+	// Quantize enables the int8 quantized read tier on the flat content
+	// indexes (DESIGN.md §12): searches rank every row by an approximate
+	// int8 distance, keep a k·RescoreFactor shortlist, and rescore it with
+	// the exact full-precision arithmetic. Answers are bitwise identical to
+	// the plain flat scan whenever the true top-k survives the shortlist
+	// cut, which the over-fetch factor buys with overwhelming probability.
+	Quantize bool
+	// RescoreFactor overrides the quantized tier's shortlist over-fetch
+	// multiplier. Zero means the index default
+	// (index.DefaultRescoreFactor); non-zero values require Quantize or
+	// DiskResidentVectors and must be at least MinRescoreFactor.
+	RescoreFactor int
+	// DiskResidentVectors moves the full-precision content vectors into
+	// page-cache-friendly on-disk segments (Dir/vectors/<space>.seg): the
+	// int8 quantized tier stays resident (1 byte per component instead of
+	// 8) and only the shortlist rows are paged in for the exact rescore.
+	// Requires Dir; implies the quantized read path. Models ingested after
+	// Open are served from an in-RAM tail until the next reopen folds them
+	// into the segment — the persisted vec records stay the durable source
+	// of truth, so a torn or stale segment is simply rebuilt.
+	DiskResidentVectors bool
 	// IngestParallelism bounds the embedding worker pool used by batch
 	// ingest, reindexing, and rehydration. Zero or negative means
 	// GOMAXPROCS. Single-model Ingest is unaffected.
@@ -137,6 +158,33 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// MinRescoreFactor is the lowest shortlist over-fetch multiplier a lake
+// accepts for its quantized read tier. The index layer allows factor 1 so
+// tests can construct recall misses on purpose; a production lake gets the
+// floor, below which adversarially bunched vectors can push the true top-k
+// out of the quantized shortlist and silently degrade exactness.
+const MinRescoreFactor = 4
+
+// validate rejects config combinations the lake cannot honor, before any
+// storage is touched.
+func (c Config) validate() error {
+	if c.RescoreFactor != 0 {
+		if !c.Quantize && !c.DiskResidentVectors {
+			return errors.New("lake: RescoreFactor requires Quantize or DiskResidentVectors")
+		}
+		if c.RescoreFactor < MinRescoreFactor {
+			return fmt.Errorf("lake: RescoreFactor %d below minimum %d", c.RescoreFactor, MinRescoreFactor)
+		}
+	}
+	if c.UseHNSW && (c.Quantize || c.DiskResidentVectors) {
+		return errors.New("lake: UseHNSW is incompatible with the quantized read tier")
+	}
+	if c.DiskResidentVectors && c.Dir == "" {
+		return errors.New("lake: DiskResidentVectors requires Dir")
+	}
+	return nil
+}
+
 // Lake is a model lake instance. It is safe for concurrent use.
 type Lake struct {
 	cfg    Config
@@ -180,6 +228,9 @@ type Lake struct {
 // Open creates or opens a lake.
 func Open(cfg Config) (*Lake, error) {
 	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	var kv *kvstore.Store
 	var blobs blob.Store
 	if cfg.Dir == "" {
@@ -282,7 +333,14 @@ func (l *Lake) newIndex() index.Index {
 	if l.cfg.UseHNSW {
 		return index.NewHNSW(index.Cosine, index.HNSWConfig{Seed: l.cfg.Seed})
 	}
+	if l.cfg.Quantize || l.cfg.DiskResidentVectors {
+		return index.NewFlatQuantized(index.Cosine, l.quantConfig())
+	}
 	return index.NewFlat(index.Cosine)
+}
+
+func (l *Lake) quantConfig() index.QuantConfig {
+	return index.QuantConfig{RescoreFactor: l.cfg.RescoreFactor}
 }
 
 // hydrated is the per-record product of the parallel rehydrate stage.
@@ -317,6 +375,17 @@ func (l *Lake) rehydrate() error {
 		return fmt.Errorf("lake: rehydrate: %w", err)
 	}
 	if len(recs) == 0 {
+		// Even an empty disk-resident lake adopts (possibly empty) on-disk
+		// segments so that post-open ingests land in the spilling disk tier
+		// instead of accumulating full-precision rows in RAM forever.
+		if l.cfg.DiskResidentVectors {
+			if err := l.adoptDiskIndex(l.behaviorCS, "behavior", nil, nil); err != nil {
+				return err
+			}
+			if err := l.adoptDiskIndex(l.weightCS, "weights", nil, nil); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	// One directory sweep answers every existence check: bulk-listing the
@@ -338,21 +407,30 @@ func (l *Lake) rehydrate() error {
 	})
 	// Pre-size the content indexes: the exact add counts and dimensions are
 	// known, so the packed flat storage allocates once instead of doubling
-	// its way up through a few thousand appends.
-	var nb, nw, db, dw int
-	for i := range res {
-		if res[i].bvec != nil {
-			nb, db = nb+1, len(res[i].bvec)
+	// its way up through a few thousand appends. Disk-resident lakes skip
+	// this — their rehydrated vectors go into on-disk segments, not the
+	// (about to be replaced) in-RAM indexes.
+	disk := l.cfg.DiskResidentVectors
+	if !disk {
+		var nb, nw, db, dw int
+		for i := range res {
+			if res[i].bvec != nil {
+				nb, db = nb+1, len(res[i].bvec)
+			}
+			if res[i].wvec != nil {
+				nw, dw = nw+1, len(res[i].wvec)
+			}
 		}
-		if res[i].wvec != nil {
-			nw, dw = nw+1, len(res[i].wvec)
-		}
+		l.behaviorCS.Reserve(nb, db)
+		l.weightCS.Reserve(nw, dw)
 	}
-	l.behaviorCS.Reserve(nb, db)
-	l.weightCS.Reserve(nw, dw)
 	// Commit in record order. Keyword entries (for every carded model,
 	// closed-weights included) are deferred to the first keyword search;
 	// content vectors insert now, only where a space could embed the model.
+	// In disk mode the vectors are collected in the same record order and
+	// handed to the segment adoption below instead of inserted row by row.
+	var bIDs, wIDs []string
+	var bVecs, wVecs []tensor.Vector
 	for i, rec := range recs {
 		l.kwPending = append(l.kwPending, rec.ID)
 		l.kwReady = false
@@ -363,7 +441,12 @@ func (l *Lake) rehydrate() error {
 			l.modelCache[rec.ID] = res[i].m
 		}
 		if res[i].bvec != nil {
-			if err := l.behaviorCS.AddVector(rec.ID, res[i].bvec); err == nil {
+			if disk {
+				bIDs = append(bIDs, rec.ID)
+				bVecs = append(bVecs, res[i].bvec)
+				l.taskPending = append(l.taskPending, rec.ID)
+				l.taskReady = false
+			} else if err := l.behaviorCS.AddVector(rec.ID, res[i].bvec); err == nil {
 				// Defer handle loading: the task roster materializes on
 				// first SearchTask instead of costing every reopen a
 				// model decode per behaviour-indexed record.
@@ -372,9 +455,51 @@ func (l *Lake) rehydrate() error {
 			}
 		}
 		if res[i].wvec != nil {
-			_ = l.weightCS.AddVector(rec.ID, res[i].wvec)
+			if disk {
+				wIDs = append(wIDs, rec.ID)
+				wVecs = append(wVecs, res[i].wvec)
+			} else {
+				_ = l.weightCS.AddVector(rec.ID, res[i].wvec)
+			}
 		}
 	}
+	if disk {
+		if err := l.adoptDiskIndex(l.behaviorCS, "behavior", bIDs, bVecs); err != nil {
+			return err
+		}
+		if err := l.adoptDiskIndex(l.weightCS, "weights", wIDs, wVecs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// adoptDiskIndex points a content searcher at the on-disk vector segment for
+// its space. A segment left by a previous run is reused only when its stored
+// checksums and row count prove it holds exactly the rehydrated vectors —
+// anything else (torn write, stale contents, changed embedding config) is
+// discarded and rebuilt from the vectors just decoded out of the durable
+// vec records, so a corrupt segment can never be served. Spaces with no
+// vectors adopt an empty segment: post-open ingests then land in the
+// segment's bounded, self-spilling in-RAM tail rather than a pure in-RAM
+// index.
+func (l *Lake) adoptDiskIndex(cs *search.ContentSearcher, space string, ids []string, vecs []tensor.Vector) error {
+	path := filepath.Join(l.cfg.Dir, "vectors", space+".seg")
+	row := func(i int) []float64 { return vecs[i] }
+	wantIDs, wantData := index.SegmentChecksums(ids, row)
+	if df, err := index.OpenDiskFlat(path, l.cfg.FS, index.Cosine, l.quantConfig()); err == nil {
+		gotIDs, gotData := df.Checksums()
+		if df.SegmentLen() == len(ids) && gotIDs == wantIDs && gotData == wantData {
+			cs.AdoptIndex(df, ids)
+			return nil
+		}
+		df.Close()
+	}
+	df, err := index.BuildDiskFlat(path, l.cfg.FS, index.Cosine, l.quantConfig(), ids, row)
+	if err != nil {
+		return fmt.Errorf("lake: build %s vector segment: %w", space, err)
+	}
+	cs.AdoptIndex(df, ids)
 	return nil
 }
 
@@ -564,12 +689,21 @@ func (l *Lake) taskSearchAdd(m *model.Model) {
 	l.taskSearch.Add(model.NewHandle(m))
 }
 
-// Close releases the lake's storage.
+// Close releases the lake's storage: the metadata store and, for
+// disk-resident lakes, the segment files the content indexes keep open for
+// pread rescoring.
 func (l *Lake) Close() error {
 	l.mu.Lock()
 	l.closed = true
 	l.mu.Unlock()
-	return l.kv.Close()
+	err := l.kv.Close()
+	if cerr := l.behaviorCS.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := l.weightCS.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Ready reports whether the lake can serve requests: the metadata store is

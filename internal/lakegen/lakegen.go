@@ -153,10 +153,57 @@ type Population struct {
 // Spec.Seed.
 func Generate(spec Spec) (*Population, error) {
 	spec = spec.withDefaults()
+	pop := &Population{Spec: spec, Datasets: map[string]*data.Dataset{}}
+	if err := stream(spec, pop, nil); err != nil {
+		return nil, err
+	}
+	return pop, nil
+}
+
+// Stream generates exactly the population Generate(spec) would — bit-identical
+// models, cards, and truth, in the same member order — but hands each member
+// to fn as soon as its family is complete instead of retaining the lake. Only
+// the current family's members and datasets stay live between calls (parents
+// are needed for derivation, stitch sources, and card lineage), so peak
+// memory is O(largest family), which is what makes 100k-model lakes
+// generatable on ordinary machines. Truth.Parents carry global member
+// indices, so a sink can rebuild the version-edge set incrementally. An error
+// from fn aborts generation and is returned as-is.
+func Stream(spec Spec, fn func(*Member) error) error {
+	if fn == nil {
+		return fmt.Errorf("lakegen: Stream needs a sink")
+	}
+	return stream(spec.withDefaults(), nil, fn)
+}
+
+// dsStore is the dataset view the generation core hands to derivation and
+// card building: writes land in the current family's map (and, for Generate,
+// also the retained population), reads only ever need the current family —
+// every dataset a member references was created inside its own family.
+type dsStore struct {
+	fam  map[string]*data.Dataset
+	keep *Population
+}
+
+func (s *dsStore) put(id string, ds *data.Dataset) {
+	s.fam[id] = ds
+	if s.keep != nil {
+		s.keep.Datasets[id] = ds
+	}
+}
+
+func (s *dsStore) get(id string) *data.Dataset { return s.fam[id] }
+
+// stream is the single generation engine behind Generate and Stream. It
+// builds the population family by family; after each family's models are
+// trained its cards publish immediately (rng.Child streams depend only on the
+// label, never on draw order, so the per-family card pass draws the exact
+// bits Generate's trailing whole-population pass drew) and every member is
+// passed to emit. keep, when non-nil, additionally retains members, edges,
+// domains, and datasets — all Generate adds on top of the stream.
+func stream(spec Spec, keep *Population, emit func(*Member) error) error {
 	rng := xrand.New(spec.Seed)
 	textDomains := data.StandardTextDomains()
-
-	pop := &Population{Spec: spec, Datasets: map[string]*data.Dataset{}}
 
 	transformNames := make([]string, 0, len(spec.TransformMix))
 	transformWeights := make([]float64, 0, len(spec.TransformMix))
@@ -168,45 +215,50 @@ func Generate(spec Spec) (*Population, error) {
 		}
 	}
 	if len(transformNames) == 0 {
-		return nil, fmt.Errorf("lakegen: empty transformation mix")
+		return fmt.Errorf("lakegen: empty transformation mix")
 	}
 
+	next := 0 // global member index, == len(keep.Members) when retaining
 	// Base models, one per text domain round-robin.
 	for b := 0; b < spec.NumBases; b++ {
-		td := textDomains[b%len(textDomains)]
-		domainName := td.Name
-		if b >= len(textDomains) {
-			domainName = fmt.Sprintf("%s-%d", td.Name, b/len(textDomains))
-		}
+		domainName := domainNameAt(textDomains, b)
 		// Domains are identified by name: the "legal" task is the same task
 		// in every generated lake (its class means depend only on the name
 		// and shape), so probes trained on one lake transfer to another.
 		dom := data.NewDomain(domainName, spec.Dim, spec.Classes, domainSeed(domainName))
-		pop.Domains = append(pop.Domains, dom)
+		if keep != nil {
+			keep.Domains = append(keep.Domains, dom)
+		}
+		ds := &dsStore{fam: map[string]*data.Dataset{}, keep: keep}
 		dsID := domainName + "/v1"
-		ds := dom.Sample(dsID, spec.TrainN, spec.Noise, rng.Child("data/"+dsID))
-		pop.Datasets[dsID] = ds
+		ds.put(dsID, dom.Sample(dsID, spec.TrainN, spec.Noise, rng.Child("data/"+dsID)))
 
 		net := nn.NewMLP([]int{spec.Dim, spec.Hidden, spec.Classes}, nn.ReLU, rng.Child("init/"+domainName))
 		cfg := nn.DefaultTrainConfig()
 		cfg.Epochs = spec.BaseEpochs
 		cfg.Seed = spec.Seed + uint64(b)
-		if _, err := nn.Train(net, ds, cfg); err != nil {
-			return nil, fmt.Errorf("lakegen: train base %d: %w", b, err)
+		if _, err := nn.Train(net, ds.get(dsID), cfg); err != nil {
+			return fmt.Errorf("lakegen: train base %d: %w", b, err)
 		}
 		name := fmt.Sprintf("%s-base", domainName)
 		if spec.AnonymousNames {
 			name = fmt.Sprintf("model-%d-00", b)
 		}
+		famStart := next
 		m := &Member{
 			Model: &model.Model{Name: name, Net: net},
 			Truth: Truth{
-				Index: len(pop.Members), Name: name, Domain: domainName,
+				Index: next, Name: name, Domain: domainName,
 				DatasetID: dsID, Transform: model.TransformPretrain,
 				Depth: 0, Family: b,
 			},
 		}
-		pop.Members = append(pop.Members, m)
+		fam := []*Member{m}
+		next++
+		// member resolves a global index to its in-family member: family
+		// indices are contiguous from famStart, and derivation only ever
+		// references same-family parents.
+		member := func(idx int) *Member { return fam[idx-famStart] }
 
 		// Derived family members.
 		family := []int{m.Truth.Index}
@@ -215,7 +267,7 @@ func Generate(spec Spec) (*Population, error) {
 			// Pick a parent within the family whose depth permits children.
 			var eligible []int
 			for _, idx := range family {
-				if pop.Members[idx].Truth.Depth < spec.MaxDepth {
+				if member(idx).Truth.Depth < spec.MaxDepth {
 					eligible = append(eligible, idx)
 				}
 			}
@@ -224,7 +276,7 @@ func Generate(spec Spec) (*Population, error) {
 			}
 			crng := rng.Child(fmt.Sprintf("child/%d/%d", b, c))
 			parentIdx := eligible[crng.Intn(len(eligible))]
-			parent := pop.Members[parentIdx]
+			parent := member(parentIdx)
 			transform := transformNames[crng.Weighted(transformWeights)]
 			// Stitch needs a second same-family, same-arch parent.
 			if transform == model.TransformStitch && len(family) < 2 {
@@ -235,42 +287,71 @@ func Generate(spec Spec) (*Population, error) {
 			if spec.AnonymousNames {
 				childName = fmt.Sprintf("model-%d-%02d", b, versionCounter)
 			}
-			child, edgeParents, dsID, err := derive(pop, dom, parent, parentIdx, transform,
+			child, edgeParents, err := derive(ds, member, dom, parent, parentIdx, transform,
 				childName, versionCounter, spec, crng, family)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			child.Truth.Index = len(pop.Members)
+			child.Truth.Index = next
 			child.Truth.Family = b
-			pop.Members = append(pop.Members, child)
+			fam = append(fam, child)
+			next++
 			family = append(family, child.Truth.Index)
-			for _, p := range edgeParents {
-				pop.Edges = append(pop.Edges, Edge{Parent: p, Child: child.Truth.Index, Transform: transform})
+			if keep != nil {
+				for _, p := range edgeParents {
+					keep.Edges = append(keep.Edges, Edge{Parent: p, Child: child.Truth.Index, Transform: transform})
+				}
 			}
-			_ = dsID
 		}
-	}
 
-	// Publish cards: truthful first, then corrupted/poisoned.
-	for i, m := range pop.Members {
-		c := truthfulCard(pop, m)
-		crng := rng.Child(fmt.Sprintf("card/%d", i))
-		if spec.LieFrac > 0 && crng.Float64() < spec.LieFrac {
-			// Lie: claim a different domain and dataset.
-			other := pop.Domains[(m.Truth.Family+1)%len(pop.Domains)].Name
-			c = card.InjectMisinformation(c, other, other+"/v1")
-			m.Truth.Lying = true
+		// Publish cards: truthful first, then corrupted/poisoned.
+		for j, m := range fam {
+			parentName := ""
+			if len(m.Truth.Parents) > 0 {
+				parentName = member(m.Truth.Parents[0]).Truth.Name
+			}
+			c := truthfulCard(spec, ds, parentName, m)
+			crng := rng.Child(fmt.Sprintf("card/%d", famStart+j))
+			if spec.LieFrac > 0 && crng.Float64() < spec.LieFrac {
+				// Lie: claim a different domain and dataset. The lying domain
+				// is the next family's, computed by name so it needs no
+				// retained Domains slice (Generate's trailing card pass read
+				// pop.Domains[(family+1)%NumBases], which is the same name).
+				other := domainNameAt(textDomains, (m.Truth.Family+1)%spec.NumBases)
+				c = card.InjectMisinformation(c, other, other+"/v1")
+				m.Truth.Lying = true
+			}
+			c = card.Corrupt(c, spec.CardDropProb, crng)
+			m.Card = c
+			if keep != nil {
+				keep.Members = append(keep.Members, m)
+			}
+			if emit != nil {
+				if err := emit(m); err != nil {
+					return err
+				}
+			}
 		}
-		c = card.Corrupt(c, spec.CardDropProb, crng)
-		m.Card = c
 	}
-	return pop, nil
+	return nil
+}
+
+// domainNameAt is the deterministic name of base family i's domain: the text
+// domains round-robin, with a numeric suffix once they wrap.
+func domainNameAt(textDomains []data.TextDomain, i int) string {
+	td := textDomains[i%len(textDomains)]
+	if i >= len(textDomains) {
+		return fmt.Sprintf("%s-%d", td.Name, i/len(textDomains))
+	}
+	return td.Name
 }
 
 // derive creates one child model from parent via the named transformation.
-func derive(pop *Population, dom *data.Domain, parent *Member, parentIdx int,
+// member resolves the global indices in family; ds holds every dataset the
+// parent chain has referenced.
+func derive(ds *dsStore, member func(int) *Member, dom *data.Domain, parent *Member, parentIdx int,
 	transform, childName string, version int, spec Spec, rng *xrand.RNG, family []int,
-) (*Member, []int, string, error) {
+) (*Member, []int, error) {
 	cfg := nn.DefaultTrainConfig()
 	cfg.Epochs = spec.FTEpochs
 	cfg.Seed = rng.Uint64()
@@ -284,17 +365,17 @@ func derive(pop *Population, dom *data.Domain, parent *Member, parentIdx int,
 	newDataset := func(kind string) (*data.Dataset, string) {
 		if rng.Float64() < 0.5 {
 			// Derived version of the parent's dataset.
-			parentDS := pop.Datasets[parent.Truth.DatasetID]
+			parentDS := ds.get(parent.Truth.DatasetID)
 			id := fmt.Sprintf("%s.%d", parent.Truth.DatasetID, version)
-			ds := data.DeriveVersion(parentDS, id, 0.7, 0.05, rng.Child("derive"))
-			pop.Datasets[id] = ds
-			return ds, id
+			d := data.DeriveVersion(parentDS, id, 0.7, 0.05, rng.Child("derive"))
+			ds.put(id, d)
+			return d, id
 		}
 		shifted := dom.Shifted(fmt.Sprintf("%s-%s%d", dom.Name, kind, version), 0.6, rng.Uint64())
 		id := fmt.Sprintf("%s/v%d", shifted.Name, 1)
-		ds := shifted.Sample(id, spec.TrainN/2, spec.Noise, rng.Child("sample"))
-		pop.Datasets[id] = ds
-		return ds, id
+		d := shifted.Sample(id, spec.TrainN/2, spec.Noise, rng.Child("sample"))
+		ds.put(id, d)
+		return d, id
 	}
 
 	truth := Truth{
@@ -309,7 +390,7 @@ func derive(pop *Population, dom *data.Domain, parent *Member, parentIdx int,
 		ds, id := newDataset("ft")
 		net = parent.Model.Net.Clone()
 		if _, err := nn.Train(net, ds, cfg); err != nil {
-			return nil, nil, "", fmt.Errorf("lakegen: finetune %s: %w", childName, err)
+			return nil, nil, fmt.Errorf("lakegen: finetune %s: %w", childName, err)
 		}
 		dsID = id
 		truth.Domain = ds.Domain
@@ -318,13 +399,13 @@ func derive(pop *Population, dom *data.Domain, parent *Member, parentIdx int,
 		layer := rng.Intn(parent.Model.Net.LayerCount())
 		lora, err := nn.NewLoRA(parent.Model.Net, layer, 2, rng.Child("lora"))
 		if err != nil {
-			return nil, nil, "", fmt.Errorf("lakegen: lora %s: %w", childName, err)
+			return nil, nil, fmt.Errorf("lakegen: lora %s: %w", childName, err)
 		}
 		loraCfg := cfg
 		loraCfg.Optimizer = "sgd"
 		loraCfg.Epochs = spec.FTEpochs * 2
 		if _, err := nn.TrainLoRA(parent.Model.Net, lora, ds, loraCfg); err != nil {
-			return nil, nil, "", fmt.Errorf("lakegen: lora train %s: %w", childName, err)
+			return nil, nil, fmt.Errorf("lakegen: lora train %s: %w", childName, err)
 		}
 		net = lora.Merge(parent.Model.Net)
 		dsID = id
@@ -338,9 +419,9 @@ func derive(pop *Population, dom *data.Domain, parent *Member, parentIdx int,
 			x[i] = rng.NormFloat64() * 2
 		}
 		target := rng.Intn(spec.Classes)
-		parentDS := pop.Datasets[parent.Truth.DatasetID]
+		parentDS := ds.get(parent.Truth.DatasetID)
 		if _, err := nn.EditAssociationWithContext(net, x, target, 0.2, parentDS.X); err != nil {
-			return nil, nil, "", fmt.Errorf("lakegen: edit %s: %w", childName, err)
+			return nil, nil, fmt.Errorf("lakegen: edit %s: %w", childName, err)
 		}
 		dsID = parent.Truth.DatasetID
 		truth.Domain = parent.Truth.Domain
@@ -358,7 +439,7 @@ func derive(pop *Population, dom *data.Domain, parent *Member, parentIdx int,
 		}
 		prefCfg := nn.TrainConfig{Epochs: spec.FTEpochs, BatchSize: 16, LR: 0.05, Seed: rng.Uint64()}
 		if _, err := nn.PreferenceTune(net, prefs, prefCfg); err != nil {
-			return nil, nil, "", fmt.Errorf("lakegen: preference %s: %w", childName, err)
+			return nil, nil, fmt.Errorf("lakegen: preference %s: %w", childName, err)
 		}
 		dsID = id
 		truth.Domain = ds.Domain
@@ -372,33 +453,34 @@ func derive(pop *Population, dom *data.Domain, parent *Member, parentIdx int,
 		}
 		other := candidates[rng.Intn(len(candidates))]
 		var err error
-		net, err = nn.Stitch(parent.Model.Net, pop.Members[other].Model.Net, 1)
+		net, err = nn.Stitch(parent.Model.Net, member(other).Model.Net, 1)
 		if err != nil {
-			return nil, nil, "", fmt.Errorf("lakegen: stitch %s: %w", childName, err)
+			return nil, nil, fmt.Errorf("lakegen: stitch %s: %w", childName, err)
 		}
 		truth.Parents = []int{parentIdx, other}
 		dsID = parent.Truth.DatasetID
 		truth.Domain = parent.Truth.Domain
 	default:
-		return nil, nil, "", fmt.Errorf("lakegen: unknown transform %q", transform)
+		return nil, nil, fmt.Errorf("lakegen: unknown transform %q", transform)
 	}
 	truth.DatasetID = dsID
 
 	return &Member{
 		Model: &model.Model{Name: childName, Net: net},
 		Truth: truth,
-	}, truth.Parents, dsID, nil
+	}, truth.Parents, nil
 }
 
 // truthfulCard builds the fully documented card for a member. The card's
 // BaseModel references the parent's *name* (lake IDs are assigned only at
-// registration time).
-func truthfulCard(pop *Population, m *Member) *card.Card {
+// registration time), passed in by the caller so no population needs to be
+// retained.
+func truthfulCard(spec Spec, ds *dsStore, parentName string, m *Member) *card.Card {
 	// Cards document the human-meaningful base domain ("legal"), not the
 	// generator's internal shifted-domain identifiers ("legal-ft3").
 	domain := baseDomainName(m.Truth.Domain)
 	td, _ := data.TextDomainByName(domain)
-	descRng := xrand.New(pop.Spec.Seed).Child("desc/" + m.Truth.Name)
+	descRng := xrand.New(spec.Seed).Child("desc/" + m.Truth.Name)
 	desc := data.GenerateDocument(td, 30, 0.5, descRng)
 	c := &card.Card{
 		Name:         m.Truth.Name,
@@ -413,11 +495,11 @@ func truthfulCard(pop *Population, m *Member) *card.Card {
 		License:      "apache-2.0",
 		Contact:      "lakegen@modellake.local",
 	}
-	if ds, ok := pop.Datasets[m.Truth.DatasetID]; ok {
-		c.Metrics = map[string]float64{"train_accuracy": m.Model.Net.Accuracy(ds)}
+	if d := ds.get(m.Truth.DatasetID); d != nil {
+		c.Metrics = map[string]float64{"train_accuracy": m.Model.Net.Accuracy(d)}
 	}
-	if len(m.Truth.Parents) > 0 {
-		c.BaseModel = pop.Members[m.Truth.Parents[0]].Truth.Name
+	if parentName != "" {
+		c.BaseModel = parentName
 	}
 	return c
 }

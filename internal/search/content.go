@@ -3,6 +3,7 @@ package search
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 
@@ -112,6 +113,34 @@ func (s *ContentSearcher) index() index.Index {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.idx
+}
+
+// AdoptIndex atomically replaces the searcher's index with one built
+// externally — a disk-resident segment validated on open, or a freshly
+// rebuilt one — that already contains exactly ids. The ID reservation set is
+// reset to match, so subsequent Add/AddVector calls behave as if each id had
+// been added through the searcher. The previous index is abandoned
+// unclosed: in-flight searches may still hold it, and a disk-resident
+// index's file handle is released when the old index is collected (or by
+// Close on the searcher before any swap happened).
+func (s *ContentSearcher) AdoptIndex(idx index.Index, ids []string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.idx = idx
+	s.added = make(map[string]bool, len(ids))
+	for _, id := range ids {
+		s.added[id] = true
+	}
+}
+
+// Close releases resources held by the current index — a disk-resident
+// index keeps its segment file open for pread rescoring. Indexes without
+// resources make this a no-op. Searches racing Close may fail.
+func (s *ContentSearcher) Close() error {
+	if c, ok := s.index().(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }
 
 // Len returns the number of indexed models.

@@ -1,0 +1,78 @@
+package tensor
+
+// int8 scalar quantization for the atlas-scale read path (DESIGN.md §12).
+// Each vector row is affinely mapped onto the int8 range with its own
+// (min, scale) pair — code c represents min + scale·(c+128) — so a quantized
+// dot product over two rows expands back to an approximate float64 dot
+// product from one integer kernel pass plus a handful of flops. The
+// quantized scan only ranks a shortlist; callers rescore it against the
+// full-precision rows, so none of this arithmetic has to be exact — it has
+// to be deterministic, which the fixed reduction order below guarantees.
+
+import "math"
+
+// QuantLevels is the number of representable int8 code points.
+const QuantLevels = 255
+
+// QuantizeRowInt8 quantizes row into codes (which must have len(row)) using
+// a per-row affine map: value ≈ min + scale·(code+128). It returns the map
+// parameters and the sum of the emitted codes (the per-row constant the
+// dequantized dot product needs). A constant row quantizes with scale 0 and
+// every code at -128, so dequantization reproduces it exactly.
+func QuantizeRowInt8(row []float64, codes []int8) (min, scale float64, sum int32) {
+	if len(row) == 0 {
+		return 0, 0, 0
+	}
+	lo, hi := row[0], row[0]
+	for _, x := range row[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if hi == lo {
+		for i := range codes {
+			codes[i] = -128
+		}
+		return lo, 0, -128 * int32(len(row))
+	}
+	scale = (hi - lo) / QuantLevels
+	inv := 1 / scale
+	for i, x := range row {
+		c := int32(math.Round((x-lo)*inv)) - 128
+		if c < -128 {
+			c = -128
+		} else if c > 127 {
+			c = 127
+		}
+		codes[i] = int8(c)
+		sum += c
+	}
+	return lo, scale, sum
+}
+
+// DotInt8Kernel returns the integer inner product of two int8 code rows of
+// equal length (callers validate; the slice bound panics otherwise). Like
+// DotKernel it is 4-way unrolled with independent accumulators and a fixed
+// ((s0+s1)+(s2+s3)) reduction order, so results are deterministic across
+// calls. Safe against int32 overflow for dimensions up to 2^15 (each
+// product is at most 2^14 in magnitude).
+func DotInt8Kernel(a, b []int8) int32 {
+	n := len(a)
+	b = b[:n]
+	var s0, s1, s2, s3 int32
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += int32(a[i]) * int32(b[i])
+		s1 += int32(a[i+1]) * int32(b[i+1])
+		s2 += int32(a[i+2]) * int32(b[i+2])
+		s3 += int32(a[i+3]) * int32(b[i+3])
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		s += int32(a[i]) * int32(b[i])
+	}
+	return s
+}

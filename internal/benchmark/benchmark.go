@@ -191,6 +191,17 @@ type Runner struct {
 // ephemeral runs).
 func NewRunner(kv *kvstore.Store) *Runner { return &Runner{kv: kv} }
 
+// SetStore re-points the score cache at a different store. A replica lake
+// caches into private memory so its log stays a byte prefix of its leader's;
+// on promotion to leader the runner is re-pointed at the durable store so
+// scores cache durably again. Scores computed before the swap are simply
+// recomputed on demand — they are deterministic.
+func (r *Runner) SetStore(kv *kvstore.Store) {
+	r.mu.Lock()
+	r.kv = kv
+	r.mu.Unlock()
+}
+
 func scoreKey(modelID, benchID, metric string) string {
 	return "score/" + modelID + "/" + benchID + "/" + metric
 }
@@ -200,7 +211,8 @@ func scoreKey(modelID, benchID, metric string) string {
 func (r *Runner) Score(h *model.Handle, b *Benchmark) (float64, error) {
 	key := scoreKey(h.ID(), b.ID, b.Metric)
 	r.mu.Lock()
-	if raw, err := r.kv.Get(key); err == nil {
+	kv := r.kv // captured under mu: SetStore may swap it concurrently
+	if raw, err := kv.Get(key); err == nil {
 		r.Hits++
 		r.mu.Unlock()
 		var s float64
@@ -220,7 +232,7 @@ func (r *Runner) Score(h *model.Handle, b *Benchmark) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if err := r.kv.Put(key, raw); err != nil {
+	if err := kv.Put(key, raw); err != nil {
 		return 0, err
 	}
 	return s, nil

@@ -176,20 +176,35 @@ func (c *Cluster) Ready() error {
 
 // --- Write path -------------------------------------------------------
 
-// Ingest stores one model on its owning shard. An empty opts.ID mints the
-// next cluster ID; placement hashes the final ID either way.
+// Ingest is IngestContext with a background context.
 func (c *Cluster) Ingest(m *model.Model, crd *card.Card, opts registry.RegisterOptions) (*registry.Record, error) {
+	return c.IngestContext(context.Background(), m, crd, opts)
+}
+
+// IngestContext stores one model on its owning shard. An empty opts.ID mints
+// the next cluster ID; placement hashes the final ID either way. A context
+// that dies before the write is submitted aborts it with ctx.Err(); a write
+// already handed to the leader's group commit runs to completion (the lake's
+// commit is not interruptible mid-batch).
+func (c *Cluster) IngestContext(ctx context.Context, m *model.Model, crd *card.Card, opts registry.RegisterOptions) (*registry.Record, error) {
 	if opts.ID == "" {
 		opts.ID = c.MintID()
 	}
-	return writeTo(c.owner(opts.ID), func(l *lake.Lake) (*registry.Record, error) {
-		return l.Ingest(m, crd, opts)
+	return writeTo(ctx, c.owner(opts.ID), func(l *lake.Lake) (*registry.Record, error) {
+		return l.IngestContext(ctx, m, crd, opts)
 	})
 }
 
-// IngestAll batch-ingests items, grouping them by owning shard and running
-// the shard batches concurrently. Results and errors align with items.
+// IngestAll is IngestAllContext with a background context.
 func (c *Cluster) IngestAll(items []lake.IngestItem, parallelism int) ([]*registry.Record, []error) {
+	return c.IngestAllContext(context.Background(), items, parallelism)
+}
+
+// IngestAllContext batch-ingests items, grouping them by owning shard and
+// running the shard batches concurrently. Results and errors align with
+// items. Cancellation is checked at the shard boundary: batches not yet
+// submitted fail with ctx.Err(), already-running batches complete.
+func (c *Cluster) IngestAllContext(ctx context.Context, items []lake.IngestItem, parallelism int) ([]*registry.Record, []error) {
 	recs := make([]*registry.Record, len(items))
 	errs := make([]error, len(items))
 	groups := make([][]int, len(c.shards))
@@ -216,8 +231,10 @@ func (c *Cluster) IngestAll(items []lake.IngestItem, parallelism int) ([]*regist
 				recs []*registry.Record
 				errs []error
 			}
-			res, err := writeTo(s, func(l *lake.Lake) (batchResult, error) {
-				r, e := l.IngestAll(batch, parallelism)
+			var used *lake.Lake
+			res, err := writeTo(ctx, s, func(l *lake.Lake) (batchResult, error) {
+				used = l
+				r, e := l.IngestAllContext(ctx, batch, parallelism)
 				return batchResult{r, e}, nil
 			})
 			for j, i := range idxs {
@@ -228,10 +245,11 @@ func (c *Cluster) IngestAll(items []lake.IngestItem, parallelism int) ([]*regist
 				recs[i] = res.recs[j]
 				errs[i] = res.errs[j]
 				// writeTo saw a nil error (per-item errors don't surface
-				// there), so node failures inside the batch down the
-				// leader here.
+				// there), so node failures inside the batch down the exact
+				// leader that served it here — identity-checked, in case a
+				// promotion already replaced it.
 				if errs[i] != nil && isNodeFailure(errs[i]) {
-					s.markLeaderDown()
+					s.markLeaderDown(used)
 				}
 			}
 		}(c.shards[si], idxs)
@@ -245,7 +263,7 @@ func (c *Cluster) IngestAll(items []lake.IngestItem, parallelism int) ([]*regist
 // dataset version graph.
 func (c *Cluster) RegisterDataset(ds *data.Dataset) error {
 	for _, s := range c.shards {
-		if _, err := writeTo(s, func(l *lake.Lake) (struct{}, error) {
+		if _, err := writeTo(context.Background(), s, func(l *lake.Lake) (struct{}, error) {
 			return struct{}{}, l.RegisterDataset(ds)
 		}); err != nil {
 			return err
@@ -263,13 +281,18 @@ func (c *Cluster) RegisterBenchmark(b *benchmark.Benchmark) {
 	c.bmu.Unlock()
 	for _, s := range c.shards {
 		s.mu.RLock()
-		ldr := s.leader
-		s.mu.RUnlock()
-		if ldr != nil {
-			ldr.RegisterBenchmark(b)
+		nodes := make([]*lake.Lake, 0, 1+len(s.replicas))
+		if s.leader != nil {
+			nodes = append(nodes, s.leader)
 		}
 		for _, r := range s.replicas {
-			r.lk.RegisterBenchmark(b)
+			if r.lk != nil { // vacant slots hold no node to register on
+				nodes = append(nodes, r.lk)
+			}
+		}
+		s.mu.RUnlock()
+		for _, lk := range nodes {
+			lk.RegisterBenchmark(b)
 		}
 	}
 }
@@ -558,22 +581,32 @@ func (c *Cluster) VersionGraphContext(ctx context.Context) (*version.Graph, erro
 
 // --- Operations -------------------------------------------------------
 
-// ReplicaStatus is one replica's health in a Status report.
+// ReplicaStatus is one replica slot's health in a Status report. Name is
+// the node currently occupying the slot ("" = vacant, e.g. after its
+// occupant was promoted to leader).
 type ReplicaStatus struct {
-	Up       bool  `json:"up"`
-	LagBytes int64 `json:"lag_bytes"`
+	Name     string `json:"name"`
+	Up       bool   `json:"up"`
+	LagBytes int64  `json:"lag_bytes"`
 }
 
-// ShardStatus is one shard's health in a Status report.
+// ShardStatus is one shard's health in a Status report. Leader names the
+// node currently holding leadership (initially "leader"; a promoted replica
+// keeps its node name, e.g. "replica0"), and Epoch is the leadership epoch —
+// it increments on every promotion, so a changed Leader always comes with a
+// changed Epoch.
 type ShardStatus struct {
 	Shard    int             `json:"shard"`
+	Leader   string          `json:"leader"`
+	Epoch    uint64          `json:"epoch"`
 	LeaderUp bool            `json:"leader_up"`
 	Models   int             `json:"models"`
 	Replicas []ReplicaStatus `json:"replicas"`
 }
 
-// Status reports per-shard leader health, model counts, and replica lag —
-// the payload behind the server's /v1/cluster/status endpoint.
+// Status reports per-shard leadership (current leader node and epoch),
+// model counts, and replica lag — the payload behind the server's
+// /v1/cluster/status endpoint.
 func (c *Cluster) Status() []ShardStatus {
 	out := make([]ShardStatus, len(c.shards))
 	for i, s := range c.shards {
@@ -581,6 +614,8 @@ func (c *Cluster) Status() []ShardStatus {
 		var target int64
 		s.mu.RLock()
 		ldr := s.leader
+		st.Leader = s.leaderName
+		st.Epoch = s.epoch
 		s.mu.RUnlock()
 		if ldr != nil && st.LeaderUp {
 			target = ldr.WALOffset()
@@ -590,25 +625,40 @@ func (c *Cluster) Status() []ShardStatus {
 		}); err == nil {
 			st.Models = n
 		}
+		s.mu.RLock()
 		for _, r := range s.replicas {
-			lag := int64(0)
-			if target > 0 {
-				if lag = target - r.lk.WALOffset(); lag < 0 {
-					lag = 0
+			rs := ReplicaStatus{Name: r.name, Up: r.up.Load()}
+			if r.lk != nil && target > 0 {
+				if rs.LagBytes = target - r.lk.WALOffset(); rs.LagBytes < 0 {
+					rs.LagBytes = 0
 				}
 			}
-			st.Replicas = append(st.Replicas, ReplicaStatus{Up: r.up.Load(), LagBytes: lag})
+			st.Replicas = append(st.Replicas, rs)
 		}
+		s.mu.RUnlock()
 		out[i] = st
 	}
 	return out
 }
 
-// KillShardLeader simulates shard i's leader process dying.
+// ShardEpoch returns shard i's current leadership epoch.
+func (c *Cluster) ShardEpoch(i int) uint64 {
+	s := c.shards[i]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch
+}
+
+// KillShardLeader simulates shard i's current leader process dying. With a
+// live replica whose catch-up can be certified against the dead leader's
+// log, the shard automatically promotes it and keeps taking writes.
 func (c *Cluster) KillShardLeader(i int) { c.shards[i].KillLeader() }
 
-// RestartShardLeader brings shard i's leader back from its on-disk state
-// on a healthy filesystem and re-registers the benchmark suite.
+// RestartShardLeader returns shard i's dead node(s) to service from their
+// on-disk state on a healthy filesystem and re-registers the benchmark
+// suite. A node deposed by a promotion rejoins as a replica (its
+// unreplicated tail truncated at the promotion point); a node that is still
+// the rightful leader reopens as leader.
 func (c *Cluster) RestartShardLeader(i int) error {
 	return c.shards[i].RestartLeader(nil, c.benchmarkList())
 }

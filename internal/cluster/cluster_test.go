@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"modellake/internal/benchmark"
+	"modellake/internal/fault"
 	"modellake/internal/lake"
 	"modellake/internal/lakegen"
 	"modellake/internal/obs"
@@ -178,8 +179,21 @@ func TestClusterRoutesWritesAndReads(t *testing.T) {
 	}
 }
 
+// TestClusterFailoverReadsAndFailFastWrites exercises a TRUE outage: the
+// leader's whole disk fails (sticky injected faults), so after the leader
+// goes down the promotion drain cannot read its log and no replica can be
+// certified caught-up. The shard must stay read-available through the
+// replica and fail writes fast — the pre-promotion degraded mode.
 func TestClusterFailoverReadsAndFailFastWrites(t *testing.T) {
-	c, err := Open(Config{Dir: t.TempDir(), Shards: 2, Replicas: 1, Lake: lake.Config{Sync: true, Seed: 1}})
+	arms := []*armedInjector{
+		{inner: &fault.Script{FailAt: 1, Sticky: true}},
+		{inner: &fault.Script{FailAt: 1, Sticky: true}},
+	}
+	c, err := Open(Config{
+		Dir: t.TempDir(), Shards: 2, Replicas: 1,
+		Lake:     lake.Config{Sync: true, Seed: 1},
+		LeaderFS: []*fault.FS{fault.New(arms[0]), fault.New(arms[1])},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,9 +212,18 @@ func TestClusterFailoverReadsAndFailFastWrites(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.KillShardLeader(target)
+	// Arm the target leader's disk faults and trip them with a write: the
+	// injected IO failure downs the leader, and with its log unreadable the
+	// failover cannot certify a promotion candidate.
+	arms[target].on.Store(true)
+	ring := NewRing(2, 0)
+	trip := testPopulation(t, 35, 1, 0).Members[0]
+	if _, err := c.Ingest(trip.Model, trip.Card,
+		registry.RegisterOptions{ID: ownedID(ring, target), Name: "trip", Version: "1"}); !errors.Is(err, ErrLeaderDown) {
+		t.Fatalf("write on failing leader returned %v, want ErrLeaderDown", err)
+	}
 	if g := leaderUpGauge(target); g != 0 {
-		t.Fatalf("cluster_shard_leader_up{shard=%d} = %d after kill, want 0", target, g)
+		t.Fatalf("cluster_shard_leader_up{shard=%d} = %d after leader disk failure, want 0", target, g)
 	}
 
 	// Reads on the dead shard fail over to its replica.
@@ -244,7 +267,9 @@ func TestClusterFailoverReadsAndFailFastWrites(t *testing.T) {
 		t.Fatalf("cluster_writes_rejected_total did not grow (%d -> %d)", rejected, got)
 	}
 
-	// Restart heals the shard: gauge back up, writes accepted again.
+	// Restart heals the shard: disk healthy again, gauge back up, writes
+	// accepted again. No promotion happened, so the node reopens as leader.
+	arms[target].on.Store(false)
 	if err := c.RestartShardLeader(target); err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"modellake/internal/lake"
+	"modellake/internal/registry"
 	"modellake/internal/search"
 )
 
@@ -146,17 +147,57 @@ func TestClusterSearchBitwiseEqualsSingleNode(t *testing.T) {
 
 			compare("leaders-up")
 
-			// The same comparisons must hold when a shard is served by its
-			// failover replica: replicate everything, kill shard 0's
-			// leader, and re-run. This is the "failover reads are
-			// bitwise-identical to single-node" acceptance gate.
+			// The same comparisons must hold after a shard fails over to its
+			// replica: replicate everything, kill shard 0's leader — which
+			// promotes the caught-up replica to leader — and re-run. This is
+			// the "reads across kill → promote are bitwise-identical to
+			// single-node" acceptance gate.
 			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 			defer cancel()
 			if err := c.FlushReplication(ctx); err != nil {
 				t.Fatal(err)
 			}
 			c.KillShardLeader(0)
-			compare("failover")
+			if got := c.ShardEpoch(0); got != 1 {
+				t.Fatalf("shard 0 epoch after first kill = %d, want 1 (promotion)", got)
+			}
+			compare("promoted")
+
+			// Promotion must restore write availability, not just reads:
+			// ingest a fresh batch into both deployments — no restart in
+			// between — and re-verify equality with the promoted leader
+			// taking the writes.
+			post := testPopulation(t, seed+1000, 1, 1)
+			for _, m := range post.Members {
+				srec, err := single.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-post", Version: "1"})
+				if err != nil {
+					t.Fatalf("single post-promotion ingest: %v", err)
+				}
+				crec, err := c.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-post", Version: "1"})
+				if err != nil {
+					t.Fatalf("cluster post-promotion ingest: %v", err)
+				}
+				if srec.ID != crec.ID {
+					t.Fatalf("post-promotion IDs diverge: single %s cluster %s", srec.ID, crec.ID)
+				}
+			}
+			compare("promoted+writes")
+
+			// Return the deposed leader (it rejoins as a replica, tail
+			// truncated at the promotion point), catch it up, then kill the
+			// promoted leader too: the rejoined node is promoted in turn
+			// (epoch 2) and must still serve identical answers.
+			if err := c.RestartShardLeader(0); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.FlushReplication(ctx); err != nil {
+				t.Fatal(err)
+			}
+			c.KillShardLeader(0)
+			if got := c.ShardEpoch(0); got != 2 {
+				t.Fatalf("shard 0 epoch after second kill = %d, want 2 (re-promotion)", got)
+			}
+			compare("re-promoted")
 		})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,11 +19,13 @@ import (
 	"modellake/internal/retry"
 )
 
-// ErrLeaderDown reports a write routed to a shard whose leader is down.
-// Writes are not failed over: the leader's log is the single write point,
-// and accepting writes on a replica would fork history. Callers should
-// surface this as "temporarily unavailable" and retry after the leader
-// returns.
+// ErrLeaderDown reports a write routed to a shard that currently has no
+// write-accepting leader. A detected leader death normally triggers
+// automatic promotion of the most-caught-up live replica (see failover), so
+// this error is the residual case: no live replica exists, or the dead
+// leader's log could not be read to certify a candidate's catch-up. Writes
+// are never accepted on an uncertified node — that would fork history —
+// so callers should surface this as "temporarily unavailable" and retry.
 var ErrLeaderDown = errors.New("cluster: shard leader down; writes unavailable until it returns")
 
 const (
@@ -33,18 +36,33 @@ const (
 	shipIdlePoll = 25 * time.Millisecond
 )
 
-// Health/outage metrics. Gauges are per shard (and per replica), counters
-// cluster-wide.
+// Health/outage metrics. Gauges are per shard (and per replica slot),
+// counters cluster-wide.
 var (
 	mFailoverReads  = obs.Default().Counter("cluster_failover_reads_total")
 	mWritesRejected = obs.Default().Counter("cluster_writes_rejected_total")
+	mPromotions     = obs.Default().Counter("cluster_promotions_total")
+
+	mShipExitStopped = shipExitCounter("stopped")
+	mShipExitRead    = shipExitCounter("read_error")
+	mShipExitApply   = shipExitCounter("apply_error")
 )
 
-// replica is one read replica: a Follower-mode lake fed by WAL shipping.
+func shipExitCounter(reason string) *obs.Counter {
+	return obs.Default().Counter("cluster_shipper_exits_total", obs.L("reason", reason))
+}
+
+// replica is one replica SLOT: a position in the read rotation whose gauges
+// are labeled by slot index. The node occupying it (name, dir, lake) changes
+// over the shard's life — a promotion vacates the slot, a deposed leader
+// rejoining fills a vacant one. A nil lk means the slot is vacant.
 type replica struct {
-	lk  *lake.Lake
-	idx int
-	up  atomic.Bool
+	idx  int // slot index; labels the slot's gauges
+	name string
+	dir  string
+	fs   *fault.FS  // the occupying node's disk (nil = real filesystem)
+	lk   *lake.Lake // guarded by shard.mu; nil = vacant
+	up   atomic.Bool
 
 	upG  *obs.Gauge
 	lagG *obs.Gauge
@@ -59,23 +77,55 @@ func (r *replica) setUp(up bool) {
 	}
 }
 
+// epochMark records where a leadership epoch began in the shard's log: the
+// byte offset at which the promoted leader stamped it. A deposed leader
+// returning truncates its own log at the first mark beyond its death epoch —
+// everything past that offset is an unreplicated tail that lost.
+type epochMark struct {
+	epoch uint64
+	start int64
+}
+
+// deadNode is a shard node that died and has not yet returned.
+type deadNode struct {
+	name  string
+	dir   string
+	fs    *fault.FS
+	epoch uint64 // shard epoch at the moment of death
+}
+
 // shard is one consistent-hash partition: a leader lake that takes all
-// writes plus replicas that serve reads when the leader is down.
+// writes plus replica slots that serve reads when the leader is down. The
+// leadership is not pinned to a node: when the leader is detected dead, the
+// most-caught-up live replica is promoted under a bumped epoch and the shard
+// keeps accepting writes.
 type shard struct {
 	idx      int
 	dir      string
 	template lake.Config
-	leaderFS *fault.FS
+	leaderFS *fault.FS // the original leader node's configured disk
 
-	mu       sync.RWMutex
-	leader   *lake.Lake // nil after KillLeader until RestartLeader
+	mu           sync.RWMutex
+	leader       *lake.Lake // nil while no node holds leadership
+	leaderName   string
+	leaderDir    string
+	leaderNodeFS *fault.FS
+	epoch        uint64      // current leadership epoch (0 = never promoted)
+	epochHist    []epochMark // promotion points, ascending by epoch
+	dead         []deadNode  // nodes that died and have not returned
+	replicas     []*replica
+
 	leaderUp atomic.Bool
-	replicas []*replica
 
+	// admin serializes failover and RestartLeader; shipMu guards the
+	// shipping goroutine lifecycle. Order: admin > shipMu > mu.
+	admin      sync.Mutex
+	shipMu     sync.Mutex
 	shipCancel context.CancelFunc
 	shipWG     sync.WaitGroup
 
 	leaderUpG *obs.Gauge
+	epochG    *obs.Gauge
 }
 
 // openShard opens the leader and its replicas under dir and starts the
@@ -87,34 +137,40 @@ func openShard(idx int, dir string, template lake.Config, replicas int, leaderFS
 		template:  template,
 		leaderFS:  leaderFS,
 		leaderUpG: obs.Default().Gauge("cluster_shard_leader_up", obs.L("shard", strconv.Itoa(idx))),
+		epochG:    obs.Default().Gauge("cluster_shard_epoch", obs.L("shard", strconv.Itoa(idx))),
 	}
-	ldr, err := lake.Open(s.leaderConfig(leaderFS))
+	leaderDir := filepath.Join(dir, "leader")
+	ldr, err := lake.Open(s.nodeConfig(leaderDir, leaderFS, false))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: open shard %d leader: %w", idx, err)
 	}
 	s.leader = ldr
+	s.leaderName = "leader"
+	s.leaderDir = leaderDir
+	s.leaderNodeFS = leaderFS
+	s.epoch = ldr.WALEpoch()
+	s.epochG.Set(int64(s.epoch))
 	s.leaderUp.Store(true)
 	s.leaderUpG.Set(1)
 	for i := 0; i < replicas; i++ {
-		cfg := template
-		cfg.Dir = filepath.Join(dir, fmt.Sprintf("replica%d", i))
-		cfg.BlobDir = filepath.Join(dir, "leader", "blobs")
-		cfg.FS = nil
-		cfg.Sync = false // replicas re-ship from their own offset after a crash
-		cfg.Follower = true
-		rl, err := lake.Open(cfg)
+		name := fmt.Sprintf("replica%d", i)
+		rdir := filepath.Join(dir, name)
+		rl, err := lake.Open(s.nodeConfig(rdir, nil, true))
 		if err != nil {
 			s.close()
 			return nil, fmt.Errorf("cluster: open shard %d replica %d: %w", idx, i, err)
 		}
-		r := &replica{
-			lk:  rl,
-			idx: i,
-			upG: obs.Default().Gauge("cluster_replica_up",
-				obs.L("shard", strconv.Itoa(idx)), obs.L("replica", strconv.Itoa(i))),
-			lagG: obs.Default().Gauge("cluster_replica_lag_bytes",
-				obs.L("shard", strconv.Itoa(idx)), obs.L("replica", strconv.Itoa(i))),
+		if re := rl.WALEpoch(); re > s.epoch {
+			// This node was promoted past the configured leader in a previous
+			// incarnation, so ITS log is the authoritative history. Refusing
+			// to open is the honest move: shipping from the shorter leader
+			// log would silently serve forked state.
+			rl.Close()
+			s.close()
+			return nil, fmt.Errorf("cluster: shard %d node %s is at epoch %d, beyond the leader's %d; its log is the authoritative one — swap the node directories before reopening", idx, name, re, s.epoch)
 		}
+		r := s.newReplicaSlot(i)
+		r.lk, r.name, r.dir, r.fs = rl, name, rdir, nil
 		r.setUp(true)
 		s.replicas = append(s.replicas, r)
 	}
@@ -122,34 +178,69 @@ func openShard(idx int, dir string, template lake.Config, replicas int, leaderFS
 	return s, nil
 }
 
-func (s *shard) leaderConfig(fs *fault.FS) lake.Config {
+func (s *shard) newReplicaSlot(i int) *replica {
+	return &replica{
+		idx: i,
+		upG: obs.Default().Gauge("cluster_replica_up",
+			obs.L("shard", strconv.Itoa(s.idx)), obs.L("replica", strconv.Itoa(i))),
+		lagG: obs.Default().Gauge("cluster_replica_lag_bytes",
+			obs.L("shard", strconv.Itoa(s.idx)), obs.L("replica", strconv.Itoa(i))),
+	}
+}
+
+// nodeConfig builds the lake config for the node living in dir. Blobs are a
+// content-addressed pool shared by every node of the shard (under the
+// original leader directory), so only metadata ever ships and a promoted
+// leader keeps serving the same weights.
+func (s *shard) nodeConfig(dir string, fs *fault.FS, follower bool) lake.Config {
 	cfg := s.template
-	cfg.Dir = filepath.Join(s.dir, "leader")
-	cfg.BlobDir = ""
+	cfg.Dir = dir
+	cfg.BlobDir = filepath.Join(s.dir, "leader", "blobs")
 	cfg.FS = fs
-	cfg.Follower = false
+	cfg.Follower = follower
+	if follower {
+		cfg.Sync = false // replicas re-ship from their own offset after a crash
+	}
 	return cfg
 }
 
-// startShipping spawns one shipper per replica against the current leader.
+// startShipping spawns one shipper per occupied replica slot against the
+// current leader. No-op while a shipper generation is already running.
 func (s *shard) startShipping() {
+	s.shipMu.Lock()
+	defer s.shipMu.Unlock()
+	if s.shipCancel != nil {
+		return
+	}
 	s.mu.RLock()
 	ldr := s.leader
+	type target struct {
+		r  *replica
+		lk *lake.Lake
+	}
+	var targets []target
+	for _, r := range s.replicas {
+		if r.lk != nil {
+			targets = append(targets, target{r, r.lk})
+		}
+	}
 	s.mu.RUnlock()
-	if ldr == nil {
+	if ldr == nil || len(targets) == 0 {
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s.shipCancel = cancel
-	for _, r := range s.replicas {
+	for _, tg := range targets {
 		s.shipWG.Add(1)
-		go s.ship(ctx, r, ldr)
+		go s.ship(ctx, tg.r, tg.lk, ldr)
 	}
 }
 
 // stopShipping cancels the shippers and waits for them to exit, so the
 // leader can be closed without a shipper reading a closing file.
 func (s *shard) stopShipping() {
+	s.shipMu.Lock()
+	defer s.shipMu.Unlock()
 	if s.shipCancel != nil {
 		s.shipCancel()
 		s.shipWG.Wait()
@@ -159,79 +250,257 @@ func (s *shard) stopShipping() {
 
 // ship is the follower half of WAL shipping: read a page at the replica's
 // own offset, apply it, update the lag gauge, block on the commit
-// notification when caught up.
-func (s *shard) ship(ctx context.Context, r *replica, ldr *lake.Lake) {
+// notification when caught up. Every exit zeroes the slot's lag gauge — a
+// stopped shipper must not keep advertising its last lag forever — and
+// counts the exit reason.
+func (s *shard) ship(ctx context.Context, r *replica, rl *lake.Lake, ldr *lake.Lake) {
 	defer s.shipWG.Done()
+	exit := func(reason *obs.Counter) {
+		r.lagG.Set(0)
+		reason.Inc()
+	}
 	notify := ldr.WALNotify()
 	for {
 		if ctx.Err() != nil {
+			exit(mShipExitStopped)
 			return
 		}
-		page, err := ldr.ReadWAL(r.lk.WALOffset(), shipPageBytes)
+		page, err := ldr.ReadWAL(rl.WALOffset(), shipPageBytes)
 		if err != nil {
 			// Leader log unreadable (closed, or the replica diverged).
-			// Shipping for this replica stops; RestartLeader starts fresh
-			// shippers against the reopened log.
+			// Shipping for this replica stops; the next startShipping
+			// generation resumes from the replica's own offset.
+			exit(mShipExitRead)
 			return
 		}
 		if len(page) == 0 {
 			r.lagG.Set(0)
 			select {
 			case <-ctx.Done():
+				exit(mShipExitStopped)
 				return
 			case <-notify:
 			case <-time.After(shipIdlePoll):
 			}
 			continue
 		}
-		if err := r.lk.ApplyWAL(page); err != nil {
+		if err := rl.ApplyWAL(page); err != nil {
 			// A replica that cannot apply leader bytes is diverged or
 			// broken; take it out of the read rotation rather than serving
 			// stale state indefinitely.
 			r.setUp(false)
+			exit(mShipExitApply)
 			return
 		}
-		r.lagG.Set(ldr.WALOffset() - r.lk.WALOffset())
+		r.lagG.Set(ldr.WALOffset() - rl.WALOffset())
 	}
 }
 
-// markLeaderDown takes the leader out of rotation after an IO failure. The
-// lake stays open (its store has already poisoned itself); RestartLeader
-// replaces it.
-func (s *shard) markLeaderDown() {
-	if s.leaderUp.CompareAndSwap(true, false) {
-		s.leaderUpG.Set(0)
+// markLeaderDown reports an IO failure on what the caller believed was the
+// leader. The report is ignored when that lake has already been replaced (a
+// stale failure must not down a freshly promoted leader); otherwise the
+// winner of the up→down transition runs failover, which attempts promotion.
+func (s *shard) markLeaderDown(failed *lake.Lake) {
+	s.mu.RLock()
+	cur := s.leader
+	s.mu.RUnlock()
+	if cur != failed {
+		return
 	}
-}
-
-// KillLeader simulates the shard's leader process dying: shipping stops,
-// the leader store closes (releasing its file), and writes to this shard
-// fail fast until RestartLeader.
-func (s *shard) KillLeader() {
-	s.stopShipping()
-	s.leaderUp.Store(false)
+	if !s.leaderUp.CompareAndSwap(true, false) {
+		return
+	}
 	s.leaderUpG.Set(0)
-	s.mu.Lock()
-	if s.leader != nil {
-		s.leader.Close() // the "process" is dying; nothing to do about errors
-		s.leader = nil
-	}
-	s.mu.Unlock()
+	s.failover()
 }
 
-// RestartLeader reopens the shard leader from its on-disk state — the
-// killed process coming back on a healthy disk (fs nil) or under a new
-// fault script — and restarts shipping. Benchmarks live only in memory, so
-// the cluster re-registers its suite on the reopened instance.
-func (s *shard) RestartLeader(fs *fault.FS, benchmarks []*benchmark.Benchmark) error {
+// KillLeader simulates the shard's current leader process dying outright.
+// Like a detected IO failure it triggers failover: with a live replica whose
+// catch-up can be certified against the dead leader's log, the shard
+// promotes it and keeps accepting writes; otherwise writes fail fast with
+// ErrLeaderDown until RestartLeader.
+func (s *shard) KillLeader() {
+	if !s.leaderUp.CompareAndSwap(true, false) {
+		return // already down, already failed over
+	}
+	s.leaderUpG.Set(0)
+	s.failover()
+}
+
+// failover retires the dead leader and attempts automatic promotion. The
+// caller must have won the leaderUp true→false CAS, so exactly one failover
+// runs per leader generation.
+func (s *shard) failover() {
+	s.admin.Lock()
+	defer s.admin.Unlock()
 	s.stopShipping()
 	s.mu.Lock()
-	if s.leader != nil {
-		s.leader.Close()
-		s.leader = nil
+	old := s.leader
+	oldNode := deadNode{name: s.leaderName, dir: s.leaderDir, fs: s.leaderNodeFS, epoch: s.epoch}
+	s.leader = nil
+	if old != nil {
+		s.dead = append(s.dead, oldNode)
 	}
 	s.mu.Unlock()
-	ldr, err := lake.Open(s.leaderConfig(fs))
+	if old == nil {
+		return
+	}
+	// Close the dead leader before draining: Close waits out in-flight
+	// commits and fsyncs, so afterward the on-disk log is the complete
+	// acked history. The drain then reads the FILE, not the store — no
+	// acknowledged write can slip in behind the certification.
+	old.Close()
+	s.tryPromote(oldNode)
+}
+
+// tryPromote elects the most-caught-up live replica, drains the dead
+// leader's on-disk log into it until nothing recoverable remains, and flips
+// it to leader under a bumped epoch. Candidates that cannot be fully caught
+// up (unreadable old log) or cannot apply are skipped; with no certifiable
+// candidate the shard stays leaderless and writes keep failing fast.
+func (s *shard) tryPromote(oldNode deadNode) bool {
+	logPath := filepath.Join(oldNode.dir, "lake.log")
+	for {
+		best := s.bestCandidate()
+		if best == nil {
+			return false
+		}
+		s.mu.RLock()
+		blk := best.lk
+		newEpoch := s.epoch + 1
+		s.mu.RUnlock()
+		if blk == nil {
+			best.setUp(false)
+			continue
+		}
+		drained, fatal := drainLog(oldNode.fs, logPath, blk)
+		if fatal {
+			// The dead node's log cannot be read at all, so NO candidate can
+			// be certified caught-up. The candidate itself is healthy — it
+			// stays in the read rotation; only writes stay unavailable.
+			return false
+		}
+		if !drained {
+			// This candidate could not apply the drained bytes: it is the
+			// broken party. Down it and try the next one.
+			best.setUp(false)
+			continue
+		}
+		start := blk.WALOffset()
+		if err := blk.Promote(s.template.Sync); err != nil {
+			best.setUp(false)
+			continue
+		}
+		if err := blk.BumpWALEpoch(newEpoch); err != nil {
+			best.setUp(false)
+			continue
+		}
+		s.mu.Lock()
+		s.leader = blk
+		s.leaderName, s.leaderDir, s.leaderNodeFS = best.name, best.dir, best.fs
+		s.epoch = newEpoch
+		s.epochHist = append(s.epochHist, epochMark{epoch: newEpoch, start: start})
+		best.lk, best.name, best.dir, best.fs = nil, "", "", nil
+		s.mu.Unlock()
+		// The slot is vacant now — its occupant leads. Slot gauges go quiet
+		// until a returning node fills it again.
+		best.setUp(false)
+		best.lagG.Set(0)
+		s.epochG.Set(int64(newEpoch))
+		mPromotions.Inc()
+		s.leaderUp.Store(true)
+		s.leaderUpG.Set(1)
+		s.startShipping()
+		return true
+	}
+}
+
+// bestCandidate returns the live replica with the highest commit offset —
+// the cheapest node to certify and the one that loses the least work if the
+// dead leader's log turns out to be partially unreadable.
+func (s *shard) bestCandidate() *replica {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var best *replica
+	bestOff := int64(-1)
+	for _, r := range s.replicas {
+		if r.lk == nil || !r.up.Load() {
+			continue
+		}
+		if off := r.lk.WALOffset(); off > bestOff {
+			best, bestOff = r, off
+		}
+	}
+	return best
+}
+
+// drainLog ships every recoverable record of a dead leader's on-disk log
+// into candidate rl. drained means the candidate now holds the complete
+// acked history (zero acked-write loss); fatal means the log itself could
+// not be read — the dead node's disk is gone too, so no candidate at all
+// can be certified and promotion must not happen.
+func drainLog(fsys *fault.FS, path string, rl *lake.Lake) (drained, fatal bool) {
+	for {
+		page, err := kvstore.ReadLogFile(fsys, path, rl.WALOffset(), shipPageBytes)
+		if err != nil {
+			return false, true
+		}
+		if len(page) == 0 {
+			return true, false
+		}
+		if err := rl.ApplyWAL(page); err != nil {
+			return false, false
+		}
+	}
+}
+
+// RestartLeader returns every dead node of the shard to service on fs — the
+// killed process(es) coming back on a healthy disk (fs nil) or under a new
+// fault script. A node that died at the current epoch while the shard is
+// leaderless is still the rightful leader and reopens in place (the classic
+// restart). A node deposed by a promotion instead truncates its log at the
+// offset where the newer epoch began — discarding its unreplicated tail
+// rather than forking history — and rejoins as a replica of the current
+// leader. Benchmarks live only in memory, so the cluster re-registers its
+// suite on every reopened instance.
+func (s *shard) RestartLeader(fs *fault.FS, benchmarks []*benchmark.Benchmark) error {
+	s.admin.Lock()
+	defer s.admin.Unlock()
+	s.stopShipping()
+	s.mu.Lock()
+	dead := s.dead
+	s.dead = nil
+	s.mu.Unlock()
+	var firstErr error
+	for _, dn := range dead {
+		s.mu.RLock()
+		rightful := s.leader == nil && dn.epoch == s.epoch
+		s.mu.RUnlock()
+		var err error
+		if rightful {
+			err = s.reopenAsLeader(dn, fs, benchmarks)
+		} else {
+			err = s.rejoinAsReplica(dn, fs, benchmarks)
+		}
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			// The node failed to return; keep it dead so a later restart
+			// can retry.
+			s.mu.Lock()
+			s.dead = append(s.dead, dn)
+			s.mu.Unlock()
+		}
+	}
+	s.startShipping()
+	return firstErr
+}
+
+// reopenAsLeader is the classic leader restart: no promotion happened since
+// this node died, so its on-disk state is the authoritative history.
+func (s *shard) reopenAsLeader(dn deadNode, fs *fault.FS, benchmarks []*benchmark.Benchmark) error {
+	ldr, err := lake.Open(s.nodeConfig(dn.dir, fs, false))
 	if err != nil {
 		return fmt.Errorf("cluster: restart shard %d leader: %w", s.idx, err)
 	}
@@ -240,16 +509,63 @@ func (s *shard) RestartLeader(fs *fault.FS, benchmarks []*benchmark.Benchmark) e
 	}
 	s.mu.Lock()
 	s.leader = ldr
+	s.leaderName, s.leaderDir, s.leaderNodeFS = dn.name, dn.dir, fs
 	s.mu.Unlock()
 	s.leaderUp.Store(true)
 	s.leaderUpG.Set(1)
-	s.startShipping()
+	return nil
+}
+
+// rejoinAsReplica demotes a deposed leader: truncate its log at the first
+// promotion point past its death epoch (the epoch stamp in the log marks
+// exactly where histories may diverge), reopen it as a follower, and seat it
+// in a vacant replica slot. Shipping then fills it back up from its own —
+// now prefix-correct — offset.
+func (s *shard) rejoinAsReplica(dn deadNode, fs *fault.FS, benchmarks []*benchmark.Benchmark) error {
+	cut := int64(-1)
+	s.mu.RLock()
+	for _, m := range s.epochHist {
+		if m.epoch > dn.epoch {
+			cut = m.start
+			break
+		}
+	}
+	s.mu.RUnlock()
+	if cut >= 0 {
+		if err := kvstore.TruncateLogAt(fs, filepath.Join(dn.dir, "lake.log"), cut); err != nil {
+			return fmt.Errorf("cluster: truncate deposed shard %d leader %s: %w", s.idx, dn.name, err)
+		}
+	}
+	rl, err := lake.Open(s.nodeConfig(dn.dir, fs, true))
+	if err != nil {
+		return fmt.Errorf("cluster: rejoin shard %d node %s as replica: %w", s.idx, dn.name, err)
+	}
+	for _, b := range benchmarks {
+		rl.RegisterBenchmark(b)
+	}
+	s.mu.Lock()
+	var slot *replica
+	for _, r := range s.replicas {
+		if r.lk == nil {
+			slot = r
+			break
+		}
+	}
+	if slot == nil {
+		slot = s.newReplicaSlot(len(s.replicas))
+		s.replicas = append(s.replicas, slot)
+	}
+	slot.lk, slot.name, slot.dir, slot.fs = rl, dn.name, dn.dir, fs
+	s.mu.Unlock()
+	slot.setUp(true)
 	return nil
 }
 
 // FlushReplication blocks until every live replica has applied the leader's
 // full committed log (lag zero), or ctx is done. It is how tests and
 // benchmarks establish "the replicas are current" before killing a leader.
+// When replicas exist but none is live there is nobody left to catch up, so
+// it reports that outage instead of vacuous success.
 func (s *shard) FlushReplication(ctx context.Context) error {
 	s.mu.RLock()
 	ldr := s.leader
@@ -260,11 +576,26 @@ func (s *shard) FlushReplication(ctx context.Context) error {
 	target := ldr.WALOffset()
 	for {
 		caught := true
+		live := 0
+		var down []string
+		s.mu.RLock()
 		for _, r := range s.replicas {
-			if r.up.Load() && r.lk.WALOffset() < target {
-				caught = false
-				break
+			if r.lk == nil {
+				continue // vacant slot: no node to replicate to
 			}
+			if !r.up.Load() {
+				down = append(down, r.name)
+				continue
+			}
+			live++
+			if r.lk.WALOffset() < target {
+				caught = false
+			}
+		}
+		s.mu.RUnlock()
+		if live == 0 && len(down) > 0 {
+			return fmt.Errorf("cluster: shard %d cannot flush replication: every replica is down (%s)",
+				s.idx, strings.Join(down, ", "))
 		}
 		if caught {
 			return nil
@@ -281,13 +612,20 @@ func (s *shard) FlushReplication(ctx context.Context) error {
 func (s *shard) close() {
 	s.stopShipping()
 	s.mu.Lock()
+	var lakes []*lake.Lake
 	if s.leader != nil {
-		s.leader.Close()
+		lakes = append(lakes, s.leader)
 		s.leader = nil
 	}
-	s.mu.Unlock()
 	for _, r := range s.replicas {
-		r.lk.Close()
+		if r.lk != nil {
+			lakes = append(lakes, r.lk)
+			r.lk = nil
+		}
+	}
+	s.mu.Unlock()
+	for _, lk := range lakes {
+		lk.Close()
 	}
 }
 
@@ -328,11 +666,13 @@ func (s *shard) readNode() (*lake.Lake, func(), bool) {
 		ldr := s.leader
 		s.mu.RUnlock()
 		if ldr != nil {
-			return ldr, s.markLeaderDown, true
+			return ldr, func() { s.markLeaderDown(ldr) }, true
 		}
 	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, r := range s.replicas {
-		if r.up.Load() {
+		if r.lk != nil && r.up.Load() {
 			r := r
 			return r.lk, func() { r.setUp(false) }, false
 		}
@@ -342,7 +682,9 @@ func (s *shard) readNode() (*lake.Lake, func(), bool) {
 
 // readFrom runs fn against the shard's preferred live node, retrying with
 // jittered backoff and failing over to a replica when the node it picked
-// fails mid-request.
+// fails mid-request. cluster_failover_reads_total counts requests a replica
+// actually answered — an attempt that hits a node failure and retries is
+// not a served failover read.
 func readFrom[T any](ctx context.Context, s *shard, pol retry.Policy, fn func(*lake.Lake) (T, error)) (T, error) {
 	var out T
 	err := retry.Do(ctx, pol, func() error {
@@ -350,13 +692,13 @@ func readFrom[T any](ctx context.Context, s *shard, pol retry.Policy, fn func(*l
 		if lk == nil {
 			return errShardDown{s.idx}
 		}
-		if !isLeader {
-			mFailoverReads.Inc()
-		}
 		v, err := fn(lk)
 		if err != nil && isNodeFailure(err) {
 			fail()
 			return transientNode{err}
+		}
+		if !isLeader {
+			mFailoverReads.Inc()
 		}
 		out = v
 		return err
@@ -365,9 +707,15 @@ func readFrom[T any](ctx context.Context, s *shard, pol retry.Policy, fn func(*l
 }
 
 // writeTo runs fn against the shard leader, failing fast with ErrLeaderDown
-// when it is not up and downing it when the write hits an IO failure.
-func writeTo[T any](s *shard, fn func(*lake.Lake) (T, error)) (T, error) {
+// when no node holds leadership and triggering failover (promotion) when
+// the write hits an IO failure. A context that is already dead is refused
+// at the boundary: the caller has gone away, and submitting its batch to
+// group commit anyway would durably apply a write nobody saw acknowledged.
+func writeTo[T any](ctx context.Context, s *shard, fn func(*lake.Lake) (T, error)) (T, error) {
 	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
 	if !s.leaderUp.Load() {
 		mWritesRejected.Inc()
 		return zero, fmt.Errorf("%w (shard %d)", ErrLeaderDown, s.idx)
@@ -381,7 +729,7 @@ func writeTo[T any](s *shard, fn func(*lake.Lake) (T, error)) (T, error) {
 	}
 	v, err := fn(ldr)
 	if err != nil && isNodeFailure(err) {
-		s.markLeaderDown()
+		s.markLeaderDown(ldr)
 		mWritesRejected.Inc()
 		return zero, fmt.Errorf("%w (shard %d): %v", ErrLeaderDown, s.idx, err)
 	}

@@ -20,9 +20,12 @@ import (
 // both a single lake and an N-shard cluster; then keyword and vector search
 // run against each, with every hit list checked bitwise (IDs, order, float64
 // score bits) — the cluster's scatter-gather merge is only correct if it is
-// invisible. The failover arms kill one shard leader and repeat reads
-// against the surviving replica, measuring the retry-and-reroute cost and
-// re-checking equivalence against the same single-node answers.
+// invisible. The failover arms kill one shard leader — which automatically
+// promotes its caught-up replica to leader — and repeat the reads,
+// measuring the promotion cost and re-checking equivalence against the same
+// single-node answers. A final write arm ingests a second wave through the
+// promoted leader and re-verifies bitwise equality over the grown
+// population: failover must preserve write availability, not just reads.
 
 // ClusterBenchResult is the machine-readable summary cmd/lakebench writes to
 // BENCH_cluster.json. Durations are nanoseconds; latencies are per-query.
@@ -53,6 +56,15 @@ type ClusterBenchResult struct {
 	// WAL after the full ingest (steady-state shipping overlaps the ingest,
 	// so this is the tail, not the total).
 	ReplicationFlushNs int64 `json:"replication_flush_ns"`
+
+	// PromoteNs is the full leader-kill-to-writable time for shard 0:
+	// retiring the dead leader, certifying the replica against its log, and
+	// flipping the replica to leader under the bumped epoch.
+	PromoteNs int64 `json:"promote_ns"`
+	// PostPromoteWrites/PostPromoteWriteNs measure the second ingest wave
+	// taken after the promotion, shard 0 served by its promoted replica.
+	PostPromoteWrites  int   `json:"post_promote_writes"`
+	PostPromoteWriteNs int64 `json:"post_promote_write_ns"`
 }
 
 // RunE15 is the experiment-index entry point with default sizes.
@@ -206,12 +218,60 @@ func RunE15Cluster(seed uint64, bases, children int) (*Table, *ClusterBenchResul
 		return nil, nil, err
 	}
 
-	// --- Failover arms: same reads with shard 0's leader dead. -----------
+	// --- Failover arms: kill shard 0's leader. The caught-up replica is
+	// promoted automatically, so the same reads run against a freshly
+	// promoted leader plus the untouched shards.
+	start = time.Now()
 	c.KillShardLeader(0)
+	res.PromoteNs = time.Since(start).Nanoseconds()
+	if got := c.ShardEpoch(0); got != 1 {
+		return nil, nil, fmt.Errorf("E15: shard 0 epoch after kill = %d, want 1 (promotion failed)", got)
+	}
 	if res.FailoverKeywordNs, err = runKW(); err != nil {
 		return nil, nil, err
 	}
 	if res.FailoverVectorNs, err = runVec(); err != nil {
+		return nil, nil, err
+	}
+
+	// --- Post-promotion write arm: a second ingest wave through the
+	// promoted leader, then re-verify bitwise equality over the grown
+	// population (ground truth recomputed on the single node first).
+	extraSpec := lakegen.DefaultSpec(seed + 1)
+	extraSpec.NumBases = 2
+	extraSpec.ChildrenPerBase = 0
+	extra, err := lakegen.Generate(extraSpec)
+	if err != nil {
+		return nil, nil, err
+	}
+	start = time.Now()
+	for i, m := range extra.Members {
+		srec, err := single.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-post", Version: "1"})
+		if err != nil {
+			return nil, nil, fmt.Errorf("E15: single post-promote ingest %d: %w", i, err)
+		}
+		crec, err := c.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-post", Version: "1"})
+		if err != nil {
+			return nil, nil, fmt.Errorf("E15: cluster post-promote ingest %d: %w", i, err)
+		}
+		if srec.ID != crec.ID {
+			return nil, nil, fmt.Errorf("E15: post-promote member %d minted %s on single, %s on cluster", i, srec.ID, crec.ID)
+		}
+	}
+	res.PostPromoteWrites = len(extra.Members)
+	res.PostPromoteWriteNs = time.Since(start).Nanoseconds()
+	for i, q := range kwQueries {
+		singleKW[i] = single.SearchKeyword(q, 10)
+	}
+	for i, id := range sids {
+		if singleVec[i], err = single.SearchByModel(id, "behavior", 10); err != nil {
+			return nil, nil, fmt.Errorf("E15: single vector %s after writes: %w", id, err)
+		}
+	}
+	if _, err = runKW(); err != nil {
+		return nil, nil, err
+	}
+	if _, err = runVec(); err != nil {
 		return nil, nil, err
 	}
 	res.BitwiseEqual = equal
@@ -239,6 +299,10 @@ func RunE15Cluster(seed uint64, bases, children int) (*Table, *ClusterBenchResul
 		perQ(res.FailoverVectorNs, res.VectorQueries), ratio(res.FailoverVectorNs, res.SingleVectorNs), "yes")
 	t.AddRow("replication flush", time.Duration(res.ReplicationFlushNs).Round(time.Millisecond).String(),
 		"-", "-", "-")
+	t.AddRow("leader kill→promote", time.Duration(res.PromoteNs).Round(time.Microsecond).String(),
+		"-", "-", "-")
+	t.AddRow("post-promote writes", time.Duration(res.PostPromoteWriteNs).Round(time.Millisecond).String(),
+		perQ(res.PostPromoteWriteNs, res.PostPromoteWrites), "-", "yes")
 	return t, res, nil
 }
 

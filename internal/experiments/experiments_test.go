@@ -445,8 +445,8 @@ func TestE15Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 9 {
-		t.Fatalf("rows = %d, want 9", len(tab.Rows))
+	if len(tab.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(tab.Rows))
 	}
 	// The whole point of the cluster read path: scatter-gather and failover
 	// answers are bit-identical to single-node. RunE15Cluster errors out on
@@ -470,5 +470,13 @@ func TestE15Shape(t *testing.T) {
 	}
 	if res.KeywordQueries <= 0 || res.VectorQueries <= 0 {
 		t.Fatalf("no queries ran: %+v", res)
+	}
+	// Promotion arms: the kill must have promoted (and been timed), and the
+	// post-promotion write wave must have gone through the promoted leader.
+	if res.PromoteNs <= 0 {
+		t.Fatalf("promotion reported no time: %+v", res)
+	}
+	if res.PostPromoteWrites <= 0 || res.PostPromoteWriteNs <= 0 {
+		t.Fatalf("post-promotion write arm did not run: %+v", res)
 	}
 }

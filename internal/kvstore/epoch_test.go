@@ -1,0 +1,256 @@
+package kvstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEpochDurableAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.log")
+	s, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 0 {
+		t.Fatalf("fresh store epoch = %d, want 0", got)
+	}
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BumpEpoch(3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 3 {
+		t.Fatalf("epoch after bump = %d, want 3", got)
+	}
+	if err := s.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Epoch(); got != 3 {
+		t.Fatalf("epoch after reopen = %d, want 3", got)
+	}
+	// The epoch sentinel must never leak into the data namespace.
+	if _, err := s2.Get(epochKey); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(epochKey) = %v, want ErrNotFound", err)
+	}
+	for k, v := range map[string]string{"a": "1", "b": "2"} {
+		got, err := s2.Get(k)
+		if err != nil || string(got) != v {
+			t.Fatalf("Get(%s) = %q, %v", k, got, err)
+		}
+	}
+}
+
+func TestBumpEpochRejectsNonMonotonic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.log")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.BumpEpoch(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BumpEpoch(2); err == nil {
+		t.Fatal("BumpEpoch(2) twice succeeded; epochs must be strictly increasing")
+	}
+	if err := s.BumpEpoch(1); err == nil {
+		t.Fatal("BumpEpoch(1) after 2 succeeded; epochs must be strictly increasing")
+	}
+	if err := s.BumpEpoch(7); err != nil {
+		t.Fatalf("BumpEpoch(7) after 2: %v", err)
+	}
+	if got := s.Epoch(); got != 7 {
+		t.Fatalf("epoch = %d, want 7", got)
+	}
+}
+
+func TestEpochShipsToFollower(t *testing.T) {
+	dir := t.TempDir()
+	leader, err := Open(filepath.Join(dir, "leader.log"), Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leader.Close()
+	follower, err := Open(filepath.Join(dir, "follower.log"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer follower.Close()
+
+	if err := leader.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.BumpEpoch(5); err != nil {
+		t.Fatal(err)
+	}
+	for follower.CommitOffset() < leader.CommitOffset() {
+		page, err := leader.ReadLogRange(follower.CommitOffset(), 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if page == nil {
+			break
+		}
+		if err := follower.ApplyPage(page); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := follower.Epoch(); got != 5 {
+		t.Fatalf("follower epoch = %d, want 5 (epoch record did not ship)", got)
+	}
+	if v, err := follower.Get("k"); err != nil || string(v) != "v" {
+		t.Fatalf("follower Get(k) = %q, %v", v, err)
+	}
+}
+
+func TestCompactPreservesEpoch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.log")
+	s, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Put("k", []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.BumpEpoch(9); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Epoch(); got != 9 {
+		t.Fatalf("epoch after compact = %d, want 9", got)
+	}
+	s.Close()
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Epoch(); got != 9 {
+		t.Fatalf("epoch after compact+reopen = %d, want 9 (re-stamp lost)", got)
+	}
+}
+
+func TestReadLogFileWalksRecordsAndStopsAtTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.log")
+	s, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	end := s.CommitOffset()
+	s.Close()
+
+	// Whole log reads back as one page of exactly the committed bytes.
+	page, err := ReadLogFile(nil, path, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(page)) != end {
+		t.Fatalf("ReadLogFile returned %d bytes, want %d", len(page), end)
+	}
+	// Reading at the end is a clean empty page: caught up.
+	page, err = ReadLogFile(nil, path, end, 1<<20)
+	if err != nil || len(page) != 0 {
+		t.Fatalf("ReadLogFile at end = %d bytes, %v; want empty, nil", len(page), err)
+	}
+
+	// A torn record past the end must not surface.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{9, 0, 0, 0, 1, 2, 3, 4, 0xff}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	page, err = ReadLogFile(nil, path, end, 1<<20)
+	if err != nil || len(page) != 0 {
+		t.Fatalf("ReadLogFile over torn tail = %d bytes, %v; want empty, nil", len(page), err)
+	}
+
+	// The drained page must replay into an identical store.
+	page, err = ReadLogFile(nil, path, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := Open(filepath.Join(t.TempDir(), "f.log"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	if err := f2.ApplyPage(page); err != nil {
+		t.Fatalf("ApplyPage of drained log: %v", err)
+	}
+	for k, v := range map[string]string{"a": "1", "b": "2"} {
+		got, err := f2.Get(k)
+		if err != nil || string(got) != v {
+			t.Fatalf("replayed Get(%s) = %q, %v", k, got, err)
+		}
+	}
+}
+
+func TestTruncateLogAtValidatesBoundary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "db.log")
+	s, err := Open(path, Options{Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	first := s.CommitOffset()
+	if err := s.Put("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	end := s.CommitOffset()
+	s.Close()
+
+	// Mid-record offsets are refused.
+	if err := TruncateLogAt(nil, path, first+1); err == nil {
+		t.Fatal("TruncateLogAt mid-record succeeded, want boundary error")
+	}
+	// Offsets at or past the size are a no-op.
+	if err := TruncateLogAt(nil, path, end+100); err != nil {
+		t.Fatalf("TruncateLogAt past end: %v", err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != end {
+		t.Fatalf("no-op truncate changed size to %d, want %d", fi.Size(), end)
+	}
+	// A record boundary truncates, and the survivor still opens cleanly.
+	if err := TruncateLogAt(nil, path, first); err != nil {
+		t.Fatalf("TruncateLogAt at boundary: %v", err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != first {
+		t.Fatalf("truncated size %d, want %d", fi.Size(), first)
+	}
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, err := s2.Get("a"); err != nil || string(v) != "1" {
+		t.Fatalf("Get(a) after truncate = %q, %v", v, err)
+	}
+	if _, err := s2.Get("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get(b) after truncate = %v, want ErrNotFound", err)
+	}
+}

@@ -94,6 +94,10 @@ const (
 	// opBatch is an atomic multi-op record: every op inside it replays, or
 	// (if the record is torn/corrupt at the tail) none of them do.
 	opBatch byte = 3
+	// opEpoch stamps a replication epoch into the log (see BumpEpoch). The
+	// payload is [opEpoch][epoch u64 le]; it mutates the store's epoch, not
+	// the key map.
+	opEpoch byte = 4
 
 	// headerSize is the fixed prefix of every record:
 	// payloadLen(4) + crc(4).
@@ -109,6 +113,13 @@ const (
 	// leftover file (crash mid-compact) is removed on Open.
 	compactSuffix = ".compact"
 )
+
+// epochKey is the sentinel Op key that carries an epoch stamp through the
+// shared commit/decode/apply plumbing. The NUL prefix keeps it out of every
+// legal user namespace ("model/", "score/", ...), and applyOps diverts it to
+// the epoch register instead of the key map, so an epoch never surfaces from
+// Get or Scan.
+const epochKey = "\x00epoch"
 
 // Op is one mutation inside an atomic batch (see Apply).
 type Op struct {
@@ -141,6 +152,11 @@ func putWaiter(w *waiter) { w.ops = nil; w.single[0] = Op{}; waiterPool.Put(w) }
 type Store struct {
 	mu   sync.RWMutex // guards data
 	data map[string][]byte
+
+	// epoch is the replication leadership epoch last seen in the log (0 =
+	// never stamped). Replay, local commits, and shipped pages all land here
+	// through the opEpoch record type.
+	epoch atomic.Uint64
 
 	closed atomic.Bool
 
@@ -347,6 +363,12 @@ func (s *Store) applyPayload(p []byte) error {
 			}
 		}
 		return nil
+	case opEpoch:
+		if len(p) != 1+8 {
+			return fmt.Errorf("%w: epoch record length %d", ErrCorrupt, len(p))
+		}
+		s.epoch.Store(binary.LittleEndian.Uint64(p[1:9]))
+		return nil
 	default:
 		return fmt.Errorf("%w: unknown op %d", ErrCorrupt, op)
 	}
@@ -398,6 +420,19 @@ func decodeBatch(p []byte) ([]Op, error) {
 // A single op uses the legacy record format so old logs and new logs share
 // one replay path; multiple ops use the atomic batch format.
 func appendRecordPage(page []byte, ops []Op) []byte {
+	if len(ops) == 1 && ops[0].Key == epochKey && !ops[0].Delete {
+		// Epoch stamp: a dedicated record type, so logs written before
+		// epochs existed replay unchanged and followers can't mistake the
+		// sentinel for data.
+		hdrAt := len(page)
+		page = append(page, make([]byte, headerSize)...)
+		payloadAt := len(page)
+		page = append(page, opEpoch)
+		page = append(page, ops[0].Value[:8]...)
+		binary.LittleEndian.PutUint32(page[hdrAt:hdrAt+4], uint32(len(page)-payloadAt))
+		binary.LittleEndian.PutUint32(page[hdrAt+4:hdrAt+8], crc32.ChecksumIEEE(page[payloadAt:]))
+		return page
+	}
 	var payloadLen int
 	if len(ops) == 1 {
 		payloadLen = 5 + len(ops[0].Key) + len(ops[0].Value)
@@ -476,6 +511,12 @@ func opsSize(ops []Op) int {
 func (s *Store) applyOps(ops []Op) {
 	for i := range ops {
 		op := &ops[i]
+		if op.Key == epochKey {
+			if len(op.Value) == 8 {
+				s.epoch.Store(binary.LittleEndian.Uint64(op.Value))
+			}
+			continue
+		}
 		if op.Delete {
 			delete(s.data, op.Key)
 			continue
@@ -674,6 +715,44 @@ func (s *Store) Apply(ops []Op) error {
 	return s.commit(w)
 }
 
+// Epoch returns the replication leadership epoch last committed to (or
+// replayed from, or shipped into) this store's log. Zero means the log has
+// never been stamped — a store that has only ever had one leader.
+func (s *Store) Epoch() uint64 { return s.epoch.Load() }
+
+// BumpEpoch durably stamps a new leadership epoch into the log. The epoch is
+// a monotonic fencing token for replication: a freshly promoted leader bumps
+// it as its first committed record, so the byte offset of the stamp marks
+// exactly where histories may begin to diverge. The stamp rides the log as
+// an ordinary record — group-committed, CRC-checked, shipped to followers by
+// ReadLogRange, replayed on Open — so every node that reaches that offset
+// learns the leadership change without any side channel. Epochs must grow:
+// a stamp at or below the current epoch is rejected.
+func (s *Store) BumpEpoch(epoch uint64) error {
+	if s.closed.Load() {
+		return ErrClosed
+	}
+	if cur := s.epoch.Load(); epoch <= cur {
+		return fmt.Errorf("kvstore: epoch %d not beyond current epoch %d", epoch, cur)
+	}
+	var v [8]byte
+	binary.LittleEndian.PutUint64(v[:], epoch)
+	w := getWaiter()
+	w.single[0] = Op{Key: epochKey, Value: v[:]}
+	w.ops = w.single[:1]
+	return s.commit(w)
+}
+
+// SetSync flips per-commit fsync on a live store. Replicas run with
+// Sync:false (a crashed replica re-ships from its own offset, so it never
+// needs fsync-gated acks of its own); promotion to leader flips it back on
+// so acked writes regain the durability contract.
+func (s *Store) SetSync(on bool) {
+	s.fileMu.Lock()
+	s.sync = on
+	s.fileMu.Unlock()
+}
+
 // Get returns the value stored under key, or ErrNotFound.
 func (s *Store) Get(key string) ([]byte, error) {
 	mOpGet.Inc()
@@ -813,6 +892,19 @@ func (s *Store) Compact() error {
 	sort.Strings(keys)
 	var newSize int64
 	var page []byte
+	// Re-stamp the current epoch first: the rewrite drops every historical
+	// record, and the epoch must survive reopen. (Replicated leaders must
+	// not Compact at all — see repl.go — but the epoch of a store that was
+	// once promoted and later runs standalone still has to persist.)
+	if e := s.epoch.Load(); e != 0 {
+		var v [8]byte
+		binary.LittleEndian.PutUint64(v[:], e)
+		page = appendRecordPage(page[:0], []Op{{Key: epochKey, Value: v[:]}})
+		if _, err := tmp.Write(page); err != nil {
+			return abort(fmt.Errorf("kvstore: compact write: %w", err))
+		}
+		newSize += int64(len(page))
+	}
 	for _, k := range keys {
 		page = appendRecordPage(page[:0], []Op{{Key: k, Value: snap[k]}})
 		if _, err := tmp.Write(page); err != nil {

@@ -1,0 +1,110 @@
+package kvstore
+
+// Offline log-file helpers for cluster failover. Both operate on a log file
+// directly, with no open Store: promotion drains a dead leader's log after
+// its store closed, and a deposed leader truncates its tail before its store
+// reopens.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"modellake/internal/fault"
+)
+
+// ReadLogFile returns a page of CRC-valid whole records from the log file at
+// path, starting at byte offset from and reading roughly maxBytes. It is
+// ReadLogRange for a store that is no longer open — the leader half of a
+// promotion drain. Scanning stops (without error) at the first torn or
+// corrupt record, mirroring replay's torn-tail tolerance, so successive
+// calls walk exactly the records a reopened store would recover. An empty
+// page means no complete record exists at from: the reader is caught up.
+func ReadLogFile(fsys *fault.FS, path string, from int64, maxBytes int) ([]byte, error) {
+	if from < 0 {
+		return nil, fmt.Errorf("%w: offset %d", ErrOffsetOutOfRange, from)
+	}
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open log: %w", err)
+	}
+	defer f.Close()
+	var page []byte
+	off := from
+	hdr := make([]byte, headerSize)
+	for len(page) < maxBytes {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			break // EOF or torn header: end of recoverable records
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:8])
+		if payloadLen > maxRecordSize {
+			break
+		}
+		rec := make([]byte, headerSize+int(payloadLen))
+		copy(rec, hdr)
+		if _, err := f.ReadAt(rec[headerSize:], off+headerSize); err != nil {
+			break // torn payload
+		}
+		if crc32.ChecksumIEEE(rec[headerSize:]) != wantCRC {
+			break // torn or corrupt tail record
+		}
+		page = append(page, rec...)
+		off += int64(len(rec))
+	}
+	return page, nil
+}
+
+// TruncateLogAt truncates the log file at path to exactly off bytes,
+// refusing unless off lands on a record boundary. It is the rejoin half of
+// leader promotion: a deposed leader discards everything past the offset at
+// which the new epoch began before reopening as a follower, so its log stays
+// a byte prefix of the new leader's instead of forking. A file already at or
+// below off is left alone — a shorter log only means the node was behind,
+// and shipping fills the gap.
+func TruncateLogAt(fsys *fault.FS, path string, off int64) error {
+	if off < 0 {
+		return fmt.Errorf("kvstore: truncate log to negative offset %d", off)
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: open log: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return fmt.Errorf("kvstore: stat log: %w", err)
+	}
+	if fi.Size() <= off {
+		return nil
+	}
+	// Walk record boundaries from the head to prove off is one; cutting
+	// mid-record would manufacture the torn tail this function exists to
+	// remove.
+	hdr := make([]byte, headerSize)
+	var pos int64
+	for pos < off {
+		if _, err := f.ReadAt(hdr, pos); err != nil {
+			return fmt.Errorf("kvstore: scan log at offset %d: %w", pos, err)
+		}
+		payloadLen := binary.LittleEndian.Uint32(hdr[0:4])
+		if payloadLen > maxRecordSize {
+			return fmt.Errorf("%w: record length %d at offset %d", ErrCorrupt, payloadLen, pos)
+		}
+		pos += headerSize + int64(payloadLen)
+	}
+	if pos != off {
+		return fmt.Errorf("kvstore: offset %d is not a record boundary (records end at %d)", off, pos)
+	}
+	if err := f.Truncate(off); err != nil {
+		return fmt.Errorf("kvstore: truncate log: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("kvstore: sync truncated log: %w", err)
+	}
+	return nil
+}

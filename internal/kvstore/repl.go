@@ -186,6 +186,14 @@ func decodePayloadOps(p []byte) ([]Op, error) {
 		return []Op{{Key: key, Value: p[5+keyLen:]}}, nil
 	case opBatch:
 		return decodeBatch(p)
+	case opEpoch:
+		if len(p) != 1+8 {
+			return nil, fmt.Errorf("%w: epoch record length %d", ErrCorrupt, len(p))
+		}
+		// The sentinel op round-trips the stamp through ApplyPage's applyOps,
+		// which diverts it to the epoch register; index layers above ignore
+		// the NUL-prefixed key.
+		return []Op{{Key: epochKey, Value: p[1:9]}}, nil
 	default:
 		return nil, fmt.Errorf("%w: unknown op %d", ErrCorrupt, p[0])
 	}

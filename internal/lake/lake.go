@@ -856,6 +856,19 @@ func (l *Lake) Ingest(m *model.Model, c *card.Card, opts registry.RegisterOption
 	return p.pend.Rec, nil
 }
 
+// IngestContext is Ingest with a context boundary check: a request whose
+// caller has already gone away (canceled, deadline expired) is refused
+// before any durable work starts, instead of committing a write nobody will
+// see acknowledged. The ingest itself is not interruptible mid-commit — an
+// atomic batch either fully lands or doesn't — so the check is at the
+// boundary, mirroring the cluster write path.
+func (l *Lake) IngestContext(ctx context.Context, m *model.Model, c *card.Card, opts registry.RegisterOptions) (*registry.Record, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return l.Ingest(m, c, opts)
+}
+
 // provenanceOps builds the journal writes for a model's provenance — the
 // model entity, its creating activity, and declared inputs — without
 // committing them, so they ride in the registration's atomic batch. pending
@@ -1049,6 +1062,21 @@ func (l *Lake) IngestAll(items []IngestItem, parallelism int) ([]*registry.Recor
 	flush(chunk, ops)
 	l.qcache.invalidate()
 	return recs, errs
+}
+
+// IngestAllContext is IngestAll with the same boundary context check as
+// IngestContext: a dead context fails every item up front with the context
+// error rather than committing a batch for a caller that has gone away.
+func (l *Lake) IngestAllContext(ctx context.Context, items []IngestItem, parallelism int) ([]*registry.Record, []error) {
+	if err := ctx.Err(); err != nil {
+		recs := make([]*registry.Record, len(items))
+		errs := make([]error, len(items))
+		for i := range errs {
+			errs[i] = err
+		}
+		return recs, errs
+	}
+	return l.IngestAll(items, parallelism)
 }
 
 // Reindex rebuilds both content indexes (and the task-search roster) from

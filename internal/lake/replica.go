@@ -17,6 +17,7 @@ package lake
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"time"
 
@@ -113,6 +114,36 @@ func (l *Lake) applyReplicatedOp(op *kvstore.Op) {
 		l.graph = nil            // population changed: cached version graph is stale
 		l.mu.Unlock()
 	}
+}
+
+// WALEpoch returns the replication leadership epoch last seen in the lake's
+// metadata log — zero until some leader of this log's history was promoted.
+func (l *Lake) WALEpoch() uint64 { return l.kv.Epoch() }
+
+// BumpWALEpoch durably stamps a new leadership epoch into the metadata log
+// (see kvstore.BumpEpoch). A promoted leader calls it immediately after
+// Promote, so the stamp's byte offset marks the exact point up to which a
+// deposed leader's history is authoritative.
+func (l *Lake) BumpWALEpoch(epoch uint64) error { return l.kv.BumpEpoch(epoch) }
+
+// Promote flips a Follower replica into a write-accepting leader after the
+// cluster layer has fully caught it up with the dead leader's log. Two
+// things distinguish a follower from a leader inside the lake itself, and
+// both flip here: per-commit fsync (replicas run Sync:false and re-ship
+// after a crash; a leader's acks must be durable, so sync restores the
+// template's setting) and the benchmark score cache (redirected to private
+// memory on a follower so the log stays a byte prefix of its leader's;
+// re-pointed at the durable store now that this log IS the authoritative
+// history). Everything else — indexes, registry, blob store — is already
+// identical to the dead leader's state by the catch-up invariant.
+func (l *Lake) Promote(sync bool) error {
+	if !l.cfg.Follower {
+		return errors.New("lake: Promote called on a lake that is not a follower")
+	}
+	l.cfg.Follower = false
+	l.kv.SetSync(sync)
+	l.runner.SetStore(l.kv)
+	return nil
 }
 
 // EmbedModelQuery embeds lake model id into the named content space — the

@@ -123,3 +123,64 @@ func TestReplicaServesReadsViaWALShipping(t *testing.T) {
 		t.Fatalf("after catch-up: leader %d replica %d", lc, rc)
 	}
 }
+
+// TestPromoteFlipsFollowerToLeader covers the lake half of cluster failover:
+// a fully caught-up follower, once promoted, accepts writes of its own,
+// stamps the new epoch durably into its log, and refuses double promotion.
+func TestPromoteFlipsFollowerToLeader(t *testing.T) {
+	dir := t.TempDir()
+	leaderDir := filepath.Join(dir, "leader")
+	leader, err := Open(Config{Dir: leaderDir, Seed: 1, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica, err := Open(Config{
+		Dir:      filepath.Join(dir, "replica"),
+		BlobDir:  filepath.Join(leaderDir, "blobs"),
+		Seed:     1,
+		Follower: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	// Promote on a non-follower must refuse: only a replica may flip.
+	if err := leader.Promote(true); err == nil {
+		t.Fatal("Promote on a leader succeeded, want error")
+	}
+
+	pop := population(t, 79)
+	ids := fill(t, leader, pop)
+	shipAll(t, leader, replica)
+	leader.Close()
+
+	if err := replica.Promote(true); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if err := replica.Promote(true); err == nil {
+		t.Fatal("second Promote succeeded, want error")
+	}
+	if err := replica.BumpWALEpoch(1); err != nil {
+		t.Fatalf("BumpWALEpoch: %v", err)
+	}
+	if got := replica.WALEpoch(); got != 1 {
+		t.Fatalf("WALEpoch = %d, want 1", got)
+	}
+
+	// The promoted lake takes writes — including the benchmark score cache,
+	// which a follower keeps out of its log but a leader persists.
+	m := population(t, 80).Members[0]
+	rec, err := replica.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-p", Version: "1"})
+	if err != nil {
+		t.Fatalf("ingest on promoted lake: %v", err)
+	}
+	if _, err := replica.Record(rec.ID); err != nil {
+		t.Fatalf("read-back on promoted lake: %v", err)
+	}
+	for _, id := range ids {
+		if _, err := replica.Record(id); err != nil {
+			t.Fatalf("pre-promotion record %s lost: %v", id, err)
+		}
+	}
+}

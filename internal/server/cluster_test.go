@@ -148,10 +148,10 @@ func TestServerFrontsCluster(t *testing.T) {
 		}
 	}
 
-	// Kill a leader: reads fail over (same HTTP responses), the status
-	// endpoint reflects the outage, and a write routed to the dead shard
-	// comes back 503 ErrLeaderDown, not a 500. Flush first so the replica
-	// serves the full replicated state.
+	// First kill: the shard has a caught-up replica, so the kill triggers
+	// automatic promotion. Reads answer the same, the status endpoint shows
+	// the replica leading under a bumped epoch, and writes keep succeeding
+	// without any restart. Flush first so the replica is caught up.
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := c.FlushReplication(ctx); err != nil {
@@ -160,8 +160,29 @@ func TestServerFrontsCluster(t *testing.T) {
 	target := c.OwnerOf(ids[0])
 	c.KillShardLeader(target)
 	if code := getJSON(t, ts.URL+"/v1/models/"+ids[0], &rec); code != http.StatusOK || rec.ID != ids[0] {
-		t.Fatalf("failover read over HTTP = %d %+v", code, rec)
+		t.Fatalf("read after promotion over HTTP = %d %+v", code, rec)
 	}
+	if code := getJSON(t, ts.URL+"/v1/cluster/status", &status); code != http.StatusOK {
+		t.Fatalf("/v1/cluster/status after promotion = %d", code)
+	}
+	for _, st := range status.Shards {
+		if st.Shard != target {
+			continue
+		}
+		if !st.LeaderUp || st.Leader != "replica0" || st.Epoch != 1 {
+			t.Fatalf("shard %d status after kill = %+v, want promoted leader replica0 at epoch 1", target, st)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if code, body := postIngest(t, ts.URL, pop, i); code != http.StatusCreated {
+			t.Fatalf("ingest after promotion = %d (%s), want 201 — the promoted leader must accept writes", code, body)
+		}
+	}
+
+	// Second kill: the promoted leader dies too, and with its slot vacant
+	// there is no candidate left. Now the outage is real — writes routed to
+	// the shard surface as 503 ErrLeaderDown, not a 500.
+	c.KillShardLeader(target)
 	if code := getJSON(t, ts.URL+"/v1/cluster/status", &status); code != http.StatusOK {
 		t.Fatalf("/v1/cluster/status during outage = %d", code)
 	}
@@ -175,7 +196,7 @@ func TestServerFrontsCluster(t *testing.T) {
 		t.Fatalf("cluster status does not show shard %d leader down: %+v", target, status.Shards)
 	}
 	saw503 := false
-	for i := 0; i < 8 && !saw503; i++ {
+	for i := 4; i < 12 && !saw503; i++ {
 		code, body := postIngest(t, ts.URL, pop, i)
 		switch code {
 		case http.StatusCreated:
@@ -192,6 +213,9 @@ func TestServerFrontsCluster(t *testing.T) {
 		t.Fatal("no ingest was rejected with 503 while a shard leader was down")
 	}
 
+	// Restart returns both dead nodes: the promoted leader (killed at the
+	// current epoch) reopens as leader, and the original leader — deposed by
+	// the promotion — rejoins as a replica with its tail truncated.
 	if err := c.RestartShardLeader(target); err != nil {
 		t.Fatal(err)
 	}
@@ -201,6 +225,18 @@ func TestServerFrontsCluster(t *testing.T) {
 	for _, st := range status.Shards {
 		if !st.LeaderUp {
 			t.Fatalf("shard %d leader still down after restart", st.Shard)
+		}
+		if st.Shard == target {
+			if st.Leader != "replica0" {
+				t.Fatalf("shard %d leader after restart = %q, want the rightful leader replica0", target, st.Leader)
+			}
+			names := make([]string, len(st.Replicas))
+			for i, r := range st.Replicas {
+				names[i] = r.Name
+			}
+			if len(names) != 1 || names[0] != "leader" {
+				t.Fatalf("shard %d replicas after rejoin = %v, want the deposed node [leader]", target, names)
+			}
 		}
 	}
 }

@@ -40,8 +40,8 @@ type LakeAPI interface {
 	QueryContext(ctx context.Context, q string) (*mlql.Result, error)
 	VersionGraphContext(ctx context.Context) (*version.Graph, error)
 
-	Ingest(m *model.Model, c *card.Card, opts registry.RegisterOptions) (*registry.Record, error)
-	IngestAll(items []lake.IngestItem, parallelism int) ([]*registry.Record, []error)
+	IngestContext(ctx context.Context, m *model.Model, c *card.Card, opts registry.RegisterOptions) (*registry.Record, error)
+	IngestAllContext(ctx context.Context, items []lake.IngestItem, parallelism int) ([]*registry.Record, []error)
 }
 
 // Compile-time conformance: the two deployment shapes the server fronts.

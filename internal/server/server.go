@@ -588,7 +588,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m := &model.Model{Name: req.Name, Net: net, Hist: req.History}
-	rec, err := s.lake().Ingest(m, req.Card, registry.RegisterOptions{
+	rec, err := s.lake().IngestContext(r.Context(), m, req.Card, registry.RegisterOptions{
 		Name: req.Name, Version: req.Version, Tags: req.Tags,
 	})
 	if err != nil {
@@ -663,10 +663,17 @@ func (s *Server) handleIngestBatch(w http.ResponseWriter, r *http.Request) {
 			pos = append(pos, i)
 		}
 	}
-	recs, errs := s.lake().IngestAll(valid, req.Parallelism)
+	recs, errs := s.lake().IngestAllContext(r.Context(), valid, req.Parallelism)
 	created := 0
 	for j, i := range pos {
 		if errs[j] != nil {
+			// A batch rejected because the request's own context died is a
+			// timeout for the whole request, not a per-item failure: route
+			// it through writeErr so it maps to 504/408.
+			if errors.Is(errs[j], context.DeadlineExceeded) || errors.Is(errs[j], context.Canceled) {
+				s.writeErr(w, errs[j])
+				return
+			}
 			results[i].Error = errs[j].Error()
 			continue
 		}

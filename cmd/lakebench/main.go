@@ -35,6 +35,7 @@ func main() {
 	writeJSON := flag.String("write-json", "BENCH_write.json", "where E14 writes its JSON summary ('' = skip)")
 	clusterJSON := flag.String("cluster-json", "BENCH_cluster.json", "where E15 writes its JSON summary ('' = skip)")
 	scaleJSON := flag.String("scale-json", "BENCH_scale.json", "where E16 writes its JSON summary ('' = skip)")
+	keywordJSON := flag.String("keyword-json", "BENCH_keyword.json", "where E17 writes its JSON summary ('' = skip)")
 	metricsJSON := flag.String("metrics-json", "", "where to write a post-run metrics snapshot ('' = skip)")
 	flag.Parse()
 
@@ -106,6 +107,18 @@ func main() {
 			if err == nil && res != nil && *scaleJSON != "" {
 				if werr := writeBenchJSON(*scaleJSON, res); werr != nil {
 					fmt.Fprintf(os.Stderr, "E16: writing %s: %v\n", *scaleJSON, werr)
+					failed++
+				}
+			}
+		} else if ex.ID == "E17" {
+			// E17 (the keyword benchmark: block-max pruned postings segments
+			// vs the exhaustive map scorer) captures its JSON summary for the
+			// archive (-keyword-json).
+			var res *experiments.KeywordBenchResult
+			t, res, err = experiments.RunE17Keyword(*seed, nil, 0)
+			if err == nil && res != nil && *keywordJSON != "" {
+				if werr := writeBenchJSON(*keywordJSON, res); werr != nil {
+					fmt.Fprintf(os.Stderr, "E17: writing %s: %v\n", *keywordJSON, werr)
 					failed++
 				}
 			}

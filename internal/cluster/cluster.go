@@ -454,7 +454,7 @@ func (c *Cluster) SearchKeywordContext(ctx context.Context, query string, k int)
 	var all []search.Hit
 	for _, s := range c.shards {
 		hits, err := readFrom(ctx, s, c.pol, func(l *lake.Lake) ([]search.Hit, error) {
-			return l.SearchKeywordWithStats(query, global, k), nil
+			return l.SearchKeywordWithStats(query, global, k)
 		})
 		if err != nil {
 			return nil, err

@@ -41,163 +41,184 @@ func TestClusterSearchBitwiseEqualsSingleNode(t *testing.T) {
 	if testing.Short() {
 		seeds = seeds[:1]
 	}
+	// The cluster runs once with the default in-memory map postings and once
+	// with segment-backed disk-resident postings (threshold 4 so merges
+	// actually happen at test sizes); the single-node reference stays on the
+	// map scorer both times, so the second variant pins that the two-phase
+	// keyword path through block-max pruned segments — including failover
+	// reads and post-promotion writes — is bitwise-identical to exhaustive
+	// single-node scoring.
+	variants := []struct {
+		name  string
+		tweak func(*lake.Config)
+	}{
+		{"map-postings", func(*lake.Config) {}},
+		{"segment-postings", func(c *lake.Config) {
+			c.DiskResidentPostings = true
+			c.KeywordMergeThreshold = 4
+		}},
+	}
 	for _, seed := range seeds {
-		seed := seed
-		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
-			pop := testPopulation(t, seed, 3, 3)
+		for _, v := range variants {
+			seed, v := seed, v
+			t.Run(fmt.Sprintf("seed-%d/%s", seed, v.name), func(t *testing.T) {
+				pop := testPopulation(t, seed, 3, 3)
 
-			single, err := lake.Open(lake.Config{Seed: 7})
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer single.Close()
-			sids := fillLake(t, single, pop)
-
-			c, err := Open(Config{
-				Dir:    t.TempDir(),
-				Shards: 3,
-				Lake:   lake.Config{Sync: true, Seed: 7},
-			})
-			if err != nil {
-				t.Fatal(err)
-			}
-			defer c.Close()
-			cids := fillCluster(t, c, pop)
-
-			// Serial ingest of the same stream mints identical IDs, which
-			// the bitwise search comparisons below depend on.
-			for i := range sids {
-				if sids[i] != cids[i] {
-					t.Fatalf("member %d: single ID %s, cluster ID %s", i, sids[i], cids[i])
+				single, err := lake.Open(lake.Config{Seed: 7})
+				if err != nil {
+					t.Fatal(err)
 				}
-			}
-			if single.Count() != c.Count() {
-				t.Fatalf("counts differ: single %d cluster %d", single.Count(), c.Count())
-			}
+				defer single.Close()
+				sids := fillLake(t, single, pop)
 
-			compare := func(phase string) {
-				t.Helper()
-				for _, q := range []string{"legal statute court", "vision transformer", "summarization fine tuned"} {
-					for _, k := range []int{1, 4, len(sids) + 3} {
-						label := fmt.Sprintf("%s keyword %q k=%d", phase, q, k)
-						ch, err := c.SearchKeywordContext(context.Background(), q, k)
+				clusterLake := lake.Config{Sync: true, Seed: 7}
+				v.tweak(&clusterLake)
+				c, err := Open(Config{
+					Dir:    t.TempDir(),
+					Shards: 3,
+					Lake:   clusterLake,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer c.Close()
+				cids := fillCluster(t, c, pop)
+
+				// Serial ingest of the same stream mints identical IDs, which
+				// the bitwise search comparisons below depend on.
+				for i := range sids {
+					if sids[i] != cids[i] {
+						t.Fatalf("member %d: single ID %s, cluster ID %s", i, sids[i], cids[i])
+					}
+				}
+				if single.Count() != c.Count() {
+					t.Fatalf("counts differ: single %d cluster %d", single.Count(), c.Count())
+				}
+
+				compare := func(phase string) {
+					t.Helper()
+					for _, q := range []string{"legal statute court", "vision transformer", "summarization fine tuned"} {
+						for _, k := range []int{1, 4, len(sids) + 3} {
+							label := fmt.Sprintf("%s keyword %q k=%d", phase, q, k)
+							ch, err := c.SearchKeywordContext(context.Background(), q, k)
+							if err != nil {
+								t.Fatalf("%s: %v", label, err)
+							}
+							sameHits(t, label, single.SearchKeyword(q, k), ch)
+						}
+					}
+					for _, space := range []string{"behavior", "weights"} {
+						for i, id := range sids {
+							if i%3 != 0 { // every third model as query keeps runtime sane
+								continue
+							}
+							for _, k := range []int{3, len(sids)} {
+								label := fmt.Sprintf("%s vector %s id=%s k=%d", phase, space, id, k)
+								sh, err := single.SearchByModel(id, space, k)
+								if err != nil {
+									t.Fatalf("%s single: %v", label, err)
+								}
+								chits, err := c.SearchByModel(id, space, k)
+								if err != nil {
+									t.Fatalf("%s cluster: %v", label, err)
+								}
+								sameHits(t, label, sh, chits)
+							}
+						}
+					}
+					var bench string
+					for _, m := range pop.Members {
+						if m.Truth.Depth == 0 {
+							bench = "bench-" + m.Truth.Domain
+							break
+						}
+					}
+					queries := []string{
+						fmt.Sprintf("FIND MODELS WHERE TRAINED ON DATASET '%s'", pop.Members[0].Truth.DatasetID),
+						fmt.Sprintf("FIND MODELS WHERE TRAINED ON VERSIONS OF DATASET '%s'", pop.Members[0].Truth.DatasetID),
+						fmt.Sprintf("FIND MODELS WHERE OUTPERFORMS MODEL '%s' ON BENCHMARK '%s'", sids[0], bench),
+						fmt.Sprintf("FIND MODELS RANK BY SIMILARITY TO MODEL '%s' USING BEHAVIOR LIMIT 5", sids[1]),
+						fmt.Sprintf("FIND MODELS RANK BY SCORE ON BENCHMARK '%s' LIMIT 6", bench),
+						"FIND MODELS RANK BY TEXT 'legal summarization'",
+						"FIND MODELS WHERE DOMAIN = 'legal' LIMIT 10",
+					}
+					for _, q := range queries {
+						label := phase + " mlql " + q
+						sres, err := single.Query(q)
 						if err != nil {
-							t.Fatalf("%s: %v", label, err)
+							t.Fatalf("%s single: %v", label, err)
 						}
-						sameHits(t, label, single.SearchKeyword(q, k), ch)
-					}
-				}
-				for _, space := range []string{"behavior", "weights"} {
-					for i, id := range sids {
-						if i%3 != 0 { // every third model as query keeps runtime sane
-							continue
+						cres, err := c.Query(q)
+						if err != nil {
+							t.Fatalf("%s cluster: %v", label, err)
 						}
-						for _, k := range []int{3, len(sids)} {
-							label := fmt.Sprintf("%s vector %s id=%s k=%d", phase, space, id, k)
-							sh, err := single.SearchByModel(id, space, k)
-							if err != nil {
-								t.Fatalf("%s single: %v", label, err)
+						if len(sres.Hits) != len(cres.Hits) {
+							t.Fatalf("%s: single %d hits, cluster %d", label, len(sres.Hits), len(cres.Hits))
+						}
+						for i := range sres.Hits {
+							if sres.Hits[i].ID != cres.Hits[i].ID ||
+								math.Float64bits(sres.Hits[i].Score) != math.Float64bits(cres.Hits[i].Score) {
+								t.Fatalf("%s: rank %d differs: single %+v cluster %+v",
+									label, i, sres.Hits[i], cres.Hits[i])
 							}
-							chits, err := c.SearchByModel(id, space, k)
-							if err != nil {
-								t.Fatalf("%s cluster: %v", label, err)
-							}
-							sameHits(t, label, sh, chits)
 						}
 					}
 				}
-				var bench string
-				for _, m := range pop.Members {
-					if m.Truth.Depth == 0 {
-						bench = "bench-" + m.Truth.Domain
-						break
-					}
+
+				compare("leaders-up")
+
+				// The same comparisons must hold after a shard fails over to its
+				// replica: replicate everything, kill shard 0's leader — which
+				// promotes the caught-up replica to leader — and re-run. This is
+				// the "reads across kill → promote are bitwise-identical to
+				// single-node" acceptance gate.
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := c.FlushReplication(ctx); err != nil {
+					t.Fatal(err)
 				}
-				queries := []string{
-					fmt.Sprintf("FIND MODELS WHERE TRAINED ON DATASET '%s'", pop.Members[0].Truth.DatasetID),
-					fmt.Sprintf("FIND MODELS WHERE TRAINED ON VERSIONS OF DATASET '%s'", pop.Members[0].Truth.DatasetID),
-					fmt.Sprintf("FIND MODELS WHERE OUTPERFORMS MODEL '%s' ON BENCHMARK '%s'", sids[0], bench),
-					fmt.Sprintf("FIND MODELS RANK BY SIMILARITY TO MODEL '%s' USING BEHAVIOR LIMIT 5", sids[1]),
-					fmt.Sprintf("FIND MODELS RANK BY SCORE ON BENCHMARK '%s' LIMIT 6", bench),
-					"FIND MODELS RANK BY TEXT 'legal summarization'",
-					"FIND MODELS WHERE DOMAIN = 'legal' LIMIT 10",
+				c.KillShardLeader(0)
+				if got := c.ShardEpoch(0); got != 1 {
+					t.Fatalf("shard 0 epoch after first kill = %d, want 1 (promotion)", got)
 				}
-				for _, q := range queries {
-					label := phase + " mlql " + q
-					sres, err := single.Query(q)
+				compare("promoted")
+
+				// Promotion must restore write availability, not just reads:
+				// ingest a fresh batch into both deployments — no restart in
+				// between — and re-verify equality with the promoted leader
+				// taking the writes.
+				post := testPopulation(t, seed+1000, 1, 1)
+				for _, m := range post.Members {
+					srec, err := single.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-post", Version: "1"})
 					if err != nil {
-						t.Fatalf("%s single: %v", label, err)
+						t.Fatalf("single post-promotion ingest: %v", err)
 					}
-					cres, err := c.Query(q)
+					crec, err := c.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-post", Version: "1"})
 					if err != nil {
-						t.Fatalf("%s cluster: %v", label, err)
+						t.Fatalf("cluster post-promotion ingest: %v", err)
 					}
-					if len(sres.Hits) != len(cres.Hits) {
-						t.Fatalf("%s: single %d hits, cluster %d", label, len(sres.Hits), len(cres.Hits))
-					}
-					for i := range sres.Hits {
-						if sres.Hits[i].ID != cres.Hits[i].ID ||
-							math.Float64bits(sres.Hits[i].Score) != math.Float64bits(cres.Hits[i].Score) {
-							t.Fatalf("%s: rank %d differs: single %+v cluster %+v",
-								label, i, sres.Hits[i], cres.Hits[i])
-						}
+					if srec.ID != crec.ID {
+						t.Fatalf("post-promotion IDs diverge: single %s cluster %s", srec.ID, crec.ID)
 					}
 				}
-			}
+				compare("promoted+writes")
 
-			compare("leaders-up")
-
-			// The same comparisons must hold after a shard fails over to its
-			// replica: replicate everything, kill shard 0's leader — which
-			// promotes the caught-up replica to leader — and re-run. This is
-			// the "reads across kill → promote are bitwise-identical to
-			// single-node" acceptance gate.
-			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-			defer cancel()
-			if err := c.FlushReplication(ctx); err != nil {
-				t.Fatal(err)
-			}
-			c.KillShardLeader(0)
-			if got := c.ShardEpoch(0); got != 1 {
-				t.Fatalf("shard 0 epoch after first kill = %d, want 1 (promotion)", got)
-			}
-			compare("promoted")
-
-			// Promotion must restore write availability, not just reads:
-			// ingest a fresh batch into both deployments — no restart in
-			// between — and re-verify equality with the promoted leader
-			// taking the writes.
-			post := testPopulation(t, seed+1000, 1, 1)
-			for _, m := range post.Members {
-				srec, err := single.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-post", Version: "1"})
-				if err != nil {
-					t.Fatalf("single post-promotion ingest: %v", err)
+				// Return the deposed leader (it rejoins as a replica, tail
+				// truncated at the promotion point), catch it up, then kill the
+				// promoted leader too: the rejoined node is promoted in turn
+				// (epoch 2) and must still serve identical answers.
+				if err := c.RestartShardLeader(0); err != nil {
+					t.Fatal(err)
 				}
-				crec, err := c.Ingest(m.Model, m.Card, registry.RegisterOptions{Name: m.Truth.Name + "-post", Version: "1"})
-				if err != nil {
-					t.Fatalf("cluster post-promotion ingest: %v", err)
+				if err := c.FlushReplication(ctx); err != nil {
+					t.Fatal(err)
 				}
-				if srec.ID != crec.ID {
-					t.Fatalf("post-promotion IDs diverge: single %s cluster %s", srec.ID, crec.ID)
+				c.KillShardLeader(0)
+				if got := c.ShardEpoch(0); got != 2 {
+					t.Fatalf("shard 0 epoch after second kill = %d, want 2 (re-promotion)", got)
 				}
-			}
-			compare("promoted+writes")
-
-			// Return the deposed leader (it rejoins as a replica, tail
-			// truncated at the promotion point), catch it up, then kill the
-			// promoted leader too: the rejoined node is promoted in turn
-			// (epoch 2) and must still serve identical answers.
-			if err := c.RestartShardLeader(0); err != nil {
-				t.Fatal(err)
-			}
-			if err := c.FlushReplication(ctx); err != nil {
-				t.Fatal(err)
-			}
-			c.KillShardLeader(0)
-			if got := c.ShardEpoch(0); got != 2 {
-				t.Fatalf("shard 0 epoch after second kill = %d, want 2 (re-promotion)", got)
-			}
-			compare("re-promoted")
-		})
+				compare("re-promoted")
+			})
+		}
 	}
 }

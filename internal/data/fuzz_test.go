@@ -1,0 +1,78 @@
+package data
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTokenize is the native fuzz harness for the shared tokenizer. Every
+// search modality (card keyword search, document embedding, MLQL text
+// predicates, the postings segments) keys off Tokenize, so its invariants
+// are load-bearing for bitwise result stability:
+//
+//   - never panics, for arbitrary (including invalid-UTF-8) input;
+//   - every token is non-empty, lower-case, and drawn from [a-z0-9] only —
+//     the alphabet the postings term dictionary sorts and delta-encodes;
+//   - idempotent: re-tokenizing the joined token stream yields the same
+//     tokens, so indexing a reconstructed document can never shift
+//     term boundaries;
+//   - case-insensitive: input case never changes the token stream.
+//
+// Additional seeds live in testdata/fuzz/FuzzTokenize. Run with
+//
+//	go test -run='^$' -fuzz=FuzzTokenize -fuzztime=30s ./internal/data
+func FuzzTokenize(f *testing.F) {
+	seeds := []string{
+		"",
+		"the quick brown fox",
+		"Legal Summarization-Model v2.1",
+		"  tabs\tand\nnewlines\r\n  ",
+		"ALLCAPS MiXeD lower",
+		"digits 007 42x7 0",
+		"punct!@#$%^&*()_+-=[]{};':\",./<>?",
+		"unicode: naïve café 模型 λάκκος Ωmega",
+		"emoji 🤖 and zero​width",
+		"\x80\xff invalid utf8 \xc3\x28",
+		strings.Repeat("a", 1000),
+		strings.Repeat("word boundary ", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		toks := Tokenize(input)
+		for i, tok := range toks {
+			if tok == "" {
+				t.Fatalf("token %d is empty for input %q", i, input)
+			}
+			for _, r := range tok {
+				if !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9') {
+					t.Fatalf("token %q contains %q outside [a-z0-9] for input %q", tok, r, input)
+				}
+			}
+		}
+		joined := strings.Join(toks, " ")
+		again := Tokenize(joined)
+		if len(again) != len(toks) {
+			t.Fatalf("not idempotent: %d tokens re-tokenize to %d for input %q", len(toks), len(again), input)
+		}
+		for i := range toks {
+			if again[i] != toks[i] {
+				t.Fatalf("not idempotent: token %d %q -> %q for input %q", i, toks[i], again[i], input)
+			}
+		}
+		if utf8.ValidString(input) {
+			upper := Tokenize(strings.ToUpper(input))
+			if len(upper) == len(toks) {
+				for i := range toks {
+					if upper[i] != toks[i] {
+						t.Fatalf("case-sensitive: token %d %q vs %q for input %q", i, toks[i], upper[i], input)
+					}
+				}
+			}
+			// Length may legitimately differ: ToUpper can map letters like
+			// 'ı' into ASCII range, creating tokens lower-case never had.
+		}
+	})
+}

@@ -53,6 +53,14 @@ type ScaleStream struct {
 	Under2GB      bool    `json:"under_2gb"`
 	ReopenNs      int64   `json:"reopen_ns"` // Open on the persisted lake (segment adoption)
 	SearchQPS     float64 `json:"search_qps"`
+	KeywordQPS    float64 `json:"keyword_qps"` // card search against disk-resident postings
+
+	// Per-tier index heap on the reopened lake, from the lake's own
+	// accounting: with disk-resident vectors AND postings, both search
+	// tiers should be small next to the metadata KV map.
+	VectorHeapBytes   int64 `json:"vector_heap_bytes"`
+	PostingsHeapBytes int64 `json:"postings_heap_bytes"`
+	KVHeapBytes       int64 `json:"kv_heap_bytes"`
 }
 
 // ScaleBenchResult is the machine-readable summary cmd/lakebench writes to
@@ -116,9 +124,12 @@ func RunE16Scale(seed uint64, sizes []int, queries, streamModels int) (*Table, *
 		return nil, nil, err
 	}
 	res.Stream = stream
+	const mib = 1 << 20
 	t.AddRow("stream+disk", fmt.Sprint(stream.Models), f2(stream.SearchQPS), "-", "-", "-",
-		fmt.Sprintf("peak heap %.0f MiB (under 2 GiB: %v)",
-			float64(stream.PeakHeapBytes)/(1<<20), stream.Under2GB),
+		fmt.Sprintf("peak heap %.0f MiB (under 2 GiB: %v); tiers vec %.1f / postings %.1f / kv %.1f MiB",
+			float64(stream.PeakHeapBytes)/mib, stream.Under2GB,
+			float64(stream.VectorHeapBytes)/mib, float64(stream.PostingsHeapBytes)/mib,
+			float64(stream.KVHeapBytes)/mib),
 		time.Duration(stream.ReopenNs).Round(time.Millisecond).String())
 	return t, res, nil
 }
@@ -253,7 +264,8 @@ func measureStreamedLake(seed uint64, models int) (ScaleStream, error) {
 		return s, err
 	}
 	defer os.RemoveAll(dir)
-	cfg := lake.Config{Dir: dir, Seed: seed, Quantize: true, DiskResidentVectors: true}
+	cfg := lake.Config{Dir: dir, Seed: seed, Quantize: true,
+		DiskResidentVectors: true, DiskResidentPostings: true}
 	lk, err := lake.Open(cfg)
 	if err != nil {
 		return s, err
@@ -335,5 +347,21 @@ func measureStreamedLake(seed uint64, models int) (ScaleStream, error) {
 	if len(sampleIDs) > 0 {
 		s.SearchQPS = float64(len(sampleIDs)) / time.Since(qStart).Seconds()
 	}
+
+	// Keyword reads against the adopted postings segments, then the tier
+	// breakdown (which also forces the keyword drain for any cards the
+	// segments didn't cover, so the report reflects a fully warm lake).
+	kwQueries := keywordQueries(seed, 64)
+	kwStart := time.Now()
+	for _, q := range kwQueries {
+		if _, err := lk.SearchKeywordContext(ctx, q, 10); err != nil {
+			return s, err
+		}
+	}
+	s.KeywordQPS = float64(len(kwQueries)) / time.Since(kwStart).Seconds()
+	tiers := lk.TierMemStats()
+	s.VectorHeapBytes = tiers.VectorBytes
+	s.PostingsHeapBytes = tiers.PostingsBytes
+	s.KVHeapBytes = tiers.KVBytes
 	return s, nil
 }

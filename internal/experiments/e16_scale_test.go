@@ -42,6 +42,12 @@ func TestE16Shape(t *testing.T) {
 	if st.ReopenNs <= 0 || st.SearchQPS <= 0 {
 		t.Fatalf("stream reopen/search did not run: %+v", st)
 	}
+	if st.KeywordQPS <= 0 {
+		t.Fatalf("stream keyword search did not run: %+v", st)
+	}
+	if st.VectorHeapBytes <= 0 || st.PostingsHeapBytes <= 0 || st.KVHeapBytes <= 0 {
+		t.Fatalf("tier breakdown missing: %+v", st)
+	}
 }
 
 // TestScaleSmoke100k is the full-scale acceptance gate: 100k vectors per

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+// TestE17Shape runs the keyword benchmark at a toy size and pins its
+// acceptance properties: the pruned and disk paths answer bitwise-identically
+// to the exhaustive map scorer, segments actually form (blocks get decoded),
+// and the segment paths report a smaller postings heap than the map tier.
+func TestE17Shape(t *testing.T) {
+	tab, res, err := RunE17Keyword(testSeed(), []int{2000}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // map, pruned, disk
+		t.Fatalf("rows = %d, want 3", len(tab.Rows))
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(res.Points))
+	}
+	byKind := map[string]KeywordPoint{}
+	for _, p := range res.Points {
+		byKind[p.Kind] = p
+		if !p.IdenticalTopK {
+			t.Fatalf("path %s diverged from the map scorer: %+v", p.Kind, p)
+		}
+		if p.QPS <= 0 || p.P50Ns <= 0 || p.P99Ns < p.P50Ns {
+			t.Fatalf("path %s reported implausible timings: %+v", p.Kind, p)
+		}
+		if p.PostingsHeapBytes <= 0 {
+			t.Fatalf("path %s reported no postings heap: %+v", p.Kind, p)
+		}
+	}
+	for _, kind := range []string{"pruned", "disk"} {
+		p := byKind[kind]
+		if p.BlocksScanned == 0 {
+			t.Fatalf("%s path never decoded a block; the segment tier did not engage: %+v", kind, p)
+		}
+		if p.PostingsHeapBytes >= byKind["map"].PostingsHeapBytes {
+			t.Fatalf("%s postings heap %d not below map tier's %d", kind,
+				p.PostingsHeapBytes, byKind["map"].PostingsHeapBytes)
+		}
+	}
+	if byKind["disk"].SegmentBytes <= 0 {
+		t.Fatalf("disk path reported no segment bytes: %+v", byKind["disk"])
+	}
+}
+
+// TestKeywordSmoke100k is the full-scale acceptance gate for the keyword
+// read path: at 100k documents the segment-backed scorers must answer
+// bitwise-identically to the map scorer while being at least 2x faster, and
+// disk residency must cut the postings tier's resident heap by at least 4x.
+// Minutes-scale, so it only runs when MODELLAKE_SCALE_SMOKE is set (the CI
+// bench job sets it; local runs opt in explicitly).
+func TestKeywordSmoke100k(t *testing.T) {
+	if os.Getenv("MODELLAKE_SCALE_SMOKE") == "" {
+		t.Skip("set MODELLAKE_SCALE_SMOKE=1 to run the 100k keyword smoke test")
+	}
+	_, res, err := RunE17Keyword(42, []int{100_000}, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKind := map[string]KeywordPoint{}
+	for _, p := range res.Points {
+		byKind[p.Kind] = p
+		if !p.IdenticalTopK {
+			t.Fatalf("path %s diverged at 100k: %+v", p.Kind, p)
+		}
+	}
+	mp, disk := byKind["map"], byKind["disk"]
+	if disk.QPS < 2*mp.QPS {
+		t.Fatalf("disk keyword QPS %.1f is under 2x the map scorer's %.1f", disk.QPS, mp.QPS)
+	}
+	if disk.PostingsHeapBytes*4 > mp.PostingsHeapBytes {
+		t.Fatalf("disk postings heap %d is not a 4x reduction from the map tier's %d",
+			disk.PostingsHeapBytes, mp.PostingsHeapBytes)
+	}
+}

@@ -96,6 +96,7 @@ func All() []Experiment {
 		{"E14", "write path: group commit and fast rehydrate", RunE14},
 		{"E15", "sharded cluster: scatter-gather and failover", RunE15},
 		{"E16", "atlas scale: quantized rescore and disk-resident vectors", RunE16},
+		{"E17", "keyword search: block-max pruned postings segments", RunE17},
 		{"F1", "viewpoint ablation (Figure 1)", RunF1},
 	}
 }

@@ -371,6 +371,53 @@ func (f *Flat) Len() int {
 	return len(f.ids)
 }
 
+// MemBytes estimates the heap retained by the index: ID strings, the
+// full-precision rows, norms, and (when quantized) the int8 tier. The same
+// 48-byte map-bucket and 16-byte string-header heuristics the keyword index
+// uses, so tier reports add up consistently.
+func (f *Flat) MemBytes() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	n := idSliceBytes(f.ids) + int64(len(f.data))*8 + int64(len(f.norms))*8
+	for id := range f.byID {
+		n += int64(len(id)) + memStrHeader + memMapEntry
+	}
+	return n + f.quant.memBytes()
+}
+
+// MemBytes estimates the heap retained by the graph: vectors, norms, ID
+// strings, and per-node link lists.
+func (h *HNSW) MemBytes() int64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	n := int64(len(h.vecData))*8 + int64(len(h.norms))*8
+	for _, node := range h.nodes {
+		n += int64(len(node.id)) + memStrHeader
+		for _, level := range node.links {
+			n += int64(len(level)) * 4
+		}
+	}
+	for id := range h.byID {
+		n += int64(len(id)) + memStrHeader + 8 + memMapEntry
+	}
+	return n
+}
+
+// memMapEntry/memStrHeader are the rough per-entry accounting heuristics
+// shared by every MemBytes estimator in the repo.
+const (
+	memMapEntry  = 48
+	memStrHeader = 16
+)
+
+func idSliceBytes(ids []string) int64 {
+	n := int64(len(ids)) * memStrHeader
+	for _, id := range ids {
+		n += int64(len(id))
+	}
+	return n
+}
+
 // HNSWConfig tunes the graph. Zero values select sensible defaults.
 type HNSWConfig struct {
 	M              int    // max links per node on upper layers (default 16)

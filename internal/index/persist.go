@@ -661,6 +661,20 @@ func (d *DiskFlat) Len() int {
 	return len(d.ids)
 }
 
+// MemBytes estimates the heap retained by the index: IDs, norms, the
+// quantized tier, and the full-precision tail — NOT the segment rows, which
+// stay on disk and are pread per rescore window. The gap between this and a
+// Flat of the same population is the point of disk residency.
+func (d *DiskFlat) MemBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	n := idSliceBytes(d.ids) + int64(len(d.norms))*8 + int64(len(d.tail))*8
+	for id := range d.byID {
+		n += int64(len(id)) + memStrHeader + memMapEntry
+	}
+	return n + d.quant.memBytes()
+}
+
 // Close releases the segment file handle. Searches after Close fail.
 func (d *DiskFlat) Close() error {
 	d.mu.Lock()

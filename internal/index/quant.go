@@ -73,6 +73,15 @@ func (t *quantTier) add(row []float64) {
 }
 
 // reserve pre-sizes the tier for n more rows of dimension dim.
+// memBytes estimates the heap retained by the quantized tier. Nil-safe, so
+// un-quantized indexes report zero without a branch at the call site.
+func (t *quantTier) memBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(len(t.codes)) + int64(len(t.mins))*8 + int64(len(t.scales))*8 + int64(len(t.sums))*4
+}
+
 func (t *quantTier) reserve(n, dim int) {
 	if cap(t.codes)-len(t.codes) < n*dim {
 		codes := make([]int8, len(t.codes), len(t.codes)+n*dim)

@@ -785,6 +785,19 @@ func (s *Store) Len() int {
 	return len(s.data)
 }
 
+// ApproxMemBytes estimates the heap retained by the live key/value map:
+// keys, values, and a rough 48-byte per-entry bucket overhead (the same
+// heuristic the search indexes use, so lake tier reports add up).
+func (s *Store) ApproxMemBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var n int64
+	for k, v := range s.data {
+		n += int64(len(k)) + 16 + int64(len(v)) + 24 + 48
+	}
+	return n
+}
+
 // Scan calls fn for every key with the given prefix, in sorted key order.
 // Returning false from fn stops the scan. The matching entries are
 // snapshotted under the lock first and fn runs lock-free, so a callback may

@@ -94,6 +94,19 @@ type Config struct {
 	// into the segment — the persisted vec records stay the durable source
 	// of truth, so a torn or stale segment is simply rebuilt.
 	DiskResidentVectors bool
+	// DiskResidentPostings moves the keyword index's compact postings
+	// segments onto disk (Dir/postings/kw-NN.seg): merges publish
+	// checksummed segment files and queries pread only the blocks the
+	// block-max scorer cannot prune, so a 100k+ lake no longer holds all
+	// BM25 postings on heap. Requires Dir. Answers are bitwise-identical
+	// to the in-RAM index; segments are derived state, verified against
+	// the current cards on reopen and rebuilt from them on any damage.
+	DiskResidentPostings bool
+	// KeywordMergeThreshold overrides how many documents a keyword shard's
+	// live map tier absorbs before merging into its compact segment. Zero
+	// means the default (search.DefaultKeywordMergeThreshold); negative
+	// disables merging, keeping the pure map-tier behaviour.
+	KeywordMergeThreshold int
 	// IngestParallelism bounds the embedding worker pool used by batch
 	// ingest, reindexing, and rehydration. Zero or negative means
 	// GOMAXPROCS. Single-model Ingest is unaffected.
@@ -182,6 +195,9 @@ func (c Config) validate() error {
 	if c.DiskResidentVectors && c.Dir == "" {
 		return errors.New("lake: DiskResidentVectors requires Dir")
 	}
+	if c.DiskResidentPostings && c.Dir == "" {
+		return errors.New("lake: DiskResidentPostings requires Dir")
+	}
 	return nil
 }
 
@@ -259,6 +275,11 @@ func Open(cfg Config) (*Lake, error) {
 	if cfg.Follower {
 		scoreKV = kvstore.OpenMemory()
 	}
+	kwCfg := search.KeywordConfig{MergeThreshold: cfg.KeywordMergeThreshold}
+	if cfg.DiskResidentPostings {
+		kwCfg.Dir = filepath.Join(cfg.Dir, "postings")
+		kwCfg.FS = cfg.FS
+	}
 	l := &Lake{
 		cfg:        cfg,
 		kv:         kv,
@@ -266,7 +287,7 @@ func Open(cfg Config) (*Lake, error) {
 		reg:        registry.New(kv, blobs),
 		prov:       provenance.NewJournal(kv),
 		runner:     benchmark.NewRunner(scoreKV),
-		keyword:    search.NewShardedKeywordIndex(0),
+		keyword:    search.NewShardedKeywordIndexConfig(kwCfg),
 		taskSearch: &search.TaskSearcher{},
 		modelCache: map[string]*model.Model{},
 		benchmarks: map[string]*benchmark.Benchmark{},
@@ -388,6 +409,21 @@ func (l *Lake) rehydrate() error {
 		}
 		return nil
 	}
+	// Adopt published keyword postings segments before queuing the keyword
+	// backlog: a segment whose covered documents all still match their
+	// current card text (by CRC) serves those documents straight from
+	// disk, and only the uncovered rest goes onto the lazy kwPending
+	// queue. A stale or damaged segment file is rejected whole and its
+	// documents rebuild from cards like any other reopen.
+	kwCovered := map[string]bool{}
+	if l.cfg.DiskResidentPostings {
+		for _, id := range l.keyword.AdoptSegments(func(docID string, crc uint64) bool {
+			c, err := l.reg.Card(docID)
+			return err == nil && search.TextCRC(c.Text()) == crc
+		}) {
+			kwCovered[id] = true
+		}
+	}
 	// One directory sweep answers every existence check: bulk-listing the
 	// blob store costs a few hundred syscalls where per-record Stat calls
 	// would cost one each. The snapshot is taken before hydration starts;
@@ -432,8 +468,10 @@ func (l *Lake) rehydrate() error {
 	var bIDs, wIDs []string
 	var bVecs, wVecs []tensor.Vector
 	for i, rec := range recs {
-		l.kwPending = append(l.kwPending, rec.ID)
-		l.kwReady = false
+		if !kwCovered[rec.ID] {
+			l.kwPending = append(l.kwPending, rec.ID)
+			l.kwReady = false
+		}
 		if res[i].err != nil {
 			return res[i].err
 		}
@@ -670,7 +708,10 @@ func (l *Lake) ensureKeyword() {
 	l.mu.Unlock()
 	for _, id := range pending {
 		if c, err := l.reg.Card(id); err == nil {
-			l.keyword.Add(id, c.Text())
+			// Drained documents are fresh to the index (adopted segments
+			// were excluded from the backlog), so Add's only failure mode
+			// — a disk demote during replace — cannot occur.
+			_ = l.keyword.Add(id, c.Text())
 		}
 	}
 }
@@ -696,7 +737,18 @@ func (l *Lake) Close() error {
 	l.mu.Lock()
 	l.closed = true
 	l.mu.Unlock()
-	err := l.kv.Close()
+	var err error
+	if l.cfg.DiskResidentPostings {
+		// Publish the keyword map tiers so the next Open adopts complete
+		// segments instead of re-tokenizing the corpus. Flush failures are
+		// not fatal to Close — segments are derived state and whatever
+		// did not publish simply rebuilds from cards.
+		err = l.keyword.Flush()
+	}
+	l.keyword.Close()
+	if cerr := l.kv.Close(); err == nil {
+		err = cerr
+	}
 	if cerr := l.behaviorCS.Close(); err == nil {
 		err = cerr
 	}
@@ -724,6 +776,29 @@ func (l *Lake) Ready() error {
 
 // Count returns the number of models in the lake.
 func (l *Lake) Count() int { return l.reg.Count() }
+
+// TierMemStats breaks the lake's index-resident heap down by storage tier.
+// All three fields use the same accounting heuristics (16-byte string
+// headers, 48-byte map buckets), so the numbers are comparable across tiers
+// and across lake configurations — a disk-resident lake's vector and
+// postings tiers shrink to their in-RAM metadata while KV stays put.
+type TierMemStats struct {
+	VectorBytes   int64 `json:"vector_bytes"`   // both content-space ANN indexes
+	PostingsBytes int64 `json:"postings_bytes"` // keyword index, map tier + segments
+	KVBytes       int64 `json:"kv_bytes"`       // metadata store's live key/value map
+}
+
+// TierMemStats reports the lake's current per-tier index memory. The keyword
+// tier is drained first so a freshly opened lake reports its real postings
+// footprint rather than the lazy-rehydrate queue's zero.
+func (l *Lake) TierMemStats() TierMemStats {
+	l.ensureKeyword()
+	return TierMemStats{
+		VectorBytes:   l.behaviorCS.MemBytes() + l.weightCS.MemBytes(),
+		PostingsBytes: l.keyword.MemBytes(),
+		KVBytes:       l.kv.ApproxMemBytes(),
+	}
+}
 
 // embedded holds the ID-independent per-model work a batch ingest can do
 // concurrently before any durable state is touched: the content-space
@@ -818,7 +893,9 @@ func (l *Lake) commitIngest(p *preparedIngest) {
 	if p.c != nil {
 		cc := p.c.Clone()
 		cc.ModelID = rec.ID
-		l.keyword.Add(rec.ID, cc.Text())
+		// A freshly minted ID is never segment-resident, so Add cannot
+		// need the (fallible) demote path.
+		_ = l.keyword.Add(rec.ID, cc.Text())
 	}
 	if p.bvec != nil {
 		if err := l.behaviorCS.AddVector(rec.ID, p.bvec); err == nil {
@@ -1159,7 +1236,9 @@ func (l *Lake) PutCard(id string, c *card.Card) error {
 	if err := l.reg.PutCard(id, c); err != nil {
 		return err
 	}
-	l.keyword.Add(id, c.Text())
+	if err := l.keyword.Add(id, c.Text()); err != nil {
+		return fmt.Errorf("lake: refresh keyword index: %w", err)
+	}
 	return nil
 }
 
@@ -1266,7 +1345,7 @@ func (l *Lake) SearchKeywordContext(ctx context.Context, query string, k int) ([
 		return nil, err
 	}
 	l.ensureKeyword()
-	return l.keyword.Search(query, k), nil
+	return l.keyword.Search(query, k)
 }
 
 // contentSearcher maps an embedding-space name to its searcher.
@@ -1406,7 +1485,11 @@ func (l *Lake) SearchHybrid(query string, queryModelID string, k int) ([]search.
 	var rankings [][]search.Hit
 	if query != "" {
 		l.ensureKeyword()
-		rankings = append(rankings, l.keyword.Search(query, k*4))
+		kw, err := l.keyword.Search(query, k*4)
+		if err != nil {
+			return nil, err
+		}
+		rankings = append(rankings, kw)
 	}
 	if queryModelID != "" {
 		h, err := l.Model(queryModelID)

@@ -101,11 +101,11 @@ func (l *Lake) applyReplicatedOp(op *kvstore.Op) {
 	case strings.HasPrefix(op.Key, "card/"):
 		id := op.Key[len("card/"):]
 		if op.Delete {
-			l.keyword.Remove(id)
+			_ = l.keyword.Remove(id)
 			return
 		}
 		if c, err := l.reg.Card(id); err == nil {
-			l.keyword.Add(id, c.Text())
+			_ = l.keyword.Add(id, c.Text())
 		}
 	case strings.HasPrefix(op.Key, "model/"):
 		id := op.Key[len("model/"):]
@@ -198,8 +198,9 @@ func (l *Lake) KeywordStatsFor(tokens []string) search.KeywordStats {
 }
 
 // SearchKeywordWithStats ranks this lake's documents under cluster-global
-// BM25 statistics — phase two of an exact cluster keyword search.
-func (l *Lake) SearchKeywordWithStats(query string, g search.KeywordStats, k int) []search.Hit {
+// BM25 statistics — phase two of an exact cluster keyword search. The only
+// error source is a failed block read on a disk-resident postings segment.
+func (l *Lake) SearchKeywordWithStats(query string, g search.KeywordStats, k int) ([]search.Hit, error) {
 	l.ensureKeyword()
 	return l.keyword.SearchWithStats(query, g, k)
 }

@@ -34,6 +34,15 @@ func NewContentSearcher(e embedding.Embedder, idx index.Index) *ContentSearcher 
 // EmbedderName reports the underlying embedding space.
 func (s *ContentSearcher) EmbedderName() string { return s.embedder.Name() }
 
+// MemBytes estimates the heap retained by the underlying vector index, when
+// the index can report it (every built-in index can; zero otherwise).
+func (s *ContentSearcher) MemBytes() int64 {
+	if mr, ok := s.idx.(interface{ MemBytes() int64 }); ok {
+		return mr.MemBytes()
+	}
+	return 0
+}
+
 // reserve claims id before the (expensive) embedding runs, so a concurrent
 // add of the same ID fails fast instead of embedding twice and losing the
 // race at indexing time.

@@ -13,7 +13,6 @@
 package search
 
 import (
-	"math"
 	"sort"
 	"sync"
 
@@ -99,6 +98,12 @@ func (ki *KeywordIndex) Len() int {
 	return len(ki.docLens)
 }
 
+// scorePool recycles the per-query score accumulator across searches; a
+// fresh map per query was the dominant allocation of keyword search.
+var scorePool = sync.Pool{
+	New: func() any { return make(map[string]float64) },
+}
+
 // Search returns up to k documents ranked by BM25 relevance to the query.
 // Documents matching no query token are omitted — exactly the failure mode
 // of metadata search: what is undocumented cannot be found.
@@ -113,18 +118,20 @@ func (ki *KeywordIndex) Search(query string, k int) []Hit {
 	if avgLen == 0 {
 		avgLen = 1
 	}
-	scores := map[string]float64{}
+	scores := scorePool.Get().(map[string]float64)
+	defer func() {
+		clear(scores)
+		scorePool.Put(scores)
+	}()
 	for _, tok := range data.Tokenize(query) {
 		m := ki.postings[tok]
 		if len(m) == 0 {
 			continue
 		}
-		idf := math.Log(1 + (float64(n)-float64(len(m))+0.5)/(float64(len(m))+0.5))
+		idf := bm25IDF(n, len(m))
 		for docID, tf := range m {
 			dl := float64(ki.docLens[docID])
-			num := float64(tf) * (ki.k1 + 1)
-			den := float64(tf) + ki.k1*(1-ki.bBM25+ki.bBM25*dl/avgLen)
-			scores[docID] += idf * num / den
+			scores[docID] += bm25Term(idf, float64(tf), dl, avgLen, ki.k1, ki.bBM25)
 		}
 	}
 	hits := make([]Hit, 0, len(scores))

@@ -74,7 +74,10 @@ func TestSearchWithStatsMatchesSingleIndex(t *testing.T) {
 		i++
 	}
 	for _, query := range []string{"bert english", "sentiment", "transformer transformer english", "nothing matches"} {
-		want := single.Search(query, 10)
+		want, err := single.Search(query, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
 		tokens := data.Tokenize(query)
 		var g KeywordStats
 		for _, p := range parts {
@@ -82,7 +85,11 @@ func TestSearchWithStatsMatchesSingleIndex(t *testing.T) {
 		}
 		var all []Hit
 		for _, p := range parts {
-			all = append(all, p.SearchWithStats(query, g, 10)...)
+			ph, err := p.SearchWithStats(query, g, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, ph...)
 		}
 		sortHits(all)
 		if len(all) > 10 {

@@ -339,7 +339,10 @@ func TestShardedKeywordIndexMatchesSingleLock(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		q := doc()[:20]
 		want := single.Search(q, 10)
-		got := sharded.Search(q, 10)
+		got, err := sharded.Search(q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if len(want) != len(got) {
 			t.Fatalf("query %q: %d hits vs %d", q, len(got), len(want))
 		}

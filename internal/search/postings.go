@@ -1,0 +1,375 @@
+package search
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"sort"
+)
+
+// This file implements the immutable postings segment behind the sharded
+// keyword index: a compact, mergeable replacement for the nested
+// map[token]map[docID]tf tier. A segment holds a shard's documents as
+//
+//   - a sorted document table (docID, token length, CRC-64 of the source
+//     text) — the ordinal of a document in this table is its docID ord,
+//     so ordinal order is exactly ID order;
+//   - a sorted terms dictionary, each term owning a run of blocks;
+//   - per-term postings split into blocks of up to postingsBlockSize
+//     entries, each block delta/varint-encoded (ord gaps, then raw tf)
+//     and carrying metadata (last ord, max tf, count, byte extent) that
+//     the block-max scorer reads without decoding the block.
+//
+// Blocks live behind a blockSource: a byte slice for in-RAM segments, or
+// pread against the published segment file when the lake runs with
+// DiskResidentPostings — the same two-tier shape as the MLVF vector
+// segments in internal/index.
+//
+// The per-document text CRC is what makes a disk segment adoptable after
+// reopen: the lake verifies every covered document's current card text
+// against the stored CRC, so a segment is only ever trusted when it still
+// describes exactly the text the registry holds.
+
+// postingsBlockSize is the maximum number of postings per block. 128 keeps
+// decode scratch small (two 512-byte arrays) while giving block-max pruning
+// enough granularity to skip meaningful work.
+const postingsBlockSize = 128
+
+// kwCRCTable is the CRC-64 polynomial shared by document-text checksums and
+// the segment file walk — same choice (ECMA) as the MLVF vector segments.
+var kwCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// textCRC is the per-document freshness checksum stored in segments.
+func textCRC(text string) uint64 {
+	return crc64.Checksum([]byte(text), kwCRCTable)
+}
+
+// TextCRC exposes the per-document checksum so the lake can verify a
+// published segment against the registry's current card texts on reopen.
+func TextCRC(text string) uint64 { return textCRC(text) }
+
+// blockMeta describes one encoded postings block without decoding it.
+type blockMeta struct {
+	lastOrd uint32 // ordinal of the last posting in the block
+	maxTF   uint32 // maximum term frequency in the block (block-max bound input)
+	count   uint32 // postings in the block (1..postingsBlockSize)
+	off     int64  // byte offset of the encoded block within the blob
+	length  int32  // encoded byte length
+}
+
+// termMeta is one dictionary entry: the term's document frequency and its
+// run of blocks.
+type termMeta struct {
+	df         uint32
+	firstBlock int32
+	nBlocks    int32
+}
+
+// blockSource serves encoded block bytes. ramBlocks returns subslices of an
+// in-memory blob; fileBlocks preads the published segment file.
+type blockSource interface {
+	// readBlock returns length bytes at off, using scratch if it needs a
+	// destination buffer. The returned slice is only valid until the next
+	// readBlock with the same scratch.
+	readBlock(off int64, length int32, scratch []byte) ([]byte, error)
+	// memBytes is the heap held by the source (0 for disk-resident blocks).
+	memBytes() int64
+	// close releases any file handle.
+	close() error
+}
+
+type ramBlocks []byte
+
+func (b ramBlocks) readBlock(off int64, length int32, _ []byte) ([]byte, error) {
+	end := off + int64(length)
+	if off < 0 || end > int64(len(b)) {
+		return nil, fmt.Errorf("%w: block extent [%d,%d) outside blob of %d bytes", ErrBadPostings, off, end, len(b))
+	}
+	return b[off:end], nil
+}
+
+func (b ramBlocks) memBytes() int64 { return int64(len(b)) }
+func (b ramBlocks) close() error    { return nil }
+
+// PostingsSegment is an immutable, compact inverted index over one keyword
+// shard's documents. It is built by merging the shard's live map tier with
+// the previous segment, optionally published to disk, and scored by the
+// block-max pruned scorer in blockmax.go.
+type PostingsSegment struct {
+	docIDs   []string // sorted ascending; index == ordinal
+	docLens  []uint32 // token count per document
+	docCRCs  []uint64 // textCRC of the indexed text per document
+	totalLen int64    // sum of docLens
+	terms    []string // sorted ascending
+	tmeta    []termMeta
+	blocks   []blockMeta
+	src      blockSource
+}
+
+// DocCount returns the number of documents in the segment.
+func (seg *PostingsSegment) DocCount() int { return len(seg.docIDs) }
+
+// contains reports whether the segment holds docID.
+func (seg *PostingsSegment) contains(docID string) bool {
+	i := sort.SearchStrings(seg.docIDs, docID)
+	return i < len(seg.docIDs) && seg.docIDs[i] == docID
+}
+
+// termIndex locates tok in the dictionary.
+func (seg *PostingsSegment) termIndex(tok string) (int, bool) {
+	i := sort.SearchStrings(seg.terms, tok)
+	if i < len(seg.terms) && seg.terms[i] == tok {
+		return i, true
+	}
+	return -1, false
+}
+
+// df returns tok's document frequency within the segment (0 if absent).
+func (seg *PostingsSegment) df(tok string) int {
+	if i, ok := seg.termIndex(tok); ok {
+		return int(seg.tmeta[i].df)
+	}
+	return 0
+}
+
+// prevLastOrd returns the delta base for block blk of term t: the last
+// ordinal of the preceding block, or -1 at the start of the term's run.
+func (seg *PostingsSegment) prevLastOrd(t, blk int) int64 {
+	if blk == 0 {
+		return -1
+	}
+	return int64(seg.blocks[int(seg.tmeta[t].firstBlock)+blk-1].lastOrd)
+}
+
+// decodeBlock decodes block blk of term t into ords/tfs (each sized at
+// least blockMeta.count) and returns the posting count. scratch is the
+// disk-read buffer, returned possibly grown.
+func (seg *PostingsSegment) decodeBlock(t, blk int, ords, tfs []uint32, scratch []byte) (int, []byte, error) {
+	bm := seg.blocks[int(seg.tmeta[t].firstBlock)+blk]
+	raw, err := seg.src.readBlock(bm.off, bm.length, scratch)
+	if err != nil {
+		return 0, scratch, err
+	}
+	if cap(scratch) < len(raw) {
+		scratch = raw[:0:len(raw)] // remember grown buffer for the caller
+	}
+	prev := seg.prevLastOrd(t, blk)
+	pos := 0
+	for i := 0; i < int(bm.count); i++ {
+		gap, n := binary.Uvarint(raw[pos:])
+		if n <= 0 {
+			return 0, scratch, fmt.Errorf("%w: truncated ord gap in block", ErrBadPostings)
+		}
+		pos += n
+		tf, n := binary.Uvarint(raw[pos:])
+		if n <= 0 {
+			return 0, scratch, fmt.Errorf("%w: truncated tf in block", ErrBadPostings)
+		}
+		pos += n
+		prev += int64(gap)
+		if prev >= int64(len(seg.docIDs)) || tf == 0 {
+			return 0, scratch, fmt.Errorf("%w: posting ord %d / tf %d out of range", ErrBadPostings, prev, tf)
+		}
+		ords[i] = uint32(prev)
+		tfs[i] = uint32(tf)
+	}
+	if pos != len(raw) {
+		return 0, scratch, fmt.Errorf("%w: %d trailing bytes in block", ErrBadPostings, len(raw)-pos)
+	}
+	if uint32(prev) != bm.lastOrd {
+		return 0, scratch, fmt.Errorf("%w: block last ord %d, metadata says %d", ErrBadPostings, prev, bm.lastOrd)
+	}
+	return int(bm.count), scratch, nil
+}
+
+// forEachPosting decodes every posting of term t in ordinal order — the
+// segment-to-map path used by merges and demotes.
+func (seg *PostingsSegment) forEachPosting(t int, fn func(ord, tf uint32)) error {
+	var ords, tfs [postingsBlockSize]uint32
+	var scratch []byte
+	tm := seg.tmeta[t]
+	for blk := 0; blk < int(tm.nBlocks); blk++ {
+		n, grown, err := seg.decodeBlock(t, blk, ords[:], tfs[:], scratch)
+		if err != nil {
+			return err
+		}
+		scratch = grown
+		for i := 0; i < n; i++ {
+			fn(ords[i], tfs[i])
+		}
+	}
+	return nil
+}
+
+// memBytes estimates the heap retained by the segment: the doc table,
+// dictionary, block metadata, and (for in-RAM segments) the block blob.
+func (seg *PostingsSegment) memBytes() int64 {
+	if seg == nil {
+		return 0
+	}
+	const strHeader = 16 // string header per entry
+	n := int64(0)
+	for _, id := range seg.docIDs {
+		n += int64(len(id)) + strHeader
+	}
+	n += int64(len(seg.docLens))*4 + int64(len(seg.docCRCs))*8
+	for _, t := range seg.terms {
+		n += int64(len(t)) + strHeader
+	}
+	n += int64(len(seg.tmeta))*12 + int64(len(seg.blocks))*24
+	n += seg.src.memBytes()
+	return n
+}
+
+// segmentBuilder accumulates a segment in memory. Terms must be added in
+// sorted order with postings in ascending ordinal order.
+type segmentBuilder struct {
+	seg  PostingsSegment
+	blob []byte
+	tmp  [2 * binary.MaxVarintLen64]byte
+}
+
+func (b *segmentBuilder) addTerm(term string, ords, tfs []uint32) {
+	tm := termMeta{
+		df:         uint32(len(ords)),
+		firstBlock: int32(len(b.seg.blocks)),
+	}
+	prev := int64(-1)
+	for start := 0; start < len(ords); start += postingsBlockSize {
+		end := start + postingsBlockSize
+		if end > len(ords) {
+			end = len(ords)
+		}
+		bm := blockMeta{off: int64(len(b.blob)), count: uint32(end - start)}
+		for i := start; i < end; i++ {
+			gap := int64(ords[i]) - prev
+			prev = int64(ords[i])
+			n := binary.PutUvarint(b.tmp[:], uint64(gap))
+			n += binary.PutUvarint(b.tmp[n:], uint64(tfs[i]))
+			b.blob = append(b.blob, b.tmp[:n]...)
+			if tfs[i] > bm.maxTF {
+				bm.maxTF = tfs[i]
+			}
+		}
+		bm.lastOrd = uint32(prev)
+		bm.length = int32(int64(len(b.blob)) - bm.off)
+		b.seg.blocks = append(b.seg.blocks, bm)
+		tm.nBlocks++
+	}
+	b.seg.terms = append(b.seg.terms, term)
+	b.seg.tmeta = append(b.seg.tmeta, tm)
+}
+
+// finish seals the builder into an in-RAM segment.
+func (b *segmentBuilder) finish() *PostingsSegment {
+	b.seg.src = ramBlocks(b.blob)
+	return &b.seg
+}
+
+// buildSegment merges a shard's live map tier with its previous segment
+// (either may be empty/nil) into a fresh in-RAM segment. The two tiers
+// hold disjoint document sets — that invariant is what keeps per-term
+// document frequencies a simple sum. Reading the old segment can fail on
+// a disk-resident source; the error aborts the build with no state changed.
+func buildSegment(memPostings map[string]map[string]int, memLens map[string]int,
+	memCRCs map[string]uint64, old *PostingsSegment) (*PostingsSegment, error) {
+
+	// Document table: sorted union of both tiers. Ordinal == sorted rank.
+	nOld := 0
+	if old != nil {
+		nOld = len(old.docIDs)
+	}
+	ids := make([]string, 0, nOld+len(memLens))
+	if old != nil {
+		ids = append(ids, old.docIDs...)
+	}
+	for id := range memLens {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for i := 1; i < len(ids); i++ {
+		if ids[i] == ids[i-1] {
+			return nil, fmt.Errorf("search: document %q present in both postings tiers", ids[i])
+		}
+	}
+	ord := make(map[string]uint32, len(ids))
+	for i, id := range ids {
+		ord[id] = uint32(i)
+	}
+
+	b := &segmentBuilder{}
+	b.seg.docIDs = ids
+	b.seg.docLens = make([]uint32, len(ids))
+	b.seg.docCRCs = make([]uint64, len(ids))
+	for i, id := range ids {
+		if dl, ok := memLens[id]; ok {
+			b.seg.docLens[i] = uint32(dl)
+			b.seg.docCRCs[i] = memCRCs[id]
+			b.seg.totalLen += int64(dl)
+		}
+	}
+	var remap []uint32 // old ordinal -> new ordinal
+	if old != nil {
+		remap = make([]uint32, len(old.docIDs))
+		for i, id := range old.docIDs {
+			no := ord[id]
+			remap[i] = no
+			b.seg.docLens[no] = old.docLens[i]
+			b.seg.docCRCs[no] = old.docCRCs[i]
+		}
+		b.seg.totalLen += old.totalLen
+	}
+
+	// Terms: sorted union of the mem tier's tokens and the old dictionary.
+	terms := make([]string, 0, len(memPostings)+func() int {
+		if old != nil {
+			return len(old.terms)
+		}
+		return 0
+	}())
+	for tok := range memPostings {
+		terms = append(terms, tok)
+	}
+	if old != nil {
+		for _, tok := range old.terms {
+			if _, inMem := memPostings[tok]; !inMem {
+				terms = append(terms, tok)
+			}
+		}
+	}
+	sort.Strings(terms)
+
+	var ords, tfs []uint32
+	for _, tok := range terms {
+		ords, tfs = ords[:0], tfs[:0]
+		if m := memPostings[tok]; len(m) > 0 {
+			for id, tf := range m {
+				ords = append(ords, ord[id])
+				tfs = append(tfs, uint32(tf))
+			}
+		}
+		if old != nil {
+			if ot, ok := old.termIndex(tok); ok {
+				if err := old.forEachPosting(ot, func(o, tf uint32) {
+					ords = append(ords, remap[o])
+					tfs = append(tfs, tf)
+				}); err != nil {
+					return nil, err
+				}
+			}
+		}
+		sort.Sort(&postingsByOrd{ords, tfs})
+		b.addTerm(tok, ords, tfs)
+	}
+	return b.finish(), nil
+}
+
+// postingsByOrd sorts parallel (ord, tf) slices by ordinal.
+type postingsByOrd struct{ ords, tfs []uint32 }
+
+func (p *postingsByOrd) Len() int           { return len(p.ords) }
+func (p *postingsByOrd) Less(i, j int) bool { return p.ords[i] < p.ords[j] }
+func (p *postingsByOrd) Swap(i, j int) {
+	p.ords[i], p.ords[j] = p.ords[j], p.ords[i]
+	p.tfs[i], p.tfs[j] = p.tfs[j], p.tfs[i]
+}

@@ -1,0 +1,411 @@
+package search
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"os"
+	"path/filepath"
+
+	"modellake/internal/fault"
+)
+
+// MLKP1 — the on-disk postings segment. One file per keyword shard:
+//
+//	header (88 bytes):
+//	    magic "MLKP" | version | shardID | shardCount        4 × uint32
+//	    docCount | termCount | blockCount | totalLen          4 × uint64
+//	    metaLen | blobLen                                     2 × uint64
+//	    metaCRC | blobCRC                                     2 × uint64   CRC-64/ECMA
+//	    headerCRC                                             uint64       over the preceding 80 bytes
+//	meta (metaLen bytes): the document table then the dictionary,
+//	    varint-packed (see encodeMeta), covered by metaCRC
+//	blob (blobLen bytes): concatenated encoded blocks, covered by blobCRC
+//
+// Publish is crash-safe the same way MLVF vector segments are: the bytes
+// stream into a temp file in the target directory, the file is fsynced,
+// closed, renamed into place, and the directory fsynced — all through the
+// (nil-safe) fault.FS so the crash-window sweep can fail every one of those
+// operations in turn. Open walks every byte of the file against the three
+// CRCs before trusting any of it; damage of any kind yields ErrBadPostings
+// and the caller rebuilds the segment from cards.
+const (
+	postingsMagic   = 0x4d4c4b50 // "MLKP"
+	postingsVersion = 1
+	postingsHdrLen  = 88
+)
+
+// ErrBadPostings marks a postings segment file that failed validation —
+// torn, truncated, bit-flipped, or from a different shard layout. Segments
+// are derived state: the caller responds by rebuilding from cards.
+var ErrBadPostings = errors.New("search: bad postings segment")
+
+type postingsHeader struct {
+	shardID, shardCount uint32
+	docCount, termCount uint64
+	blockCount          uint64
+	totalLen            uint64
+	metaLen, blobLen    uint64
+	metaCRC, blobCRC    uint64
+}
+
+func (h *postingsHeader) encode() []byte {
+	buf := make([]byte, postingsHdrLen)
+	le := binary.LittleEndian
+	le.PutUint32(buf[0:], postingsMagic)
+	le.PutUint32(buf[4:], postingsVersion)
+	le.PutUint32(buf[8:], h.shardID)
+	le.PutUint32(buf[12:], h.shardCount)
+	le.PutUint64(buf[16:], h.docCount)
+	le.PutUint64(buf[24:], h.termCount)
+	le.PutUint64(buf[32:], h.blockCount)
+	le.PutUint64(buf[40:], h.totalLen)
+	le.PutUint64(buf[48:], h.metaLen)
+	le.PutUint64(buf[56:], h.blobLen)
+	le.PutUint64(buf[64:], h.metaCRC)
+	le.PutUint64(buf[72:], h.blobCRC)
+	le.PutUint64(buf[80:], crc64.Checksum(buf[:80], kwCRCTable))
+	return buf
+}
+
+func decodePostingsHeader(buf []byte) (postingsHeader, error) {
+	var h postingsHeader
+	if len(buf) != postingsHdrLen {
+		return h, fmt.Errorf("%w: short header", ErrBadPostings)
+	}
+	le := binary.LittleEndian
+	if got := le.Uint64(buf[80:]); got != crc64.Checksum(buf[:80], kwCRCTable) {
+		return h, fmt.Errorf("%w: header checksum mismatch", ErrBadPostings)
+	}
+	if le.Uint32(buf[0:]) != postingsMagic {
+		return h, fmt.Errorf("%w: bad magic", ErrBadPostings)
+	}
+	if v := le.Uint32(buf[4:]); v != postingsVersion {
+		return h, fmt.Errorf("%w: unsupported version %d", ErrBadPostings, v)
+	}
+	h.shardID = le.Uint32(buf[8:])
+	h.shardCount = le.Uint32(buf[12:])
+	h.docCount = le.Uint64(buf[16:])
+	h.termCount = le.Uint64(buf[24:])
+	h.blockCount = le.Uint64(buf[32:])
+	h.totalLen = le.Uint64(buf[40:])
+	h.metaLen = le.Uint64(buf[48:])
+	h.blobLen = le.Uint64(buf[56:])
+	h.metaCRC = le.Uint64(buf[64:])
+	h.blobCRC = le.Uint64(buf[72:])
+	return h, nil
+}
+
+// encodeMeta packs the document table and dictionary:
+//
+//	docs:  len(id) | id bytes | docLen          (uvarint, bytes, uvarint)
+//	       docCRC                               (fixed 8 bytes, LE)
+//	terms: len(term) | term bytes | df | nBlocks
+//	       per block: lastOrd | maxTF | count | length   (uvarint each;
+//	       offsets are implied by cumulative length in file order)
+func encodeMeta(seg *PostingsSegment) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	var out []byte
+	putUv := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		out = append(out, tmp[:n]...)
+	}
+	for i, id := range seg.docIDs {
+		putUv(uint64(len(id)))
+		out = append(out, id...)
+		putUv(uint64(seg.docLens[i]))
+		var crc [8]byte
+		binary.LittleEndian.PutUint64(crc[:], seg.docCRCs[i])
+		out = append(out, crc[:]...)
+	}
+	for t, term := range seg.terms {
+		tm := seg.tmeta[t]
+		putUv(uint64(len(term)))
+		out = append(out, term...)
+		putUv(uint64(tm.df))
+		putUv(uint64(tm.nBlocks))
+		for b := 0; b < int(tm.nBlocks); b++ {
+			bm := seg.blocks[int(tm.firstBlock)+b]
+			putUv(uint64(bm.lastOrd))
+			putUv(uint64(bm.maxTF))
+			putUv(uint64(bm.count))
+			putUv(uint64(bm.length))
+		}
+	}
+	return out
+}
+
+// decodeMeta parses encodeMeta output into seg (everything but src),
+// validating sortedness, counts, and that block extents exactly tile
+// [0, blobLen).
+func decodeMeta(buf []byte, h postingsHeader) (*PostingsSegment, error) {
+	seg := &PostingsSegment{
+		docIDs:   make([]string, 0, h.docCount),
+		docLens:  make([]uint32, 0, h.docCount),
+		docCRCs:  make([]uint64, 0, h.docCount),
+		totalLen: int64(h.totalLen),
+		terms:    make([]string, 0, h.termCount),
+		tmeta:    make([]termMeta, 0, h.termCount),
+		blocks:   make([]blockMeta, 0, h.blockCount),
+	}
+	pos := 0
+	fail := func(what string) (*PostingsSegment, error) {
+		return nil, fmt.Errorf("%w: %s", ErrBadPostings, what)
+	}
+	getUv := func() (uint64, bool) {
+		v, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return 0, false
+		}
+		pos += n
+		return v, true
+	}
+	getStr := func() (string, bool) {
+		n, ok := getUv()
+		if !ok || n > uint64(len(buf)-pos) {
+			return "", false
+		}
+		s := string(buf[pos : pos+int(n)])
+		pos += int(n)
+		return s, true
+	}
+	var sumLens int64
+	for i := uint64(0); i < h.docCount; i++ {
+		id, ok := getStr()
+		if !ok {
+			return fail("truncated document table")
+		}
+		if len(seg.docIDs) > 0 && id <= seg.docIDs[len(seg.docIDs)-1] {
+			return fail("document table not strictly sorted")
+		}
+		dl, ok := getUv()
+		if !ok || dl > (1<<32-1) {
+			return fail("bad document length")
+		}
+		if pos+8 > len(buf) {
+			return fail("truncated document checksum")
+		}
+		crc := binary.LittleEndian.Uint64(buf[pos:])
+		pos += 8
+		seg.docIDs = append(seg.docIDs, id)
+		seg.docLens = append(seg.docLens, uint32(dl))
+		seg.docCRCs = append(seg.docCRCs, crc)
+		sumLens += int64(dl)
+	}
+	if sumLens != seg.totalLen {
+		return fail("document lengths do not sum to totalLen")
+	}
+	var nextOff int64
+	for t := uint64(0); t < h.termCount; t++ {
+		term, ok := getStr()
+		if !ok {
+			return fail("truncated dictionary")
+		}
+		if len(seg.terms) > 0 && term <= seg.terms[len(seg.terms)-1] {
+			return fail("dictionary not strictly sorted")
+		}
+		df, ok1 := getUv()
+		nb, ok2 := getUv()
+		if !ok1 || !ok2 || df == 0 || nb == 0 {
+			return fail("bad term entry")
+		}
+		tm := termMeta{df: uint32(df), firstBlock: int32(len(seg.blocks)), nBlocks: int32(nb)}
+		var nPostings uint64
+		prevLast := int64(-1)
+		for b := uint64(0); b < nb; b++ {
+			lastOrd, ok1 := getUv()
+			maxTF, ok2 := getUv()
+			count, ok3 := getUv()
+			length, ok4 := getUv()
+			if !ok1 || !ok2 || !ok3 || !ok4 {
+				return fail("truncated block metadata")
+			}
+			if count == 0 || count > postingsBlockSize || maxTF == 0 ||
+				lastOrd >= h.docCount || int64(lastOrd) <= prevLast ||
+				length == 0 || int64(length) > int64(h.blobLen)-nextOff {
+				return fail("block metadata out of range")
+			}
+			seg.blocks = append(seg.blocks, blockMeta{
+				lastOrd: uint32(lastOrd),
+				maxTF:   uint32(maxTF),
+				count:   uint32(count),
+				off:     nextOff,
+				length:  int32(length),
+			})
+			nextOff += int64(length)
+			nPostings += count
+			prevLast = int64(lastOrd)
+		}
+		if nPostings != df {
+			return fail("block counts do not sum to df")
+		}
+		seg.terms = append(seg.terms, term)
+		seg.tmeta = append(seg.tmeta, tm)
+	}
+	if pos != len(buf) {
+		return fail("trailing bytes after dictionary")
+	}
+	if uint64(len(seg.blocks)) != h.blockCount {
+		return fail("block count mismatch")
+	}
+	if nextOff != int64(h.blobLen) {
+		return fail("block extents do not tile the blob")
+	}
+	return seg, nil
+}
+
+// writeSegmentFile publishes seg (whose blocks must be in RAM) at path via
+// temp + fsync + rename + directory fsync. It returns the byte offset of
+// the blob within the file, which a disk-resident reopen needs for pread.
+func writeSegmentFile(fsys *fault.FS, path string, seg *PostingsSegment, shardID, shardCount int) (int64, error) {
+	blob, ok := seg.src.(ramBlocks)
+	if !ok {
+		return 0, errors.New("search: writeSegmentFile needs an in-RAM segment")
+	}
+	meta := encodeMeta(seg)
+	h := postingsHeader{
+		shardID:    uint32(shardID),
+		shardCount: uint32(shardCount),
+		docCount:   uint64(len(seg.docIDs)),
+		termCount:  uint64(len(seg.terms)),
+		blockCount: uint64(len(seg.blocks)),
+		totalLen:   uint64(seg.totalLen),
+		metaLen:    uint64(len(meta)),
+		blobLen:    uint64(len(blob)),
+		metaCRC:    crc64.Checksum(meta, kwCRCTable),
+		blobCRC:    crc64.Checksum(blob, kwCRCTable),
+	}
+	dir := filepath.Dir(path)
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	fail := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	for _, chunk := range [][]byte{h.encode(), meta, blob} {
+		if _, err := f.Write(chunk); err != nil {
+			return fail(err)
+		}
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, err
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return 0, err
+	}
+	return postingsHdrLen + int64(len(meta)), nil
+}
+
+// fileBlocks serves blocks by pread against the published segment file.
+type fileBlocks struct {
+	f    *fault.File
+	base int64 // file offset of the blob
+}
+
+func (fb *fileBlocks) readBlock(off int64, length int32, scratch []byte) ([]byte, error) {
+	if cap(scratch) < int(length) {
+		scratch = make([]byte, length)
+	}
+	buf := scratch[:length]
+	if _, err := fb.f.ReadAt(buf, fb.base+off); err != nil {
+		return nil, fmt.Errorf("%w: reading block: %v", ErrBadPostings, err)
+	}
+	return buf, nil
+}
+
+func (fb *fileBlocks) memBytes() int64 { return 0 }
+func (fb *fileBlocks) close() error    { return fb.f.Close() }
+
+// openSegmentFile loads and fully verifies a published segment. Every byte
+// of the file is walked against the header, meta, and blob CRCs before any
+// of it is trusted; structural invariants (sorted tables, block tiling) are
+// re-checked on parse. With diskResident the blob stays on disk behind a
+// retained read-only handle; otherwise the blob is kept in RAM and the file
+// closed. shardID/shardCount guard against adopting a file written under a
+// different shard layout, where per-shard document placement differs.
+func openSegmentFile(fsys *fault.FS, path string, shardID, shardCount int, diskResident bool) (*PostingsSegment, error) {
+	f, err := fsys.OpenFile(path, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	keepOpen := false
+	defer func() {
+		if !keepOpen {
+			f.Close()
+		}
+	}()
+
+	hdrBuf := make([]byte, postingsHdrLen)
+	if _, err := io.ReadFull(f, hdrBuf); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadPostings, err)
+	}
+	h, err := decodePostingsHeader(hdrBuf)
+	if err != nil {
+		return nil, err
+	}
+	if h.shardID != uint32(shardID) || h.shardCount != uint32(shardCount) {
+		return nil, fmt.Errorf("%w: segment is shard %d/%d, index wants %d/%d",
+			ErrBadPostings, h.shardID, h.shardCount, shardID, shardCount)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if want := postingsHdrLen + int64(h.metaLen) + int64(h.blobLen); st.Size() != want {
+		return nil, fmt.Errorf("%w: file is %d bytes, header implies %d", ErrBadPostings, st.Size(), want)
+	}
+
+	meta := make([]byte, h.metaLen)
+	if _, err := io.ReadFull(f, meta); err != nil {
+		return nil, fmt.Errorf("%w: reading meta: %v", ErrBadPostings, err)
+	}
+	if crc64.Checksum(meta, kwCRCTable) != h.metaCRC {
+		return nil, fmt.Errorf("%w: meta checksum mismatch", ErrBadPostings)
+	}
+	seg, err := decodeMeta(meta, h)
+	if err != nil {
+		return nil, err
+	}
+
+	// Walk the blob against its CRC. In disk-resident mode stream it
+	// through a bounded buffer and discard; otherwise retain it.
+	blobOff := postingsHdrLen + int64(h.metaLen)
+	if diskResident {
+		crc := crc64.New(kwCRCTable)
+		if _, err := io.CopyBuffer(crc, io.LimitReader(f, int64(h.blobLen)), make([]byte, 256<<10)); err != nil {
+			return nil, fmt.Errorf("%w: reading blob: %v", ErrBadPostings, err)
+		}
+		if crc.Sum64() != h.blobCRC {
+			return nil, fmt.Errorf("%w: blob checksum mismatch", ErrBadPostings)
+		}
+		seg.src = &fileBlocks{f: f, base: blobOff}
+		keepOpen = true
+		return seg, nil
+	}
+	blob := make([]byte, h.blobLen)
+	if _, err := io.ReadFull(f, blob); err != nil {
+		return nil, fmt.Errorf("%w: reading blob: %v", ErrBadPostings, err)
+	}
+	if crc64.Checksum(blob, kwCRCTable) != h.blobCRC {
+		return nil, fmt.Errorf("%w: blob checksum mismatch", ErrBadPostings)
+	}
+	seg.src = ramBlocks(blob)
+	return seg, nil
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package search
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package search
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation-bound tests skip, since instrumentation adds its own allocs.
+const raceEnabled = true

@@ -1,22 +1,35 @@
 package search
 
 import (
+	"fmt"
 	"hash/fnv"
-	"math"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"modellake/internal/data"
+	"modellake/internal/fault"
 	"modellake/internal/obs"
 )
 
 // Keyword-index metrics. Lock-wait time in Search is the direct measure of
 // shard contention: it grows when concurrent ingest holds write locks, which
-// is exactly the convoy sharding exists to dilute.
+// is exactly the convoy sharding exists to dilute. The block counters are
+// the pruning scoreboard: scanned blocks were decoded and scored, skipped
+// blocks were stepped over by the block-max bound without being read.
 var (
-	mKwSearches = obs.Default().Counter("keyword_searches_total")
-	mKwAdds     = obs.Default().Counter("keyword_adds_total")
-	mKwLockWait = obs.Default().Histogram("keyword_search_lock_wait_seconds", nil)
+	mKwSearches      = obs.Default().Counter("keyword_searches_total")
+	mKwAdds          = obs.Default().Counter("keyword_adds_total")
+	mKwLockWait      = obs.Default().Histogram("keyword_search_lock_wait_seconds", nil)
+	mKwBlocksScanned = obs.Default().Counter("keyword_seg_blocks_scanned_total")
+	mKwBlocksSkipped = obs.Default().Counter("keyword_seg_blocks_skipped_total")
+	mKwMerges        = obs.Default().Counter("keyword_seg_merges_total")
+	mKwMergeFails    = obs.Default().Counter("keyword_seg_merge_failures_total")
+	mKwMergeDur      = obs.Default().Histogram("keyword_seg_merge_seconds", nil)
+	mKwDemotes       = obs.Default().Counter("keyword_seg_demotes_total")
+	mKwAdopted       = obs.Default().Counter("keyword_seg_adopted_total")
+	mKwAdoptRejected = obs.Default().Counter("keyword_seg_adopt_rejected_total")
 )
 
 // DefaultKeywordShards is the shard count used when none is given. 16 is
@@ -26,66 +39,141 @@ var (
 // mapping a mask-friendly modulo.
 const DefaultKeywordShards = 16
 
+// DefaultKeywordMergeThreshold is how many documents a shard's live map
+// tier accumulates before it is merged into the shard's compact postings
+// segment. Merges are synchronous on the Add that crosses the threshold —
+// the same self-regulating shape as the MLVF spill tail: ingest pays for
+// its own compaction, so the map tier stays bounded without a background
+// goroutine to coordinate with.
+const DefaultKeywordMergeThreshold = 2048
+
+// KeywordConfig configures a ShardedKeywordIndex beyond the defaults.
+type KeywordConfig struct {
+	// Shards is the lock-shard count; <= 0 selects DefaultKeywordShards.
+	Shards int
+	// MergeThreshold is the map-tier document count that triggers a merge
+	// into the compact segment. Zero selects the default; negative
+	// disables merging entirely (pure map tier — the pre-segment
+	// behaviour, kept for benchmarks and comparison tests).
+	MergeThreshold int
+	// Dir, when non-empty, makes segments disk-resident: each merge
+	// publishes a checksummed kw-NN.seg file under Dir and the block data
+	// is served by pread instead of staying on heap. Segments are derived
+	// state — a missing or damaged file is rebuilt from cards.
+	Dir string
+	// FS routes segment file IO for fault injection; nil is a passthrough.
+	FS *fault.FS
+}
+
 // keywordShard is one lock's worth of the inverted index: a disjoint subset
-// of the documents, chosen by hash of the document ID.
+// of the documents, chosen by hash of the document ID. Documents live in
+// exactly one of two tiers — the live map tier (fresh adds) or the
+// immutable compact segment — so global statistics are simple sums.
 type keywordShard struct {
 	mu       sync.RWMutex
 	postings map[string]map[string]int // token -> docID -> term frequency
 	docLens  map[string]int
-	totalLen int
+	docCRCs  map[string]uint64 // textCRC per doc, for segment freshness
+	totalLen int               // mem tier only; seg keeps its own
+	seg      *PostingsSegment  // nil until the first merge
+	// nextMerge, when > 0, defers retrying a failed merge until the map
+	// tier grows past it — otherwise a sticky disk fault would re-attempt
+	// a full merge on every Add.
+	nextMerge int
 }
 
 // ShardedKeywordIndex is a BM25 inverted index over model-card text, sharded
 // by document so concurrent ingest streams do not serialize on one mutex.
-// Scoring gathers the global statistics (document count, average length,
-// per-token document frequency) across shards, so Search returns exactly the
-// hits and scores a single-shard KeywordIndex would: sharding changes the
-// locking, never the ranking.
+// Each shard is two-tier: a small live map tier absorbing fresh adds, and a
+// compact immutable postings segment (see postings.go) that the map tier is
+// merged into as it grows. Scoring gathers the global statistics (document
+// count, average length, per-token document frequency) across both tiers of
+// every shard, scores the map tiers exhaustively, and runs the block-max
+// pruned scorer over the segments — returning exactly the hits and scores a
+// single-shard exhaustive KeywordIndex would: sharding and segmentation
+// change the locking and the work, never the ranking.
 type ShardedKeywordIndex struct {
 	shards    []*keywordShard
 	k1, bBM25 float64
+
+	mergeThreshold int
+	dir            string
+	fsys           *fault.FS
+
+	scratch sync.Pool // *kwScratch
 }
 
 // NewShardedKeywordIndex returns an empty index with standard BM25
-// parameters (k1 = 1.2, b = 0.75). shards <= 0 selects
-// DefaultKeywordShards.
+// parameters (k1 = 1.2, b = 0.75) and default merge behaviour. shards <= 0
+// selects DefaultKeywordShards.
 func NewShardedKeywordIndex(shards int) *ShardedKeywordIndex {
-	if shards <= 0 {
-		shards = DefaultKeywordShards
+	return NewShardedKeywordIndexConfig(KeywordConfig{Shards: shards})
+}
+
+// NewShardedKeywordIndexConfig returns an empty index configured by cfg.
+func NewShardedKeywordIndexConfig(cfg KeywordConfig) *ShardedKeywordIndex {
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultKeywordShards
+	}
+	if cfg.MergeThreshold == 0 {
+		cfg.MergeThreshold = DefaultKeywordMergeThreshold
 	}
 	s := &ShardedKeywordIndex{
-		shards: make([]*keywordShard, shards),
-		k1:     1.2,
-		bBM25:  0.75,
+		shards:         make([]*keywordShard, cfg.Shards),
+		k1:             1.2,
+		bBM25:          0.75,
+		mergeThreshold: cfg.MergeThreshold,
+		dir:            cfg.Dir,
+		fsys:           cfg.FS,
 	}
 	for i := range s.shards {
 		s.shards[i] = &keywordShard{
 			postings: make(map[string]map[string]int),
 			docLens:  make(map[string]int),
+			docCRCs:  make(map[string]uint64),
 		}
+	}
+	s.scratch.New = func() any {
+		return &kwScratch{acc: make(map[string]float64)}
 	}
 	return s
 }
 
-func (s *ShardedKeywordIndex) shardFor(docID string) *keywordShard {
+func (s *ShardedKeywordIndex) shardIndex(docID string) int {
 	h := fnv.New32a()
 	h.Write([]byte(docID))
-	return s.shards[h.Sum32()%uint32(len(s.shards))]
+	return int(h.Sum32() % uint32(len(s.shards)))
+}
+
+func (s *ShardedKeywordIndex) segPath(i int) string {
+	return filepath.Join(s.dir, fmt.Sprintf("kw-%02d.seg", i))
 }
 
 // Add indexes text under docID, replacing any previous document with the
 // same ID. Only docID's shard is locked, so adds of different documents
-// proceed in parallel.
-func (s *ShardedKeywordIndex) Add(docID, text string) {
+// proceed in parallel. Replacing a document that lives in the shard's
+// segment demotes the segment back into the map tier first (segments are
+// immutable and tombstone-free); a demote that fails — possible only with
+// disk-resident blocks — leaves the index unchanged and is the only error
+// Add can return. A failed merge is not an error: the document is safely
+// in the map tier and the merge retries once the tier grows further.
+func (s *ShardedKeywordIndex) Add(docID, text string) error {
 	mKwAdds.Inc()
-	sh := s.shardFor(docID)
+	i := s.shardIndex(docID)
+	sh := s.shards[i]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if _, ok := sh.docLens[docID]; ok {
-		sh.removeLocked(docID)
+		sh.removeMemLocked(docID)
+	} else if sh.seg != nil && sh.seg.contains(docID) {
+		if err := sh.demoteLocked(); err != nil {
+			return fmt.Errorf("replacing %s: %w", docID, err)
+		}
+		sh.removeMemLocked(docID)
 	}
 	toks := data.Tokenize(text)
 	sh.docLens[docID] = len(toks)
+	sh.docCRCs[docID] = textCRC(text)
 	sh.totalLen += len(toks)
 	for _, tok := range toks {
 		m := sh.postings[tok]
@@ -95,23 +183,43 @@ func (s *ShardedKeywordIndex) Add(docID, text string) {
 		}
 		m[docID]++
 	}
+	if s.mergeThreshold > 0 && len(sh.docLens) >= s.mergeThreshold && len(sh.docLens) >= sh.nextMerge {
+		if err := s.mergeShardLocked(i, sh); err != nil {
+			mKwMergeFails.Inc()
+			sh.nextMerge = len(sh.docLens) + s.mergeThreshold
+		} else {
+			sh.nextMerge = 0
+		}
+	}
+	return nil
 }
 
-// Remove drops a document from the index.
-func (s *ShardedKeywordIndex) Remove(docID string) {
-	sh := s.shardFor(docID)
+// Remove drops a document from the index. Removing a segment-resident
+// document demotes the segment into the map tier first.
+func (s *ShardedKeywordIndex) Remove(docID string) error {
+	sh := s.shards[s.shardIndex(docID)]
 	sh.mu.Lock()
-	sh.removeLocked(docID)
-	sh.mu.Unlock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.docLens[docID]; !ok {
+		if sh.seg == nil || !sh.seg.contains(docID) {
+			return nil
+		}
+		if err := sh.demoteLocked(); err != nil {
+			return fmt.Errorf("removing %s: %w", docID, err)
+		}
+	}
+	sh.removeMemLocked(docID)
+	return nil
 }
 
-func (sh *keywordShard) removeLocked(docID string) {
+func (sh *keywordShard) removeMemLocked(docID string) {
 	n, ok := sh.docLens[docID]
 	if !ok {
 		return
 	}
 	sh.totalLen -= n
 	delete(sh.docLens, docID)
+	delete(sh.docCRCs, docID)
 	for tok, m := range sh.postings {
 		if _, ok := m[docID]; ok {
 			delete(m, docID)
@@ -122,12 +230,202 @@ func (sh *keywordShard) removeLocked(docID string) {
 	}
 }
 
+// demoteLocked dissolves the shard's segment back into the map tier so a
+// member document can be replaced or removed. The stale segment file (if
+// any) is left in place: on reopen the per-document text CRCs no longer
+// match the registry and the file is rejected and rebuilt — and if the
+// same texts are re-added the file is simply correct again.
+func (sh *keywordShard) demoteLocked() error {
+	seg := sh.seg
+	for t, term := range seg.terms {
+		m := sh.postings[term]
+		if m == nil {
+			m = make(map[string]int, seg.tmeta[t].df)
+			sh.postings[term] = m
+		}
+		if err := seg.forEachPosting(t, func(ord, tf uint32) {
+			m[seg.docIDs[ord]] = int(tf)
+		}); err != nil {
+			return err
+		}
+	}
+	for i, id := range seg.docIDs {
+		sh.docLens[id] = int(seg.docLens[i])
+		sh.docCRCs[id] = seg.docCRCs[i]
+		sh.totalLen += int(seg.docLens[i])
+	}
+	seg.src.close()
+	sh.seg = nil
+	mKwDemotes.Inc()
+	return nil
+}
+
+// mergeShardLocked builds a fresh segment from the shard's map tier plus
+// its existing segment, publishes it to disk when the index is
+// disk-resident, and resets the map tier. On any error the shard is left
+// exactly as it was.
+func (s *ShardedKeywordIndex) mergeShardLocked(i int, sh *keywordShard) error {
+	start := time.Now()
+	seg, err := buildSegment(sh.postings, sh.docLens, sh.docCRCs, sh.seg)
+	if err != nil {
+		return err
+	}
+	if s.dir != "" {
+		path := s.segPath(i)
+		blobOff, err := writeSegmentFile(s.fsys, path, seg, i, len(s.shards))
+		if err != nil {
+			return err
+		}
+		f, err := s.fsys.OpenFile(path, os.O_RDONLY, 0)
+		if err != nil {
+			return err
+		}
+		// Swap the just-written blocks out of RAM for pread on the
+		// published file; the rest of the segment (dict, doc table,
+		// block metadata) stays resident.
+		seg.src = &fileBlocks{f: f, base: blobOff}
+	}
+	if sh.seg != nil {
+		sh.seg.src.close()
+	}
+	sh.seg = seg
+	sh.postings = make(map[string]map[string]int)
+	sh.docLens = make(map[string]int)
+	sh.docCRCs = make(map[string]uint64)
+	sh.totalLen = 0
+	mKwMerges.Inc()
+	mKwMergeDur.Since(start)
+	return nil
+}
+
+// Flush merges every shard's map tier into its segment. For a
+// disk-resident index this publishes all postings, so a subsequent
+// AdoptSegments covers the whole corpus; shards left with no documents at
+// all have their stale segment file removed.
+func (s *ShardedKeywordIndex) Flush() error {
+	var firstErr error
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		switch {
+		case len(sh.docLens) > 0:
+			if err := s.mergeShardLocked(i, sh); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("flushing keyword shard %d: %w", i, err)
+			}
+		case sh.seg == nil && s.dir != "":
+			os.Remove(s.segPath(i))
+		}
+		sh.mu.Unlock()
+	}
+	return firstErr
+}
+
+// AdoptSegments opens every published segment file under the index's Dir
+// and adopts the ones that still describe the current corpus: verify is
+// called with each covered document's ID and the CRC-64 of the text the
+// segment indexed, and must report whether that is still the document's
+// text. A file that is missing, damaged in any way, from a different shard
+// layout, holding a misplaced document, or stale by CRC is skipped whole —
+// its documents simply stay with the caller to re-add. Returns the IDs the
+// adopted segments cover.
+func (s *ShardedKeywordIndex) AdoptSegments(verify func(docID string, crc uint64) bool) []string {
+	if s.dir == "" {
+		return nil
+	}
+	var covered []string
+	for i, sh := range s.shards {
+		seg, err := openSegmentFile(s.fsys, s.segPath(i), i, len(s.shards), true)
+		if err != nil {
+			if !os.IsNotExist(err) {
+				mKwAdoptRejected.Inc()
+			}
+			continue
+		}
+		ok := true
+		for d, id := range seg.docIDs {
+			if s.shardIndex(id) != i || !verify(id, seg.docCRCs[d]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			seg.src.close()
+			mKwAdoptRejected.Inc()
+			continue
+		}
+		sh.mu.Lock()
+		if old := sh.seg; old != nil {
+			old.src.close()
+		}
+		sh.seg = seg
+		sh.mu.Unlock()
+		covered = append(covered, seg.docIDs...)
+		mKwAdopted.Inc()
+	}
+	return covered
+}
+
+// Close releases segment file handles. The index is unusable afterwards.
+func (s *ShardedKeywordIndex) Close() error {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if sh.seg != nil {
+			sh.seg.src.close()
+			sh.seg = nil
+		}
+		sh.mu.Unlock()
+	}
+	return nil
+}
+
+// SegmentCount returns how many shards currently hold a compact segment.
+func (s *ShardedKeywordIndex) SegmentCount() int {
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if sh.seg != nil {
+			n++
+		}
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// MemBytes estimates the heap retained by the index across both tiers —
+// the number DiskResidentPostings exists to shrink. Map-tier sizes use the
+// same per-entry overhead constants as the rest of the lake's residency
+// accounting; segment sizes count the doc table, dictionary, block
+// metadata, and (for in-RAM segments) the block blob.
+func (s *ShardedKeywordIndex) MemBytes() int64 {
+	const mapEntry = 48 // rough per-entry bucket overhead
+	const strHeader = 16
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for tok, m := range sh.postings {
+			n += int64(len(tok)) + strHeader + mapEntry
+			for id := range m {
+				n += int64(len(id)) + strHeader + 8 + mapEntry
+			}
+		}
+		for id := range sh.docLens {
+			n += int64(len(id)) + strHeader + 8 + mapEntry
+		}
+		n += int64(len(sh.docCRCs)) * (strHeader + 8 + mapEntry) // ids shared with docLens
+		n += sh.seg.memBytes()
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
 // Len returns the number of indexed documents.
 func (s *ShardedKeywordIndex) Len() int {
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
 		n += len(sh.docLens)
+		if sh.seg != nil {
+			n += sh.seg.DocCount()
+		}
 		sh.mu.RUnlock()
 	}
 	return n
@@ -176,71 +474,113 @@ func (s *ShardedKeywordIndex) lockAll() func() {
 	}
 }
 
-// statsLocked gathers this index's BM25 statistics for tokens. Caller holds
-// every shard read lock.
+// statsLocked gathers this index's BM25 statistics for tokens across both
+// tiers. Caller holds every shard read lock. Because a document lives in
+// exactly one tier, each DF is the plain sum of the map tier's posting-list
+// size and the segment dictionary's df.
 func (s *ShardedKeywordIndex) statsLocked(tokens []string) KeywordStats {
 	g := KeywordStats{DF: make([]int, len(tokens))}
 	for _, sh := range s.shards {
 		g.Docs += len(sh.docLens)
 		g.TotalLen += sh.totalLen
+		if sh.seg != nil {
+			g.Docs += sh.seg.DocCount()
+			g.TotalLen += int(sh.seg.totalLen)
+		}
 	}
 	for i, tok := range tokens {
 		for _, sh := range s.shards {
 			g.DF[i] += len(sh.postings[tok])
+			if sh.seg != nil {
+				g.DF[i] += sh.seg.df(tok)
+			}
 		}
 	}
 	return g
 }
 
 // scoreLocked ranks this index's documents by BM25 under the given (possibly
-// cluster-global) statistics. Caller holds every shard read lock. The float
+// cluster-global) statistics. Caller holds every shard read lock.
+//
+// Map tiers are scored exhaustively with a pooled accumulator: the float
 // accumulation per document runs in token order, so a document's score
 // depends only on its own term frequencies, its length, and the global
-// stats — never on which shard (or which index) holds it.
-func (s *ShardedKeywordIndex) scoreLocked(tokens []string, g KeywordStats, k int) []Hit {
+// stats — never on which shard (or which index, or which tier) holds it.
+// Segments are scored by the block-max pruned scorer, which scores the
+// documents it does not prune with the identical bm25Term sequence. Both
+// feed one bounded top-k heap whose strict (score desc, ID asc) order
+// matches sortHits, so the result is bitwise-identical to exhaustive
+// scoring.
+func (s *ShardedKeywordIndex) scoreLocked(tokens []string, g KeywordStats, k int) ([]Hit, error) {
 	n := g.Docs
 	if n == 0 || k <= 0 {
-		return nil
+		return nil, nil
 	}
 	avgLen := float64(g.TotalLen) / float64(n)
 	if avgLen == 0 {
 		avgLen = 1
 	}
-	scores := map[string]float64{}
-	for ti, tok := range tokens {
-		df := g.DF[ti]
-		if df == 0 {
+	sc := s.scratch.Get().(*kwScratch)
+	defer s.putScratch(sc)
+
+	sc.idf = sc.idf[:0]
+	for i := range tokens {
+		idf := 0.0 // zero marks "no matches anywhere" — log above is never 0 for df >= 1
+		if g.DF[i] > 0 {
+			idf = bm25IDF(n, g.DF[i])
+		}
+		sc.idf = append(sc.idf, idf)
+	}
+	sc.heap.reset(k)
+
+	for _, sh := range s.shards {
+		if len(sh.docLens) == 0 {
 			continue
 		}
-		idf := math.Log(1 + (float64(n)-float64(df)+0.5)/(float64(df)+0.5))
-		for _, sh := range s.shards {
+		clear(sc.acc)
+		for ti, tok := range tokens {
+			if sc.idf[ti] == 0 {
+				continue
+			}
 			for docID, tf := range sh.postings[tok] {
 				dl := float64(sh.docLens[docID])
-				num := float64(tf) * (s.k1 + 1)
-				den := float64(tf) + s.k1*(1-s.bBM25+s.bBM25*dl/avgLen)
-				scores[docID] += idf * num / den
+				sc.acc[docID] += bm25Term(sc.idf[ti], float64(tf), dl, avgLen, s.k1, s.bBM25)
 			}
 		}
+		for id, score := range sc.acc {
+			sc.heap.offer(id, score)
+		}
 	}
-	hits := make([]Hit, 0, len(scores))
-	for id, sc := range scores {
-		hits = append(hits, Hit{ID: id, Score: sc})
+	for _, sh := range s.shards {
+		if sh.seg == nil {
+			continue
+		}
+		if err := scoreSegment(sh.seg, tokens, sc, avgLen, s.k1, s.bBM25); err != nil {
+			return nil, err
+		}
 	}
+
+	hits := sc.heap.drain(make([]Hit, 0, len(sc.heap.items)))
 	sortHits(hits)
-	if k > len(hits) {
-		k = len(hits)
-	}
-	return hits[:k]
+	return hits, nil
+}
+
+func (s *ShardedKeywordIndex) putScratch(sc *kwScratch) {
+	mKwBlocksScanned.Add(uint64(sc.scanned))
+	mKwBlocksSkipped.Add(uint64(sc.skipped))
+	sc.scanned, sc.skipped = 0, 0
+	s.scratch.Put(sc)
 }
 
 // Search returns up to k documents ranked by BM25 relevance to the query.
 // All shards are read-locked for the duration of the scoring pass, giving
-// each query a consistent global snapshot.
-func (s *ShardedKeywordIndex) Search(query string, k int) []Hit {
+// each query a consistent global snapshot. The only error source is a
+// failed block read on a disk-resident segment.
+func (s *ShardedKeywordIndex) Search(query string, k int) ([]Hit, error) {
 	mKwSearches.Inc()
+	tokens := data.Tokenize(query)
 	unlock := s.lockAll()
 	defer unlock()
-	tokens := data.Tokenize(query)
 	return s.scoreLocked(tokens, s.statsLocked(tokens), k)
 }
 
@@ -256,9 +596,17 @@ func (s *ShardedKeywordIndex) Stats(tokens []string) KeywordStats {
 // global statistics — phase two of an exact cross-shard keyword search. g
 // must have been gathered (and merged) for data.Tokenize(query); with
 // g == Stats(tokens) this is exactly Search.
-func (s *ShardedKeywordIndex) SearchWithStats(query string, g KeywordStats, k int) []Hit {
+func (s *ShardedKeywordIndex) SearchWithStats(query string, g KeywordStats, k int) ([]Hit, error) {
 	mKwSearches.Inc()
 	unlock := s.lockAll()
 	defer unlock()
 	return s.scoreLocked(data.Tokenize(query), g, k)
+}
+
+// KeywordBlockCounters returns the process-wide block-max scoreboard —
+// cumulative decoded (scanned) and pruned-without-decode (skipped) block
+// counts across every ShardedKeywordIndex. Benchmarks diff it around a
+// query batch to report pruning effectiveness.
+func KeywordBlockCounters() (scanned, skipped uint64) {
+	return mKwBlocksScanned.Value(), mKwBlocksSkipped.Value()
 }

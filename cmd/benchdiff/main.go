@@ -1,14 +1,24 @@
-// Command benchdiff compares two `go test -bench` outputs and prints a
+// Command benchdiff compares two benchmark outputs and prints a
 // benchstat-style old-vs-new table, one row per (benchmark, unit) pair
 // present in both files. CI runs it against the merge-base to surface
 // read-path regressions in the job summary; it has no dependencies beyond
 // the standard library so it runs anywhere the toolchain does.
+//
+// Two input formats are sniffed per file: classic `go test -bench` text,
+// and the machine-readable JSON summaries lakebench writes (a file whose
+// first non-space byte is '{', e.g. BENCH_scale.json). JSON files flatten
+// generically — objects contribute a name segment from their "kind" plus
+// their count-like field (n_vectors, models, ...), and every numeric or
+// boolean leaf becomes a unit — so new arms and fields (the PQ rows, the 1M
+// stream bar) show up in the diff without benchdiff needing to know them.
 //
 // Usage: benchdiff OLD NEW
 package main
 
 import (
 	"bufio"
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -73,6 +83,95 @@ func parseBench(r io.Reader) (map[string]*sample, []string, error) {
 		}
 	}
 	return out, order, sc.Err()
+}
+
+// jsonLabelCounts are the count-like fields that, together with "kind",
+// label a flattened JSON object: the first present becomes part of the row
+// name (and is excluded from the units) so the same arm at two scales makes
+// two distinct rows.
+var jsonLabelCounts = []string{"n_vectors", "n_models", "models", "docs"}
+
+// parseScaleJSON flattens a lakebench JSON summary into the same
+// (name, unit) sample space as parseBench. The walk is fully generic: it
+// never names concrete fields beyond the labeling ones above, so adding an
+// arm or a metric to the JSON shows up here with zero changes.
+func parseScaleJSON(data []byte) (map[string]*sample, []string, error) {
+	var root any
+	if err := json.Unmarshal(data, &root); err != nil {
+		return nil, nil, err
+	}
+	out := map[string]*sample{}
+	var order []string
+	add := func(name, unit string, v float64) {
+		s := out[name]
+		if s == nil {
+			s = &sample{sum: map[string]float64{}, count: map[string]int{}}
+			out[name] = s
+			order = append(order, name)
+		}
+		s.sum[unit] += v
+		s.count[unit]++
+	}
+	join := func(name, seg string) string {
+		if name == "" {
+			return seg
+		}
+		return name + "/" + seg
+	}
+	var walk func(name string, v any)
+	walk = func(name string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			labeled := map[string]bool{}
+			if kind, ok := x["kind"].(string); ok && kind != "" {
+				name = join(name, kind)
+				labeled["kind"] = true
+			}
+			for _, key := range jsonLabelCounts {
+				if c, ok := x[key].(float64); ok {
+					name = join(name, strconv.FormatFloat(c, 'f', -1, 64))
+					labeled[key] = true
+					break
+				}
+			}
+			keys := make([]string, 0, len(x))
+			for k := range x {
+				if !labeled[k] {
+					keys = append(keys, k)
+				}
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				switch val := x[k].(type) {
+				case float64:
+					add(name, k, val)
+				case bool:
+					b := 0.0
+					if val {
+						b = 1
+					}
+					add(name, k, b)
+				case map[string]any, []any:
+					walk(join(name, k), val)
+				}
+			}
+		case []any:
+			for _, e := range x {
+				walk(name, e)
+			}
+		}
+	}
+	walk("", root)
+	return out, order, nil
+}
+
+// parseAny sniffs the format: a payload whose first non-space byte is '{'
+// is a lakebench JSON summary, anything else is `go test -bench` text.
+func parseAny(data []byte) (map[string]*sample, []string, error) {
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '{' {
+		return parseScaleJSON(trimmed)
+	}
+	return parseBench(bytes.NewReader(data))
 }
 
 // row is one line of the comparison table.
@@ -147,13 +246,12 @@ func main() {
 		os.Exit(2)
 	}
 	read := func(path string) (map[string]*sample, []string) {
-		f, err := os.Open(path)
+		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			os.Exit(1)
 		}
-		defer f.Close()
-		s, order, err := parseBench(f)
+		s, order, err := parseAny(data)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
 			os.Exit(1)

@@ -69,3 +69,68 @@ func TestParseBenchMalformed(t *testing.T) {
 		t.Fatal("malformed value should not produce a mean")
 	}
 }
+
+const oldJSON = `{
+  "points": [
+    {"kind": "quant", "n_vectors": 100000, "qps": 900.0, "tier_bytes": 5200000, "identical_topk": true},
+    {"kind": "pq", "n_vectors": 100000, "qps": 800.0, "tier_bytes": 865600, "identical_topk": true}
+  ],
+  "stream": {"models": 100000, "peak_heap_bytes": 900000000, "search_qps": 120.5, "under_2gb": true}
+}`
+
+const newJSON = `{
+  "points": [
+    {"kind": "quant", "n_vectors": 100000, "qps": 910.0, "tier_bytes": 5200000, "identical_topk": true},
+    {"kind": "pq", "n_vectors": 100000, "qps": 880.0, "tier_bytes": 865600, "identical_topk": true},
+    {"kind": "pq", "n_vectors": 1000000, "qps": 95.0, "tier_bytes": 8065600, "identical_topk": true}
+  ],
+  "stream": {"models": 100000, "peak_heap_bytes": 850000000, "search_qps": 131.0, "under_2gb": true}
+}`
+
+// TestDiffScaleJSON pins the sniffed JSON mode: lakebench summaries flatten
+// into (name, unit) rows — including arms benchdiff has never heard of,
+// like the PQ points — and only rows present on both sides are diffed.
+func TestDiffScaleJSON(t *testing.T) {
+	oldS, _, err := parseAny([]byte(oldJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	newS, order, err := parseAny([]byte(newJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := newS["points/pq/1000000"]; !ok {
+		t.Fatalf("1M pq point not flattened; names = %v", order)
+	}
+	rows := diff(oldS, newS, order)
+	var sb strings.Builder
+	render(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"points/pq/100000", "points/quant/100000", "qps", "tier_bytes", "stream/100000", "peak_heap_bytes"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// The 1M point exists only on the new side, so it must not be diffed.
+	if strings.Contains(out, "points/pq/1000000") {
+		t.Fatalf("table contains non-common row:\n%s", out)
+	}
+	// Booleans flatten to 0/1 and survive the round trip.
+	if v, ok := newS["points/pq/100000"].mean("identical_topk"); !ok || v != 1 {
+		t.Fatalf("identical_topk = %v, %v", v, ok)
+	}
+}
+
+// TestParseAnySniffsText keeps the classic path intact behind the sniffer.
+func TestParseAnySniffsText(t *testing.T) {
+	s, order, err := parseAny([]byte(oldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if _, ok := s["FlatSearch10k"].mean("ns/op"); !ok {
+		t.Fatal("text benchmarks not parsed through parseAny")
+	}
+}

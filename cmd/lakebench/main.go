@@ -99,9 +99,10 @@ func main() {
 				}
 			}
 		} else if ex.ID == "E16" {
-			// E16 (the atlas-scale benchmark: quantized rescore,
-			// disk-resident segments, streamed lake generation) captures its
-			// JSON summary for the archive (-scale-json).
+			// E16 (the atlas-scale benchmark: int8 and product-quantized
+			// rescore arms, disk-resident segments, streamed lake
+			// generation) captures its JSON summary — per-arm QPS, resident
+			// tier bytes, and peak heap — for the archive (-scale-json).
 			var res *experiments.ScaleBenchResult
 			t, res, err = experiments.RunE16Scale(*seed, nil, 0, 0)
 			if err == nil && res != nil && *scaleJSON != "" {

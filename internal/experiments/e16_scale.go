@@ -15,22 +15,33 @@ import (
 	"modellake/internal/registry"
 )
 
-// E16 benchmarks the atlas-scale read path (DESIGN.md §12): the int8
-// quantized tier with exact rescore, the disk-resident flat segment, and
-// streaming lake generation. Part A sweeps index scale — exact flat scan vs
-// quantized two-phase scan vs disk-resident segment at 10k and 100k vectors —
-// verifying on every point that the quantized and disk paths return
-// bitwise-identical top-k to the exact scan, and timing segment Open (the
-// reopen cost a disk-resident lake pays instead of re-adding every row).
-// Part B generates a large lake with lakegen.Stream, ingests it chunk by
-// chunk into a quantized disk-resident lake, and reports ingest throughput,
-// the peak-heap proxy for resident memory (the point of streaming: the whole
+// E16 benchmarks the atlas-scale read path (DESIGN.md §12, §14): the int8
+// quantized tier with exact rescore, the product-quantized ADC tier, the
+// disk-resident flat segment, and streaming lake generation. Part A sweeps
+// index scale — exact flat scan vs int8 two-phase scan vs PQ ADC scan vs
+// disk-resident segment at 10k and 100k vectors — verifying on every point
+// that the approximate paths return bitwise-identical top-k to the exact
+// scan, reporting each arm's resident ranking-tier bytes (the number the
+// "1M models in one box" claim rests on), and timing segment Open. Part B
+// generates a large lake with lakegen.Stream, ingests it chunk by chunk
+// into a PQ disk-resident lake, and reports ingest throughput, the
+// peak-heap proxy for resident memory (the point of streaming: the whole
 // population is never live at once), reopen latency, and query QPS against
 // the reopened lake.
 
+// pqBenchRescoreFactor is the shortlist over-fetch the PQ arm runs with.
+// Eight-byte codes are far coarser than the int8 tier's per-component
+// codes, so PQ buys back its exactness with a deeper shortlist: at 100k
+// uniform Gaussian vectors (the hardest case for PQ — no cluster structure
+// for the codebooks to exploit) factor 128 still misses ~1 in 50 sampled
+// queries, 192 is the lowest probed factor with zero misses, and 256 runs
+// with double that margin while the rescore cost (k·256 of 100k rows)
+// stays far below the full-index scan it replaces.
+const pqBenchRescoreFactor = 256
+
 // ScalePoint is one (read path, vector count) measurement.
 type ScalePoint struct {
-	Kind          string  `json:"kind"` // "exact", "quant", or "disk"
+	Kind          string  `json:"kind"` // "exact", "quant", "pq", or "disk"
 	NVectors      int     `json:"n_vectors"`
 	Dim           int     `json:"dim"`
 	K             int     `json:"k"`
@@ -39,9 +50,12 @@ type ScalePoint struct {
 	P50Ns         int64   `json:"p50_ns"`
 	P99Ns         int64   `json:"p99_ns"`
 	AllocsPerOp   float64 `json:"allocs_per_op"`
-	IdenticalTopK bool    `json:"identical_topk"`          // vs the exact flat scan
-	OpenNs        int64   `json:"open_ns,omitempty"`       // disk only: segment Open+verify latency
-	SegmentBytes  int64   `json:"segment_bytes,omitempty"` // disk only: on-disk segment size
+	IdenticalTopK bool    `json:"identical_topk"`            // vs the exact flat scan
+	TierBytes     int64   `json:"tier_bytes,omitempty"`      // resident ranking tier (int8 codes or PQ codebook+codes)
+	IndexBytes    int64   `json:"index_bytes,omitempty"`     // whole index resident heap estimate
+	PeakHeapBytes uint64  `json:"peak_heap_bytes,omitempty"` // max sampled HeapAlloc around this arm's query loop
+	OpenNs        int64   `json:"open_ns,omitempty"`         // disk only: segment Open+verify latency
+	SegmentBytes  int64   `json:"segment_bytes,omitempty"`   // disk only: on-disk segment size
 }
 
 // ScaleStream summarizes the streamed-lake half of the experiment.
@@ -96,8 +110,8 @@ func RunE16Scale(seed uint64, sizes []int, queries, streamModels int) (*Table, *
 		ID:    "E16",
 		Title: "atlas scale: quantized rescore, disk-resident vectors, streamed lakes",
 		Columns: []string{"path", "vectors", "qps", "p50", "p99", "allocs/op",
-			"identical top-k", "open"},
-		Notes: "quant and disk rows are verified bitwise-identical to the exact flat scan; stream row generates the lake incrementally and reports peak heap instead of top-k identity",
+			"identical top-k", "tier", "open"},
+		Notes: "quant, pq, and disk rows are verified bitwise-identical to the exact flat scan; tier is the resident ranking-tier heap (int8 codes or PQ codebook+codes); stream row generates the lake incrementally into a PQ disk-resident lake and reports peak heap instead of top-k identity",
 	}
 	res := &ScaleBenchResult{}
 
@@ -112,10 +126,14 @@ func RunE16Scale(seed uint64, sizes []int, queries, streamModels int) (*Table, *
 			if p.OpenNs > 0 {
 				open = time.Duration(p.OpenNs).Round(time.Microsecond).String()
 			}
+			tier := "-"
+			if p.TierBytes > 0 {
+				tier = fmt.Sprintf("%.2f MiB", float64(p.TierBytes)/(1<<20))
+			}
 			t.AddRow(p.Kind, fmt.Sprint(p.NVectors), f2(p.QPS),
 				time.Duration(p.P50Ns).Round(time.Microsecond).String(),
 				time.Duration(p.P99Ns).Round(time.Microsecond).String(),
-				f2(p.AllocsPerOp), fmt.Sprint(p.IdenticalTopK), open)
+				f2(p.AllocsPerOp), fmt.Sprint(p.IdenticalTopK), tier, open)
 		}
 	}
 
@@ -130,12 +148,16 @@ func RunE16Scale(seed uint64, sizes []int, queries, streamModels int) (*Table, *
 			float64(stream.PeakHeapBytes)/mib, stream.Under2GB,
 			float64(stream.VectorHeapBytes)/mib, float64(stream.PostingsHeapBytes)/mib,
 			float64(stream.KVHeapBytes)/mib),
+		fmt.Sprintf("%.1f MiB", float64(stream.VectorHeapBytes)/mib),
 		time.Duration(stream.ReopenNs).Round(time.Millisecond).String())
 	return t, res, nil
 }
 
-// measureScalePoint builds the three read paths over the same n vectors and
-// measures each, gating quant and disk on bitwise identity to the exact scan.
+// measureScalePoint builds the four read paths over the same n vectors and
+// measures each, gating quant, pq, and disk on bitwise identity to the
+// exact scan. The PQ arm trains its codebook on the full population (the
+// shape a built segment has) and runs the deeper pqBenchRescoreFactor
+// shortlist its coarser codes need.
 func measureScalePoint(seed uint64, n, dim, k, nq int) ([]ScalePoint, error) {
 	vecs := benchVectors(n, dim, seed+uint64(n))
 	queries := benchVectors(nq, dim, seed+uint64(n)+1)
@@ -146,13 +168,20 @@ func measureScalePoint(seed uint64, n, dim, k, nq int) ([]ScalePoint, error) {
 
 	exact := index.NewFlat(index.Cosine)
 	quant := index.NewFlatQuantized(index.Cosine, index.QuantConfig{})
+	pq := index.NewFlatPQ(index.Cosine, index.QuantConfig{
+		Seed: seed, PQTrainRows: n, RescoreFactor: pqBenchRescoreFactor,
+	})
 	exact.Reserve(n, dim)
 	quant.Reserve(n, dim)
+	pq.Reserve(n, dim)
 	for i, v := range vecs {
 		if err := exact.Add(ids[i], v); err != nil {
 			return nil, err
 		}
 		if err := quant.Add(ids[i], v); err != nil {
+			return nil, err
+		}
+		if err := pq.Add(ids[i], v); err != nil {
 			return nil, err
 		}
 	}
@@ -191,11 +220,18 @@ func measureScalePoint(seed uint64, n, dim, k, nq int) ([]ScalePoint, error) {
 		return true, nil
 	}
 
+	heapAlloc := func() uint64 {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
 	var out []ScalePoint
 	for _, c := range []struct {
 		kind string
 		idx  index.Index
-	}{{"exact", exact}, {"quant", quant}, {"disk", disk}} {
+	}{{"exact", exact}, {"quant", quant}, {"pq", pq}, {"disk", disk}} {
+		heapBefore := heapAlloc()
 		qp, err := measureIndex(c.kind, c.idx, queries, n, dim, k)
 		if err != nil {
 			return nil, err
@@ -204,6 +240,13 @@ func measureScalePoint(seed uint64, n, dim, k, nq int) ([]ScalePoint, error) {
 			Kind: qp.Kind, NVectors: n, Dim: dim, K: k, Queries: qp.Queries,
 			QPS: qp.QPS, P50Ns: qp.P50Ns, P99Ns: qp.P99Ns, AllocsPerOp: qp.AllocsPerOp,
 			IdenticalTopK: true,
+			PeakHeapBytes: max(heapBefore, heapAlloc()),
+		}
+		if tiered, ok := c.idx.(interface{ ResidentTierBytes() int64 }); ok {
+			p.TierBytes = tiered.ResidentTierBytes()
+		}
+		if sized, ok := c.idx.(interface{ MemBytes() int64 }); ok {
+			p.IndexBytes = sized.MemBytes()
 		}
 		if c.kind != "exact" {
 			if p.IdenticalTopK, err = identical(c.idx); err != nil {
@@ -255,8 +298,11 @@ func scaleSpec(seed uint64, models int) lakegen.Spec {
 }
 
 // measureStreamedLake streams a models-model population straight into a
-// quantized, disk-resident lake in chunks, so the full population is never
-// resident; peak HeapAlloc across the run is the memory proxy.
+// product-quantized, disk-resident lake in chunks, so the full population is
+// never resident; peak HeapAlloc across the run is the memory proxy. PQ is
+// the tier of record here because it is what carries the 1M-models-in-one-
+// box bar: 8 bytes of resident ranking state per vector instead of the int8
+// tier's dim+20.
 func measureStreamedLake(seed uint64, models int) (ScaleStream, error) {
 	s := ScaleStream{}
 	dir, err := os.MkdirTemp("", "e16lake")
@@ -264,7 +310,7 @@ func measureStreamedLake(seed uint64, models int) (ScaleStream, error) {
 		return s, err
 	}
 	defer os.RemoveAll(dir)
-	cfg := lake.Config{Dir: dir, Seed: seed, Quantize: true,
+	cfg := lake.Config{Dir: dir, Seed: seed, PQSubspaces: 8,
 		DiskResidentVectors: true, DiskResidentPostings: true}
 	lk, err := lake.Open(cfg)
 	if err != nil {

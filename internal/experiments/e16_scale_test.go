@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"os"
+	"strconv"
 	"testing"
+	"time"
 )
 
 // TestE16Shape runs the atlas-scale benchmark at toy sizes and pins its
@@ -15,11 +17,11 @@ func TestE16Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 4 { // exact, quant, disk, stream
-		t.Fatalf("rows = %d, want 4", len(tab.Rows))
+	if len(tab.Rows) != 5 { // exact, quant, pq, disk, stream
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
 	}
-	if len(res.Points) != 3 {
-		t.Fatalf("points = %d, want 3", len(res.Points))
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
 	}
 	for _, p := range res.Points {
 		if !p.IdenticalTopK {
@@ -27,6 +29,12 @@ func TestE16Shape(t *testing.T) {
 		}
 		if p.QPS <= 0 || p.P50Ns <= 0 || p.P99Ns < p.P50Ns {
 			t.Fatalf("path %s reported implausible timings: %+v", p.Kind, p)
+		}
+		if p.PeakHeapBytes == 0 {
+			t.Fatalf("path %s missing peak heap sample: %+v", p.Kind, p)
+		}
+		if (p.Kind == "quant" || p.Kind == "pq") && p.TierBytes <= 0 {
+			t.Fatalf("path %s missing resident tier bytes: %+v", p.Kind, p)
 		}
 		if p.Kind == "disk" && (p.OpenNs <= 0 || p.SegmentBytes <= 0) {
 			t.Fatalf("disk path missing open/segment stats: %+v", p)
@@ -63,10 +71,29 @@ func TestScaleSmoke100k(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var quantTier, pqTier int64
+	var quantQPS, pqQPS float64
 	for _, p := range res.Points {
 		if !p.IdenticalTopK {
 			t.Fatalf("path %s diverged at 100k: %+v", p.Kind, p)
 		}
+		switch p.Kind {
+		case "quant":
+			quantTier, quantQPS = p.TierBytes, p.QPS
+		case "pq":
+			pqTier, pqQPS = p.TierBytes, p.QPS
+		}
+	}
+	// The PQ acceptance bars at 100k: the resident ranking tier must be at
+	// least 4x smaller than the int8 tier, at no worse than half its QPS.
+	if quantTier <= 0 || pqTier <= 0 {
+		t.Fatalf("missing tier accounting: quant=%d pq=%d", quantTier, pqTier)
+	}
+	if pqTier*4 > quantTier {
+		t.Fatalf("pq tier %d bytes not >=4x smaller than int8 tier %d bytes", pqTier, quantTier)
+	}
+	if pqQPS*2 < quantQPS {
+		t.Fatalf("pq qps %.1f below half of int8 qps %.1f", pqQPS, quantQPS)
 	}
 	if res.Stream.Models != 100_000 {
 		t.Fatalf("streamed %d models, want 100000", res.Stream.Models)
@@ -74,4 +101,42 @@ func TestScaleSmoke100k(t *testing.T) {
 	if !res.Stream.Under2GB {
 		t.Fatalf("100k streamed lake peaked at %d bytes, over the 2 GiB bar", res.Stream.PeakHeapBytes)
 	}
+}
+
+// TestScaleSmoke1M is the headline gate behind the "1M models in one box"
+// claim: a million models streamed into a product-quantized disk-resident
+// lake, required to stay under 6 GiB of peak heap with working search on
+// reopen. At full size it takes tens of minutes and is strictly a local
+// opt-in (MODELLAKE_SCALE_SMOKE_1M=1 go test -run TestScaleSmoke1M
+// -timeout 2h ./internal/experiments); CI runs it at a reduced size via
+// MODELLAKE_SCALE_SMOKE_1M_MODELS to keep the path exercised without the
+// wall-clock bill.
+func TestScaleSmoke1M(t *testing.T) {
+	if os.Getenv("MODELLAKE_SCALE_SMOKE_1M") == "" {
+		t.Skip("set MODELLAKE_SCALE_SMOKE_1M=1 to run the 1M streamed-lake smoke test")
+	}
+	models := 1_000_000
+	if s := os.Getenv("MODELLAKE_SCALE_SMOKE_1M_MODELS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			models = v
+		}
+	}
+	stream, err := measureStreamedLake(42, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Models != models {
+		t.Fatalf("streamed %d models, want %d", stream.Models, models)
+	}
+	const bar = 6 << 30
+	if stream.PeakHeapBytes >= bar {
+		t.Fatalf("streamed lake peaked at %d bytes, over the 6 GiB bar", stream.PeakHeapBytes)
+	}
+	if stream.SearchQPS <= 0 || stream.KeywordQPS <= 0 {
+		t.Fatalf("reopened lake not serving: %+v", stream)
+	}
+	t.Logf("models=%d peak_heap=%.0f MiB reopen=%s search_qps=%.1f keyword_qps=%.1f vec_tier=%.1f MiB",
+		stream.Models, float64(stream.PeakHeapBytes)/(1<<20),
+		time.Duration(stream.ReopenNs), stream.SearchQPS, stream.KeywordQPS,
+		float64(stream.VectorHeapBytes)/(1<<20))
 }

@@ -40,6 +40,8 @@ var (
 	hnswCandidates  = candidateCounter("hnsw")
 	quantSearches   = searchCounter("flat_quant")
 	quantCandidates = candidateCounter("flat_quant")
+	pqSearches      = searchCounter("flat_pq")
+	pqCandidates    = candidateCounter("flat_pq")
 	diskSearches    = searchCounter("disk_flat")
 	diskCandidates  = candidateCounter("disk_flat")
 )
@@ -241,14 +243,18 @@ type Flat struct {
 	byID   map[string]struct{}
 	dim    int
 
-	// Optional int8 quantized tier (NewFlatQuantized): searches go through
-	// the two-phase quantized-scan + exact-rescore path instead of the
-	// full-precision scan. Nil on a plain NewFlat index.
+	// Optional approximate ranking tier — at most one is set. quant is the
+	// int8 tier (NewFlatQuantized), pq the product-quantized tier
+	// (NewFlatPQ); either way searches go through a two-phase approximate-
+	// scan + exact-rescore path instead of the full-precision scan. Both
+	// nil on a plain NewFlat index.
 	quant         *quantTier
+	pq            *pqTier
 	rescoreFactor int
 
-	topk     sync.Pool // *topK per-search scratch
-	qscratch sync.Pool // *quantScratch, set when quant != nil
+	topk      sync.Pool // *topK per-search scratch
+	qscratch  sync.Pool // *quantScratch, set when quant != nil
+	pqscratch sync.Pool // *pqScratch, set when pq != nil
 }
 
 // NewFlat returns an empty exact index.
@@ -277,6 +283,13 @@ func (f *Flat) Add(id string, v tensor.Vector) error {
 	f.byID[id] = struct{}{}
 	if f.quant != nil {
 		f.quant.add(v)
+	}
+	if f.pq != nil {
+		if f.pq.trained() {
+			f.pq.encode(v)
+		} else if len(f.ids) >= f.pq.trainRows {
+			f.trainPQLocked()
+		}
 	}
 	return nil
 }
@@ -338,6 +351,16 @@ func (f *Flat) Search(ctx context.Context, q tensor.Vector, k int) ([]Result, er
 		// narrow anything, so run the plain exact scan (identity is then
 		// unconditional, not merely recall-dependent).
 	}
+	if f.pq.trained() {
+		if shortlist := k * f.rescoreFactor; shortlist < n {
+			pqSearches.Inc()
+			pqCandidates.Add(uint64(n + shortlist))
+			return f.searchPQ(ctx, q, qNorm, k, shortlist)
+		}
+		// Same degenerate case as above: a whole-index shortlist is just
+		// the exact scan. An untrained tier (population below the training
+		// threshold) also lands here.
+	}
 	flatSearches.Inc()
 	flatCandidates.Add(uint64(n))
 	t := f.topk.Get().(*topK)
@@ -382,7 +405,17 @@ func (f *Flat) MemBytes() int64 {
 	for id := range f.byID {
 		n += int64(len(id)) + memStrHeader + memMapEntry
 	}
-	return n + f.quant.memBytes()
+	return n + f.quant.memBytes() + f.pq.memBytes()
+}
+
+// ResidentTierBytes reports the heap held by the approximate ranking tier
+// alone — int8 codes and row params, or PQ codebook plus codes. Zero on a
+// plain exact index. The scale experiment compares this number across tier
+// choices, where MemBytes would drown it in IDs and full-precision rows.
+func (f *Flat) ResidentTierBytes() int64 {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.quant.memBytes() + f.pq.memBytes()
 }
 
 // MemBytes estimates the heap retained by the graph: vectors, norms, ID

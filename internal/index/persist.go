@@ -344,6 +344,7 @@ const DefaultSpillTailRows = 4096
 
 type DiskFlat struct {
 	metric        Metric
+	cfg           QuantConfig // defaults applied; spills rebuild under it
 	rescoreFactor int
 	spillRows     int       // tail rows that trigger compaction; <=0 never
 	path          string    // published segment path, target of spills
@@ -358,18 +359,21 @@ type DiskFlat struct {
 	ids     []string
 	byID    map[string]struct{}
 	norms   []float64
-	quant   *quantTier
-	tail    []float64 // rows added after open, full precision, row-major
+	quant   *quantTier // int8 ranking tier; nil in PQ mode
+	pq      *pqTier    // PQ ranking tier; nil in int8 mode
+	tail    []float64  // rows added after open, full precision, row-major
 	idsCRC  uint64
 	dataCRC uint64
 
 	scratch sync.Pool // *diskScratch
 }
 
-// diskScratch is the pooled per-search state: the quantized query, both
-// selectors, and the pread window buffers a rescore decodes rows into.
+// diskScratch is the pooled per-search state: the quantized query (or PQ
+// query LUT), both selectors, and the pread window buffers a rescore decodes
+// rows into.
 type diskScratch struct {
 	qq    quantQuery
+	lut   []float64
 	short topK
 	sel   topK
 	buf   []byte
@@ -380,10 +384,15 @@ func newDiskFlat(metric Metric, cfg QuantConfig) *DiskFlat {
 	cfg = cfg.withDefaults()
 	d := &DiskFlat{
 		metric:        metric,
+		cfg:           cfg,
 		rescoreFactor: cfg.RescoreFactor,
 		spillRows:     cfg.SpillTailRows,
 		byID:          make(map[string]struct{}),
-		quant:         &quantTier{},
+	}
+	if cfg.PQSubspaces > 0 {
+		d.pq = newPQTier(cfg)
+	} else {
+		d.quant = &quantTier{}
 	}
 	d.scratch.New = func() any { return new(diskScratch) }
 	return d
@@ -396,16 +405,37 @@ func newDiskFlat(metric Metric, cfg QuantConfig) *DiskFlat {
 // finalized header is written only after the last row, and the file reaches
 // path by fsync + rename + directory fsync. All IO routes through fs, so
 // the crash-window sweep in the fault package applies; a nil fs uses the
-// real filesystem. The in-RAM quantized tier and norms are built during the
-// write, so the returned index never re-reads the segment.
+// real filesystem. The in-RAM int8 tier and norms are built during the
+// write, so the returned index never re-reads the segment; a PQ-mode build
+// (cfg.PQSubspaces > 0) collects its bounded training sample during the
+// write, trains after publish, and encodes the rows with one extra
+// sequential pass, then persists codebook+codes in a crash-safe side file
+// next to the segment.
 func BuildDiskFlat(path string, fs *fault.FS, metric Metric, cfg QuantConfig, ids []string, row func(i int) []float64) (*DiskFlat, error) {
+	return buildDiskFlat(path, fs, metric, cfg, ids, row, nil)
+}
+
+// buildDiskFlat is BuildDiskFlat plus tier reuse: a spill passes the
+// already-trained PQ tier (whose codes cover every current row) so
+// compaction does not retrain, only rebinds the side file to the new
+// segment's checksums.
+func buildDiskFlat(path string, fs *fault.FS, metric Metric, cfg QuantConfig, ids []string, row func(i int) []float64, reusePQ *pqTier) (*DiskFlat, error) {
 	d := newDiskFlat(metric, cfg)
 	dim := 0
 	if len(ids) > 0 {
 		dim = len(row(0))
 	}
 	d.dim = dim
-	d.quant.dim = dim
+	if d.quant != nil {
+		d.quant.dim = dim
+	}
+	var pqIdxs []int
+	var pqSample []float64
+	pqNext := 0
+	if d.pq != nil && reusePQ == nil && len(ids) >= d.pq.trainRows {
+		pqIdxs = pqSampleIndices(len(ids))
+		pqSample = make([]float64, 0, len(pqIdxs)*dim)
+	}
 	idsSec := encodeIDSection(ids)
 	dataOff := int64(diskHeaderSize + len(idsSec))
 	if rem := dataOff % diskAlign; rem != 0 {
@@ -455,7 +485,13 @@ func BuildDiskFlat(path string, fs *fault.FS, metric Metric, cfg QuantConfig, id
 			binary.LittleEndian.PutUint64(chunk[start+j*8:], math.Float64bits(x))
 		}
 		d.norms = append(d.norms, tensor.Vector(r).Norm())
-		d.quant.add(r)
+		if d.quant != nil {
+			d.quant.add(r)
+		}
+		if pqIdxs != nil && pqNext < len(pqIdxs) && pqIdxs[pqNext] == i {
+			pqSample = append(pqSample, r...)
+			pqNext++
+		}
 		if len(chunk)+dim*8 > cap(chunk) {
 			dataCRC = crc64.Update(dataCRC, crcTable, chunk)
 			if _, err := tmp.Write(chunk); err != nil {
@@ -511,6 +547,28 @@ func BuildDiskFlat(path string, fs *fault.FS, metric Metric, cfg QuantConfig, id
 	}
 	d.idsCRC, d.dataCRC = hdr.idsCRC, hdr.dataCRC
 	d.path, d.fs = path, fs
+	if d.pq != nil {
+		if reusePQ != nil {
+			d.pq = reusePQ
+		} else if pqIdxs != nil {
+			d.pq.trainFrom(pqSample, len(pqIdxs), dim, 0)
+			if err := d.pqEncodeSegment(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+		// Persist the trained tier next to the new segment; a build that
+		// cannot publish its side file fails whole, so the crash sweep's
+		// "reported success" invariant covers the side file too. (An
+		// untrained tier — population below the threshold — has nothing
+		// to persist.)
+		if d.pq.trained() {
+			if err := d.writePQSideFile(); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
 	return d, nil
 }
 
@@ -526,16 +584,15 @@ func OpenDiskFlat(path string, fs *fault.FS, metric Metric, cfg QuantConfig) (*D
 	if err != nil {
 		return nil, fmt.Errorf("index: open segment: %w", err)
 	}
-	d, err := loadDiskFlat(f, metric, cfg)
+	d, err := loadDiskFlat(f, path, fs, metric, cfg)
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
-	d.path, d.fs = path, fs
 	return d, nil
 }
 
-func loadDiskFlat(f *fault.File, metric Metric, cfg QuantConfig) (*DiskFlat, error) {
+func loadDiskFlat(f *fault.File, path string, fs *fault.FS, metric Metric, cfg QuantConfig) (*DiskFlat, error) {
 	hbuf := make([]byte, diskHeaderSize)
 	if _, err := io.ReadFull(f, hbuf); err != nil {
 		return nil, fmt.Errorf("%w: header: %v", ErrBadSegment, err)
@@ -565,7 +622,9 @@ func loadDiskFlat(f *fault.File, metric Metric, cfg QuantConfig) (*DiskFlat, err
 	}
 	d := newDiskFlat(metric, cfg)
 	d.dim = int(hdr.dim)
-	d.quant.dim = d.dim
+	if d.quant != nil {
+		d.quant.dim = d.dim
+	}
 	d.ids = make([]string, 0, hdr.count)
 	for off := 0; off < len(idsSec); {
 		if off+4 > len(idsSec) {
@@ -612,7 +671,16 @@ func loadDiskFlat(f *fault.File, metric Metric, cfg QuantConfig) (*DiskFlat, err
 	row := make([]float64, d.dim)
 	var dataCRC uint64
 	d.norms = make([]float64, 0, hdr.count)
-	d.quant.reserve(int(hdr.count), d.dim)
+	if d.quant != nil {
+		d.quant.reserve(int(hdr.count), d.dim)
+	}
+	var pqIdxs []int
+	var pqSample []float64
+	pqNext := 0
+	if d.pq != nil && int(hdr.count) >= d.pq.trainRows {
+		pqIdxs = pqSampleIndices(int(hdr.count))
+		pqSample = make([]float64, 0, len(pqIdxs)*d.dim)
+	}
 	for i := 0; i < int(hdr.count); i++ {
 		if _, err := io.ReadFull(br, rowBuf); err != nil {
 			return nil, fmt.Errorf("%w: row %d: %v", ErrBadSegment, i, err)
@@ -625,7 +693,13 @@ func loadDiskFlat(f *fault.File, metric Metric, cfg QuantConfig) (*DiskFlat, err
 			return nil, fmt.Errorf("%w: row %d: %v", ErrBadSegment, i, err)
 		}
 		d.norms = append(d.norms, tensor.Vector(row).Norm())
-		d.quant.add(row)
+		if d.quant != nil {
+			d.quant.add(row)
+		}
+		if pqIdxs != nil && pqNext < len(pqIdxs) && pqIdxs[pqNext] == i {
+			pqSample = append(pqSample, row...)
+			pqNext++
+		}
 	}
 	if dataCRC != hdr.dataCRC {
 		return nil, fmt.Errorf("%w: data checksum mismatch", ErrBadSegment)
@@ -634,6 +708,23 @@ func loadDiskFlat(f *fault.File, metric Metric, cfg QuantConfig) (*DiskFlat, err
 	d.segN = int(hdr.count)
 	d.dataOff = int64(hdr.dataOff)
 	d.idsCRC, d.dataCRC = hdr.idsCRC, hdr.dataCRC
+	d.path, d.fs = path, fs
+
+	// PQ adoption: the side file is pure derived acceleration, never
+	// trusted further than its checksums. A valid one (bound to exactly
+	// this segment's count and CRCs) restores codebook and codes without
+	// retraining; anything else — missing, torn, stale, differently
+	// configured — retrains from the sample just collected and re-encodes
+	// the rows with one sequential pass, then republishes the side file on
+	// a best-effort basis (an open must not fail because an acceleration
+	// file could not be rewritten).
+	if pqIdxs != nil && !d.adoptPQSideFile() {
+		d.pq.trainFrom(pqSample, len(pqIdxs), d.dim, 0)
+		if err := d.pqEncodeSegment(); err != nil {
+			return nil, err
+		}
+		_ = d.writePQSideFile()
+	}
 	return d, nil
 }
 
@@ -672,7 +763,16 @@ func (d *DiskFlat) MemBytes() int64 {
 	for id := range d.byID {
 		n += int64(len(id)) + memStrHeader + memMapEntry
 	}
-	return n + d.quant.memBytes()
+	return n + d.quant.memBytes() + d.pq.memBytes()
+}
+
+// ResidentTierBytes reports the heap held by the approximate ranking tier
+// alone (int8 codes or PQ codebook+codes), the residency number the scale
+// experiment compares across tier choices.
+func (d *DiskFlat) ResidentTierBytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.quant.memBytes() + d.pq.memBytes()
 }
 
 // Close releases the segment file handle. Searches after Close fail.
@@ -709,13 +809,26 @@ func (d *DiskFlat) Add(id string, v tensor.Vector) error {
 	}
 	if d.dim == 0 {
 		d.dim = len(v)
-		d.quant.dim = d.dim
+		if d.quant != nil {
+			d.quant.dim = d.dim
+		}
 	}
 	d.ids = append(d.ids, id)
 	d.tail = append(d.tail, v...)
 	d.norms = append(d.norms, v.Norm())
-	d.quant.add(v)
+	if d.quant != nil {
+		d.quant.add(v)
+	}
 	d.byID[id] = struct{}{}
+	if d.pq != nil {
+		if d.pq.trained() {
+			d.pq.encode(v)
+		} else if len(d.ids) >= d.pq.trainRows {
+			if err := d.trainPQLocked(); err != nil {
+				return fmt.Errorf("index: pq train: %w", err)
+			}
+		}
+	}
 	if d.spillRows > 0 && d.f != nil && len(d.tail) >= d.spillRows*d.dim {
 		if err := d.spillLocked(); err != nil {
 			return fmt.Errorf("index: segment spill: %w", err)
@@ -755,8 +868,7 @@ func (d *DiskFlat) spillLocked() error {
 		}
 		return segRow
 	}
-	nd, err := BuildDiskFlat(d.path, d.fs, d.metric,
-		QuantConfig{RescoreFactor: d.rescoreFactor, SpillTailRows: d.spillRows}, d.ids, row)
+	nd, err := buildDiskFlat(d.path, d.fs, d.metric, d.cfg, d.ids, row, d.pq)
 	if readErr != nil {
 		return readErr
 	}
@@ -827,9 +939,19 @@ func (d *DiskFlat) Search(ctx context.Context, q tensor.Vector, k int) ([]Result
 	shortlist := k * d.rescoreFactor
 
 	var cands []candidate
-	if shortlist < n {
+	if shortlist < n && (d.quant != nil || d.pq.trained()) {
 		diskCandidates.Add(uint64(n + shortlist))
-		sc.qq.set(d.metric, q, qNorm)
+		usePQ := d.pq.trained()
+		if usePQ {
+			lutLen := d.pq.cb.m * PQCentroids
+			if cap(sc.lut) < lutLen {
+				sc.lut = make([]float64, lutLen)
+			}
+			sc.lut = sc.lut[:lutLen]
+			d.pq.cb.buildLUT(d.metric, q, sc.lut)
+		} else {
+			sc.qq.set(d.metric, q, qNorm)
+		}
 		sc.short.reset(shortlist, nil)
 		for i := 0; i < n; i++ {
 			if i%ctxCheckInterval == 0 && ctx != nil {
@@ -838,10 +960,18 @@ func (d *DiskFlat) Search(ctx context.Context, q tensor.Vector, k int) ([]Result
 					return nil, err
 				}
 			}
-			sc.short.offer(candidate{idx: i, dist: d.quant.approxDist(d.metric, &sc.qq, i, d.norms[i])})
+			var dist float64
+			if usePQ {
+				dist = d.pq.approxDist(d.metric, sc.lut, i, qNorm, d.norms[i])
+			} else {
+				dist = d.quant.approxDist(d.metric, &sc.qq, i, d.norms[i])
+			}
+			sc.short.offer(candidate{idx: i, dist: dist})
 		}
 		cands = sc.short.extractAscending()
 	} else {
+		// No trained ranking tier (PQ below its training threshold) or a
+		// whole-index shortlist: rescore every row — the plain exact scan.
 		diskCandidates.Add(uint64(n))
 	}
 

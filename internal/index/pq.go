@@ -1,0 +1,456 @@
+package index
+
+// The product-quantized (PQ) read tier behind the atlas-scale flat indexes
+// (DESIGN.md §14). Where the int8 tier spends one byte per vector component,
+// PQ splits each row into m subspaces and encodes every subspace as the
+// index of its nearest centroid in a trained 256-entry codebook — one byte
+// per subspace, independent of the subspace width. A search precomputes one
+// m×256 lookup table of query-to-centroid sub-distances (ADC, asymmetric
+// distance computation), ranks every row with a pure gather-accumulate over
+// that table, and keeps a k·rescoreFactor shortlist; the caller rescores the
+// shortlist against the full-precision rows with the exact distFlat
+// arithmetic and the exact (distance, ID) total order, the same two-phase
+// discipline as the int8 tier. Codebook training is deterministic seeded
+// Lloyd k-means, parallel over subspaces with per-subspace child RNGs, so
+// the trained bytes are identical at any worker count.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"modellake/internal/obs"
+	"modellake/internal/tensor"
+	"modellake/internal/xrand"
+)
+
+const (
+	// PQCentroids is the per-subspace codebook size: one byte of code
+	// addresses exactly 256 centroids.
+	PQCentroids = tensor.PQLUTEntries
+	// DefaultPQSubspaces is the subspace count a PQ index uses when its
+	// config leaves PQSubspaces at or below zero.
+	DefaultPQSubspaces = 8
+	// DefaultPQTrainRows is the population at which a PQ tier trains its
+	// codebook. Below it the tier stays untrained and searches run the
+	// plain exact scan — an index that small has nothing to gain from an
+	// approximate phase.
+	DefaultPQTrainRows = 256
+	// pqTrainSampleCap bounds the training sample: codebooks train on an
+	// evenly strided sample of at most this many rows, so training cost and
+	// transient memory stay flat as the population grows.
+	pqTrainSampleCap = 16384
+	// pqKMeansIters bounds the Lloyd iterations per subspace; training exits
+	// early once assignments stop changing.
+	pqKMeansIters = 12
+)
+
+// pqLUTBuilds counts per-query ADC lookup-table constructions — one per PQ
+// search, across both the in-RAM and disk-resident indexes. Resolved at
+// package init like the search counters, off the per-candidate hot path.
+var pqLUTBuilds = obs.Default().Counter("ann_pq_lut_builds_total")
+
+// pqBounds splits dim dimensions into at most m contiguous subspaces:
+// subspace s covers [bounds[s], bounds[s+1]). The split is as even as
+// integer arithmetic allows and never produces an empty subspace, so any
+// dim ≥ 1 works with any configured m (m is clamped to dim).
+func pqBounds(dim, m int) []int {
+	if m > dim {
+		m = dim
+	}
+	if m < 1 {
+		m = 1
+	}
+	b := make([]int, m+1)
+	for s := 0; s <= m; s++ {
+		b[s] = s * dim / m
+	}
+	return b
+}
+
+// pqCodebook is a trained set of per-subspace centroids. Centroids are
+// stored flat: subspace s occupies cents[PQCentroids*bounds[s] :
+// PQCentroids*bounds[s+1]], centroid c of that subspace at offset c·subdim
+// within it, so the whole codebook is PQCentroids·dim float64s regardless
+// of how unevenly the subspaces split.
+type pqCodebook struct {
+	dim    int
+	m      int   // effective subspace count (configured m clamped to dim)
+	bounds []int // len m+1; subspace s covers dims [bounds[s], bounds[s+1])
+	cents  []float64
+}
+
+func (cb *pqCodebook) subdim(s int) int { return cb.bounds[s+1] - cb.bounds[s] }
+
+// encodeInto writes row's m codes: per subspace, the index of the nearest
+// centroid under squared L2, ties to the lowest index (strict improvement
+// only), so encoding is deterministic.
+func (cb *pqCodebook) encodeInto(row []float64, codes []uint8) {
+	for s := 0; s < cb.m; s++ {
+		sub := row[cb.bounds[s]:cb.bounds[s+1]]
+		sd := cb.subdim(s)
+		base := PQCentroids * cb.bounds[s]
+		best := 0
+		bestD := tensor.SquaredL2Kernel(sub, cb.cents[base:base+sd])
+		for c := 1; c < PQCentroids; c++ {
+			d := tensor.SquaredL2Kernel(sub, cb.cents[base+c*sd:base+(c+1)*sd])
+			if d < bestD {
+				best, bestD = c, d
+			}
+		}
+		codes[s] = uint8(best)
+	}
+}
+
+// buildLUT fills lut (m·256 entries) with the query's per-centroid
+// sub-distances: squared L2 sub-distances for L2 (their sum is monotonic in
+// the true squared distance to the reconstruction, no sqrt needed for
+// ranking), raw sub-dot products for Cosine (the scan divides by the norms
+// per row, mirroring the int8 tier).
+func (cb *pqCodebook) buildLUT(m Metric, q tensor.Vector, lut []float64) {
+	for s := 0; s < cb.m; s++ {
+		qs := q[cb.bounds[s]:cb.bounds[s+1]]
+		sd := cb.subdim(s)
+		base := PQCentroids * cb.bounds[s]
+		out := lut[s*PQCentroids : (s+1)*PQCentroids]
+		if m == Cosine {
+			for c := 0; c < PQCentroids; c++ {
+				out[c] = tensor.DotKernel(qs, cb.cents[base+c*sd:base+(c+1)*sd])
+			}
+		} else {
+			for c := 0; c < PQCentroids; c++ {
+				out[c] = tensor.SquaredL2Kernel(qs, cb.cents[base+c*sd:base+(c+1)*sd])
+			}
+		}
+	}
+	pqLUTBuilds.Inc()
+}
+
+// trainPQCodebook runs per-subspace Lloyd k-means over the flattened sample
+// (nSample rows of dim float64s, row-major). Subspaces train concurrently on
+// up to workers goroutines (≤0 means GOMAXPROCS), but every subspace is a
+// fully serial computation seeded from its own child RNG and writes a
+// disjoint centroid range, so the trained bytes are identical at any worker
+// count and any GOMAXPROCS setting.
+func trainPQCodebook(sample []float64, nSample, dim, m int, seed uint64, workers int) *pqCodebook {
+	cb := &pqCodebook{dim: dim, bounds: pqBounds(dim, m)}
+	cb.m = len(cb.bounds) - 1
+	cb.cents = make([]float64, PQCentroids*dim)
+	rngs := make([]*xrand.RNG, cb.m)
+	root := xrand.New(seed)
+	for s := range rngs {
+		rngs[s] = root.Child(fmt.Sprintf("pq-sub-%d", s))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cb.m {
+		workers = cb.m
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= cb.m {
+					return
+				}
+				cb.trainSubspace(s, sample, nSample, rngs[s])
+			}
+		}()
+	}
+	wg.Wait()
+	return cb
+}
+
+// trainSubspace runs Lloyd k-means for one subspace. Initial centroids are
+// sample rows at seeded-permutation positions (wrapping when the sample is
+// smaller than the codebook — the duplicate clusters simply empty out);
+// assignment ties break to the lowest centroid index, accumulation runs in
+// row order, and empty clusters keep their previous centroid, so every step
+// is deterministic.
+func (cb *pqCodebook) trainSubspace(s int, sample []float64, nSample int, rng *xrand.RNG) {
+	sd := cb.subdim(s)
+	lo := cb.bounds[s]
+	cents := cb.cents[PQCentroids*lo : PQCentroids*lo+PQCentroids*sd]
+	sub := func(i int) []float64 {
+		off := i*cb.dim + lo
+		return sample[off : off+sd]
+	}
+	perm := rng.Perm(nSample)
+	for c := 0; c < PQCentroids; c++ {
+		copy(cents[c*sd:(c+1)*sd], sub(perm[c%nSample]))
+	}
+	assign := make([]int32, nSample)
+	sums := make([]float64, PQCentroids*sd)
+	counts := make([]int, PQCentroids)
+	for iter := 0; iter < pqKMeansIters; iter++ {
+		changed := false
+		for i := 0; i < nSample; i++ {
+			r := sub(i)
+			best := 0
+			bestD := tensor.SquaredL2Kernel(r, cents[:sd])
+			for c := 1; c < PQCentroids; c++ {
+				d := tensor.SquaredL2Kernel(r, cents[c*sd:(c+1)*sd])
+				if d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if int32(best) != assign[i] {
+				assign[i] = int32(best)
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < nSample; i++ {
+			c := int(assign[i])
+			acc := sums[c*sd : (c+1)*sd]
+			for j, x := range sub(i) {
+				acc[j] += x
+			}
+			counts[c]++
+		}
+		for c := 0; c < PQCentroids; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			inv := 1 / float64(counts[c])
+			cent := cents[c*sd : (c+1)*sd]
+			for j := range cent {
+				cent[j] = sums[c*sd+j] * inv
+			}
+		}
+	}
+}
+
+// pqSampleIndices returns the evenly strided row indices (at most
+// pqTrainSampleCap of them) a codebook trains on when the population holds n
+// rows.
+func pqSampleIndices(n int) []int {
+	k := n
+	if k > pqTrainSampleCap {
+		k = pqTrainSampleCap
+	}
+	out := make([]int, k)
+	for i := range out {
+		out[i] = i * n / k
+	}
+	return out
+}
+
+// pqTier is the in-RAM product-quantized mirror of an index's rows: the
+// trained codebook plus one byte of code per (row, subspace). Like quantTier
+// it is not itself synchronized — the owning index's lock covers it.
+type pqTier struct {
+	m         int // configured subspace count (clamped to dim at training)
+	trainRows int
+	seed      uint64
+	cb        *pqCodebook // nil until the population reaches trainRows
+	codes     []uint8     // row i at codes[i*cb.m : (i+1)*cb.m]
+}
+
+func newPQTier(cfg QuantConfig) *pqTier {
+	return &pqTier{m: cfg.PQSubspaces, trainRows: cfg.PQTrainRows, seed: cfg.Seed}
+}
+
+// trained reports whether the codebook exists yet. Nil-safe, so indexes
+// without a PQ tier dispatch without a branch at the call site.
+func (t *pqTier) trained() bool { return t != nil && t.cb != nil }
+
+// memBytes estimates the heap retained by the PQ tier: codes plus codebook.
+// Nil-safe like quantTier.memBytes.
+func (t *pqTier) memBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	n := int64(len(t.codes))
+	if t.cb != nil {
+		n += int64(len(t.cb.cents))*8 + int64(len(t.cb.bounds))*8
+	}
+	return n
+}
+
+// trainFrom trains the codebook from an already collected flattened sample.
+func (t *pqTier) trainFrom(sample []float64, nSample, dim, workers int) {
+	t.cb = trainPQCodebook(sample, nSample, dim, t.m, t.seed, workers)
+}
+
+// encode appends row's codes; the tier must be trained.
+func (t *pqTier) encode(row []float64) {
+	n := len(t.codes)
+	t.codes = append(t.codes, make([]uint8, t.cb.m)...)
+	t.cb.encodeInto(row, t.codes[n:n+t.cb.m])
+}
+
+// approxDist is the shortlist-ranking distance for row i under a query LUT.
+// It only has to order candidates: L2 stays a sum of squared sub-distances
+// (monotonic, no sqrt) and Cosine mirrors distFlat's zero-norm convention.
+func (t *pqTier) approxDist(m Metric, lut []float64, i int, qNorm, rowNorm float64) float64 {
+	acc := tensor.PQLUTKernel(t.codes[i*t.cb.m:(i+1)*t.cb.m], lut)
+	if m == Cosine {
+		if qNorm == 0 || rowNorm == 0 {
+			return 1
+		}
+		return 1 - acc/(qNorm*rowNorm)
+	}
+	return acc
+}
+
+// pqScratch is the pooled per-search state of a PQ scan: the query LUT, the
+// shortlist selector (tie-break by row index — the rescore re-ranks), the
+// final exact selector (tie-break by ID), and the parallel-rescore distance
+// buffer.
+type pqScratch struct {
+	lut   []float64
+	short topK
+	sel   topK
+	dists []float64
+}
+
+// NewFlatPQ returns an empty exact index that serves searches through the
+// two-phase product-quantized read path: an ADC scan over one-byte-per-
+// subspace codes selects k·RescoreFactor candidates, then the exact flat
+// arithmetic rescores them. Results are bitwise identical to NewFlat
+// whenever the true top-k survives the shortlist cut; when the shortlist
+// covers the whole index — and, before PQTrainRows rows accumulate and the
+// codebook trains, always — the search degenerates to the plain exact scan
+// and identity is unconditional.
+func NewFlatPQ(metric Metric, cfg QuantConfig) *Flat {
+	f := NewFlat(metric)
+	if cfg.PQSubspaces <= 0 {
+		cfg.PQSubspaces = DefaultPQSubspaces
+	}
+	cfg = cfg.withDefaults()
+	f.pq = newPQTier(cfg)
+	f.rescoreFactor = cfg.RescoreFactor
+	f.pqscratch.New = func() any { return new(pqScratch) }
+	return f
+}
+
+// trainPQLocked trains the PQ codebook from the rows accumulated so far and
+// encodes all of them. Called with f.mu held, once, when the population
+// first reaches the training threshold.
+func (f *Flat) trainPQLocked() {
+	n := len(f.ids)
+	idxs := pqSampleIndices(n)
+	sample := make([]float64, 0, len(idxs)*f.dim)
+	for _, i := range idxs {
+		sample = append(sample, f.data[i*f.dim:(i+1)*f.dim]...)
+	}
+	f.pq.trainFrom(sample, len(idxs), f.dim, 0)
+	f.pq.codes = make([]uint8, 0, n*f.pq.cb.m)
+	for i := 0; i < n; i++ {
+		f.pq.encode(f.data[i*f.dim : (i+1)*f.dim])
+	}
+}
+
+// searchPQ runs the two-phase ADC scan. Caller holds f.mu.RLock and has
+// validated q; n > 0, 0 < k ≤ n, the tier is trained, and the shortlist is
+// strictly smaller than n (otherwise the caller runs the plain exact scan).
+func (f *Flat) searchPQ(ctx context.Context, q tensor.Vector, qNorm float64, k, shortlist int) ([]Result, error) {
+	n := len(f.ids)
+	sc := f.pqscratch.Get().(*pqScratch)
+	lutLen := f.pq.cb.m * PQCentroids
+	if cap(sc.lut) < lutLen {
+		sc.lut = make([]float64, lutLen)
+	}
+	sc.lut = sc.lut[:lutLen]
+	f.pq.cb.buildLUT(f.metric, q, sc.lut)
+	sc.short.reset(shortlist, nil)
+	for i := 0; i < n; i++ {
+		if i%ctxCheckInterval == 0 && ctx != nil {
+			if err := ctx.Err(); err != nil {
+				f.pqscratch.Put(sc)
+				return nil, err
+			}
+		}
+		sc.short.offer(candidate{idx: i, dist: f.pq.approxDist(f.metric, sc.lut, i, qNorm, f.norms[i])})
+	}
+	cands := sc.short.extractAscending()
+	sc.sel.reset(k, f.ids)
+	f.rescoreCands(q, qNorm, cands, &sc.sel, &sc.dists)
+	sel := sc.sel.extractAscending()
+	out := make([]Result, len(sel))
+	for i, c := range sel {
+		out[i] = Result{ID: f.ids[c.idx], Distance: c.dist}
+	}
+	sc.sel.release()
+	f.pqscratch.Put(sc)
+	return out, nil
+}
+
+// Parallel exact-rescore tuning. Shortlists below the threshold rescore
+// serially (the common case — zero goroutines, zero allocations); above it
+// the distance computations fan out over a small bounded pool. Package
+// variables rather than config so tests can force the parallel path at tiny
+// shortlists.
+var (
+	rescoreParallelThreshold = 4096
+	rescoreMaxWorkers        = 8
+)
+
+// rescoreCands exact-rescores the shortlist into sel. Below the parallel
+// threshold each candidate is scored and offered in shortlist order; above
+// it, workers compute the exact distances into *dists — each writing a
+// disjoint index range — and the offers still happen serially in the same
+// shortlist order. Identical arithmetic, identical offer sequence: results
+// are bitwise identical at any worker count (the same discipline as the
+// parallel ingest path).
+func (f *Flat) rescoreCands(q tensor.Vector, qNorm float64, cands []candidate, sel *topK, dists *[]float64) {
+	dim := f.dim
+	if len(cands) < rescoreParallelThreshold || rescoreMaxWorkers < 2 {
+		for _, c := range cands {
+			row := f.data[c.idx*dim : (c.idx+1)*dim]
+			sel.offer(candidate{idx: c.idx, dist: f.metric.distFlat(q, qNorm, row, f.norms[c.idx])})
+		}
+		return
+	}
+	if cap(*dists) < len(cands) {
+		*dists = make([]float64, len(cands))
+	}
+	ds := (*dists)[:len(cands)]
+	workers := rescoreMaxWorkers
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	chunk := (len(cands) + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > len(cands) {
+			hi = len(cands)
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for j := lo; j < hi; j++ {
+				c := cands[j]
+				row := f.data[c.idx*dim : (c.idx+1)*dim]
+				ds[j] = f.metric.distFlat(q, qNorm, row, f.norms[c.idx])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	for j, c := range cands {
+		sel.offer(candidate{idx: c.idx, dist: ds[j]})
+	}
+}

@@ -1,0 +1,228 @@
+package index
+
+// PQ side-file persistence for disk-resident segments (DESIGN.md §14). A
+// trained PQ tier — codebook plus one byte of code per (row, subspace) — is
+// derived state: it can always be rebuilt from the segment rows by
+// retraining, but at atlas scale that retrain (sampled k-means plus a full
+// encode pass) is the dominant open cost. So a PQ-mode segment carries a
+// sibling file in the MLVF1 family:
+//
+//	<segment>.pq, all little-endian:
+//	  header (64 bytes):
+//	    magic u32 "MLPQ", version u32, metric u32, dim u32,
+//	    m u32, reserved u32 (zero),
+//	    count u64, idsCRC u64, dataCRC u64,  (the bound segment's header CRCs)
+//	    bodyCRC u64,                         (CRC-64/ECMA of the body)
+//	    headerCRC u64                        (CRC-64/ECMA of the 56 bytes before it)
+//	  body: centroids (PQCentroids·dim float64 bits), codes (count·m bytes)
+//
+// The (count, idsCRC, dataCRC) triple binds the side file to exactly one
+// segment build; a side file that does not match the segment just opened —
+// or whose checksums fail, or that is missing entirely — is ignored and the
+// tier retrains, so a torn or stale side file can never change answers.
+// Writes go through the same crash-safe temp + fsync + rename + dir-fsync
+// path as the segment itself, routed through the fault-injectable FS.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+const (
+	pqSideMagic      uint32 = 0x4d4c5051 // "MLPQ"
+	pqSideVersion    uint32 = 1
+	pqSideHeaderSize        = 64
+)
+
+// pqSidePath is the side-file location for a segment path.
+func pqSidePath(segPath string) string { return segPath + ".pq" }
+
+// pqEncodeSegment encodes every segment row into the PQ tier with one
+// sequential pass of pread windows (the tier's codes are reset first). The
+// codebook must already be trained. Called with the index unshared (build)
+// or with d.mu held.
+func (d *DiskFlat) pqEncodeSegment() error {
+	m := d.pq.cb.m
+	d.pq.codes = make([]uint8, 0, d.segN*m)
+	stride := d.dim * 8
+	buf := make([]byte, stride)
+	row := make([]float64, d.dim)
+	for i := 0; i < d.segN; i++ {
+		if _, err := d.f.ReadAt(buf, d.dataOff+int64(i)*int64(stride)); err != nil {
+			return fmt.Errorf("index: pq encode row %d: %w", i, err)
+		}
+		for j := range row {
+			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		}
+		d.pq.encode(row)
+	}
+	return nil
+}
+
+// trainPQLocked trains the PQ codebook from the current population (segment
+// rows via pread plus the in-RAM tail) and encodes every row. Called with
+// d.mu held when Add pushes the population past the training threshold. On
+// any read error the tier is left untrained — searches keep running the
+// exact scan — and the error is reported.
+func (d *DiskFlat) trainPQLocked() error {
+	n := len(d.ids)
+	stride := d.dim * 8
+	buf := make([]byte, stride)
+	row := make([]float64, d.dim)
+	readRow := func(i int) ([]float64, error) {
+		if i >= d.segN {
+			j := i - d.segN
+			return d.tail[j*d.dim : (j+1)*d.dim], nil
+		}
+		if _, err := d.f.ReadAt(buf, d.dataOff+int64(i)*int64(stride)); err != nil {
+			return nil, fmt.Errorf("index: pq train row %d: %w", i, err)
+		}
+		for j := range row {
+			row[j] = math.Float64frombits(binary.LittleEndian.Uint64(buf[j*8:]))
+		}
+		return row, nil
+	}
+	idxs := pqSampleIndices(n)
+	sample := make([]float64, 0, len(idxs)*d.dim)
+	for _, i := range idxs {
+		r, err := readRow(i)
+		if err != nil {
+			return err
+		}
+		sample = append(sample, r...)
+	}
+	d.pq.trainFrom(sample, len(idxs), d.dim, 0)
+	d.pq.codes = make([]uint8, 0, n*d.pq.cb.m)
+	for i := 0; i < n; i++ {
+		r, err := readRow(i)
+		if err != nil {
+			d.pq.cb, d.pq.codes = nil, nil
+			return err
+		}
+		d.pq.encode(r)
+	}
+	return nil
+}
+
+// writePQSideFile publishes the trained tier's codebook and segment-row
+// codes crash-safely next to the segment. The side file only ever describes
+// segment rows (the in-RAM tail is rebuilt from the durable vec records on
+// reopen anyway), so it is written exactly where the segment itself is
+// (re)built: at build, open-retrain, and spill time — all points where the
+// tail is empty or just compacted away.
+func (d *DiskFlat) writePQSideFile() error {
+	cb := d.pq.cb
+	codes := d.pq.codes[:d.segN*cb.m]
+	body := make([]byte, len(cb.cents)*8+len(codes))
+	for i, x := range cb.cents {
+		binary.LittleEndian.PutUint64(body[i*8:], math.Float64bits(x))
+	}
+	copy(body[len(cb.cents)*8:], codes)
+
+	hdr := make([]byte, pqSideHeaderSize)
+	binary.LittleEndian.PutUint32(hdr[0:], pqSideMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], pqSideVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(d.metric))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(d.dim))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(cb.m))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(d.segN))
+	binary.LittleEndian.PutUint64(hdr[32:], d.idsCRC)
+	binary.LittleEndian.PutUint64(hdr[40:], d.dataCRC)
+	binary.LittleEndian.PutUint64(hdr[48:], crc64.Checksum(body, crcTable))
+	binary.LittleEndian.PutUint64(hdr[56:], crc64.Checksum(hdr[:56], crcTable))
+
+	path := pqSidePath(d.path)
+	dir := filepath.Dir(path)
+	tmp, err := d.fs.CreateTemp(dir, ".pq-*")
+	if err != nil {
+		return fmt.Errorf("index: pq side temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(hdr); err != nil {
+		return fail(fmt.Errorf("index: pq side header: %w", err))
+	}
+	if _, err := tmp.Write(body); err != nil {
+		return fail(fmt.Errorf("index: pq side body: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(fmt.Errorf("index: pq side sync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("index: pq side close: %w", err)
+	}
+	if err := d.fs.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("index: pq side publish: %w", err)
+	}
+	if err := d.fs.SyncDir(dir); err != nil {
+		return fmt.Errorf("index: pq side dir sync: %w", err)
+	}
+	return nil
+}
+
+// adoptPQSideFile tries to restore the PQ tier from the segment's side file,
+// reporting whether it succeeded. Adoption requires a full match: header
+// checksum, magic, version, metric, dimension, the subspace count the
+// current config would train, and the exact (count, idsCRC, dataCRC) binding
+// to the segment just opened, plus the body checksum over codebook and
+// codes. Anything less reports false and the caller retrains.
+func (d *DiskFlat) adoptPQSideFile() bool {
+	f, err := d.fs.OpenFile(pqSidePath(d.path), os.O_RDONLY, 0)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	hdr := make([]byte, pqSideHeaderSize)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return false
+	}
+	if binary.LittleEndian.Uint64(hdr[56:]) != crc64.Checksum(hdr[:56], crcTable) {
+		return false
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != pqSideMagic ||
+		binary.LittleEndian.Uint32(hdr[4:]) != pqSideVersion ||
+		binary.LittleEndian.Uint32(hdr[8:]) != uint32(d.metric) ||
+		binary.LittleEndian.Uint32(hdr[12:]) != uint32(d.dim) {
+		return false
+	}
+	m := int(binary.LittleEndian.Uint32(hdr[16:]))
+	bounds := pqBounds(d.dim, d.pq.m)
+	if m != len(bounds)-1 {
+		return false
+	}
+	if binary.LittleEndian.Uint64(hdr[24:]) != uint64(d.segN) ||
+		binary.LittleEndian.Uint64(hdr[32:]) != d.idsCRC ||
+		binary.LittleEndian.Uint64(hdr[40:]) != d.dataCRC {
+		return false
+	}
+	centsBytes := PQCentroids * d.dim * 8
+	bodyLen := centsBytes + d.segN*m
+	if st, err := f.Stat(); err != nil || st.Size() != int64(pqSideHeaderSize+bodyLen) {
+		return false
+	}
+	body := make([]byte, bodyLen)
+	if _, err := io.ReadFull(f, body); err != nil {
+		return false
+	}
+	if binary.LittleEndian.Uint64(hdr[48:]) != crc64.Checksum(body, crcTable) {
+		return false
+	}
+	cents := make([]float64, PQCentroids*d.dim)
+	for i := range cents {
+		cents[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[i*8:]))
+	}
+	d.pq.cb = &pqCodebook{dim: d.dim, m: m, bounds: bounds, cents: cents}
+	d.pq.codes = append([]uint8(nil), body[centsBytes:]...)
+	return true
+}

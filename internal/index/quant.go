@@ -37,6 +37,23 @@ type QuantConfig struct {
 	// ingest. 0 selects DefaultSpillTailRows; negative disables spilling.
 	// Pure in-RAM indexes ignore it.
 	SpillTailRows int
+
+	// PQSubspaces selects the product-quantized tier (DESIGN.md §14)
+	// instead of the int8 tier, with this many one-byte subspace codes per
+	// row. Zero keeps the int8 tier; NewFlatPQ treats non-positive values
+	// as DefaultPQSubspaces. Values above the vector dimension are clamped
+	// to it at training time.
+	PQSubspaces int
+
+	// PQTrainRows is the population at which a PQ tier trains its codebook
+	// (untrained tiers serve the plain exact scan). At or below zero
+	// selects DefaultPQTrainRows. Only meaningful with PQSubspaces.
+	PQTrainRows int
+
+	// Seed drives PQ codebook training (k-means init). Training is fully
+	// deterministic in (seed, input); two indexes built from the same rows
+	// and seed carry byte-identical codebooks.
+	Seed uint64
 }
 
 func (c QuantConfig) withDefaults() QuantConfig {
@@ -45,6 +62,9 @@ func (c QuantConfig) withDefaults() QuantConfig {
 	}
 	if c.SpillTailRows == 0 {
 		c.SpillTailRows = DefaultSpillTailRows
+	}
+	if c.PQSubspaces > 0 && c.PQTrainRows <= 0 {
+		c.PQTrainRows = DefaultPQTrainRows
 	}
 	return c
 }
@@ -162,12 +182,14 @@ func (t *quantTier) approxDist(m Metric, qq *quantQuery, i int, rowNorm float64)
 
 // quantScratch is the pooled per-search state of a two-phase scan: the
 // quantized query, the shortlist selector (tie-break by row index — any
-// deterministic order works, the rescore re-ranks), and the final exact
-// selector (tie-break by ID, matching the full-precision scan).
+// deterministic order works, the rescore re-ranks), the final exact
+// selector (tie-break by ID, matching the full-precision scan), and the
+// parallel-rescore distance buffer.
 type quantScratch struct {
 	qq    quantQuery
 	short topK
 	sel   topK
+	dists []float64
 }
 
 // NewFlatQuantized returns an empty exact index that serves searches through
@@ -204,11 +226,7 @@ func (f *Flat) searchQuantized(ctx context.Context, q tensor.Vector, qNorm float
 	}
 	cands := sc.short.extractAscending()
 	sc.sel.reset(k, f.ids)
-	dim := f.dim
-	for _, c := range cands {
-		row := f.data[c.idx*dim : (c.idx+1)*dim]
-		sc.sel.offer(candidate{idx: c.idx, dist: f.metric.distFlat(q, qNorm, row, f.norms[c.idx])})
-	}
+	f.rescoreCands(q, qNorm, cands, &sc.sel, &sc.dists)
 	sel := sc.sel.extractAscending()
 	out := make([]Result, len(sel))
 	for i, c := range sel {

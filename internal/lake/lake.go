@@ -80,10 +80,22 @@ type Config struct {
 	// the plain flat scan whenever the true top-k survives the shortlist
 	// cut, which the over-fetch factor buys with overwhelming probability.
 	Quantize bool
+	// PQSubspaces selects the product-quantized read tier (DESIGN.md §14)
+	// instead of the int8 one: each content vector is coded as this many
+	// one-byte subspace centroids (values above the vector dimension clamp
+	// to it), an ADC lookup-table scan picks the k·RescoreFactor shortlist,
+	// and the exact rescore phase is unchanged — so answers carry the same
+	// bitwise-identity guarantee as Quantize at a fraction of the resident
+	// bytes. Codebooks train deterministically from Seed once an index holds
+	// 256 rows; below that searches are plain exact scans. Composes with
+	// DiskResidentVectors; incompatible with Quantize (the tiers are
+	// alternatives) and UseHNSW.
+	PQSubspaces int
 	// RescoreFactor overrides the quantized tier's shortlist over-fetch
 	// multiplier. Zero means the index default
-	// (index.DefaultRescoreFactor); non-zero values require Quantize or
-	// DiskResidentVectors and must be at least MinRescoreFactor.
+	// (index.DefaultRescoreFactor); non-zero values require Quantize,
+	// PQSubspaces, or DiskResidentVectors and must be at least
+	// MinRescoreFactor.
 	RescoreFactor int
 	// DiskResidentVectors moves the full-precision content vectors into
 	// page-cache-friendly on-disk segments (Dir/vectors/<space>.seg): the
@@ -181,15 +193,21 @@ const MinRescoreFactor = 4
 // validate rejects config combinations the lake cannot honor, before any
 // storage is touched.
 func (c Config) validate() error {
+	if c.PQSubspaces < 0 {
+		return fmt.Errorf("lake: PQSubspaces %d is negative", c.PQSubspaces)
+	}
+	if c.PQSubspaces > 0 && c.Quantize {
+		return errors.New("lake: PQSubspaces and Quantize are alternative resident tiers; choose one")
+	}
 	if c.RescoreFactor != 0 {
-		if !c.Quantize && !c.DiskResidentVectors {
-			return errors.New("lake: RescoreFactor requires Quantize or DiskResidentVectors")
+		if !c.Quantize && c.PQSubspaces == 0 && !c.DiskResidentVectors {
+			return errors.New("lake: RescoreFactor requires Quantize, PQSubspaces, or DiskResidentVectors")
 		}
 		if c.RescoreFactor < MinRescoreFactor {
 			return fmt.Errorf("lake: RescoreFactor %d below minimum %d", c.RescoreFactor, MinRescoreFactor)
 		}
 	}
-	if c.UseHNSW && (c.Quantize || c.DiskResidentVectors) {
+	if c.UseHNSW && (c.Quantize || c.PQSubspaces > 0 || c.DiskResidentVectors) {
 		return errors.New("lake: UseHNSW is incompatible with the quantized read tier")
 	}
 	if c.DiskResidentVectors && c.Dir == "" {
@@ -354,6 +372,9 @@ func (l *Lake) newIndex() index.Index {
 	if l.cfg.UseHNSW {
 		return index.NewHNSW(index.Cosine, index.HNSWConfig{Seed: l.cfg.Seed})
 	}
+	if l.cfg.PQSubspaces > 0 {
+		return index.NewFlatPQ(index.Cosine, l.quantConfig())
+	}
 	if l.cfg.Quantize || l.cfg.DiskResidentVectors {
 		return index.NewFlatQuantized(index.Cosine, l.quantConfig())
 	}
@@ -361,7 +382,11 @@ func (l *Lake) newIndex() index.Index {
 }
 
 func (l *Lake) quantConfig() index.QuantConfig {
-	return index.QuantConfig{RescoreFactor: l.cfg.RescoreFactor}
+	return index.QuantConfig{
+		RescoreFactor: l.cfg.RescoreFactor,
+		PQSubspaces:   l.cfg.PQSubspaces,
+		Seed:          l.cfg.Seed,
+	}
 }
 
 // hydrated is the per-record product of the parallel rehydrate stage.

@@ -30,6 +30,10 @@ func TestScaleConfigValidation(t *testing.T) {
 		{"hnsw with quantize", Config{UseHNSW: true, Quantize: true}, "incompatible"},
 		{"hnsw with disk", Config{Dir: dir, UseHNSW: true, DiskResidentVectors: true}, "incompatible"},
 		{"disk without dir", Config{DiskResidentVectors: true}, "requires Dir"},
+		{"negative pq subspaces", Config{PQSubspaces: -1}, "negative"},
+		{"pq with quantize", Config{PQSubspaces: 8, Quantize: true}, "choose one"},
+		{"hnsw with pq", Config{UseHNSW: true, PQSubspaces: 8}, "incompatible"},
+		{"pq rescore below floor", Config{PQSubspaces: 8, RescoreFactor: MinRescoreFactor - 1}, "below minimum"},
 	}
 	for _, tc := range bad {
 		if _, err := Open(tc.cfg); err == nil {
@@ -42,6 +46,9 @@ func TestScaleConfigValidation(t *testing.T) {
 		{Quantize: true},
 		{Quantize: true, RescoreFactor: MinRescoreFactor},
 		{Dir: t.TempDir(), DiskResidentVectors: true},
+		{PQSubspaces: 8},
+		{PQSubspaces: 8, RescoreFactor: MinRescoreFactor},
+		{Dir: t.TempDir(), PQSubspaces: 8, DiskResidentVectors: true},
 	} {
 		l, err := Open(cfg)
 		if err != nil {
@@ -96,6 +103,71 @@ func TestQuantizedLakeMatchesFlat(t *testing.T) {
 			sameHits(t, pop.Members[i].Truth.Name+"/"+space, qh, ph)
 		}
 	}
+}
+
+// TestPQLakeMatchesFlat is TestQuantizedLakeMatchesFlat for the PQ tier:
+// identical content search answers in both spaces for every model-as-query.
+// A population this small stays below the PQ training threshold, so this
+// pins the lake wiring and the untrained-tier exactness degeneration; the
+// trained ADC path's identity is property-tested at the index layer.
+func TestPQLakeMatchesFlat(t *testing.T) {
+	pop := population(t, 31)
+	plain, err := Open(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	pq, err := Open(Config{Seed: 1, PQSubspaces: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pq.Close()
+	pIDs := fill(t, plain, pop)
+	qIDs := fill(t, pq, pop)
+	for i := range pop.Members {
+		for _, space := range []string{"behavior", "weights"} {
+			ph, perr := plain.SearchByModel(pIDs[i], space, 5)
+			qh, qerr := pq.SearchByModel(qIDs[i], space, 5)
+			if (perr == nil) != (qerr == nil) {
+				t.Fatalf("member %d space %s: plain err %v, pq err %v", i, space, perr, qerr)
+			}
+			if perr != nil {
+				continue // space cannot embed this model in either lake
+			}
+			sameHits(t, pop.Members[i].Truth.Name+"/"+space, qh, ph)
+		}
+	}
+}
+
+// TestPQDiskLakeReopen pins the PQ + DiskResidentVectors composition: a
+// disk-resident PQ lake reopens (adopting or rebuilding its segments and
+// side files) and answers identically to its pre-close self.
+func TestPQDiskLakeReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Seed: 1, PQSubspaces: 8, DiskResidentVectors: true}
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := population(t, 5)
+	ids := fill(t, l, pop)
+	first, err := l.SearchByModel(ids[0], "behavior", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	again, err := l.SearchByModel(ids[0], "behavior", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHits(t, "reopen", again, first)
 }
 
 // TestDiskLakeSegmentDamage pins the reopen story for disk-resident lakes:

@@ -103,3 +103,17 @@ func BenchmarkSquaredL2Kernel32(b *testing.B) {
 	}
 	_ = sink
 }
+
+func BenchmarkPQLUTKernel8(b *testing.B) {
+	codes := make([]uint8, 8)
+	for i := range codes {
+		codes[i] = uint8(i * 31)
+	}
+	lut := randSlice(8*PQLUTEntries, 3)
+	var sink float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += PQLUTKernel(codes, lut)
+	}
+	_ = sink
+}

@@ -1,0 +1,36 @@
+package tensor
+
+// Product-quantization ADC accumulation for the atlas-scale read path
+// (DESIGN.md §14). A PQ-coded row is one byte per subspace; a query is
+// turned into a lookup table of 256 precomputed sub-distances per subspace,
+// and ranking a row is a pure gather-accumulate over that table — no
+// per-candidate float multiply at all. Like the other kernels, none of this
+// has to be exact (callers rescore a shortlist against the full-precision
+// rows); it has to be deterministic, which the fixed reduction order
+// guarantees.
+
+// PQLUTEntries is the per-subspace lookup-table width: one byte of code
+// addresses exactly 256 centroids.
+const PQLUTEntries = 256
+
+// PQLUTKernel accumulates the ADC distance of one coded row: subspace s
+// contributes lut[s*256+codes[s]]. lut must hold len(codes)*256 entries
+// (callers validate; the slice index panics otherwise). 4-way unrolled with
+// independent accumulators and a fixed ((s0+s1)+(s2+s3)) reduction order,
+// matching DotKernel, so results are deterministic across calls.
+func PQLUTKernel(codes []uint8, lut []float64) float64 {
+	n := len(codes)
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		s0 += lut[i*PQLUTEntries+int(codes[i])]
+		s1 += lut[(i+1)*PQLUTEntries+int(codes[i+1])]
+		s2 += lut[(i+2)*PQLUTEntries+int(codes[i+2])]
+		s3 += lut[(i+3)*PQLUTEntries+int(codes[i+3])]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < n; i++ {
+		s += lut[i*PQLUTEntries+int(codes[i])]
+	}
+	return s
+}
